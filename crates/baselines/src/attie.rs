@@ -1,0 +1,354 @@
+//! The automata-based dependency scheduler, after Attie, Singh, Sheth &
+//! Rusinkiewicz \[3\].
+//!
+//! In that line of work every intertask dependency becomes a finite
+//! automaton over the event alphabet, and the scheduler runs the *product*
+//! of all dependency automata, admitting an event only when every
+//! automaton has a transition for it. The paper's §6 points out the cost:
+//! automata-based process scheduling is exponential — the product has up
+//! to `∏ᵢ |Aᵢ|` states.
+//!
+//! [`ConstraintAutomaton`] builds the minimal-ish DFA of one `CONSTR`
+//! constraint: a state is the pair (set of relevant events seen, set of
+//! order basics already violated); acceptance re-evaluates the normal
+//! form. [`ProductScheduler`] materializes the reachable product
+//! explicitly — the state-count measurements of experiment X2 come from
+//! here.
+
+use ctr::constraints::{Basic, Constraint, NormalForm};
+use ctr::symbol::Symbol;
+use std::collections::{BTreeSet, VecDeque};
+
+/// The DFA of a single constraint.
+#[derive(Clone, Debug)]
+pub struct ConstraintAutomaton {
+    /// Relevant events (the alphabet slice this automaton observes).
+    alphabet: Vec<Symbol>,
+    /// Order basics appearing anywhere in the normal form.
+    orders: Vec<(Symbol, Symbol)>,
+    nf: NormalForm,
+}
+
+/// A state of one constraint automaton: which relevant events have been
+/// seen, and which order basics are already unsatisfiable.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub struct AutoState {
+    seen: BTreeSet<Symbol>,
+    violated: BTreeSet<usize>,
+}
+
+impl ConstraintAutomaton {
+    /// Builds the automaton for a constraint.
+    pub fn new(constraint: &Constraint) -> ConstraintAutomaton {
+        let nf = constraint.normalize();
+        let mut alphabet: BTreeSet<Symbol> = BTreeSet::new();
+        let mut orders: Vec<(Symbol, Symbol)> = Vec::new();
+        for conj in &nf.disjuncts {
+            for b in conj {
+                match *b {
+                    Basic::Must(e) | Basic::MustNot(e) => {
+                        alphabet.insert(e);
+                    }
+                    Basic::Order(a, bb) => {
+                        alphabet.insert(a);
+                        alphabet.insert(bb);
+                        if !orders.contains(&(a, bb)) {
+                            orders.push((a, bb));
+                        }
+                    }
+                }
+            }
+        }
+        ConstraintAutomaton { alphabet: alphabet.into_iter().collect(), orders, nf }
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> AutoState {
+        AutoState::default()
+    }
+
+    /// The relevant alphabet.
+    pub fn alphabet(&self) -> &[Symbol] {
+        &self.alphabet
+    }
+
+    /// Steps the automaton on `event`. Irrelevant events self-loop.
+    pub fn step(&self, state: &AutoState, event: Symbol) -> AutoState {
+        if !self.alphabet.contains(&event) {
+            return state.clone();
+        }
+        let mut next = state.clone();
+        // Any order (a, b) where b has NOT been seen but `event == b`
+        // before `a` was seen becomes violated.
+        for (i, &(a, b)) in self.orders.iter().enumerate() {
+            if event == b && !state.seen.contains(&a) {
+                next.violated.insert(i);
+            }
+            // Re-occurrence of `a` after `b` does not repair anything: on
+            // unique-event traces this cannot happen anyway.
+            let _ = a;
+        }
+        next.seen.insert(event);
+        next
+    }
+
+    /// Is the state accepting, assuming the trace has ended?
+    pub fn accepts(&self, state: &AutoState) -> bool {
+        self.nf.disjuncts.iter().any(|conj| {
+            conj.iter().all(|b| match *b {
+                Basic::Must(e) => state.seen.contains(&e),
+                Basic::MustNot(e) => !state.seen.contains(&e),
+                Basic::Order(a, bb) => {
+                    let idx = self
+                        .orders
+                        .iter()
+                        .position(|&o| o == (a, bb))
+                        .expect("order registered during construction");
+                    state.seen.contains(&a)
+                        && state.seen.contains(&bb)
+                        && !state.violated.contains(&idx)
+                }
+            })
+        })
+    }
+
+    /// Can some suffix still lead to acceptance? (Used by the scheduler to
+    /// refuse events that doom the run.) An over-approximation restricted
+    /// to unique-event suffixes: a disjunct is *live* if none of its
+    /// `MustNot` events were seen and none of its orders are violated or
+    /// half-violated-in-reverse.
+    pub fn live(&self, state: &AutoState) -> bool {
+        self.nf.disjuncts.iter().any(|conj| {
+            conj.iter().all(|b| match *b {
+                Basic::Must(_) => true, // can still arrive
+                Basic::MustNot(e) => !state.seen.contains(&e),
+                Basic::Order(a, bb) => {
+                    let idx = self
+                        .orders
+                        .iter()
+                        .position(|&o| o == (a, bb))
+                        .expect("order registered during construction");
+                    // Violated, or b already seen without a (unique events
+                    // ⇒ b cannot recur): dead.
+                    !state.violated.contains(&idx)
+                        && (!state.seen.contains(&bb) || state.seen.contains(&a))
+                }
+            })
+        })
+    }
+
+    /// Number of *reachable* states over the automaton's own alphabet —
+    /// up to `2^|alphabet|` times order-violation flags.
+    pub fn state_count(&self) -> usize {
+        let mut seen: BTreeSet<AutoState> = BTreeSet::new();
+        let mut queue = VecDeque::from([self.initial()]);
+        seen.insert(self.initial());
+        while let Some(s) = queue.pop_front() {
+            for &e in &self.alphabet {
+                let next = self.step(&s, e);
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen.len()
+    }
+}
+
+/// The product of all constraint automata, materialized explicitly.
+#[derive(Debug)]
+pub struct ProductScheduler {
+    automata: Vec<ConstraintAutomaton>,
+    state: Vec<AutoState>,
+}
+
+impl ProductScheduler {
+    /// Builds the scheduler (one automaton per constraint).
+    pub fn new(constraints: &[Constraint]) -> ProductScheduler {
+        let automata: Vec<_> = constraints.iter().map(ConstraintAutomaton::new).collect();
+        let state = automata.iter().map(ConstraintAutomaton::initial).collect();
+        ProductScheduler { automata, state }
+    }
+
+    /// Admits `event` if no automaton becomes dead; returns whether it was
+    /// admitted.
+    pub fn admit(&mut self, event: Symbol) -> bool {
+        let next: Vec<AutoState> =
+            self.automata.iter().zip(&self.state).map(|(a, s)| a.step(s, event)).collect();
+        if self.automata.iter().zip(&next).all(|(a, s)| a.live(s)) {
+            self.state = next;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Would the run accept if the trace ended now?
+    pub fn accepts(&self) -> bool {
+        self.automata.iter().zip(&self.state).all(|(a, s)| a.accepts(s))
+    }
+
+    /// Validates a complete trace from scratch.
+    pub fn validate(&self, trace: &[Symbol]) -> bool {
+        let mut state: Vec<AutoState> =
+            self.automata.iter().map(ConstraintAutomaton::initial).collect();
+        for &e in trace {
+            state = self.automata.iter().zip(&state).map(|(a, s)| a.step(s, e)).collect();
+        }
+        self.automata.iter().zip(&state).all(|(a, s)| a.accepts(s))
+    }
+
+    /// Size of the reachable product state space over the union alphabet —
+    /// the exponential object of §6 and experiment X2.
+    pub fn product_state_count(&self, cap: usize) -> usize {
+        let alphabet: BTreeSet<Symbol> =
+            self.automata.iter().flat_map(|a| a.alphabet().iter().copied()).collect();
+        let initial: Vec<AutoState> =
+            self.automata.iter().map(ConstraintAutomaton::initial).collect();
+        let mut seen: BTreeSet<Vec<AutoState>> = BTreeSet::from([initial.clone()]);
+        let mut queue = VecDeque::from([initial]);
+        while let Some(s) = queue.pop_front() {
+            if seen.len() >= cap {
+                return seen.len();
+            }
+            for &e in &alphabet {
+                let next: Vec<AutoState> =
+                    self.automata.iter().zip(&s).map(|(a, st)| a.step(st, e)).collect();
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctr::semantics::satisfies;
+    use ctr::symbol::sym;
+
+    fn tr(names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(|n| sym(n)).collect()
+    }
+
+    #[test]
+    fn automaton_accepts_exactly_satisfying_traces() {
+        for c in [
+            Constraint::klein_order("a", "b"),
+            Constraint::order("a", "b"),
+            Constraint::klein_exists("a", "b"),
+            Constraint::must_not("a"),
+            Constraint::serial(vec![sym("a"), sym("b"), sym("c")]),
+        ] {
+            let auto = ConstraintAutomaton::new(&c);
+            for t in [
+                tr(&[]),
+                tr(&["a"]),
+                tr(&["b"]),
+                tr(&["a", "b"]),
+                tr(&["b", "a"]),
+                tr(&["a", "b", "c"]),
+                tr(&["a", "c", "b"]),
+                tr(&["c", "a", "b"]),
+                tr(&["b", "a", "c"]),
+            ] {
+                let mut s = auto.initial();
+                for &e in &t {
+                    s = auto.step(&s, e);
+                }
+                assert_eq!(auto.accepts(&s), satisfies(&t, &c), "constraint {c} trace {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn liveness_detects_doomed_runs() {
+        let auto = ConstraintAutomaton::new(&Constraint::order("a", "b"));
+        let mut s = auto.initial();
+        s = auto.step(&s, sym("b"));
+        assert!(!auto.live(&s), "b before a can never satisfy a<b");
+        let mut ok = auto.initial();
+        ok = auto.step(&ok, sym("a"));
+        assert!(auto.live(&ok));
+    }
+
+    #[test]
+    fn irrelevant_events_self_loop() {
+        let auto = ConstraintAutomaton::new(&Constraint::order("a", "b"));
+        let s = auto.step(&auto.initial(), sym("unrelated"));
+        assert_eq!(s, auto.initial());
+    }
+
+    #[test]
+    fn product_scheduler_blocks_violations() {
+        let mut p = ProductScheduler::new(&[
+            Constraint::order("a", "b"),
+            Constraint::must_not("z"),
+        ]);
+        assert!(!p.admit(sym("b")), "b before a is refused");
+        assert!(p.admit(sym("a")));
+        assert!(p.admit(sym("b")));
+        assert!(!p.admit(sym("z")));
+        assert!(p.accepts());
+    }
+
+    #[test]
+    fn product_validate_agrees_with_singh_validator() {
+        use crate::singh::PassiveValidator;
+        let constraints = [
+            Constraint::klein_order("a", "b"),
+            Constraint::causes_later("b", "c"),
+        ];
+        let p = ProductScheduler::new(&constraints);
+        let v = PassiveValidator::new(&constraints);
+        for t in [
+            tr(&["a", "b", "c"]),
+            tr(&["b", "c", "a"]),
+            tr(&["c", "b", "a"]),
+            tr(&["a", "c"]),
+            tr(&[]),
+        ] {
+            assert_eq!(p.validate(&t), v.validate(&t), "trace {t:?}");
+        }
+    }
+
+    #[test]
+    fn state_count_grows_with_alphabet() {
+        let small = ConstraintAutomaton::new(&Constraint::must("a")).state_count();
+        let large = ConstraintAutomaton::new(&Constraint::serial(vec![
+            sym("a"),
+            sym("b"),
+            sym("c"),
+            sym("d"),
+        ]))
+        .state_count();
+        assert!(small < large, "{small} vs {large}");
+    }
+
+    #[test]
+    fn product_state_space_is_multiplicative() {
+        let one = ProductScheduler::new(&[Constraint::order("a1", "b1")])
+            .product_state_count(1_000_000);
+        let three = ProductScheduler::new(&[
+            Constraint::order("a1", "b1"),
+            Constraint::order("a2", "b2"),
+            Constraint::order("a3", "b3"),
+        ])
+        .product_state_count(1_000_000);
+        // Independent alphabets: the product multiplies.
+        assert_eq!(three, one * one * one);
+    }
+
+    #[test]
+    fn product_state_count_respects_cap() {
+        let p = ProductScheduler::new(&[
+            Constraint::order("a1", "b1"),
+            Constraint::order("a2", "b2"),
+            Constraint::order("a3", "b3"),
+            Constraint::order("a4", "b4"),
+        ]);
+        assert!(p.product_state_count(10) >= 10);
+    }
+}

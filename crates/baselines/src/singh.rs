@@ -1,0 +1,275 @@
+//! The passive event-algebra scheduler, after Singh \[26, 27\].
+//!
+//! The paper contrasts its pro-active, compile-time approach with
+//! *passive* schedulers that "receive sequences of events from an external
+//! source … and validate that these sequences satisfy all global
+//! constraints (possibly after reordering some events)". Validating one
+//! sequence takes at least quadratic time in the number of events, and
+//! consistency/liveness are left to an external (worst-case exponential)
+//! system.
+//!
+//! This module re-implements that baseline: a [`PassiveValidator`] that
+//! checks an event sequence against a normalized constraint set in
+//! `O(n² · |C|)`, and a [`ReorderingScheduler`] that admits events one at
+//! a time, buffering those whose order constraints are not yet enabled —
+//! the run-time counterpart used in experiment E5.
+
+use ctr::constraints::{Basic, Constraint, NormalForm};
+use ctr::symbol::Symbol;
+
+/// A run-time validator for complete event sequences.
+#[derive(Clone, Debug)]
+pub struct PassiveValidator {
+    normalized: Vec<NormalForm>,
+}
+
+impl PassiveValidator {
+    /// Normalizes the constraint set once, up front (the part Singh's
+    /// framework also precomputes).
+    pub fn new(constraints: &[Constraint]) -> PassiveValidator {
+        PassiveValidator { normalized: constraints.iter().map(Constraint::normalize).collect() }
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.normalized.len()
+    }
+
+    /// True when no constraints are installed.
+    pub fn is_empty(&self) -> bool {
+        self.normalized.is_empty()
+    }
+
+    /// Validates a complete event sequence: every constraint must have a
+    /// satisfied disjunct. Deliberately the textbook algorithm — each
+    /// order basic scans the trace for its two events, so a validation is
+    /// `Θ(n · k)` per constraint with `k` basics, i.e. quadratic-ish in
+    /// the trace for constraint sets that grow with the workflow.
+    pub fn validate(&self, trace: &[Symbol]) -> bool {
+        self.normalized.iter().all(|nf| {
+            nf.disjuncts.iter().any(|conj| {
+                conj.iter().all(|b| match *b {
+                    Basic::Must(e) => trace.contains(&e),
+                    Basic::MustNot(e) => !trace.contains(&e),
+                    Basic::Order(a, bb) => {
+                        let pa = trace.iter().position(|&x| x == a);
+                        let pb = trace.iter().position(|&x| x == bb);
+                        matches!((pa, pb), (Some(pa), Some(pb)) if pa < pb)
+                    }
+                })
+            })
+        })
+    }
+}
+
+/// Outcome of submitting one event to the [`ReorderingScheduler`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The event was emitted immediately (possibly followed by previously
+    /// buffered events it unblocked).
+    Emitted(Vec<Symbol>),
+    /// The event was buffered awaiting its predecessors.
+    Buffered,
+    /// The event can never be admitted (it violates a `MustNot` or a
+    /// committed order).
+    Rejected,
+}
+
+/// A passive scheduler that reorders an incoming event stream so the
+/// emitted sequence satisfies every **order** constraint of the set:
+/// an event with an unsatisfied `before(a, e)` (where `a` is still
+/// outstanding) is buffered until `a` arrives. Existence constraints are
+/// checked at [`ReorderingScheduler::finish`].
+///
+/// Every admission rescans the buffer, so processing an `n`-event stream
+/// is `O(n²)` — the run-time cost profile the paper attributes to passive
+/// scheduling.
+#[derive(Clone, Debug)]
+pub struct ReorderingScheduler {
+    /// `(a, b)` pairs: `a` must precede `b` (from order basics of
+    /// single-disjunct constraints — the committed orders).
+    orders: Vec<(Symbol, Symbol)>,
+    /// Events that must never occur.
+    forbidden: Vec<Symbol>,
+    validator: PassiveValidator,
+    emitted: Vec<Symbol>,
+    buffer: Vec<Symbol>,
+}
+
+impl ReorderingScheduler {
+    /// Builds the scheduler from a constraint set. Order basics from
+    /// unconditional (single-disjunct) constraints become hard
+    /// reorderings; everything else is validated at the end.
+    pub fn new(constraints: &[Constraint]) -> ReorderingScheduler {
+        let mut orders = Vec::new();
+        let mut forbidden = Vec::new();
+        for c in constraints {
+            let nf = c.normalize();
+            if let [conj] = nf.disjuncts.as_slice() {
+                for b in conj {
+                    match *b {
+                        Basic::Order(a, bb) => orders.push((a, bb)),
+                        Basic::MustNot(e) => forbidden.push(e),
+                        Basic::Must(_) => {}
+                    }
+                }
+            }
+        }
+        ReorderingScheduler {
+            orders,
+            forbidden,
+            validator: PassiveValidator::new(constraints),
+            emitted: Vec::new(),
+            buffer: Vec::new(),
+        }
+    }
+
+    /// The sequence emitted so far.
+    pub fn emitted(&self) -> &[Symbol] {
+        &self.emitted
+    }
+
+    /// Events currently buffered.
+    pub fn buffered(&self) -> &[Symbol] {
+        &self.buffer
+    }
+
+    /// True if `event` still awaits an unemitted predecessor.
+    fn blocked(&self, event: Symbol) -> bool {
+        self.orders
+            .iter()
+            .any(|&(a, b)| b == event && !self.emitted.contains(&a))
+    }
+
+    /// Submits the next event from the external source.
+    pub fn admit(&mut self, event: Symbol) -> Admission {
+        if self.forbidden.contains(&event) {
+            return Admission::Rejected;
+        }
+        if self.blocked(event) {
+            self.buffer.push(event);
+            return Admission::Buffered;
+        }
+        self.emitted.push(event);
+        let mut released = Vec::new();
+        // Drain newly unblocked buffered events, rescanning after each
+        // release (the quadratic inner loop).
+        while let Some(idx) = self.buffer.iter().position(|&e| !self.blocked(e)) {
+            let e = self.buffer.remove(idx);
+            self.emitted.push(e);
+            released.push(e);
+        }
+        Admission::Emitted(released)
+    }
+
+    /// Ends the stream: fails if events remain buffered (their
+    /// predecessors never arrived) or the emitted sequence violates any
+    /// constraint.
+    pub fn finish(self) -> Result<Vec<Symbol>, Vec<Symbol>> {
+        if !self.buffer.is_empty() {
+            return Err(self.buffer);
+        }
+        if self.validator.validate(&self.emitted) {
+            Ok(self.emitted)
+        } else {
+            Err(Vec::new())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctr::symbol::sym;
+
+    fn tr(names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(|n| sym(n)).collect()
+    }
+
+    #[test]
+    fn validator_accepts_satisfying_traces() {
+        let v = PassiveValidator::new(&[
+            Constraint::order("a", "b"),
+            Constraint::klein_exists("b", "c"),
+        ]);
+        assert!(v.validate(&tr(&["a", "c", "b"])));
+        assert!(!v.validate(&tr(&["b", "a", "c"])), "order violated");
+        assert!(!v.validate(&tr(&["a", "b"])), "existence violated");
+    }
+
+    #[test]
+    fn validator_matches_reference_semantics() {
+        use ctr::semantics::satisfies;
+        let constraints = [
+            Constraint::klein_order("a", "b"),
+            Constraint::causes_later("b", "c"),
+            Constraint::must_not("z"),
+        ];
+        let v = PassiveValidator::new(&constraints);
+        let universe = ["a", "b", "c", "z"];
+        // All traces of length ≤ 3 over the universe (without repeats).
+        for i in 0..universe.len() {
+            for j in 0..universe.len() {
+                for k in 0..universe.len() {
+                    if i == j || j == k || i == k {
+                        continue;
+                    }
+                    let t = tr(&[universe[i], universe[j], universe[k]]);
+                    assert_eq!(
+                        v.validate(&t),
+                        constraints.iter().all(|c| satisfies(&t, c)),
+                        "trace {t:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_validator_accepts_everything() {
+        let v = PassiveValidator::new(&[]);
+        assert!(v.is_empty());
+        assert!(v.validate(&tr(&["x", "y"])));
+    }
+
+    #[test]
+    fn scheduler_reorders_out_of_order_events() {
+        let mut s = ReorderingScheduler::new(&[Constraint::order("a", "b")]);
+        assert_eq!(s.admit(sym("b")), Admission::Buffered);
+        assert_eq!(s.admit(sym("a")), Admission::Emitted(vec![sym("b")]));
+        assert_eq!(s.finish().unwrap(), tr(&["a", "b"]));
+    }
+
+    #[test]
+    fn scheduler_rejects_forbidden_events() {
+        let mut s = ReorderingScheduler::new(&[Constraint::must_not("abort")]);
+        assert_eq!(s.admit(sym("abort")), Admission::Rejected);
+        assert_eq!(s.admit(sym("commit")), Admission::Emitted(vec![]));
+    }
+
+    #[test]
+    fn chained_releases_cascade() {
+        let mut s = ReorderingScheduler::new(&[
+            Constraint::order("a", "b"),
+            Constraint::order("b", "c"),
+        ]);
+        assert_eq!(s.admit(sym("c")), Admission::Buffered);
+        assert_eq!(s.admit(sym("b")), Admission::Buffered);
+        assert_eq!(s.admit(sym("a")), Admission::Emitted(vec![sym("b"), sym("c")]));
+    }
+
+    #[test]
+    fn finish_fails_on_stranded_buffer() {
+        let mut s = ReorderingScheduler::new(&[Constraint::order("a", "b")]);
+        s.admit(sym("b"));
+        let stranded = s.finish().unwrap_err();
+        assert_eq!(stranded, tr(&["b"]));
+    }
+
+    #[test]
+    fn finish_checks_existence_constraints() {
+        let mut s = ReorderingScheduler::new(&[Constraint::both("a", "b")]);
+        s.admit(sym("a"));
+        assert!(s.finish().is_err(), "b never arrived");
+    }
+}

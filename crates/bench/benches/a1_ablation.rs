@@ -1,0 +1,44 @@
+//! A1 — ablation of the compiler's design choices (DESIGN.md §3):
+//! eager ¬path pruning in `Apply(∇α, ·)` and ∨-idempotence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctr::apply::apply_must;
+use ctr::gen;
+use ctr::sym;
+use ctr_bench::ablation::{apply_must_naive, apply_no_dedup};
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    // Eager vs naive positive-primitive compilation.
+    let mut group = c.benchmark_group("a1_pruning");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for layers in [16usize, 32, 64] {
+        let goal = gen::layered_workflow(layers, 2);
+        let target = sym(&format!("l{}_0", layers - 1));
+        group.bench_with_input(BenchmarkId::new("eager", goal.size()), &goal, |b, g| {
+            b.iter(|| apply_must(target, g))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", goal.size()), &goal, |b, g| {
+            b.iter(|| apply_must_naive(target, g))
+        });
+    }
+    group.finish();
+
+    // With vs without ∨-idempotence on the SAT family.
+    let mut group = c.benchmark_group("a1_idempotence");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for vars in [4usize, 5, 6] {
+        let inst = gen::random_3sat(7, vars, (vars as f64 * 4.3) as usize);
+        let (goal, constraints) = gen::sat_to_workflow(&inst);
+        group.bench_with_input(BenchmarkId::new("dedup", vars), &vars, |b, _| {
+            b.iter(|| ctr::apply::apply(&constraints, &goal))
+        });
+        group.bench_with_input(BenchmarkId::new("no_dedup", vars), &vars, |b, _| {
+            b.iter(|| apply_no_dedup(&constraints, &goal))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E1 — Theorem 5.11: `Apply` is linear in `|G|` and exponential (base d)
+//! only in the constraint count. Times the transformation across both
+//! axes; the companion size tables come from the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctr::analysis::compile;
+use ctr::gen;
+use std::time::Duration;
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_apply");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    // Axis 1: graph size, constraints fixed (expected: linear).
+    let constraints = gen::klein_chain(3);
+    for layers in [8usize, 16, 32, 64] {
+        let goal = gen::layered_workflow(layers, 2);
+        group.bench_with_input(
+            BenchmarkId::new("vs_graph_size", goal.size()),
+            &goal,
+            |b, goal| b.iter(|| compile(goal, &constraints).unwrap()),
+        );
+    }
+
+    // Axis 2: constraint count at d = 3 (expected: ~3× per constraint).
+    let goal = gen::layered_workflow(8, 2);
+    for n in [1usize, 2, 3, 4, 5] {
+        let constraints = gen::klein_chain(n);
+        group.bench_with_input(BenchmarkId::new("vs_klein_count", n), &n, |b, _| {
+            b.iter(|| compile(&goal, &constraints).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E2 — Theorem 5.11: `Excise` time is proportional to `|Apply(C, G)|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ctr::apply::apply;
+use ctr::excise::excise;
+use ctr::gen;
+use std::time::Duration;
+
+fn bench_excise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_excise");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (layers, n) in [(8usize, 2usize), (16, 3), (32, 4)] {
+        let goal = gen::layered_workflow(layers, 2);
+        let applied = apply(&gen::klein_chain(n), &goal);
+        group.throughput(Throughput::Elements(applied.size() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(applied.size()),
+            &applied,
+            |b, applied| b.iter(|| excise(applied)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_excise);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E3 — corollary of Theorem 5.11: with serial (d = 1) constraints only,
+//! compilation stays linear in `|G|` for any constraint count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctr::analysis::compile;
+use ctr::gen;
+use std::time::Duration;
+
+fn bench_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_serial_only");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 8, 16, 32] {
+        let goal = gen::pipeline_workflow(2 * n + 4);
+        let constraints = gen::order_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| compile(&goal, &constraints).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serial);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E4 — Proposition 4.1: consistency is NP-complete already for existence
+//! constraints (3-SAT encoding), but polynomial for order constraints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctr::analysis::compile;
+use ctr::gen;
+use std::time::Duration;
+
+fn bench_np(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_sat_family");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for vars in [4usize, 6, 8, 10] {
+        let inst = gen::random_3sat(7, vars, (vars as f64 * 4.3) as usize);
+        let (goal, constraints) = gen::sat_to_workflow(&inst);
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, _| {
+            b.iter(|| compile(&goal, &constraints).unwrap().is_consistent())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e4_order_family");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [8usize, 16, 32, 64] {
+        let goal = gen::pipeline_workflow(2 * n + 2);
+        let constraints = gen::order_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| compile(&goal, &constraints).unwrap().is_consistent())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_np);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E5 — §4: after compilation, constructing a schedule is linear in the
+//! original graph per path, vs. the (at least) quadratic per-sequence
+//! validation of passive schedulers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctr::analysis::compile;
+use ctr::constraints::Constraint;
+use ctr::gen;
+use ctr::sym;
+use ctr_baselines::PassiveValidator;
+use ctr_engine::scheduler::{Program, Scheduler};
+use std::time::Duration;
+
+fn stage_orders(n: usize) -> Vec<Constraint> {
+    (0..n)
+        .map(|i| Constraint::order(sym(&format!("l{i}_0")), sym(&format!("l{}_0", i + 1))))
+        .collect()
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut pro = c.benchmark_group("e5_proactive_schedule");
+    pro.sample_size(20).measurement_time(Duration::from_secs(2));
+    for layers in [16usize, 32, 64, 128] {
+        let goal = gen::layered_workflow(layers, 2);
+        let compiled = compile(&goal, &stage_orders(layers - 1)).unwrap();
+        let program = Program::compile(&compiled.goal).unwrap();
+        pro.bench_with_input(BenchmarkId::from_parameter(layers * 2), &program, |b, p| {
+            b.iter(|| Scheduler::new(p).run_first().unwrap())
+        });
+    }
+    pro.finish();
+
+    let mut passive = c.benchmark_group("e5_passive_validate");
+    passive.sample_size(30).measurement_time(Duration::from_secs(2));
+    for layers in [16usize, 32, 64, 128] {
+        let goal = gen::layered_workflow(layers, 2);
+        let constraints = stage_orders(layers - 1);
+        let compiled = compile(&goal, &constraints).unwrap();
+        let program = Program::compile(&compiled.goal).unwrap();
+        let trace: Vec<ctr::Symbol> = Scheduler::new(&program)
+            .run_first()
+            .unwrap()
+            .iter()
+            .filter_map(ctr::term::Atom::as_event)
+            .collect();
+        let validator = PassiveValidator::new(&constraints);
+        passive.bench_with_input(
+            BenchmarkId::from_parameter(trace.len()),
+            &trace,
+            |b, trace| b.iter(|| validator.validate(trace)),
+        );
+    }
+    passive.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

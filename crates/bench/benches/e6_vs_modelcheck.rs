@@ -1,0 +1,36 @@
+//! E6 — §6: compilation-based verification is linear in `|G|`; explicit
+//! model checking of the marking graph explodes with concurrent width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctr::analysis::compile;
+use ctr::constraints::Constraint;
+use ctr::gen;
+use ctr_baselines::explore;
+use std::time::Duration;
+
+fn bench_vs_mc(c: &mut Criterion) {
+    let property = Constraint::klein_order("t0", "t1");
+
+    let mut apply_group = c.benchmark_group("e6_apply_verification");
+    apply_group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for w in [4usize, 8, 12] {
+        let goal = gen::parallel_workflow(w);
+        apply_group.bench_with_input(BenchmarkId::from_parameter(w), &goal, |b, goal| {
+            b.iter(|| compile(goal, std::slice::from_ref(&property)).unwrap())
+        });
+    }
+    apply_group.finish();
+
+    let mut mc_group = c.benchmark_group("e6_explicit_modelcheck");
+    mc_group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for w in [4usize, 8, 12] {
+        let goal = gen::parallel_workflow(w);
+        mc_group.bench_with_input(BenchmarkId::from_parameter(w), &goal, |b, goal| {
+            b.iter(|| explore(goal, 10_000_000).unwrap())
+        });
+    }
+    mc_group.finish();
+}
+
+criterion_group!(benches, bench_vs_mc);
+criterion_main!(benches);

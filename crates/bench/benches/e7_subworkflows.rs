@@ -1,0 +1,54 @@
+//! E7 — §7: modular compilation keeps the exponent at the per-sub-workflow
+//! constraint count `M` rather than the global count `N`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctr::constraints::Constraint;
+use ctr::goal::{conc, or, seq, Goal};
+use ctr::sym;
+use ctr_workflow::{compile_modular, WorkflowSpec};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn build(k: usize) -> (WorkflowSpec, BTreeMap<ctr::Symbol, Vec<Constraint>>) {
+    let mut spec =
+        WorkflowSpec::new("e7", seq((0..k).map(|i| Goal::atom(format!("sub{i}"))).collect()));
+    let mut local = BTreeMap::new();
+    for i in 0..k {
+        spec.subworkflows
+            .define(
+                format!("sub{i}").as_str(),
+                conc(vec![
+                    or(vec![Goal::atom(format!("a{i}")), Goal::atom(format!("x{i}"))]),
+                    Goal::atom(format!("b{i}")),
+                ]),
+            )
+            .unwrap();
+        local.insert(
+            sym(&format!("sub{i}")),
+            vec![Constraint::klein_order(format!("a{i}").as_str(), format!("b{i}").as_str())],
+        );
+    }
+    (spec, local)
+}
+
+fn bench_modular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_modular_vs_flat");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [3usize, 4, 5] {
+        let (spec, local) = build(k);
+        group.bench_with_input(BenchmarkId::new("modular", k), &spec, |b, spec| {
+            b.iter(|| compile_modular(spec, &local).unwrap())
+        });
+        let mut flat = spec.clone();
+        flat.constraints = (0..k)
+            .map(|i| Constraint::klein_order(format!("a{i}").as_str(), format!("b{i}").as_str()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("flat", k), &flat, |b, flat| {
+            b.iter(|| flat.compile().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modular);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E8 — §1/[7]: triggers compile into the control flow graph; the cost of
+//! the rewriting is linear in the graph per trigger.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctr::apply::ChannelAlloc;
+use ctr::gen;
+use ctr::goal::Goal;
+use ctr::sym;
+use ctr_workflow::{compile_triggers, Trigger, TriggerSemantics};
+use std::time::Duration;
+
+fn bench_triggers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_trigger_compilation");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for t in [4usize, 16, 64] {
+        let goal = gen::pipeline_workflow(t + 4);
+        for semantics in [TriggerSemantics::Immediate, TriggerSemantics::Eventual] {
+            let triggers: Vec<Trigger> = (0..t)
+                .map(|i| Trigger {
+                    on: sym(&format!("t{i}")),
+                    condition: None,
+                    action: Goal::atom(format!("audit{i}")),
+                    semantics,
+                })
+                .collect();
+            let label = match semantics {
+                TriggerSemantics::Immediate => "immediate",
+                TriggerSemantics::Eventual => "eventual",
+            };
+            group.bench_with_input(BenchmarkId::new(label, t), &triggers, |b, triggers| {
+                b.iter(|| compile_triggers(&goal, triggers, &mut ChannelAlloc::new()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triggers);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! X2 — §6 related-work claim: the automata-product approach to
+//! scheduling is exponential in the constraint set; building and running
+//! the product is the dominating cost the compiled approach avoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctr::constraints::Constraint;
+use ctr::sym;
+use ctr_baselines::ProductScheduler;
+use std::time::Duration;
+
+fn bench_automata(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x2_product_construction");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [2usize, 4, 6] {
+        let constraints: Vec<Constraint> = (0..n)
+            .map(|i| Constraint::order(sym(&format!("p{i}")), sym(&format!("q{i}"))))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &constraints, |b, cs| {
+            b.iter(|| ProductScheduler::new(cs).product_state_count(5_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_automata);
+criterion_main!(benches);

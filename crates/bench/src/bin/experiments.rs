@@ -1,0 +1,431 @@
+//! Regenerates every experiment table of EXPERIMENTS.md (one section per
+//! experiment in DESIGN.md's index) with deterministic workloads.
+//!
+//! Run with: `cargo run --release -p ctr-bench --bin experiments`
+
+use ctr::analysis::compile;
+use ctr::apply::apply;
+use ctr::constraints::Constraint;
+use ctr::excise::excise;
+use ctr::gen;
+use ctr::goal::Goal;
+use ctr::sym;
+use ctr_baselines::{explore, PassiveValidator, ProductScheduler};
+use ctr_bench::{fmt_ns, log_growth_factor, power_law_exponent, time_mean, Table};
+use ctr_engine::scheduler::{Program, Scheduler};
+use ctr_workflow::{compile_modular, compile_triggers, Trigger, WorkflowSpec};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    e1_apply_size();
+    e2_excise_linear();
+    e3_serial_linear();
+    e4_np_hardness();
+    e5_scheduling();
+    e6_vs_modelcheck();
+    e7_subworkflows();
+    e8_triggers();
+    x2_automata();
+    a1_ablation();
+    eprintln!("\n(total {:.1?})", t0.elapsed());
+}
+
+/// Order-constraint chain over stage leaders of a layered workflow (d=1).
+fn stage_orders(n: usize) -> Vec<Constraint> {
+    (0..n)
+        .map(|i| Constraint::order(sym(&format!("l{i}_0")), sym(&format!("l{}_0", i + 1))))
+        .collect()
+}
+
+/// `causes_later` chain (d = 2 in normal form).
+fn causes_chain(n: usize) -> Vec<Constraint> {
+    (0..n)
+        .map(|i| Constraint::causes_later(sym(&format!("l{i}_0")), sym(&format!("l{}_0", i + 1))))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+
+fn e1_apply_size() {
+    println!("## E1 — Theorem 5.11: |Apply(C, G)| = O(d^N · |G|)\n");
+
+    // Growth in N for each d.
+    let goal = gen::layered_workflow(8, 2);
+    println!("Workload: layered workflow, |G| = {} nodes.\n", goal.size());
+    let mut table = Table::new(&["N", "d=1 size", "d=2 size", "d=3 size"]);
+    let mut pts_by_d: [Vec<(f64, f64)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for n in 1..=6usize {
+        let sizes: Vec<usize> = [stage_orders(n), causes_chain(n), gen::klein_chain(n)]
+            .iter()
+            .map(|cs| compile(&goal, cs).unwrap().applied_size)
+            .collect();
+        for (d, &s) in sizes.iter().enumerate() {
+            pts_by_d[d].push((n as f64, s as f64));
+        }
+        table.row(vec![
+            n.to_string(),
+            sizes[0].to_string(),
+            sizes[1].to_string(),
+            sizes[2].to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nFitted growth factor per added constraint: d=1 → {:.2}, d=2 → {:.2}, d=3 → {:.2}",
+        log_growth_factor(&pts_by_d[0]),
+        log_growth_factor(&pts_by_d[1]),
+        log_growth_factor(&pts_by_d[2]),
+    );
+
+    // Linearity in |G| at fixed constraints.
+    let constraints = gen::klein_chain(3);
+    let mut table = Table::new(&["|G|", "|Apply| (N=3, d=3)", "ratio"]);
+    let mut pts = Vec::new();
+    for layers in [4usize, 8, 16, 32, 64] {
+        let goal = gen::layered_workflow(layers, 2);
+        let size = compile(&goal, &constraints).unwrap().applied_size;
+        pts.push((goal.size() as f64, size as f64));
+        table.row(vec![
+            goal.size().to_string(),
+            size.to_string(),
+            format!("{:.1}", size as f64 / goal.size() as f64),
+        ]);
+    }
+    print!("\n{}", table.render());
+    println!(
+        "\nPower-law exponent of |Apply| vs |G|: {:.2} (paper: 1.0 — linear in the graph)\n",
+        power_law_exponent(&pts)
+    );
+}
+
+fn e2_excise_linear() {
+    println!("## E2 — Theorem 5.11: Excise runs in time linear in |Apply(C, G)|\n");
+    let mut table = Table::new(&["|Apply|", "Excise time"]);
+    let mut pts = Vec::new();
+    for (layers, n) in [(4usize, 2usize), (8, 2), (8, 3), (16, 3), (16, 4), (32, 4), (32, 5)] {
+        let goal = gen::layered_workflow(layers, 2);
+        let applied = apply(&gen::klein_chain(n), &goal);
+        let size = applied.size();
+        let t = time_mean(5, || excise(&applied));
+        pts.push((size as f64, t.as_nanos() as f64));
+        table.row(vec![size.to_string(), fmt_ns(t)]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nPower-law exponent of Excise time vs |Apply|: {:.2} (paper: 1.0 — proportional)\n",
+        power_law_exponent(&pts)
+    );
+}
+
+fn e3_serial_linear() {
+    println!("## E3 — Corollary of 5.11: serial constraints only (d = 1) ⇒ |Apply| ∝ |G|\n");
+    let mut table = Table::new(&["N (order constraints)", "|G|", "|Apply|", "overhead/constraint"]);
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let goal = gen::pipeline_workflow(2 * n + 4);
+        let constraints = gen::order_chain(n);
+        let compiled = compile(&goal, &constraints).unwrap();
+        let overhead = compiled.applied_size.saturating_sub(goal.size());
+        table.row(vec![
+            n.to_string(),
+            goal.size().to_string(),
+            compiled.applied_size.to_string(),
+            format!("{:.1}", overhead as f64 / n as f64),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nOverhead is a constant ~2 nodes (send+receive) per order constraint: no blow-up.\n");
+}
+
+fn e4_np_hardness() {
+    println!("## E4 — Proposition 4.1: NP-hard with existence constraints, polynomial for orders\n");
+
+    println!("3-SAT encoded as workflow consistency (clause ratio 4.3, mean of 3 seeds):\n");
+    let mut table = Table::new(&["vars", "clauses", "consistency time"]);
+    let mut pts = Vec::new();
+    for vars in [4usize, 6, 8, 10, 12] {
+        let clauses = (vars as f64 * 4.3) as usize;
+        let mut total = std::time::Duration::ZERO;
+        for seed in 0..3u64 {
+            let inst = gen::random_3sat(seed, vars, clauses);
+            let (goal, constraints) = gen::sat_to_workflow(&inst);
+            total += time_mean(1, || compile(&goal, &constraints).unwrap().is_consistent());
+        }
+        let mean = total / 3;
+        pts.push((vars as f64, mean.as_nanos() as f64));
+        table.row(vec![vars.to_string(), clauses.to_string(), fmt_ns(mean)]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nGrowth factor per added variable: {:.2}× (exponential family)\n",
+        log_growth_factor(&pts)
+    );
+
+    println!("Order constraints only (the polynomial fragment):\n");
+    let mut table = Table::new(&["N (order constraints)", "|G|", "consistency time"]);
+    let mut pts = Vec::new();
+    for n in [4usize, 8, 16, 32, 64] {
+        let goal = gen::pipeline_workflow(2 * n + 2);
+        let constraints = gen::order_chain(n);
+        let t = time_mean(5, || compile(&goal, &constraints).unwrap().is_consistent());
+        pts.push((n as f64, t.as_nanos() as f64));
+        table.row(vec![n.to_string(), goal.size().to_string(), fmt_ns(t)]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nPower-law exponent vs N: {:.2} (low-degree polynomial, no blow-up)\n",
+        power_law_exponent(&pts)
+    );
+}
+
+fn e5_scheduling() {
+    println!("## E5 — §4: compiled scheduling is linear per path; passive validation is quadratic\n");
+
+    let mut table = Table::new(&[
+        "events/path",
+        "pro-active schedule",
+        "passive validate (Singh)",
+        "passive validate (Attie product)",
+    ]);
+    let mut active_pts = Vec::new();
+    let mut singh_pts = Vec::new();
+    let mut attie_pts = Vec::new();
+    for layers in [8usize, 16, 32, 64, 128] {
+        // Constraint count grows with the workflow, as it does in practice.
+        let goal = gen::layered_workflow(layers, 2);
+        let constraints = stage_orders(layers - 1);
+        let compiled = compile(&goal, &constraints).unwrap();
+        let program = Program::compile(&compiled.goal).unwrap();
+
+        let t_active = time_mean(5, || Scheduler::new(&program).run_first().unwrap());
+        let trace: Vec<ctr::Symbol> = Scheduler::new(&program)
+            .run_first()
+            .unwrap()
+            .iter()
+            .filter_map(ctr::term::Atom::as_event)
+            .collect();
+
+        let validator = PassiveValidator::new(&constraints);
+        let t_singh = time_mean(20, || validator.validate(&trace));
+        let product = ProductScheduler::new(&constraints);
+        let t_attie = time_mean(20, || product.validate(&trace));
+
+        let n = trace.len() as f64;
+        active_pts.push((n, t_active.as_nanos() as f64));
+        singh_pts.push((n, t_singh.as_nanos() as f64));
+        attie_pts.push((n, t_attie.as_nanos() as f64));
+        table.row(vec![
+            trace.len().to_string(),
+            fmt_ns(t_active),
+            fmt_ns(t_singh),
+            fmt_ns(t_attie),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nScaling exponents vs path length: pro-active {:.2} (paper: linear), \
+         Singh {:.2} (paper: ≥ quadratic), Attie {:.2}\n",
+        power_law_exponent(&active_pts),
+        power_law_exponent(&singh_pts),
+        power_law_exponent(&attie_pts),
+    );
+}
+
+fn e6_vs_modelcheck() {
+    println!("## E6 — §6: Apply is linear in |G|; model checking explodes with concurrency\n");
+    let property = Constraint::klein_order("t0", "t1");
+    let mut table = Table::new(&["width w", "|G|", "Apply time", "|Apply|", "MC states", "MC time"]);
+    let mut apply_pts = Vec::new();
+    let mut mc_pts = Vec::new();
+    for w in [4usize, 6, 8, 10, 12, 14] {
+        let goal = gen::parallel_workflow(w);
+        let t_apply = time_mean(10, || compile(&goal, std::slice::from_ref(&property)).unwrap());
+        let size = compile(&goal, std::slice::from_ref(&property)).unwrap().applied_size;
+        let t0 = Instant::now();
+        let states = explore(&goal, 10_000_000).unwrap().states;
+        let t_mc = t0.elapsed();
+        apply_pts.push((w as f64, t_apply.as_nanos() as f64));
+        mc_pts.push((w as f64, states as f64));
+        table.row(vec![
+            w.to_string(),
+            goal.size().to_string(),
+            fmt_ns(t_apply),
+            size.to_string(),
+            states.to_string(),
+            fmt_ns(t_mc),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nMC state growth per unit width: {:.2}× (state explosion); Apply growth: {:.2}×\n",
+        log_growth_factor(&mc_pts),
+        log_growth_factor(&apply_pts),
+    );
+}
+
+fn e7_subworkflows() {
+    println!("## E7 — §7: modular constraints keep the exponent at M (local), not N (global)\n");
+    let mut table =
+        Table::new(&["K sub-workflows", "N = K (d=3)", "flat |Apply|", "modular |Apply|", "ratio"]);
+    for k in [2usize, 3, 4, 5, 6] {
+        let mut spec = WorkflowSpec::new(
+            "e7",
+            ctr::goal::seq((0..k).map(|i| Goal::atom(format!("sub{i}"))).collect()),
+        );
+        let mut local: BTreeMap<ctr::Symbol, Vec<Constraint>> = BTreeMap::new();
+        for i in 0..k {
+            spec.subworkflows
+                .define(
+                    format!("sub{i}").as_str(),
+                    ctr::goal::conc(vec![
+                        ctr::goal::or(vec![
+                            Goal::atom(format!("a{i}")),
+                            Goal::atom(format!("x{i}")),
+                        ]),
+                        Goal::atom(format!("b{i}")),
+                    ]),
+                )
+                .unwrap();
+            local.insert(
+                sym(&format!("sub{i}")),
+                vec![Constraint::klein_order(
+                    format!("a{i}").as_str(),
+                    format!("b{i}").as_str(),
+                )],
+            );
+        }
+        let modular = compile_modular(&spec, &local).unwrap();
+        let mut flat = spec.clone();
+        flat.constraints = (0..k)
+            .map(|i| {
+                Constraint::klein_order(format!("a{i}").as_str(), format!("b{i}").as_str())
+            })
+            .collect();
+        let flat_compiled = flat.compile().unwrap();
+        table.row(vec![
+            k.to_string(),
+            k.to_string(),
+            flat_compiled.applied_size.to_string(),
+            modular.applied_size.to_string(),
+            format!("{:.1}×", flat_compiled.applied_size as f64 / modular.applied_size as f64),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nFlat grows ~3^K; modular grows linearly in K (M = 1 constraint per sub-workflow).\n");
+}
+
+fn e8_triggers() {
+    println!("## E8 — §1/[7]: triggers compile into the control flow graph at linear cost\n");
+    let mut table = Table::new(&["triggers", "|G| before", "|G| after", "compile time"]);
+    let mut pts = Vec::new();
+    for t in [1usize, 2, 4, 8, 16, 32, 64] {
+        let goal = gen::pipeline_workflow(t + 4);
+        let triggers: Vec<Trigger> = (0..t)
+            .map(|i| {
+                Trigger::immediate(
+                    sym(&format!("t{i}")),
+                    Goal::atom(format!("audit{i}")),
+                )
+            })
+            .collect();
+        let mut channels = ctr::apply::ChannelAlloc::new();
+        let time = time_mean(10, || {
+            compile_triggers(&goal, &triggers, &mut channels)
+        });
+        let after = compile_triggers(&goal, &triggers, &mut ctr::apply::ChannelAlloc::new());
+        pts.push((t as f64, time.as_nanos() as f64));
+        table.row(vec![
+            t.to_string(),
+            goal.size().to_string(),
+            after.size().to_string(),
+            fmt_ns(time),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nPower-law exponent of compile time vs trigger count: {:.2} (≈ linear–quadratic \
+         in the trigger list, each pass linear in |G|)\n",
+        power_law_exponent(&pts)
+    );
+}
+
+fn a1_ablation() {
+    println!("## A1 — Ablation: eager ¬path pruning and ∨-idempotence (DESIGN.md §3)\n");
+
+    println!("Eager vs naive `Apply(∇α, ·)` (same output, different intermediate work):\n");
+    let mut table = Table::new(&["|G|", "eager", "naive (post-hoc simplify)"]);
+    let mut eager_pts = Vec::new();
+    let mut naive_pts = Vec::new();
+    for layers in [16usize, 32, 64, 128] {
+        let goal = gen::layered_workflow(layers, 2);
+        let target = sym(&format!("l{}_0", layers - 1));
+        let t_eager = time_mean(20, || ctr::apply::apply_must(target, &goal));
+        let t_naive = time_mean(5, || ctr_bench::ablation::apply_must_naive(target, &goal));
+        eager_pts.push((goal.size() as f64, t_eager.as_nanos() as f64));
+        naive_pts.push((goal.size() as f64, t_naive.as_nanos() as f64));
+        table.row(vec![goal.size().to_string(), fmt_ns(t_eager), fmt_ns(t_naive)]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nScaling exponents: eager {:.2} (linear, as Theorem 5.11 needs), naive {:.2} \
+         (the Θ(n²) intermediate term)\n",
+        power_law_exponent(&eager_pts),
+        power_law_exponent(&naive_pts),
+    );
+
+    println!("∨-idempotence on the 3-SAT family (existence constraints):\n");
+    let mut table = Table::new(&["vars", "|Apply| dedup", "|Apply| no-dedup", "ratio"]);
+    for vars in [3usize, 4, 5, 6] {
+        let inst = gen::random_3sat(7, vars, (vars as f64 * 4.3) as usize);
+        let (goal, constraints) = gen::sat_to_workflow(&inst);
+        let with = apply(&constraints, &goal).size();
+        let without = ctr_bench::ablation::apply_no_dedup(&constraints, &goal).size();
+        table.row(vec![
+            vars.to_string(),
+            with.to_string(),
+            without.to_string(),
+            format!("{:.0}×", without as f64 / with as f64),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nWithout idempotence the term repeats identical pruned variants; with it, the \
+         term is bounded by the distinct partial assignments. Both respect the d^N \
+         worst case — idempotence only removes literal duplicates.\n"
+    );
+}
+
+fn x2_automata() {
+    println!("## X2 — §6: the automata-product baseline is exponential in the constraint count\n");
+    let mut table = Table::new(&["N constraints", "product states", "vs compiled |Apply|"]);
+    let mut pts = Vec::new();
+    for n in [1usize, 2, 3, 4, 5, 6] {
+        let constraints: Vec<Constraint> = (0..n)
+            .map(|i| Constraint::order(sym(&format!("p{i}")), sym(&format!("q{i}"))))
+            .collect();
+        let product = ProductScheduler::new(&constraints);
+        let states = product.product_state_count(5_000_000);
+        // The same dependencies compiled into a matching workflow stay
+        // linear (d = 1).
+        let goal = ctr::goal::conc(
+            (0..n)
+                .flat_map(|i| {
+                    [Goal::atom(format!("p{i}")), Goal::atom(format!("q{i}"))]
+                })
+                .collect(),
+        );
+        let compiled = compile(&goal, &constraints).unwrap();
+        pts.push((n as f64, states as f64));
+        table.row(vec![
+            n.to_string(),
+            states.to_string(),
+            compiled.applied_size.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nProduct growth per constraint: {:.2}× (exponential); compiled form stays linear.\n",
+        log_growth_factor(&pts)
+    );
+}

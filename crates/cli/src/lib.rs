@@ -1,0 +1,474 @@
+#![warn(missing_docs)]
+
+//! # ctr-cli — command-line workflow analysis
+//!
+//! A thin, dependency-free driver over the library: parse a `.ctr`
+//! specification and run the paper's decision procedures on it.
+//!
+//! ```text
+//! ctr check <file>                     consistency (Thm 5.8) + knot report
+//! ctr compile <file>                   print the compiled, executable goal
+//! ctr verify <file> -p '<constraint>'  property verification (Thm 5.9)
+//! ctr minimize <file>                  drop redundant constraints (Thm 5.10)
+//! ctr schedule <file>                  print one constraint-respecting schedule
+//! ctr enumerate <file> [-n LIMIT]      list allowed executions
+//! ctr simulate <file> [-n RUNS]        Monte-Carlo schedule statistics
+//! ctr report <file>                    mandatory/optional/dead activities
+//! ctr dot <file>                       Graphviz rendering
+//! ```
+//!
+//! Every command is a pure function from the specification text to a
+//! report string, so the whole surface is unit-testable without spawning
+//! processes.
+
+use ctr::analysis::Verification;
+use ctr::constraints::Constraint;
+use ctr_engine::scheduler::{Program, Scheduler};
+use ctr_parser::{parse_constraint, parse_spec};
+use ctr_workflow::WorkflowSpec;
+use std::fmt::Write as _;
+
+/// A CLI-level error: message intended for stderr, exit code 1 or 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code (1 = analysis says "no", 2 = usage/parse error).
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError { message: message.into(), code: 2 }
+    }
+
+    fn analysis(message: impl Into<String>) -> CliError {
+        CliError { message: message.into(), code: 1 }
+    }
+}
+
+fn load(input: &str) -> Result<WorkflowSpec, CliError> {
+    parse_spec(input).map_err(|e| CliError::usage(format!("parse error: {e}")))
+}
+
+fn compile_spec(spec: &WorkflowSpec) -> Result<ctr::analysis::Compiled, CliError> {
+    spec.compile().map_err(|e| CliError::usage(e.to_string()))
+}
+
+/// `ctr check`: consistency verdict with knot diagnostics.
+pub fn cmd_check(input: &str) -> Result<String, CliError> {
+    let spec = load(input)?;
+    let compiled = compile_spec(&spec)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "workflow `{}`", spec.name);
+    let _ = writeln!(
+        out,
+        "  graph: {} nodes, {} constraints, {} sub-workflows, {} triggers",
+        spec.to_goal().size(),
+        spec.constraints.len(),
+        spec.subworkflows.len(),
+        spec.triggers.len()
+    );
+    for report in &compiled.knots {
+        let _ = writeln!(out, "  knot excised: {report}");
+    }
+    if compiled.has_conditions {
+        let _ = writeln!(
+            out,
+            "  note: the graph queries state (transition conditions); consistency is \
+             sound but not complete (paper §7) — confirm by execution"
+        );
+    }
+    if compiled.is_consistent() {
+        let _ = writeln!(out, "  CONSISTENT ({} compiled nodes)", compiled.goal.size());
+        Ok(out)
+    } else {
+        let _ = writeln!(out, "  INCONSISTENT: no execution satisfies all constraints");
+        Err(CliError::analysis(out))
+    }
+}
+
+/// `ctr compile`: print the executable compiled goal.
+pub fn cmd_compile(input: &str) -> Result<String, CliError> {
+    let spec = load(input)?;
+    let compiled = compile_spec(&spec)?;
+    if compiled.is_consistent() {
+        Ok(format!("{}\n", compiled.goal))
+    } else {
+        Err(CliError::analysis("nopath (inconsistent specification)\n".to_owned()))
+    }
+}
+
+/// `ctr report`: classify every activity (mandatory/optional/dead) and
+/// flag dead ones — the §5 "eliminates the parts of the control graph"
+/// effect as designer feedback.
+pub fn cmd_report(input: &str) -> Result<String, CliError> {
+    let spec = load(input)?;
+    let goal = spec.to_goal();
+    let report = ctr::analysis::activity_report(&goal, &spec.constraints)
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    let mut out = String::new();
+    let mut dead = 0usize;
+    for (event, status) in report {
+        let label = match status {
+            ctr::analysis::ActivityStatus::Mandatory => "mandatory",
+            ctr::analysis::ActivityStatus::Optional => "optional ",
+            ctr::analysis::ActivityStatus::Dead => {
+                dead += 1;
+                "DEAD     "
+            }
+        };
+        let _ = writeln!(out, "  [{label}] {event}");
+    }
+    if dead > 0 {
+        let _ = writeln!(
+            out,
+            "{dead} activit{} can never execute under the constraints — check the spec",
+            if dead == 1 { "y" } else { "ies" }
+        );
+    }
+    Ok(out)
+}
+
+/// `ctr simulate -n <runs>`: Monte-Carlo sampling of the allowed
+/// schedules — activity frequencies and path-length statistics.
+pub fn cmd_simulate(input: &str, runs: usize) -> Result<String, CliError> {
+    let spec = load(input)?;
+    let compiled = compile_spec(&spec)?;
+    if !compiled.is_consistent() {
+        return Err(CliError::analysis("inconsistent specification: nothing to simulate\n"));
+    }
+    let program = Program::compile(&compiled.goal)
+        .map_err(|e| CliError::analysis(format!("{e}\n")))?;
+    let sim = ctr_runtime::simulate(&program, runs, 0xC7A0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} runs, {} completed, path length {}..{} (mean {:.1}), {} distinct traces seen",
+        sim.runs,
+        sim.completed,
+        sim.min_len,
+        sim.max_len,
+        sim.mean_len(),
+        sim.distinct_traces
+    );
+    for (event, count) in &sim.event_frequency {
+        let pct = 100.0 * *count as f64 / sim.completed.max(1) as f64;
+        let _ = writeln!(out, "  {pct:5.1}%  {event}");
+    }
+    Ok(out)
+}
+
+/// `ctr dot`: render the (compiled) workflow as a Graphviz digraph, with
+/// injected channels shown as dotted cross edges.
+pub fn cmd_dot(input: &str) -> Result<String, CliError> {
+    let spec = load(input)?;
+    let compiled = compile_spec(&spec)?;
+    if !compiled.is_consistent() {
+        return Err(CliError::analysis("inconsistent specification: nothing to draw\n"));
+    }
+    Ok(ctr_workflow::goal_to_dot(&spec.name, &compiled.goal))
+}
+
+/// `ctr verify -p <constraint>`: does every execution satisfy the
+/// property?
+pub fn cmd_verify(input: &str, property: &str) -> Result<String, CliError> {
+    let spec = load(input)?;
+    let property: Constraint =
+        parse_constraint(property).map_err(|e| CliError::usage(format!("property: {e}")))?;
+    match spec.verify(&property).map_err(|e| CliError::usage(e.to_string()))? {
+        Verification::Holds => Ok(format!("HOLDS: every execution satisfies {property}\n")),
+        Verification::CounterExample(ce) => Err(CliError::analysis(format!(
+            "VIOLATED: {property}\nmost general counterexample:\n  {ce}\n"
+        ))),
+    }
+}
+
+/// `ctr minimize`: report which constraints are redundant (Thm 5.10).
+pub fn cmd_minimize(input: &str) -> Result<String, CliError> {
+    let spec = load(input)?;
+    let goal = spec.to_goal();
+    let kept = ctr::analysis::minimize_constraints(&goal, &spec.constraints)
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    let mut out = String::new();
+    for (i, c) in spec.constraints.iter().enumerate() {
+        let verdict = if kept.contains(&i) { "kept     " } else { "redundant" };
+        let _ = writeln!(out, "  [{verdict}] {c}");
+    }
+    let _ = writeln!(out, "{} of {} constraints retained", kept.len(), spec.constraints.len());
+    Ok(out)
+}
+
+/// `ctr schedule`: one complete, constraint-respecting schedule.
+pub fn cmd_schedule(input: &str) -> Result<String, CliError> {
+    let spec = load(input)?;
+    let compiled = compile_spec(&spec)?;
+    if !compiled.is_consistent() {
+        return Err(CliError::analysis("inconsistent specification: nothing to schedule\n"));
+    }
+    let program = Program::compile(&compiled.goal)
+        .map_err(|e| CliError::analysis(format!("{e}\n")))?;
+    let mut scheduler = Scheduler::new(&program);
+    let mut out = String::new();
+    while !scheduler.is_complete() {
+        let eligible = scheduler.eligible();
+        let Some(step) = eligible.first().copied() else {
+            return Err(CliError::analysis("deadlock while scheduling (knot at run time)\n"));
+        };
+        let shown: Vec<String> = eligible
+            .iter()
+            .filter_map(|c| program.event(c.node))
+            .map(ToString::to_string)
+            .collect();
+        if let Some(atom) = program.event(step.node) {
+            let _ = writeln!(out, "  fire {atom:<24} (eligible: {})", shown.join(", "));
+        }
+        scheduler.fire(step.node);
+    }
+    let path: Vec<String> =
+        scheduler.trace().iter().map(ToString::to_string).collect();
+    let _ = writeln!(out, "schedule: {}", path.join(" -> "));
+    Ok(out)
+}
+
+/// `ctr enumerate -n <limit>`: the allowed executions.
+pub fn cmd_enumerate(input: &str, limit: usize) -> Result<String, CliError> {
+    let spec = load(input)?;
+    let compiled = compile_spec(&spec)?;
+    if !compiled.is_consistent() {
+        return Err(CliError::analysis("inconsistent specification: no executions\n"));
+    }
+    let program = Program::compile(&compiled.goal)
+        .map_err(|e| CliError::analysis(format!("{e}\n")))?;
+    let traces = Scheduler::new(&program).enumerate_traces(limit);
+    let mut out = String::new();
+    for t in &traces {
+        let names: Vec<&str> = t.iter().map(|s| s.as_str()).collect();
+        let _ = writeln!(out, "  {}", names.join(" -> "));
+    }
+    let _ = writeln!(out, "{} execution(s){}", traces.len(),
+        if traces.len() >= limit { " (limit reached)" } else { "" });
+    Ok(out)
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ctr — logic-based workflow analysis (PODS'98 CTR)
+
+USAGE:
+    ctr check     <spec.ctr>
+    ctr compile   <spec.ctr>
+    ctr verify    <spec.ctr> -p '<constraint>'
+    ctr minimize  <spec.ctr>
+    ctr schedule  <spec.ctr>
+    ctr dot       <spec.ctr>
+    ctr report    <spec.ctr>
+    ctr enumerate <spec.ctr> [-n LIMIT]
+    ctr simulate  <spec.ctr> [-n RUNS]
+
+CONSTRAINT SYNTAX:
+    exists(e)  absent(e)  before(a,b)  serial(a,b,c)
+    klein_order(a,b)  klein_exists(a,b)  causes(a,b)  requires(a,b)
+    not(C)  C and C  C or C  C implies C
+";
+
+/// Parses argv (past the program name) and runs the command over the
+/// file contents read here. Returns the report or an error.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let command = args.first().map(String::as_str).unwrap_or("");
+    let read = |path: &str| -> Result<String, CliError> {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::usage(format!("cannot read `{path}`: {e}")))
+    };
+    match command {
+        "check" | "compile" | "minimize" | "schedule" | "dot" | "report" => {
+            let [_, path] = args else {
+                return Err(CliError::usage(USAGE));
+            };
+            let input = read(path)?;
+            match command {
+                "check" => cmd_check(&input),
+                "compile" => cmd_compile(&input),
+                "minimize" => cmd_minimize(&input),
+                "dot" => cmd_dot(&input),
+                "report" => cmd_report(&input),
+                _ => cmd_schedule(&input),
+            }
+        }
+        "verify" => {
+            let [_, path, flag, property] = args else {
+                return Err(CliError::usage(USAGE));
+            };
+            if flag != "-p" && flag != "--property" {
+                return Err(CliError::usage(USAGE));
+            }
+            cmd_verify(&read(path)?, property)
+        }
+        "simulate" => match args {
+            [_, path] => cmd_simulate(&read(path)?, 1000),
+            [_, path, flag, n] if flag == "-n" || flag == "--runs" => {
+                let runs: usize =
+                    n.parse().map_err(|_| CliError::usage("RUNS must be a number"))?;
+                cmd_simulate(&read(path)?, runs)
+            }
+            _ => Err(CliError::usage(USAGE)),
+        },
+        "enumerate" => match args {
+            [_, path] => cmd_enumerate(&read(path)?, 50),
+            [_, path, flag, n] if flag == "-n" || flag == "--limit" => {
+                let limit: usize =
+                    n.parse().map_err(|_| CliError::usage("LIMIT must be a number"))?;
+                cmd_enumerate(&read(path)?, limit)
+            }
+            _ => Err(CliError::usage(USAGE)),
+        },
+        "help" | "--help" | "-h" | "" => Ok(USAGE.to_owned()),
+        other => Err(CliError::usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r"
+        workflow demo {
+            graph a * (b # c) * d;
+            constraint before(b, c);
+        }
+    ";
+
+    const INCONSISTENT: &str = r"
+        workflow broken {
+            graph b * a;
+            constraint before(a, b);
+        }
+    ";
+
+    #[test]
+    fn check_reports_consistency() {
+        let out = cmd_check(SPEC).unwrap();
+        assert!(out.contains("CONSISTENT"));
+        assert!(out.contains("workflow `demo`"));
+    }
+
+    #[test]
+    fn check_rejects_inconsistent_spec_with_code_1() {
+        let err = cmd_check(INCONSISTENT).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("INCONSISTENT"));
+    }
+
+    #[test]
+    fn check_flags_parse_errors_with_code_2() {
+        let err = cmd_check("workflow oops {").unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("parse error"));
+    }
+
+    #[test]
+    fn compile_prints_a_goal() {
+        let out = cmd_compile(SPEC).unwrap();
+        assert!(out.contains("send(") && out.contains("receive("));
+    }
+
+    #[test]
+    fn verify_holds_and_violated() {
+        assert!(cmd_verify(SPEC, "klein_order(b, c)").unwrap().contains("HOLDS"));
+        let err = cmd_verify(SPEC, "before(c, b)").unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("counterexample"));
+    }
+
+    #[test]
+    fn verify_rejects_bad_property_syntax() {
+        let err = cmd_verify(SPEC, "sometime(b)").unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn minimize_marks_redundant_constraints() {
+        let spec = r"
+            workflow m {
+                graph a * b * c;
+                constraint before(a, c);
+                constraint exists(b);
+            }
+        ";
+        let out = cmd_minimize(spec).unwrap();
+        assert!(out.contains("[redundant] serial(a, c)"));
+        assert!(out.contains("[redundant] exists(b)"));
+        assert!(out.contains("0 of 2 constraints retained"));
+    }
+
+    #[test]
+    fn schedule_produces_a_valid_path() {
+        let out = cmd_schedule(SPEC).unwrap();
+        assert!(out.contains("schedule: a -> b -> c -> d"));
+    }
+
+    #[test]
+    fn enumerate_lists_allowed_executions() {
+        let out = cmd_enumerate(SPEC, 50).unwrap();
+        // b before c in every listed execution; d closes each.
+        assert!(out.contains("a -> b -> c -> d"));
+        assert!(!out.contains("c -> b"));
+    }
+
+    #[test]
+    fn report_flags_dead_activities() {
+        let spec = r"
+            workflow r {
+                graph a * (b + c) * d;
+                constraint absent(c);
+            }
+        ";
+        let out = cmd_report(spec).unwrap();
+        assert!(out.contains("[DEAD     ] c"));
+        assert!(out.contains("[mandatory] b"), "with c dead, b becomes mandatory");
+        assert!(out.contains("1 activity can never execute"));
+    }
+
+    #[test]
+    fn simulate_reports_frequencies() {
+        let out = cmd_simulate(SPEC, 100).unwrap();
+        assert!(out.contains("100 runs, 100 completed"));
+        assert!(out.contains("100.0%  a"));
+    }
+
+    #[test]
+    fn dot_renders_a_digraph() {
+        let out = cmd_dot(SPEC).unwrap();
+        assert!(out.starts_with("digraph \"demo\""));
+        assert!(out.contains("send xi"), "compiled channel appears in the drawing");
+        let err = cmd_dot(INCONSISTENT).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn run_dispatches_and_reports_usage() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&["help".into()]).unwrap().contains("USAGE"));
+        let err = run(&["frobnicate".into()]).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run(&["check".into(), "/nonexistent/x.ctr".into()]).unwrap_err();
+        assert!(err.message.contains("cannot read"));
+    }
+
+    #[test]
+    fn run_end_to_end_via_tempfile() {
+        let path = std::env::temp_dir().join("ctr_cli_test_spec.ctr");
+        std::fs::write(&path, SPEC).unwrap();
+        let out = run(&["check".into(), path.display().to_string()]).unwrap();
+        assert!(out.contains("CONSISTENT"));
+        let out = run(&[
+            "enumerate".into(),
+            path.display().to_string(),
+            "-n".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("execution"));
+        std::fs::remove_file(&path).ok();
+    }
+}

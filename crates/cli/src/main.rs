@@ -1,0 +1,16 @@
+//! The `ctr` command-line entry point; all logic lives in the library so
+//! it can be unit-tested.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ctr_cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprint!("{}", e.message);
+            if !e.message.ends_with('\n') {
+                eprintln!();
+            }
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! The `Apply` transformation (paper, §5): compiling constraints into the
+//! control flow graph.
+//!
+//! `Apply(σ, T)` rewrites a unique-event concurrent-Horn goal `T` into a
+//! concurrent-Horn goal whose executions are exactly the executions of `T`
+//! that satisfy the constraint `σ` — i.e. `Apply(σ, T) ≡ T ∧ σ` with the
+//! hard-to-execute `∧` eliminated (Propositions 5.2, 5.4, 5.6). It is a
+//! *compilation* step: after it (and [`excise`](mod@crate::excise)), scheduling
+//! needs no run-time constraint checking.
+//!
+//! Three layers, following Definitions 5.1, 5.3, and 5.5:
+//!
+//! 1. **Primitive constraints** `∇α` / `¬∇α` rewrite structurally. For
+//!    `∇α`, serial and concurrent conjunctions distribute into a
+//!    disjunction over the position where `α` occurs; subgoals not
+//!    mentioning `α` collapse to `¬path`, which the smart constructors
+//!    absorb — this pruning is what keeps the output `O(|T|)` per
+//!    primitive and is also the feature that "eliminates the parts of the
+//!    control graph inconsistent with the constraints".
+//! 2. **Order constraints** `∇α ⊗ ∇β` compile via `sync(α<β, ·)`: every
+//!    occurrence of `α` becomes `α ⊗ send(ξ)` and every occurrence of `β`
+//!    becomes `receive(ξ) ⊗ β` for a fresh channel `ξ`, after both
+//!    existence compilations.
+//! 3. **General constraints** in the normal form of Corollary 3.5 compile
+//!    by `Apply(C₁ ∨ C₂, T) = Apply(C₁, T) ∨ Apply(C₂, T)` and sequential
+//!    composition over `∧` — yielding the `O(d^N · |T|)` size bound of
+//!    Theorem 5.11.
+
+use crate::constraints::{Basic, Conjunct, Constraint, NormalForm};
+use crate::goal::{conc, isolated, or, seq, Channel, Goal};
+use crate::symbol::Symbol;
+
+/// Allocator of fresh synchronization channels.
+///
+/// Each order-constraint compilation must use a channel "new" with respect
+/// to the goal (Definition 5.3); the compiler threads one allocator through
+/// a whole compilation so channels never collide.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelAlloc {
+    next: u32,
+}
+
+impl ChannelAlloc {
+    /// A fresh allocator starting at channel 0.
+    pub fn new() -> ChannelAlloc {
+        ChannelAlloc::default()
+    }
+
+    /// An allocator whose channels are fresh with respect to `goal` —
+    /// needed when the input goal already contains channels (e.g. incremental
+    /// re-compilation of an already-compiled workflow).
+    pub fn fresh_for(goal: &Goal) -> ChannelAlloc {
+        let next = goal.channels().iter().map(|c| c.0 + 1).max().unwrap_or(0);
+        ChannelAlloc { next }
+    }
+
+    /// Allocates the next fresh channel.
+    pub fn fresh(&mut self) -> Channel {
+        let c = Channel(self.next);
+        self.next += 1;
+        c
+    }
+}
+
+/// `Apply(∇α, T)` — Definition 5.1, positive primitive.
+///
+/// The result's executions are the executions of `T` in which `α` occurs.
+/// Returns `¬path` when no execution of `T` contains `α`.
+pub fn apply_must(alpha: Symbol, goal: &Goal) -> Goal {
+    match goal {
+        Goal::Atom(a) => {
+            if a.as_event() == Some(alpha) {
+                goal.clone()
+            } else {
+                Goal::NoPath
+            }
+        }
+        // Apply(∇α, T ⊗ K) = (Apply(∇α,T) ⊗ K) ∨ (T ⊗ Apply(∇α,K)),
+        // generalized n-ary: a disjunct per child position. Children not
+        // mentioning α yield ¬path and their disjunct is absorbed.
+        Goal::Seq(gs) => or((0..gs.len())
+            .map(|i| {
+                let rewritten = apply_must(alpha, &gs[i]);
+                if rewritten.is_nopath() {
+                    return Goal::NoPath;
+                }
+                let mut children = Vec::with_capacity(gs.len());
+                children.extend(gs[..i].iter().cloned());
+                children.push(rewritten);
+                children.extend(gs[i + 1..].iter().cloned());
+                seq(children)
+            })
+            .collect()),
+        Goal::Conc(gs) => or((0..gs.len())
+            .map(|i| {
+                let rewritten = apply_must(alpha, &gs[i]);
+                if rewritten.is_nopath() {
+                    return Goal::NoPath;
+                }
+                let mut children = Vec::with_capacity(gs.len());
+                children.extend(gs[..i].iter().cloned());
+                children.push(rewritten);
+                children.extend(gs[i + 1..].iter().cloned());
+                conc(children)
+            })
+            .collect()),
+        Goal::Or(gs) => or(gs.iter().map(|g| apply_must(alpha, g)).collect()),
+        Goal::Isolated(g) => isolated(apply_must(alpha, g)),
+        // Events inside ◇ do not occur on the final execution path (◇
+        // consumes no path), so they cannot witness ∇α.
+        Goal::Possible(_) => Goal::NoPath,
+        Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => Goal::NoPath,
+    }
+}
+
+/// `Apply(¬∇α, T)` — Definition 5.1, negative primitive.
+///
+/// The result's executions are the executions of `T` in which `α` does not
+/// occur: every occurrence of `α` is replaced by `¬path`, which prunes the
+/// containing conjunction and drops the containing `∨`-branch.
+pub fn apply_must_not(alpha: Symbol, goal: &Goal) -> Goal {
+    match goal {
+        Goal::Atom(a) => {
+            if a.as_event() == Some(alpha) {
+                Goal::NoPath
+            } else {
+                goal.clone()
+            }
+        }
+        Goal::Seq(gs) => seq(gs.iter().map(|g| apply_must_not(alpha, g)).collect()),
+        Goal::Conc(gs) => conc(gs.iter().map(|g| apply_must_not(alpha, g)).collect()),
+        Goal::Or(gs) => or(gs.iter().map(|g| apply_must_not(alpha, g)).collect()),
+        Goal::Isolated(g) => isolated(apply_must_not(alpha, g)),
+        // Occurrences inside ◇ are hypothetical — they do not appear on the
+        // execution path, so they cannot violate ¬∇α.
+        Goal::Possible(_) => goal.clone(),
+        Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => goal.clone(),
+    }
+}
+
+/// The `sync(α<β, T)` rewriting of Definition 5.3: every occurrence of
+/// event `α` becomes `α ⊗ send(ξ)` and every occurrence of `β` becomes
+/// `receive(ξ) ⊗ β`.
+pub fn sync(alpha: Symbol, beta: Symbol, xi: Channel, goal: &Goal) -> Goal {
+    match goal {
+        Goal::Atom(a) => {
+            if a.as_event() == Some(alpha) {
+                seq(vec![goal.clone(), Goal::Send(xi)])
+            } else if a.as_event() == Some(beta) {
+                seq(vec![Goal::Receive(xi), goal.clone()])
+            } else {
+                goal.clone()
+            }
+        }
+        Goal::Seq(gs) => seq(gs.iter().map(|g| sync(alpha, beta, xi, g)).collect()),
+        Goal::Conc(gs) => conc(gs.iter().map(|g| sync(alpha, beta, xi, g)).collect()),
+        Goal::Or(gs) => or(gs.iter().map(|g| sync(alpha, beta, xi, g)).collect()),
+        Goal::Isolated(g) => isolated(sync(alpha, beta, xi, g)),
+        // Hypothetical occurrences inside ◇ never execute, so they take no
+        // part in synchronization.
+        Goal::Possible(_) => goal.clone(),
+        Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => goal.clone(),
+    }
+}
+
+/// `Apply(∇α ⊗ ∇β, T)` — Definition 5.3:
+/// `sync(α<β, Apply(∇α, Apply(∇β, T)))` with a fresh channel.
+pub fn apply_order(alpha: Symbol, beta: Symbol, goal: &Goal, channels: &mut ChannelAlloc) -> Goal {
+    if alpha == beta {
+        // ∇α ⊗ ∇α requires two occurrences of α: unsatisfiable on
+        // unique-event goals.
+        return Goal::NoPath;
+    }
+    let inner = apply_must(alpha, &apply_must(beta, goal));
+    if inner.is_nopath() {
+        return Goal::NoPath;
+    }
+    let xi = channels.fresh();
+    sync(alpha, beta, xi, &inner)
+}
+
+/// `Apply` of a single basic constraint.
+pub fn apply_basic(basic: &Basic, goal: &Goal, channels: &mut ChannelAlloc) -> Goal {
+    match *basic {
+        Basic::Must(e) => apply_must(e, goal),
+        Basic::MustNot(e) => apply_must_not(e, goal),
+        Basic::Order(a, b) => apply_order(a, b, goal, channels),
+    }
+}
+
+/// `Apply` of a conjunction of basics: sequential composition — each
+/// application preserves the unique-event property, so the next may be
+/// applied to its output (Definition 5.5).
+pub fn apply_conjunct(conj: &Conjunct, goal: &Goal, channels: &mut ChannelAlloc) -> Goal {
+    let mut current = goal.clone();
+    for basic in conj {
+        if current.is_nopath() {
+            return Goal::NoPath;
+        }
+        current = apply_basic(basic, &current, channels);
+    }
+    current
+}
+
+/// `Apply` of one normalized constraint:
+/// `Apply(C₁ ∨ C₂, T) = Apply(C₁, T) ∨ Apply(C₂, T)`.
+pub fn apply_normal_form(nf: &NormalForm, goal: &Goal, channels: &mut ChannelAlloc) -> Goal {
+    or(nf.disjuncts.iter().map(|conj| apply_conjunct(conj, goal, channels)).collect())
+}
+
+/// `Apply(C, G)` for a whole constraint set `C = δ₁ ∧ … ∧ δₙ`
+/// (Definition 5.5): constraints are normalized (Corollary 3.5) and
+/// compiled in sequence. The output size is `O(d^N · |G|)` in the worst
+/// case (Theorem 5.11).
+///
+/// The result may still contain *knots* — cyclic send/receive waits — and
+/// must be passed through [`excise`](crate::excise::excise) before it is
+/// used as an executable specification.
+pub fn apply_all(constraints: &[Constraint], goal: &Goal, channels: &mut ChannelAlloc) -> Goal {
+    let mut current = goal.clone();
+    for c in constraints {
+        if current.is_nopath() {
+            return Goal::NoPath;
+        }
+        let nf = c.normalize();
+        current = apply_normal_form(&nf, &current, channels);
+    }
+    current
+}
+
+/// Convenience wrapper: compiles `constraints` into `goal` with channels
+/// fresh for the goal.
+pub fn apply(constraints: &[Constraint], goal: &Goal) -> Goal {
+    let mut channels = ChannelAlloc::fresh_for(goal);
+    apply_all(constraints, goal, &mut channels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::{event_traces, satisfies};
+    use crate::symbol::sym;
+    use std::collections::BTreeSet;
+
+    const BUDGET: usize = 200_000;
+
+    fn g(name: &str) -> Goal {
+        Goal::atom(name)
+    }
+
+    /// The oracle check of Propositions 5.2/5.4/5.6:
+    /// traces(Apply(C, G)) == { t ∈ traces(G) | t ⊨ C }.
+    fn assert_apply_equiv(constraints: &[Constraint], goal: &Goal) {
+        let compiled = apply(constraints, goal);
+        let got = event_traces(&compiled, BUDGET).unwrap();
+        let want: BTreeSet<_> = event_traces(goal, BUDGET)
+            .unwrap()
+            .into_iter()
+            .filter(|t| constraints.iter().all(|c| satisfies(t, c)))
+            .collect();
+        assert_eq!(got, want, "constraints {constraints:?} on goal {goal}");
+    }
+
+    #[test]
+    fn paper_example_after_definition_5_1() {
+        // Apply(∇β, γ ⊗ (α ∨ β ∨ η) ⊗ δ) = γ ⊗ β ⊗ δ
+        let t = seq(vec![g("gamma"), or(vec![g("alpha"), g("beta"), g("eta")]), g("delta")]);
+        let result = apply_must(sym("beta"), &t);
+        assert_eq!(result, seq(vec![g("gamma"), g("beta"), g("delta")]));
+    }
+
+    #[test]
+    fn paper_example_negative_primitive() {
+        // Apply(¬∇β, γ ⊗ (α ∨ β ∨ η) ⊗ δ) = γ ⊗ (α ∨ η) ⊗ δ
+        let t = seq(vec![g("gamma"), or(vec![g("alpha"), g("beta"), g("eta")]), g("delta")]);
+        let result = apply_must_not(sym("beta"), &t);
+        assert_eq!(result, seq(vec![g("gamma"), or(vec![g("alpha"), g("eta")]), g("delta")]));
+    }
+
+    #[test]
+    fn must_of_absent_event_is_nopath() {
+        let t = seq(vec![g("a"), g("b")]);
+        assert_eq!(apply_must(sym("zzz"), &t), Goal::NoPath);
+    }
+
+    #[test]
+    fn must_not_of_absent_event_is_identity() {
+        let t = seq(vec![g("a"), or(vec![g("b"), g("c")])]);
+        assert_eq!(apply_must_not(sym("zzz"), &t), t);
+    }
+
+    #[test]
+    fn must_not_prunes_whole_seq_branch() {
+        // Removing b kills the whole b-branch of the Or.
+        let t = or(vec![seq(vec![g("a"), g("b")]), g("c")]);
+        assert_eq!(apply_must_not(sym("b"), &t), g("c"));
+    }
+
+    #[test]
+    fn paper_example_4_order_on_disjunction() {
+        // Apply(∇α ⊗ ∇β, γ ∨ (β ⊗ α)) = receive(ξ) ⊗ β ⊗ α ⊗ send(ξ)
+        // (a knot — detected later by Excise).
+        let t = or(vec![g("gamma"), seq(vec![g("beta"), g("alpha")])]);
+        let mut ch = ChannelAlloc::new();
+        let result = apply_order(sym("alpha"), sym("beta"), &t, &mut ch);
+        let xi = Channel(0);
+        assert_eq!(
+            result,
+            seq(vec![Goal::Receive(xi), g("beta"), g("alpha"), Goal::Send(xi)])
+        );
+    }
+
+    #[test]
+    fn paper_example_4_order_on_concurrence() {
+        // Apply(∇α ⊗ ∇β, α | β | ρ) = (α ⊗ send ξ) | (receive ξ ⊗ β) | ρ
+        let t = conc(vec![g("alpha"), g("beta"), g("rho")]);
+        let mut ch = ChannelAlloc::new();
+        let result = apply_order(sym("alpha"), sym("beta"), &t, &mut ch);
+        let xi = Channel(0);
+        assert_eq!(
+            result,
+            conc(vec![
+                seq(vec![g("alpha"), Goal::Send(xi)]),
+                seq(vec![Goal::Receive(xi), g("beta")]),
+                g("rho"),
+            ])
+        );
+    }
+
+    use crate::goal::conc;
+
+    #[test]
+    fn order_semantics_on_concurrent_goal() {
+        let t = conc(vec![g("a"), g("b"), g("c")]);
+        assert_apply_equiv(&[Constraint::order("a", "b")], &t);
+    }
+
+    #[test]
+    fn must_semantics_on_nested_goal() {
+        let t = seq(vec![g("s"), or(vec![seq(vec![g("a"), g("b")]), g("c")]), g("t")]);
+        assert_apply_equiv(&[Constraint::must("b")], &t);
+        assert_apply_equiv(&[Constraint::must_not("c")], &t);
+        assert_apply_equiv(&[Constraint::must("c")], &t);
+    }
+
+    #[test]
+    fn klein_order_semantics() {
+        let t = conc(vec![or(vec![g("a"), g("x")]), or(vec![g("b"), g("y")])]);
+        assert_apply_equiv(&[Constraint::klein_order("a", "b")], &t);
+    }
+
+    #[test]
+    fn klein_exists_semantics() {
+        let t = conc(vec![or(vec![g("a"), g("x")]), or(vec![g("b"), g("y")])]);
+        assert_apply_equiv(&[Constraint::klein_exists("a", "b")], &t);
+    }
+
+    #[test]
+    fn multiple_constraints_compose() {
+        let t = conc(vec![or(vec![g("a"), g("x")]), g("b"), or(vec![g("c"), g("y")])]);
+        assert_apply_equiv(
+            &[Constraint::klein_order("a", "b"), Constraint::must_not("y")],
+            &t,
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_combination_yields_nopath() {
+        let t = seq(vec![g("a"), g("b")]);
+        let compiled = apply(&[Constraint::must("a"), Constraint::must_not("a")], &t);
+        assert_eq!(compiled, Goal::NoPath);
+    }
+
+    #[test]
+    fn order_within_seq_already_satisfied() {
+        // a ⊗ b already satisfies a<b; compiled goal should keep exactly
+        // that trace (with channel plumbing added).
+        let t = seq(vec![g("a"), g("b")]);
+        assert_apply_equiv(&[Constraint::order("a", "b")], &t);
+    }
+
+    #[test]
+    fn order_against_seq_is_nopath_after_traces() {
+        // b ⊗ a cannot satisfy a<b: the compiled goal has no valid traces
+        // (Excise would rewrite it to ¬path).
+        let t = seq(vec![g("b"), g("a")]);
+        let compiled = apply(&[Constraint::order("a", "b")], &t);
+        assert!(event_traces(&compiled, BUDGET).unwrap().is_empty());
+    }
+
+    #[test]
+    fn isolation_is_preserved() {
+        let t = conc(vec![isolated(seq(vec![g("a"), g("b")])), g("c")]);
+        assert_apply_equiv(&[Constraint::must("a")], &t);
+        let compiled = apply(&[Constraint::must("a")], &t);
+        assert!(format!("{compiled}").contains("iso("));
+    }
+
+    #[test]
+    fn channel_allocator_fresh_for_goal() {
+        let goal = seq(vec![Goal::Send(Channel(5)), g("a")]);
+        let mut ch = ChannelAlloc::fresh_for(&goal);
+        assert_eq!(ch.fresh(), Channel(6));
+        assert_eq!(ch.fresh(), Channel(7));
+    }
+
+    #[test]
+    fn reflexive_order_is_nopath() {
+        let t = conc(vec![g("a"), g("b")]);
+        let mut ch = ChannelAlloc::new();
+        assert_eq!(apply_order(sym("a"), sym("a"), &t, &mut ch), Goal::NoPath);
+    }
+
+    #[test]
+    fn size_growth_is_bounded_by_d_per_constraint() {
+        // A chain of 6 binary choices; one Klein constraint (d = 3) at most
+        // triples the goal plus constant sync overhead.
+        let t = seq((0..6).map(|i| or(vec![g(&format!("l{i}")), g(&format!("r{i}"))])).collect());
+        let base = t.size();
+        let compiled = apply(&[Constraint::klein_order("l0", "l5")], &t);
+        assert!(
+            compiled.size() <= 3 * base + 24,
+            "compiled size {} vs base {}",
+            compiled.size(),
+            base
+        );
+    }
+
+    #[test]
+    fn serial_three_event_constraint_semantics() {
+        let t = conc(vec![g("a"), g("b"), g("c")]);
+        assert_apply_equiv(&[Constraint::serial(vec![sym("a"), sym("b"), sym("c")])], &t);
+    }
+
+    #[test]
+    fn negated_constraint_semantics() {
+        let t = conc(vec![g("a"), g("b")]);
+        assert_apply_equiv(&[Constraint::not(Constraint::order("a", "b"))], &t);
+    }
+}

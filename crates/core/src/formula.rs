@@ -1,0 +1,323 @@
+//! General CTR formulas — beyond the concurrent-Horn fragment.
+//!
+//! The executable fragment ([`Goal`]) omits `∧` and
+//! `¬`: "in general, ∧ represents constrained execution, which is usually
+//! hard to implement" (paper, §2). The point of the `Apply` compilation is
+//! precisely to *eliminate* those connectives. This module supplies the
+//! other half of the story: the full formula language with classical
+//! conjunction and negation, interpreted over event traces, so that
+//! specifications like `G ∧ C` can be *stated* and *checked* directly —
+//! the declarative baseline the compiled form is proven against.
+//!
+//! Satisfaction of `⊗` and `|` over a trace requires guessing a
+//! split/interleaving; both are decided here by memoized search, which is
+//! exponential in the worst case. That is exactly the "efficiency gap
+//! between concurrent-Horn execution and constrained execution" the paper
+//! describes — this module is the slow, obviously-correct semantics; the
+//! compiler is the fast path.
+
+use crate::constraints::Constraint;
+use crate::goal::Goal;
+use crate::semantics;
+use crate::symbol::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A general CTR formula over propositional events.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// An embedded executable goal: the trace must be one of its
+    /// executions.
+    Goal(Goal),
+    /// An embedded `CONSTR` constraint.
+    Constraint(Constraint),
+    /// `path` — true on every trace.
+    Path,
+    /// `state` — true precisely on paths of length 1, i.e. traces with no
+    /// events (footnote 4 of the paper).
+    State,
+    /// Serial conjunction `F₁ ⊗ … ⊗ Fₙ`: the trace splits into
+    /// consecutive segments satisfying each conjunct.
+    Serial(Vec<Formula>),
+    /// Concurrent conjunction `F₁ | … | Fₙ`: the trace is an interleaving
+    /// of subsequences satisfying each conjunct.
+    Conc(Vec<Formula>),
+    /// Classical conjunction `F₁ ∧ … ∧ Fₙ`: the same trace satisfies all
+    /// conjuncts — the "constrained execution" connective.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Classical negation — `¬path` is `Not(Path)`.
+    Not(Box<Formula>),
+}
+
+impl Formula {
+    /// The formula `G ∧ C₁ ∧ … ∧ Cₙ` — a workflow specification as one
+    /// formula (paper, §4).
+    pub fn spec(goal: Goal, constraints: &[Constraint]) -> Formula {
+        let mut parts = vec![Formula::Goal(goal)];
+        parts.extend(constraints.iter().cloned().map(Formula::Constraint));
+        Formula::And(parts)
+    }
+
+    /// Does `trace` satisfy the formula? `budget` bounds the embedded
+    /// goal-enumeration work.
+    pub fn satisfied_by(&self, trace: &[Symbol], budget: usize) -> Result<bool, semantics::BudgetExceeded> {
+        match self {
+            Formula::Goal(g) => {
+                Ok(semantics::event_traces(g, budget)?.iter().any(|t| t == trace))
+            }
+            Formula::Constraint(c) => Ok(semantics::satisfies(trace, c)),
+            Formula::Path => Ok(true),
+            Formula::State => Ok(trace.is_empty()),
+            Formula::And(fs) => {
+                for f in fs {
+                    if !f.satisfied_by(trace, budget)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(fs) => {
+                for f in fs {
+                    if f.satisfied_by(trace, budget)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Not(f) => Ok(!f.satisfied_by(trace, budget)?),
+            Formula::Serial(fs) => satisfied_serially(fs, trace, budget),
+            Formula::Conc(fs) => satisfied_interleaved(fs, trace, budget),
+        }
+    }
+
+    /// The denotation of the formula restricted to the executions of a
+    /// goal: `{ t ∈ traces(goal) | t ⊨ self }`. This is the reference
+    /// meaning of "the executions of `goal ∧ formula`".
+    pub fn executions_of(
+        &self,
+        goal: &Goal,
+        budget: usize,
+    ) -> Result<BTreeSet<Vec<Symbol>>, semantics::BudgetExceeded> {
+        let mut out = BTreeSet::new();
+        for t in semantics::event_traces(goal, budget)? {
+            if self.satisfied_by(&t, budget)? {
+                out.insert(t);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// `trace ⊨ F₁ ⊗ … ⊗ Fₙ`: search over consecutive split points.
+fn satisfied_serially(
+    fs: &[Formula],
+    trace: &[Symbol],
+    budget: usize,
+) -> Result<bool, semantics::BudgetExceeded> {
+    match fs {
+        [] => Ok(trace.is_empty()),
+        [only] => only.satisfied_by(trace, budget),
+        [head, rest @ ..] => {
+            for split in 0..=trace.len() {
+                if head.satisfied_by(&trace[..split], budget)?
+                    && satisfied_serially(rest, &trace[split..], budget)?
+                {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+    }
+}
+
+/// `trace ⊨ F₁ | … | Fₙ`: search over interleaving assignments. Each
+/// element of the trace is assigned to one conjunct; the induced
+/// subsequences must satisfy their conjuncts.
+fn satisfied_interleaved(
+    fs: &[Formula],
+    trace: &[Symbol],
+    budget: usize,
+) -> Result<bool, semantics::BudgetExceeded> {
+    match fs {
+        [] => Ok(trace.is_empty()),
+        [only] => only.satisfied_by(trace, budget),
+        [head, rest @ ..] => {
+            // Choose the subsequence for `head`; the complement goes to
+            // the rest. 2^n assignments, pruned by early satisfaction
+            // checks.
+            let n = trace.len();
+            if n > 20 {
+                return Err(semantics::BudgetExceeded { budget });
+            }
+            for mask in 0..(1u32 << n) {
+                let mine: Vec<Symbol> =
+                    (0..n).filter(|i| mask & (1 << i) != 0).map(|i| trace[i]).collect();
+                let theirs: Vec<Symbol> =
+                    (0..n).filter(|i| mask & (1 << i) == 0).map(|i| trace[i]).collect();
+                if head.satisfied_by(&mine, budget)?
+                    && satisfied_interleaved(rest, &theirs, budget)?
+                {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn join(
+            fs: &[Formula],
+            sep: &str,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            write!(f, "(")?;
+            for (i, part) in fs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "{sep}")?;
+                }
+                write!(f, "{part}")?;
+            }
+            write!(f, ")")
+        }
+        match self {
+            Formula::Goal(g) => write!(f, "{g}"),
+            Formula::Constraint(c) => write!(f, "{c}"),
+            Formula::Path => write!(f, "path"),
+            Formula::State => write!(f, "state"),
+            Formula::Serial(fs) => join(fs, " * ", f),
+            Formula::Conc(fs) => join(fs, " # ", f),
+            Formula::And(fs) => join(fs, " /\\ ", f),
+            Formula::Or(fs) => join(fs, " \\/ ", f),
+            Formula::Not(inner) => write!(f, "not({inner})"),
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply;
+    use crate::excise::excise;
+    use crate::goal::{conc, or, seq};
+    use crate::symbol::sym;
+
+    const BUDGET: usize = 100_000;
+
+    fn g(name: &str) -> Goal {
+        Goal::atom(name)
+    }
+
+    fn tr(names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(|n| sym(n)).collect()
+    }
+
+    #[test]
+    fn path_and_negation() {
+        assert!(Formula::Path.satisfied_by(&tr(&["x"]), BUDGET).unwrap());
+        let nopath = Formula::Not(Box::new(Formula::Path));
+        assert!(!nopath.satisfied_by(&tr(&[]), BUDGET).unwrap());
+    }
+
+    #[test]
+    fn state_holds_only_on_unit_paths() {
+        assert!(Formula::State.satisfied_by(&tr(&[]), BUDGET).unwrap());
+        assert!(!Formula::State.satisfied_by(&tr(&["x"]), BUDGET).unwrap());
+        // path ⊗ e ⊗ path (the ∇e shorthand) vs state ⊗ e ⊗ state (e alone).
+        let exactly_e = Formula::Serial(vec![
+            Formula::State,
+            Formula::Goal(g("e")),
+            Formula::State,
+        ]);
+        assert!(exactly_e.satisfied_by(&tr(&["e"]), BUDGET).unwrap());
+        assert!(!exactly_e.satisfied_by(&tr(&["x", "e"]), BUDGET).unwrap());
+    }
+
+    #[test]
+    fn goal_formula_matches_executions() {
+        let f = Formula::Goal(conc(vec![g("a"), g("b")]));
+        assert!(f.satisfied_by(&tr(&["a", "b"]), BUDGET).unwrap());
+        assert!(f.satisfied_by(&tr(&["b", "a"]), BUDGET).unwrap());
+        assert!(!f.satisfied_by(&tr(&["a"]), BUDGET).unwrap());
+    }
+
+    #[test]
+    fn serial_formula_splits_traces() {
+        // (a ∨ a⊗x) ⊗ b
+        let f = Formula::Serial(vec![
+            Formula::Goal(or(vec![g("a"), seq(vec![g("a"), g("x")])])),
+            Formula::Goal(g("b")),
+        ]);
+        assert!(f.satisfied_by(&tr(&["a", "b"]), BUDGET).unwrap());
+        assert!(f.satisfied_by(&tr(&["a", "x", "b"]), BUDGET).unwrap());
+        assert!(!f.satisfied_by(&tr(&["b", "a"]), BUDGET).unwrap());
+    }
+
+    #[test]
+    fn conc_formula_interleaves() {
+        let f = Formula::Conc(vec![
+            Formula::Goal(seq(vec![g("a"), g("b")])),
+            Formula::Goal(g("c")),
+        ]);
+        assert!(f.satisfied_by(&tr(&["a", "c", "b"]), BUDGET).unwrap());
+        assert!(f.satisfied_by(&tr(&["c", "a", "b"]), BUDGET).unwrap());
+        assert!(!f.satisfied_by(&tr(&["b", "a", "c"]), BUDGET).unwrap());
+    }
+
+    #[test]
+    fn and_is_constrained_execution() {
+        // The declarative G ∧ C.
+        let f = Formula::spec(
+            conc(vec![g("a"), g("b")]),
+            &[Constraint::order("a", "b")],
+        );
+        assert!(f.satisfied_by(&tr(&["a", "b"]), BUDGET).unwrap());
+        assert!(!f.satisfied_by(&tr(&["b", "a"]), BUDGET).unwrap());
+    }
+
+    #[test]
+    fn compiled_goal_denotes_the_spec_formula() {
+        // The headline equivalence, stated at the formula level:
+        // executions(Excise(Apply(C, G))) == executions of the formula
+        // G ∧ C.
+        let goal = seq(vec![g("s"), conc(vec![g("a"), g("b"), or(vec![g("c"), g("d")])])]);
+        let constraints =
+            [Constraint::klein_order("a", "b"), Constraint::klein_exists("c", "a")];
+        let formula = Formula::spec(goal.clone(), &constraints);
+
+        let compiled = excise(&apply(&constraints, &goal));
+        let fast = semantics::event_traces(&compiled, BUDGET).unwrap();
+        let declarative = formula.executions_of(&goal, BUDGET).unwrap();
+        assert_eq!(fast, declarative);
+    }
+
+    #[test]
+    fn executions_of_filters_goal_traces() {
+        let goal = conc(vec![g("a"), g("b")]);
+        let f = Formula::Constraint(Constraint::order("a", "b"));
+        let execs = f.executions_of(&goal, BUDGET).unwrap();
+        assert_eq!(execs, [tr(&["a", "b"])].into_iter().collect());
+    }
+
+    #[test]
+    fn interleaving_search_is_bounded() {
+        let f = Formula::Conc(vec![Formula::Path, Formula::Path]);
+        let long: Vec<Symbol> = (0..25).map(|i| sym(&format!("long{i}"))).collect();
+        assert!(f.satisfied_by(&long, BUDGET).is_err(), "over the mask limit");
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let f = Formula::spec(g("a"), &[Constraint::must("b")]);
+        assert_eq!(f.to_string(), "(a /\\ exists(b))");
+    }
+}

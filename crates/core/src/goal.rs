@@ -1,0 +1,532 @@
+//! Concurrent-Horn goals — the executable fragment of CTR.
+//!
+//! A concurrent-Horn goal (paper, §2) is built from atomic formulas with
+//! serial conjunction `⊗`, concurrent conjunction `|`, disjunction `∨`, the
+//! isolation operator `⊙`, and the possibility operator `◇`. Control flow
+//! graphs translate directly into this fragment — equation (1) in the paper
+//! is the translation of Figure 1.
+//!
+//! Two special goals complete the algebra:
+//!
+//! * [`Goal::Empty`] — the unit of `⊗` and `|`; true exactly on paths of
+//!   length 1 (the proposition the paper calls `state`). It is what remains
+//!   when a branch of the workflow has nothing left to do.
+//! * [`Goal::NoPath`] — the unexecutable transaction `¬path`, CTR's analog
+//!   of classical `false`. The `Apply` transformation produces it for
+//!   executions ruled out by a constraint, and the simplification
+//!   tautologies of §5 — implemented here by the smart constructors — make
+//!   it absorb `⊗`/`|` contexts and vanish from `∨` contexts.
+//!
+//! `send(ξ)`/`receive(ξ)` are the synchronization primitives used by the
+//! `sync` rewriting of Definition 5.3; they are first-class goal forms so
+//! the scheduler can give them their channel semantics.
+
+use crate::symbol::Symbol;
+use crate::term::Atom;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A synchronization channel `ξ`, created fresh by each order-constraint
+/// compilation (Definition 5.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Channel(pub u32);
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xi{}", self.0)
+    }
+}
+
+/// A concurrent-Horn goal.
+///
+/// `Seq`, `Conc`, and `Or` are n-ary: `Seq(vec![a, b, c])` is
+/// `a ⊗ b ⊗ c`. The smart constructors [`seq`], [`conc`], and [`or`]
+/// flatten nested applications, drop units, and apply the `¬path`
+/// absorption tautologies of §5, so goals built through them are always in
+/// a canonical simplified form. Pattern-matching code may rely on the
+/// invariants documented on each constructor.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Goal {
+    /// An atomic formula: an activity, significant event, elementary
+    /// update, query, or rule-defined sub-workflow call.
+    Atom(Atom),
+    /// Serial conjunction `g₁ ⊗ … ⊗ gₙ` (n ≥ 2): execute left to right.
+    Seq(Vec<Goal>),
+    /// Concurrent conjunction `g₁ | … | gₙ` (n ≥ 2): execute interleaved.
+    Conc(Vec<Goal>),
+    /// Disjunction `g₁ ∨ … ∨ gₙ` (n ≥ 2): execute one, chosen
+    /// nondeterministically.
+    Or(Vec<Goal>),
+    /// Isolated execution `⊙g`: no interleaving with concurrent siblings.
+    Isolated(Box<Goal>),
+    /// Executional possibility `◇g`: succeed on a 1-path if `g` is
+    /// executable at the current state.
+    Possible(Box<Goal>),
+    /// `send(ξ)` — always executable; enables the matching `receive`.
+    Send(Channel),
+    /// `receive(ξ)` — executable only after `send(ξ)` has executed.
+    Receive(Channel),
+    /// The empty goal — unit of `⊗` and `|`.
+    Empty,
+    /// `¬path` — the unexecutable goal.
+    NoPath,
+}
+
+impl Default for Goal {
+    /// The empty goal — the unit of `⊗` and `|`.
+    fn default() -> Goal {
+        Goal::Empty
+    }
+}
+
+impl Goal {
+    /// Propositional atom goal, the common case for workflow activities.
+    pub fn atom(name: impl Into<Symbol>) -> Goal {
+        Goal::Atom(Atom::prop(name))
+    }
+
+    /// Number of nodes in the goal tree — the size measure `|G|` of
+    /// Theorem 5.11.
+    pub fn size(&self) -> usize {
+        match self {
+            Goal::Atom(_) | Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => 1,
+            Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
+                1 + gs.iter().map(Goal::size).sum::<usize>()
+            }
+            Goal::Isolated(g) | Goal::Possible(g) => 1 + g.size(),
+        }
+    }
+
+    /// True if the goal is exactly `¬path`.
+    pub fn is_nopath(&self) -> bool {
+        matches!(self, Goal::NoPath)
+    }
+
+    /// True if the goal is the empty goal.
+    pub fn is_empty_goal(&self) -> bool {
+        matches!(self, Goal::Empty)
+    }
+
+    /// True if `event` occurs syntactically anywhere in the goal.
+    pub fn mentions_event(&self, event: Symbol) -> bool {
+        match self {
+            Goal::Atom(a) => a.as_event() == Some(event),
+            Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
+                gs.iter().any(|g| g.mentions_event(event))
+            }
+            Goal::Isolated(g) | Goal::Possible(g) => g.mentions_event(event),
+            Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => false,
+        }
+    }
+
+    /// Collects every propositional atom symbol occurring in the goal.
+    pub fn events(&self) -> BTreeSet<Symbol> {
+        let mut set = BTreeSet::new();
+        self.collect_events(&mut set);
+        set
+    }
+
+    fn collect_events(&self, set: &mut BTreeSet<Symbol>) {
+        match self {
+            Goal::Atom(a) => {
+                if let Some(e) = a.as_event() {
+                    set.insert(e);
+                }
+            }
+            Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
+                for g in gs {
+                    g.collect_events(set);
+                }
+            }
+            Goal::Isolated(g) | Goal::Possible(g) => g.collect_events(set),
+            Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => {}
+        }
+    }
+
+    /// Collects every channel occurring in the goal.
+    pub fn channels(&self) -> BTreeSet<Channel> {
+        let mut set = BTreeSet::new();
+        self.collect_channels(&mut set);
+        set
+    }
+
+    fn collect_channels(&self, set: &mut BTreeSet<Channel>) {
+        match self {
+            Goal::Send(c) | Goal::Receive(c) => {
+                set.insert(*c);
+            }
+            Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
+                for g in gs {
+                    g.collect_channels(set);
+                }
+            }
+            Goal::Isolated(g) | Goal::Possible(g) => g.collect_channels(set),
+            Goal::Atom(_) | Goal::Empty | Goal::NoPath => {}
+        }
+    }
+
+    /// Rebuilds the goal through the smart constructors, enforcing the
+    /// canonical simplified form (flattened connectives, units dropped,
+    /// `¬path` absorbed per the tautologies of §5). Goals produced by this
+    /// crate's own transformations are already canonical; this is for goals
+    /// assembled by hand or by a parser.
+    pub fn simplify(&self) -> Goal {
+        match self {
+            Goal::Seq(gs) => seq(gs.iter().map(Goal::simplify).collect()),
+            Goal::Conc(gs) => conc(gs.iter().map(Goal::simplify).collect()),
+            Goal::Or(gs) => or(gs.iter().map(Goal::simplify).collect()),
+            Goal::Isolated(g) => isolated(g.simplify()),
+            Goal::Possible(g) => possible(g.simplify()),
+            other => other.clone(),
+        }
+    }
+
+    /// Number of `∨`-alternatives if fully distributed — an upper bound on
+    /// the number of structurally distinct execution variants. Saturates at
+    /// `u64::MAX`.
+    pub fn variant_count(&self) -> u64 {
+        match self {
+            Goal::Or(gs) => gs.iter().map(Goal::variant_count).fold(0u64, u64::saturating_add),
+            Goal::Seq(gs) | Goal::Conc(gs) => {
+                gs.iter().map(Goal::variant_count).fold(1u64, u64::saturating_mul)
+            }
+            Goal::Isolated(g) | Goal::Possible(g) => g.variant_count(),
+            Goal::NoPath => 0,
+            _ => 1,
+        }
+    }
+}
+
+/// Serial conjunction `⊗` of the given goals.
+///
+/// Invariants established: nested `Seq`s are flattened, `Empty` children
+/// are dropped, any `NoPath` child absorbs the whole conjunction
+/// (`¬path ⊗ φ ≡ φ ⊗ ¬path ≡ ¬path`), a zero-length conjunction is
+/// `Empty`, and a singleton unwraps.
+pub fn seq(goals: Vec<Goal>) -> Goal {
+    let mut out = Vec::with_capacity(goals.len());
+    for g in goals {
+        match g {
+            Goal::NoPath => return Goal::NoPath,
+            Goal::Empty => {}
+            Goal::Seq(inner) => out.extend(inner),
+            other => out.push(other),
+        }
+    }
+    match out.len() {
+        0 => Goal::Empty,
+        1 => out.pop().expect("len checked"),
+        _ => Goal::Seq(out),
+    }
+}
+
+/// Concurrent conjunction `|` of the given goals.
+///
+/// Same invariants as [`seq`] with the `|` absorption tautology
+/// (`¬path | φ ≡ ¬path`).
+pub fn conc(goals: Vec<Goal>) -> Goal {
+    let mut out = Vec::with_capacity(goals.len());
+    for g in goals {
+        match g {
+            Goal::NoPath => return Goal::NoPath,
+            Goal::Empty => {}
+            Goal::Conc(inner) => out.extend(inner),
+            other => out.push(other),
+        }
+    }
+    match out.len() {
+        0 => Goal::Empty,
+        1 => out.pop().expect("len checked"),
+        _ => Goal::Conc(out),
+    }
+}
+
+/// Disjunction `∨` of the given goals.
+///
+/// Nested `Or`s are flattened, `NoPath` alternatives are dropped
+/// (`¬path ∨ φ ≡ φ`), and structurally identical alternatives are merged
+/// (idempotence, `φ ∨ φ ≡ φ` — keeping the first occurrence, so branch
+/// order is stable). An empty disjunction is `¬path` and a singleton
+/// unwraps.
+///
+/// The idempotence step is what keeps repeated constraint compilation from
+/// exceeding the genuine `d^N` bound of Theorem 5.11: sequential `Apply`
+/// passes frequently regenerate identical pruned variants.
+pub fn or(goals: Vec<Goal>) -> Goal {
+    use std::collections::hash_map::{DefaultHasher, Entry};
+    use std::collections::HashMap;
+    use std::hash::{Hash, Hasher};
+
+    let mut out: Vec<Goal> = Vec::with_capacity(goals.len());
+    // Hash-bucketed dedup: one structural hash per candidate, equality
+    // checked only within a bucket.
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+    let push_unique = |out: &mut Vec<Goal>, buckets: &mut HashMap<u64, Vec<usize>>, g: Goal| {
+        let mut hasher = DefaultHasher::new();
+        g.hash(&mut hasher);
+        let h = hasher.finish();
+        match buckets.entry(h) {
+            Entry::Occupied(mut e) => {
+                if e.get().iter().any(|&i| out[i] == g) {
+                    return;
+                }
+                e.get_mut().push(out.len());
+                out.push(g);
+            }
+            Entry::Vacant(e) => {
+                e.insert(vec![out.len()]);
+                out.push(g);
+            }
+        }
+    };
+    for g in goals {
+        match g {
+            Goal::NoPath => {}
+            Goal::Or(inner) => {
+                for child in inner {
+                    push_unique(&mut out, &mut buckets, child);
+                }
+            }
+            other => push_unique(&mut out, &mut buckets, other),
+        }
+    }
+    match out.len() {
+        0 => Goal::NoPath,
+        1 => out.pop().expect("len checked"),
+        _ => Goal::Or(out),
+    }
+}
+
+/// Isolation `⊙g`. `⊙` of the empty goal or `¬path` is itself.
+pub fn isolated(g: Goal) -> Goal {
+    match g {
+        Goal::Empty => Goal::Empty,
+        Goal::NoPath => Goal::NoPath,
+        other => Goal::Isolated(Box::new(other)),
+    }
+}
+
+/// Possibility `◇g`. `◇¬path` can never succeed, so it is `¬path`;
+/// `◇Empty` always succeeds on a 1-path, so it is `Empty`.
+pub fn possible(g: Goal) -> Goal {
+    match g {
+        Goal::Empty => Goal::Empty,
+        Goal::NoPath => Goal::NoPath,
+        other => Goal::Possible(Box::new(other)),
+    }
+}
+
+/// Binary serial conjunction convenience.
+pub fn then(a: Goal, b: Goal) -> Goal {
+    seq(vec![a, b])
+}
+
+impl fmt::Display for Goal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Precedence: ∨ (loosest) < | < ⊗ < unary (tightest). Children are
+        // parenthesized when their connective binds no tighter than the
+        // parent's.
+        fn prec(g: &Goal) -> u8 {
+            match g {
+                Goal::Or(_) => 0,
+                Goal::Conc(_) => 1,
+                Goal::Seq(_) => 2,
+                _ => 3,
+            }
+        }
+        fn write(g: &Goal, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let p = prec(g);
+            // Same-connective nesting never occurs (smart constructors
+            // flatten it), so strictly-looser children are the only ones
+            // that need parentheses.
+            let parens = p < 3 && p < parent;
+            if parens {
+                write!(f, "(")?;
+            }
+            match g {
+                Goal::Atom(a) => write!(f, "{a}")?,
+                Goal::Seq(gs) => {
+                    for (i, child) in gs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " * ")?;
+                        }
+                        write(child, p, f)?;
+                    }
+                }
+                Goal::Conc(gs) => {
+                    for (i, child) in gs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " # ")?;
+                        }
+                        write(child, p, f)?;
+                    }
+                }
+                Goal::Or(gs) => {
+                    for (i, child) in gs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " + ")?;
+                        }
+                        write(child, p, f)?;
+                    }
+                }
+                Goal::Isolated(inner) => {
+                    write!(f, "iso(")?;
+                    write(inner, 0, f)?;
+                    write!(f, ")")?;
+                }
+                Goal::Possible(inner) => {
+                    write!(f, "poss(")?;
+                    write(inner, 0, f)?;
+                    write!(f, ")")?;
+                }
+                Goal::Send(c) => write!(f, "send({c})")?,
+                Goal::Receive(c) => write!(f, "receive({c})")?,
+                Goal::Empty => write!(f, "empty")?,
+                Goal::NoPath => write!(f, "nopath")?,
+            }
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        write(self, 0, f)
+    }
+}
+
+impl fmt::Debug for Goal {
+    // Goals are best read in their concrete syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    fn a() -> Goal {
+        Goal::atom("a")
+    }
+    fn b() -> Goal {
+        Goal::atom("b")
+    }
+    fn c() -> Goal {
+        Goal::atom("c")
+    }
+
+    #[test]
+    fn seq_flattens_and_drops_units() {
+        let g = seq(vec![a(), Goal::Empty, seq(vec![b(), c()])]);
+        assert_eq!(g, Goal::Seq(vec![a(), b(), c()]));
+    }
+
+    #[test]
+    fn seq_absorbs_nopath() {
+        assert_eq!(seq(vec![a(), Goal::NoPath, b()]), Goal::NoPath);
+    }
+
+    #[test]
+    fn conc_absorbs_nopath() {
+        assert_eq!(conc(vec![a(), Goal::NoPath]), Goal::NoPath);
+    }
+
+    #[test]
+    fn or_drops_nopath_branches() {
+        assert_eq!(or(vec![Goal::NoPath, a(), Goal::NoPath]), a());
+        assert_eq!(or(vec![Goal::NoPath, Goal::NoPath]), Goal::NoPath);
+    }
+
+    #[test]
+    fn singletons_unwrap() {
+        assert_eq!(seq(vec![a()]), a());
+        assert_eq!(conc(vec![b()]), b());
+        assert_eq!(or(vec![c()]), c());
+    }
+
+    #[test]
+    fn empty_conjunctions_are_unit() {
+        assert_eq!(seq(vec![]), Goal::Empty);
+        assert_eq!(conc(vec![]), Goal::Empty);
+        assert_eq!(or(vec![]), Goal::NoPath);
+    }
+
+    #[test]
+    fn isolated_of_trivial_goals_simplifies() {
+        assert_eq!(isolated(Goal::Empty), Goal::Empty);
+        assert_eq!(isolated(Goal::NoPath), Goal::NoPath);
+        assert!(matches!(isolated(a()), Goal::Isolated(_)));
+    }
+
+    #[test]
+    fn possible_of_trivial_goals_simplifies() {
+        assert_eq!(possible(Goal::Empty), Goal::Empty);
+        assert_eq!(possible(Goal::NoPath), Goal::NoPath);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let g = seq(vec![a(), conc(vec![b(), c()])]);
+        // Seq node + a + Conc node + b + c
+        assert_eq!(g.size(), 5);
+    }
+
+    #[test]
+    fn events_collects_prop_atoms_only() {
+        let g = seq(vec![a(), Goal::Send(Channel(0)), or(vec![b(), c()])]);
+        let evs = g.events();
+        assert!(evs.contains(&sym("a")));
+        assert!(evs.contains(&sym("b")));
+        assert!(evs.contains(&sym("c")));
+        assert_eq!(evs.len(), 3);
+    }
+
+    #[test]
+    fn mentions_event_sees_through_modalities() {
+        let g = isolated(seq(vec![a(), possible(b())]));
+        assert!(g.mentions_event(sym("a")));
+        assert!(g.mentions_event(sym("b")));
+        assert!(!g.mentions_event(sym("zzz")));
+    }
+
+    #[test]
+    fn channels_are_collected() {
+        let g = conc(vec![
+            seq(vec![a(), Goal::Send(Channel(7))]),
+            seq(vec![Goal::Receive(Channel(7)), b()]),
+        ]);
+        assert_eq!(g.channels().into_iter().collect::<Vec<_>>(), vec![Channel(7)]);
+    }
+
+    #[test]
+    fn display_uses_paper_precedence() {
+        let g = seq(vec![a(), or(vec![b(), c()])]);
+        assert_eq!(g.to_string(), "a * (b + c)");
+        let h = or(vec![seq(vec![a(), b()]), c()]);
+        assert_eq!(h.to_string(), "a * b + c");
+        let k = conc(vec![seq(vec![a(), b()]), c()]);
+        assert_eq!(k.to_string(), "a * b # c");
+    }
+
+    #[test]
+    fn variant_count_multiplies_and_sums() {
+        let g = seq(vec![or(vec![a(), b()]), or(vec![a(), b(), c()])]);
+        assert_eq!(g.variant_count(), 6);
+        assert_eq!(Goal::NoPath.variant_count(), 0);
+        assert_eq!(a().variant_count(), 1);
+    }
+
+    #[test]
+    fn simplify_is_idempotent_on_canonical_goals() {
+        let g = seq(vec![a(), conc(vec![b(), c()])]);
+        assert_eq!(g.simplify(), g);
+    }
+
+    #[test]
+    fn simplify_normalizes_raw_goals() {
+        let raw = Goal::Seq(vec![Goal::Seq(vec![a()]), Goal::Empty, b()]);
+        assert_eq!(raw.simplify(), Goal::Seq(vec![a(), b()]));
+        let dead = Goal::Conc(vec![a(), Goal::Or(vec![])]);
+        assert_eq!(dead.simplify(), Goal::NoPath);
+    }
+}

@@ -1,0 +1,494 @@
+//! Reference trace semantics for propositional goals.
+//!
+//! The model theory of CTR interprets goals over *paths* — finite sequences
+//! of database states (paper, §2). For the propositional workflow fragment
+//! the observable content of a path is the sequence of significant events
+//! executed along it, so a goal denotes a set of **event traces**. This
+//! module enumerates that set exhaustively (with an explosion budget) and
+//! evaluates `CONSTR` constraints on traces.
+//!
+//! It exists as the *oracle* against which the compiled transformations are
+//! verified: Propositions 5.2/5.4/5.6 state `Apply(σ, T) ≡ T ∧ σ`, i.e.
+//!
+//! ```text
+//! traces(Apply(σ, T))  ==  { t ∈ traces(T) | t ⊨ σ }
+//! ```
+//!
+//! and the property-based tests of this crate check exactly that equation
+//! on randomly generated unique-event goals. Enumeration is exponential by
+//! nature — it is a specification, not the scheduler (see `ctr-engine` for
+//! the efficient execution machinery).
+
+use crate::constraints::{Basic, Conjunct, Constraint, NormalForm};
+use crate::goal::{Channel, Goal};
+use crate::symbol::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A single step of a trace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Tok {
+    /// A propositional activity/event.
+    Ev(Symbol),
+    /// `send(ξ)`.
+    Send(Channel),
+    /// `receive(ξ)`.
+    Recv(Channel),
+    /// A non-event step (first-order or negated atom, e.g. a transition
+    /// condition). Opaque to constraints.
+    Other,
+}
+
+/// Error raised when enumeration exceeds its budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The budget that was exceeded (number of intermediate traces).
+    pub budget: usize,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace enumeration exceeded budget of {} traces", self.budget)
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Sequence element during enumeration: a token, or an atomic block from an
+/// `⊙`-isolated subgoal which must not be interleaved by siblings.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Unit {
+    Tok(Tok),
+    Block(Vec<Unit>),
+}
+
+fn flatten(units: &[Unit], out: &mut Vec<Tok>) {
+    for u in units {
+        match u {
+            Unit::Tok(t) => out.push(*t),
+            Unit::Block(inner) => flatten(inner, out),
+        }
+    }
+}
+
+/// Enumerates the raw token traces of `goal`, before channel validation.
+fn raw_traces(goal: &Goal, budget: usize) -> Result<Vec<Vec<Unit>>, BudgetExceeded> {
+    fn check(n: usize, budget: usize) -> Result<(), BudgetExceeded> {
+        if n > budget {
+            Err(BudgetExceeded { budget })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn shuffle(
+        a: &[Unit],
+        b: &[Unit],
+        out: &mut Vec<Vec<Unit>>,
+        prefix: &mut Vec<Unit>,
+        budget: usize,
+    ) -> Result<(), BudgetExceeded> {
+        if a.is_empty() {
+            let mut t = prefix.clone();
+            t.extend_from_slice(b);
+            out.push(t);
+            return check(out.len(), budget);
+        }
+        if b.is_empty() {
+            let mut t = prefix.clone();
+            t.extend_from_slice(a);
+            out.push(t);
+            return check(out.len(), budget);
+        }
+        prefix.push(a[0].clone());
+        shuffle(&a[1..], b, out, prefix, budget)?;
+        prefix.pop();
+        prefix.push(b[0].clone());
+        shuffle(a, &b[1..], out, prefix, budget)?;
+        prefix.pop();
+        Ok(())
+    }
+
+    fn walk(goal: &Goal, budget: usize) -> Result<Vec<Vec<Unit>>, BudgetExceeded> {
+        match goal {
+            Goal::Atom(a) => {
+                let tok = match a.as_event() {
+                    Some(e) => Tok::Ev(e),
+                    None => Tok::Other,
+                };
+                Ok(vec![vec![Unit::Tok(tok)]])
+            }
+            Goal::Send(c) => Ok(vec![vec![Unit::Tok(Tok::Send(*c))]]),
+            Goal::Receive(c) => Ok(vec![vec![Unit::Tok(Tok::Recv(*c))]]),
+            Goal::Empty => Ok(vec![vec![]]),
+            Goal::NoPath => Ok(vec![]),
+            Goal::Seq(gs) => {
+                let mut acc: Vec<Vec<Unit>> = vec![vec![]];
+                for g in gs {
+                    let child = walk(g, budget)?;
+                    let mut next = Vec::with_capacity(acc.len() * child.len());
+                    for base in &acc {
+                        for tail in &child {
+                            let mut t = base.clone();
+                            t.extend_from_slice(tail);
+                            next.push(t);
+                            check(next.len(), budget)?;
+                        }
+                    }
+                    acc = next;
+                }
+                Ok(acc)
+            }
+            Goal::Conc(gs) => {
+                let mut acc: Vec<Vec<Unit>> = vec![vec![]];
+                for g in gs {
+                    let child = walk(g, budget)?;
+                    let mut next = Vec::new();
+                    for base in &acc {
+                        for tail in &child {
+                            let mut prefix = Vec::new();
+                            shuffle(base, tail, &mut next, &mut prefix, budget)?;
+                        }
+                    }
+                    acc = next;
+                }
+                Ok(acc)
+            }
+            Goal::Or(gs) => {
+                let mut acc = Vec::new();
+                for g in gs {
+                    acc.extend(walk(g, budget)?);
+                    check(acc.len(), budget)?;
+                }
+                Ok(acc)
+            }
+            Goal::Isolated(g) => {
+                // Each trace of the body becomes a single atomic block.
+                Ok(walk(g, budget)?.into_iter().map(|t| vec![Unit::Block(t)]).collect())
+            }
+            Goal::Possible(g) => {
+                // ◇g holds on a 1-path iff g is executable at the current
+                // state. Propositionally: contributes the empty trace when
+                // the body has at least one valid execution.
+                let body = walk(g, budget)?;
+                let executable = body.iter().any(|t| {
+                    let mut flat = Vec::new();
+                    flatten(t, &mut flat);
+                    channels_valid(&flat)
+                });
+                if executable {
+                    Ok(vec![vec![]])
+                } else {
+                    Ok(vec![])
+                }
+            }
+        }
+    }
+
+    walk(goal, budget)
+}
+
+/// True if every `receive(ξ)` in the trace is preceded by `send(ξ)`.
+fn channels_valid(trace: &[Tok]) -> bool {
+    let mut sent: BTreeSet<Channel> = BTreeSet::new();
+    for tok in trace {
+        match tok {
+            Tok::Send(c) => {
+                sent.insert(*c);
+            }
+            Tok::Recv(c)
+                if !sent.contains(c) => {
+                    return false;
+                }
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Enumerates the valid token traces of a goal (channel discipline
+/// enforced, isolation blocks flattened).
+pub fn token_traces(goal: &Goal, budget: usize) -> Result<BTreeSet<Vec<Tok>>, BudgetExceeded> {
+    let raw = raw_traces(goal, budget)?;
+    let mut out = BTreeSet::new();
+    for units in raw {
+        let mut flat = Vec::new();
+        flatten(&units, &mut flat);
+        if channels_valid(&flat) {
+            out.insert(flat);
+        }
+    }
+    Ok(out)
+}
+
+/// Enumerates the **event traces** of a goal: valid token traces with
+/// channel and non-event steps erased. This is the observable denotation
+/// used by the equivalence tests.
+pub fn event_traces(
+    goal: &Goal,
+    budget: usize,
+) -> Result<BTreeSet<Vec<Symbol>>, BudgetExceeded> {
+    let toks = token_traces(goal, budget)?;
+    Ok(toks
+        .into_iter()
+        .map(|t| {
+            t.into_iter()
+                .filter_map(|tok| match tok {
+                    Tok::Ev(e) => Some(e),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect())
+}
+
+/// True if the goal has at least one valid execution.
+pub fn is_executable(goal: &Goal, budget: usize) -> Result<bool, BudgetExceeded> {
+    Ok(!token_traces(goal, budget)?.is_empty())
+}
+
+/// True if the two goals denote the same set of event traces — the
+/// observational equivalence `≡` used throughout the paper's propositions,
+/// decided by exhaustive enumeration (specification-grade, not a fast
+/// check).
+pub fn equivalent(a: &Goal, b: &Goal, budget: usize) -> Result<bool, BudgetExceeded> {
+    Ok(event_traces(a, budget)? == event_traces(b, budget)?)
+}
+
+// ---------------------------------------------------------------------------
+// Constraint satisfaction on traces
+// ---------------------------------------------------------------------------
+
+/// `trace ⊨ basic`.
+pub fn satisfies_basic(trace: &[Symbol], b: &Basic) -> bool {
+    match *b {
+        Basic::Must(e) => trace.contains(&e),
+        Basic::MustNot(e) => !trace.contains(&e),
+        Basic::Order(a, b) => {
+            // ∇a ⊗ ∇b: both occur and some occurrence of a precedes some
+            // occurrence of b. Greedy earliest-a is complete.
+            match trace.iter().position(|&x| x == a) {
+                Some(pa) => trace[pa + 1..].contains(&b),
+                None => false,
+            }
+        }
+    }
+}
+
+/// `trace ⊨ conjunct` (all basics hold).
+pub fn satisfies_conjunct(trace: &[Symbol], conj: &Conjunct) -> bool {
+    conj.iter().all(|b| satisfies_basic(trace, b))
+}
+
+/// `trace ⊨ nf` (some disjunct holds).
+pub fn satisfies_normal_form(trace: &[Symbol], nf: &NormalForm) -> bool {
+    nf.disjuncts.iter().any(|c| satisfies_conjunct(trace, c))
+}
+
+/// `trace ⊨ c`, evaluated directly on the constraint tree.
+///
+/// `Serial(e₁…eₙ)` holds iff the events occur as a subsequence of the
+/// trace; greedy earliest-match is complete for subsequence containment.
+pub fn satisfies(trace: &[Symbol], c: &Constraint) -> bool {
+    match c {
+        Constraint::Must(e) => trace.contains(e),
+        Constraint::MustNot(e) => !trace.contains(e),
+        Constraint::Serial(es) => {
+            let mut pos = 0usize;
+            for e in es {
+                match trace[pos..].iter().position(|x| x == e) {
+                    Some(rel) => pos += rel + 1,
+                    None => return false,
+                }
+            }
+            true
+        }
+        Constraint::And(cs) => cs.iter().all(|c| satisfies(trace, c)),
+        Constraint::Or(cs) => cs.iter().any(|c| satisfies(trace, c)),
+        Constraint::Not(c) => !satisfies(trace, c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::{conc, isolated, or, possible, seq};
+    use crate::symbol::sym;
+
+    const BUDGET: usize = 100_000;
+
+    fn g(name: &str) -> Goal {
+        Goal::atom(name)
+    }
+
+    fn evs(goal: &Goal) -> BTreeSet<Vec<Symbol>> {
+        event_traces(goal, BUDGET).unwrap()
+    }
+
+    fn trace(names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(|n| sym(n)).collect()
+    }
+
+    #[test]
+    fn atom_has_singleton_trace() {
+        assert_eq!(evs(&g("a")), [trace(&["a"])].into_iter().collect());
+    }
+
+    #[test]
+    fn seq_concatenates() {
+        let goal = seq(vec![g("a"), g("b"), g("c")]);
+        assert_eq!(evs(&goal), [trace(&["a", "b", "c"])].into_iter().collect());
+    }
+
+    #[test]
+    fn conc_interleaves() {
+        let goal = conc(vec![g("a"), g("b")]);
+        assert_eq!(
+            evs(&goal),
+            [trace(&["a", "b"]), trace(&["b", "a"])].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn conc_of_seqs_preserves_internal_order() {
+        let goal = conc(vec![seq(vec![g("a"), g("b")]), g("c")]);
+        let traces = evs(&goal);
+        assert_eq!(traces.len(), 3);
+        for t in &traces {
+            let pa = t.iter().position(|&x| x == sym("a")).unwrap();
+            let pb = t.iter().position(|&x| x == sym("b")).unwrap();
+            assert!(pa < pb);
+        }
+    }
+
+    #[test]
+    fn or_unions() {
+        let goal = or(vec![g("a"), g("b")]);
+        assert_eq!(evs(&goal), [trace(&["a"]), trace(&["b"])].into_iter().collect());
+    }
+
+    #[test]
+    fn nopath_has_no_traces() {
+        assert!(evs(&Goal::NoPath).is_empty());
+        assert!(!is_executable(&Goal::NoPath, BUDGET).unwrap());
+    }
+
+    #[test]
+    fn empty_has_the_empty_trace() {
+        assert_eq!(evs(&Goal::Empty), [vec![]].into_iter().collect());
+    }
+
+    #[test]
+    fn isolation_prevents_interleaving() {
+        let goal = conc(vec![isolated(seq(vec![g("a"), g("b")])), g("c")]);
+        let traces = evs(&goal);
+        // c may come before or after the block, never inside.
+        assert_eq!(
+            traces,
+            [trace(&["c", "a", "b"]), trace(&["a", "b", "c"])].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn channels_enforce_order() {
+        use crate::goal::Channel;
+        let xi = Channel(0);
+        let goal = conc(vec![
+            seq(vec![g("a"), Goal::Send(xi)]),
+            seq(vec![Goal::Receive(xi), g("b")]),
+        ]);
+        // This is exactly the compiled form (4) of the paper: b after a.
+        assert_eq!(evs(&goal), [trace(&["a", "b"])].into_iter().collect());
+    }
+
+    #[test]
+    fn unmatched_receive_deadlocks() {
+        use crate::goal::Channel;
+        let goal = seq(vec![Goal::Receive(Channel(9)), g("b")]);
+        assert!(evs(&goal).is_empty());
+    }
+
+    #[test]
+    fn send_without_receive_is_fine() {
+        use crate::goal::Channel;
+        let goal = seq(vec![g("a"), Goal::Send(Channel(3))]);
+        assert_eq!(evs(&goal), [trace(&["a"])].into_iter().collect());
+    }
+
+    #[test]
+    fn possible_succeeds_without_consuming_path() {
+        let goal = seq(vec![possible(g("x")), g("a")]);
+        assert_eq!(evs(&goal), [trace(&["a"])].into_iter().collect());
+        let dead = seq(vec![possible(Goal::NoPath), g("a")]);
+        assert!(evs(&dead).is_empty());
+    }
+
+    #[test]
+    fn non_event_atoms_are_opaque() {
+        use crate::term::Atom;
+        let cond = Goal::Atom(Atom::prop("ok").negate());
+        let goal = seq(vec![cond, g("a")]);
+        assert_eq!(evs(&goal), [trace(&["a"])].into_iter().collect());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        // 8 concurrent atoms → 8! = 40320 interleavings > 1000.
+        let goal = conc((0..8).map(|i| g(&format!("x{i}"))).collect());
+        assert_eq!(event_traces(&goal, 1000), Err(BudgetExceeded { budget: 1000 }));
+    }
+
+    #[test]
+    fn equivalence_is_observational() {
+        use crate::goal::isolated;
+        // ⊗ is associative; ⊙ of a single atom is observationally the atom.
+        let left = seq(vec![seq(vec![g("a"), g("b")]), g("c")]);
+        let right = seq(vec![g("a"), seq(vec![g("b"), g("c")])]);
+        assert!(equivalent(&left, &right, BUDGET).unwrap());
+        assert!(equivalent(&isolated(g("a")), &g("a"), BUDGET).unwrap());
+        assert!(!equivalent(&g("a"), &g("b"), BUDGET).unwrap());
+        // But | and ⊗ differ.
+        assert!(!equivalent(&conc(vec![g("a"), g("b")]), &seq(vec![g("a"), g("b")]), BUDGET).unwrap());
+    }
+
+    #[test]
+    fn satisfies_basics() {
+        let t = trace(&["a", "b", "c"]);
+        assert!(satisfies_basic(&t, &Basic::Must(sym("b"))));
+        assert!(!satisfies_basic(&t, &Basic::Must(sym("z"))));
+        assert!(satisfies_basic(&t, &Basic::MustNot(sym("z"))));
+        assert!(satisfies_basic(&t, &Basic::Order(sym("a"), sym("c"))));
+        assert!(!satisfies_basic(&t, &Basic::Order(sym("c"), sym("a"))));
+        assert!(!satisfies_basic(&t, &Basic::Order(sym("a"), sym("z"))));
+    }
+
+    #[test]
+    fn satisfies_serial_subsequence() {
+        let t = trace(&["a", "x", "b", "y", "c"]);
+        assert!(satisfies(&t, &Constraint::serial(vec![sym("a"), sym("b"), sym("c")])));
+        assert!(!satisfies(&t, &Constraint::serial(vec![sym("b"), sym("a")])));
+    }
+
+    #[test]
+    fn satisfies_matches_normal_form_semantics() {
+        let c = Constraint::klein_order("a", "b");
+        let nf = c.normalize();
+        for t in [trace(&["a", "b"]), trace(&["b", "a"]), trace(&["a"]), trace(&[])] {
+            assert_eq!(
+                satisfies(&t, &c),
+                satisfies_normal_form(&t, &nf),
+                "trace {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn klein_order_semantics() {
+        let c = Constraint::klein_order("e", "f");
+        assert!(satisfies(&trace(&["e", "f"]), &c));
+        assert!(!satisfies(&trace(&["f", "e"]), &c));
+        assert!(satisfies(&trace(&["e"]), &c));
+        assert!(satisfies(&trace(&["f"]), &c));
+        assert!(satisfies(&trace(&[]), &c));
+    }
+}

@@ -1,0 +1,145 @@
+//! Interned identifiers.
+//!
+//! Every predicate name, activity name, event name, and constant in the
+//! library is interned into a global table and referred to by a compact
+//! [`Symbol`]. Interning makes atom comparison — the inner loop of the
+//! `Apply` transformation (paper, Definition 5.1) — a single integer
+//! compare, and keeps the recursive goal terms small.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// Symbols are cheap to copy and compare. Two symbols are equal if and only
+/// if they were interned from the same string. The ordering of symbols is
+/// the order of first interning (stable within a process), which gives
+/// deterministic iteration orders in the data structures built on top.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    map: HashMap<&'static str, u32>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner { names: Vec::new(), map: HashMap::new() }
+    }
+
+    fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.map.get(name) {
+            return Symbol(id);
+        }
+        // Interned names live for the lifetime of the process. The leak is
+        // bounded by the number of distinct identifiers in the program,
+        // which is the usual trade-off for a global interner.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = self.names.len() as u32;
+        self.names.push(leaked);
+        self.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    fn resolve(&self, sym: Symbol) -> &'static str {
+        self.names[sym.0 as usize]
+    }
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Interner::new()))
+}
+
+impl Symbol {
+    /// Interns `name` and returns its symbol.
+    pub fn intern(name: &str) -> Symbol {
+        interner().lock().expect("symbol interner poisoned").intern(name)
+    }
+
+    /// Returns the string this symbol was interned from.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("symbol interner poisoned").resolve(self)
+    }
+
+    /// The raw interner index. Useful as a dense array key.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(name: String) -> Symbol {
+        Symbol::intern(&name)
+    }
+}
+
+/// Interns a symbol; shorthand used pervasively in tests and examples.
+pub fn sym(name: &str) -> Symbol {
+    Symbol::intern(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a1 = Symbol::intern("alpha");
+        let a2 = Symbol::intern("alpha");
+        assert_eq!(a1, a2);
+        assert_eq!(a1.as_str(), "alpha");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let a = Symbol::intern("left");
+        let b = Symbol::intern("right");
+        assert_ne!(a, b);
+        assert_ne!(a.index(), b.index());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = sym("trip_planning");
+        assert_eq!(format!("{s}"), "trip_planning");
+        assert_eq!(format!("{s:?}"), "trip_planning");
+    }
+
+    #[test]
+    fn from_string_matches_intern() {
+        let owned: Symbol = String::from("owned").into();
+        assert_eq!(owned, sym("owned"));
+    }
+
+    #[test]
+    fn interning_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| std::thread::spawn(move || Symbol::intern(&format!("t{}", i % 3))))
+            .collect();
+        let syms: Vec<Symbol> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(s.as_str(), format!("t{}", i % 3));
+        }
+    }
+}

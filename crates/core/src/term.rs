@@ -1,0 +1,274 @@
+//! First-order terms and atoms.
+//!
+//! CTR is a conservative extension of classical predicate logic (paper, §2):
+//! its atomic formulas are `p(t₁, …, tₙ)` over ordinary function terms. The
+//! workflow fragment used for constraint compilation is propositional —
+//! activities and events are zero-ary atoms — but rules, queries, and
+//! transition conditions range over full first-order atoms, so terms carry
+//! variables and nested compounds.
+//!
+//! Recursive structure is kept behind `Vec`s (compound argument lists), so
+//! the enum itself stays word-sized plus payload and never needs a `Box`
+//! cycle — the "boxing care" that recursive term types require in Rust.
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A logical variable, identified by a dense index.
+///
+/// Variables are scoped to a clause or query; renaming-apart (freshening)
+/// is performed by the engine when a rule is invoked.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+/// A first-order term.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A logical variable.
+    Var(Var),
+    /// An interned constant (e.g. `paris`, `approved`).
+    Const(Symbol),
+    /// A machine integer constant.
+    Int(i64),
+    /// A compound term `f(t₁, …, tₙ)` with `n ≥ 1`.
+    Compound(Symbol, Vec<Term>),
+}
+
+impl Term {
+    /// Constant term from a name.
+    pub fn constant(name: &str) -> Term {
+        Term::Const(Symbol::intern(name))
+    }
+
+    /// Compound term `functor(args…)`. An empty argument list collapses to a
+    /// constant so that `f()` and `f` denote the same term.
+    pub fn compound(functor: &str, args: Vec<Term>) -> Term {
+        let f = Symbol::intern(functor);
+        if args.is_empty() {
+            Term::Const(f)
+        } else {
+            Term::Compound(f, args)
+        }
+    }
+
+    /// True if the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Const(_) | Term::Int(_) => true,
+            Term::Compound(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Collects the variables of the term into `out` (with duplicates).
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Term::Var(v) => out.push(*v),
+            Term::Const(_) | Term::Int(_) => {}
+            Term::Compound(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the term tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) | Term::Int(_) => 1,
+            Term::Compound(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(Var(i)) => write!(f, "_V{i}"),
+            Term::Const(s) => write!(f, "{s}"),
+            Term::Int(n) => write!(f, "{n}"),
+            Term::Compound(functor, args) => {
+                write!(f, "{functor}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An atomic formula `p(t₁, …, tₙ)`, optionally negated.
+///
+/// Negation is only meaningful on *query* atoms (transition conditions in
+/// control flow graphs are tested with negation-as-failure by the engine);
+/// events and elementary updates are always positive. A negated atom is
+/// never a significant event, so the `Apply` transformation treats it like
+/// any other non-matching activity.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: Symbol,
+    /// Argument terms; empty for propositional activities/events.
+    pub args: Vec<Term>,
+    /// True for a negation-as-failure query `¬p(t…)`.
+    pub negated: bool,
+}
+
+impl Atom {
+    /// A propositional (zero-ary, positive) atom — the encoding of workflow
+    /// activities and significant events in the paper.
+    pub fn prop(name: impl Into<Symbol>) -> Atom {
+        Atom { pred: name.into(), args: Vec::new(), negated: false }
+    }
+
+    /// A positive first-order atom.
+    pub fn new(pred: impl Into<Symbol>, args: Vec<Term>) -> Atom {
+        Atom { pred: pred.into(), args, negated: false }
+    }
+
+    /// Returns the negated copy of this atom.
+    pub fn negate(&self) -> Atom {
+        Atom { pred: self.pred, args: self.args.clone(), negated: !self.negated }
+    }
+
+    /// True if the atom is propositional: positive with no arguments.
+    pub fn is_prop(&self) -> bool {
+        self.args.is_empty() && !self.negated
+    }
+
+    /// If this atom can denote a significant event (propositional and
+    /// positive), returns its symbol. Used by the constraint compiler to
+    /// match events against occurrences (Definition 5.1).
+    pub fn as_event(&self) -> Option<Symbol> {
+        if self.is_prop() {
+            Some(self.pred)
+        } else {
+            None
+        }
+    }
+
+    /// True if all argument terms are ground.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+
+    /// Node count (predicate plus argument trees).
+    pub fn size(&self) -> usize {
+        1 + self.args.iter().map(Term::size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "\\+")?;
+        }
+        write!(f, "{}", self.pred)?;
+        if !self.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(name: &str) -> Atom {
+        Atom::prop(name)
+    }
+}
+
+impl From<Symbol> for Atom {
+    fn from(name: Symbol) -> Atom {
+        Atom::prop(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    #[test]
+    fn compound_with_no_args_is_constant() {
+        assert_eq!(Term::compound("f", vec![]), Term::constant("f"));
+    }
+
+    #[test]
+    fn groundness() {
+        let t = Term::compound("f", vec![Term::constant("a"), Term::Var(Var(0))]);
+        assert!(!t.is_ground());
+        let g = Term::compound("f", vec![Term::constant("a"), Term::Int(3)]);
+        assert!(g.is_ground());
+    }
+
+    #[test]
+    fn collect_vars_finds_nested_variables() {
+        let t = Term::compound(
+            "f",
+            vec![Term::Var(Var(1)), Term::compound("g", vec![Term::Var(Var(2))])],
+        );
+        let mut vars = Vec::new();
+        t.collect_vars(&mut vars);
+        assert_eq!(vars, vec![Var(1), Var(2)]);
+    }
+
+    #[test]
+    fn prop_atom_is_event() {
+        let a = Atom::prop("commit");
+        assert_eq!(a.as_event(), Some(sym("commit")));
+        assert!(a.is_prop());
+    }
+
+    #[test]
+    fn negated_atom_is_not_event() {
+        let a = Atom::prop("in_stock").negate();
+        assert_eq!(a.as_event(), None);
+        assert!(!a.is_prop());
+        assert_eq!(a.negate(), Atom::prop("in_stock"));
+    }
+
+    #[test]
+    fn first_order_atom_is_not_event() {
+        let a = Atom::new("book", vec![Term::constant("paris")]);
+        assert_eq!(a.as_event(), None);
+        assert!(a.is_ground());
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = Atom::new("book", vec![Term::constant("paris"), Term::Int(2)]);
+        assert_eq!(a.to_string(), "book(paris, 2)");
+        assert_eq!(a.negate().to_string(), "\\+book(paris, 2)");
+        assert_eq!(Atom::prop("go").to_string(), "go");
+    }
+
+    #[test]
+    fn term_size_counts_nodes() {
+        let t = Term::compound("f", vec![Term::constant("a"), Term::compound("g", vec![Term::Int(1)])]);
+        assert_eq!(t.size(), 4);
+    }
+}

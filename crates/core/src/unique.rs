@@ -1,0 +1,198 @@
+//! The unique-event property (Definition 3.1).
+//!
+//! A concurrent-Horn goal has the unique-event property when every
+//! significant event occurs at most once in any execution. The paper's
+//! constraint compilation (§5) is only correct for unique-event goals, and
+//! notes that the property is recognizable in linear time. This module is
+//! that linear-time recognizer, built directly on the structural facts (3):
+//!
+//! * in `E₁ ⊗ E₂` and `E₁ | E₂`, an event occurring in `E₁` cannot occur in
+//!   `E₂` — both conjuncts execute, so a shared event would occur twice;
+//! * `E₁ ∨ E₂` is unique-event iff both disjuncts are — only one branch
+//!   executes, so the branches may freely share events.
+//!
+//! The checker runs bottom-up, carrying the set of events *executable* in
+//! each subgoal, and rejects the first overlap between `⊗`/`|` siblings.
+
+use crate::goal::Goal;
+use crate::symbol::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A violation of the unique-event property: `event` can occur twice in a
+/// single execution because it appears in two sibling conjuncts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DuplicateEvent {
+    /// The offending event.
+    pub event: Symbol,
+    /// Rendering of the smallest conjunction in which the duplication was
+    /// detected, for designer feedback.
+    pub context: String,
+}
+
+impl fmt::Display for DuplicateEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event `{}` may occur twice in one execution (within `{}`)",
+            self.event, self.context
+        )
+    }
+}
+
+impl std::error::Error for DuplicateEvent {}
+
+/// Checks the unique-event property over *all* propositional atoms of the
+/// goal, returning the goal's event set on success.
+///
+/// This is the conservative default: a goal unique in all its atoms is
+/// certainly unique in any subset designated as significant events.
+pub fn check_unique_events(goal: &Goal) -> Result<BTreeSet<Symbol>, DuplicateEvent> {
+    check_unique_events_among(goal, None)
+}
+
+/// Checks the unique-event property restricted to the events in
+/// `significant`. Activities outside the set may repeat freely — they are
+/// not constrained events, so repetition does not affect the compilation.
+pub fn check_unique_events_among(
+    goal: &Goal,
+    significant: Option<&BTreeSet<Symbol>>,
+) -> Result<BTreeSet<Symbol>, DuplicateEvent> {
+    fn walk(
+        goal: &Goal,
+        significant: Option<&BTreeSet<Symbol>>,
+    ) -> Result<BTreeSet<Symbol>, DuplicateEvent> {
+        match goal {
+            Goal::Atom(a) => {
+                let mut set = BTreeSet::new();
+                if let Some(e) = a.as_event() {
+                    if significant.is_none_or(|s| s.contains(&e)) {
+                        set.insert(e);
+                    }
+                }
+                Ok(set)
+            }
+            Goal::Seq(gs) | Goal::Conc(gs) => {
+                let mut acc: BTreeSet<Symbol> = BTreeSet::new();
+                for g in gs {
+                    let child = walk(g, significant)?;
+                    for e in child {
+                        if !acc.insert(e) {
+                            return Err(DuplicateEvent { event: e, context: goal.to_string() });
+                        }
+                    }
+                }
+                Ok(acc)
+            }
+            Goal::Or(gs) => {
+                let mut acc: BTreeSet<Symbol> = BTreeSet::new();
+                for g in gs {
+                    acc.extend(walk(g, significant)?);
+                }
+                Ok(acc)
+            }
+            Goal::Isolated(g) => walk(g, significant),
+            // ◇ bodies are hypothetical: their events never occur on the
+            // execution path, so they cannot break per-path uniqueness
+            // (and the Apply transformation treats them as opaque).
+            Goal::Possible(_) => Ok(BTreeSet::new()),
+            Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => Ok(BTreeSet::new()),
+        }
+    }
+    walk(goal, significant)
+}
+
+/// Convenience predicate form of [`check_unique_events`].
+pub fn is_unique_event(goal: &Goal) -> bool {
+    check_unique_events(goal).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::{conc, or, seq};
+    use crate::symbol::sym;
+
+    fn g(name: &str) -> Goal {
+        Goal::atom(name)
+    }
+
+    #[test]
+    fn figure1_goal_is_unique_event() {
+        // Equation (1) of the paper, conditions omitted.
+        let goal = seq(vec![
+            g("a"),
+            conc(vec![
+                seq(vec![g("b"), or(vec![seq(vec![g("d"), g("h")]), g("e")]), g("j")]),
+                seq(vec![g("c"), or(vec![seq(vec![g("f"), g("i")]), g("g")])]),
+            ]),
+            g("k"),
+        ]);
+        let events = check_unique_events(&goal).expect("figure 1 is unique-event");
+        assert_eq!(events.len(), 11);
+    }
+
+    #[test]
+    fn duplicate_in_seq_is_rejected() {
+        let goal = seq(vec![g("a"), g("b"), g("a")]);
+        let err = check_unique_events(&goal).unwrap_err();
+        assert_eq!(err.event, sym("a"));
+    }
+
+    #[test]
+    fn duplicate_in_conc_is_rejected() {
+        let goal = conc(vec![g("x"), seq(vec![g("y"), g("x")])]);
+        let err = check_unique_events(&goal).unwrap_err();
+        assert_eq!(err.event, sym("x"));
+    }
+
+    #[test]
+    fn duplicate_across_or_branches_is_allowed() {
+        // η occurs in both branches of the ∨ in Example 5.7; the goal is
+        // still unique-event because only one branch executes.
+        let goal = seq(vec![g("gamma"), or(vec![g("eta"), conc(vec![g("alpha"), g("beta"), g("eta")])])]);
+        assert!(is_unique_event(&goal));
+    }
+
+    #[test]
+    fn duplicate_inside_one_or_branch_is_rejected() {
+        let goal = or(vec![g("a"), seq(vec![g("b"), g("b")])]);
+        assert!(!is_unique_event(&goal));
+    }
+
+    #[test]
+    fn restricting_to_significant_events_ignores_other_activities() {
+        // `audit` repeats, but it is not a significant event.
+        let goal = seq(vec![g("audit"), g("pay"), g("audit")]);
+        assert!(!is_unique_event(&goal));
+        let significant: BTreeSet<Symbol> = [sym("pay")].into_iter().collect();
+        assert!(check_unique_events_among(&goal, Some(&significant)).is_ok());
+    }
+
+    #[test]
+    fn channels_and_units_do_not_count_as_events() {
+        use crate::goal::Channel;
+        let goal = seq(vec![Goal::Send(Channel(0)), Goal::Receive(Channel(0)), Goal::Empty]);
+        assert_eq!(check_unique_events(&goal).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn isolation_is_transparent_but_possibility_is_opaque() {
+        use crate::goal::{isolated, possible};
+        // ⊙a executes a on the path: counted.
+        assert!(!is_unique_event(&seq(vec![isolated(g("a")), g("a")])));
+        // ◇a does not execute a on the path: a may also occur for real.
+        assert!(is_unique_event(&seq(vec![possible(g("a")), g("a")])));
+        // The ◇-guarded-sequence combinator relies on this: guards carry
+        // copies of later steps.
+        let guarded = seq(vec![possible(seq(vec![g("x"), g("y")])), g("x"), possible(g("y")), g("y")]);
+        assert!(is_unique_event(&guarded));
+    }
+
+    #[test]
+    fn event_set_is_returned_on_success() {
+        let goal = seq(vec![g("a"), or(vec![g("b"), g("c")])]);
+        let evs = check_unique_events(&goal).unwrap();
+        assert_eq!(evs, [sym("a"), sym("b"), sym("c")].into_iter().collect());
+    }
+}

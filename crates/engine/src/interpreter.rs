@@ -1,0 +1,1015 @@
+//! The SLD-style proof procedure for concurrent-Horn CTR.
+//!
+//! "Like in logic programming systems, the proof theory of CTR is also a
+//! run-time environment for executing workflows" (paper, §1): proving that
+//! a concurrent-Horn goal is executable *is* executing it. This module is
+//! that procedure, following the procedural reading of §2:
+//!
+//! * `⊗` executes left to right; `|` interleaves; `∨` chooses;
+//! * `⊙` runs its body without interleaving from concurrent siblings;
+//! * `◇` tests executability at the current state without consuming path;
+//! * atoms resolve, in order, as **rule calls** (sub-workflows, unfolded
+//!   with unification), **elementary updates** (via the transition
+//!   oracle), **queries** (matched against the database; negated atoms by
+//!   negation-as-failure), or **significant events** (always-true updates
+//!   that only append to the execution log — assumption (2));
+//! * `send(ξ)`/`receive(ξ)` have the synchronization semantics of \[6\]:
+//!   `receive` is true iff the matching `send` has executed earlier.
+//!
+//! The search is a depth-first exploration of *don't-know* choice points
+//! (disjunctions, rule alternatives, oracle alternatives, query matches,
+//! interleavings). Steps with no observable effect and no commitment —
+//! enabled `send`/`receive` outside un-entered `⊙` blocks — fire eagerly:
+//! they commute with every trace, so eager firing loses no executions and
+//! prunes the interleaving space.
+
+use crate::rules::RuleBase;
+use crate::unify::{rename_atom, Subst};
+use ctr::goal::{Channel, Goal};
+use ctr::symbol::Symbol;
+use ctr::term::Atom;
+use ctr_state::{Database, Delta, NullOracle, TransitionOracle};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Resource limits for a run.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Stop after this many complete executions (`usize::MAX` = all).
+    pub max_solutions: usize,
+    /// Abort the search after this many inference steps.
+    pub max_steps: usize,
+    /// Maximum rule-unfolding depth per execution (guards the §7 bounded
+    /// recursion extension).
+    pub max_depth: usize,
+    /// When set, every execution records the full sequence of database
+    /// states it passed through — the CTR *path* ⟨s₁, …, sₙ⟩ itself, not
+    /// just its event projection.
+    pub record_states: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            max_solutions: usize::MAX,
+            max_steps: 1_000_000,
+            max_depth: 128,
+            record_states: false,
+        }
+    }
+}
+
+/// Errors from the proof procedure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The step budget was exhausted before the search finished.
+    StepLimit(usize),
+    /// A negated query was evaluated on a non-ground atom — unsafe
+    /// negation-as-failure.
+    UnsafeNegation(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::StepLimit(n) => write!(f, "execution exceeded step limit of {n}"),
+            EngineError::UnsafeNegation(a) => {
+                write!(f, "negation-as-failure on non-ground atom {a}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A completed execution: the path through the workflow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Execution {
+    /// Executed updates and significant events, in order (queries and
+    /// channel operations are not part of the observable path).
+    pub events: Vec<Atom>,
+    /// The final database state.
+    pub db: Database,
+    /// Answer bindings for the variables of the query goal, in ascending
+    /// variable order. Unbound variables are omitted.
+    pub bindings: Vec<(ctr::term::Var, ctr::term::Term)>,
+    /// The path through state space ⟨s₁, …, sₙ⟩: the initial state plus
+    /// one entry per executed step. Empty unless
+    /// [`ExecOptions::record_states`] is set.
+    pub states: Vec<Database>,
+}
+
+impl Execution {
+    /// The propositional event names of the path, for comparison against
+    /// the trace semantics of `ctr::semantics`.
+    pub fn event_names(&self) -> Vec<Symbol> {
+        self.events.iter().filter_map(Atom::as_event).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resolvent
+// ---------------------------------------------------------------------------
+
+/// A resolvent node: the goal with run-time bookkeeping.
+#[derive(Clone, Debug)]
+enum Res {
+    Done,
+    Atom(Atom),
+    /// `cursor` indexes the first unfinished child.
+    Seq { children: Vec<Res>, cursor: usize },
+    Conc(Vec<Res>),
+    Or(Vec<Res>),
+    Iso { body: Box<Res>, entered: bool },
+    Poss(Goal),
+    Send(Channel),
+    Recv(Channel),
+}
+
+impl Res {
+    fn compile(goal: &Goal) -> Res {
+        match goal {
+            Goal::Atom(a) => Res::Atom(a.clone()),
+            Goal::Seq(gs) => {
+                Res::Seq { children: gs.iter().map(Res::compile).collect(), cursor: 0 }
+            }
+            Goal::Conc(gs) => Res::Conc(gs.iter().map(Res::compile).collect()),
+            Goal::Or(gs) => Res::Or(gs.iter().map(Res::compile).collect()),
+            Goal::Isolated(g) => Res::Iso { body: Box::new(Res::compile(g)), entered: false },
+            Goal::Possible(g) => Res::Poss((**g).clone()),
+            Goal::Send(c) => Res::Send(*c),
+            Goal::Receive(c) => Res::Recv(*c),
+            Goal::Empty => Res::Done,
+            Goal::NoPath => {
+                // Simplified goals contain ¬path only at the root; compile
+                // it to an empty disjunction, which can never be chosen.
+                Res::Or(Vec::new())
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(self, Res::Done)
+    }
+}
+
+/// A position in the resolvent tree.
+type Path = Vec<usize>;
+
+fn node_at<'a>(res: &'a Res, path: &[usize]) -> &'a Res {
+    match path.split_first() {
+        None => res,
+        Some((&i, rest)) => match res {
+            Res::Seq { children, .. } | Res::Conc(children) | Res::Or(children) => {
+                node_at(&children[i], rest)
+            }
+            Res::Iso { body, .. } => {
+                debug_assert_eq!(i, 0);
+                node_at(body, rest)
+            }
+            _ => unreachable!("path descends through interior nodes"),
+        },
+    }
+}
+
+fn node_at_mut<'a>(res: &'a mut Res, path: &[usize]) -> &'a mut Res {
+    match path.split_first() {
+        None => res,
+        Some((&i, rest)) => match res {
+            Res::Seq { children, .. } | Res::Conc(children) | Res::Or(children) => {
+                node_at_mut(&mut children[i], rest)
+            }
+            Res::Iso { body, .. } => node_at_mut(body, rest),
+            _ => unreachable!("path descends through interior nodes"),
+        },
+    }
+}
+
+/// What can happen next at a ready position.
+#[derive(Clone, Debug)]
+enum Redex {
+    /// Resolve the atom at `path` (rule / update / query / event).
+    Fire(Path),
+    /// Commit the disjunction at `path` to its `branch`-th child.
+    Choose(Path, usize),
+    /// Test the `◇` at `path`.
+    Check(Path),
+    /// Execute the enabled channel operation at `path`.
+    Channel(Path),
+}
+
+/// Collects the redexes of the resolvent. When an entered `⊙` block
+/// exists, only redexes inside the innermost one are eligible.
+fn redexes(res: &Res, sent: &BTreeSet<Channel>) -> Vec<Redex> {
+    // Find the innermost entered ⊙.
+    fn innermost_entered(res: &Res, path: &mut Path, best: &mut Option<Path>) {
+        match res {
+            Res::Iso { body, entered } => {
+                if *entered {
+                    *best = Some(path.clone());
+                }
+                path.push(0);
+                innermost_entered(body, path, best);
+                path.pop();
+            }
+            Res::Seq { children, cursor } => {
+                if let Some(child) = children.get(*cursor) {
+                    path.push(*cursor);
+                    innermost_entered(child, path, best);
+                    path.pop();
+                }
+            }
+            Res::Conc(children) => {
+                for (i, c) in children.iter().enumerate() {
+                    path.push(i);
+                    innermost_entered(c, path, best);
+                    path.pop();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn collect(res: &Res, sent: &BTreeSet<Channel>, path: &mut Path, out: &mut Vec<Redex>) {
+        match res {
+            Res::Done => {}
+            Res::Atom(_) => out.push(Redex::Fire(path.clone())),
+            Res::Seq { children, cursor } => {
+                if let Some(child) = children.get(*cursor) {
+                    path.push(*cursor);
+                    collect(child, sent, path, out);
+                    path.pop();
+                }
+            }
+            Res::Conc(children) => {
+                for (i, c) in children.iter().enumerate() {
+                    path.push(i);
+                    collect(c, sent, path, out);
+                    path.pop();
+                }
+            }
+            Res::Or(children) => {
+                for i in 0..children.len() {
+                    out.push(Redex::Choose(path.clone(), i));
+                }
+            }
+            Res::Iso { body, .. } => {
+                path.push(0);
+                collect(body, sent, path, out);
+                path.pop();
+            }
+            Res::Poss(_) => out.push(Redex::Check(path.clone())),
+            Res::Send(_) => out.push(Redex::Channel(path.clone())),
+            Res::Recv(c) => {
+                if sent.contains(c) {
+                    out.push(Redex::Channel(path.clone()));
+                }
+            }
+        }
+    }
+
+    let mut lock = None;
+    innermost_entered(res, &mut Vec::new(), &mut lock);
+    let mut out = Vec::new();
+    match lock {
+        None => collect(res, sent, &mut Vec::new(), &mut out),
+        Some(lock_path) => {
+            let Res::Iso { body, .. } = node_at(res, &lock_path) else {
+                unreachable!("lock path leads to an ⊙ node")
+            };
+            let mut path = lock_path.clone();
+            path.push(0);
+            collect(body, sent, &mut path, &mut out);
+        }
+    }
+    out
+}
+
+/// After a node completes, advance sequence cursors and collapse finished
+/// composites bottom-up along `path`.
+fn tidy(res: &mut Res) {
+    match res {
+        Res::Seq { children, cursor } => {
+            while *cursor < children.len() {
+                tidy(&mut children[*cursor]);
+                if children[*cursor].is_done() {
+                    *cursor += 1;
+                } else {
+                    return;
+                }
+            }
+            *res = Res::Done;
+        }
+        Res::Conc(children) => {
+            let mut all_done = true;
+            for c in children.iter_mut() {
+                tidy(c);
+                all_done &= c.is_done();
+            }
+            if all_done {
+                *res = Res::Done;
+            }
+        }
+        Res::Iso { body, .. } => {
+            tidy(body);
+            if body.is_done() {
+                *res = Res::Done;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// True if the redex sits inside some not-yet-entered `⊙` — firing it
+/// would commit to isolation, which is a real scheduling decision.
+fn enters_isolation(res: &Res, path: &[usize]) -> bool {
+    let mut cur = res;
+    for &i in path {
+        if let Res::Iso { entered, .. } = cur {
+            if !entered {
+                return true;
+            }
+        }
+        cur = match cur {
+            Res::Seq { children, .. } | Res::Conc(children) | Res::Or(children) => &children[i],
+            Res::Iso { body, .. } => body,
+            _ => return false,
+        };
+    }
+    matches!(cur, Res::Iso { entered: false, .. })
+}
+
+/// Marks every `⊙` along `path` as entered.
+fn enter_isolation(res: &mut Res, path: &[usize]) {
+    let mut cur = res;
+    for &i in path {
+        if let Res::Iso { entered, .. } = cur {
+            *entered = true;
+        }
+        cur = match cur {
+            Res::Seq { children, .. } | Res::Conc(children) | Res::Or(children) => {
+                &mut children[i]
+            }
+            Res::Iso { body, .. } => body,
+            _ => return,
+        };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// The CTR execution engine: rule base + transition oracle + database.
+pub struct Engine {
+    /// Sub-workflow definitions.
+    pub rules: RuleBase,
+    oracle: Box<dyn TransitionOracle + Send + Sync>,
+    options: ExecOptions,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+#[derive(Clone)]
+struct Config {
+    res: Res,
+    db: Database,
+    subst: Subst,
+    sent: BTreeSet<Channel>,
+    events: Vec<Atom>,
+    depth: usize,
+    states: Vec<Database>,
+}
+
+impl Engine {
+    /// An engine for purely propositional workflows: no oracle, no rules —
+    /// every atom is a significant event.
+    pub fn new() -> Engine {
+        Engine { rules: RuleBase::new(), oracle: Box::new(NullOracle), options: ExecOptions::default() }
+    }
+
+    /// An engine with a transition oracle for elementary updates.
+    pub fn with_oracle(oracle: Box<dyn TransitionOracle + Send + Sync>) -> Engine {
+        Engine { rules: RuleBase::new(), oracle, options: ExecOptions::default() }
+    }
+
+    /// Replaces the execution limits.
+    pub fn set_options(&mut self, options: ExecOptions) -> &mut Self {
+        self.options = options;
+        self
+    }
+
+    /// Enumerates the executions of `goal` starting at `db`, up to the
+    /// configured limits, deduplicated by observable path and final state.
+    pub fn executions(&self, goal: &Goal, db: &Database) -> Result<Vec<Execution>, EngineError> {
+        let mut out = Vec::new();
+        self.search(goal, db, self.options.max_solutions, &mut out)?;
+        Ok(out)
+    }
+
+    /// The first execution found, if any.
+    pub fn first_execution(
+        &self,
+        goal: &Goal,
+        db: &Database,
+    ) -> Result<Option<Execution>, EngineError> {
+        let mut out = Vec::new();
+        self.search(goal, db, 1, &mut out)?;
+        Ok(out.pop())
+    }
+
+    /// True if the goal has at least one execution from `db` — the `◇`
+    /// test, and the proof-theoretic reading of consistency.
+    pub fn is_executable(&self, goal: &Goal, db: &Database) -> Result<bool, EngineError> {
+        Ok(self.first_execution(goal, db)?.is_some())
+    }
+
+    fn search(
+        &self,
+        goal: &Goal,
+        db: &Database,
+        max_solutions: usize,
+        out: &mut Vec<Execution>,
+    ) -> Result<(), EngineError> {
+        let simplified = goal.simplify();
+        let query_vars = goal_var_floor(&simplified);
+        let initial = Config {
+            res: Res::compile(&simplified),
+            db: db.clone(),
+            subst: Subst::with_floor(query_vars),
+            sent: BTreeSet::new(),
+            events: Vec::new(),
+            depth: 0,
+            states: if self.options.record_states { vec![db.clone()] } else { Vec::new() },
+        };
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut steps = 0usize;
+        let mut stack = vec![initial];
+
+        while let Some(mut cfg) = stack.pop() {
+            if out.len() >= max_solutions {
+                return Ok(());
+            }
+            steps += 1;
+            if steps > self.options.max_steps {
+                return Err(EngineError::StepLimit(self.options.max_steps));
+            }
+
+            tidy(&mut cfg.res);
+            if cfg.res.is_done() {
+                // Answer bindings: resolve each of the query's own
+                // variables against the final substitution.
+                let bindings: Vec<(ctr::term::Var, ctr::term::Term)> = (0..query_vars)
+                    .filter_map(|i| {
+                        let v = ctr::term::Var(i);
+                        let resolved = cfg.subst.resolve(&ctr::term::Term::Var(v));
+                        (resolved != ctr::term::Term::Var(v)).then_some((v, resolved))
+                    })
+                    .collect();
+                let exec = Execution {
+                    events: cfg.events.clone(),
+                    db: cfg.db.clone(),
+                    bindings,
+                    states: cfg.states.clone(),
+                };
+                let key = execution_key(&exec);
+                if seen.insert(key) {
+                    out.push(exec);
+                }
+                continue;
+            }
+
+            let rs = redexes(&cfg.res, &cfg.sent);
+            if rs.is_empty() {
+                // Deadlock or unsatisfiable branch: fail this configuration.
+                continue;
+            }
+
+            // Eagerly fire one commitment-free channel operation, if any.
+            let eager = rs.iter().find_map(|r| match r {
+                Redex::Channel(p) if !enters_isolation(&cfg.res, p) => Some(p.clone()),
+                _ => None,
+            });
+            if let Some(path) = eager {
+                if let Res::Send(c) = node_at(&cfg.res, &path) {
+                    cfg.sent.insert(*c);
+                }
+                *node_at_mut(&mut cfg.res, &path) = Res::Done;
+                stack.push(cfg);
+                continue;
+            }
+
+            // Branch over the remaining redexes (reversed so the stack
+            // explores them in listed order).
+            for redex in rs.iter().rev() {
+                match redex {
+                    Redex::Choose(path, branch) => {
+                        let mut next = cfg.clone();
+                        let node = node_at_mut(&mut next.res, path);
+                        let Res::Or(children) = node else {
+                            unreachable!("choose redex leads to a disjunction")
+                        };
+                        *node = children[*branch].clone();
+                        stack.push(next);
+                    }
+                    Redex::Channel(path) => {
+                        // Only reachable inside an un-entered ⊙ block.
+                        let mut next = cfg.clone();
+                        enter_isolation(&mut next.res, path);
+                        if let Res::Send(c) = node_at(&next.res, path) {
+                            next.sent.insert(*c);
+                        }
+                        *node_at_mut(&mut next.res, path) = Res::Done;
+                        stack.push(next);
+                    }
+                    Redex::Check(path) => {
+                        let Res::Poss(body) = node_at(&cfg.res, path) else {
+                            unreachable!("check redex leads to a ◇ node")
+                        };
+                        // ◇: executable-at-current-state test; consumes no
+                        // path and leaves no changes.
+                        if self.is_executable(&body.clone(), &cfg.db)? {
+                            let mut next = cfg.clone();
+                            *node_at_mut(&mut next.res, path) = Res::Done;
+                            stack.push(next);
+                        }
+                    }
+                    Redex::Fire(path) => {
+                        self.fire_atom(&cfg, path, &mut stack)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the atom at `path`, pushing one successor configuration
+    /// per alternative. Resolution order: rules, elementary updates,
+    /// queries, significant events.
+    fn fire_atom(
+        &self,
+        cfg: &Config,
+        path: &Path,
+        stack: &mut Vec<Config>,
+    ) -> Result<(), EngineError> {
+        let Res::Atom(atom) = node_at(&cfg.res, path) else {
+            unreachable!("fire redex leads to an atom")
+        };
+        let atom = cfg.subst.resolve_atom(atom);
+
+        // 1. Sub-workflow call.
+        if !atom.negated && self.rules.defines(atom.pred) {
+            if cfg.depth >= self.options.max_depth {
+                return Ok(()); // depth-bounded failure of this branch
+            }
+            for rule in self.rules.rules_for(atom.pred) {
+                let mut next = cfg.clone();
+                next.depth += 1;
+                let mut mapping = BTreeMap::new();
+                let head = rename_atom(&rule.head, &mut mapping, &mut next.subst);
+                if !next.subst.unify_atoms(&head, &atom) {
+                    continue;
+                }
+                let body = rename_goal(&rule.body, &mut mapping, &mut next.subst);
+                *node_at_mut(&mut next.res, path) = Res::compile(&body.simplify());
+                stack.push(next);
+            }
+            return Ok(());
+        }
+
+        // 2. Elementary update.
+        if let Some(alternatives) = self.oracle.transitions(&atom, &cfg.db) {
+            for delta in &alternatives {
+                let mut next = cfg.clone();
+                enter_isolation(&mut next.res, path);
+                apply_logged(&mut next.db, delta);
+                next.events.push(atom.clone());
+                if self.options.record_states {
+                    next.states.push(next.db.clone());
+                }
+                *node_at_mut(&mut next.res, path) = Res::Done;
+                stack.push(next);
+            }
+            return Ok(());
+        }
+
+        // 3. Query against the database.
+        if atom.negated {
+            if !atom.is_ground() {
+                return Err(EngineError::UnsafeNegation(atom.to_string()));
+            }
+            let present = cfg.db.contains(atom.pred, &atom.args);
+            if !present {
+                let mut next = cfg.clone();
+                enter_isolation(&mut next.res, path);
+                *node_at_mut(&mut next.res, path) = Res::Done;
+                stack.push(next);
+            }
+            return Ok(());
+        }
+        if cfg.db.has_relation(atom.pred) {
+            // One successor per matching tuple (with bindings).
+            let tuples: Vec<_> = cfg.db.tuples(atom.pred).cloned().collect();
+            for tuple in tuples {
+                if tuple.len() != atom.args.len() {
+                    continue;
+                }
+                let mut next = cfg.clone();
+                let mark = next.subst.mark();
+                let matches = atom
+                    .args
+                    .iter()
+                    .zip(&tuple)
+                    .all(|(a, t)| next.subst.unify(a, t));
+                if matches {
+                    enter_isolation(&mut next.res, path);
+                    *node_at_mut(&mut next.res, path) = Res::Done;
+                    stack.push(next);
+                } else {
+                    next.subst.undo_to(mark);
+                }
+            }
+            return Ok(());
+        }
+
+        // 4. Significant event: an update that applies in every state and
+        // only appends to the log (assumption (2)).
+        let mut next = cfg.clone();
+        enter_isolation(&mut next.res, path);
+        next.events.push(atom);
+        if self.options.record_states {
+            // Significant events leave the state unchanged (assumption
+            // (2)); the path still advances by one arc ⟨s, s⟩.
+            next.states.push(next.db.clone());
+        }
+        *node_at_mut(&mut next.res, path) = Res::Done;
+        stack.push(next);
+        Ok(())
+    }
+}
+
+fn apply_logged(db: &mut Database, delta: &Delta) {
+    let _ = db.apply_delta(delta);
+}
+
+/// Canonical dedup key for an execution.
+fn execution_key(exec: &Execution) -> String {
+    use std::fmt::Write;
+    let mut key = String::new();
+    for e in &exec.events {
+        let _ = write!(key, "{e};");
+    }
+    key.push('|');
+    let _ = write!(key, "{:?}", exec.db);
+    key.push('|');
+    for (v, t) in &exec.bindings {
+        let _ = write!(key, "{v:?}={t};");
+    }
+    key
+}
+
+/// Renames the variables of every atom in a goal apart.
+fn rename_goal(goal: &Goal, mapping: &mut BTreeMap<ctr::term::Var, ctr::term::Var>, subst: &mut Subst) -> Goal {
+    match goal {
+        Goal::Atom(a) => Goal::Atom(rename_atom(a, mapping, subst)),
+        Goal::Seq(gs) => Goal::Seq(gs.iter().map(|g| rename_goal(g, mapping, subst)).collect()),
+        Goal::Conc(gs) => Goal::Conc(gs.iter().map(|g| rename_goal(g, mapping, subst)).collect()),
+        Goal::Or(gs) => Goal::Or(gs.iter().map(|g| rename_goal(g, mapping, subst)).collect()),
+        Goal::Isolated(g) => Goal::Isolated(Box::new(rename_goal(g, mapping, subst))),
+        Goal::Possible(g) => Goal::Possible(Box::new(rename_goal(g, mapping, subst))),
+        other => other.clone(),
+    }
+}
+
+/// Highest variable index in the goal's atoms, plus one.
+fn goal_var_floor(goal: &Goal) -> u32 {
+    fn walk(goal: &Goal, floor: &mut u32) {
+        match goal {
+            Goal::Atom(a) => {
+                let mut vars = Vec::new();
+                for arg in &a.args {
+                    arg.collect_vars(&mut vars);
+                }
+                for ctr::term::Var(i) in vars {
+                    *floor = (*floor).max(i + 1);
+                }
+            }
+            Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
+                for g in gs {
+                    walk(g, floor);
+                }
+            }
+            Goal::Isolated(g) | Goal::Possible(g) => walk(g, floor),
+            _ => {}
+        }
+    }
+    let mut floor = 0;
+    walk(goal, &mut floor);
+    floor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctr::goal::{conc, isolated, or, possible, seq};
+    use ctr::symbol::sym;
+    use ctr::term::Term;
+    use ctr_state::StandardOracle;
+    use std::collections::BTreeSet as Set;
+
+    fn g(name: &str) -> Goal {
+        Goal::atom(name)
+    }
+
+    fn event_sets(execs: &[Execution]) -> Set<Vec<Symbol>> {
+        execs.iter().map(Execution::event_names).collect()
+    }
+
+    #[test]
+    fn seq_executes_in_order() {
+        let engine = Engine::new();
+        let execs = engine.executions(&seq(vec![g("a"), g("b")]), &Database::new()).unwrap();
+        assert_eq!(event_sets(&execs), [vec![sym("a"), sym("b")]].into_iter().collect());
+    }
+
+    #[test]
+    fn conc_produces_all_interleavings() {
+        let engine = Engine::new();
+        let execs = engine.executions(&conc(vec![g("a"), g("b")]), &Database::new()).unwrap();
+        assert_eq!(execs.len(), 2);
+    }
+
+    #[test]
+    fn or_produces_all_choices() {
+        let engine = Engine::new();
+        let execs = engine.executions(&or(vec![g("a"), g("b"), g("c")]), &Database::new()).unwrap();
+        assert_eq!(execs.len(), 3);
+    }
+
+    #[test]
+    fn agreement_with_trace_semantics_on_propositional_goals() {
+        // The proof procedure and the model-theoretic trace enumeration
+        // must denote the same execution set.
+        let engine = Engine::new();
+        let mut checked = 0;
+        for seed in 0..15 {
+            let (goal, _) =
+                ctr::gen::random_goal(seed, ctr::gen::GoalShape { depth: 3, width: 3, or_bias: 0.3 }, "p");
+            // Skip seeds whose interleaving space exceeds the oracle budget.
+            let Ok(semantic) = ctr::semantics::event_traces(&goal, 100_000) else { continue };
+            let execs = engine.executions(&goal, &Database::new()).unwrap();
+            assert_eq!(event_sets(&execs), semantic, "seed {seed} goal {goal}");
+            checked += 1;
+        }
+        assert!(checked >= 8, "enough seeds fit the budget ({checked})");
+    }
+
+    #[test]
+    fn channels_synchronize() {
+        let xi = Channel(0);
+        let goal = conc(vec![
+            seq(vec![g("a"), Goal::Send(xi)]),
+            seq(vec![Goal::Receive(xi), g("b")]),
+        ]);
+        let engine = Engine::new();
+        let execs = engine.executions(&goal, &Database::new()).unwrap();
+        assert_eq!(event_sets(&execs), [vec![sym("a"), sym("b")]].into_iter().collect());
+    }
+
+    #[test]
+    fn knotted_goal_has_no_executions() {
+        let xi = Channel(0);
+        let goal = seq(vec![Goal::Receive(xi), g("a"), Goal::Send(xi)]);
+        let engine = Engine::new();
+        assert!(!engine.is_executable(&goal, &Database::new()).unwrap());
+    }
+
+    #[test]
+    fn isolation_excludes_interleavings() {
+        let goal = conc(vec![isolated(seq(vec![g("a"), g("b")])), g("c")]);
+        let engine = Engine::new();
+        let execs = engine.executions(&goal, &Database::new()).unwrap();
+        let expected: Set<Vec<Symbol>> = [
+            vec![sym("a"), sym("b"), sym("c")],
+            vec![sym("c"), sym("a"), sym("b")],
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(event_sets(&execs), expected);
+    }
+
+    #[test]
+    fn possibility_tests_without_consuming() {
+        let goal = seq(vec![possible(g("x")), g("a")]);
+        let engine = Engine::new();
+        let execs = engine.executions(&goal, &Database::new()).unwrap();
+        assert_eq!(event_sets(&execs), [vec![sym("a")]].into_iter().collect());
+    }
+
+    #[test]
+    fn possibility_of_failing_goal_fails() {
+        // ◇(query on empty relation) cannot succeed.
+        let mut db = Database::new();
+        db.declare("stock");
+        let goal = seq(vec![possible(Goal::Atom(Atom::prop("stock"))), g("a")]);
+        let engine = Engine::new();
+        // `stock` resolves as a query (declared relation) with no tuples.
+        assert!(!engine.is_executable(&goal, &db).unwrap());
+    }
+
+    #[test]
+    fn updates_change_state() {
+        let engine = Engine::with_oracle(Box::new(StandardOracle::new()));
+        let goal = seq(vec![
+            Goal::Atom(Atom::new("ins_cart", vec![Term::constant("book")])),
+            g("checkout"),
+        ]);
+        let execs = engine.executions(&goal, &Database::new()).unwrap();
+        assert_eq!(execs.len(), 1);
+        assert!(execs[0].db.contains(sym("cart"), &[Term::constant("book")]));
+        assert_eq!(execs[0].events.len(), 2, "update and event both logged");
+    }
+
+    #[test]
+    fn queries_filter_executions() {
+        let mut db = Database::new();
+        db.insert_fact("approved");
+        db.declare("rejected");
+        let engine = Engine::new();
+        // approved? succeeds, rejected? fails.
+        let ok = seq(vec![Goal::Atom(Atom::prop("approved")), g("pay")]);
+        let bad = seq(vec![Goal::Atom(Atom::prop("rejected")), g("pay")]);
+        assert!(engine.is_executable(&ok, &db).unwrap());
+        assert!(!engine.is_executable(&bad, &db).unwrap());
+    }
+
+    #[test]
+    fn negated_queries_use_naf() {
+        let mut db = Database::new();
+        db.insert_fact("frozen");
+        let engine = Engine::new();
+        let goal = seq(vec![Goal::Atom(Atom::prop("frozen").negate()), g("pay")]);
+        assert!(!engine.is_executable(&goal, &db).unwrap());
+        let goal2 = seq(vec![Goal::Atom(Atom::prop("audited").negate()), g("pay")]);
+        assert!(engine.is_executable(&goal2, &Database::new()).unwrap());
+    }
+
+    #[test]
+    fn unsafe_negation_is_an_error() {
+        let engine = Engine::new();
+        let goal = Goal::Atom(Atom {
+            pred: sym("p"),
+            args: vec![Term::Var(ctr::term::Var(0))],
+            negated: true,
+        });
+        assert!(matches!(
+            engine.is_executable(&goal, &Database::new()),
+            Err(EngineError::UnsafeNegation(_))
+        ));
+    }
+
+    #[test]
+    fn query_with_variables_binds_and_branches() {
+        let mut db = Database::new();
+        db.insert("flight", vec![Term::constant("aa100")]);
+        db.insert("flight", vec![Term::constant("ba200")]);
+        let engine = Engine::with_oracle(Box::new(StandardOracle::new()));
+        // flight(X) ⊗ ins_booked(X): one execution per flight.
+        let x = Term::Var(ctr::term::Var(0));
+        let goal = seq(vec![
+            Goal::Atom(Atom::new("flight", vec![x.clone()])),
+            Goal::Atom(Atom::new("ins_booked", vec![x])),
+        ]);
+        let execs = engine.executions(&goal, &db).unwrap();
+        assert_eq!(execs.len(), 2);
+        let booked: Set<bool> = execs
+            .iter()
+            .map(|e| e.db.contains(sym("booked"), &[Term::constant("aa100")]))
+            .collect();
+        assert_eq!(booked.len(), 2, "each execution books a different flight");
+    }
+
+    #[test]
+    fn state_paths_are_recorded_on_request() {
+        let mut engine = Engine::with_oracle(Box::new(StandardOracle::new()));
+        engine.set_options(ExecOptions { record_states: true, ..Default::default() });
+        let goal = seq(vec![
+            Goal::Atom(Atom::new("ins_cart", vec![Term::constant("book")])),
+            g("checkout"),
+        ]);
+        let execs = engine.executions(&goal, &Database::new()).unwrap();
+        assert_eq!(execs.len(), 1);
+        // Path ⟨s₁, s₂, s₃⟩: initial, after the insert, after the event.
+        let states = &execs[0].states;
+        assert_eq!(states.len(), 3);
+        assert!(states[0].is_empty());
+        assert!(states[1].contains(sym("cart"), &[Term::constant("book")]));
+        assert_eq!(states[1], states[2], "events move along ⟨s, s⟩ arcs");
+    }
+
+    #[test]
+    fn state_paths_are_empty_by_default() {
+        let engine = Engine::new();
+        let execs = engine.executions(&g("a"), &Database::new()).unwrap();
+        assert!(execs[0].states.is_empty());
+    }
+
+    #[test]
+    fn answer_bindings_are_reported() {
+        let mut db = Database::new();
+        db.insert("flight", vec![Term::constant("aa100")]);
+        db.insert("flight", vec![Term::constant("ba200")]);
+        let engine = Engine::new();
+        let x = Term::Var(ctr::term::Var(0));
+        let goal = seq(vec![Goal::Atom(Atom::new("flight", vec![x])), g("board")]);
+        let mut execs = engine.executions(&goal, &db).unwrap();
+        execs.sort_by_key(|e| e.bindings.clone());
+        assert_eq!(execs.len(), 2);
+        assert_eq!(execs[0].bindings, vec![(ctr::term::Var(0), Term::constant("aa100"))]);
+        assert_eq!(execs[1].bindings, vec![(ctr::term::Var(0), Term::constant("ba200"))]);
+    }
+
+    #[test]
+    fn ground_goals_have_no_bindings() {
+        let engine = Engine::new();
+        let execs = engine.executions(&g("a"), &Database::new()).unwrap();
+        assert!(execs[0].bindings.is_empty());
+    }
+
+    #[test]
+    fn rules_unfold_subworkflows() {
+        let mut engine = Engine::new();
+        engine.rules.define("ship", seq(vec![g("pack"), or(vec![g("ground"), g("air")])])).unwrap();
+        let goal = seq(vec![g("order"), g("ship")]);
+        let execs = engine.executions(&goal, &Database::new()).unwrap();
+        assert_eq!(
+            event_sets(&execs),
+            [
+                vec![sym("order"), sym("pack"), sym("ground")],
+                vec![sym("order"), sym("pack"), sym("air")],
+            ]
+            .into_iter()
+            .collect()
+        );
+    }
+
+    #[test]
+    fn rules_with_variables_bind_parameters() {
+        let mut engine = Engine::with_oracle(Box::new(StandardOracle::new()));
+        let x = Term::Var(ctr::term::Var(0));
+        engine
+            .rules
+            .add(crate::rules::Rule {
+                head: Atom::new("record", vec![x.clone()]),
+                body: Goal::Atom(Atom::new("ins_log", vec![x])),
+            })
+            .unwrap();
+        let goal = Goal::Atom(Atom::new("record", vec![Term::constant("done")]));
+        let execs = engine.executions(&goal, &Database::new()).unwrap();
+        assert_eq!(execs.len(), 1);
+        assert!(execs[0].db.contains(sym("log"), &[Term::constant("done")]));
+    }
+
+    #[test]
+    fn bounded_recursion_terminates() {
+        let mut engine = Engine::new();
+        engine.rules.allow_recursion();
+        engine
+            .rules
+            .define("loop", or(vec![Goal::Empty, seq(vec![g("tick"), g("loop")])]))
+            .unwrap();
+        engine.set_options(ExecOptions { max_solutions: 5, max_steps: 100_000, max_depth: 16, ..Default::default() });
+        let execs = engine.executions(&g("loop"), &Database::new()).unwrap();
+        assert_eq!(execs.len(), 5);
+        // Executions are tick-sequences of increasing length, including 0.
+        assert!(execs.iter().any(|e| e.events.is_empty()));
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let mut engine = Engine::new();
+        engine.set_options(ExecOptions { max_solutions: usize::MAX, max_steps: 10, max_depth: 8, ..Default::default() });
+        let goal = conc((0..6).map(|i| g(&format!("t{i}"))).collect());
+        assert_eq!(
+            engine.executions(&goal, &Database::new()),
+            Err(EngineError::StepLimit(10))
+        );
+    }
+
+    #[test]
+    fn nondeterministic_oracle_branches() {
+        let mut oracle = StandardOracle::new();
+        oracle.register("pick", ctr_state::choose_any("options", "picked"));
+        let engine = Engine::with_oracle(Box::new(oracle));
+        let mut db = Database::new();
+        db.insert("options", vec![Term::constant("x")]);
+        db.insert("options", vec![Term::constant("y")]);
+        let execs = engine.executions(&Goal::atom("pick"), &db).unwrap();
+        assert_eq!(execs.len(), 2);
+    }
+
+}

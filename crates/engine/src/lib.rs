@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # ctr-engine — executing concurrent-Horn CTR
+//!
+//! The run-time half of the PODS'98 workflow system: an SLD-style proof
+//! procedure that executes workflows while proving them
+//! ([`interpreter`]), unification and concurrent-Horn rule bases for
+//! sub-workflows ([`unify`], [`rules`]), and the pro-active scheduler
+//! over compiled, constraint-free goals ([`scheduler`]).
+//!
+//! Two execution layers, by design:
+//!
+//! * [`Engine`] — the full first-order interpreter: database states,
+//!   transition oracles, queries with unification, negation-as-failure
+//!   transition conditions, `⊙` isolation, `◇` possibility, bounded
+//!   recursion. Correctness-first, backtracking search.
+//! * [`Scheduler`] — the fast propositional cursor over a compiled
+//!   [`Program`]: eligible-event tracking and linear-time schedule
+//!   construction, as promised in §4 of the paper.
+//!
+//! The two agree on propositional goals (differentially tested against
+//! each other and against `ctr::semantics`).
+
+pub mod interpreter;
+pub mod rules;
+pub mod scheduler;
+pub mod unify;
+
+pub use interpreter::{Engine, EngineError, ExecOptions, Execution};
+pub use rules::{Rule, RuleBase, RuleError};
+pub use scheduler::{Choice, NodeId, Program, ScheduleError, Scheduler};
+pub use unify::Subst;

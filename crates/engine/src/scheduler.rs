@@ -1,0 +1,765 @@
+//! The pro-active scheduler (paper, §4).
+//!
+//! After `Apply` + `Excise`, the compiled goal `G'` is a "compressed"
+//! explicit representation of all allowed executions: the constraints are
+//! *compiled into the structure*, so no run-time constraint validation is
+//! needed. This module executes that structure: "at each stage in the
+//! execution of a workflow, the scheduler knows all events that are
+//! eligible to start."
+//!
+//! [`Program`] is the goal flattened into an arena; [`Scheduler`] is a
+//! cursor over it. Each [`Scheduler::fire`] commits the `∨`-choices and
+//! `⊙`-entries on the fired node's path, appends the event to the trace,
+//! and silently drains enabled `send`/`receive` bookkeeping. Driving a
+//! complete schedule touches each node of the chosen execution variant a
+//! constant number of times — the linear-time scheduling the paper
+//! contrasts with the quadratic per-sequence validation of the passive
+//! approaches (benchmarked in experiment E5 against `ctr-baselines`).
+
+use ctr::goal::{Channel, Goal};
+use ctr::symbol::Symbol;
+use ctr::term::Atom;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a node in a [`Program`].
+pub type NodeId = usize;
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    /// A workflow activity/event (any atom: the scheduler is the
+    /// propositional layer; state effects belong to the interpreter).
+    Event(Atom),
+    Seq(Vec<NodeId>),
+    Conc(Vec<NodeId>),
+    Or(Vec<NodeId>),
+    Iso(NodeId),
+    Send(Channel),
+    Recv(Channel),
+    Empty,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+}
+
+/// Errors from compiling a goal into a schedulable program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The goal is `¬path` — the specification is inconsistent and there
+    /// is nothing to schedule.
+    Inconsistent,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Inconsistent => {
+                write!(f, "goal is ¬path: the workflow specification is inconsistent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A compiled, schedulable workflow program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Program {
+    /// Compiles a (simplified, knot-free) goal. `◇`-subgoals are resolved
+    /// at compile time: in the propositional scheduling layer a simplified
+    /// non-`¬path` body is always executable, so they reduce to `Empty`
+    /// (state-dependent `◇` belongs to the interpreter).
+    pub fn compile(goal: &Goal) -> Result<Program, ScheduleError> {
+        let simplified = goal.simplify();
+        if simplified.is_nopath() {
+            return Err(ScheduleError::Inconsistent);
+        }
+        let mut nodes = Vec::with_capacity(simplified.size());
+        let root = build(&simplified, &mut nodes);
+        // Wire parents after construction.
+        let links: Vec<(NodeId, Vec<NodeId>)> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i, children_of(&n.kind).to_vec()))
+            .collect();
+        for (parent, children) in links {
+            for c in children {
+                nodes[c].parent = Some(parent);
+            }
+        }
+        Ok(Program { nodes, root })
+    }
+
+    /// Number of nodes in the program.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the program is a single `Empty` node.
+    pub fn is_empty(&self) -> bool {
+        matches!(self.nodes[self.root].kind, NodeKind::Empty)
+    }
+
+    /// The event atom of a node, if it is an event node.
+    pub fn event(&self, node: NodeId) -> Option<&Atom> {
+        match &self.nodes[node].kind {
+            NodeKind::Event(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+fn children_of(kind: &NodeKind) -> &[NodeId] {
+    match kind {
+        NodeKind::Seq(cs) | NodeKind::Conc(cs) | NodeKind::Or(cs) => cs,
+        NodeKind::Iso(c) => std::slice::from_ref(c),
+        _ => &[],
+    }
+}
+
+fn build(goal: &Goal, nodes: &mut Vec<Node>) -> NodeId {
+    let kind = match goal {
+        Goal::Atom(a) => NodeKind::Event(a.clone()),
+        Goal::Seq(gs) => NodeKind::Seq(gs.iter().map(|g| build(g, nodes)).collect()),
+        Goal::Conc(gs) => NodeKind::Conc(gs.iter().map(|g| build(g, nodes)).collect()),
+        Goal::Or(gs) => NodeKind::Or(gs.iter().map(|g| build(g, nodes)).collect()),
+        Goal::Isolated(g) => NodeKind::Iso(build(g, nodes)),
+        Goal::Possible(_) => NodeKind::Empty,
+        Goal::Send(c) => NodeKind::Send(*c),
+        Goal::Receive(c) => NodeKind::Recv(*c),
+        Goal::Empty => NodeKind::Empty,
+        Goal::NoPath => unreachable!("simplified non-¬path goals contain no ¬path"),
+    };
+    nodes.push(Node { kind, parent: None });
+    nodes.len() - 1
+}
+
+/// One schedulable step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Choice {
+    /// The node to fire.
+    pub node: NodeId,
+    /// True if this step is an observable event (false: internal
+    /// `send`/`receive` bookkeeping requiring a choice commitment).
+    pub observable: bool,
+}
+
+/// A cursor executing a [`Program`].
+#[derive(Clone, Debug)]
+pub struct Scheduler<'p> {
+    program: &'p Program,
+    done: Vec<bool>,
+    seq_pos: Vec<usize>,
+    or_choice: Vec<Option<NodeId>>,
+    sent: BTreeSet<Channel>,
+    /// Stack of entered, unfinished `⊙` nodes (innermost last).
+    lock: Vec<NodeId>,
+    trace: Vec<Atom>,
+    finished: bool,
+}
+
+impl<'p> Scheduler<'p> {
+    /// A fresh cursor at the program's initial state. Leading `Empty`
+    /// nodes and commitment-free channel operations are drained
+    /// immediately.
+    pub fn new(program: &'p Program) -> Scheduler<'p> {
+        let n = program.len();
+        let mut s = Scheduler {
+            program,
+            done: vec![false; n],
+            seq_pos: vec![0; n],
+            or_choice: vec![None; n],
+            sent: BTreeSet::new(),
+            lock: Vec::new(),
+            trace: Vec::new(),
+            finished: false,
+        };
+        s.drain_silent();
+        s.finished = s.done[program.root];
+        s
+    }
+
+    /// The events fired so far.
+    pub fn trace(&self) -> &[Atom] {
+        &self.trace
+    }
+
+    /// The trace as propositional event names.
+    pub fn trace_names(&self) -> Vec<Symbol> {
+        self.trace.iter().filter_map(Atom::as_event).collect()
+    }
+
+    /// True when the whole workflow has completed.
+    pub fn is_complete(&self) -> bool {
+        self.finished
+    }
+
+    /// True when incomplete with nothing eligible — a knot at run time
+    /// (cannot happen on `Excise`d programs with `guaranteed_knot_free`).
+    pub fn is_deadlocked(&self) -> bool {
+        !self.is_complete() && self.eligible().is_empty()
+    }
+
+    /// All steps eligible to start now: the pro-active scheduler's
+    /// knowledge at this stage of the execution.
+    pub fn eligible(&self) -> Vec<Choice> {
+        let mut out = Vec::new();
+        let start = *self.lock.last().unwrap_or(&self.program.root);
+        self.collect_eligible(start, &mut out);
+        out
+    }
+
+    fn collect_eligible(&self, node: NodeId, out: &mut Vec<Choice>) {
+        if self.done[node] {
+            return;
+        }
+        match &self.program.nodes[node].kind {
+            NodeKind::Event(_) => out.push(Choice { node, observable: true }),
+            NodeKind::Send(_) => out.push(Choice { node, observable: false }),
+            NodeKind::Recv(c) => {
+                if self.sent.contains(c) {
+                    out.push(Choice { node, observable: false });
+                }
+            }
+            // A ready Empty is only still pending when choosing it would
+            // commit something (e.g. an ∨-branch that is just the empty
+            // goal); taking that branch is a silent scheduling decision.
+            NodeKind::Empty => out.push(Choice { node, observable: false }),
+            NodeKind::Seq(cs) => {
+                if let Some(&cur) = cs.get(self.seq_pos[node]) {
+                    self.collect_eligible(cur, out);
+                }
+            }
+            NodeKind::Conc(cs) => {
+                for &c in cs {
+                    self.collect_eligible(c, out);
+                }
+            }
+            NodeKind::Or(cs) => match self.or_choice[node] {
+                Some(chosen) => self.collect_eligible(chosen, out),
+                None => {
+                    for &c in cs {
+                        self.collect_eligible(c, out);
+                    }
+                }
+            },
+            NodeKind::Iso(body) => self.collect_eligible(*body, out),
+        }
+    }
+
+    /// Fires the step at `node` (which must currently be eligible):
+    /// commits the choices on its path, records the event, and drains
+    /// enabled bookkeeping.
+    pub fn fire(&mut self, node: NodeId) {
+        debug_assert!(
+            self.eligible().iter().any(|c| c.node == node),
+            "fired node must be eligible"
+        );
+        self.commit_path(node);
+        match &self.program.nodes[node].kind {
+            NodeKind::Event(a) => self.trace.push(a.clone()),
+            NodeKind::Send(c) => {
+                self.sent.insert(*c);
+            }
+            NodeKind::Recv(_) | NodeKind::Empty => {}
+            other => unreachable!("only leaves fire, got {other:?}"),
+        }
+        self.complete(node);
+        self.drain_silent();
+        self.finished = self.done[self.program.root];
+    }
+
+    /// Fires the atom named `event` if exactly one eligible node carries
+    /// it; returns false when absent or ambiguous.
+    pub fn fire_event(&mut self, event: Symbol) -> bool {
+        let matches: Vec<NodeId> = self
+            .eligible()
+            .into_iter()
+            .filter(|c| {
+                self.program.event(c.node).and_then(Atom::as_event) == Some(event)
+            })
+            .map(|c| c.node)
+            .collect();
+        match matches.as_slice() {
+            [node] => {
+                self.fire(*node);
+                true
+            }
+            [node, ..] => {
+                // Several branches offer the event; any is valid (the
+                // program is knot-free), pick the first deterministically.
+                self.fire(*node);
+                true
+            }
+            [] => false,
+        }
+    }
+
+    /// Path from root to `node`, exclusive of `node`.
+    fn ancestors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut chain = Vec::new();
+        let mut cur = self.program.nodes[node].parent;
+        while let Some(p) = cur {
+            chain.push(p);
+            cur = self.program.nodes[p].parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Commits every unchosen `∨` and un-entered `⊙` on the way to `node`.
+    fn commit_path(&mut self, node: NodeId) {
+        let chain = self.ancestors(node);
+        // `chain` runs root → parent; each entry's relevant child is the
+        // next entry (or `node` itself at the end).
+        for (i, &anc) in chain.iter().enumerate() {
+            let towards = *chain.get(i + 1).unwrap_or(&node);
+            match &self.program.nodes[anc].kind {
+                NodeKind::Or(_)
+                    if self.or_choice[anc].is_none() => {
+                        self.or_choice[anc] = Some(towards);
+                    }
+                NodeKind::Iso(_)
+                    if !self.lock.contains(&anc) => {
+                        self.lock.push(anc);
+                    }
+                _ => {}
+            }
+        }
+    }
+
+    /// Marks `node` done and propagates completion upward.
+    fn complete(&mut self, node: NodeId) {
+        self.done[node] = true;
+        let Some(parent) = self.program.nodes[node].parent else { return };
+        match &self.program.nodes[parent].kind {
+            NodeKind::Seq(cs) => {
+                let cs = cs.clone();
+                let mut pos = self.seq_pos[parent];
+                while pos < cs.len() && self.done[cs[pos]] {
+                    pos += 1;
+                }
+                self.seq_pos[parent] = pos;
+                if pos == cs.len() {
+                    self.complete(parent);
+                }
+            }
+            NodeKind::Conc(cs) => {
+                if cs.iter().all(|&c| self.done[c]) {
+                    self.complete(parent);
+                }
+            }
+            NodeKind::Or(_) => {
+                debug_assert_eq!(self.or_choice[parent], Some(node));
+                self.complete(parent);
+            }
+            NodeKind::Iso(_) => {
+                if self.lock.last() == Some(&parent) {
+                    self.lock.pop();
+                } else {
+                    self.lock.retain(|&l| l != parent);
+                }
+                self.complete(parent);
+            }
+            other => unreachable!("leaf parent must be a connective, got {other:?}"),
+        }
+    }
+
+    /// Fires, to fixpoint, every eligible internal step that commits
+    /// nothing: `Empty` nodes, `send`s, and enabled `receive`s whose path
+    /// is already fully committed.
+    fn drain_silent(&mut self) {
+        loop {
+            let mut fired = false;
+            let start = *self.lock.last().unwrap_or(&self.program.root);
+            let mut silents = Vec::new();
+            self.collect_silent(start, &mut silents);
+            for node in silents {
+                if self.done[node] || !self.commitment_free(node) {
+                    continue;
+                }
+                match &self.program.nodes[node].kind {
+                    NodeKind::Send(c) => {
+                        self.sent.insert(*c);
+                    }
+                    NodeKind::Recv(c) => {
+                        if !self.sent.contains(c) {
+                            continue;
+                        }
+                    }
+                    NodeKind::Empty => {}
+                    _ => continue,
+                }
+                self.complete(node);
+                fired = true;
+            }
+            if !fired {
+                return;
+            }
+        }
+    }
+
+    /// Collects ready silent candidates (sends, receives, empties).
+    fn collect_silent(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        if self.done[node] {
+            return;
+        }
+        match &self.program.nodes[node].kind {
+            NodeKind::Send(_) | NodeKind::Recv(_) | NodeKind::Empty => out.push(node),
+            NodeKind::Event(_) => {}
+            NodeKind::Seq(cs) => {
+                if let Some(&cur) = cs.get(self.seq_pos[node]) {
+                    self.collect_silent(cur, out);
+                }
+            }
+            NodeKind::Conc(cs) => {
+                for &c in cs {
+                    self.collect_silent(c, out);
+                }
+            }
+            NodeKind::Or(cs) => match self.or_choice[node] {
+                Some(chosen) => self.collect_silent(chosen, out),
+                None => {
+                    for &c in cs {
+                        self.collect_silent(c, out);
+                    }
+                }
+            },
+            NodeKind::Iso(body) => self.collect_silent(*body, out),
+        }
+    }
+
+    /// True if firing `node` commits no `∨`-choice and enters no `⊙` —
+    /// i.e. it cannot cancel any other currently-eligible step. Dispatch
+    /// layers use this to decide which eligible activities may start
+    /// concurrently and which require a branching decision first.
+    pub fn is_commitment_free(&self, node: NodeId) -> bool {
+        self.commitment_free(node)
+    }
+
+    /// True if firing `node` commits no `∨`-choice and enters no `⊙`.
+    fn commitment_free(&self, node: NodeId) -> bool {
+        for anc in self.ancestors(node) {
+            match &self.program.nodes[anc].kind {
+                NodeKind::Or(_) if self.or_choice[anc].is_none() => return false,
+                NodeKind::Iso(_) if !self.lock.contains(&anc) && !self.done[anc] => {
+                    return false
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Drives the schedule to completion by always firing the first
+    /// eligible step — the deterministic linear-time scheduling of §4.
+    /// Returns the trace, or `None` on deadlock.
+    pub fn run_first(mut self) -> Option<Vec<Atom>> {
+        while !self.is_complete() {
+            let choice = *self.eligible().first()?;
+            self.fire(choice.node);
+        }
+        Some(self.trace)
+    }
+
+    /// A canonical fingerprint of the cursor state (node statuses, choice
+    /// commitments, channels, locks). Two schedulers with equal keys admit
+    /// the same continuations — the state identity used by explicit-state
+    /// model checking over the marking graph.
+    pub fn state_key(&self) -> Vec<u8> {
+        let mut key = Vec::with_capacity(self.done.len() * 10 + 16);
+        for (&d, (&pos, choice)) in
+            self.done.iter().zip(self.seq_pos.iter().zip(self.or_choice.iter()))
+        {
+            key.push(d as u8);
+            key.extend_from_slice(&(pos as u32).to_le_bytes());
+            key.extend_from_slice(&choice.map_or(u32::MAX, |c| c as u32).to_le_bytes());
+        }
+        key.push(0xFE);
+        for c in &self.sent {
+            key.extend_from_slice(&c.0.to_le_bytes());
+        }
+        key.push(0xFD);
+        for l in &self.lock {
+            key.extend_from_slice(&(*l as u32).to_le_bytes());
+        }
+        key
+    }
+
+    /// Drives the schedule to completion with a deterministic pseudo-random
+    /// policy (a splitmix-style generator over `seed`): at each stage one
+    /// of the eligible steps is picked uniformly. Returns the trace, or
+    /// `None` on deadlock. Useful for randomized testing and for sampling
+    /// the execution space without full enumeration.
+    pub fn run_random(mut self, seed: u64) -> Option<Vec<Atom>> {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        while !self.is_complete() {
+            let eligible = self.eligible();
+            if eligible.is_empty() {
+                return None;
+            }
+            let pick = eligible[(next() % eligible.len() as u64) as usize];
+            self.fire(pick.node);
+        }
+        Some(self.trace)
+    }
+
+    /// Enumerates every complete trace (as event-name sequences), up to
+    /// `limit` distinct traces. Clone-based DFS over the choice tree —
+    /// the enumeration utility of §4 ("enumerate all allowed executions").
+    pub fn enumerate_traces(&self, limit: usize) -> BTreeSet<Vec<Symbol>> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![self.clone()];
+        while let Some(s) = stack.pop() {
+            if out.len() >= limit {
+                break;
+            }
+            if s.is_complete() {
+                out.insert(s.trace_names());
+                continue;
+            }
+            let eligible = s.eligible();
+            for choice in eligible {
+                let mut next = s.clone();
+                next.fire(choice.node);
+                stack.push(next);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctr::goal::{conc, isolated, or, seq};
+    use ctr::symbol::sym;
+
+    fn g(name: &str) -> Goal {
+        Goal::atom(name)
+    }
+
+    fn compile(goal: &Goal) -> Program {
+        Program::compile(goal).expect("consistent goal")
+    }
+
+    #[test]
+    fn nopath_is_rejected() {
+        assert!(matches!(Program::compile(&Goal::NoPath), Err(ScheduleError::Inconsistent)));
+    }
+
+    #[test]
+    fn seq_schedules_in_order() {
+        let p = compile(&seq(vec![g("a"), g("b"), g("c")]));
+        let trace = Scheduler::new(&p).run_first().unwrap();
+        assert_eq!(
+            trace.iter().filter_map(Atom::as_event).collect::<Vec<_>>(),
+            vec![sym("a"), sym("b"), sym("c")]
+        );
+    }
+
+    #[test]
+    fn eligible_lists_all_concurrent_starts() {
+        let p = compile(&conc(vec![g("a"), g("b"), g("c")]));
+        let s = Scheduler::new(&p);
+        assert_eq!(s.eligible().len(), 3);
+        assert!(s.eligible().iter().all(|c| c.observable));
+    }
+
+    #[test]
+    fn firing_commits_or_choice() {
+        let p = compile(&or(vec![seq(vec![g("a"), g("b")]), seq(vec![g("x"), g("y")])]));
+        let mut s = Scheduler::new(&p);
+        assert_eq!(s.eligible().len(), 2, "both branch heads eligible");
+        assert!(s.fire_event(sym("a")));
+        // After committing, only b remains.
+        let names: Vec<_> = s
+            .eligible()
+            .iter()
+            .filter_map(|c| p.event(c.node).and_then(Atom::as_event))
+            .collect();
+        assert_eq!(names, vec![sym("b")]);
+    }
+
+    #[test]
+    fn fire_event_returns_false_for_ineligible() {
+        let p = compile(&seq(vec![g("a"), g("b")]));
+        let mut s = Scheduler::new(&p);
+        assert!(!s.fire_event(sym("b")), "b is not eligible before a");
+        assert!(s.fire_event(sym("a")));
+        assert!(s.fire_event(sym("b")));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn channels_gate_eligibility() {
+        let xi = Channel(0);
+        // Compiled form (4): (a ⊗ send ξ) | (receive ξ ⊗ b).
+        let goal = conc(vec![
+            seq(vec![g("a"), Goal::Send(xi)]),
+            seq(vec![Goal::Receive(xi), g("b")]),
+        ]);
+        let p = compile(&goal);
+        let mut s = Scheduler::new(&p);
+        let names: Vec<_> = s
+            .eligible()
+            .iter()
+            .filter_map(|c| p.event(c.node).and_then(Atom::as_event))
+            .collect();
+        assert_eq!(names, vec![sym("a")], "b is gated by the channel");
+        s.fire_event(sym("a"));
+        assert!(s.fire_event(sym("b")), "send/receive drained silently");
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn knotted_program_deadlocks() {
+        let xi = Channel(0);
+        let goal = seq(vec![Goal::Receive(xi), g("a"), Goal::Send(xi)]);
+        let p = compile(&goal);
+        let s = Scheduler::new(&p);
+        assert!(s.is_deadlocked());
+        assert_eq!(s.clone().run_first(), None);
+    }
+
+    #[test]
+    fn isolation_locks_the_scheduler() {
+        let goal = conc(vec![isolated(seq(vec![g("a"), g("b")])), g("c")]);
+        let p = compile(&goal);
+        let mut s = Scheduler::new(&p);
+        s.fire_event(sym("a"));
+        let names: Vec<_> = s
+            .eligible()
+            .iter()
+            .filter_map(|c| p.event(c.node).and_then(Atom::as_event))
+            .collect();
+        assert_eq!(names, vec![sym("b")], "c is locked out while ⊙ is active");
+        s.fire_event(sym("b"));
+        assert!(s.fire_event(sym("c")));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn enumeration_agrees_with_trace_semantics() {
+        let mut checked = 0;
+        for seed in 0..15 {
+            let (goal, _) = ctr::gen::random_goal(
+                seed,
+                ctr::gen::GoalShape { depth: 3, width: 3, or_bias: 0.3 },
+                "s",
+            );
+            // Skip seeds whose interleaving space exceeds the oracle budget.
+            let Ok(semantic) = ctr::semantics::event_traces(&goal, 100_000) else { continue };
+            let p = compile(&goal);
+            let scheduled = Scheduler::new(&p).enumerate_traces(1_000_000);
+            assert_eq!(scheduled, semantic, "seed {seed} goal {goal}");
+            checked += 1;
+        }
+        assert!(checked >= 8, "enough seeds fit the budget ({checked})");
+    }
+
+    #[test]
+    fn enumeration_of_compiled_workflow_respects_constraints() {
+        use ctr::analysis::compile as ctr_compile;
+        use ctr::constraints::Constraint;
+        let goal = conc(vec![g("a"), g("b"), g("c")]);
+        let compiled = ctr_compile(&goal, &[Constraint::order("a", "b")]).unwrap();
+        let p = compile(&compiled.goal);
+        let traces = Scheduler::new(&p).enumerate_traces(1000);
+        assert!(!traces.is_empty());
+        for t in &traces {
+            let pa = t.iter().position(|&x| x == sym("a")).unwrap();
+            let pb = t.iter().position(|&x| x == sym("b")).unwrap();
+            assert!(pa < pb, "trace {t:?}");
+        }
+        // c is unconstrained: 3 positions for c relative to a<b.
+        assert_eq!(traces.len(), 3);
+    }
+
+    #[test]
+    fn empty_program_is_immediately_complete() {
+        let p = compile(&Goal::Empty);
+        assert!(p.is_empty());
+        let s = Scheduler::new(&p);
+        assert!(s.is_complete());
+        assert!(s.trace().is_empty());
+    }
+
+    #[test]
+    fn or_with_silent_branch_can_finish_silently() {
+        // a ⊗ (send ξ ∨ b): after a, the scheduler may finish by taking
+        // the silent branch or by firing b.
+        let xi = Channel(3);
+        let goal = seq(vec![g("a"), or(vec![Goal::Send(xi), g("b")])]);
+        let p = compile(&goal);
+        let mut s = Scheduler::new(&p);
+        s.fire_event(sym("a"));
+        let eligible = s.eligible();
+        assert_eq!(eligible.len(), 2);
+        assert_eq!(eligible.iter().filter(|c| c.observable).count(), 1);
+        // Take the silent branch.
+        let silent = eligible.iter().find(|c| !c.observable).unwrap();
+        s.fire(silent.node);
+        assert!(s.is_complete());
+        assert_eq!(s.trace_names(), vec![sym("a")]);
+    }
+
+    #[test]
+    fn empty_or_branches_are_choosable() {
+        // a ⊗ (ε ∨ b): after a, the schedule may finish silently (taking
+        // the empty branch) or fire b — both must be offered.
+        let goal = seq(vec![g("a"), or(vec![Goal::Empty, g("b")])]);
+        let p = compile(&goal);
+        let traces = Scheduler::new(&p).enumerate_traces(100);
+        assert_eq!(
+            traces,
+            [vec![sym("a")], vec![sym("a"), sym("b")]].into_iter().collect()
+        );
+        // And the semantics oracle agrees.
+        assert_eq!(traces, ctr::semantics::event_traces(&goal, 10_000).unwrap());
+    }
+
+    #[test]
+    fn run_random_respects_constraints_and_varies() {
+        use ctr::analysis::compile as ctr_compile;
+        use ctr::constraints::Constraint;
+        let goal = conc((0..6).map(|i| g(&format!("r{i}"))).collect());
+        let compiled = ctr_compile(&goal, &[Constraint::order("r0", "r5")]).unwrap();
+        let p = compile(&compiled.goal);
+        let mut distinct = std::collections::BTreeSet::new();
+        for seed in 0..32u64 {
+            let trace = Scheduler::new(&p).run_random(seed).expect("knot-free");
+            let names: Vec<_> = trace.iter().filter_map(Atom::as_event).collect();
+            let p0 = names.iter().position(|&x| x == sym("r0")).unwrap();
+            let p5 = names.iter().position(|&x| x == sym("r5")).unwrap();
+            assert!(p0 < p5, "constraint respected in {names:?}");
+            distinct.insert(names);
+        }
+        assert!(distinct.len() > 4, "random policy explores many schedules");
+    }
+
+    #[test]
+    fn run_first_is_linear_walk() {
+        // A long pipeline completes with exactly one eligible step each
+        // time.
+        let goal = ctr::gen::pipeline_workflow(64);
+        let p = compile(&goal);
+        let trace = Scheduler::new(&p).run_first().unwrap();
+        assert_eq!(trace.len(), 64);
+    }
+}

@@ -1,0 +1,270 @@
+//! Unification and substitutions.
+//!
+//! The SLD-style proof procedure of CTR resolves rule heads against goal
+//! atoms exactly like Datalog/Prolog resolution, so it needs first-order
+//! unification. Bindings live in a single growing [`Subst`] shared by the
+//! whole resolvent (variables bind across concurrent conjuncts), with an
+//! undo trail so backtracking restores earlier binding states cheaply.
+
+use ctr::term::{Atom, Term, Var};
+use std::collections::BTreeMap;
+
+/// A substitution: bindings from variables to terms, with a trail for
+/// backtracking.
+#[derive(Clone, Debug, Default)]
+pub struct Subst {
+    bindings: BTreeMap<Var, Term>,
+    trail: Vec<Var>,
+    next_var: u32,
+}
+
+impl Subst {
+    /// An empty substitution whose fresh variables start above `floor` —
+    /// pass the highest variable index used by the query.
+    pub fn with_floor(floor: u32) -> Subst {
+        Subst { bindings: BTreeMap::new(), trail: Vec::new(), next_var: floor }
+    }
+
+    /// Allocates a fresh, unbound variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// Current trail position; pass to [`Subst::undo_to`] to roll back.
+    pub fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Undoes every binding made since `mark`.
+    pub fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().expect("trail length checked");
+            self.bindings.remove(&v);
+        }
+    }
+
+    fn bind(&mut self, v: Var, t: Term) {
+        self.bindings.insert(v, t);
+        self.trail.push(v);
+    }
+
+    /// Follows variable bindings until a non-variable or unbound variable.
+    pub fn walk(&self, term: &Term) -> Term {
+        let mut current = term.clone();
+        while let Term::Var(v) = current {
+            match self.bindings.get(&v) {
+                Some(next) => current = next.clone(),
+                None => break,
+            }
+        }
+        current
+    }
+
+    /// Fully applies the substitution to a term.
+    pub fn resolve(&self, term: &Term) -> Term {
+        let walked = self.walk(term);
+        match walked {
+            Term::Compound(f, args) => {
+                Term::Compound(f, args.iter().map(|a| self.resolve(a)).collect())
+            }
+            other => other,
+        }
+    }
+
+    /// Fully applies the substitution to an atom's arguments.
+    pub fn resolve_atom(&self, atom: &Atom) -> Atom {
+        Atom {
+            pred: atom.pred,
+            args: atom.args.iter().map(|a| self.resolve(a)).collect(),
+            negated: atom.negated,
+        }
+    }
+
+    /// Occurs check: does `v` occur in (the walked form of) `t`?
+    fn occurs(&self, v: Var, t: &Term) -> bool {
+        match self.walk(t) {
+            Term::Var(w) => w == v,
+            Term::Compound(_, args) => args.iter().any(|a| self.occurs(v, a)),
+            _ => false,
+        }
+    }
+
+    /// Unifies two terms, extending the substitution. On failure the
+    /// substitution is left with partial bindings — callers must roll back
+    /// with [`Subst::undo_to`] (the engine always brackets unification
+    /// in a mark/undo pair).
+    pub fn unify(&mut self, a: &Term, b: &Term) -> bool {
+        let (wa, wb) = (self.walk(a), self.walk(b));
+        match (wa, wb) {
+            (Term::Var(v), Term::Var(w)) if v == w => true,
+            (Term::Var(v), t) | (t, Term::Var(v)) => {
+                if self.occurs(v, &t) {
+                    false
+                } else {
+                    self.bind(v, t);
+                    true
+                }
+            }
+            (Term::Const(x), Term::Const(y)) => x == y,
+            (Term::Int(x), Term::Int(y)) => x == y,
+            (Term::Compound(f, xs), Term::Compound(g, ys)) => {
+                f == g && xs.len() == ys.len() && xs.iter().zip(&ys).all(|(x, y)| self.unify(x, y))
+            }
+            _ => false,
+        }
+    }
+
+    /// Unifies two atoms (same predicate, same polarity, unifiable
+    /// arguments).
+    pub fn unify_atoms(&mut self, a: &Atom, b: &Atom) -> bool {
+        a.pred == b.pred
+            && a.negated == b.negated
+            && a.args.len() == b.args.len()
+            && a.args.iter().zip(&b.args).all(|(x, y)| self.unify(x, y))
+    }
+
+    /// True if the term is ground under the current bindings.
+    pub fn is_ground(&self, term: &Term) -> bool {
+        self.resolve(term).is_ground()
+    }
+}
+
+/// Renames every variable of a term apart, using the provided mapping and
+/// allocating fresh variables from `subst`.
+pub fn rename_term(term: &Term, mapping: &mut BTreeMap<Var, Var>, subst: &mut Subst) -> Term {
+    match term {
+        Term::Var(v) => {
+            let fresh = *mapping.entry(*v).or_insert_with(|| subst.fresh_var());
+            Term::Var(fresh)
+        }
+        Term::Const(_) | Term::Int(_) => term.clone(),
+        Term::Compound(f, args) => {
+            Term::Compound(*f, args.iter().map(|a| rename_term(a, mapping, subst)).collect())
+        }
+    }
+}
+
+/// Renames an atom apart.
+pub fn rename_atom(atom: &Atom, mapping: &mut BTreeMap<Var, Var>, subst: &mut Subst) -> Atom {
+    Atom {
+        pred: atom.pred,
+        args: atom.args.iter().map(|a| rename_term(a, mapping, subst)).collect(),
+        negated: atom.negated,
+    }
+}
+
+/// Highest variable index occurring in an atom, plus one. Used to seed
+/// [`Subst::with_floor`].
+pub fn var_floor(atoms: impl Iterator<Item = Atom>) -> u32 {
+    let mut floor = 0;
+    for atom in atoms {
+        let mut vars = Vec::new();
+        for arg in &atom.args {
+            arg.collect_vars(&mut vars);
+        }
+        for Var(i) in vars {
+            floor = floor.max(i + 1);
+        }
+    }
+    floor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+    fn c(name: &str) -> Term {
+        Term::constant(name)
+    }
+
+    #[test]
+    fn unify_var_with_constant() {
+        let mut s = Subst::default();
+        assert!(s.unify(&v(0), &c("paris")));
+        assert_eq!(s.resolve(&v(0)), c("paris"));
+    }
+
+    #[test]
+    fn unify_compounds() {
+        let mut s = Subst::default();
+        let a = Term::compound("f", vec![v(0), c("b")]);
+        let b = Term::compound("f", vec![c("a"), v(1)]);
+        assert!(s.unify(&a, &b));
+        assert_eq!(s.resolve(&v(0)), c("a"));
+        assert_eq!(s.resolve(&v(1)), c("b"));
+    }
+
+    #[test]
+    fn unify_mismatched_functors_fails() {
+        let mut s = Subst::default();
+        assert!(!s.unify(&Term::compound("f", vec![c("a")]), &Term::compound("g", vec![c("a")])));
+    }
+
+    #[test]
+    fn occurs_check_rejects_cyclic_binding() {
+        let mut s = Subst::default();
+        let cyclic = Term::compound("f", vec![v(0)]);
+        assert!(!s.unify(&v(0), &cyclic));
+    }
+
+    #[test]
+    fn chained_bindings_walk() {
+        let mut s = Subst::default();
+        assert!(s.unify(&v(0), &v(1)));
+        assert!(s.unify(&v(1), &c("x")));
+        assert_eq!(s.resolve(&v(0)), c("x"));
+    }
+
+    #[test]
+    fn undo_rolls_back_bindings() {
+        let mut s = Subst::default();
+        assert!(s.unify(&v(0), &c("a")));
+        let mark = s.mark();
+        assert!(s.unify(&v(1), &c("b")));
+        s.undo_to(mark);
+        assert_eq!(s.resolve(&v(0)), c("a"), "earlier binding survives");
+        assert_eq!(s.resolve(&v(1)), v(1), "later binding undone");
+    }
+
+    #[test]
+    fn unify_atoms_respects_polarity() {
+        let mut s = Subst::default();
+        let pos = Atom::new("p", vec![c("a")]);
+        let neg = pos.negate();
+        assert!(!s.unify_atoms(&pos, &neg));
+        assert!(s.unify_atoms(&pos, &Atom::new("p", vec![v(0)])));
+    }
+
+    #[test]
+    fn rename_apart_is_consistent() {
+        let mut s = Subst::with_floor(10);
+        let mut mapping = BTreeMap::new();
+        let t = Term::compound("f", vec![v(0), v(0), v(1)]);
+        let renamed = rename_term(&t, &mut mapping, &mut s);
+        let Term::Compound(_, args) = renamed else { panic!("compound expected") };
+        assert_eq!(args[0], args[1], "same source var maps to same fresh var");
+        assert_ne!(args[0], args[2]);
+        assert_eq!(args[0], Term::Var(Var(10)));
+    }
+
+    #[test]
+    fn var_floor_scans_atoms() {
+        let atoms = vec![
+            Atom::new("p", vec![v(3)]),
+            Atom::new("q", vec![Term::compound("f", vec![v(7)])]),
+        ];
+        assert_eq!(var_floor(atoms.into_iter()), 8);
+    }
+
+    #[test]
+    fn fresh_vars_start_at_floor() {
+        let mut s = Subst::with_floor(5);
+        assert_eq!(s.fresh_var(), Var(5));
+        assert_eq!(s.fresh_var(), Var(6));
+    }
+}

@@ -1,0 +1,346 @@
+//! Tokenizer for the workflow specification language.
+//!
+//! The surface syntax mirrors the paper's notation in ASCII:
+//! `*` for `⊗`, `#` for `|`, `+` for `∨`, `iso(…)` for `⊙`, `poss(…)` for
+//! `◇`, and `\+` (or `!`) for negated query atoms. Keywords are plain
+//! identifiers recognized by the parser, so activity names like `exists`
+//! are still usable in goal position.
+
+use std::fmt;
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier: `[A-Za-z_][A-Za-z0-9_]*`.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `*`
+    Star,
+    /// `#`
+    Hash,
+    /// `+`
+    Plus,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:=`
+    Define,
+    /// `!` or `\+` — negation of a query atom.
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(n) => write!(f, "integer `{n}`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Hash => write!(f, "`#`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Define => write!(f, "`:=`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexical error with position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending character.
+    pub found: char,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` at {}:{}", self.found, self.line, self.col)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`. `//` comments run to end of line.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let (mut line, mut col) = (1usize, 1usize);
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token { kind: $kind, line, col });
+            col += $len;
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for nc in chars.by_ref() {
+                        if nc == '\n' {
+                            line += 1;
+                            col = 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(LexError { found: '/', line, col });
+                }
+            }
+            '*' => {
+                chars.next();
+                push!(TokenKind::Star, 1);
+            }
+            '#' => {
+                chars.next();
+                push!(TokenKind::Hash, 1);
+            }
+            '+' => {
+                chars.next();
+                push!(TokenKind::Plus, 1);
+            }
+            '(' => {
+                chars.next();
+                push!(TokenKind::LParen, 1);
+            }
+            ')' => {
+                chars.next();
+                push!(TokenKind::RParen, 1);
+            }
+            '{' => {
+                chars.next();
+                push!(TokenKind::LBrace, 1);
+            }
+            '}' => {
+                chars.next();
+                push!(TokenKind::RBrace, 1);
+            }
+            ',' => {
+                chars.next();
+                push!(TokenKind::Comma, 1);
+            }
+            ';' => {
+                chars.next();
+                push!(TokenKind::Semi, 1);
+            }
+            '!' => {
+                chars.next();
+                push!(TokenKind::Bang, 1);
+            }
+            '\\' => {
+                chars.next();
+                if chars.peek() == Some(&'+') {
+                    chars.next();
+                    push!(TokenKind::Bang, 2);
+                } else {
+                    return Err(LexError { found: '\\', line, col });
+                }
+            }
+            ':' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(TokenKind::Define, 2);
+                } else {
+                    return Err(LexError { found: ':', line, col });
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut text = String::new();
+                if c == '-' {
+                    text.push(c);
+                    chars.next();
+                    if !chars.peek().is_some_and(char::is_ascii_digit) {
+                        return Err(LexError { found: '-', line, col });
+                    }
+                }
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value: i64 = text.parse().map_err(|_| LexError { found: c, line, col })?;
+                let len = text.len();
+                push!(TokenKind::Int(value), len);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                // `@` continues an identifier: loop unrolling renames
+                // occurrences to `event@iteration` (ctr-workflow::loops).
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '@' {
+                        text.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let len = text.len();
+                push!(TokenKind::Ident(text), len);
+            }
+            other => return Err(LexError { found: other, line, col }),
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("a * b # c + d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Star,
+                TokenKind::Ident("b".into()),
+                TokenKind::Hash,
+                TokenKind::Ident("c".into()),
+                TokenKind::Plus,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_define() {
+        assert_eq!(
+            kinds("ship := pack; { }"),
+            vec![
+                TokenKind::Ident("ship".into()),
+                TokenKind::Define,
+                TokenKind::Ident("pack".into()),
+                TokenKind::Semi,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn negation_forms() {
+        assert_eq!(
+            kinds("!frozen \\+frozen"),
+            vec![
+                TokenKind::Bang,
+                TokenKind::Ident("frozen".into()),
+                TokenKind::Bang,
+                TokenKind::Ident("frozen".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn integers_including_negative() {
+        assert_eq!(
+            kinds("f(3, -12)"),
+            vec![
+                TokenKind::Ident("f".into()),
+                TokenKind::LParen,
+                TokenKind::Int(3),
+                TokenKind::Comma,
+                TokenKind::Int(-12),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // this is a comment\n b"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_character_is_reported_with_position() {
+        let err = lex("a @ b").unwrap_err();
+        assert_eq!(err, LexError { found: '@', line: 1, col: 3 });
+    }
+
+    #[test]
+    fn at_continues_identifiers() {
+        // Renamed loop occurrences like `poll@2` are single identifiers;
+        // a leading `@` is still an error.
+        assert_eq!(
+            kinds("poll@2"),
+            vec![TokenKind::Ident("poll@2".into()), TokenKind::Eof]
+        );
+        assert!(lex("@poll").is_err());
+    }
+
+    #[test]
+    fn lone_colon_is_an_error() {
+        assert!(lex("a : b").is_err());
+    }
+
+    #[test]
+    fn lone_minus_is_an_error() {
+        assert!(lex("a - b").is_err());
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # ctr-parser — surface syntax for workflow specifications
+//!
+//! A small language mirroring the paper's notation in ASCII: `*` = `⊗`,
+//! `#` = `|`, `+` = `∨`, `iso(…)` = `⊙`, `poss(…)` = `◇`, plus the
+//! `CONSTR` constraint forms (`exists`, `absent`, `before`, `serial`,
+//! Klein helpers) and a `workflow name { … }` container for complete
+//! specifications with sub-workflows and triggers.
+//!
+//! ```
+//! let spec = ctr_parser::parse_spec(r"
+//!     workflow trip {
+//!         graph plan * (book_flight # book_hotel) * pay;
+//!         constraint before(book_hotel, book_flight);
+//!     }
+//! ").unwrap();
+//! assert!(spec.compile().unwrap().is_consistent());
+//! ```
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{lex, LexError, Token, TokenKind};
+pub use parser::{parse_constraint, parse_goal, parse_spec, ParseError};

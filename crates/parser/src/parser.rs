@@ -1,0 +1,723 @@
+//! Recursive-descent parser for goals, constraints, and whole workflow
+//! specifications.
+//!
+//! # Goal grammar
+//!
+//! ```text
+//! goal    := conc ('+' conc)*                 // ∨, loosest
+//! conc    := serial ('#' serial)*             // |
+//! serial  := unary ('*' unary)*               // ⊗, tightest connective
+//! unary   := 'iso' '(' goal ')' | 'poss' '(' goal ')'
+//!          | 'empty' | 'nopath' | '(' goal ')' | atom
+//! atom    := ['!'] ident [ '(' term (',' term)* ')' ]
+//! term    := INT | ident [ '(' term (',' term)* ')' ]    // Capitalized ident = variable
+//! ```
+//!
+//! # Constraint grammar (the algebra `CONSTR` of §3)
+//!
+//! ```text
+//! constr  := cand ('or' cand)* [ 'implies' constr ]
+//! cand    := cprim ('and' cprim)*
+//! cprim   := 'exists' '(' e ')' | 'absent' '(' e ')'
+//!          | 'serial' '(' e (',' e)+ ')' | 'before' '(' a ',' b ')'
+//!          | 'klein_order' '(' a ',' b ')' | 'klein_exists' '(' a ',' b ')'
+//!          | 'causes' '(' a ',' b ')' | 'requires' '(' a ',' b ')'
+//!          | 'not' '(' constr ')' | '(' constr ')'
+//! ```
+//!
+//! # Specification grammar
+//!
+//! ```text
+//! spec    := 'workflow' ident '{' item* '}'
+//! item    := 'graph' goal ';'
+//!          | 'define' ident ':=' goal ';'
+//!          | 'constraint' constr ';'
+//!          | 'trigger' 'on' ident ['if' atom] 'do' goal ['eventually'] ';'
+//! ```
+
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use ctr::constraints::Constraint;
+use ctr::goal::{conc, isolated, or, possible, seq, Goal};
+use ctr::symbol::{sym, Symbol};
+use ctr::term::{Atom, Term, Var};
+use ctr_workflow::{Trigger, TriggerSemantics, WorkflowSpec};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}:{}", self.message, self.line, self.col)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { message: format!("unexpected character `{}`", e.found), line: e.line, col: e.col }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Variable-name → index mapping, scoped per top-level parse.
+    vars: BTreeMap<String, Var>,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser, ParseError> {
+        Ok(Parser { tokens: lex(input)?, pos: 0, vars: BTreeMap::new() })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError { message: message.into(), line: t.line, col: t.col }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if &self.peek().kind == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek().kind)))
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    /// Consumes the identifier `word` if it is next; returns whether it was.
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if matches!(&self.peek().kind, TokenKind::Ident(name) if name == word) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    // --- Goals -----------------------------------------------------------
+
+    fn goal(&mut self) -> Result<Goal, ParseError> {
+        let mut parts = vec![self.conc_expr()?];
+        while self.peek().kind == TokenKind::Plus {
+            self.advance();
+            parts.push(self.conc_expr()?);
+        }
+        Ok(or(parts))
+    }
+
+    fn conc_expr(&mut self) -> Result<Goal, ParseError> {
+        let mut parts = vec![self.serial_expr()?];
+        while self.peek().kind == TokenKind::Hash {
+            self.advance();
+            parts.push(self.serial_expr()?);
+        }
+        Ok(conc(parts))
+    }
+
+    fn serial_expr(&mut self) -> Result<Goal, ParseError> {
+        let mut parts = vec![self.unary_expr()?];
+        while self.peek().kind == TokenKind::Star {
+            self.advance();
+            parts.push(self.unary_expr()?);
+        }
+        Ok(seq(parts))
+    }
+
+    fn unary_expr(&mut self) -> Result<Goal, ParseError> {
+        match &self.peek().kind {
+            TokenKind::LParen => {
+                self.advance();
+                let g = self.goal()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(g)
+            }
+            TokenKind::Bang => {
+                self.advance();
+                let atom = self.atom()?;
+                Ok(Goal::Atom(atom.negate()))
+            }
+            TokenKind::Ident(name) => match name.as_str() {
+                "iso" | "poss" => {
+                    let wrapper = name.clone();
+                    self.advance();
+                    self.expect(&TokenKind::LParen)?;
+                    let g = self.goal()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(if wrapper == "iso" { isolated(g) } else { possible(g) })
+                }
+                // §7 iteration: `repeat(body, min, max)` unrolls the body
+                // with per-iteration event renaming (see
+                // `ctr_workflow::loops`). Constraints must reference the
+                // renamed `event@i` occurrences or be lifted manually.
+                "repeat" => {
+                    self.advance();
+                    self.expect(&TokenKind::LParen)?;
+                    let body = self.goal()?;
+                    self.expect(&TokenKind::Comma)?;
+                    let min = self.eat_bound()?;
+                    self.expect(&TokenKind::Comma)?;
+                    let max = self.eat_bound()?;
+                    self.expect(&TokenKind::RParen)?;
+                    if min > max || max == 0 {
+                        return Err(self.error(format!(
+                            "repeat bounds must satisfy 0 <= min <= max and max > 0, got ({min}, {max})"
+                        )));
+                    }
+                    Ok(ctr_workflow::unroll(&body, min, max).goal)
+                }
+                // §7 failure semantics: `guarded(s₁ * s₂ * …)` inserts a
+                // ◇-pre-flight check before every step.
+                "guarded" => {
+                    self.advance();
+                    self.expect(&TokenKind::LParen)?;
+                    let body = self.goal()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let steps: Vec<Goal> = match body {
+                        Goal::Seq(gs) => gs,
+                        other => vec![other],
+                    };
+                    Ok(ctr_workflow::guarded_seq(&steps))
+                }
+                "empty" => {
+                    self.advance();
+                    Ok(Goal::Empty)
+                }
+                "nopath" => {
+                    self.advance();
+                    Ok(Goal::NoPath)
+                }
+                // Channel primitives in their Display form, so compiled
+                // goals round-trip through text: `send(xi3)`,
+                // `receive(xi3)`.
+                "send" | "receive" => {
+                    let which = name.clone();
+                    self.advance();
+                    self.expect(&TokenKind::LParen)?;
+                    let channel = match &self.peek().kind {
+                        TokenKind::Ident(arg) if arg.starts_with("xi") => {
+                            arg["xi".len()..].parse::<u32>().ok()
+                        }
+                        _ => None,
+                    };
+                    let Some(n) = channel else {
+                        return Err(self.error("expected a channel `xiN` in send/receive"));
+                    };
+                    self.advance();
+                    self.expect(&TokenKind::RParen)?;
+                    let ch = ctr::goal::Channel(n);
+                    Ok(if which == "send" { Goal::Send(ch) } else { Goal::Receive(ch) })
+                }
+                _ => Ok(Goal::Atom(self.atom()?)),
+            },
+            other => Err(self.error(format!("expected a goal, found {other}"))),
+        }
+    }
+
+    fn eat_bound(&mut self) -> Result<usize, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Int(n) if *n >= 0 => {
+                let n = *n as usize;
+                self.advance();
+                Ok(n)
+            }
+            other => Err(self.error(format!("expected a non-negative bound, found {other}"))),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let name = self.eat_ident()?;
+        if name.starts_with(|c: char| c.is_ascii_uppercase()) {
+            return Err(self.error(format!(
+                "`{name}` is a variable; predicate names must start lowercase"
+            )));
+        }
+        let mut args = Vec::new();
+        if self.peek().kind == TokenKind::LParen {
+            self.advance();
+            loop {
+                args.push(self.term()?);
+                if self.peek().kind == TokenKind::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(Atom::new(name.as_str(), args))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Int(n) => {
+                let n = *n;
+                self.advance();
+                Ok(Term::Int(n))
+            }
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.advance();
+                if name.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    let next = Var(self.vars.len() as u32);
+                    let v = *self.vars.entry(name).or_insert(next);
+                    return Ok(Term::Var(v));
+                }
+                if self.peek().kind == TokenKind::LParen {
+                    self.advance();
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.term()?);
+                        if self.peek().kind == TokenKind::Comma {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Term::compound(&name, args))
+                } else {
+                    Ok(Term::constant(&name))
+                }
+            }
+            other => Err(self.error(format!("expected a term, found {other}"))),
+        }
+    }
+
+    // --- Constraints -------------------------------------------------------
+
+    fn constraint(&mut self) -> Result<Constraint, ParseError> {
+        let mut parts = vec![self.constraint_and()?];
+        while self.eat_keyword("or") {
+            parts.push(self.constraint_and()?);
+        }
+        let left = Constraint::or(parts);
+        if self.eat_keyword("implies") {
+            let right = self.constraint()?;
+            Ok(Constraint::implies(left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn constraint_and(&mut self) -> Result<Constraint, ParseError> {
+        let mut parts = vec![self.constraint_prim()?];
+        while self.eat_keyword("and") {
+            parts.push(self.constraint_prim()?);
+        }
+        Ok(Constraint::and(parts))
+    }
+
+    fn event_args(&mut self, arity: usize) -> Result<Vec<Symbol>, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut events = Vec::new();
+        loop {
+            events.push(sym(&self.eat_ident()?));
+            if self.peek().kind == TokenKind::Comma {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        if arity != 0 && events.len() != arity {
+            return Err(self.error(format!("expected {arity} event(s), found {}", events.len())));
+        }
+        Ok(events)
+    }
+
+    fn constraint_prim(&mut self) -> Result<Constraint, ParseError> {
+        if self.peek().kind == TokenKind::LParen {
+            self.advance();
+            let c = self.constraint()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(c);
+        }
+        let name = self.eat_ident()?;
+        match name.as_str() {
+            "exists" => Ok(Constraint::Must(self.event_args(1)?[0])),
+            "absent" => Ok(Constraint::MustNot(self.event_args(1)?[0])),
+            "serial" => {
+                let events = self.event_args(0)?;
+                if events.len() < 2 {
+                    return Err(self.error("serial(…) needs at least two events"));
+                }
+                Ok(Constraint::serial(events))
+            }
+            "before" => {
+                let events = self.event_args(2)?;
+                Ok(Constraint::order(events[0], events[1]))
+            }
+            "klein_order" => {
+                let events = self.event_args(2)?;
+                Ok(Constraint::klein_order(events[0], events[1]))
+            }
+            "klein_exists" => {
+                let events = self.event_args(2)?;
+                Ok(Constraint::klein_exists(events[0], events[1]))
+            }
+            "causes" => {
+                let events = self.event_args(2)?;
+                Ok(Constraint::causes_later(events[0], events[1]))
+            }
+            "requires" => {
+                let events = self.event_args(2)?;
+                Ok(Constraint::requires_earlier(events[0], events[1]))
+            }
+            "not" => {
+                self.expect(&TokenKind::LParen)?;
+                let c = self.constraint()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Constraint::not(c))
+            }
+            other => Err(self.error(format!(
+                "unknown constraint form `{other}` (expected exists/absent/serial/before/\
+                 klein_order/klein_exists/causes/requires/not)"
+            ))),
+        }
+    }
+
+    // --- Specifications ----------------------------------------------------
+
+    fn spec(&mut self) -> Result<WorkflowSpec, ParseError> {
+        if !self.eat_keyword("workflow") {
+            return Err(self.error("expected `workflow <name> { … }`"));
+        }
+        let name = self.eat_ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut spec = WorkflowSpec::new(&name, Goal::Empty);
+        let mut saw_graph = false;
+        while self.peek().kind != TokenKind::RBrace {
+            if self.eat_keyword("graph") {
+                if saw_graph {
+                    return Err(self.error("duplicate `graph` section"));
+                }
+                spec.graph = self.goal()?;
+                saw_graph = true;
+            } else if self.eat_keyword("define") {
+                let sub = self.eat_ident()?;
+                self.expect(&TokenKind::Define)?;
+                let body = self.goal()?;
+                spec.subworkflows.define(sub.as_str(), body).map_err(|e| {
+                    self.error(e.to_string())
+                })?;
+            } else if self.eat_keyword("constraint") {
+                spec.constraints.push(self.constraint()?);
+            } else if self.eat_keyword("trigger") {
+                if !self.eat_keyword("on") {
+                    return Err(self.error("expected `on <event>` after `trigger`"));
+                }
+                let on = self.eat_ident()?;
+                let condition = if self.eat_keyword("if") { Some(self.atom()?) } else { None };
+                if !self.eat_keyword("do") {
+                    return Err(self.error("expected `do <goal>` in trigger"));
+                }
+                let action = self.goal()?;
+                let semantics = if self.eat_keyword("eventually") {
+                    TriggerSemantics::Eventual
+                } else {
+                    TriggerSemantics::Immediate
+                };
+                spec.triggers.push(Trigger {
+                    on: sym(&on),
+                    condition,
+                    action,
+                    semantics,
+                });
+            } else {
+                return Err(self.error(format!(
+                    "expected `graph`, `define`, `constraint`, or `trigger`, found {}",
+                    self.peek().kind
+                )));
+            }
+            self.expect(&TokenKind::Semi)?;
+        }
+        self.expect(&TokenKind::RBrace)?;
+        if !saw_graph {
+            return Err(self.error(format!("workflow `{name}` has no `graph` section")));
+        }
+        Ok(spec)
+    }
+}
+
+/// Parses a concurrent-Horn goal.
+pub fn parse_goal(input: &str) -> Result<Goal, ParseError> {
+    let mut p = Parser::new(input)?;
+    let g = p.goal()?;
+    if !p.at_eof() {
+        return Err(p.error(format!("unexpected trailing {}", p.peek().kind)));
+    }
+    Ok(g)
+}
+
+/// Parses a `CONSTR` constraint.
+pub fn parse_constraint(input: &str) -> Result<Constraint, ParseError> {
+    let mut p = Parser::new(input)?;
+    let c = p.constraint()?;
+    if !p.at_eof() {
+        return Err(p.error(format!("unexpected trailing {}", p.peek().kind)));
+    }
+    Ok(c)
+}
+
+/// Parses a complete workflow specification.
+pub fn parse_spec(input: &str) -> Result<WorkflowSpec, ParseError> {
+    let mut p = Parser::new(input)?;
+    let s = p.spec()?;
+    if !p.at_eof() {
+        return Err(p.error(format!("unexpected trailing {}", p.peek().kind)));
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(name: &str) -> Goal {
+        Goal::atom(name)
+    }
+
+    #[test]
+    fn goal_precedence_matches_display() {
+        let goal = parse_goal("a * (b + c) # d").unwrap();
+        assert_eq!(goal, conc(vec![seq(vec![g("a"), or(vec![g("b"), g("c")])]), g("d")]));
+        // Round trip through Display.
+        assert_eq!(parse_goal(&goal.to_string()).unwrap(), goal);
+    }
+
+    #[test]
+    fn or_binds_loosest() {
+        let goal = parse_goal("a * b + c # d").unwrap();
+        assert_eq!(goal, or(vec![seq(vec![g("a"), g("b")]), conc(vec![g("c"), g("d")])]));
+    }
+
+    #[test]
+    fn modalities_and_units() {
+        let goal = parse_goal("iso(a * b) # poss(c) * empty").unwrap();
+        assert_eq!(
+            goal,
+            conc(vec![isolated(seq(vec![g("a"), g("b")])), possible(g("c"))])
+        );
+        assert_eq!(parse_goal("nopath + a").unwrap(), g("a"));
+    }
+
+    #[test]
+    fn negated_and_first_order_atoms() {
+        let goal = parse_goal("!frozen * pay(X, 3) * book(paris)").unwrap();
+        let Goal::Seq(parts) = &goal else { panic!("expected seq") };
+        assert_eq!(parts[0], Goal::Atom(Atom::prop("frozen").negate()));
+        assert_eq!(
+            parts[1],
+            Goal::Atom(Atom::new("pay", vec![Term::Var(Var(0)), Term::Int(3)]))
+        );
+        assert_eq!(parts[2], Goal::Atom(Atom::new("book", vec![Term::constant("paris")])));
+    }
+
+    #[test]
+    fn shared_variables_unify_names() {
+        let goal = parse_goal("flight(X) * ins_booked(X) * hotel(Y)").unwrap();
+        let Goal::Seq(parts) = &goal else { panic!("expected seq") };
+        let Goal::Atom(a1) = &parts[0] else { panic!() };
+        let Goal::Atom(a2) = &parts[1] else { panic!() };
+        let Goal::Atom(a3) = &parts[2] else { panic!() };
+        assert_eq!(a1.args[0], a2.args[0], "same name, same variable");
+        assert_ne!(a1.args[0], a3.args[0]);
+    }
+
+    #[test]
+    fn compound_terms_nest() {
+        let goal = parse_goal("log(entry(order, 42))").unwrap();
+        assert_eq!(
+            goal,
+            Goal::Atom(Atom::new(
+                "log",
+                vec![Term::compound("entry", vec![Term::constant("order"), Term::Int(42)])]
+            ))
+        );
+    }
+
+    #[test]
+    fn constraint_forms() {
+        assert_eq!(parse_constraint("exists(e)").unwrap(), Constraint::must("e"));
+        assert_eq!(parse_constraint("absent(e)").unwrap(), Constraint::must_not("e"));
+        assert_eq!(parse_constraint("before(a, b)").unwrap(), Constraint::order("a", "b"));
+        assert_eq!(
+            parse_constraint("serial(a, b, c)").unwrap(),
+            Constraint::serial(vec![sym("a"), sym("b"), sym("c")])
+        );
+        assert_eq!(
+            parse_constraint("klein_order(a, b)").unwrap(),
+            Constraint::klein_order("a", "b")
+        );
+        assert_eq!(
+            parse_constraint("not(before(a, b))").unwrap(),
+            Constraint::not(Constraint::order("a", "b"))
+        );
+    }
+
+    #[test]
+    fn constraint_connectives_and_implies() {
+        let c = parse_constraint("exists(a) and absent(b) or exists(c)").unwrap();
+        assert_eq!(
+            c,
+            Constraint::or(vec![
+                Constraint::and(vec![Constraint::must("a"), Constraint::must_not("b")]),
+                Constraint::must("c"),
+            ])
+        );
+        let imp = parse_constraint("exists(e) implies exists(f)").unwrap();
+        assert_eq!(imp, Constraint::implies(Constraint::must("e"), Constraint::must("f")));
+    }
+
+    #[test]
+    fn channel_primitives_round_trip() {
+        use ctr::goal::Channel;
+        let goal = conc(vec![
+            seq(vec![g("a"), Goal::Send(Channel(3))]),
+            seq(vec![Goal::Receive(Channel(3)), g("b")]),
+        ]);
+        let text = goal.to_string();
+        assert_eq!(parse_goal(&text).unwrap(), goal, "text was `{text}`");
+        // A compiled workflow round-trips whole.
+        let compiled = ctr::apply::apply(
+            &[Constraint::order("a", "b")],
+            &conc(vec![g("a"), g("b")]),
+        );
+        assert_eq!(parse_goal(&compiled.to_string()).unwrap(), compiled);
+    }
+
+    #[test]
+    fn malformed_channels_are_rejected() {
+        assert!(parse_goal("send(3)").is_err());
+        assert!(parse_goal("receive(xi)").is_err());
+        assert!(parse_goal("send(xix)").is_err());
+    }
+
+    #[test]
+    fn repeat_unrolls_with_renaming() {
+        let goal = parse_goal("start * repeat(poll, 1, 3) * done").unwrap();
+        assert!(ctr::unique::is_unique_event(&goal));
+        let events = goal.events();
+        assert!(events.contains(&sym("poll@1")));
+        assert!(events.contains(&sym("poll@3")));
+        assert!(!events.contains(&sym("poll")));
+    }
+
+    #[test]
+    fn repeat_rejects_bad_bounds() {
+        assert!(parse_goal("repeat(a, 3, 1)").is_err());
+        assert!(parse_goal("repeat(a, 0, 0)").is_err());
+        assert!(parse_goal("repeat(a, -1, 2)").is_err());
+    }
+
+    #[test]
+    fn guarded_inserts_possibility_checks() {
+        let goal = parse_goal("guarded(a * b)").unwrap();
+        let Goal::Seq(parts) = &goal else { panic!("expected sequence") };
+        assert_eq!(parts.len(), 4);
+        assert!(matches!(parts[0], Goal::Possible(_)));
+        // Single-step form.
+        let single = parse_goal("guarded(x)").unwrap();
+        assert!(matches!(&single, Goal::Seq(ps) if ps.len() == 2));
+    }
+
+    #[test]
+    fn full_spec_parses() {
+        let input = r"
+            workflow orders {
+                graph order * fulfil * close;
+                define fulfil := pick # invoice;
+                constraint before(pick, invoice);
+                trigger on order if priority do expedite;
+                trigger on close do archive eventually;
+            }
+        ";
+        let spec = parse_spec(input).unwrap();
+        assert_eq!(spec.name, "orders");
+        assert_eq!(spec.graph, seq(vec![g("order"), g("fulfil"), g("close")]));
+        assert!(spec.subworkflows.defines(sym("fulfil")));
+        assert_eq!(spec.constraints, vec![Constraint::order("pick", "invoice")]);
+        assert_eq!(spec.triggers.len(), 2);
+        assert_eq!(spec.triggers[0].condition, Some(Atom::prop("priority")));
+        assert_eq!(spec.triggers[1].semantics, TriggerSemantics::Eventual);
+        // And the whole thing compiles.
+        assert!(spec.compile().unwrap().is_consistent());
+    }
+
+    #[test]
+    fn spec_requires_graph() {
+        let err = parse_spec("workflow empty { constraint exists(a); }").unwrap_err();
+        assert!(err.message.contains("no `graph`"));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_goal("a *\n  *").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(parse_goal("a b").is_err());
+        assert!(parse_constraint("exists(a) exists(b)").is_err());
+    }
+
+    #[test]
+    fn unknown_constraint_form_is_helpful() {
+        let err = parse_constraint("happens(a)").unwrap_err();
+        assert!(err.message.contains("unknown constraint form"));
+    }
+
+    #[test]
+    fn uppercase_predicate_is_rejected() {
+        assert!(parse_goal("Approve").is_err());
+    }
+
+    #[test]
+    fn figure1_goal_parses() {
+        // Equation (1) in the surface syntax.
+        let input = "a * ((cond1 * b * ((d * cond3 * h) + e) * j) \
+                     # (cond2 * c * ((f * i * cond4) + (g * cond5)))) * k";
+        let goal = parse_goal(input).unwrap();
+        assert!(ctr::unique::is_unique_event(&goal));
+        assert_eq!(goal.events().len(), 16);
+    }
+}

@@ -1,0 +1,365 @@
+//! Workflow enactment: actually *running* the activities.
+//!
+//! "An activity in a workflow might be performed by a human, a device, or
+//! a program" (paper, §1). The scheduler decides *what may start*; the
+//! [`Enactor`] is the dispatch loop that starts it — invoking a registered
+//! handler per activity on a worker thread, firing the completion back
+//! into the compiled schedule, and launching whatever becomes eligible
+//! next. Independent activities (concurrent conjuncts) genuinely run in
+//! parallel; `∨`-choices are resolved by a pluggable policy before
+//! dispatch, because starting two mutually-exclusive activities would
+//! waste (or worse, externally commit) real work.
+
+use ctr::symbol::Symbol;
+use ctr::term::Atom;
+use ctr_engine::scheduler::{Program, Scheduler};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::mpsc;
+
+/// An activity implementation. Receives the atom being executed; an `Err`
+/// aborts the whole enactment (failure atomicity — compensation is
+/// spec-level, see `ctr_workflow::compensation`).
+pub type Handler = Box<dyn Fn(&Atom) -> Result<(), String> + Send + Sync>;
+
+/// How the enactor resolves a branching decision when nothing
+/// commitment-free is eligible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChoicePolicy {
+    /// Deterministically take the first eligible step.
+    #[default]
+    First,
+    /// Pseudo-randomly pick among eligible steps (seeded).
+    Random(u64),
+}
+
+/// Errors from an enactment run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnactError {
+    /// A handler returned an error; the run stops. The trace so far is
+    /// attached.
+    HandlerFailed {
+        /// The failing activity.
+        event: String,
+        /// The handler's error.
+        reason: String,
+        /// Events completed before the failure.
+        completed: Vec<Symbol>,
+    },
+    /// The schedule deadlocked (cannot happen for excised programs with
+    /// the knot-free guarantee).
+    Deadlock,
+}
+
+impl fmt::Display for EnactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnactError::HandlerFailed { event, reason, .. } => {
+                write!(f, "activity `{event}` failed: {reason}")
+            }
+            EnactError::Deadlock => write!(f, "schedule deadlocked"),
+        }
+    }
+}
+
+impl std::error::Error for EnactError {}
+
+/// The activity dispatch loop.
+#[derive(Default)]
+pub struct Enactor {
+    handlers: BTreeMap<Symbol, Handler>,
+    policy: ChoicePolicy,
+}
+
+impl Enactor {
+    /// An enactor with no handlers; unregistered activities complete
+    /// instantly (pure significant events).
+    pub fn new() -> Enactor {
+        Enactor::default()
+    }
+
+    /// Registers the implementation of an activity.
+    pub fn register(&mut self, event: impl Into<Symbol>, handler: Handler) -> &mut Self {
+        self.handlers.insert(event.into(), handler);
+        self
+    }
+
+    /// Sets the branching policy.
+    pub fn with_policy(mut self, policy: ChoicePolicy) -> Enactor {
+        self.policy = policy;
+        self
+    }
+
+    /// Runs the program to completion, dispatching commitment-free
+    /// eligible activities concurrently (scoped worker threads). Returns
+    /// the executed path.
+    pub fn run(&self, program: &Program) -> Result<Vec<Atom>, EnactError> {
+        let mut scheduler = Scheduler::new(program);
+        let mut rng_state = match self.policy {
+            ChoicePolicy::Random(seed) => seed,
+            ChoicePolicy::First => 0,
+        };
+
+        std::thread::scope(|scope| {
+            let (done_tx, done_rx) = mpsc::channel::<(usize, Result<(), String>)>();
+            // Node ids currently running on a worker.
+            let mut running: BTreeSet<usize> = BTreeSet::new();
+
+            loop {
+                // Dispatch every eligible, commitment-free, observable
+                // step that is not already running.
+                let eligible = scheduler.eligible();
+                for choice in &eligible {
+                    if !choice.observable
+                        || running.contains(&choice.node)
+                        || !scheduler.is_commitment_free(choice.node)
+                    {
+                        continue;
+                    }
+                    let Some(atom) = program.event(choice.node) else { continue };
+                    running.insert(choice.node);
+                    let tx = done_tx.clone();
+                    let node = choice.node;
+                    let handler = atom.as_event().and_then(|e| self.handlers.get(&e));
+                    let atom = atom.clone();
+                    scope.spawn(move || {
+                        let outcome = match handler {
+                            Some(h) => h(&atom),
+                            None => Ok(()),
+                        };
+                        // The loop may have exited on another handler's
+                        // failure; a closed channel is fine.
+                        let _ = tx.send((node, outcome));
+                    });
+                }
+
+                if running.is_empty() {
+                    if scheduler.is_complete() {
+                        return Ok(scheduler.trace().to_vec());
+                    }
+                    // Nothing runnable without committing: resolve a
+                    // choice via the policy (silent steps included — a
+                    // silent branch may be the only way to finish).
+                    let eligible = scheduler.eligible();
+                    if eligible.is_empty() {
+                        return Err(EnactError::Deadlock);
+                    }
+                    let idx = match self.policy {
+                        ChoicePolicy::First => 0,
+                        ChoicePolicy::Random(_) => {
+                            rng_state = rng_state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            (rng_state >> 33) as usize % eligible.len()
+                        }
+                    };
+                    let pick = eligible[idx];
+                    if pick.observable {
+                        // Commit the branch, then dispatch it through the
+                        // normal path on the next iteration: mark it
+                        // running and execute its handler inline.
+                        let atom = program.event(pick.node).cloned();
+                        scheduler.fire(pick.node);
+                        if let Some(atom) = atom {
+                            if let Some(h) =
+                                atom.as_event().and_then(|e| self.handlers.get(&e))
+                            {
+                                // Inline execution happens after the fire:
+                                // the decision is committed first, like a
+                                // real dispatcher's "claim then work".
+                                if let Err(reason) = h(&atom) {
+                                    return Err(EnactError::HandlerFailed {
+                                        event: atom.to_string(),
+                                        reason,
+                                        completed: scheduler.trace_names(),
+                                    });
+                                }
+                            }
+                        }
+                    } else {
+                        scheduler.fire(pick.node);
+                    }
+                    continue;
+                }
+
+                // Wait for one completion, then fire it into the schedule.
+                let (node, outcome) =
+                    done_rx.recv().expect("worker channel outlives the loop");
+                running.remove(&node);
+                match outcome {
+                    Ok(()) => scheduler.fire(node),
+                    Err(reason) => {
+                        let event = program
+                            .event(node)
+                            .map(ToString::to_string)
+                            .unwrap_or_default();
+                        // Drain remaining workers before unwinding the
+                        // scope (their sends must not panic the join).
+                        while !running.is_empty() {
+                            if let Ok((n, _)) = done_rx.recv() {
+                                running.remove(&n);
+                            }
+                        }
+                        return Err(EnactError::HandlerFailed {
+                            event,
+                            reason,
+                            completed: scheduler.trace_names(),
+                        });
+                    }
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctr::constraints::Constraint;
+    use ctr::goal::{conc, or, seq, Goal};
+    use ctr::sym;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier, Mutex};
+
+    fn program(goal: &Goal, constraints: &[Constraint]) -> Program {
+        let compiled = ctr::analysis::compile(goal, constraints).unwrap();
+        Program::compile(&compiled.goal).unwrap()
+    }
+
+    /// A handler that records its event in a shared log.
+    fn recording(log: &Arc<Mutex<Vec<String>>>) -> Handler {
+        let log = Arc::clone(log);
+        Box::new(move |atom| {
+            log.lock().unwrap().push(atom.to_string());
+            Ok(())
+        })
+    }
+
+    #[test]
+    fn sequential_workflow_runs_in_order() {
+        let p = program(&seq(vec![Goal::atom("a"), Goal::atom("b"), Goal::atom("c")]), &[]);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut enactor = Enactor::new();
+        for e in ["a", "b", "c"] {
+            enactor.register(e, recording(&log));
+        }
+        let trace = enactor.run(&p).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(*log.lock().unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn concurrent_activities_really_overlap() {
+        // Two concurrent activities rendezvous at a barrier: the run can
+        // only finish if both handlers execute simultaneously.
+        let p = program(&conc(vec![Goal::atom("left"), Goal::atom("right")]), &[]);
+        let barrier = Arc::new(Barrier::new(2));
+        let mut enactor = Enactor::new();
+        for e in ["left", "right"] {
+            let b = Arc::clone(&barrier);
+            enactor.register(e, Box::new(move |_| {
+                b.wait();
+                Ok(())
+            }));
+        }
+        let trace = enactor.run(&p).unwrap();
+        assert_eq!(trace.len(), 2, "both sides passed the barrier concurrently");
+    }
+
+    #[test]
+    fn compiled_order_constraints_serialize_dispatch() {
+        // a | b with a<b compiled in: b's handler must observe a's completion.
+        let p = program(
+            &conc(vec![Goal::atom("a"), Goal::atom("b")]),
+            &[Constraint::order("a", "b")],
+        );
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut enactor = Enactor::new();
+        {
+            let c = Arc::clone(&counter);
+            enactor.register("a", Box::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }));
+        }
+        {
+            let c = Arc::clone(&counter);
+            enactor.register("b", Box::new(move |_| {
+                if c.load(Ordering::SeqCst) == 1 {
+                    Ok(())
+                } else {
+                    Err("started before a completed".to_owned())
+                }
+            }));
+        }
+        enactor.run(&p).expect("order constraint gates dispatch");
+    }
+
+    #[test]
+    fn choices_are_resolved_before_dispatch() {
+        // Only one branch's handler may ever run.
+        let p = program(&or(vec![Goal::atom("x"), Goal::atom("y")]), &[]);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut enactor = Enactor::new();
+        enactor.register("x", recording(&log));
+        enactor.register("y", recording(&log));
+        enactor.run(&p).unwrap();
+        assert_eq!(log.lock().unwrap().len(), 1, "exactly one branch executed");
+    }
+
+    #[test]
+    fn random_policy_explores_branches() {
+        let goal = or(vec![Goal::atom("x"), Goal::atom("y")]);
+        let p = program(&goal, &[]);
+        let mut seen = BTreeSet::new();
+        for seed in 0..16 {
+            let enactor = Enactor::new().with_policy(ChoicePolicy::Random(seed));
+            let trace = enactor.run(&p).unwrap();
+            seen.insert(trace[0].as_event().unwrap());
+        }
+        assert_eq!(seen.len(), 2, "both branches reachable under random policy");
+    }
+
+    #[test]
+    fn handler_failure_aborts_with_context() {
+        let p = program(&seq(vec![Goal::atom("ok"), Goal::atom("boom"), Goal::atom("never")]), &[]);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut enactor = Enactor::new();
+        enactor.register("ok", recording(&log));
+        enactor.register("boom", Box::new(|_| Err("disk on fire".to_owned())));
+        enactor.register("never", recording(&log));
+        let err = enactor.run(&p).unwrap_err();
+        let EnactError::HandlerFailed { event, reason, completed } = err else {
+            panic!("expected handler failure");
+        };
+        assert_eq!(event, "boom");
+        assert_eq!(reason, "disk on fire");
+        assert_eq!(completed, vec![sym("ok")]);
+        assert_eq!(*log.lock().unwrap(), vec!["ok"], "`never` never ran");
+    }
+
+    #[test]
+    fn unregistered_activities_complete_instantly() {
+        let p = program(&seq(vec![Goal::atom("ghost1"), Goal::atom("ghost2")]), &[]);
+        let trace = Enactor::new().run(&p).unwrap();
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn wide_fanout_completes() {
+        let goal = conc((0..12).map(|i| Goal::atom(format!("w{i}"))).collect());
+        let p = program(&goal, &[]);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut enactor = Enactor::new();
+        for i in 0..12 {
+            let c = Arc::clone(&counter);
+            enactor.register(format!("w{i}").as_str(), Box::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }));
+        }
+        let trace = enactor.run(&p).unwrap();
+        assert_eq!(trace.len(), 12);
+        assert_eq!(counter.load(Ordering::SeqCst), 12);
+    }
+}

@@ -1,0 +1,549 @@
+#![warn(missing_docs)]
+
+//! # ctr-runtime — workflow instance management
+//!
+//! The operational layer a workflow management system puts on top of the
+//! paper's machinery: **deploy** a specification (compiling it once,
+//! rejecting inconsistent ones — Theorem 5.8 at deployment time), **start**
+//! instances, **fire** events as the outside world reports them, and
+//! **snapshot/restore** everything as plain text.
+//!
+//! Instances are **event-sourced**: the only persistent state is the
+//! journal of fired events. Cursors are materialized on demand by
+//! replaying the journal against the deployed program — deterministic
+//! because the compiled scheduler resolves event-to-node ambiguity by a
+//! fixed rule. This makes crash recovery trivial (replay) and keeps the
+//! snapshot format human-readable: the compiled goal in its concrete
+//! syntax plus one journal line per instance.
+//!
+//! ```
+//! use ctr_runtime::Runtime;
+//!
+//! let mut rt = Runtime::new();
+//! rt.deploy_source("workflow pay { graph invoice * (approve + reject) * file; }").unwrap();
+//! let id = rt.start("pay").unwrap();
+//! assert_eq!(rt.eligible(id).unwrap(), vec!["invoice".to_owned()]);
+//! rt.fire(id, "invoice").unwrap();
+//! rt.fire(id, "approve").unwrap();
+//! rt.fire(id, "file").unwrap();
+//! assert!(rt.is_complete(id).unwrap());
+//! ```
+
+pub mod enact;
+pub mod shared;
+pub mod stats;
+
+use ctr::goal::Goal;
+use ctr::symbol::{sym, Symbol};
+use ctr_engine::scheduler::{Program, Scheduler};
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use enact::{ChoicePolicy, EnactError, Enactor, Handler};
+pub use shared::SharedRuntime;
+pub use stats::{simulate, Simulation};
+
+/// Identifier of a running instance.
+pub type InstanceId = u64;
+
+/// Errors from the runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The specification failed to parse.
+    Parse(String),
+    /// The specification failed to compile (e.g. not unique-event).
+    Compile(String),
+    /// The specification is inconsistent: it was rejected at deployment.
+    Inconsistent(String),
+    /// No workflow deployed under this name.
+    UnknownWorkflow(String),
+    /// No instance with this id.
+    UnknownInstance(InstanceId),
+    /// The event is not eligible at the instance's current stage.
+    NotEligible {
+        /// The rejected event.
+        event: String,
+        /// What the pro-active scheduler would accept instead.
+        eligible: Vec<String>,
+    },
+    /// The instance already completed.
+    AlreadyComplete(InstanceId),
+    /// A snapshot could not be decoded.
+    Snapshot(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Parse(e) => write!(f, "parse error: {e}"),
+            RuntimeError::Compile(e) => write!(f, "compile error: {e}"),
+            RuntimeError::Inconsistent(name) => {
+                write!(f, "workflow `{name}` is inconsistent and cannot be deployed")
+            }
+            RuntimeError::UnknownWorkflow(name) => write!(f, "no workflow named `{name}`"),
+            RuntimeError::UnknownInstance(id) => write!(f, "no instance #{id}"),
+            RuntimeError::NotEligible { event, eligible } => write!(
+                f,
+                "event `{event}` is not eligible now (eligible: {})",
+                eligible.join(", ")
+            ),
+            RuntimeError::AlreadyComplete(id) => write!(f, "instance #{id} already completed"),
+            RuntimeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Lifecycle of an instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstanceStatus {
+    /// Events remain to fire.
+    Running,
+    /// The workflow ran to completion.
+    Completed,
+}
+
+struct Deployment {
+    /// The compiled, knot-free goal (source of truth for snapshots).
+    compiled: Goal,
+    program: Program,
+}
+
+struct Instance {
+    workflow: String,
+    journal: Vec<Symbol>,
+    status: InstanceStatus,
+}
+
+/// The workflow runtime: deployed definitions plus running instances.
+#[derive(Default)]
+pub struct Runtime {
+    deployments: BTreeMap<String, Deployment>,
+    instances: BTreeMap<InstanceId, Instance>,
+    next_id: InstanceId,
+}
+
+impl Runtime {
+    /// An empty runtime.
+    pub fn new() -> Runtime {
+        Runtime::default()
+    }
+
+    /// Deploys a specification from its textual source. Compiles the
+    /// graph, triggers, sub-workflows, and constraints once; inconsistent
+    /// specifications are rejected outright (there would be nothing to
+    /// schedule).
+    pub fn deploy_source(&mut self, source: &str) -> Result<String, RuntimeError> {
+        let spec =
+            ctr_parser::parse_spec(source).map_err(|e| RuntimeError::Parse(e.to_string()))?;
+        let name = spec.name.clone();
+        let compiled = spec.compile().map_err(|e| RuntimeError::Compile(e.to_string()))?;
+        if !compiled.is_consistent() {
+            return Err(RuntimeError::Inconsistent(name));
+        }
+        self.deploy_compiled(&name, compiled.goal)?;
+        Ok(name)
+    }
+
+    /// Deploys an already-compiled goal under a name.
+    pub fn deploy_compiled(&mut self, name: &str, compiled: Goal) -> Result<(), RuntimeError> {
+        let program =
+            Program::compile(&compiled).map_err(|e| RuntimeError::Compile(e.to_string()))?;
+        self.deployments.insert(name.to_owned(), Deployment { compiled, program });
+        Ok(())
+    }
+
+    /// Deployed workflow names.
+    pub fn workflows(&self) -> Vec<String> {
+        self.deployments.keys().cloned().collect()
+    }
+
+    /// Starts a new instance of a deployed workflow.
+    pub fn start(&mut self, workflow: &str) -> Result<InstanceId, RuntimeError> {
+        let deployment = self
+            .deployments
+            .get(workflow)
+            .ok_or_else(|| RuntimeError::UnknownWorkflow(workflow.to_owned()))?;
+        let id = self.next_id;
+        self.next_id += 1;
+        let status = if Scheduler::new(&deployment.program).is_complete() {
+            InstanceStatus::Completed
+        } else {
+            InstanceStatus::Running
+        };
+        self.instances
+            .insert(id, Instance { workflow: workflow.to_owned(), journal: Vec::new(), status });
+        Ok(id)
+    }
+
+    /// Running and completed instance ids.
+    pub fn instances(&self) -> Vec<InstanceId> {
+        self.instances.keys().copied().collect()
+    }
+
+    fn instance(&self, id: InstanceId) -> Result<&Instance, RuntimeError> {
+        self.instances.get(&id).ok_or(RuntimeError::UnknownInstance(id))
+    }
+
+    /// Materializes the cursor for an instance by replaying its journal.
+    fn cursor(&self, id: InstanceId) -> Result<Scheduler<'_>, RuntimeError> {
+        let inst = self.instance(id)?;
+        let deployment = self
+            .deployments
+            .get(&inst.workflow)
+            .ok_or_else(|| RuntimeError::UnknownWorkflow(inst.workflow.clone()))?;
+        let mut s = Scheduler::new(&deployment.program);
+        for &event in &inst.journal {
+            // The journal was validated when appended; replay cannot fail.
+            let fired = s.fire_event(event);
+            debug_assert!(fired, "journal replay diverged");
+        }
+        Ok(s)
+    }
+
+    /// The observable events eligible to fire now, deduplicated and
+    /// sorted — the pro-active scheduler's answer to "what can happen
+    /// next?" (§4).
+    pub fn eligible(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError> {
+        let cursor = self.cursor(id)?;
+        let deployment = &self.deployments[&self.instance(id)?.workflow];
+        let mut names: Vec<String> = cursor
+            .eligible()
+            .into_iter()
+            .filter_map(|c| deployment.program.event(c.node))
+            .filter_map(ctr::term::Atom::as_event)
+            .map(|s| s.as_str().to_owned())
+            .collect();
+        names.sort();
+        names.dedup();
+        Ok(names)
+    }
+
+    /// Fires an external event against an instance. Rejects events the
+    /// compiled schedule does not allow at this stage — no run-time
+    /// constraint checking, just structural eligibility.
+    pub fn fire(&mut self, id: InstanceId, event: &str) -> Result<InstanceStatus, RuntimeError> {
+        let status = self.instance(id)?.status;
+        if status == InstanceStatus::Completed {
+            return Err(RuntimeError::AlreadyComplete(id));
+        }
+        let mut cursor = self.cursor(id)?;
+        let symbol = sym(event);
+        if !cursor.fire_event(symbol) {
+            return Err(RuntimeError::NotEligible {
+                event: event.to_owned(),
+                eligible: self.eligible(id)?,
+            });
+        }
+        let complete = cursor.is_complete();
+        let inst = self.instances.get_mut(&id).expect("checked above");
+        inst.journal.push(symbol);
+        if complete {
+            inst.status = InstanceStatus::Completed;
+        }
+        Ok(self.instance(id)?.status)
+    }
+
+    /// Tries to finish an instance through silent steps only (committing
+    /// `∨`-branches made of bookkeeping, e.g. an optional tail that was
+    /// compiled away). Returns the resulting status.
+    pub fn try_complete(&mut self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
+        let mut cursor = self.cursor(id)?;
+        loop {
+            if cursor.is_complete() {
+                self.instances.get_mut(&id).expect("exists").status = InstanceStatus::Completed;
+                return Ok(InstanceStatus::Completed);
+            }
+            let eligible = cursor.eligible();
+            let Some(silent) = eligible.iter().find(|c| !c.observable) else {
+                return Ok(self.instance(id)?.status);
+            };
+            // Note: silent advances are NOT journaled; replay re-derives
+            // them only if they were forced. A silent *choice* is
+            // re-resolved at the next materialization, so completion is
+            // recorded in the status instead.
+            cursor.fire(silent.node);
+        }
+    }
+
+    /// The journal of fired events.
+    pub fn journal(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError> {
+        Ok(self.instance(id)?.journal.iter().map(|s| s.as_str().to_owned()).collect())
+    }
+
+    /// Instance status.
+    pub fn status(&self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
+        Ok(self.instance(id)?.status)
+    }
+
+    /// Completion check.
+    pub fn is_complete(&self, id: InstanceId) -> Result<bool, RuntimeError> {
+        Ok(self.instance(id)?.status == InstanceStatus::Completed)
+    }
+
+    // --- Snapshots ---------------------------------------------------------
+
+    /// Serializes the whole runtime — deployments as compiled goals in
+    /// the concrete syntax, instances as journals — into a line-based
+    /// textual snapshot.
+    pub fn snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("ctr-runtime snapshot v1\n");
+        for (name, d) in &self.deployments {
+            let _ = writeln!(out, "workflow {name} := {}", d.compiled);
+        }
+        for (id, inst) in &self.instances {
+            let journal: Vec<&str> = inst.journal.iter().map(|s| s.as_str()).collect();
+            let status = match inst.status {
+                InstanceStatus::Running => "running",
+                InstanceStatus::Completed => "completed",
+            };
+            let _ = writeln!(
+                out,
+                "instance {id} of {} [{status}]: {}",
+                inst.workflow,
+                journal.join(" ")
+            );
+        }
+        out
+    }
+
+    /// Restores a runtime from a snapshot, re-validating every journal by
+    /// replay.
+    pub fn restore(snapshot: &str) -> Result<Runtime, RuntimeError> {
+        let mut lines = snapshot.lines();
+        if lines.next() != Some("ctr-runtime snapshot v1") {
+            return Err(RuntimeError::Snapshot("missing or unknown header".to_owned()));
+        }
+        let mut rt = Runtime::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("workflow ") {
+                let (name, goal_text) = rest
+                    .split_once(" := ")
+                    .ok_or_else(|| RuntimeError::Snapshot(format!("bad workflow line: {line}")))?;
+                let goal = ctr_parser::parse_goal(goal_text)
+                    .map_err(|e| RuntimeError::Snapshot(e.to_string()))?;
+                rt.deploy_compiled(name, goal)?;
+            } else if let Some(rest) = line.strip_prefix("instance ") {
+                let (head, journal_text) = rest
+                    .split_once("]: ")
+                    .or_else(|| rest.split_once("]:").map(|(h, _)| (h, "")))
+                    .ok_or_else(|| RuntimeError::Snapshot(format!("bad instance line: {line}")))?;
+                // head = "<id> of <workflow> [<status>"
+                let mut parts = head.split_whitespace();
+                let id: InstanceId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| RuntimeError::Snapshot(format!("bad instance id: {line}")))?;
+                let workflow = match (parts.next(), parts.next()) {
+                    (Some("of"), Some(w)) => w.to_owned(),
+                    _ => return Err(RuntimeError::Snapshot(format!("bad instance line: {line}"))),
+                };
+                if !rt.deployments.contains_key(&workflow) {
+                    return Err(RuntimeError::Snapshot(format!(
+                        "instance {id} references unknown workflow `{workflow}`"
+                    )));
+                }
+                rt.instances.insert(
+                    id,
+                    Instance {
+                        workflow,
+                        journal: Vec::new(),
+                        status: InstanceStatus::Running,
+                    },
+                );
+                rt.next_id = rt.next_id.max(id + 1);
+                // Replay through the public API so every journaled event
+                // is re-validated.
+                for event in journal_text.split_whitespace() {
+                    rt.fire(id, event)?;
+                }
+                if head.ends_with("[completed") {
+                    // Completion may have come from silent finishing.
+                    rt.try_complete(id)?;
+                }
+            } else {
+                return Err(RuntimeError::Snapshot(format!("unrecognized line: {line}")));
+            }
+        }
+        Ok(rt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctr::constraints::Constraint;
+
+    const PAY: &str = r"
+        workflow pay {
+            graph invoice * (approve + reject) * file;
+        }
+    ";
+
+    fn runtime_with_pay() -> Runtime {
+        let mut rt = Runtime::new();
+        rt.deploy_source(PAY).unwrap();
+        rt
+    }
+
+    #[test]
+    fn deploy_start_fire_complete() {
+        let mut rt = runtime_with_pay();
+        assert_eq!(rt.workflows(), vec!["pay".to_owned()]);
+        let id = rt.start("pay").unwrap();
+        assert_eq!(rt.eligible(id).unwrap(), vec!["invoice".to_owned()]);
+        rt.fire(id, "invoice").unwrap();
+        assert_eq!(rt.eligible(id).unwrap(), vec!["approve".to_owned(), "reject".to_owned()]);
+        rt.fire(id, "reject").unwrap();
+        assert_eq!(rt.fire(id, "file").unwrap(), InstanceStatus::Completed);
+        assert!(rt.is_complete(id).unwrap());
+        assert_eq!(rt.journal(id).unwrap(), vec!["invoice", "reject", "file"]);
+    }
+
+    #[test]
+    fn ineligible_events_are_rejected_with_alternatives() {
+        let mut rt = runtime_with_pay();
+        let id = rt.start("pay").unwrap();
+        let err = rt.fire(id, "file").unwrap_err();
+        let RuntimeError::NotEligible { event, eligible } = err else {
+            panic!("expected NotEligible");
+        };
+        assert_eq!(event, "file");
+        assert_eq!(eligible, vec!["invoice".to_owned()]);
+        // The failed fire left no trace in the journal.
+        assert!(rt.journal(id).unwrap().is_empty());
+    }
+
+    #[test]
+    fn firing_into_completed_instance_fails() {
+        let mut rt = runtime_with_pay();
+        let id = rt.start("pay").unwrap();
+        for e in ["invoice", "approve", "file"] {
+            rt.fire(id, e).unwrap();
+        }
+        assert_eq!(rt.fire(id, "invoice"), Err(RuntimeError::AlreadyComplete(id)));
+    }
+
+    #[test]
+    fn inconsistent_specs_are_rejected_at_deploy() {
+        let mut rt = Runtime::new();
+        let err = rt
+            .deploy_source(
+                "workflow bad { graph b * a; constraint before(a, b); }",
+            )
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::Inconsistent("bad".to_owned()));
+    }
+
+    #[test]
+    fn constraints_gate_eligibility_at_runtime() {
+        // A compiled order constraint: the runtime refuses the late event
+        // until its predecessor fired — with zero constraint checking.
+        let mut rt = Runtime::new();
+        let compiled = ctr::analysis::compile(
+            &ctr::goal::conc(vec![Goal::atom("a"), Goal::atom("b")]),
+            &[Constraint::order("a", "b")],
+        )
+        .unwrap();
+        rt.deploy_compiled("ab", compiled.goal).unwrap();
+        let id = rt.start("ab").unwrap();
+        assert_eq!(rt.eligible(id).unwrap(), vec!["a".to_owned()]);
+        assert!(matches!(rt.fire(id, "b"), Err(RuntimeError::NotEligible { .. })));
+        rt.fire(id, "a").unwrap();
+        rt.fire(id, "b").unwrap();
+        assert!(rt.is_complete(id).unwrap());
+    }
+
+    #[test]
+    fn multiple_instances_progress_independently() {
+        let mut rt = runtime_with_pay();
+        let i1 = rt.start("pay").unwrap();
+        let i2 = rt.start("pay").unwrap();
+        rt.fire(i1, "invoice").unwrap();
+        assert_eq!(rt.eligible(i2).unwrap(), vec!["invoice".to_owned()]);
+        rt.fire(i1, "approve").unwrap();
+        rt.fire(i2, "invoice").unwrap();
+        rt.fire(i2, "reject").unwrap();
+        assert_eq!(rt.journal(i1).unwrap(), vec!["invoice", "approve"]);
+        assert_eq!(rt.journal(i2).unwrap(), vec!["invoice", "reject"]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_flight() {
+        let mut rt = runtime_with_pay();
+        let i1 = rt.start("pay").unwrap();
+        let i2 = rt.start("pay").unwrap();
+        rt.fire(i1, "invoice").unwrap();
+        rt.fire(i1, "approve").unwrap();
+        rt.fire(i2, "invoice").unwrap();
+
+        let snap = rt.snapshot();
+        let restored = Runtime::restore(&snap).unwrap();
+        assert_eq!(restored.workflows(), vec!["pay".to_owned()]);
+        assert_eq!(restored.journal(i1).unwrap(), vec!["invoice", "approve"]);
+        assert_eq!(restored.eligible(i1).unwrap(), vec!["file".to_owned()]);
+        assert_eq!(
+            restored.eligible(i2).unwrap(),
+            vec!["approve".to_owned(), "reject".to_owned()]
+        );
+        // New instances allocate past the restored ids.
+        let mut restored = restored;
+        let i3 = restored.start("pay").unwrap();
+        assert!(i3 > i2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_completed_instances() {
+        let mut rt = runtime_with_pay();
+        let id = rt.start("pay").unwrap();
+        for e in ["invoice", "approve", "file"] {
+            rt.fire(id, e).unwrap();
+        }
+        let restored = Runtime::restore(&rt.snapshot()).unwrap();
+        assert!(restored.is_complete(id).unwrap());
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        assert!(Runtime::restore("bogus").is_err());
+        assert!(Runtime::restore("ctr-runtime snapshot v1\ninstance 0 of ghost [running]: x")
+            .is_err());
+        // A journal that replay rejects.
+        let mut rt = runtime_with_pay();
+        rt.start("pay").unwrap();
+        let snap = rt.snapshot().replace("[running]: ", "[running]: file");
+        assert!(matches!(
+            Runtime::restore(&snap),
+            Err(RuntimeError::NotEligible { .. })
+        ));
+    }
+
+    #[test]
+    fn try_complete_finishes_silent_tails() {
+        // a ⊗ (send-branch ∨ b): after a, the instance can finish without
+        // another observable event.
+        let goal = ctr::goal::seq(vec![
+            Goal::atom("a"),
+            ctr::goal::or(vec![Goal::Send(ctr::goal::Channel(0)), Goal::atom("b")]),
+        ]);
+        let mut rt = Runtime::new();
+        rt.deploy_compiled("opt", goal).unwrap();
+        let id = rt.start("opt").unwrap();
+        rt.fire(id, "a").unwrap();
+        assert_eq!(rt.status(id).unwrap(), InstanceStatus::Running);
+        assert_eq!(rt.try_complete(id).unwrap(), InstanceStatus::Completed);
+    }
+
+    #[test]
+    fn unknown_ids_and_names_error() {
+        let mut rt = Runtime::new();
+        assert_eq!(rt.start("ghost"), Err(RuntimeError::UnknownWorkflow("ghost".to_owned())));
+        assert_eq!(rt.eligible(42), Err(RuntimeError::UnknownInstance(42)));
+        assert_eq!(rt.fire(42, "x"), Err(RuntimeError::UnknownInstance(42)));
+    }
+}

@@ -1,0 +1,164 @@
+//! A thread-safe handle over the runtime, for services where several
+//! clients report events concurrently.
+//!
+//! The scheduler's state is tiny (journals), so a single coarse lock is
+//! the right design: contention is bounded by journal replay, and the
+//! eligibility check plus journal append happen atomically — two clients
+//! racing to fire conflicting events serialize, and exactly one of two
+//! mutually-exclusive branch events wins (the other gets
+//! [`RuntimeError::NotEligible`] with the post-commit alternatives).
+
+use crate::{InstanceId, InstanceStatus, Runtime, RuntimeError};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A cloneable, `Send + Sync` handle to a shared [`Runtime`].
+#[derive(Clone, Default)]
+pub struct SharedRuntime {
+    inner: Arc<Mutex<Runtime>>,
+}
+
+impl SharedRuntime {
+    /// Wraps an empty runtime.
+    pub fn new() -> SharedRuntime {
+        SharedRuntime::default()
+    }
+
+    /// Wraps an existing runtime.
+    pub fn from_runtime(rt: Runtime) -> SharedRuntime {
+        SharedRuntime { inner: Arc::new(Mutex::new(rt)) }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Runtime> {
+        // A poisoned lock means a panic mid-operation; every operation
+        // either completes its journal append or leaves it untouched, so
+        // continuing with the inner state is safe.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// See [`Runtime::deploy_source`].
+    pub fn deploy_source(&self, source: &str) -> Result<String, RuntimeError> {
+        self.lock().deploy_source(source)
+    }
+
+    /// See [`Runtime::start`].
+    pub fn start(&self, workflow: &str) -> Result<InstanceId, RuntimeError> {
+        self.lock().start(workflow)
+    }
+
+    /// See [`Runtime::fire`] — atomic with respect to other clients.
+    pub fn fire(&self, id: InstanceId, event: &str) -> Result<InstanceStatus, RuntimeError> {
+        self.lock().fire(id, event)
+    }
+
+    /// See [`Runtime::eligible`]. The answer is a snapshot: another
+    /// client may commit a branch before you act on it — `fire` remains
+    /// the arbiter.
+    pub fn eligible(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError> {
+        self.lock().eligible(id)
+    }
+
+    /// See [`Runtime::journal`].
+    pub fn journal(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError> {
+        self.lock().journal(id)
+    }
+
+    /// See [`Runtime::status`].
+    pub fn status(&self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
+        self.lock().status(id)
+    }
+
+    /// See [`Runtime::try_complete`].
+    pub fn try_complete(&self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
+        self.lock().try_complete(id)
+    }
+
+    /// See [`Runtime::snapshot`] — a consistent point-in-time snapshot.
+    pub fn snapshot(&self) -> String {
+        self.lock().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared_pay() -> SharedRuntime {
+        let rt = SharedRuntime::new();
+        rt.deploy_source("workflow pay { graph invoice * (approve + reject) * file; }")
+            .unwrap();
+        rt
+    }
+
+    #[test]
+    fn handle_is_send_sync_and_cloneable() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<SharedRuntime>();
+    }
+
+    #[test]
+    fn racing_exclusive_branches_serialize() {
+        // Two threads race to decide the same instance; exactly one of
+        // approve/reject lands, every time.
+        for round in 0..20 {
+            let rt = shared_pay();
+            let id = rt.start("pay").unwrap();
+            rt.fire(id, "invoice").unwrap();
+
+            let (a, b) = (rt.clone(), rt.clone());
+            let ta = std::thread::spawn(move || a.fire(id, "approve").is_ok());
+            let tb = std::thread::spawn(move || b.fire(id, "reject").is_ok());
+            let (ra, rb) = (ta.join().unwrap(), tb.join().unwrap());
+            assert!(ra ^ rb, "round {round}: exactly one decision wins (a={ra}, b={rb})");
+
+            let journal = rt.journal(id).unwrap();
+            assert_eq!(journal.len(), 2);
+            assert!(journal[1] == "approve" || journal[1] == "reject");
+        }
+    }
+
+    #[test]
+    fn concurrent_instances_do_not_interfere() {
+        let rt = shared_pay();
+        let ids: Vec<_> = (0..8).map(|_| rt.start("pay").unwrap()).collect();
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let rt = rt.clone();
+                std::thread::spawn(move || {
+                    rt.fire(id, "invoice").unwrap();
+                    rt.fire(id, "approve").unwrap();
+                    rt.fire(id, "file").unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for id in ids {
+            assert_eq!(rt.status(id).unwrap(), InstanceStatus::Completed);
+        }
+    }
+
+    #[test]
+    fn snapshot_under_concurrency_is_consistent() {
+        let rt = shared_pay();
+        let id = rt.start("pay").unwrap();
+        rt.fire(id, "invoice").unwrap();
+        let writer = {
+            let rt = rt.clone();
+            std::thread::spawn(move || {
+                let _ = rt.fire(id, "approve");
+                let _ = rt.fire(id, "file");
+            })
+        };
+        // Snapshots taken at any point restore cleanly.
+        for _ in 0..10 {
+            let snap = rt.snapshot();
+            Runtime::restore(&snap).expect("snapshot is internally consistent");
+        }
+        writer.join().unwrap();
+        let final_snap = rt.snapshot();
+        let restored = Runtime::restore(&final_snap).unwrap();
+        assert!(restored.is_complete(id).unwrap());
+    }
+}

@@ -1,0 +1,151 @@
+//! Monte-Carlo simulation over the allowed schedules of a deployed
+//! workflow.
+//!
+//! The compiled goal is a "compressed explicit representation of all
+//! allowed executions" (paper, §4); sampling it with the randomized
+//! scheduling policy gives process-analytics answers without enumerating
+//! the whole (possibly exponential) execution space: how often does each
+//! activity run, how long are the paths, which activities always/never
+//! co-occur in practice.
+
+use ctr::symbol::Symbol;
+use ctr_engine::scheduler::{Program, Scheduler};
+use std::collections::BTreeMap;
+
+/// Aggregate statistics over sampled schedules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Simulation {
+    /// Number of schedules sampled.
+    pub runs: usize,
+    /// Schedules that ran to completion (all of them, for excised
+    /// programs).
+    pub completed: usize,
+    /// How many sampled schedules each event occurred in.
+    pub event_frequency: BTreeMap<Symbol, usize>,
+    /// Shortest complete path length observed.
+    pub min_len: usize,
+    /// Longest complete path length observed.
+    pub max_len: usize,
+    /// Total events across all completed paths (for the mean).
+    pub total_len: usize,
+    /// Distinct complete traces observed.
+    pub distinct_traces: usize,
+}
+
+impl Simulation {
+    /// Mean complete-path length.
+    pub fn mean_len(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.total_len as f64 / self.completed as f64
+        }
+    }
+
+    /// Fraction of sampled schedules containing `event`.
+    pub fn frequency(&self, event: Symbol) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            *self.event_frequency.get(&event).unwrap_or(&0) as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Samples `runs` randomized schedules of `program` (seeds
+/// `seed, seed+1, …`) and aggregates.
+pub fn simulate(program: &Program, runs: usize, seed: u64) -> Simulation {
+    let mut sim = Simulation {
+        runs,
+        completed: 0,
+        event_frequency: BTreeMap::new(),
+        min_len: usize::MAX,
+        max_len: 0,
+        total_len: 0,
+        distinct_traces: 0,
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for i in 0..runs {
+        let Some(trace) = Scheduler::new(program).run_random(seed.wrapping_add(i as u64)) else {
+            continue;
+        };
+        let names: Vec<Symbol> =
+            trace.iter().filter_map(ctr::term::Atom::as_event).collect();
+        sim.completed += 1;
+        sim.min_len = sim.min_len.min(names.len());
+        sim.max_len = sim.max_len.max(names.len());
+        sim.total_len += names.len();
+        let mut once: Vec<Symbol> = names.clone();
+        once.sort_unstable();
+        once.dedup();
+        for e in once {
+            *sim.event_frequency.entry(e).or_insert(0) += 1;
+        }
+        if seen.insert(names) {
+            sim.distinct_traces += 1;
+        }
+    }
+    if sim.completed == 0 {
+        sim.min_len = 0;
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctr::constraints::Constraint;
+    use ctr::goal::{conc, or, seq, Goal};
+    use ctr::sym;
+
+    fn program(goal: &Goal, constraints: &[Constraint]) -> Program {
+        let compiled = ctr::analysis::compile(goal, constraints).unwrap();
+        Program::compile(&compiled.goal).unwrap()
+    }
+
+    #[test]
+    fn simulation_counts_and_lengths() {
+        let goal = seq(vec![Goal::atom("a"), or(vec![Goal::atom("b"), Goal::atom("c")])]);
+        let p = program(&goal, &[]);
+        let sim = simulate(&p, 200, 7);
+        assert_eq!(sim.runs, 200);
+        assert_eq!(sim.completed, 200);
+        assert_eq!((sim.min_len, sim.max_len), (2, 2));
+        assert!((sim.mean_len() - 2.0).abs() < f64::EPSILON);
+        assert_eq!(sim.frequency(sym("a")), 1.0, "a is mandatory");
+        let b = sim.frequency(sym("b"));
+        let c = sim.frequency(sym("c"));
+        assert!((b + c - 1.0).abs() < f64::EPSILON, "exactly one branch per run");
+        assert!(b > 0.2 && c > 0.2, "both branches get sampled (b={b}, c={c})");
+        assert_eq!(sim.distinct_traces, 2);
+    }
+
+    #[test]
+    fn constraints_shift_frequencies() {
+        let goal = conc(vec![
+            or(vec![Goal::atom("x"), Goal::atom("y")]),
+            Goal::atom("z"),
+        ]);
+        // must(x) kills the y branch entirely.
+        let p = program(&goal, &[Constraint::must("x")]);
+        let sim = simulate(&p, 100, 3);
+        assert_eq!(sim.frequency(sym("x")), 1.0);
+        assert_eq!(sim.frequency(sym("y")), 0.0);
+    }
+
+    #[test]
+    fn distinct_traces_bounded_by_interleavings() {
+        let p = program(&conc(vec![Goal::atom("p"), Goal::atom("q")]), &[]);
+        let sim = simulate(&p, 300, 11);
+        assert_eq!(sim.distinct_traces, 2);
+    }
+
+    #[test]
+    fn zero_runs_is_well_defined() {
+        let p = program(&Goal::atom("a"), &[]);
+        let sim = simulate(&p, 0, 0);
+        assert_eq!(sim.completed, 0);
+        assert_eq!(sim.mean_len(), 0.0);
+        assert_eq!(sim.min_len, 0);
+    }
+}

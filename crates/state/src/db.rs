@@ -1,0 +1,284 @@
+//! Relational database states.
+//!
+//! The paper's model theory ranges over an abstract set of states; "for
+//! the purpose of this paper, the reader can think of the states as just a
+//! set of relational databases" (§2). This module is that substrate: a
+//! [`Database`] maps predicate names to sets of ground tuples, with
+//! invertible elementary [`Change`]s so the execution engine can backtrack
+//! by undoing a trail rather than copying states.
+//!
+//! Everything is kept in `BTree` collections for deterministic iteration —
+//! nondeterminism in executions must come from the logic, never from hash
+//! ordering.
+
+use ctr::symbol::Symbol;
+use ctr::term::Term;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A ground tuple.
+pub type Tuple = Vec<Term>;
+
+/// A relational database state.
+#[derive(Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<Symbol, BTreeSet<Tuple>>,
+}
+
+impl PartialEq for Database {
+    // States compare by *content*: a declared-but-empty relation is the
+    // same state as an undeclared one, so undoing a trail restores
+    // equality even when it leaves empty schema entries behind.
+    fn eq(&self, other: &Database) -> bool {
+        let mine = self.relations.iter().filter(|(_, ts)| !ts.is_empty());
+        let theirs = other.relations.iter().filter(|(_, ts)| !ts.is_empty());
+        mine.eq(theirs)
+    }
+}
+
+impl Eq for Database {}
+
+/// An elementary, invertible state change.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Change {
+    /// Insert `tuple` into `rel`.
+    Insert {
+        /// Target relation.
+        rel: Symbol,
+        /// The ground tuple to insert.
+        tuple: Tuple,
+    },
+    /// Delete `tuple` from `rel`.
+    Delete {
+        /// Target relation.
+        rel: Symbol,
+        /// The ground tuple to delete.
+        tuple: Tuple,
+    },
+}
+
+impl Change {
+    /// The relation this change touches.
+    pub fn relation(&self) -> Symbol {
+        match self {
+            Change::Insert { rel, .. } | Change::Delete { rel, .. } => *rel,
+        }
+    }
+}
+
+/// A state transition: zero or more changes applied atomically. The
+/// transition oracle of the paper maps an elementary update to the *set*
+/// of possible deltas — updates may be nondeterministic.
+pub type Delta = Vec<Change>;
+
+impl Database {
+    /// The empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Declares an (initially empty) relation, making its name known to
+    /// the engine's query resolution even before any tuple is inserted.
+    pub fn declare(&mut self, rel: impl Into<Symbol>) -> &mut Self {
+        self.relations.entry(rel.into()).or_default();
+        self
+    }
+
+    /// True if the relation name has been declared or populated.
+    pub fn has_relation(&self, rel: Symbol) -> bool {
+        self.relations.contains_key(&rel)
+    }
+
+    /// Inserts a tuple directly (used for setup; execution goes through
+    /// [`Database::apply`]).
+    pub fn insert(&mut self, rel: impl Into<Symbol>, tuple: Tuple) -> &mut Self {
+        debug_assert!(tuple.iter().all(Term::is_ground), "database tuples must be ground");
+        self.relations.entry(rel.into()).or_default().insert(tuple);
+        self
+    }
+
+    /// Inserts a zero-ary fact.
+    pub fn insert_fact(&mut self, rel: impl Into<Symbol>) -> &mut Self {
+        self.insert(rel, Vec::new())
+    }
+
+    /// True if the tuple is present.
+    pub fn contains(&self, rel: Symbol, tuple: &[Term]) -> bool {
+        self.relations.get(&rel).is_some_and(|set| set.contains(tuple))
+    }
+
+    /// Iterates the tuples of a relation (empty iterator if undeclared).
+    pub fn tuples(&self, rel: Symbol) -> impl Iterator<Item = &Tuple> + '_ {
+        self.relations.get(&rel).into_iter().flatten()
+    }
+
+    /// Number of tuples in a relation.
+    pub fn cardinality(&self, rel: Symbol) -> usize {
+        self.relations.get(&rel).map_or(0, BTreeSet::len)
+    }
+
+    /// The declared relation names.
+    pub fn relation_names(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// Applies a change, returning its inverse if the state actually
+    /// changed, or `None` for a no-op (inserting a present tuple /
+    /// deleting an absent one). Elementary updates are *always true over
+    /// some arc* — a no-op corresponds to the arc `⟨s, s⟩` (footnote 3 of
+    /// the paper), so it is not an error.
+    pub fn apply(&mut self, change: &Change) -> Option<Change> {
+        match change {
+            Change::Insert { rel, tuple } => {
+                let added = self.relations.entry(*rel).or_default().insert(tuple.clone());
+                added.then(|| Change::Delete { rel: *rel, tuple: tuple.clone() })
+            }
+            Change::Delete { rel, tuple } => {
+                let removed =
+                    self.relations.get_mut(rel).is_some_and(|set| set.remove(tuple));
+                removed.then(|| Change::Insert { rel: *rel, tuple: tuple.clone() })
+            }
+        }
+    }
+
+    /// Applies a whole delta, returning the inverse trail (to be replayed
+    /// in reverse order on undo).
+    pub fn apply_delta(&mut self, delta: &Delta) -> Vec<Change> {
+        delta.iter().filter_map(|c| self.apply(c)).collect()
+    }
+
+    /// Undoes an inverse trail produced by [`Database::apply_delta`].
+    pub fn undo(&mut self, inverse: &[Change]) {
+        for change in inverse.iter().rev() {
+            self.apply(change);
+        }
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(BTreeSet::len).sum()
+    }
+
+    /// True if no relation holds any tuple.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Database {{")?;
+        for (rel, tuples) in &self.relations {
+            for t in tuples {
+                write!(f, "  {rel}(")?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                writeln!(f, ")")?;
+            }
+            if tuples.is_empty() {
+                writeln!(f, "  {rel}/∅")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctr::symbol::sym;
+
+    fn t(names: &[&str]) -> Tuple {
+        names.iter().map(|n| Term::constant(n)).collect()
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut db = Database::new();
+        db.insert("likes", t(&["ann", "logic"]));
+        assert!(db.contains(sym("likes"), &t(&["ann", "logic"])));
+        assert!(!db.contains(sym("likes"), &t(&["bob", "logic"])));
+        assert_eq!(db.cardinality(sym("likes")), 1);
+    }
+
+    #[test]
+    fn apply_insert_returns_inverse() {
+        let mut db = Database::new();
+        let change = Change::Insert { rel: sym("p"), tuple: t(&["a"]) };
+        let inv = db.apply(&change).expect("state changed");
+        assert_eq!(inv, Change::Delete { rel: sym("p"), tuple: t(&["a"]) });
+        db.apply(&inv);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn noop_changes_return_none() {
+        let mut db = Database::new();
+        // Delete from empty relation: the ⟨s, s⟩ arc.
+        assert_eq!(db.apply(&Change::Delete { rel: sym("p"), tuple: t(&["a"]) }), None);
+        db.insert("p", t(&["a"]));
+        assert_eq!(db.apply(&Change::Insert { rel: sym("p"), tuple: t(&["a"]) }), None);
+        assert_eq!(db.cardinality(sym("p")), 1);
+    }
+
+    #[test]
+    fn delta_round_trip() {
+        let mut db = Database::new();
+        db.insert("p", t(&["x"]));
+        let before = db.clone();
+        let delta = vec![
+            Change::Delete { rel: sym("p"), tuple: t(&["x"]) },
+            Change::Insert { rel: sym("q"), tuple: t(&["y"]) },
+            Change::Insert { rel: sym("q"), tuple: t(&["y"]) }, // no-op
+        ];
+        let inverse = db.apply_delta(&delta);
+        assert!(!db.contains(sym("p"), &t(&["x"])));
+        assert!(db.contains(sym("q"), &t(&["y"])));
+        assert_eq!(inverse.len(), 2, "no-op contributes no undo entry");
+        db.undo(&inverse);
+        assert_eq!(db, before);
+    }
+
+    #[test]
+    fn declare_registers_schema() {
+        let mut db = Database::new();
+        db.declare("inventory");
+        assert!(db.has_relation(sym("inventory")));
+        assert!(!db.has_relation(sym("orders")));
+        assert_eq!(db.relation_names().collect::<Vec<_>>(), vec![sym("inventory")]);
+    }
+
+    #[test]
+    fn facts_are_zero_ary_tuples() {
+        let mut db = Database::new();
+        db.insert_fact("open");
+        assert!(db.contains(sym("open"), &[]));
+    }
+
+    #[test]
+    fn undo_reverses_in_reverse_order() {
+        // Insert then delete the same tuple: undo must restore exactly.
+        let mut db = Database::new();
+        let before = db.clone();
+        let delta = vec![
+            Change::Insert { rel: sym("p"), tuple: t(&["a"]) },
+            Change::Delete { rel: sym("p"), tuple: t(&["a"]) },
+        ];
+        let inverse = db.apply_delta(&delta);
+        db.undo(&inverse);
+        assert_eq!(db, before);
+    }
+
+    #[test]
+    fn debug_rendering_is_stable() {
+        let mut db = Database::new();
+        db.insert("p", t(&["a"])).declare("q");
+        let text = format!("{db:?}");
+        assert!(text.contains("p(a)"));
+        assert!(text.contains("q/∅"));
+    }
+}

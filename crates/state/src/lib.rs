@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! # ctr-state — database states and transition oracles
+//!
+//! The state substrate beneath the CTR execution engine: relational
+//! [`Database`] states with invertible [`Change`]s (so the SLD-style proof
+//! procedure can backtrack by undoing a trail), and the
+//! [`TransitionOracle`] abstraction that gives elementary updates their
+//! semantics (paper, §2).
+//!
+//! The paper treats states abstractly; this crate is the concrete
+//! instantiation it suggests ("think of the states as just a set of
+//! relational databases") plus the naming-convention oracle
+//! (`ins_p`/`del_p`) it uses as a running example.
+
+pub mod db;
+pub mod oracle;
+
+pub use db::{Change, Database, Delta, Tuple};
+pub use oracle::{choose_any, NullOracle, StandardOracle, TransitionOracle, UpdateFn};

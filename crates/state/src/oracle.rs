@@ -1,0 +1,239 @@
+//! The transition oracle (paper, §2, "Elementary updates").
+//!
+//! CTR does not fix the nature of elementary updates. Instead, a
+//! *transition oracle* decides which arcs `⟨s₁, s₂⟩` each update is true
+//! over — "from simple tuple insertions and deletions, to relational
+//! assignments, to updates performed by legacy programs". An update may be
+//! nondeterministic (several possible target states) and may be
+//! inapplicable in some states.
+//!
+//! [`StandardOracle`] implements the conventional syntactic convention the
+//! paper suggests: `ins_p(t…)` inserts into `p`, `del_p(t…)` deletes, and
+//! `clr_p` clears a relation (a simple relational assignment). Custom
+//! black-box updates — the "legacy program" case — register as closures.
+//! Significant events intentionally do *not* resolve here: per assumption
+//! (2) of the paper they are updates that apply in every state (a record
+//! forced into the system log), which the engine handles uniformly.
+
+use crate::db::{Change, Database, Delta};
+use ctr::symbol::Symbol;
+use ctr::term::Atom;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Decides the possible state transitions of elementary updates.
+pub trait TransitionOracle {
+    /// If `atom` is an elementary update this oracle understands, returns
+    /// the alternative deltas it may cause at `db` (empty = recognized but
+    /// inapplicable in this state, so the execution branch fails).
+    /// `None` means the atom is not an update — the engine will try query
+    /// and event resolution instead.
+    fn transitions(&self, atom: &Atom, db: &Database) -> Option<Vec<Delta>>;
+}
+
+/// Signature of a registered black-box update.
+pub type UpdateFn = Box<dyn Fn(&Atom, &Database) -> Vec<Delta> + Send + Sync>;
+
+/// The conventional oracle: `ins_*` / `del_*` / `clr_*` prefixes plus
+/// registered custom updates.
+#[derive(Default)]
+pub struct StandardOracle {
+    custom: BTreeMap<Symbol, UpdateFn>,
+}
+
+impl StandardOracle {
+    /// A fresh oracle with only the naming-convention updates.
+    pub fn new() -> StandardOracle {
+        StandardOracle::default()
+    }
+
+    /// Registers a custom (black-box) update for `pred`. The closure
+    /// returns the alternative deltas; returning an empty vector makes the
+    /// update inapplicable at that state.
+    pub fn register(&mut self, pred: impl Into<Symbol>, f: UpdateFn) -> &mut Self {
+        self.custom.insert(pred.into(), f);
+        self
+    }
+
+    /// True if `pred` has a registered custom update.
+    pub fn is_registered(&self, pred: Symbol) -> bool {
+        self.custom.contains_key(&pred)
+    }
+}
+
+impl fmt::Debug for StandardOracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StandardOracle")
+            .field("custom", &self.custom.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Splits `name` at a known update prefix, returning the verb and target
+/// relation.
+fn split_prefix(name: &str) -> Option<(&'static str, &str)> {
+    for verb in ["ins_", "del_", "clr_"] {
+        if let Some(rest) = name.strip_prefix(verb) {
+            if !rest.is_empty() {
+                return Some((verb, rest));
+            }
+        }
+    }
+    None
+}
+
+impl TransitionOracle for StandardOracle {
+    fn transitions(&self, atom: &Atom, db: &Database) -> Option<Vec<Delta>> {
+        if atom.negated {
+            return None;
+        }
+        if let Some(f) = self.custom.get(&atom.pred) {
+            return Some(f(atom, db));
+        }
+        let (verb, rel) = split_prefix(atom.pred.as_str())?;
+        let rel = Symbol::intern(rel);
+        if !atom.is_ground() {
+            // Updates with unbound variables have no defined transition.
+            return Some(Vec::new());
+        }
+        match verb {
+            "ins_" => Some(vec![vec![Change::Insert { rel, tuple: atom.args.clone() }]]),
+            // Unconditional deletion: true over ⟨s, s⟩ when the tuple is
+            // absent (footnote 3) — a no-op delta, still one alternative.
+            "del_" => Some(vec![vec![Change::Delete { rel, tuple: atom.args.clone() }]]),
+            "clr_" => {
+                let wipe: Delta = db
+                    .tuples(rel)
+                    .cloned()
+                    .map(|tuple| Change::Delete { rel, tuple })
+                    .collect();
+                Some(vec![wipe])
+            }
+            _ => unreachable!("split_prefix only yields known verbs"),
+        }
+    }
+}
+
+/// An oracle that recognizes nothing — for purely propositional workflows
+/// where every atom is a significant event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullOracle;
+
+impl TransitionOracle for NullOracle {
+    fn transitions(&self, _atom: &Atom, _db: &Database) -> Option<Vec<Delta>> {
+        None
+    }
+}
+
+/// A nondeterministic choice update for tests and examples: picks any
+/// tuple of `rel` and records it in `chosen_rel`. Demonstrates oracle
+/// nondeterminism (the paper: "any one of a number of alternative state
+/// transitions might be possible").
+pub fn choose_any(rel: impl Into<Symbol>, chosen_rel: impl Into<Symbol>) -> UpdateFn {
+    let rel = rel.into();
+    let chosen_rel = chosen_rel.into();
+    Box::new(move |_atom: &Atom, db: &Database| {
+        db.tuples(rel)
+            .map(|t| vec![Change::Insert { rel: chosen_rel, tuple: t.clone() }])
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctr::symbol::sym;
+    use ctr::term::Term;
+
+    fn ground(name: &str, args: &[&str]) -> Atom {
+        Atom::new(name, args.iter().map(|a| Term::constant(a)).collect())
+    }
+
+    #[test]
+    fn ins_prefix_inserts() {
+        let oracle = StandardOracle::new();
+        let db = Database::new();
+        let alts = oracle.transitions(&ground("ins_cart", &["book"]), &db).unwrap();
+        assert_eq!(
+            alts,
+            vec![vec![Change::Insert { rel: sym("cart"), tuple: vec![Term::constant("book")] }]]
+        );
+    }
+
+    #[test]
+    fn del_prefix_deletes_even_when_absent() {
+        let oracle = StandardOracle::new();
+        let db = Database::new();
+        let alts = oracle.transitions(&ground("del_cart", &["book"]), &db).unwrap();
+        assert_eq!(alts.len(), 1, "still true, over the ⟨s,s⟩ arc");
+    }
+
+    #[test]
+    fn clr_prefix_wipes_relation() {
+        let oracle = StandardOracle::new();
+        let mut db = Database::new();
+        db.insert("cart", vec![Term::constant("a")]).insert("cart", vec![Term::constant("b")]);
+        let alts = oracle.transitions(&ground("clr_cart", &[]), &db).unwrap();
+        assert_eq!(alts.len(), 1);
+        assert_eq!(alts[0].len(), 2);
+        db.apply_delta(&alts[0]);
+        assert_eq!(db.cardinality(sym("cart")), 0);
+    }
+
+    #[test]
+    fn unknown_atoms_are_not_updates() {
+        let oracle = StandardOracle::new();
+        let db = Database::new();
+        assert_eq!(oracle.transitions(&Atom::prop("approve"), &db), None);
+        assert_eq!(oracle.transitions(&ground("insert", &["x"]), &db), None);
+        // `ins_` with empty relation name is not an update either.
+        assert_eq!(oracle.transitions(&Atom::prop("ins_"), &db), None);
+    }
+
+    #[test]
+    fn negated_atoms_are_never_updates() {
+        let oracle = StandardOracle::new();
+        let db = Database::new();
+        assert_eq!(oracle.transitions(&ground("ins_p", &["x"]).negate(), &db), None);
+    }
+
+    #[test]
+    fn non_ground_update_is_inapplicable() {
+        let oracle = StandardOracle::new();
+        let db = Database::new();
+        let atom = Atom::new("ins_p", vec![Term::Var(ctr::term::Var(0))]);
+        assert_eq!(oracle.transitions(&atom, &db), Some(Vec::new()));
+    }
+
+    #[test]
+    fn custom_update_takes_precedence() {
+        let mut oracle = StandardOracle::new();
+        oracle.register(
+            "ins_special",
+            Box::new(|_, _| vec![vec![Change::Insert { rel: sym("marker"), tuple: vec![] }]]),
+        );
+        let db = Database::new();
+        let alts = oracle.transitions(&Atom::prop("ins_special"), &db).unwrap();
+        assert_eq!(alts[0][0].relation(), sym("marker"));
+        assert!(oracle.is_registered(sym("ins_special")));
+    }
+
+    #[test]
+    fn choose_any_is_nondeterministic() {
+        let mut oracle = StandardOracle::new();
+        oracle.register("pick_flight", choose_any("flights", "booked"));
+        let mut db = Database::new();
+        db.insert("flights", vec![Term::constant("aa100")])
+            .insert("flights", vec![Term::constant("ba200")]);
+        let alts = oracle.transitions(&Atom::prop("pick_flight"), &db).unwrap();
+        assert_eq!(alts.len(), 2, "one alternative per candidate tuple");
+    }
+
+    #[test]
+    fn choose_any_with_no_candidates_fails() {
+        let mut oracle = StandardOracle::new();
+        oracle.register("pick_flight", choose_any("flights", "booked"));
+        let db = Database::new();
+        assert_eq!(oracle.transitions(&Atom::prop("pick_flight"), &db), Some(Vec::new()));
+    }
+}

@@ -1,0 +1,226 @@
+//! Failure semantics and compensation (paper, §7, "Failure semantics").
+//!
+//! Failure *atomicity* is built into CTR — a goal with no execution simply
+//! has no path. More advanced workflows need **compensation** in the style
+//! of Sagas [Garcia-Molina & Salem, cited as \[15\]]: a long-running
+//! sequence of committed steps where, if step `k+1` cannot proceed, the
+//! already-committed steps `1..k` are undone by running their
+//! *compensators* in reverse order.
+//!
+//! Two combinators, both expressible inside the concurrent-Horn fragment:
+//!
+//! * [`saga`] — the compensation expansion: the saga either runs to
+//!   completion, or commits a prefix, observes the next step's guard
+//!   fail, and compensates the prefix in reverse. Guards are ordinary
+//!   query atoms (transition conditions), so the engine decides at run
+//!   time which branch is executable.
+//! * [`guarded_seq`] — the `◇`-based *pre-flight* semantics the paper
+//!   hints at: each step is entered only when the whole remainder is
+//!   still executable from the current state, so the workflow never
+//!   strands a committed prefix. No compensators needed — failures are
+//!   averted rather than repaired.
+
+use ctr::goal::{or, possible, seq, Goal};
+use ctr::term::Atom;
+
+/// One compensable step of a saga.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SagaStep {
+    /// Guard queried before the step runs; `None` = always runnable.
+    /// A failed guard triggers compensation of the committed prefix.
+    pub guard: Option<Atom>,
+    /// The forward action.
+    pub action: Goal,
+    /// The compensator that semantically undoes `action`.
+    pub compensation: Goal,
+}
+
+impl SagaStep {
+    /// An unguarded step.
+    pub fn new(action: Goal, compensation: Goal) -> SagaStep {
+        SagaStep { guard: None, action, compensation }
+    }
+
+    /// Adds a guard condition.
+    pub fn when(mut self, guard: Atom) -> SagaStep {
+        self.guard = Some(guard);
+        self
+    }
+}
+
+/// Compiles a saga into a concurrent-Horn goal.
+///
+/// The result is the disjunction of the happy path with, for every prefix
+/// length `k`, the branch "steps `1..k` ran and committed, step `k+1`'s
+/// guard failed (its negation succeeded), so compensators `k..1` run".
+/// Guardless steps cannot fail, so they produce no compensation branch.
+///
+/// Size is `O(n²)` in the number of steps — each failure branch repeats a
+/// prefix — which is the standard cost of expressing sagas without
+/// run-time machinery.
+pub fn saga(steps: &[SagaStep]) -> Goal {
+    let mut branches = Vec::new();
+
+    // Failure at step k (0-based): prefix 0..k succeeded, guard k failed.
+    for k in 0..steps.len() {
+        let Some(guard) = &steps[k].guard else { continue };
+        let mut parts: Vec<Goal> = Vec::new();
+        for step in &steps[..k] {
+            if let Some(g) = &step.guard {
+                parts.push(Goal::Atom(g.clone()));
+            }
+            parts.push(step.action.clone());
+        }
+        parts.push(Goal::Atom(guard.negate()));
+        for step in steps[..k].iter().rev() {
+            parts.push(step.compensation.clone());
+        }
+        branches.push(seq(parts));
+    }
+
+    // The happy path.
+    let mut parts: Vec<Goal> = Vec::new();
+    for step in steps {
+        if let Some(g) = &step.guard {
+            parts.push(Goal::Atom(g.clone()));
+        }
+        parts.push(step.action.clone());
+    }
+    branches.push(seq(parts));
+
+    or(branches)
+}
+
+/// The `◇`-guarded sequence: before each step, check that the step *and
+/// everything after it* is still executable from the current state —
+/// `◇(sᵢ ⊗ … ⊗ sₙ) ⊗ sᵢ ⊗ …`. A workflow compiled this way never begins
+/// a step it cannot finish, which is the possibility-operator reading of
+/// failure handling in §7.
+pub fn guarded_seq(steps: &[Goal]) -> Goal {
+    let mut parts = Vec::with_capacity(steps.len() * 2);
+    for (i, step) in steps.iter().enumerate() {
+        parts.push(possible(seq(steps[i..].to_vec())));
+        parts.push(step.clone());
+    }
+    seq(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctr::sym;
+    use ctr_state::Database;
+
+    fn g(name: &str) -> Goal {
+        Goal::atom(name)
+    }
+
+    fn saga_3() -> Vec<SagaStep> {
+        vec![
+            SagaStep::new(g("book_flight"), g("cancel_flight")),
+            SagaStep::new(g("book_hotel"), g("cancel_hotel")).when(Atom::prop("hotel_ok")),
+            SagaStep::new(g("charge_card"), g("refund_card")).when(Atom::prop("card_ok")),
+        ]
+    }
+
+    #[test]
+    fn saga_has_happy_path_and_one_branch_per_guard() {
+        let goal = saga(&saga_3());
+        let Goal::Or(branches) = &goal else { panic!("expected disjunction") };
+        assert_eq!(branches.len(), 3, "2 guarded steps + happy path");
+    }
+
+    #[test]
+    fn saga_compensates_in_reverse_order() {
+        // Hotel fine, card declined: flight and hotel must be undone, hotel
+        // first.
+        let mut db = Database::new();
+        db.insert_fact("hotel_ok");
+        db.declare("card_ok");
+        let engine = ctr_engine::Engine::new();
+        let execs = engine.executions(&saga(&saga_3()), &db).unwrap();
+        assert_eq!(execs.len(), 1);
+        assert_eq!(
+            execs[0].event_names(),
+            vec![
+                sym("book_flight"),
+                sym("book_hotel"),
+                sym("cancel_hotel"),
+                sym("cancel_flight"),
+            ]
+        );
+    }
+
+    #[test]
+    fn saga_runs_happy_path_when_all_guards_hold() {
+        let mut db = Database::new();
+        db.insert_fact("hotel_ok");
+        db.insert_fact("card_ok");
+        let engine = ctr_engine::Engine::new();
+        let execs = engine.executions(&saga(&saga_3()), &db).unwrap();
+        assert_eq!(execs.len(), 1);
+        assert_eq!(
+            execs[0].event_names(),
+            vec![sym("book_flight"), sym("book_hotel"), sym("charge_card")]
+        );
+    }
+
+    #[test]
+    fn saga_fails_fast_on_first_guard() {
+        // Hotel guard fails immediately: only the flight gets compensated.
+        let mut db = Database::new();
+        db.declare("hotel_ok");
+        db.declare("card_ok");
+        let engine = ctr_engine::Engine::new();
+        let execs = engine.executions(&saga(&saga_3()), &db).unwrap();
+        assert_eq!(execs.len(), 1);
+        assert_eq!(
+            execs[0].event_names(),
+            vec![sym("book_flight"), sym("cancel_flight")]
+        );
+    }
+
+    #[test]
+    fn unguarded_saga_is_just_the_sequence() {
+        let steps = vec![
+            SagaStep::new(g("a"), g("undo_a")),
+            SagaStep::new(g("b"), g("undo_b")),
+        ];
+        assert_eq!(saga(&steps), seq(vec![g("a"), g("b")]));
+    }
+
+    #[test]
+    fn guarded_seq_inserts_possibility_checks() {
+        let goal = guarded_seq(&[g("a"), g("b")]);
+        let Goal::Seq(parts) = &goal else { panic!("expected sequence") };
+        assert_eq!(parts.len(), 4);
+        assert!(matches!(parts[0], Goal::Possible(_)));
+        assert!(matches!(parts[2], Goal::Possible(_)));
+    }
+
+    #[test]
+    fn guarded_seq_blocks_doomed_runs_upfront() {
+        // The final step queries a relation that is empty: the very first
+        // ◇ fails, so nothing at all executes — no stranded prefix.
+        let mut db = Database::new();
+        db.declare("approved");
+        let steps = vec![g("pay"), Goal::Atom(Atom::prop("approved"))];
+        let engine = ctr_engine::Engine::new();
+        assert!(!engine.is_executable(&guarded_seq(&steps), &db).unwrap());
+        // The unguarded sequence would have executed (and stranded) `pay`
+        // before discovering the failure: CTR's failure atomicity hides
+        // this, but the ◇ guard rejects it without any search.
+        assert!(!engine.is_executable(&seq(steps), &db).unwrap());
+    }
+
+    #[test]
+    fn guarded_seq_runs_when_everything_is_executable() {
+        let mut db = Database::new();
+        db.insert_fact("approved");
+        let steps = vec![g("pay"), Goal::Atom(Atom::prop("approved")), g("ship")];
+        let engine = ctr_engine::Engine::new();
+        let execs = engine.executions(&guarded_seq(&steps), &db).unwrap();
+        assert_eq!(execs.len(), 1);
+        assert_eq!(execs[0].event_names(), vec![sym("pay"), sym("ship")]);
+    }
+}

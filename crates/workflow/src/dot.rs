@@ -1,0 +1,201 @@
+//! Graphviz (DOT) rendering of goals — the visual counterpart of the
+//! control flow graph view ("a good way to visualize the overall flow of
+//! control", paper §1).
+//!
+//! A concurrent-Horn goal renders as a structured flow graph: `⊗` chains
+//! become arrows, `|` blocks fork at an AND node and join at its match,
+//! `∨` blocks fork at an OR node, `⊙` draws a dashed enclosure, and
+//! channels appear as dotted cross arrows from `send(ξ)` to
+//! `receive(ξ)` — which makes compiled constraints *visible* in the
+//! rendered workflow.
+
+use ctr::goal::{Channel, Goal};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a goal as a complete DOT digraph.
+pub fn goal_to_dot(name: &str, goal: &Goal) -> String {
+    let mut r = Renderer::default();
+    let (entry, exit) = r.walk(goal);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    let _ = writeln!(out, "  start [shape=circle, label=\"\", style=filled, fillcolor=black, width=0.15];");
+    let _ = writeln!(out, "  end [shape=doublecircle, label=\"\", style=filled, fillcolor=black, width=0.12];");
+    out.push_str(&r.body);
+    let _ = writeln!(out, "  start -> n{entry};");
+    let _ = writeln!(out, "  n{exit} -> end;");
+    // Channel cross-edges: compiled order constraints made visible.
+    for (ch, (send, recv)) in &r.channels {
+        if let (Some(s), Some(t)) = (send, recv) {
+            let _ = writeln!(
+                out,
+                "  n{s} -> n{t} [style=dotted, color=crimson, label=\"{ch}\"];"
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[derive(Default)]
+struct Renderer {
+    body: String,
+    next: usize,
+    cluster: usize,
+    channels: BTreeMap<Channel, (Option<usize>, Option<usize>)>,
+}
+
+impl Renderer {
+    fn fresh(&mut self) -> usize {
+        self.next += 1;
+        self.next
+    }
+
+    fn node(&mut self, label: &str, attrs: &str) -> usize {
+        let id = self.fresh();
+        let _ = writeln!(self.body, "  n{id} [label=\"{}\"{}];", escape(label), attrs);
+        id
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        let _ = writeln!(self.body, "  n{from} -> n{to};");
+    }
+
+    /// Renders a subgoal; returns its (entry, exit) node ids.
+    fn walk(&mut self, goal: &Goal) -> (usize, usize) {
+        match goal {
+            Goal::Atom(a) => {
+                let id = self.node(&a.to_string(), ", shape=box, style=rounded");
+                (id, id)
+            }
+            Goal::Send(c) => {
+                let id = self.node(&format!("send {c}"), ", shape=cds, color=crimson");
+                self.channels.entry(*c).or_default().0 = Some(id);
+                (id, id)
+            }
+            Goal::Receive(c) => {
+                let id = self.node(&format!("recv {c}"), ", shape=cds, color=crimson");
+                self.channels.entry(*c).or_default().1 = Some(id);
+                (id, id)
+            }
+            Goal::Empty => {
+                let id = self.node("", ", shape=point");
+                (id, id)
+            }
+            Goal::NoPath => {
+                let id = self.node("nopath", ", shape=octagon, color=red");
+                (id, id)
+            }
+            Goal::Seq(gs) => {
+                let mut entry = None;
+                let mut prev: Option<usize> = None;
+                for g in gs {
+                    let (e, x) = self.walk(g);
+                    if let Some(p) = prev {
+                        self.edge(p, e);
+                    }
+                    entry.get_or_insert(e);
+                    prev = Some(x);
+                }
+                (entry.expect("canonical Seq is non-empty"), prev.expect("non-empty"))
+            }
+            Goal::Conc(gs) => self.block(gs, "AND", "diamond"),
+            Goal::Or(gs) => self.block(gs, "OR", "diamond, style=dashed"),
+            Goal::Isolated(g) => {
+                let c = self.cluster;
+                self.cluster += 1;
+                let _ = writeln!(self.body, "  subgraph cluster_iso{c} {{");
+                let _ = writeln!(self.body, "    label=\"iso\"; style=dashed;");
+                let (e, x) = self.walk(g);
+                let _ = writeln!(self.body, "  }}");
+                (e, x)
+            }
+            Goal::Possible(g) => {
+                let c = self.cluster;
+                self.cluster += 1;
+                let _ = writeln!(self.body, "  subgraph cluster_poss{c} {{");
+                let _ = writeln!(self.body, "    label=\"poss\"; style=dotted;");
+                let (e, x) = self.walk(g);
+                let _ = writeln!(self.body, "  }}");
+                (e, x)
+            }
+        }
+    }
+
+    /// A fork/join block for `|` or `∨`.
+    fn block(&mut self, gs: &[Goal], label: &str, shape: &str) -> (usize, usize) {
+        let fork = self.node(label, &format!(", shape={shape}"));
+        let join = self.node("", ", shape=point");
+        for g in gs {
+            let (e, x) = self.walk(g);
+            self.edge(fork, e);
+            self.edge(x, join);
+        }
+        (fork, join)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctr::goal::{conc, isolated, or, seq};
+
+    fn g(name: &str) -> Goal {
+        Goal::atom(name)
+    }
+
+    #[test]
+    fn seq_renders_as_chain() {
+        let dot = goal_to_dot("t", &seq(vec![g("a"), g("b")]));
+        assert!(dot.starts_with("digraph \"t\" {"));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("label=\"b\""));
+        assert!(dot.contains("start ->"));
+        assert!(dot.contains("-> end;"));
+    }
+
+    #[test]
+    fn forks_render_with_labels() {
+        let dot = goal_to_dot("t", &conc(vec![g("a"), or(vec![g("b"), g("c")])]));
+        assert!(dot.contains("label=\"AND\""));
+        assert!(dot.contains("label=\"OR\""));
+    }
+
+    #[test]
+    fn channels_render_as_cross_edges() {
+        use ctr::apply::apply;
+        use ctr::constraints::Constraint;
+        let goal = conc(vec![g("a"), g("b")]);
+        let compiled = apply(&[Constraint::order("a", "b")], &goal);
+        let dot = goal_to_dot("t", &compiled);
+        assert!(dot.contains("style=dotted, color=crimson"), "channel edge missing:\n{dot}");
+        assert!(dot.contains("send xi"));
+        assert!(dot.contains("recv xi"));
+    }
+
+    #[test]
+    fn isolation_renders_as_cluster() {
+        let dot = goal_to_dot("t", &isolated(seq(vec![g("a"), g("b")])));
+        assert!(dot.contains("subgraph cluster_iso0"));
+        assert!(dot.contains("label=\"iso\""));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let dot = goal_to_dot("we\"ird", &g("x"));
+        assert!(dot.contains("digraph \"we\\\"ird\""));
+    }
+
+    #[test]
+    fn braces_are_balanced() {
+        let goal = seq(vec![isolated(conc(vec![g("a"), g("b")])), or(vec![g("c"), g("d")])]);
+        let dot = goal_to_dot("t", &goal);
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,437 @@
+//! Complete workflow specifications: graph + sub-workflows + triggers +
+//! global constraints, with the full compilation pipeline.
+//!
+//! A [`WorkflowSpec`] bundles the three specification frameworks of
+//! Figure 1 into one object and compiles them through one pipeline:
+//!
+//! 1. sub-workflow definitions are expanded (concurrent-Horn rules, §2);
+//! 2. triggers are compiled into the graph (§1, \[7\]);
+//! 3. global constraints are compiled with `Apply` and knots are removed
+//!    with `Excise` (§5).
+//!
+//! [`compile_modular`] implements the §7 refinement: when global
+//! dependencies do not span sub-workflow boundaries, constraints local to
+//! a sub-workflow are compiled into its definition *before* expansion, so
+//! the exponent in Theorem 5.11 drops from the total constraint count `N`
+//! to the largest per-sub-workflow count `M`.
+
+use crate::triggers::{compile_triggers, Trigger};
+use ctr::analysis::{self, Compiled, CompileError, Verification};
+use ctr::apply::{apply_all, ChannelAlloc};
+use ctr::constraints::Constraint;
+use ctr::excise::excise_with_diagnostics;
+use ctr::goal::Goal;
+use ctr::symbol::Symbol;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Propositional sub-workflow definitions: `name ← body` concurrent-Horn
+/// rules, restricted (per the paper's non-iterative assumption) to acyclic
+/// references.
+#[derive(Clone, Debug, Default)]
+pub struct SubWorkflows {
+    defs: BTreeMap<Symbol, Vec<Goal>>,
+}
+
+/// Error from sub-workflow definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecursiveDefinition(pub Symbol);
+
+impl fmt::Display for RecursiveDefinition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sub-workflow `{}` is (mutually) recursive; non-iterative workflows require \
+             acyclic definitions",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for RecursiveDefinition {}
+
+impl SubWorkflows {
+    /// No definitions.
+    pub fn new() -> SubWorkflows {
+        SubWorkflows::default()
+    }
+
+    /// Defines (another alternative of) a sub-workflow.
+    pub fn define(
+        &mut self,
+        name: impl Into<Symbol>,
+        body: Goal,
+    ) -> Result<&mut Self, RecursiveDefinition> {
+        let name = name.into();
+        self.defs.entry(name).or_default().push(body);
+        if let Some(offender) = self.find_cycle() {
+            let list = self.defs.get_mut(&name).expect("just inserted");
+            list.pop();
+            if list.is_empty() {
+                self.defs.remove(&name);
+            }
+            return Err(RecursiveDefinition(offender));
+        }
+        Ok(self)
+    }
+
+    /// True if `name` is defined.
+    pub fn defines(&self, name: Symbol) -> bool {
+        self.defs.contains_key(&name)
+    }
+
+    /// Number of defined sub-workflows.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if no sub-workflow is defined.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The definition bodies of `name`.
+    pub fn bodies(&self, name: Symbol) -> &[Goal] {
+        self.defs.get(&name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates the defined names.
+    pub fn names(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.defs.keys().copied()
+    }
+
+    /// Replaces every defined name in `goal` with the disjunction of its
+    /// bodies, recursively (definitions are acyclic, so this terminates).
+    pub fn expand(&self, goal: &Goal) -> Goal {
+        match goal {
+            Goal::Atom(a) if a.is_prop() && self.defines(a.pred) => ctr::goal::or(
+                self.bodies(a.pred).iter().map(|b| self.expand(b)).collect(),
+            ),
+            Goal::Atom(_) | Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => {
+                goal.clone()
+            }
+            Goal::Seq(gs) => ctr::goal::seq(gs.iter().map(|g| self.expand(g)).collect()),
+            Goal::Conc(gs) => ctr::goal::conc(gs.iter().map(|g| self.expand(g)).collect()),
+            Goal::Or(gs) => ctr::goal::or(gs.iter().map(|g| self.expand(g)).collect()),
+            Goal::Isolated(g) => ctr::goal::isolated(self.expand(g)),
+            Goal::Possible(g) => ctr::goal::possible(self.expand(g)),
+        }
+    }
+
+    /// Expands with per-sub-workflow transformation: each definition body
+    /// is passed through `transform(name, expanded_body)` before
+    /// substitution. The hook for modular constraint compilation.
+    fn expand_with(&self, goal: &Goal, transform: &impl Fn(Symbol, Goal) -> Goal) -> Goal {
+        match goal {
+            Goal::Atom(a) if a.is_prop() && self.defines(a.pred) => {
+                let expanded = ctr::goal::or(
+                    self.bodies(a.pred)
+                        .iter()
+                        .map(|b| self.expand_with(b, transform))
+                        .collect(),
+                );
+                transform(a.pred, expanded)
+            }
+            Goal::Atom(_) | Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => {
+                goal.clone()
+            }
+            Goal::Seq(gs) => {
+                ctr::goal::seq(gs.iter().map(|g| self.expand_with(g, transform)).collect())
+            }
+            Goal::Conc(gs) => {
+                ctr::goal::conc(gs.iter().map(|g| self.expand_with(g, transform)).collect())
+            }
+            Goal::Or(gs) => {
+                ctr::goal::or(gs.iter().map(|g| self.expand_with(g, transform)).collect())
+            }
+            Goal::Isolated(g) => ctr::goal::isolated(self.expand_with(g, transform)),
+            Goal::Possible(g) => ctr::goal::possible(self.expand_with(g, transform)),
+        }
+    }
+
+    /// A defined name on a reference cycle, if any.
+    fn find_cycle(&self) -> Option<Symbol> {
+        fn visit(
+            defs: &BTreeMap<Symbol, Vec<Goal>>,
+            name: Symbol,
+            visiting: &mut Vec<Symbol>,
+            done: &mut Vec<Symbol>,
+        ) -> Option<Symbol> {
+            if done.contains(&name) {
+                return None;
+            }
+            if visiting.contains(&name) {
+                return Some(name);
+            }
+            visiting.push(name);
+            for body in defs.get(&name).map_or(&[][..], Vec::as_slice) {
+                for referenced in body.events() {
+                    if defs.contains_key(&referenced) {
+                        if let Some(off) = visit(defs, referenced, visiting, done) {
+                            return Some(off);
+                        }
+                    }
+                }
+            }
+            visiting.pop();
+            done.push(name);
+            None
+        }
+        let mut done = Vec::new();
+        for &name in self.defs.keys() {
+            if let Some(off) = visit(&self.defs, name, &mut Vec::new(), &mut done) {
+                return Some(off);
+            }
+        }
+        None
+    }
+}
+
+/// A complete workflow specification.
+#[derive(Clone, Debug, Default)]
+pub struct WorkflowSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// The control flow graph, as a concurrent-Horn goal (equation (1)).
+    pub graph: Goal,
+    /// Sub-workflow definitions.
+    pub subworkflows: SubWorkflows,
+    /// Triggers, compiled into the graph in order.
+    pub triggers: Vec<Trigger>,
+    /// Global temporal constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl WorkflowSpec {
+    /// A specification with just a graph.
+    pub fn new(name: &str, graph: Goal) -> WorkflowSpec {
+        WorkflowSpec { name: name.to_owned(), graph, ..WorkflowSpec::default() }
+    }
+
+    /// The flattened goal: sub-workflows expanded and triggers compiled,
+    /// constraints *not* yet applied.
+    pub fn to_goal(&self) -> Goal {
+        let expanded = self.subworkflows.expand(&self.graph);
+        let mut channels = ChannelAlloc::fresh_for(&expanded);
+        compile_triggers(&expanded, &self.triggers, &mut channels)
+    }
+
+    /// Full compilation: flatten, `Apply` every constraint, `Excise`
+    /// knots. The result is the directly executable specification of
+    /// Theorem 5.8.
+    pub fn compile(&self) -> Result<Compiled, CompileError> {
+        analysis::compile(&self.to_goal(), &self.constraints)
+    }
+
+    /// Consistency of the whole specification (Theorem 5.8).
+    pub fn is_consistent(&self) -> Result<bool, CompileError> {
+        Ok(self.compile()?.is_consistent())
+    }
+
+    /// Does every legal execution satisfy `property`? (Theorem 5.9.)
+    pub fn verify(&self, property: &Constraint) -> Result<Verification, CompileError> {
+        analysis::verify(&self.to_goal(), &self.constraints, property)
+    }
+
+    /// Is the `index`-th constraint redundant? (Theorem 5.10.)
+    pub fn is_redundant(&self, index: usize) -> Result<bool, CompileError> {
+        analysis::is_redundant(&self.to_goal(), &self.constraints, index)
+    }
+}
+
+/// Modular compilation (§7): constraints in `local` are scoped to one
+/// sub-workflow and compiled into its definition before substitution;
+/// `spec.constraints` remain global. With `M` = the largest local
+/// constraint count, the compiled size is `O(d^M · |G|)` instead of
+/// `O(d^N · |G|)` — reproduced in experiment E7.
+///
+/// Correct when each local constraint's events occur only inside its
+/// sub-workflow (dependencies do not span boundaries).
+pub fn compile_modular(
+    spec: &WorkflowSpec,
+    local: &BTreeMap<Symbol, Vec<Constraint>>,
+) -> Result<Compiled, CompileError> {
+    // Shared across the per-sub-workflow closures so channels stay
+    // globally fresh.
+    let channels = std::cell::RefCell::new(ChannelAlloc::new());
+    let flattened = spec.subworkflows.expand_with(&spec.graph, &|name, body| {
+        match local.get(&name) {
+            Some(constraints) => apply_all(constraints, &body, &mut channels.borrow_mut()),
+            None => body,
+        }
+    });
+    let mut alloc = ChannelAlloc::fresh_for(&flattened);
+    let with_triggers = compile_triggers(&flattened, &spec.triggers, &mut alloc);
+    ctr::unique::check_unique_events(&with_triggers).map_err(CompileError::NotUniqueEvent)?;
+    let applied = apply_all(&spec.constraints, &with_triggers, &mut alloc);
+    let applied_size = applied.size();
+    let excised = excise_with_diagnostics(&applied);
+    // Delegate the condition scan (and its §7 soundness caveat) to the
+    // canonical pipeline on a constraint-free pass.
+    let has_conditions = analysis::compile_unchecked(&with_triggers, &[]).has_conditions;
+    Ok(Compiled {
+        goal: excised.goal,
+        knots: excised.reports,
+        applied_size,
+        guaranteed_knot_free: excised.guaranteed_knot_free,
+        has_conditions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctr::semantics::{event_traces, satisfies};
+    use ctr::symbol::sym;
+    use std::collections::BTreeSet;
+
+    fn g(name: &str) -> Goal {
+        Goal::atom(name)
+    }
+
+    #[test]
+    fn subworkflows_expand_recursively() {
+        let mut sw = SubWorkflows::new();
+        sw.define("inner", ctr::goal::or(vec![g("x"), g("y")])).unwrap();
+        sw.define("outer", ctr::goal::seq(vec![g("a"), g("inner")])).unwrap();
+        let flat = sw.expand(&ctr::goal::seq(vec![g("outer"), g("z")]));
+        assert_eq!(
+            flat,
+            ctr::goal::seq(vec![g("a"), ctr::goal::or(vec![g("x"), g("y")]), g("z")])
+        );
+    }
+
+    #[test]
+    fn recursive_definitions_are_rejected() {
+        let mut sw = SubWorkflows::new();
+        sw.define("a", g("b")).unwrap();
+        let err = sw.define("b", g("a")).unwrap_err();
+        assert!(matches!(err, RecursiveDefinition(_)));
+        assert!(!sw.defines(sym("b")), "rejected definition rolled back");
+    }
+
+    #[test]
+    fn alternative_definitions_become_or() {
+        let mut sw = SubWorkflows::new();
+        sw.define("pay", g("card")).unwrap();
+        sw.define("pay", g("cash")).unwrap();
+        assert_eq!(sw.expand(&g("pay")), ctr::goal::or(vec![g("card"), g("cash")]));
+    }
+
+    #[test]
+    fn full_pipeline_compiles_consistently() {
+        let mut spec = WorkflowSpec::new(
+            "orders",
+            ctr::goal::seq(vec![g("order"), g("fulfil"), g("close")]),
+        );
+        spec.subworkflows
+            .define("fulfil", ctr::goal::conc(vec![g("pick"), g("invoice")]))
+            .unwrap();
+        spec.triggers.push(Trigger::immediate("order", g("log")));
+        spec.constraints.push(Constraint::order("pick", "invoice"));
+        let compiled = spec.compile().unwrap();
+        assert!(compiled.is_consistent());
+        let traces = event_traces(&compiled.goal, 100_000).unwrap();
+        assert!(!traces.is_empty());
+        for t in &traces {
+            assert!(satisfies(t, &Constraint::order("pick", "invoice")), "{t:?}");
+            assert!(satisfies(t, &Constraint::order("log", "pick")), "trigger ran first: {t:?}");
+        }
+    }
+
+    #[test]
+    fn verify_and_redundancy_through_spec() {
+        let mut spec =
+            WorkflowSpec::new("pipeline", ctr::goal::seq(vec![g("a"), g("b"), g("c")]));
+        spec.constraints.push(Constraint::order("a", "c"));
+        // The graph alone forces a<c: the constraint is redundant.
+        assert!(spec.is_redundant(0).unwrap());
+        assert!(spec.verify(&Constraint::order("a", "b")).unwrap().holds());
+        assert!(spec.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn modular_compilation_matches_flat_semantics() {
+        // Two sub-workflows with one local constraint each; the modular
+        // and flat compilations must accept the same executions.
+        let mut spec = WorkflowSpec::new(
+            "modular",
+            ctr::goal::seq(vec![g("start"), ctr::goal::conc(vec![g("sub1"), g("sub2")]), g("end")]),
+        );
+        spec.subworkflows
+            .define("sub1", ctr::goal::conc(vec![g("a1"), g("b1")]))
+            .unwrap();
+        spec.subworkflows
+            .define("sub2", ctr::goal::conc(vec![g("a2"), g("b2")]))
+            .unwrap();
+        let local: BTreeMap<Symbol, Vec<Constraint>> = [
+            (sym("sub1"), vec![Constraint::order("a1", "b1")]),
+            (sym("sub2"), vec![Constraint::order("a2", "b2")]),
+        ]
+        .into_iter()
+        .collect();
+
+        let modular = compile_modular(&spec, &local).unwrap();
+
+        let mut flat = spec.clone();
+        flat.constraints =
+            vec![Constraint::order("a1", "b1"), Constraint::order("a2", "b2")];
+        let flat_compiled = flat.compile().unwrap();
+
+        let m: BTreeSet<_> = event_traces(&modular.goal, 1_000_000).unwrap();
+        let f: BTreeSet<_> = event_traces(&flat_compiled.goal, 1_000_000).unwrap();
+        assert_eq!(m, f);
+    }
+
+    #[test]
+    fn modular_compilation_with_disjunctive_locals_is_smaller() {
+        // K sub-workflows, each with one Klein constraint (d = 3). Global
+        // compilation multiplies the whole goal 3^K times; modular only
+        // multiplies each sub-workflow by 3.
+        let k = 4;
+        let mut spec = WorkflowSpec::new(
+            "mod-size",
+            ctr::goal::seq(
+                (0..k).map(|i| g(&format!("sub{i}"))).collect(),
+            ),
+        );
+        let mut local: BTreeMap<Symbol, Vec<Constraint>> = BTreeMap::new();
+        for i in 0..k {
+            spec.subworkflows
+                .define(
+                    format!("sub{i}").as_str(),
+                    ctr::goal::conc(vec![
+                        ctr::goal::or(vec![g(&format!("a{i}")), g(&format!("x{i}"))]),
+                        g(&format!("b{i}")),
+                    ]),
+                )
+                .unwrap();
+            local.insert(
+                sym(&format!("sub{i}")),
+                vec![Constraint::klein_order(format!("a{i}").as_str(), format!("b{i}").as_str())],
+            );
+        }
+        let modular = compile_modular(&spec, &local).unwrap();
+
+        let mut flat = spec.clone();
+        flat.constraints = (0..k)
+            .map(|i| {
+                Constraint::klein_order(format!("a{i}").as_str(), format!("b{i}").as_str())
+            })
+            .collect();
+        let flat_compiled = flat.compile().unwrap();
+
+        assert!(
+            modular.applied_size * 2 < flat_compiled.applied_size,
+            "modular {} vs flat {}",
+            modular.applied_size,
+            flat_compiled.applied_size
+        );
+        // And they accept the same executions.
+        let m = event_traces(&modular.goal, 2_000_000);
+        let f = event_traces(&flat_compiled.goal, 2_000_000);
+        if let (Ok(m), Ok(f)) = (m, f) {
+            assert_eq!(m, f);
+        }
+    }
+}

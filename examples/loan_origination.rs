@@ -1,0 +1,126 @@
+//! Loan origination — a larger, end-to-end scenario pulling every part of
+//! the system together: a control flow graph built programmatically,
+//! triggers, global constraints, saga-style compensation (§7), state-aware
+//! execution with a transition oracle, and pro-active scheduling.
+//!
+//! Run with: `cargo run --example loan_origination`
+
+use ctr_workflows::prelude::*;
+use ctr_workflows::workflow::SplitKind;
+
+fn main() {
+    // --- 1. The underwriting graph, drawn as a CFG -----------------------
+    // intake → (credit_pull | income_verify | collateral_appraisal) → decision
+    //        → [approve → fund → close | decline → close]
+    let mut cfg = Cfg::new();
+    let intake = cfg.activity("intake");
+    let credit = cfg.activity("credit_pull");
+    let income = cfg.activity("income_verify");
+    let collateral = cfg.activity("collateral_appraisal");
+    let decision = cfg.add(Atom::prop("decision"), SplitKind::Or);
+    let approve = cfg.activity("approve");
+    let fund = cfg.activity("fund");
+    let decline = cfg.activity("decline");
+    let close = cfg.activity("close");
+    cfg.arc(intake, credit).arc(intake, income).arc(intake, collateral);
+    cfg.arc(credit, decision).arc(income, decision).arc(collateral, decision);
+    cfg.arc(decision, approve).arc(decision, decline);
+    cfg.arc(approve, fund);
+    cfg.arc(fund, close).arc(decline, close);
+    let graph = cfg.to_goal().expect("the underwriting graph is well-structured");
+    println!("graph: {graph}\n");
+
+    // --- 2. Policy: spec with triggers and global constraints -------------
+    let mut spec = WorkflowSpec::new("loan_origination", graph);
+    // Compliance: every funded loan must have had its credit pulled
+    // before funding (redundant here — verified below), and a declined
+    // application must never fund.
+    spec.constraints.push(parse_constraint("klein_order(credit_pull, fund)").unwrap());
+    spec.constraints.push(parse_constraint("absent(decline) or absent(fund)").unwrap());
+    // Audit trigger: every decision is logged, eventually.
+    spec.triggers.push(Trigger::eventual("decision", Goal::atom("audit_decision")));
+
+    let compiled = spec.compile().unwrap();
+    assert!(compiled.is_consistent());
+    println!(
+        "compiled: {} nodes (from {}), {} knots excised",
+        compiled.goal.size(),
+        spec.to_goal().size(),
+        compiled.knots.len()
+    );
+
+    // Verification: funding always follows approval.
+    assert!(spec.verify(&parse_constraint("klein_order(approve, fund)").unwrap()).unwrap().holds());
+    // Redundancy: the credit-before-fund rule is already structural.
+    assert!(spec.is_redundant(0).unwrap());
+    println!("verified: funding requires approval; constraint 0 is structurally redundant\n");
+
+    // --- 3. Pro-active scheduling -----------------------------------------
+    let program = Program::compile(&compiled.goal).unwrap();
+    let path = Scheduler::new(&program).run_first().unwrap();
+    let names: Vec<String> = path.iter().map(ToString::to_string).collect();
+    println!("one compliant schedule:\n  {}\n", names.join(" -> "));
+
+    // --- 4. Funding as a saga with compensation (§7) ----------------------
+    // Disbursement happens in compensable steps: reserve funds, register
+    // the lien, wire the money. If the lien registration fails, reserved
+    // funds are released; if the wire fails, the lien is also released.
+    let disbursement = saga(&[
+        SagaStep::new(Goal::atom("reserve_funds"), Goal::atom("release_funds")),
+        SagaStep::new(Goal::atom("register_lien"), Goal::atom("release_lien"))
+            .when(Atom::prop("registry_up")),
+        SagaStep::new(Goal::atom("wire_funds"), Goal::atom("recall_wire"))
+            .when(Atom::prop("wire_ok")),
+    ]);
+    println!("disbursement saga: {disbursement}\n");
+
+    let engine = Engine::new();
+    // Registry up, wire fails: compensation of lien then funds.
+    let mut db = Database::new();
+    db.insert_fact("registry_up");
+    db.declare("wire_ok");
+    let execs = engine.executions(&disbursement, &db).unwrap();
+    assert_eq!(execs.len(), 1);
+    let run: Vec<String> = execs[0].events.iter().map(ToString::to_string).collect();
+    println!("wire failure run:\n  {}", run.join(" -> "));
+    assert_eq!(
+        execs[0].event_names(),
+        vec![
+            sym("reserve_funds"),
+            sym("register_lien"),
+            sym("release_lien"),
+            sym("release_funds"),
+        ]
+    );
+
+    // Happy path.
+    db.insert_fact("wire_ok");
+    let execs = engine.executions(&disbursement, &db).unwrap();
+    assert_eq!(
+        execs[0].event_names(),
+        vec![sym("reserve_funds"), sym("register_lien"), sym("wire_funds")]
+    );
+    println!("\nhappy path run:\n  reserve_funds -> register_lien -> wire_funds");
+
+    // --- 5. State-aware execution of the full workflow --------------------
+    // Decisions come from the database: the engine resolves `approve` as a
+    // sub-workflow guarded by a credit-score query.
+    let mut engine = Engine::with_oracle(Box::new(StandardOracle::new()));
+    engine
+        .rules
+        .define(
+            "approve",
+            ctr_workflows::logic::goal::seq(vec![
+                Goal::Atom(Atom::prop("good_credit")),
+                Goal::Atom(Atom::new("ins_approved", vec![Term::constant("loan1")])),
+            ]),
+        )
+        .unwrap();
+    let mut db = Database::new();
+    db.insert_fact("good_credit");
+    let flow = parse_goal("intake * approve * fund").unwrap();
+    let execs = engine.executions(&flow, &db).unwrap();
+    assert_eq!(execs.len(), 1);
+    assert!(execs[0].db.contains(sym("approved"), &[Term::constant("loan1")]));
+    println!("\nstate-aware run recorded approval in the database: approved(loan1)");
+}

@@ -1,0 +1,104 @@
+//! Trip planning — the paper's opening example of a workflow — executed
+//! against a real database state with nondeterministic elementary
+//! updates, sub-workflow rules, and transition conditions.
+//!
+//! Run with: `cargo run --example trip_planning`
+
+use ctr::goal::{conc, seq, Goal};
+use ctr::term::{Atom, Term, Var};
+use ctr_engine::{Engine, Rule};
+use ctr_state::{choose_any, Database, StandardOracle};
+
+fn main() {
+    // --- The travel agency's database ------------------------------------
+    let mut db = Database::new();
+    for flight in ["aa100", "ba226"] {
+        db.insert("flight", vec![Term::constant(flight)]);
+    }
+    for hotel in ["ritz", "ibis"] {
+        db.insert("hotel", vec![Term::constant(hotel)]);
+    }
+    db.insert_fact("budget_approved");
+    db.declare("booked_flight");
+    db.declare("booked_hotel");
+
+    // --- The engine: oracle + sub-workflow rules --------------------------
+    let mut oracle = StandardOracle::new();
+    // A black-box "legacy reservation system": nondeterministically books
+    // any available flight/hotel (paper, §2: elementary updates may be
+    // nondeterministic).
+    oracle.register("reserve_flight", choose_any("flight", "booked_flight"));
+    oracle.register("reserve_hotel", choose_any("hotel", "booked_hotel"));
+
+    let mut engine = Engine::with_oracle(Box::new(oracle));
+
+    // Sub-workflow: payment is a rule with two alternative definitions
+    // (concurrent-Horn rules, §2).
+    engine.rules.define("pay", Goal::atom("pay_card")).unwrap();
+    engine.rules.define("pay", Goal::atom("pay_invoice")).unwrap();
+
+    // A parametric logging sub-workflow with a variable: record(X) inserts
+    // into the log relation.
+    let x = Term::Var(Var(0));
+    engine
+        .rules
+        .add(Rule {
+            head: Atom::new("record", vec![x.clone()]),
+            body: Goal::Atom(Atom::new("ins_log", vec![x])),
+        })
+        .unwrap();
+
+    // --- The workflow ------------------------------------------------------
+    // Check the budget (a transition condition querying the state), then
+    // book flight and hotel concurrently — hotel booking is isolated (⊙:
+    // no interleaving while the transaction runs) — then pay one way or
+    // another, and record completion.
+    let trip = seq(vec![
+        Goal::Atom(Atom::prop("budget_approved")), // transition condition
+        conc(vec![
+            Goal::atom("reserve_flight"),
+            ctr::goal::isolated(seq(vec![
+                Goal::atom("reserve_hotel"),
+                Goal::atom("confirm_hotel"),
+            ])),
+        ]),
+        Goal::atom("pay"),
+        Goal::Atom(Atom::new("record", vec![Term::constant("trip_done")])),
+    ]);
+    println!("workflow: {trip}\n");
+
+    // --- Execute -----------------------------------------------------------
+    let execs = engine.executions(&trip, &db).unwrap();
+    println!("{} distinct executions (2 flights × 2 hotels × 2 payments × interleavings):", execs.len());
+    for (i, e) in execs.iter().enumerate().take(6) {
+        let path: Vec<String> = e.events.iter().map(|a| a.to_string()).collect();
+        println!("  #{i}: {}", path.join(" -> "));
+    }
+    println!("  …");
+
+    // Every execution books exactly one flight and one hotel and logs
+    // completion.
+    for e in &execs {
+        assert_eq!(e.db.cardinality(ctr::sym("booked_flight")), 1);
+        assert_eq!(e.db.cardinality(ctr::sym("booked_hotel")), 1);
+        assert!(e.db.contains(ctr::sym("log"), &[Term::constant("trip_done")]));
+    }
+    println!("\nall executions book one flight, one hotel, and log completion");
+
+    // --- A frozen budget stops the workflow at the condition --------------
+    let mut frozen = db.clone();
+    frozen.apply(&ctr_state::Change::Delete {
+        rel: ctr::sym("budget_approved"),
+        tuple: vec![],
+    });
+    assert!(!engine.is_executable(&trip, &frozen).unwrap());
+    println!("without budget approval, the workflow has no execution — the condition blocks it");
+
+    // --- ◇: checking feasibility without side effects ----------------------
+    let feasibility = ctr::goal::possible(trip.clone());
+    let check = engine.executions(&feasibility, &db).unwrap();
+    assert_eq!(check.len(), 1);
+    assert!(check[0].events.is_empty(), "◇ consumes no path");
+    assert_eq!(check[0].db, db, "◇ leaves the state untouched");
+    println!("◇(trip) succeeds: the trip is executable from this state, nothing was changed");
+}

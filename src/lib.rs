@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! # ctr-workflows — the umbrella crate
+//!
+//! One `use` away from the whole system described in *Logic Based
+//! Modeling and Analysis of Workflows* (PODS 1998): specify workflows as
+//! Concurrent Transaction Logic goals, compile global temporal
+//! constraints into them, verify properties constructively, and schedule
+//! the result with zero run-time constraint checking.
+//!
+//! The member crates, re-exported here:
+//!
+//! * [`logic`] (`ctr`) — goals, the `CONSTR` algebra, `Apply`/`Excise`,
+//!   consistency/verification/redundancy, the reference trace semantics;
+//! * [`state`] (`ctr-state`) — relational database states and transition
+//!   oracles for elementary updates;
+//! * [`engine`] (`ctr-engine`) — the SLD-style proof procedure and the
+//!   compiled pro-active scheduler;
+//! * [`workflow`] (`ctr-workflow`) — control flow graphs, triggers,
+//!   sub-workflows, compensation/sagas, and the spec pipeline;
+//! * [`parser`] (`ctr-parser`) — the textual specification language;
+//! * [`runtime`] (`ctr-runtime`) — deployment, event-sourced instances,
+//!   and snapshots;
+//! * [`baselines`] (`ctr-baselines`) — the passive/automata/model-checking
+//!   comparators from the paper's related work.
+//!
+//! ```
+//! use ctr_workflows::prelude::*;
+//!
+//! let spec = parse_spec(r"
+//!     workflow payments {
+//!         graph submit * (fraud_check # prepare) * settle;
+//!         constraint before(fraud_check, settle);
+//!     }
+//! ").unwrap();
+//!
+//! let compiled = spec.compile().unwrap();
+//! assert!(compiled.is_consistent());
+//!
+//! let program = Program::compile(&compiled.goal).unwrap();
+//! let path = Scheduler::new(&program).run_first().unwrap();
+//! assert_eq!(path.len(), 4);
+//! ```
+
+pub use ctr as logic;
+pub use ctr_baselines as baselines;
+pub use ctr_engine as engine;
+pub use ctr_parser as parser;
+pub use ctr_runtime as runtime;
+pub use ctr_state as state;
+pub use ctr_workflow as workflow;
+
+/// The most common imports, for examples and downstream binaries.
+pub mod prelude {
+    pub use ctr::analysis::{compile, is_consistent, is_redundant, verify, Compiled, Verification};
+    pub use ctr::constraints::Constraint;
+    pub use ctr::goal::{conc, isolated, or, possible, seq, Goal};
+    pub use ctr::symbol::{sym, Symbol};
+    pub use ctr::term::{Atom, Term};
+    pub use ctr_engine::{Engine, Program, Scheduler};
+    pub use ctr_parser::{parse_constraint, parse_goal, parse_spec};
+    pub use ctr_state::{Database, StandardOracle};
+    pub use ctr_runtime::{InstanceStatus, Runtime};
+    pub use ctr_workflow::{saga, Cfg, SagaStep, Trigger, WorkflowSpec};
+}

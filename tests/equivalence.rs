@@ -1,0 +1,262 @@
+//! Property-based tests of the paper's central equivalences, with the
+//! trace-semantics oracle as ground truth.
+//!
+//! The key equations under test:
+//!
+//! * Propositions 5.2/5.4/5.6: `Apply(σ, T) ≡ T ∧ σ` — the traces of the
+//!   compiled goal are exactly the traces of `T` satisfying `σ`.
+//! * `Excise` preserves trace semantics exactly (it only removes
+//!   unexecutable structure).
+//! * The SLD interpreter, the compiled scheduler, and the model-theoretic
+//!   trace enumeration all denote the same execution sets.
+//! * The passive baselines accept exactly the satisfying traces.
+//!
+//! Random inputs come from `ctr::gen` (unique-event by construction),
+//! driven by proptest-chosen seeds; oversized interleaving spaces are
+//! skipped via the enumeration budget.
+
+use ctr::analysis::compile;
+use ctr::constraints::Constraint;
+use ctr::excise::excise;
+use ctr::gen::{random_constraints, random_goal, GoalShape};
+use ctr::goal::Goal;
+use ctr::semantics::{event_traces, satisfies};
+use ctr::symbol::Symbol;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const BUDGET: usize = 60_000;
+
+fn shape() -> GoalShape {
+    GoalShape { depth: 3, width: 3, or_bias: 0.35 }
+}
+
+/// Trace set of a goal, or `None` if enumeration exceeds the budget.
+fn traces(goal: &Goal) -> Option<BTreeSet<Vec<Symbol>>> {
+    event_traces(goal, BUDGET).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Apply + Excise computes exactly { t ∈ traces(G) | t ⊨ C }.
+    #[test]
+    fn compile_equals_filtered_semantics(seed in 0u64..5000, cseed in 0u64..5000, n in 1usize..4) {
+        let (goal, events) = random_goal(seed, shape(), "e");
+        prop_assume!(events.len() >= 2);
+        let constraints = random_constraints(cseed, &events, n);
+        let Some(base) = traces(&goal) else { return Ok(()) };
+
+        let compiled = compile(&goal, &constraints).expect("generated goals are unique-event");
+        let Some(got) = traces(&compiled.goal) else { return Ok(()) };
+
+        let want: BTreeSet<Vec<Symbol>> = base
+            .into_iter()
+            .filter(|t| constraints.iter().all(|c| satisfies(t, c)))
+            .collect();
+        prop_assert_eq!(got, want, "goal {} constraints {:?}", goal, constraints);
+    }
+
+    /// Excise never changes the trace semantics, only the structure.
+    #[test]
+    fn excise_preserves_traces(seed in 0u64..5000, cseed in 0u64..5000) {
+        let (goal, events) = random_goal(seed, shape(), "x");
+        prop_assume!(events.len() >= 2);
+        // Produce channel-laden goals by applying an order constraint
+        // without excising.
+        let constraints = random_constraints(cseed, &events, 2);
+        let applied = ctr::apply::apply(&constraints, &goal);
+        let Some(before) = traces(&applied) else { return Ok(()) };
+        let excised = excise(&applied);
+        let Some(after) = traces(&excised) else { return Ok(()) };
+        prop_assert_eq!(before, after, "applied {}", applied);
+    }
+
+    /// Consistency decided by compilation agrees with the semantics.
+    #[test]
+    fn consistency_matches_semantics(seed in 0u64..5000, cseed in 0u64..5000, n in 1usize..5) {
+        let (goal, events) = random_goal(seed, shape(), "c");
+        prop_assume!(events.len() >= 2);
+        let constraints = random_constraints(cseed, &events, n);
+        let Some(base) = traces(&goal) else { return Ok(()) };
+        let semantically = base.iter().any(|t| constraints.iter().all(|c| satisfies(t, c)));
+        let compiled = compile(&goal, &constraints).unwrap();
+        prop_assert_eq!(compiled.is_consistent(), semantically);
+    }
+
+    /// The verification decision (Theorem 5.9) agrees with checking the
+    /// property on every trace, and counterexamples are genuine.
+    #[test]
+    fn verification_matches_semantics(seed in 0u64..5000, cseed in 0u64..5000) {
+        let (goal, events) = random_goal(seed, shape(), "v");
+        prop_assume!(events.len() >= 2);
+        let property = random_constraints(cseed, &events, 1).pop().expect("one constraint");
+        let Some(base) = traces(&goal) else { return Ok(()) };
+        let all_satisfy = base.iter().all(|t| satisfies(t, &property));
+        match ctr::analysis::verify(&goal, &[], &property).unwrap() {
+            ctr::analysis::Verification::Holds => prop_assert!(all_satisfy),
+            ctr::analysis::Verification::CounterExample(ce) => {
+                prop_assert!(!all_satisfy);
+                if let Some(ce_traces) = traces(&ce) {
+                    prop_assert!(!ce_traces.is_empty());
+                    for t in &ce_traces {
+                        prop_assert!(!satisfies(t, &property), "counterexample trace {:?} satisfies {}", t, property);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Interpreter, scheduler, and semantics agree on propositional goals.
+    #[test]
+    fn all_three_execution_layers_agree(seed in 0u64..5000) {
+        let (goal, _) = random_goal(seed, shape(), "l");
+        let Some(semantic) = traces(&goal) else { return Ok(()) };
+
+        let engine = ctr_engine::Engine::new();
+        // The exhaustive interpreter explores interleaved configurations,
+        // which can exceed its step budget even when the trace set fits
+        // ours; skip those goals.
+        let Ok(execs) = engine.executions(&goal, &ctr_state::Database::new()) else {
+            return Ok(());
+        };
+        let from_engine: BTreeSet<Vec<Symbol>> =
+            execs.iter().map(ctr_engine::Execution::event_names).collect();
+        prop_assert_eq!(&from_engine, &semantic, "interpreter vs semantics on {}", goal);
+
+        let program = ctr_engine::Program::compile(&goal).expect("consistent");
+        let from_scheduler = ctr_engine::Scheduler::new(&program).enumerate_traces(BUDGET * 4);
+        prop_assert_eq!(&from_scheduler, &semantic, "scheduler vs semantics on {}", goal);
+    }
+
+    /// The passive validator and the automata product accept exactly the
+    /// satisfying traces of real workflow executions.
+    #[test]
+    fn baselines_agree_with_semantics(seed in 0u64..5000, cseed in 0u64..5000, n in 1usize..4) {
+        let (goal, events) = random_goal(seed, shape(), "b");
+        prop_assume!(events.len() >= 2);
+        let constraints = random_constraints(cseed, &events, n);
+        let Some(base) = traces(&goal) else { return Ok(()) };
+
+        let validator = ctr_baselines::PassiveValidator::new(&constraints);
+        let product = ctr_baselines::ProductScheduler::new(&constraints);
+        for t in base.iter().take(64) {
+            let want = constraints.iter().all(|c| satisfies(t, c));
+            prop_assert_eq!(validator.validate(t), want, "singh on {:?}", t);
+            prop_assert_eq!(product.validate(t), want, "attie on {:?}", t);
+        }
+    }
+
+    /// Scheduling a compiled workflow always yields a trace satisfying
+    /// every constraint — no run-time checking needed (the §4 claim).
+    #[test]
+    fn scheduled_paths_need_no_validation(seed in 0u64..5000, cseed in 0u64..5000, n in 1usize..4) {
+        let (goal, events) = random_goal(seed, shape(), "s");
+        prop_assume!(events.len() >= 2);
+        let constraints = random_constraints(cseed, &events, n);
+        let compiled = compile(&goal, &constraints).unwrap();
+        if !compiled.is_consistent() {
+            return Ok(());
+        }
+        let program = ctr_engine::Program::compile(&compiled.goal).unwrap();
+        let trace = ctr_engine::Scheduler::new(&program)
+            .run_first()
+            .expect("excised goals are knot-free");
+        let names: Vec<Symbol> = trace.iter().filter_map(ctr::term::Atom::as_event).collect();
+        for c in &constraints {
+            prop_assert!(satisfies(&names, c), "constraint {} on scheduled {:?}", c, names);
+        }
+    }
+
+    /// End-to-end: enumerating the compiled program's schedules yields
+    /// exactly the constraint-satisfying traces of the original workflow
+    /// — the full Apply → Excise → Program → Scheduler pipeline against
+    /// the oracle.
+    #[test]
+    fn scheduler_enumeration_of_compiled_matches_filter(
+        seed in 0u64..5000, cseed in 0u64..5000, n in 1usize..4
+    ) {
+        let (goal, events) = random_goal(seed, shape(), "sc");
+        prop_assume!(events.len() >= 2);
+        let constraints = random_constraints(cseed, &events, n);
+        let Some(base) = traces(&goal) else { return Ok(()) };
+        let want: BTreeSet<Vec<Symbol>> = base
+            .into_iter()
+            .filter(|t| constraints.iter().all(|c| satisfies(t, c)))
+            .collect();
+
+        let compiled = compile(&goal, &constraints).unwrap();
+        if !compiled.is_consistent() {
+            prop_assert!(want.is_empty());
+            return Ok(());
+        }
+        let program = ctr_engine::Program::compile(&compiled.goal).unwrap();
+        let got = ctr_engine::Scheduler::new(&program).enumerate_traces(BUDGET * 4);
+        prop_assert_eq!(got, want, "goal {} constraints {:?}", goal, constraints);
+    }
+
+    /// The activity report (mandatory/optional/dead) agrees with the
+    /// trace-level ground truth.
+    #[test]
+    fn activity_report_matches_semantics(seed in 0u64..5000, cseed in 0u64..5000, n in 1usize..4) {
+        let (goal, events) = random_goal(seed, shape(), "ar");
+        prop_assume!(events.len() >= 2);
+        let constraints = random_constraints(cseed, &events, n);
+        let compiled = compile(&goal, &constraints).unwrap();
+        let Some(allowed) = traces(&compiled.goal) else { return Ok(()) };
+        let report = ctr::analysis::activity_report(&goal, &constraints).unwrap();
+        for (event, status) in report {
+            let occurs_in = allowed.iter().filter(|t| t.contains(&event)).count();
+            let expected = if occurs_in == 0 {
+                ctr::analysis::ActivityStatus::Dead
+            } else if occurs_in == allowed.len() {
+                ctr::analysis::ActivityStatus::Mandatory
+            } else {
+                ctr::analysis::ActivityStatus::Optional
+            };
+            prop_assert_eq!(status, expected, "event {} on {}", event, goal);
+        }
+    }
+
+    /// The declarative formula reading of `G ∧ C` (ctr::formula) agrees
+    /// with the compiled pipeline — the headline equivalence restated at
+    /// the full-CTR level.
+    #[test]
+    fn formula_spec_matches_compiled_pipeline(seed in 0u64..5000, cseed in 0u64..5000, n in 1usize..3) {
+        let (goal, events) = random_goal(seed, GoalShape { depth: 3, width: 2, or_bias: 0.35 }, "f");
+        prop_assume!(events.len() >= 2);
+        let constraints = random_constraints(cseed, &events, n);
+        let formula = ctr::Formula::spec(goal.clone(), &constraints);
+        let Ok(declarative) = formula.executions_of(&goal, BUDGET) else { return Ok(()) };
+        let compiled = compile(&goal, &constraints).unwrap();
+        let Some(fast) = traces(&compiled.goal) else { return Ok(()) };
+        prop_assert_eq!(fast, declarative, "goal {} constraints {:?}", goal, constraints);
+    }
+
+    /// Constraint normalization preserves satisfaction (Cor 3.5), and
+    /// double negation is involutive (Lemma 3.4).
+    #[test]
+    fn normalization_preserves_satisfaction(cseed in 0u64..5000, tlen in 0usize..5) {
+        let events: Vec<Symbol> = (0..5).map(|i| ctr::sym(&format!("n{i}"))).collect();
+        let c = random_constraints(cseed, &events, 1).pop().expect("one constraint");
+        let nf = c.normalize();
+        let neg_neg = Constraint::not(Constraint::not(c.clone()));
+
+        // Unique-event traces over the pool.
+        let mut trace: Vec<Symbol> = events.clone();
+        // Deterministic pseudo-shuffle from the seed.
+        trace.rotate_left((cseed as usize) % events.len().max(1));
+        trace.truncate(tlen);
+
+        prop_assert_eq!(
+            satisfies(&trace, &c),
+            ctr::semantics::satisfies_normal_form(&trace, &nf),
+            "constraint {} trace {:?}", c, trace
+        );
+        prop_assert_eq!(
+            satisfies(&trace, &c),
+            satisfies(&trace, &neg_neg),
+            "double negation on {}", c
+        );
+    }
+}

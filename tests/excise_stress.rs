@@ -1,0 +1,166 @@
+//! Stress tests for the hard corners of `Excise`: nested isolation,
+//! choice-entangled knots, and channel topologies that force the
+//! Or-expansion path — all checked against the trace-semantics oracle.
+
+use ctr::apply::apply;
+use ctr::constraints::Constraint;
+use ctr::excise::{excise, excise_with_diagnostics};
+use ctr::goal::{conc, isolated, or, seq, Channel, Goal};
+use ctr::semantics::event_traces;
+
+const BUDGET: usize = 500_000;
+
+fn g(name: &str) -> Goal {
+    Goal::atom(name)
+}
+
+fn assert_excise_exact(goal: &Goal) {
+    let excised = excise(goal);
+    assert_eq!(
+        event_traces(&excised, BUDGET).unwrap(),
+        event_traces(goal, BUDGET).unwrap(),
+        "excise changed the semantics of {goal}"
+    );
+}
+
+/// Three-deep nested isolation with channels crossing every level.
+#[test]
+fn nested_isolation_with_channels() {
+    let (x1, x2) = (Channel(1), Channel(2));
+    let goal = conc(vec![
+        isolated(seq(vec![
+            g("outer_start"),
+            isolated(seq(vec![g("inner"), Goal::Send(x1)])),
+            g("outer_end"),
+        ])),
+        seq(vec![Goal::Receive(x1), g("after"), Goal::Send(x2)]),
+        seq(vec![Goal::Receive(x2), g("last")]),
+    ]);
+    assert_excise_exact(&goal);
+    assert!(!excise(&goal).is_nopath());
+}
+
+/// A knot reachable only through one branch of each of two different
+/// choices: Excise must expand both and prune exactly the knotted
+/// combination.
+#[test]
+fn doubly_guarded_knot_prunes_one_combination() {
+    let (x1, x2) = (Channel(1), Channel(2));
+    // Branch choice A: send-then-recv (fine) vs recv-then-send (half knot).
+    let left = or(vec![
+        seq(vec![g("a1"), Goal::Send(x1), Goal::Receive(x2)]),
+        seq(vec![g("a2"), Goal::Receive(x2), Goal::Send(x1)]),
+    ]);
+    // Same for choice B on the opposite channels.
+    let right = or(vec![
+        seq(vec![g("b1"), Goal::Send(x2), Goal::Receive(x1)]),
+        seq(vec![g("b2"), Goal::Receive(x1), Goal::Send(x2)]),
+    ]);
+    let goal = conc(vec![left, right]);
+    // The (a2, b2) combination is a cross-wait knot; the other three
+    // combinations complete.
+    assert_excise_exact(&goal);
+    let excised = excise(&goal);
+    let traces = event_traces(&excised, BUDGET).unwrap();
+    assert!(!traces
+        .iter()
+        .any(|t| t.contains(&ctr::sym("a2")) && t.contains(&ctr::sym("b2"))));
+    assert!(traces.iter().any(|t| t.contains(&ctr::sym("a1")) && t.contains(&ctr::sym("b2"))));
+}
+
+/// Channels spanning an ∨: the send sits in the chosen branch, the
+/// receive after the join; both branches carry a send on the same
+/// channel (the legal "unique per execution" multi-occurrence shape that
+/// Apply itself produces when an event occurs in several ∨-branches).
+#[test]
+fn per_branch_sends_with_shared_receive() {
+    let xi = Channel(5);
+    let goal = seq(vec![
+        or(vec![
+            seq(vec![g("fast"), Goal::Send(xi)]),
+            seq(vec![g("slow"), g("slower"), Goal::Send(xi)]),
+        ]),
+        Goal::Receive(xi),
+        g("done"),
+    ]);
+    assert_excise_exact(&goal);
+    // The coverage analysis cannot statically see that *every* branch
+    // provides the send, so it expands the ∨ — exact (same traces, as
+    // asserted above) but distributed; nothing is pruned.
+    let excised = excise(&goal);
+    assert!(!excised.is_nopath());
+    assert_eq!(
+        event_traces(&excised, BUDGET).unwrap().len(),
+        2,
+        "both branches survive"
+    );
+}
+
+/// Compiled Klein constraints interacting with isolation blocks.
+#[test]
+fn klein_constraints_through_isolation() {
+    let goal = seq(vec![
+        g("init"),
+        conc(vec![
+            isolated(seq(vec![g("tx_a"), g("tx_b")])),
+            or(vec![g("audit"), g("skip_audit")]),
+        ]),
+        g("close"),
+    ]);
+    for constraints in [
+        vec![Constraint::klein_order("audit", "tx_a")],
+        vec![Constraint::klein_order("tx_b", "audit")],
+        vec![
+            Constraint::must("audit"),
+            Constraint::order("tx_a", "audit"),
+        ],
+    ] {
+        let applied = apply(&constraints, &goal);
+        let excised = excise(&applied);
+        assert_eq!(
+            event_traces(&excised, BUDGET).unwrap(),
+            event_traces(&applied, BUDGET).unwrap(),
+            "constraints {constraints:?}"
+        );
+    }
+}
+
+/// Contradictory orders forced through every branch: the whole thing
+/// collapses, and a report is produced for the designer.
+#[test]
+fn global_collapse_reports_every_knot() {
+    let goal = conc(vec![or(vec![g("a"), g("b")]), g("c")]);
+    let constraints = [
+        Constraint::order("c", "a"),
+        // a must occur (killing the b branch) and precede c: contradiction.
+        Constraint::order("a", "c"),
+    ];
+    let applied = apply(&constraints, &goal);
+    let result = excise_with_diagnostics(&applied);
+    assert!(result.goal.is_nopath());
+    assert!(!result.reports.is_empty());
+    assert!(event_traces(&applied, BUDGET).unwrap().is_empty());
+}
+
+/// Deep alternation of ⊗/|/∨ with two independent compiled constraints —
+/// a larger structure exercising region analysis across many levels.
+#[test]
+fn deep_alternation_with_two_constraints() {
+    let goal = seq(vec![
+        g("s0"),
+        conc(vec![
+            seq(vec![g("p1"), or(vec![g("q1"), seq(vec![g("q2"), g("q3")])]), g("p2")]),
+            seq(vec![or(vec![g("r1"), g("r2")]), conc(vec![g("u1"), g("u2")])]),
+        ]),
+        g("s1"),
+    ]);
+    let constraints = [
+        Constraint::klein_order("q2", "u1"),
+        Constraint::causes_later("r1", "p2"),
+    ];
+    let applied = apply(&constraints, &goal);
+    assert_excise_exact(&applied);
+    let excised = excise(&applied);
+    // Still consistent: plenty of executions satisfy both.
+    assert!(!excised.is_nopath());
+}

@@ -1,0 +1,95 @@
+//! Robustness tests for the user-facing surfaces: the parser never
+//! panics on arbitrary input, and the analysis pipeline is total on
+//! whatever the parser accepts.
+
+use ctr_parser::{lex, parse_constraint, parse_goal, parse_spec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer returns a token stream or a positioned error — never a
+    /// panic — on arbitrary input.
+    #[test]
+    fn lexer_is_total(input in ".{0,200}") {
+        let _ = lex(&input);
+    }
+
+    /// Same for the three parsers.
+    #[test]
+    fn parsers_are_total(input in ".{0,200}") {
+        let _ = parse_goal(&input);
+        let _ = parse_constraint(&input);
+        let _ = parse_spec(&input);
+    }
+
+    /// Structured noise: well-formed tokens in random arrangements.
+    #[test]
+    fn parsers_are_total_on_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("*".to_owned()),
+                Just("#".to_owned()),
+                Just("+".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just(";".to_owned()),
+                Just("{".to_owned()),
+                Just("}".to_owned()),
+                Just(":=".to_owned()),
+                Just("!".to_owned()),
+                Just("iso".to_owned()),
+                Just("poss".to_owned()),
+                Just("empty".to_owned()),
+                Just("repeat".to_owned()),
+                Just("guarded".to_owned()),
+                Just("workflow".to_owned()),
+                Just("graph".to_owned()),
+                Just("constraint".to_owned()),
+                Just("exists".to_owned()),
+                Just("before".to_owned()),
+                Just("a".to_owned()),
+                Just("b".to_owned()),
+                Just("3".to_owned()),
+            ],
+            0..30,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = parse_goal(&input);
+        let _ = parse_spec(&input);
+    }
+
+    /// Whatever the goal parser accepts, the whole pipeline handles
+    /// without panicking: unique-event check, compilation, scheduling.
+    #[test]
+    fn pipeline_is_total_on_parsed_goals(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("*".to_owned()),
+                Just("#".to_owned()),
+                Just("+".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just("a".to_owned()),
+                Just("b".to_owned()),
+                Just("c".to_owned()),
+                Just("d".to_owned()),
+                Just("empty".to_owned()),
+            ],
+            1..24,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let Ok(goal) = parse_goal(&input) else { return Ok(()) };
+        let constraints = [ctr::Constraint::klein_order("a", "b")];
+        // compile() rejects non-unique-event goals with an error, not a
+        // panic; consistent outputs must schedule without panicking.
+        if let Ok(compiled) = ctr::analysis::compile(&goal, &constraints) {
+            if compiled.is_consistent() {
+                let program = ctr_engine::Program::compile(&compiled.goal).unwrap();
+                let _ = ctr_engine::Scheduler::new(&program).run_first();
+            }
+        }
+    }
+}

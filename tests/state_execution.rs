@@ -1,0 +1,207 @@
+//! Integration tests crossing the parser, the workflow pipeline, and the
+//! state-aware execution engine: transition conditions resolved against
+//! real database states, oracles mutating state, and the §7 caveat that
+//! compilation is sound-but-not-complete for condition-bearing graphs.
+
+use ctr::sym;
+use ctr::term::{Atom, Term};
+use ctr_engine::{Engine, ExecOptions};
+use ctr_parser::{parse_goal, parse_spec};
+use ctr_state::{Database, StandardOracle};
+
+/// Conditions choose the branch at run time; the same compiled workflow
+/// behaves differently per state.
+#[test]
+fn conditions_select_branches_per_state() {
+    let spec = parse_spec(
+        r"
+        workflow claims {
+            graph file_claim * ((auto_approve? * pay) + (manual? * review * pay)) * close;
+        }
+        ",
+    );
+    // `auto_approve?` is not valid syntax — conditions are plain atoms.
+    assert!(spec.is_err());
+
+    let spec = parse_spec(
+        r"
+        workflow claims {
+            graph file_claim * ((small_claim * pay) + (!small_claim * review * pay)) * close;
+        }
+        ",
+    )
+    .unwrap();
+    let compiled = spec.compile().unwrap();
+    assert!(compiled.is_consistent());
+    assert!(compiled.has_conditions, "negated query atoms count as conditions");
+
+    let engine = Engine::new();
+
+    let mut small = Database::new();
+    small.insert_fact("small_claim");
+    let execs = engine.executions(&compiled.goal, &small).unwrap();
+    assert_eq!(execs.len(), 1);
+    assert_eq!(
+        execs[0].event_names(),
+        vec![sym("file_claim"), sym("pay"), sym("close")]
+    );
+
+    // The relation must be declared for the positive atom to resolve as a
+    // query — an undeclared name is a significant event (assumption (2)).
+    let mut large = Database::new();
+    large.declare("small_claim");
+    let execs = engine.executions(&compiled.goal, &large).unwrap();
+    assert_eq!(execs.len(), 1);
+    assert_eq!(
+        execs[0].event_names(),
+        vec![sym("file_claim"), sym("review"), sym("pay"), sym("close")]
+    );
+}
+
+/// The §7 soundness gap, demonstrated: compilation says "consistent", but
+/// a specific state blocks every execution; the engine resolves it.
+#[test]
+fn soundness_gap_resolved_by_execution() {
+    let goal = parse_goal("start * approved * finish").unwrap();
+    let compiled = ctr::analysis::compile(&goal, &[]).unwrap();
+    assert!(compiled.is_consistent(), "consistent for some condition outcomes");
+    // `approved` is only a condition if the schema declares it.
+    let mut db = Database::new();
+    db.declare("approved");
+    let engine = Engine::new();
+    assert!(!engine.is_executable(&compiled.goal, &db).unwrap());
+    db.insert_fact("approved");
+    assert!(engine.is_executable(&compiled.goal, &db).unwrap());
+}
+
+/// Oracles and conditions interact: an update enables a later condition.
+#[test]
+fn updates_enable_downstream_conditions() {
+    let goal = parse_goal("ins_approved(claim9) * approved(claim9) * pay").unwrap();
+    let engine = Engine::with_oracle(Box::new(StandardOracle::new()));
+    let execs = engine.executions(&goal, &Database::new()).unwrap();
+    assert_eq!(execs.len(), 1);
+    assert!(execs[0].db.contains(sym("approved"), &[Term::constant("claim9")]));
+}
+
+/// Variables flow from queries into updates across a parsed goal, and
+/// answer bindings surface in the execution.
+#[test]
+fn parsed_variables_bind_across_atoms() {
+    let goal = parse_goal("pending(C) * ins_done(C) * notify").unwrap();
+    let mut db = Database::new();
+    db.insert("pending", vec![Term::constant("c1")]);
+    db.insert("pending", vec![Term::constant("c2")]);
+    let engine = Engine::with_oracle(Box::new(StandardOracle::new()));
+    let execs = engine.executions(&goal, &db).unwrap();
+    assert_eq!(execs.len(), 2, "one execution per pending claim");
+    for e in &execs {
+        assert_eq!(e.bindings.len(), 1);
+        let (_, term) = &e.bindings[0];
+        assert!(e.db.contains(sym("done"), std::slice::from_ref(term)));
+    }
+}
+
+/// A full spec executed end to end: trigger action runs only when its
+/// condition holds in the database.
+#[test]
+fn triggers_with_conditions_execute_against_state() {
+    let spec = parse_spec(
+        r"
+        workflow shipping {
+            graph pack * ship;
+            trigger on pack if fragile do add_padding;
+        }
+        ",
+    )
+    .unwrap();
+    let compiled = spec.compile().unwrap();
+    let engine = Engine::new();
+
+    let mut db = Database::new();
+    db.insert_fact("fragile");
+    let execs = engine.executions(&compiled.goal, &db).unwrap();
+    assert_eq!(
+        execs[0].event_names(),
+        vec![sym("pack"), sym("add_padding"), sym("ship")]
+    );
+
+    let mut not_fragile = Database::new();
+    not_fragile.declare("fragile");
+    let execs = engine.executions(&compiled.goal, &not_fragile).unwrap();
+    assert_eq!(execs[0].event_names(), vec![sym("pack"), sym("ship")]);
+}
+
+/// Bounded recursion (§7 loops) through the engine, with a state-based
+/// termination condition: retry until the upload succeeds.
+#[test]
+fn recursive_retry_loop_with_state_condition() {
+    let mut oracle = StandardOracle::new();
+    // The third attempt succeeds: `attempt` counts via inserted tuples.
+    oracle.register(
+        "try_upload",
+        Box::new(|_, db| {
+            let n = db.cardinality(sym("attempts")) as i64;
+            vec![vec![
+                ctr_state::Change::Insert { rel: sym("attempts"), tuple: vec![Term::Int(n)] },
+            ]]
+        }),
+    );
+    let mut engine = Engine::with_oracle(Box::new(oracle));
+    engine.rules.allow_recursion();
+    engine
+        .rules
+        .define(
+            "upload_loop",
+            parse_goal(
+                "try_upload * ((attempts(2) * done) + (!attempts(2) * upload_loop))",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    engine.set_options(ExecOptions { max_solutions: 1, max_steps: 100_000, max_depth: 16, ..Default::default() });
+
+    let execs = engine.executions(&ctr::Goal::atom("upload_loop"), &Database::new()).unwrap();
+    assert_eq!(execs.len(), 1);
+    let uploads = execs[0].events.iter().filter(|a| a.pred == sym("try_upload")).count();
+    assert_eq!(uploads, 3, "two failures then success");
+    assert!(execs[0].events.iter().any(|a| a.pred == sym("done")));
+}
+
+/// Isolation is honored when updates race: ⊙ makes check-then-set atomic.
+#[test]
+fn isolation_makes_check_then_set_atomic() {
+    use ctr::goal::{conc, isolated, seq, Goal};
+    // Two concurrent withdrawals, each: check funds available, then take
+    // them. Without ⊙ both can pass the check first; with ⊙ one runs
+    // entirely before the other.
+    let withdraw = |tag: &str| {
+        seq(vec![
+            Goal::Atom(Atom::new("funds", vec![Term::constant("x")])),
+            Goal::Atom(Atom::new("del_funds", vec![Term::constant("x")])),
+            Goal::atom(format!("paid_{tag}")),
+        ])
+    };
+    let engine = Engine::with_oracle(Box::new(StandardOracle::new()));
+    let mut db = Database::new();
+    db.insert("funds", vec![Term::constant("x")]);
+
+    // Unisolated: the double-spend interleaving exists (both checks pass
+    // before either delete — `del_` is a no-op on a missing tuple, arc
+    // ⟨s,s⟩, so both branches "succeed").
+    let racy = conc(vec![withdraw("a"), withdraw("b")]);
+    let execs = engine.executions(&racy, &db).unwrap();
+    assert!(
+        execs
+            .iter()
+            .any(|e| e.event_names().contains(&sym("paid_a"))
+                && e.event_names().contains(&sym("paid_b"))),
+        "the race is observable without isolation"
+    );
+
+    // Isolated: the second transaction always sees the empty funds
+    // relation and fails its check — no execution pays both.
+    let atomic = conc(vec![isolated(withdraw("a")), isolated(withdraw("b"))]);
+    let execs = engine.executions(&atomic, &db).unwrap();
+    assert!(execs.is_empty(), "one withdrawal empties funds; the other's check fails");
+}
