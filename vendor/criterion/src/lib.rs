@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! the workspace vendors a minimal wall-clock benchmark harness that is
+//! source-compatible with the subset of criterion the benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark runs a short calibration pass to
+//! pick an iteration count that fits the group's measurement time, then
+//! takes `sample_size` timed samples and reports the mean, min, and max
+//! per-iteration wall time. There is no statistical analysis, HTML
+//! report, or baseline comparison — output goes to stdout.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Benchmark context handed to the functions in [`criterion_group!`].
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        };
+        group.run_bench(id, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget each benchmark's samples should roughly fit in.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut BenchmarkGroup {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Records throughput so the report can show elements/second.
+    pub fn throughput(&mut self, t: Throughput) -> &mut BenchmarkGroup {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut BenchmarkGroup {
+        self.run_bench(&id.0, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut BenchmarkGroup {
+        self.run_bench(&id.into().0, f);
+        self
+    }
+
+    /// Ends the group. (No-op; kept for source compatibility.)
+    pub fn finish(self) {}
+
+    fn run_bench(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        // Calibrate: find how many iterations fit a per-sample slice of
+        // the measurement budget, starting from a single timed run.
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let iters = (per_sample / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+
+        let full = if self.name.is_empty() { id.to_owned() } else { format!("{}/{id}", self.name) };
+        print!("{full:<48} mean {:>12}  [{} .. {}]", fmt_ns(mean), fmt_ns(min), fmt_ns(max));
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            if mean > 0.0 {
+                print!("  {:.0} elem/s", n as f64 * 1e9 / mean);
+            }
+        }
+        println!();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id with a function label and a parameter value.
+    pub fn new(label: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{label}/{parameter}"))
+    }
+
+    /// Id carrying just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque value blocker re-exported for parity with upstream.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Declares a benchmark group: a function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` to run the listed [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` when invoked as `cargo bench`; under
+            // `cargo test` the target is run as a smoke test, where doing
+            // no measurement keeps the test suite fast.
+            if !std::env::args().any(|a| a == "--bench") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

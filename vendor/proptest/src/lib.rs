@@ -1,0 +1,458 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! the workspace vendors a small, deterministic property-test runner that
+//! is source-compatible with the subset of proptest the test-suite uses:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` and
+//!   `name in strategy` binders,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`],
+//! * integer-range strategies, [`Just`], [`prop_oneof!`], string-pattern
+//!   strategies, and [`collection::vec`].
+//!
+//! Differences from upstream: cases are generated from a fixed seed (so
+//! runs are reproducible without a regressions file), failing inputs are
+//! reported but not shrunk, and string "regex" strategies honour only the
+//! `.{m,n}` repetition form (which is all the suite uses) — any other
+//! pattern falls back to printable-ASCII noise of bounded length.
+
+use std::fmt;
+
+/// Failure or rejection raised inside a property body.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case does not count.
+    Reject(String),
+    /// A `prop_assert*!` failed — the property is falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection (filtered case).
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// A failure (falsified property).
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+pub mod test_runner {
+    use super::strategy::ValueSource;
+    use super::TestCaseError;
+
+    /// Runner configuration — `ProptestConfig` in the prelude.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Give up after this many `prop_assume!` rejections.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// Config with the given number of cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases, ..Config::default() }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Deterministic case runner.
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// A runner with the given config.
+        pub fn new(config: Config) -> TestRunner {
+            TestRunner { config }
+        }
+
+        /// Runs `body` until `config.cases` cases pass, a case fails, or
+        /// the reject budget is exhausted. Each case's values come from a
+        /// [`ValueSource`] seeded from the test name and case index, so
+        /// runs are reproducible and cases are independent.
+        pub fn run_test(
+            &mut self,
+            name: &str,
+            mut body: impl FnMut(&mut ValueSource) -> Result<(), TestCaseError>,
+        ) {
+            let base = fnv1a(name.as_bytes());
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            let mut case = 0u64;
+            while passed < self.config.cases {
+                let mut source = ValueSource::new(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                case += 1;
+                match body(&mut source) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > self.config.max_global_rejects {
+                            panic!(
+                                "property `{name}` exceeded {} rejected cases \
+                                 (passed {passed}/{} before giving up)",
+                                self.config.max_global_rejects, self.config.cases
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{name}` falsified at case #{case} \
+                             (seed {base:#x}): {msg}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! Value generation. A [`Strategy`] turns raw bits from a
+    //! [`ValueSource`] into a value; no shrinking is performed.
+
+    /// Deterministic bit source for one test case (SplitMix64).
+    pub struct ValueSource {
+        state: u64,
+    }
+
+    impl ValueSource {
+        /// Source seeded with `seed`.
+        pub fn new(seed: u64) -> ValueSource {
+            ValueSource { state: seed ^ 0x6A09_E667_F3BC_C909 }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, source: &mut ValueSource) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, source: &mut ValueSource) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = source.next_u64() as u128 % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, source: &mut ValueSource) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let offset = source.next_u64() as u128 % span;
+                    (start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _source: &mut ValueSource) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among homogeneous strategies — `prop_oneof!`.
+    pub struct OneOf<S> {
+        options: Vec<S>,
+    }
+
+    impl<S> OneOf<S> {
+        /// A choice among the given options (must be non-empty).
+        pub fn new(options: Vec<S>) -> OneOf<S> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            OneOf { options }
+        }
+    }
+
+    impl<S: Strategy> Strategy for OneOf<S> {
+        type Value = S::Value;
+        fn generate(&self, source: &mut ValueSource) -> S::Value {
+            let i = source.below(self.options.len() as u64) as usize;
+            self.options[i].generate(source)
+        }
+    }
+
+    /// `&str` patterns act as string strategies. Only the `.{m,n}` form is
+    /// interpreted (arbitrary printable strings with length in `[m, n]`);
+    /// anything else degrades to printable noise of length `0..=64`.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, source: &mut ValueSource) -> String {
+            let (min, max) = parse_dot_repeat(self).unwrap_or((0, 64));
+            let len = min + source.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| {
+                    // Mostly printable ASCII with a sprinkling of multibyte
+                    // chars, so the lexer sees non-trivial unicode too.
+                    match source.below(20) {
+                        0 => '\u{3BB}',  // λ
+                        1 => '\u{2297}', // ⊗
+                        _ => (0x20 + source.below(0x5F) as u8) as char,
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (min, max) = rest.split_once(',')?;
+        Some((min.trim().parse().ok()?, max.trim().parse().ok()?))
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, ValueSource};
+
+    /// Vec of values from `element`, with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, min: len.start, max: len.end.saturating_sub(1) }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, source: &mut ValueSource) -> Vec<S::Value> {
+            let len = self.min + source.below((self.max - self.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(source)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `proptest::prelude::*` import is expected to bring
+    //! into scope.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Declares deterministic property tests. Source-compatible with
+/// `proptest::proptest!` for `name in strategy` binders.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run_test(stringify!($name), |__pt_source| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), __pt_source);
+                    )+
+                    let mut __pt_body = || -> $crate::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    __pt_body()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($strat),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn assume_filters(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_vec_compose(
+            items in crate::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 0..10)
+        ) {
+            prop_assert!(items.len() < 10);
+            prop_assert!(items.iter().all(|&i| i == 1 || i == 2));
+        }
+
+        #[test]
+        fn string_pattern_bounds_length(s in ".{0,20}") {
+            prop_assert!(s.chars().count() <= 20);
+        }
+    }
+}
