@@ -59,7 +59,11 @@ impl ConstraintAutomaton {
                 }
             }
         }
-        ConstraintAutomaton { alphabet: alphabet.into_iter().collect(), orders, nf }
+        ConstraintAutomaton {
+            alphabet: alphabet.into_iter().collect(),
+            orders,
+            nf,
+        }
     }
 
     /// The initial state.
@@ -173,8 +177,12 @@ impl ProductScheduler {
     /// Admits `event` if no automaton becomes dead; returns whether it was
     /// admitted.
     pub fn admit(&mut self, event: Symbol) -> bool {
-        let next: Vec<AutoState> =
-            self.automata.iter().zip(&self.state).map(|(a, s)| a.step(s, event)).collect();
+        let next: Vec<AutoState> = self
+            .automata
+            .iter()
+            .zip(&self.state)
+            .map(|(a, s)| a.step(s, event))
+            .collect();
         if self.automata.iter().zip(&next).all(|(a, s)| a.live(s)) {
             self.state = next;
             true
@@ -185,15 +193,26 @@ impl ProductScheduler {
 
     /// Would the run accept if the trace ended now?
     pub fn accepts(&self) -> bool {
-        self.automata.iter().zip(&self.state).all(|(a, s)| a.accepts(s))
+        self.automata
+            .iter()
+            .zip(&self.state)
+            .all(|(a, s)| a.accepts(s))
     }
 
     /// Validates a complete trace from scratch.
     pub fn validate(&self, trace: &[Symbol]) -> bool {
-        let mut state: Vec<AutoState> =
-            self.automata.iter().map(ConstraintAutomaton::initial).collect();
+        let mut state: Vec<AutoState> = self
+            .automata
+            .iter()
+            .map(ConstraintAutomaton::initial)
+            .collect();
         for &e in trace {
-            state = self.automata.iter().zip(&state).map(|(a, s)| a.step(s, e)).collect();
+            state = self
+                .automata
+                .iter()
+                .zip(&state)
+                .map(|(a, s)| a.step(s, e))
+                .collect();
         }
         self.automata.iter().zip(&state).all(|(a, s)| a.accepts(s))
     }
@@ -201,10 +220,16 @@ impl ProductScheduler {
     /// Size of the reachable product state space over the union alphabet —
     /// the exponential object of §6 and experiment X2.
     pub fn product_state_count(&self, cap: usize) -> usize {
-        let alphabet: BTreeSet<Symbol> =
-            self.automata.iter().flat_map(|a| a.alphabet().iter().copied()).collect();
-        let initial: Vec<AutoState> =
-            self.automata.iter().map(ConstraintAutomaton::initial).collect();
+        let alphabet: BTreeSet<Symbol> = self
+            .automata
+            .iter()
+            .flat_map(|a| a.alphabet().iter().copied())
+            .collect();
+        let initial: Vec<AutoState> = self
+            .automata
+            .iter()
+            .map(ConstraintAutomaton::initial)
+            .collect();
         let mut seen: BTreeSet<Vec<AutoState>> = BTreeSet::from([initial.clone()]);
         let mut queue = VecDeque::from([initial]);
         while let Some(s) = queue.pop_front() {
@@ -212,8 +237,12 @@ impl ProductScheduler {
                 return seen.len();
             }
             for &e in &alphabet {
-                let next: Vec<AutoState> =
-                    self.automata.iter().zip(&s).map(|(a, st)| a.step(st, e)).collect();
+                let next: Vec<AutoState> = self
+                    .automata
+                    .iter()
+                    .zip(&s)
+                    .map(|(a, st)| a.step(st, e))
+                    .collect();
                 if seen.insert(next.clone()) {
                     queue.push_back(next);
                 }
@@ -258,7 +287,11 @@ mod tests {
                 for &e in &t {
                     s = auto.step(&s, e);
                 }
-                assert_eq!(auto.accepts(&s), satisfies(&t, &c), "constraint {c} trace {t:?}");
+                assert_eq!(
+                    auto.accepts(&s),
+                    satisfies(&t, &c),
+                    "constraint {c} trace {t:?}"
+                );
             }
         }
     }
@@ -283,10 +316,8 @@ mod tests {
 
     #[test]
     fn product_scheduler_blocks_violations() {
-        let mut p = ProductScheduler::new(&[
-            Constraint::order("a", "b"),
-            Constraint::must_not("z"),
-        ]);
+        let mut p =
+            ProductScheduler::new(&[Constraint::order("a", "b"), Constraint::must_not("z")]);
         assert!(!p.admit(sym("b")), "b before a is refused");
         assert!(p.admit(sym("a")));
         assert!(p.admit(sym("b")));
@@ -329,8 +360,8 @@ mod tests {
 
     #[test]
     fn product_state_space_is_multiplicative() {
-        let one = ProductScheduler::new(&[Constraint::order("a1", "b1")])
-            .product_state_count(1_000_000);
+        let one =
+            ProductScheduler::new(&[Constraint::order("a1", "b1")]).product_state_count(1_000_000);
         let three = ProductScheduler::new(&[
             Constraint::order("a1", "b1"),
             Constraint::order("a2", "b2"),

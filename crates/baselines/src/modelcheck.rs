@@ -39,11 +39,7 @@ pub fn explore(goal: &Goal, cap: usize) -> Result<Exploration, ScheduleError> {
 /// the product of the marking graph with the property automaton. Returns
 /// the exploration statistics and a counterexample trace if the property
 /// can be violated.
-pub fn check(
-    goal: &Goal,
-    property: &Constraint,
-    cap: usize,
-) -> Result<Exploration, ScheduleError> {
+pub fn check(goal: &Goal, property: &Constraint, cap: usize) -> Result<Exploration, ScheduleError> {
     explore_with_property(goal, Some(property), cap)
 }
 
@@ -60,7 +56,10 @@ fn explore_with_property(
         auto: AutoState,
     }
 
-    let initial = Node { scheduler: Scheduler::new(&program), auto: AutoState::default() };
+    let initial = Node {
+        scheduler: Scheduler::new(&program),
+        auto: AutoState::default(),
+    };
     let key = |n: &Node| -> (Vec<u8>, AutoState) { (n.scheduler.state_key(), n.auto.clone()) };
 
     let mut seen: BTreeSet<(Vec<u8>, AutoState)> = BTreeSet::from([key(&initial)]);
@@ -100,7 +99,12 @@ fn explore_with_property(
         }
     }
 
-    Ok(Exploration { states: seen.len(), complete_paths, truncated, counterexample })
+    Ok(Exploration {
+        states: seen.len(),
+        complete_paths,
+        truncated,
+        counterexample,
+    })
 }
 
 #[cfg(test)]
@@ -124,8 +128,12 @@ mod tests {
 
     #[test]
     fn concurrent_width_explodes_the_state_space() {
-        let w4 = explore(&ctr::gen::parallel_workflow(4), 1_000_000).unwrap().states;
-        let w8 = explore(&ctr::gen::parallel_workflow(8), 1_000_000).unwrap().states;
+        let w4 = explore(&ctr::gen::parallel_workflow(4), 1_000_000)
+            .unwrap()
+            .states;
+        let w8 = explore(&ctr::gen::parallel_workflow(8), 1_000_000)
+            .unwrap()
+            .states;
         // Markings of n concurrent tasks = 2^n.
         assert!(w8 > 10 * w4, "w4 = {w4}, w8 = {w8}");
     }
@@ -183,7 +191,9 @@ mod tests {
         let goal = conc(vec![g("a"), g("b"), g("c")]);
         let prop = Constraint::serial(vec![sym("a"), sym("b"), sym("c")]);
         let e = check(&goal, &prop, 1_000_000).unwrap();
-        let ce = e.counterexample.expect("interleavings violate the serial constraint");
+        let ce = e
+            .counterexample
+            .expect("interleavings violate the serial constraint");
         assert!(!satisfies(&ce, &prop));
     }
 }

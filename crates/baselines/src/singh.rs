@@ -27,7 +27,9 @@ impl PassiveValidator {
     /// Normalizes the constraint set once, up front (the part Singh's
     /// framework also precomputes).
     pub fn new(constraints: &[Constraint]) -> PassiveValidator {
-        PassiveValidator { normalized: constraints.iter().map(Constraint::normalize).collect() }
+        PassiveValidator {
+            normalized: constraints.iter().map(Constraint::normalize).collect(),
+        }
     }
 
     /// Number of constraints.
@@ -249,13 +251,14 @@ mod tests {
 
     #[test]
     fn chained_releases_cascade() {
-        let mut s = ReorderingScheduler::new(&[
-            Constraint::order("a", "b"),
-            Constraint::order("b", "c"),
-        ]);
+        let mut s =
+            ReorderingScheduler::new(&[Constraint::order("a", "b"), Constraint::order("b", "c")]);
         assert_eq!(s.admit(sym("c")), Admission::Buffered);
         assert_eq!(s.admit(sym("b")), Admission::Buffered);
-        assert_eq!(s.admit(sym("a")), Admission::Emitted(vec![sym("b"), sym("c")]));
+        assert_eq!(
+            s.admit(sym("a")),
+            Admission::Emitted(vec![sym("b"), sym("c")])
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@ use std::time::Duration;
 fn bench_ablation(c: &mut Criterion) {
     // Eager vs naive positive-primitive compilation.
     let mut group = c.benchmark_group("a1_pruning");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for layers in [16usize, 32, 64] {
         let goal = gen::layered_workflow(layers, 2);
         let target = sym(&format!("l{}_0", layers - 1));
@@ -26,7 +28,9 @@ fn bench_ablation(c: &mut Criterion) {
 
     // With vs without ∨-idempotence on the SAT family.
     let mut group = c.benchmark_group("a1_idempotence");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for vars in [4usize, 5, 6] {
         let inst = gen::random_3sat(7, vars, (vars as f64 * 4.3) as usize);
         let (goal, constraints) = gen::sat_to_workflow(&inst);

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_apply(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_apply");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     // Axis 1: graph size, constraints fixed (expected: linear).
     let constraints = gen::klein_chain(3);

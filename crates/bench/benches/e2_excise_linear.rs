@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_excise(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_excise");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for (layers, n) in [(8usize, 2usize), (16, 3), (32, 4)] {
         let goal = gen::layered_workflow(layers, 2);
         let applied = apply(&gen::klein_chain(n), &goal);

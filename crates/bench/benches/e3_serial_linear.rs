@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_serial(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_serial_only");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     for n in [4usize, 8, 16, 32] {
         let goal = gen::pipeline_workflow(2 * n + 4);
         let constraints = gen::order_chain(n);

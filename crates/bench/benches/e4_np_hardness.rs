@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_np(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_sat_family");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for vars in [4usize, 6, 8, 10] {
         let inst = gen::random_3sat(7, vars, (vars as f64 * 4.3) as usize);
         let (goal, constraints) = gen::sat_to_workflow(&inst);
@@ -19,7 +21,9 @@ fn bench_np(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("e4_order_family");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 16, 32, 64] {
         let goal = gen::pipeline_workflow(2 * n + 2);
         let constraints = gen::order_chain(n);

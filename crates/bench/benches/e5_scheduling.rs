@@ -31,7 +31,9 @@ fn bench_scheduling(c: &mut Criterion) {
     pro.finish();
 
     let mut passive = c.benchmark_group("e5_passive_validate");
-    passive.sample_size(30).measurement_time(Duration::from_secs(2));
+    passive
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     for layers in [16usize, 32, 64, 128] {
         let goal = gen::layered_workflow(layers, 2);
         let constraints = stage_orders(layers - 1);

@@ -12,7 +12,9 @@ fn bench_vs_mc(c: &mut Criterion) {
     let property = Constraint::klein_order("t0", "t1");
 
     let mut apply_group = c.benchmark_group("e6_apply_verification");
-    apply_group.sample_size(30).measurement_time(Duration::from_secs(2));
+    apply_group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     for w in [4usize, 8, 12] {
         let goal = gen::parallel_workflow(w);
         apply_group.bench_with_input(BenchmarkId::from_parameter(w), &goal, |b, goal| {
@@ -22,7 +24,9 @@ fn bench_vs_mc(c: &mut Criterion) {
     apply_group.finish();
 
     let mut mc_group = c.benchmark_group("e6_explicit_modelcheck");
-    mc_group.sample_size(10).measurement_time(Duration::from_secs(3));
+    mc_group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for w in [4usize, 8, 12] {
         let goal = gen::parallel_workflow(w);
         mc_group.bench_with_input(BenchmarkId::from_parameter(w), &goal, |b, goal| {

@@ -10,22 +10,30 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 fn build(k: usize) -> (WorkflowSpec, BTreeMap<ctr::Symbol, Vec<Constraint>>) {
-    let mut spec =
-        WorkflowSpec::new("e7", seq((0..k).map(|i| Goal::atom(format!("sub{i}"))).collect()));
+    let mut spec = WorkflowSpec::new(
+        "e7",
+        seq((0..k).map(|i| Goal::atom(format!("sub{i}"))).collect()),
+    );
     let mut local = BTreeMap::new();
     for i in 0..k {
         spec.subworkflows
             .define(
                 format!("sub{i}").as_str(),
                 conc(vec![
-                    or(vec![Goal::atom(format!("a{i}")), Goal::atom(format!("x{i}"))]),
+                    or(vec![
+                        Goal::atom(format!("a{i}")),
+                        Goal::atom(format!("x{i}")),
+                    ]),
                     Goal::atom(format!("b{i}")),
                 ]),
             )
             .unwrap();
         local.insert(
             sym(&format!("sub{i}")),
-            vec![Constraint::klein_order(format!("a{i}").as_str(), format!("b{i}").as_str())],
+            vec![Constraint::klein_order(
+                format!("a{i}").as_str(),
+                format!("b{i}").as_str(),
+            )],
         );
     }
     (spec, local)
@@ -33,7 +41,9 @@ fn build(k: usize) -> (WorkflowSpec, BTreeMap<ctr::Symbol, Vec<Constraint>>) {
 
 fn bench_modular(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_modular_vs_flat");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for k in [3usize, 4, 5] {
         let (spec, local) = build(k);
         group.bench_with_input(BenchmarkId::new("modular", k), &spec, |b, spec| {

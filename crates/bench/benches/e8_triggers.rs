@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_triggers(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_trigger_compilation");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for t in [4usize, 16, 64] {
         let goal = gen::pipeline_workflow(t + 4);
         for semantics in [TriggerSemantics::Immediate, TriggerSemantics::Eventual] {

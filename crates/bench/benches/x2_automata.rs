@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_automata(c: &mut Criterion) {
     let mut group = c.benchmark_group("x2_product_construction");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [2usize, 4, 6] {
         let constraints: Vec<Constraint> = (0..n)
             .map(|i| Constraint::order(sym(&format!("p{i}")), sym(&format!("q{i}"))))

@@ -29,14 +29,14 @@ fn or_no_dedup(goals: Vec<Goal>) -> Goal {
     for g in goals {
         match g {
             Goal::NoPath => {}
-            Goal::Or(inner) => out.extend(inner),
+            Goal::Or(inner) => out.extend(inner.to_vec()),
             other => out.push(other),
         }
     }
     match out.len() {
         0 => Goal::NoPath,
         1 => out.pop().expect("len checked"),
-        _ => Goal::Or(out),
+        _ => Goal::raw_or(out),
     }
 }
 
@@ -48,26 +48,26 @@ pub fn apply_must_naive(alpha: Symbol, goal: &Goal) -> Goal {
         match goal {
             Goal::Atom(a) if a.as_event() == Some(alpha) => goal.clone(),
             Goal::Atom(_) => Goal::NoPath,
-            Goal::Seq(gs) => Goal::Or(
+            Goal::Seq(gs) => Goal::raw_or(
                 (0..gs.len())
                     .map(|i| {
-                        let mut children = gs.clone();
+                        let mut children = gs.to_vec();
                         children[i] = raw(alpha, &gs[i]);
-                        Goal::Seq(children)
+                        Goal::raw_seq(children)
                     })
                     .collect(),
             ),
-            Goal::Conc(gs) => Goal::Or(
+            Goal::Conc(gs) => Goal::raw_or(
                 (0..gs.len())
                     .map(|i| {
-                        let mut children = gs.clone();
+                        let mut children = gs.to_vec();
                         children[i] = raw(alpha, &gs[i]);
-                        Goal::Conc(children)
+                        Goal::raw_conc(children)
                     })
                     .collect(),
             ),
-            Goal::Or(gs) => Goal::Or(gs.iter().map(|g| raw(alpha, g)).collect()),
-            Goal::Isolated(g) => Goal::Isolated(Box::new(raw(alpha, g))),
+            Goal::Or(gs) => Goal::raw_or(gs.iter().map(|g| raw(alpha, g)).collect()),
+            Goal::Isolated(g) => Goal::raw_isolated(raw(alpha, g)),
             Goal::Possible(_) | Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => {
                 Goal::NoPath
             }
@@ -124,7 +124,7 @@ fn must_nd(alpha: Symbol, goal: &Goal) -> Goal {
                     if rewritten.is_nopath() {
                         return Goal::NoPath;
                     }
-                    let mut children = gs.clone();
+                    let mut children = gs.to_vec();
                     children[i] = rewritten;
                     ctr::goal::seq(children)
                 })
@@ -137,7 +137,7 @@ fn must_nd(alpha: Symbol, goal: &Goal) -> Goal {
                     if rewritten.is_nopath() {
                         return Goal::NoPath;
                     }
-                    let mut children = gs.clone();
+                    let mut children = gs.to_vec();
                     children[i] = rewritten;
                     ctr::goal::conc(children)
                 })

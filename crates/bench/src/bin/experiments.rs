@@ -29,6 +29,7 @@ fn main() {
     e8_triggers();
     x2_automata();
     a1_ablation();
+    bench_compile_json();
     eprintln!("\n(total {:.1?})", t0.elapsed());
 }
 
@@ -104,7 +105,15 @@ fn e2_excise_linear() {
     println!("## E2 — Theorem 5.11: Excise runs in time linear in |Apply(C, G)|\n");
     let mut table = Table::new(&["|Apply|", "Excise time"]);
     let mut pts = Vec::new();
-    for (layers, n) in [(4usize, 2usize), (8, 2), (8, 3), (16, 3), (16, 4), (32, 4), (32, 5)] {
+    for (layers, n) in [
+        (4usize, 2usize),
+        (8, 2),
+        (8, 3),
+        (16, 3),
+        (16, 4),
+        (32, 4),
+        (32, 5),
+    ] {
         let goal = gen::layered_workflow(layers, 2);
         let applied = apply(&gen::klein_chain(n), &goal);
         let size = applied.size();
@@ -121,7 +130,12 @@ fn e2_excise_linear() {
 
 fn e3_serial_linear() {
     println!("## E3 — Corollary of 5.11: serial constraints only (d = 1) ⇒ |Apply| ∝ |G|\n");
-    let mut table = Table::new(&["N (order constraints)", "|G|", "|Apply|", "overhead/constraint"]);
+    let mut table = Table::new(&[
+        "N (order constraints)",
+        "|G|",
+        "|Apply|",
+        "overhead/constraint",
+    ]);
     for n in [1usize, 2, 4, 8, 16, 32] {
         let goal = gen::pipeline_workflow(2 * n + 4);
         let constraints = gen::order_chain(n);
@@ -135,11 +149,15 @@ fn e3_serial_linear() {
         ]);
     }
     print!("{}", table.render());
-    println!("\nOverhead is a constant ~2 nodes (send+receive) per order constraint: no blow-up.\n");
+    println!(
+        "\nOverhead is a constant ~2 nodes (send+receive) per order constraint: no blow-up.\n"
+    );
 }
 
 fn e4_np_hardness() {
-    println!("## E4 — Proposition 4.1: NP-hard with existence constraints, polynomial for orders\n");
+    println!(
+        "## E4 — Proposition 4.1: NP-hard with existence constraints, polynomial for orders\n"
+    );
 
     println!("3-SAT encoded as workflow consistency (clause ratio 4.3, mean of 3 seeds):\n");
     let mut table = Table::new(&["vars", "clauses", "consistency time"]);
@@ -180,7 +198,9 @@ fn e4_np_hardness() {
 }
 
 fn e5_scheduling() {
-    println!("## E5 — §4: compiled scheduling is linear per path; passive validation is quadratic\n");
+    println!(
+        "## E5 — §4: compiled scheduling is linear per path; passive validation is quadratic\n"
+    );
 
     let mut table = Table::new(&[
         "events/path",
@@ -235,13 +255,24 @@ fn e5_scheduling() {
 fn e6_vs_modelcheck() {
     println!("## E6 — §6: Apply is linear in |G|; model checking explodes with concurrency\n");
     let property = Constraint::klein_order("t0", "t1");
-    let mut table = Table::new(&["width w", "|G|", "Apply time", "|Apply|", "MC states", "MC time"]);
+    let mut table = Table::new(&[
+        "width w",
+        "|G|",
+        "Apply time",
+        "|Apply|",
+        "MC states",
+        "MC time",
+    ]);
     let mut apply_pts = Vec::new();
     let mut mc_pts = Vec::new();
     for w in [4usize, 6, 8, 10, 12, 14] {
         let goal = gen::parallel_workflow(w);
-        let t_apply = time_mean(10, || compile(&goal, std::slice::from_ref(&property)).unwrap());
-        let size = compile(&goal, std::slice::from_ref(&property)).unwrap().applied_size;
+        let t_apply = time_mean(10, || {
+            compile(&goal, std::slice::from_ref(&property)).unwrap()
+        });
+        let size = compile(&goal, std::slice::from_ref(&property))
+            .unwrap()
+            .applied_size;
         let t0 = Instant::now();
         let states = explore(&goal, 10_000_000).unwrap().states;
         let t_mc = t0.elapsed();
@@ -266,8 +297,13 @@ fn e6_vs_modelcheck() {
 
 fn e7_subworkflows() {
     println!("## E7 — §7: modular constraints keep the exponent at M (local), not N (global)\n");
-    let mut table =
-        Table::new(&["K sub-workflows", "N = K (d=3)", "flat |Apply|", "modular |Apply|", "ratio"]);
+    let mut table = Table::new(&[
+        "K sub-workflows",
+        "N = K (d=3)",
+        "flat |Apply|",
+        "modular |Apply|",
+        "ratio",
+    ]);
     for k in [2usize, 3, 4, 5, 6] {
         let mut spec = WorkflowSpec::new(
             "e7",
@@ -298,9 +334,7 @@ fn e7_subworkflows() {
         let modular = compile_modular(&spec, &local).unwrap();
         let mut flat = spec.clone();
         flat.constraints = (0..k)
-            .map(|i| {
-                Constraint::klein_order(format!("a{i}").as_str(), format!("b{i}").as_str())
-            })
+            .map(|i| Constraint::klein_order(format!("a{i}").as_str(), format!("b{i}").as_str()))
             .collect();
         let flat_compiled = flat.compile().unwrap();
         table.row(vec![
@@ -308,11 +342,16 @@ fn e7_subworkflows() {
             k.to_string(),
             flat_compiled.applied_size.to_string(),
             modular.applied_size.to_string(),
-            format!("{:.1}×", flat_compiled.applied_size as f64 / modular.applied_size as f64),
+            format!(
+                "{:.1}×",
+                flat_compiled.applied_size as f64 / modular.applied_size as f64
+            ),
         ]);
     }
     print!("{}", table.render());
-    println!("\nFlat grows ~3^K; modular grows linearly in K (M = 1 constraint per sub-workflow).\n");
+    println!(
+        "\nFlat grows ~3^K; modular grows linearly in K (M = 1 constraint per sub-workflow).\n"
+    );
 }
 
 fn e8_triggers() {
@@ -322,17 +361,10 @@ fn e8_triggers() {
     for t in [1usize, 2, 4, 8, 16, 32, 64] {
         let goal = gen::pipeline_workflow(t + 4);
         let triggers: Vec<Trigger> = (0..t)
-            .map(|i| {
-                Trigger::immediate(
-                    sym(&format!("t{i}")),
-                    Goal::atom(format!("audit{i}")),
-                )
-            })
+            .map(|i| Trigger::immediate(sym(&format!("t{i}")), Goal::atom(format!("audit{i}"))))
             .collect();
         let mut channels = ctr::apply::ChannelAlloc::new();
-        let time = time_mean(10, || {
-            compile_triggers(&goal, &triggers, &mut channels)
-        });
+        let time = time_mean(10, || compile_triggers(&goal, &triggers, &mut channels));
         let after = compile_triggers(&goal, &triggers, &mut ctr::apply::ChannelAlloc::new());
         pts.push((t as f64, time.as_nanos() as f64));
         table.row(vec![
@@ -364,7 +396,11 @@ fn a1_ablation() {
         let t_naive = time_mean(5, || ctr_bench::ablation::apply_must_naive(target, &goal));
         eager_pts.push((goal.size() as f64, t_eager.as_nanos() as f64));
         naive_pts.push((goal.size() as f64, t_naive.as_nanos() as f64));
-        table.row(vec![goal.size().to_string(), fmt_ns(t_eager), fmt_ns(t_naive)]);
+        table.row(vec![
+            goal.size().to_string(),
+            fmt_ns(t_eager),
+            fmt_ns(t_naive),
+        ]);
     }
     print!("{}", table.render());
     println!(
@@ -396,6 +432,70 @@ fn a1_ablation() {
     );
 }
 
+/// Machine-readable record of the hot compile path, written next to the
+/// experiment tables so perf changes can be compared across commits.
+///
+/// One record per workload: the E1 linearity family (layered workflow,
+/// klein_chain(3)) and the E2 excise family, with apply and excise wall
+/// times measured separately.
+fn bench_compile_json() {
+    struct Record {
+        name: String,
+        goal_size: usize,
+        constraint_count: usize,
+        apply_ns: u128,
+        excise_ns: u128,
+        output_size: usize,
+    }
+
+    let mut records = Vec::new();
+    let mut measure = |name: String, goal: &Goal, constraints: &[Constraint]| {
+        let reps = if goal.size() > 2_000 { 3 } else { 10 };
+        let t_apply = time_mean(reps, || apply(constraints, goal));
+        let applied = apply(constraints, goal);
+        let t_excise = time_mean(reps, || excise(&applied));
+        records.push(Record {
+            name,
+            goal_size: goal.size(),
+            constraint_count: constraints.len(),
+            apply_ns: t_apply.as_nanos(),
+            excise_ns: t_excise.as_nanos(),
+            output_size: excise(&applied).size(),
+        });
+    };
+
+    for layers in [4usize, 8, 16, 32, 64] {
+        let goal = gen::layered_workflow(layers, 2);
+        measure(
+            format!("e1_apply_size/layers{layers}_klein3"),
+            &goal,
+            &gen::klein_chain(3),
+        );
+    }
+    for (layers, n) in [(8usize, 3usize), (16, 4), (32, 4), (32, 5)] {
+        let goal = gen::layered_workflow(layers, 2);
+        measure(
+            format!("e2_excise_linear/layers{layers}_klein{n}"),
+            &goal,
+            &gen::klein_chain(n),
+        );
+    }
+
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"name\": \"{}\", \"goal_size\": {}, \"constraint_count\": {}, \
+                 \"apply_ns\": {}, \"excise_ns\": {}, \"output_size\": {}}}",
+                r.name, r.goal_size, r.constraint_count, r.apply_ns, r.excise_ns, r.output_size
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    std::fs::write("BENCH_compile.json", &json).expect("write BENCH_compile.json");
+    eprintln!("\nwrote BENCH_compile.json ({} workloads)", records.len());
+}
+
 fn x2_automata() {
     println!("## X2 — §6: the automata-product baseline is exponential in the constraint count\n");
     let mut table = Table::new(&["N constraints", "product states", "vs compiled |Apply|"]);
@@ -410,9 +510,7 @@ fn x2_automata() {
         // linear (d = 1).
         let goal = ctr::goal::conc(
             (0..n)
-                .flat_map(|i| {
-                    [Goal::atom(format!("p{i}")), Goal::atom(format!("q{i}"))]
-                })
+                .flat_map(|i| [Goal::atom(format!("p{i}")), Goal::atom(format!("q{i}"))])
                 .collect(),
         );
         let compiled = compile(&goal, &constraints).unwrap();

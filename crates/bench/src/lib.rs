@@ -46,7 +46,10 @@ impl Table {
     /// A table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
         assert!(!header.is_empty());
-        Table { header: header.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -74,7 +77,10 @@ impl Table {
             format!("| {} |\n", padded.join(" | "))
         };
         out.push_str(&fmt_row(&self.header, &widths));
-        let sep: Vec<String> = widths.iter().map(|w| format!("{:->w$}", "", w = w)).collect();
+        let sep: Vec<String> = widths
+            .iter()
+            .map(|w| format!("{:->w$}", "", w = w))
+            .collect();
         out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -97,8 +103,11 @@ pub fn slope(points: &[(f64, f64)]) -> f64 {
 /// Least-squares growth factor of `y` per unit of `x`, from a log-linear
 /// fit. Used to confirm exponential families (`≈ d` for Theorem 5.11).
 pub fn log_growth_factor(points: &[(f64, f64)]) -> f64 {
-    let pts: Vec<(f64, f64)> =
-        points.iter().filter(|(_, y)| *y > 0.0).map(|&(x, y)| (x, y.ln())).collect();
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(_, y)| *y > 0.0)
+        .map(|&(x, y)| (x, y.ln()))
+        .collect();
     slope(&pts).exp()
 }
 
@@ -137,8 +146,9 @@ mod tests {
 
     #[test]
     fn power_law_recovers_exponent() {
-        let pts: Vec<(f64, f64)> =
-            (1..10).map(|i| (f64::from(i), f64::from(i * i) * 7.0)).collect();
+        let pts: Vec<(f64, f64)> = (1..10)
+            .map(|i| (f64::from(i), f64::from(i * i) * 7.0))
+            .collect();
         let k = power_law_exponent(&pts);
         assert!((k - 2.0).abs() < 1e-9, "{k}");
     }

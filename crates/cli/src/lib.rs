@@ -39,11 +39,17 @@ pub struct CliError {
 
 impl CliError {
     fn usage(message: impl Into<String>) -> CliError {
-        CliError { message: message.into(), code: 2 }
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
     }
 
     fn analysis(message: impl Into<String>) -> CliError {
-        CliError { message: message.into(), code: 1 }
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
     }
 }
 
@@ -80,10 +86,17 @@ pub fn cmd_check(input: &str) -> Result<String, CliError> {
         );
     }
     if compiled.is_consistent() {
-        let _ = writeln!(out, "  CONSISTENT ({} compiled nodes)", compiled.goal.size());
+        let _ = writeln!(
+            out,
+            "  CONSISTENT ({} compiled nodes)",
+            compiled.goal.size()
+        );
         Ok(out)
     } else {
-        let _ = writeln!(out, "  INCONSISTENT: no execution satisfies all constraints");
+        let _ = writeln!(
+            out,
+            "  INCONSISTENT: no execution satisfies all constraints"
+        );
         Err(CliError::analysis(out))
     }
 }
@@ -95,7 +108,9 @@ pub fn cmd_compile(input: &str) -> Result<String, CliError> {
     if compiled.is_consistent() {
         Ok(format!("{}\n", compiled.goal))
     } else {
-        Err(CliError::analysis("nopath (inconsistent specification)\n".to_owned()))
+        Err(CliError::analysis(
+            "nopath (inconsistent specification)\n".to_owned(),
+        ))
     }
 }
 
@@ -136,10 +151,12 @@ pub fn cmd_simulate(input: &str, runs: usize) -> Result<String, CliError> {
     let spec = load(input)?;
     let compiled = compile_spec(&spec)?;
     if !compiled.is_consistent() {
-        return Err(CliError::analysis("inconsistent specification: nothing to simulate\n"));
+        return Err(CliError::analysis(
+            "inconsistent specification: nothing to simulate\n",
+        ));
     }
-    let program = Program::compile(&compiled.goal)
-        .map_err(|e| CliError::analysis(format!("{e}\n")))?;
+    let program =
+        Program::compile(&compiled.goal).map_err(|e| CliError::analysis(format!("{e}\n")))?;
     let sim = ctr_runtime::simulate(&program, runs, 0xC7A0);
     let mut out = String::new();
     let _ = writeln!(
@@ -165,7 +182,9 @@ pub fn cmd_dot(input: &str) -> Result<String, CliError> {
     let spec = load(input)?;
     let compiled = compile_spec(&spec)?;
     if !compiled.is_consistent() {
-        return Err(CliError::analysis("inconsistent specification: nothing to draw\n"));
+        return Err(CliError::analysis(
+            "inconsistent specification: nothing to draw\n",
+        ));
     }
     Ok(ctr_workflow::goal_to_dot(&spec.name, &compiled.goal))
 }
@@ -176,7 +195,10 @@ pub fn cmd_verify(input: &str, property: &str) -> Result<String, CliError> {
     let spec = load(input)?;
     let property: Constraint =
         parse_constraint(property).map_err(|e| CliError::usage(format!("property: {e}")))?;
-    match spec.verify(&property).map_err(|e| CliError::usage(e.to_string()))? {
+    match spec
+        .verify(&property)
+        .map_err(|e| CliError::usage(e.to_string()))?
+    {
         Verification::Holds => Ok(format!("HOLDS: every execution satisfies {property}\n")),
         Verification::CounterExample(ce) => Err(CliError::analysis(format!(
             "VIOLATED: {property}\nmost general counterexample:\n  {ce}\n"
@@ -192,10 +214,19 @@ pub fn cmd_minimize(input: &str) -> Result<String, CliError> {
         .map_err(|e| CliError::usage(e.to_string()))?;
     let mut out = String::new();
     for (i, c) in spec.constraints.iter().enumerate() {
-        let verdict = if kept.contains(&i) { "kept     " } else { "redundant" };
+        let verdict = if kept.contains(&i) {
+            "kept     "
+        } else {
+            "redundant"
+        };
         let _ = writeln!(out, "  [{verdict}] {c}");
     }
-    let _ = writeln!(out, "{} of {} constraints retained", kept.len(), spec.constraints.len());
+    let _ = writeln!(
+        out,
+        "{} of {} constraints retained",
+        kept.len(),
+        spec.constraints.len()
+    );
     Ok(out)
 }
 
@@ -204,16 +235,20 @@ pub fn cmd_schedule(input: &str) -> Result<String, CliError> {
     let spec = load(input)?;
     let compiled = compile_spec(&spec)?;
     if !compiled.is_consistent() {
-        return Err(CliError::analysis("inconsistent specification: nothing to schedule\n"));
+        return Err(CliError::analysis(
+            "inconsistent specification: nothing to schedule\n",
+        ));
     }
-    let program = Program::compile(&compiled.goal)
-        .map_err(|e| CliError::analysis(format!("{e}\n")))?;
+    let program =
+        Program::compile(&compiled.goal).map_err(|e| CliError::analysis(format!("{e}\n")))?;
     let mut scheduler = Scheduler::new(&program);
     let mut out = String::new();
     while !scheduler.is_complete() {
         let eligible = scheduler.eligible();
         let Some(step) = eligible.first().copied() else {
-            return Err(CliError::analysis("deadlock while scheduling (knot at run time)\n"));
+            return Err(CliError::analysis(
+                "deadlock while scheduling (knot at run time)\n",
+            ));
         };
         let shown: Vec<String> = eligible
             .iter()
@@ -225,8 +260,7 @@ pub fn cmd_schedule(input: &str) -> Result<String, CliError> {
         }
         scheduler.fire(step.node);
     }
-    let path: Vec<String> =
-        scheduler.trace().iter().map(ToString::to_string).collect();
+    let path: Vec<String> = scheduler.trace().iter().map(ToString::to_string).collect();
     let _ = writeln!(out, "schedule: {}", path.join(" -> "));
     Ok(out)
 }
@@ -236,18 +270,28 @@ pub fn cmd_enumerate(input: &str, limit: usize) -> Result<String, CliError> {
     let spec = load(input)?;
     let compiled = compile_spec(&spec)?;
     if !compiled.is_consistent() {
-        return Err(CliError::analysis("inconsistent specification: no executions\n"));
+        return Err(CliError::analysis(
+            "inconsistent specification: no executions\n",
+        ));
     }
-    let program = Program::compile(&compiled.goal)
-        .map_err(|e| CliError::analysis(format!("{e}\n")))?;
+    let program =
+        Program::compile(&compiled.goal).map_err(|e| CliError::analysis(format!("{e}\n")))?;
     let traces = Scheduler::new(&program).enumerate_traces(limit);
     let mut out = String::new();
     for t in &traces {
         let names: Vec<&str> = t.iter().map(|s| s.as_str()).collect();
         let _ = writeln!(out, "  {}", names.join(" -> "));
     }
-    let _ = writeln!(out, "{} execution(s){}", traces.len(),
-        if traces.len() >= limit { " (limit reached)" } else { "" });
+    let _ = writeln!(
+        out,
+        "{} execution(s){}",
+        traces.len(),
+        if traces.len() >= limit {
+            " (limit reached)"
+        } else {
+            ""
+        }
+    );
     Ok(out)
 }
 
@@ -307,8 +351,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "simulate" => match args {
             [_, path] => cmd_simulate(&read(path)?, 1000),
             [_, path, flag, n] if flag == "-n" || flag == "--runs" => {
-                let runs: usize =
-                    n.parse().map_err(|_| CliError::usage("RUNS must be a number"))?;
+                let runs: usize = n
+                    .parse()
+                    .map_err(|_| CliError::usage("RUNS must be a number"))?;
                 cmd_simulate(&read(path)?, runs)
             }
             _ => Err(CliError::usage(USAGE)),
@@ -316,14 +361,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "enumerate" => match args {
             [_, path] => cmd_enumerate(&read(path)?, 50),
             [_, path, flag, n] if flag == "-n" || flag == "--limit" => {
-                let limit: usize =
-                    n.parse().map_err(|_| CliError::usage("LIMIT must be a number"))?;
+                let limit: usize = n
+                    .parse()
+                    .map_err(|_| CliError::usage("LIMIT must be a number"))?;
                 cmd_enumerate(&read(path)?, limit)
             }
             _ => Err(CliError::usage(USAGE)),
         },
         "help" | "--help" | "-h" | "" => Ok(USAGE.to_owned()),
-        other => Err(CliError::usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -374,7 +422,9 @@ mod tests {
 
     #[test]
     fn verify_holds_and_violated() {
-        assert!(cmd_verify(SPEC, "klein_order(b, c)").unwrap().contains("HOLDS"));
+        assert!(cmd_verify(SPEC, "klein_order(b, c)")
+            .unwrap()
+            .contains("HOLDS"));
         let err = cmd_verify(SPEC, "before(c, b)").unwrap_err();
         assert_eq!(err.code, 1);
         assert!(err.message.contains("counterexample"));
@@ -425,7 +475,10 @@ mod tests {
         ";
         let out = cmd_report(spec).unwrap();
         assert!(out.contains("[DEAD     ] c"));
-        assert!(out.contains("[mandatory] b"), "with c dead, b becomes mandatory");
+        assert!(
+            out.contains("[mandatory] b"),
+            "with c dead, b becomes mandatory"
+        );
         assert!(out.contains("1 activity can never execute"));
     }
 
@@ -440,7 +493,10 @@ mod tests {
     fn dot_renders_a_digraph() {
         let out = cmd_dot(SPEC).unwrap();
         assert!(out.starts_with("digraph \"demo\""));
-        assert!(out.contains("send xi"), "compiled channel appears in the drawing");
+        assert!(
+            out.contains("send xi"),
+            "compiled channel appears in the drawing"
+        );
         let err = cmd_dot(INCONSISTENT).unwrap_err();
         assert_eq!(err.code, 1);
     }

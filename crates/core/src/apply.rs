@@ -30,6 +30,41 @@ use crate::constraints::{Basic, Conjunct, Constraint, NormalForm};
 use crate::goal::{conc, isolated, or, seq, Channel, Goal};
 use crate::symbol::Symbol;
 
+/// How the compiler distributes independent rewriting work over threads.
+///
+/// The parallel and sequential paths produce **bit-identical** output:
+/// channel numbering is fixed up front by pre-partitioning the allocator
+/// (see [`ChannelAlloc::reserve`]) and results are merged in input order,
+/// so the mode only changes wall-clock time, never the compiled goal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Parallelism {
+    /// Parallelize when the estimated work is large enough to amortize
+    /// thread spawn cost; stay sequential on small goals.
+    #[default]
+    Auto,
+    /// Always sequential — the reference path for differential tests.
+    Never,
+    /// Always parallel, regardless of size — lets tests exercise the
+    /// threaded path on small inputs.
+    Always,
+}
+
+/// Estimated-work floor (goal nodes × independent tasks) above which
+/// `Parallelism::Auto` fans out.
+const PAR_WORK_THRESHOLD: usize = 1 << 10;
+
+impl Parallelism {
+    /// Whether to fan out `tasks` independent pieces of work over a goal
+    /// of `size` nodes.
+    fn go(self, size: usize, tasks: usize) -> bool {
+        match self {
+            Parallelism::Never => false,
+            Parallelism::Always => tasks > 1,
+            Parallelism::Auto => tasks > 1 && size.saturating_mul(tasks) >= PAR_WORK_THRESHOLD,
+        }
+    }
+}
+
 /// Allocator of fresh synchronization channels.
 ///
 /// Each order-constraint compilation must use a channel "new" with respect
@@ -60,6 +95,47 @@ impl ChannelAlloc {
         self.next += 1;
         c
     }
+
+    /// Splits off an allocator owning the next `budget` channel numbers,
+    /// advancing `self` past them. Pre-partitioning ranges this way gives
+    /// every independent disjunct a fixed numbering regardless of the
+    /// order (or thread) it runs on, which is what makes the parallel
+    /// compile bit-identical to the sequential one. Unused slots in a
+    /// range are simply never materialized; channels stay unique either
+    /// way.
+    pub fn reserve(&mut self, budget: u32) -> ChannelAlloc {
+        let start = self.next;
+        self.next += budget;
+        ChannelAlloc { next: start }
+    }
+}
+
+/// Upper bound on the channels one conjunct can allocate: one per order
+/// basic ([`apply_order`] allocates at most once, and only for orders).
+fn order_budget(conj: &Conjunct) -> u32 {
+    conj.iter()
+        .filter(|b| matches!(b, Basic::Order(..)))
+        .count() as u32
+}
+
+/// Applies `f` to every child of an n-ary node. Returns `None` when every
+/// result is the same allocation as the original child — the caller then
+/// reuses the whole node instead of rebuilding it, so sharing survives even
+/// when the event fingerprint gave a false positive. Otherwise returns the
+/// rewritten child vector, with untouched children as `Arc` bumps.
+fn map_children_shared(
+    gs: &crate::goal::GoalList,
+    mut f: impl FnMut(&Goal) -> Goal,
+) -> Option<Vec<Goal>> {
+    let mut out: Option<Vec<Goal>> = None;
+    for (i, child) in gs.iter().enumerate() {
+        let new = f(child);
+        if out.is_none() && new.ptr_eq(child) {
+            continue;
+        }
+        out.get_or_insert_with(|| gs[..i].to_vec()).push(new);
+    }
+    out
 }
 
 /// `Apply(∇α, T)` — Definition 5.1, positive primitive.
@@ -67,6 +143,13 @@ impl ChannelAlloc {
 /// The result's executions are the executions of `T` in which `α` occurs.
 /// Returns `¬path` when no execution of `T` contains `α`.
 pub fn apply_must(alpha: Symbol, goal: &Goal) -> Goal {
+    // Event-index pruning: a subtree whose cached fingerprint excludes α
+    // cannot witness ∇α, so the whole walk below would only rebuild it
+    // into ¬path. Answer in O(1) instead — this is what keeps the per-
+    // position loop over `⊗`/`|` children linear in practice.
+    if !goal.may_mention(alpha) {
+        return Goal::NoPath;
+    }
     match goal {
         Goal::Atom(a) => {
             if a.as_event() == Some(alpha) {
@@ -119,6 +202,12 @@ pub fn apply_must(alpha: Symbol, goal: &Goal) -> Goal {
 /// occur: every occurrence of `α` is replaced by `¬path`, which prunes the
 /// containing conjunction and drops the containing `∨`-branch.
 pub fn apply_must_not(alpha: Symbol, goal: &Goal) -> Goal {
+    // Event-index pruning: a subtree provably not mentioning α is its own
+    // rewrite. Returning the clone (an `Arc` bump) hands back the *same*
+    // allocation, so unchanged branches stay shared with the input goal.
+    if !goal.may_mention(alpha) {
+        return goal.clone();
+    }
     match goal {
         Goal::Atom(a) => {
             if a.as_event() == Some(alpha) {
@@ -127,10 +216,26 @@ pub fn apply_must_not(alpha: Symbol, goal: &Goal) -> Goal {
                 goal.clone()
             }
         }
-        Goal::Seq(gs) => seq(gs.iter().map(|g| apply_must_not(alpha, g)).collect()),
-        Goal::Conc(gs) => conc(gs.iter().map(|g| apply_must_not(alpha, g)).collect()),
-        Goal::Or(gs) => or(gs.iter().map(|g| apply_must_not(alpha, g)).collect()),
-        Goal::Isolated(g) => isolated(apply_must_not(alpha, g)),
+        Goal::Seq(gs) => match map_children_shared(gs, |g| apply_must_not(alpha, g)) {
+            Some(kids) => seq(kids),
+            None => goal.clone(),
+        },
+        Goal::Conc(gs) => match map_children_shared(gs, |g| apply_must_not(alpha, g)) {
+            Some(kids) => conc(kids),
+            None => goal.clone(),
+        },
+        Goal::Or(gs) => match map_children_shared(gs, |g| apply_must_not(alpha, g)) {
+            Some(kids) => or(kids),
+            None => goal.clone(),
+        },
+        Goal::Isolated(g) => {
+            let new = apply_must_not(alpha, g);
+            if new.ptr_eq(g) {
+                goal.clone()
+            } else {
+                isolated(new)
+            }
+        }
         // Occurrences inside ◇ are hypothetical — they do not appear on the
         // execution path, so they cannot violate ¬∇α.
         Goal::Possible(_) => goal.clone(),
@@ -142,6 +247,11 @@ pub fn apply_must_not(alpha: Symbol, goal: &Goal) -> Goal {
 /// event `α` becomes `α ⊗ send(ξ)` and every occurrence of `β` becomes
 /// `receive(ξ) ⊗ β`.
 pub fn sync(alpha: Symbol, beta: Symbol, xi: Channel, goal: &Goal) -> Goal {
+    // Event-index pruning: subtrees mentioning neither α nor β are
+    // returned as-is (shared), skipping the rebuild entirely.
+    if !goal.may_mention(alpha) && !goal.may_mention(beta) {
+        return goal.clone();
+    }
     match goal {
         Goal::Atom(a) => {
             if a.as_event() == Some(alpha) {
@@ -152,10 +262,26 @@ pub fn sync(alpha: Symbol, beta: Symbol, xi: Channel, goal: &Goal) -> Goal {
                 goal.clone()
             }
         }
-        Goal::Seq(gs) => seq(gs.iter().map(|g| sync(alpha, beta, xi, g)).collect()),
-        Goal::Conc(gs) => conc(gs.iter().map(|g| sync(alpha, beta, xi, g)).collect()),
-        Goal::Or(gs) => or(gs.iter().map(|g| sync(alpha, beta, xi, g)).collect()),
-        Goal::Isolated(g) => isolated(sync(alpha, beta, xi, g)),
+        Goal::Seq(gs) => match map_children_shared(gs, |g| sync(alpha, beta, xi, g)) {
+            Some(kids) => seq(kids),
+            None => goal.clone(),
+        },
+        Goal::Conc(gs) => match map_children_shared(gs, |g| sync(alpha, beta, xi, g)) {
+            Some(kids) => conc(kids),
+            None => goal.clone(),
+        },
+        Goal::Or(gs) => match map_children_shared(gs, |g| sync(alpha, beta, xi, g)) {
+            Some(kids) => or(kids),
+            None => goal.clone(),
+        },
+        Goal::Isolated(g) => {
+            let new = sync(alpha, beta, xi, g);
+            if new.ptr_eq(g) {
+                goal.clone()
+            } else {
+                isolated(new)
+            }
+        }
         // Hypothetical occurrences inside ◇ never execute, so they take no
         // part in synchronization.
         Goal::Possible(_) => goal.clone(),
@@ -192,8 +318,13 @@ pub fn apply_basic(basic: &Basic, goal: &Goal, channels: &mut ChannelAlloc) -> G
 /// application preserves the unique-event property, so the next may be
 /// applied to its output (Definition 5.5).
 pub fn apply_conjunct(conj: &Conjunct, goal: &Goal, channels: &mut ChannelAlloc) -> Goal {
-    let mut current = goal.clone();
-    for basic in conj {
+    // An empty conjunct is the trivially-true constraint: the input goal
+    // is its own compilation (shared, not copied).
+    let Some((first, rest)) = conj.split_first() else {
+        return goal.clone();
+    };
+    let mut current = apply_basic(first, goal, channels);
+    for basic in rest {
         if current.is_nopath() {
             return Goal::NoPath;
         }
@@ -204,8 +335,52 @@ pub fn apply_conjunct(conj: &Conjunct, goal: &Goal, channels: &mut ChannelAlloc)
 
 /// `Apply` of one normalized constraint:
 /// `Apply(C₁ ∨ C₂, T) = Apply(C₁, T) ∨ Apply(C₂, T)`.
+///
+/// Equivalent to [`apply_normal_form_with`] at [`Parallelism::Auto`].
 pub fn apply_normal_form(nf: &NormalForm, goal: &Goal, channels: &mut ChannelAlloc) -> Goal {
-    or(nf.disjuncts.iter().map(|conj| apply_conjunct(conj, goal, channels)).collect())
+    apply_normal_form_with(nf, goal, channels, Parallelism::Auto)
+}
+
+/// [`apply_normal_form`] with an explicit parallelism mode.
+///
+/// The disjuncts are independent — each rewrites the *same* input goal —
+/// so they fan out across threads. Channel ranges are pre-partitioned per
+/// disjunct (see [`ChannelAlloc::reserve`]) and the results merged in
+/// disjunct order, making the output identical across modes.
+pub fn apply_normal_form_with(
+    nf: &NormalForm,
+    goal: &Goal,
+    channels: &mut ChannelAlloc,
+    par: Parallelism,
+) -> Goal {
+    let disjuncts = &nf.disjuncts;
+    if disjuncts.len() == 1 {
+        return apply_conjunct(&disjuncts[0], goal, channels);
+    }
+    let mut allocs: Vec<ChannelAlloc> = disjuncts
+        .iter()
+        .map(|conj| channels.reserve(order_budget(conj)))
+        .collect();
+    let results: Vec<Goal> = if par.go(goal.size(), disjuncts.len()) {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = disjuncts
+                .iter()
+                .zip(allocs.iter_mut())
+                .map(|(conj, alloc)| scope.spawn(move || apply_conjunct(conj, goal, alloc)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("apply worker panicked"))
+                .collect()
+        })
+    } else {
+        disjuncts
+            .iter()
+            .zip(allocs.iter_mut())
+            .map(|(conj, alloc)| apply_conjunct(conj, goal, alloc))
+            .collect()
+    };
+    or(results)
 }
 
 /// `Apply(C, G)` for a whole constraint set `C = δ₁ ∧ … ∧ δₙ`
@@ -216,14 +391,31 @@ pub fn apply_normal_form(nf: &NormalForm, goal: &Goal, channels: &mut ChannelAll
 /// The result may still contain *knots* — cyclic send/receive waits — and
 /// must be passed through [`excise`](crate::excise::excise) before it is
 /// used as an executable specification.
+///
+/// Equivalent to [`apply_all_with`] at [`Parallelism::Auto`].
 pub fn apply_all(constraints: &[Constraint], goal: &Goal, channels: &mut ChannelAlloc) -> Goal {
-    let mut current = goal.clone();
-    for c in constraints {
+    apply_all_with(constraints, goal, channels, Parallelism::Auto)
+}
+
+/// [`apply_all`] with an explicit parallelism mode. Constraints still
+/// compose sequentially (each rewrites the previous output); only the
+/// disjuncts *within* each constraint fan out.
+pub fn apply_all_with(
+    constraints: &[Constraint],
+    goal: &Goal,
+    channels: &mut ChannelAlloc,
+    par: Parallelism,
+) -> Goal {
+    // No constraints: the goal compiles to itself — share it untouched.
+    let Some((first, rest)) = constraints.split_first() else {
+        return goal.clone();
+    };
+    let mut current = apply_normal_form_with(&first.normalize(), goal, channels, par);
+    for c in rest {
         if current.is_nopath() {
             return Goal::NoPath;
         }
-        let nf = c.normalize();
-        current = apply_normal_form(&nf, &current, channels);
+        current = apply_normal_form_with(&c.normalize(), &current, channels, par);
     }
     current
 }
@@ -231,8 +423,17 @@ pub fn apply_all(constraints: &[Constraint], goal: &Goal, channels: &mut Channel
 /// Convenience wrapper: compiles `constraints` into `goal` with channels
 /// fresh for the goal.
 pub fn apply(constraints: &[Constraint], goal: &Goal) -> Goal {
+    apply_with(constraints, goal, Parallelism::Auto)
+}
+
+/// [`apply`] with an explicit parallelism mode.
+pub fn apply_with(constraints: &[Constraint], goal: &Goal, par: Parallelism) -> Goal {
+    if constraints.is_empty() {
+        // Skip even the channel scan — nothing will be allocated.
+        return goal.clone();
+    }
     let mut channels = ChannelAlloc::fresh_for(goal);
-    apply_all(constraints, goal, &mut channels)
+    apply_all_with(constraints, goal, &mut channels, par)
 }
 
 #[cfg(test)]
@@ -264,7 +465,11 @@ mod tests {
     #[test]
     fn paper_example_after_definition_5_1() {
         // Apply(∇β, γ ⊗ (α ∨ β ∨ η) ⊗ δ) = γ ⊗ β ⊗ δ
-        let t = seq(vec![g("gamma"), or(vec![g("alpha"), g("beta"), g("eta")]), g("delta")]);
+        let t = seq(vec![
+            g("gamma"),
+            or(vec![g("alpha"), g("beta"), g("eta")]),
+            g("delta"),
+        ]);
         let result = apply_must(sym("beta"), &t);
         assert_eq!(result, seq(vec![g("gamma"), g("beta"), g("delta")]));
     }
@@ -272,9 +477,16 @@ mod tests {
     #[test]
     fn paper_example_negative_primitive() {
         // Apply(¬∇β, γ ⊗ (α ∨ β ∨ η) ⊗ δ) = γ ⊗ (α ∨ η) ⊗ δ
-        let t = seq(vec![g("gamma"), or(vec![g("alpha"), g("beta"), g("eta")]), g("delta")]);
+        let t = seq(vec![
+            g("gamma"),
+            or(vec![g("alpha"), g("beta"), g("eta")]),
+            g("delta"),
+        ]);
         let result = apply_must_not(sym("beta"), &t);
-        assert_eq!(result, seq(vec![g("gamma"), or(vec![g("alpha"), g("eta")]), g("delta")]));
+        assert_eq!(
+            result,
+            seq(vec![g("gamma"), or(vec![g("alpha"), g("eta")]), g("delta")])
+        );
     }
 
     #[test]
@@ -306,7 +518,12 @@ mod tests {
         let xi = Channel(0);
         assert_eq!(
             result,
-            seq(vec![Goal::Receive(xi), g("beta"), g("alpha"), Goal::Send(xi)])
+            seq(vec![
+                Goal::Receive(xi),
+                g("beta"),
+                g("alpha"),
+                Goal::Send(xi)
+            ])
         );
     }
 
@@ -337,7 +554,11 @@ mod tests {
 
     #[test]
     fn must_semantics_on_nested_goal() {
-        let t = seq(vec![g("s"), or(vec![seq(vec![g("a"), g("b")]), g("c")]), g("t")]);
+        let t = seq(vec![
+            g("s"),
+            or(vec![seq(vec![g("a"), g("b")]), g("c")]),
+            g("t"),
+        ]);
         assert_apply_equiv(&[Constraint::must("b")], &t);
         assert_apply_equiv(&[Constraint::must_not("c")], &t);
         assert_apply_equiv(&[Constraint::must("c")], &t);
@@ -357,7 +578,11 @@ mod tests {
 
     #[test]
     fn multiple_constraints_compose() {
-        let t = conc(vec![or(vec![g("a"), g("x")]), g("b"), or(vec![g("c"), g("y")])]);
+        let t = conc(vec![
+            or(vec![g("a"), g("x")]),
+            g("b"),
+            or(vec![g("c"), g("y")]),
+        ]);
         assert_apply_equiv(
             &[Constraint::klein_order("a", "b"), Constraint::must_not("y")],
             &t,
@@ -415,7 +640,9 @@ mod tests {
     fn size_growth_is_bounded_by_d_per_constraint() {
         // A chain of 6 binary choices; one Klein constraint (d = 3) at most
         // triples the goal plus constant sync overhead.
-        let t = seq((0..6).map(|i| or(vec![g(&format!("l{i}")), g(&format!("r{i}"))])).collect());
+        let t = seq((0..6)
+            .map(|i| or(vec![g(&format!("l{i}")), g(&format!("r{i}"))]))
+            .collect());
         let base = t.size();
         let compiled = apply(&[Constraint::klein_order("l0", "l5")], &t);
         assert!(
@@ -427,9 +654,48 @@ mod tests {
     }
 
     #[test]
+    fn apply_shares_untouched_subtrees() {
+        // Rewrites rebuild only the spine: syncing `a < b` through
+        // `(big ⊗ x) | (big ⊗ a)` must return the untouched `big ⊗ x`
+        // branch — and the shared `big` prefix inside the rewritten
+        // branch — as the *same* Arc allocations, not copies.
+        let big = conc((0..8).map(|i| g(&format!("p{i}"))).collect());
+        let left = seq(vec![big.clone(), g("x")]);
+        let right = seq(vec![big.clone(), g("a")]);
+        let goal = conc(vec![left.clone(), right]);
+        let rewritten = sync(sym("a"), sym("b"), Channel(99), &goal);
+        let Goal::Conc(branches) = &rewritten else {
+            panic!("expected a Conc, got {rewritten}");
+        };
+        let (Goal::Seq(got), Goal::Seq(want)) = (&branches[0], &left) else {
+            panic!("expected Seq branches");
+        };
+        assert!(
+            std::sync::Arc::ptr_eq(got, want),
+            "untouched branch was rebuilt"
+        );
+        let (Goal::Seq(touched), Goal::Conc(orig_big)) = (&branches[1], &big) else {
+            panic!("expected Seq branch and Conc prefix");
+        };
+        let Goal::Conc(inner_big) = &touched[0] else {
+            panic!(
+                "expected shared prefix inside rewritten branch, got {}",
+                touched[0]
+            );
+        };
+        assert!(
+            std::sync::Arc::ptr_eq(inner_big, orig_big),
+            "shared prefix was rebuilt"
+        );
+    }
+
+    #[test]
     fn serial_three_event_constraint_semantics() {
         let t = conc(vec![g("a"), g("b"), g("c")]);
-        assert_apply_equiv(&[Constraint::serial(vec![sym("a"), sym("b"), sym("c")])], &t);
+        assert_apply_equiv(
+            &[Constraint::serial(vec![sym("a"), sym("b"), sym("c")])],
+            &t,
+        );
     }
 
     #[test]

@@ -332,12 +332,16 @@ pub struct NormalForm {
 impl NormalForm {
     /// The trivially true constraint.
     pub fn trivial() -> NormalForm {
-        NormalForm { disjuncts: vec![Vec::new()] }
+        NormalForm {
+            disjuncts: vec![Vec::new()],
+        }
     }
 
     /// The unsatisfiable constraint.
     pub fn unsat() -> NormalForm {
-        NormalForm { disjuncts: Vec::new() }
+        NormalForm {
+            disjuncts: Vec::new(),
+        }
     }
 
     /// The `d` of Theorem 5.11 for this constraint.
@@ -418,7 +422,9 @@ pub fn split_serials(c: &Constraint) -> Constraint {
                 c.clone()
             } else {
                 Constraint::and(
-                    es.windows(2).map(|w| Constraint::Serial(vec![w[0], w[1]])).collect(),
+                    es.windows(2)
+                        .map(|w| Constraint::Serial(vec![w[0], w[1]]))
+                        .collect(),
                 )
             }
         }
@@ -476,7 +482,9 @@ pub fn normalize(c: &Constraint) -> NormalForm {
         for b in &conj {
             match *b {
                 Basic::Must(e) => {
-                    let contradicted = conj.iter().any(|o| matches!(o, Basic::MustNot(x) if *x == e));
+                    let contradicted = conj
+                        .iter()
+                        .any(|o| matches!(o, Basic::MustNot(x) if *x == e));
                     if contradicted {
                         continue 'outer;
                     }
@@ -503,8 +511,9 @@ pub fn normalize(c: &Constraint) -> NormalForm {
                         // unique-event goals.
                         continue 'outer;
                     }
-                    let reversed =
-                        conj.iter().any(|o| matches!(o, Basic::Order(x, y) if *x == bb && *y == a));
+                    let reversed = conj
+                        .iter()
+                        .any(|o| matches!(o, Basic::Order(x, y) if *x == bb && *y == a));
                     if reversed {
                         continue 'outer;
                     }
@@ -530,7 +539,9 @@ mod tests {
         assert_eq!(nf.disjunct_count(), 3);
         assert!(nf.disjuncts.contains(&vec![Basic::MustNot(sym("e"))]));
         assert!(nf.disjuncts.contains(&vec![Basic::MustNot(sym("f"))]));
-        assert!(nf.disjuncts.contains(&vec![Basic::Order(sym("e"), sym("f"))]));
+        assert!(nf
+            .disjuncts
+            .contains(&vec![Basic::Order(sym("e"), sym("f"))]));
     }
 
     #[test]
@@ -545,7 +556,9 @@ mod tests {
         let c = Constraint::not(Constraint::order("e1", "e2"));
         let nf = c.normalize();
         assert_eq!(nf.disjunct_count(), 3);
-        assert!(nf.disjuncts.contains(&vec![Basic::Order(sym("e2"), sym("e1"))]));
+        assert!(nf
+            .disjuncts
+            .contains(&vec![Basic::Order(sym("e2"), sym("e1"))]));
     }
 
     #[test]
@@ -593,7 +606,10 @@ mod tests {
 
     #[test]
     fn opposite_orders_are_unsat() {
-        let c = Constraint::and(vec![Constraint::order("a", "b"), Constraint::order("b", "a")]);
+        let c = Constraint::and(vec![
+            Constraint::order("a", "b"),
+            Constraint::order("b", "a"),
+        ]);
         assert_eq!(c.normalize(), NormalForm::unsat());
     }
 
@@ -623,14 +639,19 @@ mod tests {
         assert!(Constraint::klein_exists("a", "b").is_existence());
         assert!(!Constraint::klein_order("a", "b").is_existence());
         assert!(Constraint::order("a", "b").is_order_only());
-        assert!(Constraint::and(vec![Constraint::order("a", "b"), Constraint::must("c")])
-            .is_order_only());
+        assert!(
+            Constraint::and(vec![Constraint::order("a", "b"), Constraint::must("c")])
+                .is_order_only()
+        );
         assert!(!Constraint::klein_order("a", "b").is_order_only());
     }
 
     #[test]
     fn trivial_and_unsat_forms() {
-        assert_eq!(Constraint::serial(vec![]).normalize(), NormalForm::trivial());
+        assert_eq!(
+            Constraint::serial(vec![]).normalize(),
+            NormalForm::trivial()
+        );
         assert_eq!(NormalForm::trivial().disjunct_count(), 1);
         assert_eq!(NormalForm::unsat().disjunct_count(), 0);
     }

@@ -43,6 +43,7 @@
 //! knot-entangled choices and runs in time proportional to the goal size
 //! (Theorem 5.11) — measured in experiment E2.
 
+use crate::apply::Parallelism;
 use crate::goal::{Channel, Goal};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -80,7 +81,11 @@ impl fmt::Display for KnotReport {
                 write!(f, "] in `{}`", self.subgoal)
             }
             KnotKind::DeadReceive(c) => {
-                write!(f, "receive({c}) can never be satisfied in `{}`", self.subgoal)
+                write!(
+                    f,
+                    "receive({c}) can never be satisfied in `{}`",
+                    self.subgoal
+                )
             }
         }
     }
@@ -106,19 +111,92 @@ pub fn excise(goal: &Goal) -> Goal {
     excise_with_diagnostics(goal).goal
 }
 
-/// [`excise`] with `G_fail` diagnostics.
+/// [`excise`] with `G_fail` diagnostics. Equivalent to
+/// [`excise_with_diagnostics_par`] at [`Parallelism::Auto`].
 pub fn excise_with_diagnostics(goal: &Goal) -> ExciseResult {
+    excise_with_diagnostics_par(goal, Parallelism::Auto)
+}
+
+/// [`excise_with_diagnostics`] with an explicit parallelism mode.
+///
+/// A goal whose root is `∨` excises each branch independently (step 1 of
+/// the algorithm — the distribution is exact), so the branches fan out
+/// across threads. Branch results, knot reports, and the knot-freeness
+/// flag are merged back in branch order, making the output identical
+/// across modes.
+pub fn excise_with_diagnostics_par(goal: &Goal, par: Parallelism) -> ExciseResult {
     let mut reports = Vec::new();
     let mut guaranteed = true;
-    let out = excise_inner(goal, &mut reports, &mut guaranteed);
-    ExciseResult { goal: out.simplify(), reports, guaranteed_knot_free: guaranteed }
+    let out = match goal {
+        Goal::Or(gs) if should_fan_out(par, goal, gs.len()) => {
+            crate::goal::or(excise_branches_parallel(gs, &mut reports, &mut guaranteed))
+        }
+        _ => excise_inner(goal, &mut reports, &mut guaranteed),
+    };
+    ExciseResult {
+        goal: out.simplify(),
+        reports,
+        guaranteed_knot_free: guaranteed,
+    }
+}
+
+fn should_fan_out(par: Parallelism, goal: &Goal, branches: usize) -> bool {
+    match par {
+        Parallelism::Never => false,
+        Parallelism::Always => branches > 1,
+        Parallelism::Auto => branches > 1 && goal.size() >= 1 << 11,
+    }
+}
+
+/// Excises the branches of a root `∨` on a pool of scoped threads: the
+/// branch list is split into contiguous chunks, one worker per chunk,
+/// each collecting its own reports; chunk results are then concatenated
+/// in order so the merged output matches the sequential path exactly.
+fn excise_branches_parallel(
+    gs: &[Goal],
+    reports: &mut Vec<KnotReport>,
+    guaranteed: &mut bool,
+) -> Vec<Goal> {
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(gs.len());
+    let chunk_len = gs.len().div_ceil(workers);
+    let chunk_results: Vec<(Vec<Goal>, Vec<KnotReport>, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = gs
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut chunk_reports = Vec::new();
+                    let mut chunk_guaranteed = true;
+                    let excised: Vec<Goal> = chunk
+                        .iter()
+                        .map(|g| excise_inner(g, &mut chunk_reports, &mut chunk_guaranteed))
+                        .collect();
+                    (excised, chunk_reports, chunk_guaranteed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("excise worker panicked"))
+            .collect()
+    });
+    let mut branches = Vec::with_capacity(gs.len());
+    for (excised, chunk_reports, chunk_guaranteed) in chunk_results {
+        branches.extend(excised);
+        reports.extend(chunk_reports);
+        *guaranteed &= chunk_guaranteed;
+    }
+    branches
 }
 
 fn excise_inner(goal: &Goal, reports: &mut Vec<KnotReport>, guaranteed: &mut bool) -> Goal {
     match goal {
         // Exact distribution at a disjunctive root.
         Goal::Or(gs) => crate::goal::or(
-            gs.iter().map(|g| excise_inner(g, reports, guaranteed)).collect(),
+            gs.iter()
+                .map(|g| excise_inner(g, reports, guaranteed))
+                .collect(),
         ),
         _ => excise_region(goal, reports, guaranteed),
     }
@@ -283,8 +361,17 @@ fn collect_occurrences(goal: &Goal) -> Vec<Occ> {
             Goal::Atom(_) | Goal::Empty | Goal::NoPath => {}
         }
     }
-    let mut col = Collector { occs: Vec::new(), next_block: 0 };
-    walk(goal, &mut Vec::new(), &mut Vec::new(), &mut Vec::new(), &mut col);
+    let mut col = Collector {
+        occs: Vec::new(),
+        next_block: 0,
+    };
+    walk(
+        goal,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut col,
+    );
     col.occs
 }
 
@@ -308,7 +395,9 @@ fn excise_region(goal: &Goal, reports: &mut Vec<KnotReport>, guaranteed: &mut bo
             .filter(|(_, s)| compatible(s, r))
             .map(|(i, _)| i)
             .collect();
-        let covered = compatible_sends.iter().any(|&si| guards_implied(&occs[si], r));
+        let covered = compatible_sends
+            .iter()
+            .any(|&si| guards_implied(&occs[si], r));
         if covered {
             continue;
         }
@@ -365,7 +454,9 @@ fn excise_region(goal: &Goal, reports: &mut Vec<KnotReport>, guaranteed: &mut bo
             .expect("block begin exists")
     };
     let end_of = |block: usize| -> usize {
-        occs.iter().position(|o| o.kind == OccKind::BlockEnd(block)).expect("block end exists")
+        occs.iter()
+            .position(|o| o.kind == OccKind::BlockEnd(block))
+            .expect("block end exists")
     };
 
     // Structural block edges: begin → member → end.
@@ -506,28 +597,30 @@ fn expand_and_recurse(
 /// Rebuilds `goal` with the `∨` at `path` replaced by its `branch`-th child.
 fn replace_or_at(goal: &Goal, path: &[usize], branch: usize) -> Goal {
     if path.is_empty() {
-        let Goal::Or(gs) = goal else { unreachable!("path leads to a disjunction") };
+        let Goal::Or(gs) = goal else {
+            unreachable!("path leads to a disjunction")
+        };
         return gs[branch].clone();
     }
     let (head, rest) = (path[0], &path[1..]);
     match goal {
         Goal::Seq(gs) => {
-            let mut out = gs.clone();
+            let mut out = gs.to_vec();
             out[head] = replace_or_at(&gs[head], rest, branch);
-            Goal::Seq(out)
+            Goal::raw_seq(out)
         }
         Goal::Conc(gs) => {
-            let mut out = gs.clone();
+            let mut out = gs.to_vec();
             out[head] = replace_or_at(&gs[head], rest, branch);
-            Goal::Conc(out)
+            Goal::raw_conc(out)
         }
         Goal::Or(gs) => {
-            let mut out = gs.clone();
+            let mut out = gs.to_vec();
             out[head] = replace_or_at(&gs[head], rest, branch);
-            Goal::Or(out)
+            Goal::raw_or(out)
         }
-        Goal::Isolated(g) => Goal::Isolated(Box::new(replace_or_at(g, rest, branch))),
-        Goal::Possible(g) => Goal::Possible(Box::new(replace_or_at(g, rest, branch))),
+        Goal::Isolated(g) => Goal::raw_isolated(replace_or_at(g, rest, branch)),
+        Goal::Possible(g) => Goal::raw_possible(replace_or_at(g, rest, branch)),
         _ => unreachable!("path descends through an interior node"),
     }
 }
@@ -641,7 +734,12 @@ mod tests {
         // receive(ξ) ⊗ β ⊗ α ⊗ send(ξ): the receive waits for a send that
         // can only come later.
         let xi = Channel(0);
-        let goal = seq(vec![Goal::Receive(xi), g("beta"), g("alpha"), Goal::Send(xi)]);
+        let goal = seq(vec![
+            Goal::Receive(xi),
+            g("beta"),
+            g("alpha"),
+            Goal::Send(xi),
+        ]);
         let result = excise_with_diagnostics(&goal);
         assert_eq!(result.goal, Goal::NoPath);
         assert_eq!(result.reports.len(), 1);
@@ -678,7 +776,10 @@ mod tests {
         let compiled = apply(&constraints, &goal);
         let result = excise_with_diagnostics(&compiled);
         assert_eq!(result.goal, seq(vec![g("gamma"), g("eta")]));
-        assert!(!result.reports.is_empty(), "the α-branch knot must be reported");
+        assert!(
+            !result.reports.is_empty(),
+            "the α-branch knot must be reported"
+        );
     }
 
     #[test]
@@ -724,7 +825,10 @@ mod tests {
             Goal::Receive(xi),
         ]);
         let excised = excise(&goal);
-        assert_eq!(excised, seq(vec![g("b"), Goal::Send(xi), Goal::Receive(xi)]));
+        assert_eq!(
+            excised,
+            seq(vec![g("b"), Goal::Send(xi), Goal::Receive(xi)])
+        );
         assert_excise_equiv(&goal);
     }
 
@@ -795,7 +899,10 @@ mod tests {
         for constraints in [
             vec![Constraint::order("a", "b")],
             vec![Constraint::klein_order("b", "a")],
-            vec![Constraint::causes_later("x", "y"), Constraint::klein_exists("a", "b")],
+            vec![
+                Constraint::causes_later("x", "y"),
+                Constraint::klein_exists("a", "b"),
+            ],
         ] {
             let compiled = apply(&constraints, &goal);
             assert_excise_equiv(&compiled);

@@ -62,11 +62,15 @@ impl Formula {
 
     /// Does `trace` satisfy the formula? `budget` bounds the embedded
     /// goal-enumeration work.
-    pub fn satisfied_by(&self, trace: &[Symbol], budget: usize) -> Result<bool, semantics::BudgetExceeded> {
+    pub fn satisfied_by(
+        &self,
+        trace: &[Symbol],
+        budget: usize,
+    ) -> Result<bool, semantics::BudgetExceeded> {
         match self {
-            Formula::Goal(g) => {
-                Ok(semantics::event_traces(g, budget)?.iter().any(|t| t == trace))
-            }
+            Formula::Goal(g) => Ok(semantics::event_traces(g, budget)?
+                .iter()
+                .any(|t| t == trace)),
             Formula::Constraint(c) => Ok(semantics::satisfies(trace, c)),
             Formula::Path => Ok(true),
             Formula::State => Ok(trace.is_empty()),
@@ -152,10 +156,14 @@ fn satisfied_interleaved(
                 return Err(semantics::BudgetExceeded { budget });
             }
             for mask in 0..(1u32 << n) {
-                let mine: Vec<Symbol> =
-                    (0..n).filter(|i| mask & (1 << i) != 0).map(|i| trace[i]).collect();
-                let theirs: Vec<Symbol> =
-                    (0..n).filter(|i| mask & (1 << i) == 0).map(|i| trace[i]).collect();
+                let mine: Vec<Symbol> = (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| trace[i])
+                    .collect();
+                let theirs: Vec<Symbol> = (0..n)
+                    .filter(|i| mask & (1 << i) == 0)
+                    .map(|i| trace[i])
+                    .collect();
                 if head.satisfied_by(&mine, budget)?
                     && satisfied_interleaved(rest, &theirs, budget)?
                 {
@@ -169,11 +177,7 @@ fn satisfied_interleaved(
 
 impl fmt::Display for Formula {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn join(
-            fs: &[Formula],
-            sep: &str,
-            f: &mut fmt::Formatter<'_>,
-        ) -> fmt::Result {
+        fn join(fs: &[Formula], sep: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             write!(f, "(")?;
             for (i, part) in fs.iter().enumerate() {
                 if i > 0 {
@@ -233,11 +237,8 @@ mod tests {
         assert!(Formula::State.satisfied_by(&tr(&[]), BUDGET).unwrap());
         assert!(!Formula::State.satisfied_by(&tr(&["x"]), BUDGET).unwrap());
         // path ⊗ e ⊗ path (the ∇e shorthand) vs state ⊗ e ⊗ state (e alone).
-        let exactly_e = Formula::Serial(vec![
-            Formula::State,
-            Formula::Goal(g("e")),
-            Formula::State,
-        ]);
+        let exactly_e =
+            Formula::Serial(vec![Formula::State, Formula::Goal(g("e")), Formula::State]);
         assert!(exactly_e.satisfied_by(&tr(&["e"]), BUDGET).unwrap());
         assert!(!exactly_e.satisfied_by(&tr(&["x", "e"]), BUDGET).unwrap());
     }
@@ -276,10 +277,7 @@ mod tests {
     #[test]
     fn and_is_constrained_execution() {
         // The declarative G ∧ C.
-        let f = Formula::spec(
-            conc(vec![g("a"), g("b")]),
-            &[Constraint::order("a", "b")],
-        );
+        let f = Formula::spec(conc(vec![g("a"), g("b")]), &[Constraint::order("a", "b")]);
         assert!(f.satisfied_by(&tr(&["a", "b"]), BUDGET).unwrap());
         assert!(!f.satisfied_by(&tr(&["b", "a"]), BUDGET).unwrap());
     }
@@ -289,9 +287,14 @@ mod tests {
         // The headline equivalence, stated at the formula level:
         // executions(Excise(Apply(C, G))) == executions of the formula
         // G ∧ C.
-        let goal = seq(vec![g("s"), conc(vec![g("a"), g("b"), or(vec![g("c"), g("d")])])]);
-        let constraints =
-            [Constraint::klein_order("a", "b"), Constraint::klein_exists("c", "a")];
+        let goal = seq(vec![
+            g("s"),
+            conc(vec![g("a"), g("b"), or(vec![g("c"), g("d")])]),
+        ]);
+        let constraints = [
+            Constraint::klein_order("a", "b"),
+            Constraint::klein_exists("c", "a"),
+        ];
         let formula = Formula::spec(goal.clone(), &constraints);
 
         let compiled = excise(&apply(&constraints, &goal));
@@ -312,7 +315,10 @@ mod tests {
     fn interleaving_search_is_bounded() {
         let f = Formula::Conc(vec![Formula::Path, Formula::Path]);
         let long: Vec<Symbol> = (0..25).map(|i| sym(&format!("long{i}"))).collect();
-        assert!(f.satisfied_by(&long, BUDGET).is_err(), "over the mask limit");
+        assert!(
+            f.satisfied_by(&long, BUDGET).is_err(),
+            "over the mask limit"
+        );
     }
 
     #[test]

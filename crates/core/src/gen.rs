@@ -31,7 +31,11 @@ pub struct GoalShape {
 
 impl Default for GoalShape {
     fn default() -> Self {
-        GoalShape { depth: 4, width: 3, or_bias: 0.34 }
+        GoalShape {
+            depth: 4,
+            width: 3,
+            or_bias: 0.34,
+        }
     }
 }
 
@@ -45,13 +49,7 @@ pub fn random_goal(seed: u64, shape: GoalShape, prefix: &str) -> (Goal, Vec<Symb
     (goal, events)
 }
 
-fn build(
-    rng: &mut StdRng,
-    depth: usize,
-    shape: GoalShape,
-    prefix: &str,
-    next: &mut usize,
-) -> Goal {
+fn build(rng: &mut StdRng, depth: usize, shape: GoalShape, prefix: &str, next: &mut usize) -> Goal {
     // A sliver of empty goals keeps ε-branches (`a ∨ ε`) in the test
     // distribution — they exercise silent-finish scheduling.
     if rng.gen_bool(0.04) {
@@ -63,8 +61,9 @@ fn build(
         return Goal::atom(format!("{prefix}{e}"));
     }
     let width = rng.gen_range(2..=shape.width.max(2));
-    let children: Vec<Goal> =
-        (0..width).map(|_| build(rng, depth - 1, shape, prefix, next)).collect();
+    let children: Vec<Goal> = (0..width)
+        .map(|_| build(rng, depth - 1, shape, prefix, next))
+        .collect();
     if rng.gen_bool(shape.or_bias) {
         // ∨-branches may legally share events, but generating disjoint
         // pools keeps the goal unique-event for every subset of events.
@@ -110,14 +109,16 @@ pub fn random_constraints(seed: u64, events: &[Symbol], count: usize) -> Vec<Con
 pub fn layered_workflow(layers: usize, lanes: usize) -> Goal {
     seq((0..layers)
         .map(|i| {
-            conc((0..lanes)
-                .map(|j| {
-                    or(vec![
-                        Goal::atom(format!("l{i}_{j}")),
-                        Goal::atom(format!("r{i}_{j}")),
-                    ])
-                })
-                .collect())
+            conc(
+                (0..lanes)
+                    .map(|j| {
+                        or(vec![
+                            Goal::atom(format!("l{i}_{j}")),
+                            Goal::atom(format!("r{i}_{j}")),
+                        ])
+                    })
+                    .collect(),
+            )
         })
         .collect())
 }
@@ -218,9 +219,16 @@ pub fn random_3sat(seed: u64, vars: usize, clauses: usize) -> SatInstance {
 /// constraint `∇lit₁ ∨ ∇lit₂ ∨ ∇lit₃`. The specification is consistent
 /// iff the instance is satisfiable.
 pub fn sat_to_workflow(inst: &SatInstance) -> (Goal, Vec<Constraint>) {
-    let goal = conc((0..inst.vars)
-        .map(|v| or(vec![Goal::atom(format!("x{v}_t")), Goal::atom(format!("x{v}_f"))]))
-        .collect());
+    let goal = conc(
+        (0..inst.vars)
+            .map(|v| {
+                or(vec![
+                    Goal::atom(format!("x{v}_t")),
+                    Goal::atom(format!("x{v}_f")),
+                ])
+            })
+            .collect(),
+    );
     let constraints = inst
         .clauses
         .iter()

@@ -20,11 +20,25 @@
 //! `send(ξ)`/`receive(ξ)` are the synchronization primitives used by the
 //! `sync` rewriting of Definition 5.3; they are first-class goal forms so
 //! the scheduler can give them their channel semantics.
+//!
+//! # Representation
+//!
+//! Recursive payloads are structurally shared: the n-ary connectives hold
+//! an `Arc<GoalList>` and the unary modalities an `Arc<Goal>`, so cloning
+//! a goal is a reference-count bump and a rewrite that leaves a subtree
+//! untouched can return the *same* allocation (observable through
+//! [`std::sync::Arc::ptr_eq`]). [`GoalList`] additionally caches, per
+//! node, the subtree size, a bloom fingerprint of the event symbols
+//! occurring below (see [`Goal::may_mention`]), and a structural hash —
+//! all computed once at construction — which makes [`Goal::size`],
+//! event-pruning tests, and `∨`-idempotence checks O(1) instead of
+//! O(subtree).
 
 use crate::symbol::Symbol;
 use crate::term::Atom;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// A synchronization channel `ξ`, created fresh by each order-constraint
 /// compilation (Definition 5.3).
@@ -37,31 +51,110 @@ impl fmt::Display for Channel {
     }
 }
 
+/// An immutable, shareable list of child goals with cached aggregates.
+///
+/// Dereferences to `[Goal]`, so existing slice-style consumers
+/// (`gs.iter()`, `gs.len()`, indexing) work unchanged. Construction is
+/// the only place the aggregates are computed; the children are never
+/// mutated afterwards.
+pub struct GoalList {
+    children: Vec<Goal>,
+    /// Nodes in this subtree including the connective node itself.
+    size: usize,
+    /// Bloom fingerprint (2 bits per symbol in a 64-bit word) of every
+    /// event symbol occurring anywhere below, including under `◇`/`⊙`.
+    events_fp: u64,
+    /// Structural hash of the children sequence. Equal lists always have
+    /// equal hashes, so it can stand in for the list in hash-based dedup.
+    hash: u64,
+}
+
+impl GoalList {
+    /// Builds a list, computing the cached size/fingerprint/hash.
+    pub fn new(children: Vec<Goal>) -> GoalList {
+        let mut size = 1usize;
+        let mut events_fp = 0u64;
+        let mut hash = 0xA076_1D64_78BD_642Fu64; // arbitrary non-zero init
+        for child in &children {
+            size += child.size();
+            events_fp |= child.events_fingerprint();
+            hash = mix64(hash ^ child.structural_hash());
+        }
+        GoalList {
+            children,
+            size,
+            events_fp,
+            hash,
+        }
+    }
+
+    /// The children as an owned vector (clones are Arc bumps).
+    pub fn to_vec(&self) -> Vec<Goal> {
+        self.children.clone()
+    }
+}
+
+impl std::ops::Deref for GoalList {
+    type Target = [Goal];
+    fn deref(&self) -> &[Goal] {
+        &self.children
+    }
+}
+
+impl fmt::Debug for GoalList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.children.fmt(f)
+    }
+}
+
+impl PartialEq for GoalList {
+    fn eq(&self, other: &GoalList) -> bool {
+        self.hash == other.hash && self.children == other.children
+    }
+}
+
+impl Eq for GoalList {}
+
+/// SplitMix64 finalizer — the mixer behind both the structural hash and
+/// the event fingerprint.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Two-bit bloom mask for one event symbol.
+fn event_fp_bits(event: Symbol) -> u64 {
+    let h = mix64(event.index() as u64 ^ 0xD6E8_FEB8_6659_FD93);
+    (1u64 << (h & 63)) | (1u64 << ((h >> 6) & 63))
+}
+
 /// A concurrent-Horn goal.
 ///
-/// `Seq`, `Conc`, and `Or` are n-ary: `Seq(vec![a, b, c])` is
+/// `Seq`, `Conc`, and `Or` are n-ary: `Goal::raw_seq(vec![a, b, c])` is
 /// `a ⊗ b ⊗ c`. The smart constructors [`seq`], [`conc`], and [`or`]
 /// flatten nested applications, drop units, and apply the `¬path`
 /// absorption tautologies of §5, so goals built through them are always in
 /// a canonical simplified form. Pattern-matching code may rely on the
 /// invariants documented on each constructor.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub enum Goal {
     /// An atomic formula: an activity, significant event, elementary
     /// update, query, or rule-defined sub-workflow call.
     Atom(Atom),
     /// Serial conjunction `g₁ ⊗ … ⊗ gₙ` (n ≥ 2): execute left to right.
-    Seq(Vec<Goal>),
+    Seq(Arc<GoalList>),
     /// Concurrent conjunction `g₁ | … | gₙ` (n ≥ 2): execute interleaved.
-    Conc(Vec<Goal>),
+    Conc(Arc<GoalList>),
     /// Disjunction `g₁ ∨ … ∨ gₙ` (n ≥ 2): execute one, chosen
     /// nondeterministically.
-    Or(Vec<Goal>),
+    Or(Arc<GoalList>),
     /// Isolated execution `⊙g`: no interleaving with concurrent siblings.
-    Isolated(Box<Goal>),
+    Isolated(Arc<Goal>),
     /// Executional possibility `◇g`: succeed on a 1-path if `g` is
     /// executable at the current state.
-    Possible(Box<Goal>),
+    Possible(Arc<Goal>),
     /// `send(ξ)` — always executable; enables the matching `receive`.
     Send(Channel),
     /// `receive(ξ)` — executable only after `send(ξ)` has executed.
@@ -85,15 +178,105 @@ impl Goal {
         Goal::Atom(Atom::prop(name))
     }
 
+    /// Raw n-ary `⊗` node — no flattening or simplification. For code
+    /// (tests, ablations, renamers) that deliberately builds
+    /// non-canonical shapes; everything else should use [`seq`].
+    pub fn raw_seq(children: Vec<Goal>) -> Goal {
+        Goal::Seq(Arc::new(GoalList::new(children)))
+    }
+
+    /// Raw n-ary `|` node — see [`Goal::raw_seq`].
+    pub fn raw_conc(children: Vec<Goal>) -> Goal {
+        Goal::Conc(Arc::new(GoalList::new(children)))
+    }
+
+    /// Raw n-ary `∨` node — see [`Goal::raw_seq`].
+    pub fn raw_or(children: Vec<Goal>) -> Goal {
+        Goal::Or(Arc::new(GoalList::new(children)))
+    }
+
+    /// Raw `⊙` node — see [`Goal::raw_seq`].
+    pub fn raw_isolated(inner: Goal) -> Goal {
+        Goal::Isolated(Arc::new(inner))
+    }
+
+    /// Raw `◇` node — see [`Goal::raw_seq`].
+    pub fn raw_possible(inner: Goal) -> Goal {
+        Goal::Possible(Arc::new(inner))
+    }
+
     /// Number of nodes in the goal tree — the size measure `|G|` of
-    /// Theorem 5.11.
+    /// Theorem 5.11. O(1) for the n-ary connectives (cached at
+    /// construction).
     pub fn size(&self) -> usize {
         match self {
             Goal::Atom(_) | Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => 1,
-            Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
-                1 + gs.iter().map(Goal::size).sum::<usize>()
-            }
+            Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => gs.size,
             Goal::Isolated(g) | Goal::Possible(g) => 1 + g.size(),
+        }
+    }
+
+    /// Bloom fingerprint of the event symbols occurring in this subtree.
+    /// A zero intersection with an event's mask proves absence; a nonzero
+    /// one is only a maybe (see [`Goal::may_mention`]).
+    pub fn events_fingerprint(&self) -> u64 {
+        match self {
+            Goal::Atom(a) => a.as_event().map_or(0, event_fp_bits),
+            Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => gs.events_fp,
+            Goal::Isolated(g) | Goal::Possible(g) => g.events_fingerprint(),
+            Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => 0,
+        }
+    }
+
+    /// Conservative event-occurrence test: `false` proves
+    /// `!self.mentions_event(event)`; `true` means the event *may* occur
+    /// (bloom false-positives are possible but rare). The Apply and sync
+    /// rewrites use this to skip subtrees that provably cannot contain
+    /// the constrained event.
+    pub fn may_mention(&self, event: Symbol) -> bool {
+        let mask = event_fp_bits(event);
+        self.events_fingerprint() & mask == mask
+    }
+
+    /// True when the two goals share their backing allocation (`Arc::ptr_eq`
+    /// on the payload) or are equal leaves. Implies structural equality; the
+    /// rewrites use it to detect that a recursion returned its input
+    /// unchanged, so the parent node can be reused instead of rebuilt.
+    pub fn ptr_eq(&self, other: &Goal) -> bool {
+        match (self, other) {
+            (Goal::Seq(a), Goal::Seq(b))
+            | (Goal::Conc(a), Goal::Conc(b))
+            | (Goal::Or(a), Goal::Or(b)) => Arc::ptr_eq(a, b),
+            (Goal::Isolated(a), Goal::Isolated(b)) | (Goal::Possible(a), Goal::Possible(b)) => {
+                Arc::ptr_eq(a, b)
+            }
+            (Goal::Atom(a), Goal::Atom(b)) => a == b,
+            (Goal::Send(a), Goal::Send(b)) | (Goal::Receive(a), Goal::Receive(b)) => a == b,
+            (Goal::Empty, Goal::Empty) | (Goal::NoPath, Goal::NoPath) => true,
+            _ => false,
+        }
+    }
+
+    /// Structural hash, cached for the n-ary connectives. Structurally
+    /// equal goals always hash equal.
+    pub fn structural_hash(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        match self {
+            Goal::Atom(a) => {
+                let mut hasher = DefaultHasher::new();
+                a.hash(&mut hasher);
+                mix64(hasher.finish() ^ 0x01)
+            }
+            Goal::Seq(gs) => mix64(gs.hash ^ 0x02),
+            Goal::Conc(gs) => mix64(gs.hash ^ 0x03),
+            Goal::Or(gs) => mix64(gs.hash ^ 0x04),
+            Goal::Isolated(g) => mix64(g.structural_hash() ^ 0x05),
+            Goal::Possible(g) => mix64(g.structural_hash() ^ 0x06),
+            Goal::Send(c) => mix64(0x9100 | c.0 as u64),
+            Goal::Receive(c) => mix64(0xA200_0000 | c.0 as u64),
+            Goal::Empty => 0x07,
+            Goal::NoPath => 0x08,
         }
     }
 
@@ -109,6 +292,10 @@ impl Goal {
 
     /// True if `event` occurs syntactically anywhere in the goal.
     pub fn mentions_event(&self, event: Symbol) -> bool {
+        // The fingerprint answers definite absence without walking.
+        if !self.may_mention(event) {
+            return false;
+        }
         match self {
             Goal::Atom(a) => a.as_event() == Some(event),
             Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
@@ -134,7 +321,7 @@ impl Goal {
                 }
             }
             Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
-                for g in gs {
+                for g in gs.iter() {
                     g.collect_events(set);
                 }
             }
@@ -156,7 +343,7 @@ impl Goal {
                 set.insert(*c);
             }
             Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
-                for g in gs {
+                for g in gs.iter() {
                     g.collect_channels(set);
                 }
             }
@@ -171,14 +358,97 @@ impl Goal {
     /// crate's own transformations are already canonical; this is for goals
     /// assembled by hand or by a parser.
     pub fn simplify(&self) -> Goal {
-        match self {
-            Goal::Seq(gs) => seq(gs.iter().map(Goal::simplify).collect()),
-            Goal::Conc(gs) => conc(gs.iter().map(Goal::simplify).collect()),
-            Goal::Or(gs) => or(gs.iter().map(Goal::simplify).collect()),
-            Goal::Isolated(g) => isolated(g.simplify()),
-            Goal::Possible(g) => possible(g.simplify()),
-            other => other.clone(),
+        match self.simplify_shared() {
+            Some(changed) => changed,
+            None => self.clone(),
         }
+    }
+
+    /// Sharing-aware worker for [`Goal::simplify`]: returns `None` when the
+    /// subtree is already in canonical form, so callers reuse the existing
+    /// `Arc` instead of rebuilding. On goals produced by this crate's own
+    /// transformations (which go through the smart constructors) this is a
+    /// pure check walk with no allocation.
+    fn simplify_shared(&self) -> Option<Goal> {
+        match self {
+            Goal::Seq(gs) => match Self::simplify_children(gs) {
+                Some(kids) => Some(seq(kids)),
+                None if gs.len() < 2
+                    || gs
+                        .iter()
+                        .any(|g| matches!(g, Goal::Seq(_) | Goal::Empty | Goal::NoPath)) =>
+                {
+                    Some(seq(gs.to_vec()))
+                }
+                None => None,
+            },
+            Goal::Conc(gs) => match Self::simplify_children(gs) {
+                Some(kids) => Some(conc(kids)),
+                None if gs.len() < 2
+                    || gs
+                        .iter()
+                        .any(|g| matches!(g, Goal::Conc(_) | Goal::Empty | Goal::NoPath)) =>
+                {
+                    Some(conc(gs.to_vec()))
+                }
+                None => None,
+            },
+            Goal::Or(gs) => match Self::simplify_children(gs) {
+                Some(kids) => Some(or(kids)),
+                None if gs.len() < 2
+                    || gs.iter().any(|g| matches!(g, Goal::Or(_) | Goal::NoPath))
+                    || Self::has_duplicate_hash(gs) =>
+                {
+                    Some(or(gs.to_vec()))
+                }
+                None => None,
+            },
+            Goal::Isolated(g) => match g.simplify_shared() {
+                Some(new) => Some(isolated(new)),
+                None if matches!(**g, Goal::Empty | Goal::NoPath) => Some(isolated((**g).clone())),
+                None => None,
+            },
+            Goal::Possible(g) => match g.simplify_shared() {
+                Some(new) => Some(possible(new)),
+                None if matches!(**g, Goal::Empty | Goal::NoPath) => Some(possible((**g).clone())),
+                None => None,
+            },
+            Goal::Atom(_) | Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => None,
+        }
+    }
+
+    /// Simplifies each child of an n-ary node. Returns `None` when every
+    /// child was already canonical (nothing to rebuild); otherwise the new
+    /// child vector, reusing the untouched children's `Arc`s.
+    fn simplify_children(gs: &GoalList) -> Option<Vec<Goal>> {
+        let mut out: Option<Vec<Goal>> = None;
+        for (i, child) in gs.iter().enumerate() {
+            match child.simplify_shared() {
+                Some(new) => out.get_or_insert_with(|| gs[..i].to_vec()).push(new),
+                None => {
+                    if let Some(v) = out.as_mut() {
+                        v.push(child.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Conservative duplicate test over the cached structural hashes: a
+    /// repeated hash forces the `∨`-idempotence rebuild (which performs the
+    /// exact equality check), a set of distinct hashes proves distinctness.
+    fn has_duplicate_hash(gs: &GoalList) -> bool {
+        if gs.len() <= 16 {
+            // Small lists: quadratic scan over the cached u64s beats
+            // allocating a hash set.
+            return gs.iter().enumerate().any(|(i, g)| {
+                let h = g.structural_hash();
+                gs[..i].iter().any(|e| e.structural_hash() == h)
+            });
+        }
+        let mut seen = std::collections::HashSet::with_capacity(gs.len());
+        gs.iter().any(|g| !seen.insert(g.structural_hash()))
     }
 
     /// Number of `∨`-alternatives if fully distributed — an upper bound on
@@ -186,14 +456,105 @@ impl Goal {
     /// `u64::MAX`.
     pub fn variant_count(&self) -> u64 {
         match self {
-            Goal::Or(gs) => gs.iter().map(Goal::variant_count).fold(0u64, u64::saturating_add),
-            Goal::Seq(gs) | Goal::Conc(gs) => {
-                gs.iter().map(Goal::variant_count).fold(1u64, u64::saturating_mul)
-            }
+            Goal::Or(gs) => gs
+                .iter()
+                .map(Goal::variant_count)
+                .fold(0u64, u64::saturating_add),
+            Goal::Seq(gs) | Goal::Conc(gs) => gs
+                .iter()
+                .map(Goal::variant_count)
+                .fold(1u64, u64::saturating_mul),
             Goal::Isolated(g) | Goal::Possible(g) => g.variant_count(),
             Goal::NoPath => 0,
             _ => 1,
         }
+    }
+
+    /// Discriminant rank used by the manual `Ord` (mirrors the order the
+    /// variants are declared in, which the old `derive(Ord)` used).
+    fn rank(&self) -> u8 {
+        match self {
+            Goal::Atom(_) => 0,
+            Goal::Seq(_) => 1,
+            Goal::Conc(_) => 2,
+            Goal::Or(_) => 3,
+            Goal::Isolated(_) => 4,
+            Goal::Possible(_) => 5,
+            Goal::Send(_) => 6,
+            Goal::Receive(_) => 7,
+            Goal::Empty => 8,
+            Goal::NoPath => 9,
+        }
+    }
+}
+
+impl PartialEq for Goal {
+    fn eq(&self, other: &Goal) -> bool {
+        match (self, other) {
+            (Goal::Atom(a), Goal::Atom(b)) => a == b,
+            (Goal::Seq(a), Goal::Seq(b))
+            | (Goal::Conc(a), Goal::Conc(b))
+            | (Goal::Or(a), Goal::Or(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Goal::Isolated(a), Goal::Isolated(b)) | (Goal::Possible(a), Goal::Possible(b)) => {
+                Arc::ptr_eq(a, b) || a == b
+            }
+            (Goal::Send(a), Goal::Send(b)) | (Goal::Receive(a), Goal::Receive(b)) => a == b,
+            (Goal::Empty, Goal::Empty) | (Goal::NoPath, Goal::NoPath) => true,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Goal {}
+
+impl std::hash::Hash for Goal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // The cached structural hash is a function of structure alone, so
+        // this stays consistent with the structural `Eq`.
+        state.write_u64(self.structural_hash());
+    }
+}
+
+impl PartialOrd for Goal {
+    fn partial_cmp(&self, other: &Goal) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Goal {
+    fn cmp(&self, other: &Goal) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Goal::Atom(a), Goal::Atom(b)) => a.cmp(b),
+            (Goal::Seq(a), Goal::Seq(b))
+            | (Goal::Conc(a), Goal::Conc(b))
+            | (Goal::Or(a), Goal::Or(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.children.cmp(&b.children)
+                }
+            }
+            (Goal::Isolated(a), Goal::Isolated(b)) | (Goal::Possible(a), Goal::Possible(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    (**a).cmp(b)
+                }
+            }
+            (Goal::Send(a), Goal::Send(b)) | (Goal::Receive(a), Goal::Receive(b)) => a.cmp(b),
+            (Goal::Empty, Goal::Empty) | (Goal::NoPath, Goal::NoPath) => Ordering::Equal,
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+/// Reclaims the children of a shared list: moves them out when this is
+/// the only reference, clones (Arc bumps) otherwise.
+fn unwrap_list(list: Arc<GoalList>) -> Vec<Goal> {
+    match Arc::try_unwrap(list) {
+        Ok(owned) => owned.children,
+        Err(shared) => shared.to_vec(),
     }
 }
 
@@ -209,14 +570,14 @@ pub fn seq(goals: Vec<Goal>) -> Goal {
         match g {
             Goal::NoPath => return Goal::NoPath,
             Goal::Empty => {}
-            Goal::Seq(inner) => out.extend(inner),
+            Goal::Seq(inner) => out.extend(unwrap_list(inner)),
             other => out.push(other),
         }
     }
     match out.len() {
         0 => Goal::Empty,
         1 => out.pop().expect("len checked"),
-        _ => Goal::Seq(out),
+        _ => Goal::raw_seq(out),
     }
 }
 
@@ -230,14 +591,14 @@ pub fn conc(goals: Vec<Goal>) -> Goal {
         match g {
             Goal::NoPath => return Goal::NoPath,
             Goal::Empty => {}
-            Goal::Conc(inner) => out.extend(inner),
+            Goal::Conc(inner) => out.extend(unwrap_list(inner)),
             other => out.push(other),
         }
     }
     match out.len() {
         0 => Goal::Empty,
         1 => out.pop().expect("len checked"),
-        _ => Goal::Conc(out),
+        _ => Goal::raw_conc(out),
     }
 }
 
@@ -251,20 +612,20 @@ pub fn conc(goals: Vec<Goal>) -> Goal {
 ///
 /// The idempotence step is what keeps repeated constraint compilation from
 /// exceeding the genuine `d^N` bound of Theorem 5.11: sequential `Apply`
-/// passes frequently regenerate identical pruned variants.
+/// passes frequently regenerate identical pruned variants. The dedup uses
+/// the cached structural hash, so each candidate costs O(1) hashing
+/// rather than a full-tree walk.
 pub fn or(goals: Vec<Goal>) -> Goal {
-    use std::collections::hash_map::{DefaultHasher, Entry};
+    use std::collections::hash_map::Entry;
     use std::collections::HashMap;
-    use std::hash::{Hash, Hasher};
 
     let mut out: Vec<Goal> = Vec::with_capacity(goals.len());
-    // Hash-bucketed dedup: one structural hash per candidate, equality
-    // checked only within a bucket.
+    // Hash-bucketed dedup: the cached structural hash keys the buckets,
+    // equality is checked only within a bucket (and starts with a pointer
+    // comparison, so re-encountering a shared subtree is cheap).
     let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
     let push_unique = |out: &mut Vec<Goal>, buckets: &mut HashMap<u64, Vec<usize>>, g: Goal| {
-        let mut hasher = DefaultHasher::new();
-        g.hash(&mut hasher);
-        let h = hasher.finish();
+        let h = g.structural_hash();
         match buckets.entry(h) {
             Entry::Occupied(mut e) => {
                 if e.get().iter().any(|&i| out[i] == g) {
@@ -283,7 +644,7 @@ pub fn or(goals: Vec<Goal>) -> Goal {
         match g {
             Goal::NoPath => {}
             Goal::Or(inner) => {
-                for child in inner {
+                for child in unwrap_list(inner) {
                     push_unique(&mut out, &mut buckets, child);
                 }
             }
@@ -293,7 +654,7 @@ pub fn or(goals: Vec<Goal>) -> Goal {
     match out.len() {
         0 => Goal::NoPath,
         1 => out.pop().expect("len checked"),
-        _ => Goal::Or(out),
+        _ => Goal::raw_or(out),
     }
 }
 
@@ -302,7 +663,7 @@ pub fn isolated(g: Goal) -> Goal {
     match g {
         Goal::Empty => Goal::Empty,
         Goal::NoPath => Goal::NoPath,
-        other => Goal::Isolated(Box::new(other)),
+        other => Goal::raw_isolated(other),
     }
 }
 
@@ -312,7 +673,7 @@ pub fn possible(g: Goal) -> Goal {
     match g {
         Goal::Empty => Goal::Empty,
         Goal::NoPath => Goal::NoPath,
-        other => Goal::Possible(Box::new(other)),
+        other => Goal::raw_possible(other),
     }
 }
 
@@ -418,7 +779,7 @@ mod tests {
     #[test]
     fn seq_flattens_and_drops_units() {
         let g = seq(vec![a(), Goal::Empty, seq(vec![b(), c()])]);
-        assert_eq!(g, Goal::Seq(vec![a(), b(), c()]));
+        assert_eq!(g, Goal::raw_seq(vec![a(), b(), c()]));
     }
 
     #[test]
@@ -472,6 +833,37 @@ mod tests {
     }
 
     #[test]
+    fn clone_shares_subtrees() {
+        let g = seq(vec![a(), conc(vec![b(), c()])]);
+        let h = g.clone();
+        let (Goal::Seq(gl), Goal::Seq(hl)) = (&g, &h) else {
+            panic!("expected Seq");
+        };
+        assert!(Arc::ptr_eq(gl, hl));
+    }
+
+    #[test]
+    fn may_mention_has_no_false_negatives() {
+        let g = isolated(seq(vec![a(), possible(b())]));
+        assert!(g.may_mention(sym("a")));
+        assert!(g.may_mention(sym("b")));
+        // A symbol that is definitely absent: the fingerprint must clear
+        // at least most such probes; this specific one is checked not to
+        // collide so the pruning path is actually exercised in tests.
+        assert!(!g.mentions_event(sym("definitely_absent_event")));
+    }
+
+    #[test]
+    fn structural_hash_matches_equality() {
+        let g1 = seq(vec![a(), or(vec![b(), c()])]);
+        let g2 = seq(vec![a(), or(vec![b(), c()])]);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.structural_hash(), g2.structural_hash());
+        let g3 = seq(vec![a(), or(vec![c(), b()])]);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
     fn events_collects_prop_atoms_only() {
         let g = seq(vec![a(), Goal::Send(Channel(0)), or(vec![b(), c()])]);
         let evs = g.events();
@@ -495,7 +887,10 @@ mod tests {
             seq(vec![a(), Goal::Send(Channel(7))]),
             seq(vec![Goal::Receive(Channel(7)), b()]),
         ]);
-        assert_eq!(g.channels().into_iter().collect::<Vec<_>>(), vec![Channel(7)]);
+        assert_eq!(
+            g.channels().into_iter().collect::<Vec<_>>(),
+            vec![Channel(7)]
+        );
     }
 
     #[test]
@@ -524,9 +919,9 @@ mod tests {
 
     #[test]
     fn simplify_normalizes_raw_goals() {
-        let raw = Goal::Seq(vec![Goal::Seq(vec![a()]), Goal::Empty, b()]);
-        assert_eq!(raw.simplify(), Goal::Seq(vec![a(), b()]));
-        let dead = Goal::Conc(vec![a(), Goal::Or(vec![])]);
+        let raw = Goal::raw_seq(vec![Goal::raw_seq(vec![a()]), Goal::Empty, b()]);
+        assert_eq!(raw.simplify(), Goal::raw_seq(vec![a(), b()]));
+        let dead = Goal::raw_conc(vec![a(), Goal::raw_or(vec![])]);
         assert_eq!(dead.simplify(), Goal::NoPath);
     }
 }

@@ -14,12 +14,12 @@
 //! | Module | Paper section | Contents |
 //! |--------|--------------|----------|
 //! | [`symbol`], [`term`] | §2 | interned names, first-order terms, atoms |
-//! | [`goal`] | §2 | concurrent-Horn goals (`⊗`, `\|`, `∨`, `⊙`, `◇`), `send`/`receive`, `¬path` tautologies |
+//! | [`goal`] | §2 | concurrent-Horn goals (`⊗`, `\|`, `∨`, `⊙`, `◇`), `send`/`receive`, `¬path` tautologies; `Arc`-shared subtrees with cached size / event fingerprint / structural hash |
 //! | [`unique`] | §3 | the unique-event property (Definition 3.1), linear-time check |
 //! | [`constraints`] | §3 | the algebra `CONSTR`, negation closure (Lemma 3.4), splitting (Prop 3.3), normal form (Cor 3.5) |
 //! | [`semantics`] | §2 | reference trace semantics — the oracle for `Apply(σ,T) ≡ T ∧ σ` |
-//! | [`apply`](mod@apply) | §5 | the `Apply` transformation and `sync` (Defs 5.1/5.3/5.5) |
-//! | [`excise`](mod@excise) | §5 | knot detection and removal, `G_fail` diagnostics |
+//! | [`apply`](mod@apply) | §5 | the `Apply` transformation and `sync` (Defs 5.1/5.3/5.5), event-index pruning, deterministic parallel disjunct fan-out (`Parallelism`) |
+//! | [`excise`](mod@excise) | §5 | knot detection and removal, `G_fail` diagnostics, parallel `∨`-branch fan-out |
 //! | [`analysis`] | §4 | consistency, verification, redundancy (Thms 5.8–5.10) |
 //! | [`formula`] | §2 | full CTR formulas (adds `∧`, `¬`) with declarative trace satisfaction |
 //! | [`gen`] | — | workload generators, incl. the 3-SAT reduction of Prop 4.1 |
@@ -66,9 +66,9 @@ pub use analysis::{
 pub use apply::{apply, ChannelAlloc};
 pub use constraints::{Basic, Conjunct, Constraint, NormalForm};
 pub use excise::{excise, excise_with_diagnostics, ExciseResult, KnotReport};
-pub use semantics::equivalent;
 pub use formula::Formula;
 pub use goal::{conc, isolated, or, possible, seq, Channel, Goal};
+pub use semantics::equivalent;
 pub use symbol::{sym, Symbol};
 pub use term::{Atom, Term, Var};
 pub use unique::{check_unique_events, is_unique_event};

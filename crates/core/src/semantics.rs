@@ -48,7 +48,11 @@ pub struct BudgetExceeded {
 
 impl fmt::Display for BudgetExceeded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace enumeration exceeded budget of {} traces", self.budget)
+        write!(
+            f,
+            "trace enumeration exceeded budget of {} traces",
+            self.budget
+        )
     }
 }
 
@@ -124,7 +128,7 @@ fn raw_traces(goal: &Goal, budget: usize) -> Result<Vec<Vec<Unit>>, BudgetExceed
             Goal::NoPath => Ok(vec![]),
             Goal::Seq(gs) => {
                 let mut acc: Vec<Vec<Unit>> = vec![vec![]];
-                for g in gs {
+                for g in gs.iter() {
                     let child = walk(g, budget)?;
                     let mut next = Vec::with_capacity(acc.len() * child.len());
                     for base in &acc {
@@ -141,7 +145,7 @@ fn raw_traces(goal: &Goal, budget: usize) -> Result<Vec<Vec<Unit>>, BudgetExceed
             }
             Goal::Conc(gs) => {
                 let mut acc: Vec<Vec<Unit>> = vec![vec![]];
-                for g in gs {
+                for g in gs.iter() {
                     let child = walk(g, budget)?;
                     let mut next = Vec::new();
                     for base in &acc {
@@ -156,7 +160,7 @@ fn raw_traces(goal: &Goal, budget: usize) -> Result<Vec<Vec<Unit>>, BudgetExceed
             }
             Goal::Or(gs) => {
                 let mut acc = Vec::new();
-                for g in gs {
+                for g in gs.iter() {
                     acc.extend(walk(g, budget)?);
                     check(acc.len(), budget)?;
                 }
@@ -164,7 +168,10 @@ fn raw_traces(goal: &Goal, budget: usize) -> Result<Vec<Vec<Unit>>, BudgetExceed
             }
             Goal::Isolated(g) => {
                 // Each trace of the body becomes a single atomic block.
-                Ok(walk(g, budget)?.into_iter().map(|t| vec![Unit::Block(t)]).collect())
+                Ok(walk(g, budget)?
+                    .into_iter()
+                    .map(|t| vec![Unit::Block(t)])
+                    .collect())
             }
             Goal::Possible(g) => {
                 // ◇g holds on a 1-path iff g is executable at the current
@@ -196,10 +203,9 @@ fn channels_valid(trace: &[Tok]) -> bool {
             Tok::Send(c) => {
                 sent.insert(*c);
             }
-            Tok::Recv(c)
-                if !sent.contains(c) => {
-                    return false;
-                }
+            Tok::Recv(c) if !sent.contains(c) => {
+                return false;
+            }
             _ => {}
         }
     }
@@ -224,10 +230,7 @@ pub fn token_traces(goal: &Goal, budget: usize) -> Result<BTreeSet<Vec<Tok>>, Bu
 /// Enumerates the **event traces** of a goal: valid token traces with
 /// channel and non-event steps erased. This is the observable denotation
 /// used by the equivalence tests.
-pub fn event_traces(
-    goal: &Goal,
-    budget: usize,
-) -> Result<BTreeSet<Vec<Symbol>>, BudgetExceeded> {
+pub fn event_traces(goal: &Goal, budget: usize) -> Result<BTreeSet<Vec<Symbol>>, BudgetExceeded> {
     let toks = token_traces(goal, budget)?;
     Ok(toks
         .into_iter()
@@ -345,7 +348,9 @@ mod tests {
         let goal = conc(vec![g("a"), g("b")]);
         assert_eq!(
             evs(&goal),
-            [trace(&["a", "b"]), trace(&["b", "a"])].into_iter().collect()
+            [trace(&["a", "b"]), trace(&["b", "a"])]
+                .into_iter()
+                .collect()
         );
     }
 
@@ -364,7 +369,10 @@ mod tests {
     #[test]
     fn or_unions() {
         let goal = or(vec![g("a"), g("b")]);
-        assert_eq!(evs(&goal), [trace(&["a"]), trace(&["b"])].into_iter().collect());
+        assert_eq!(
+            evs(&goal),
+            [trace(&["a"]), trace(&["b"])].into_iter().collect()
+        );
     }
 
     #[test]
@@ -385,7 +393,9 @@ mod tests {
         // c may come before or after the block, never inside.
         assert_eq!(
             traces,
-            [trace(&["c", "a", "b"]), trace(&["a", "b", "c"])].into_iter().collect()
+            [trace(&["c", "a", "b"]), trace(&["a", "b", "c"])]
+                .into_iter()
+                .collect()
         );
     }
 
@@ -435,7 +445,10 @@ mod tests {
     fn budget_is_enforced() {
         // 8 concurrent atoms → 8! = 40320 interleavings > 1000.
         let goal = conc((0..8).map(|i| g(&format!("x{i}"))).collect());
-        assert_eq!(event_traces(&goal, 1000), Err(BudgetExceeded { budget: 1000 }));
+        assert_eq!(
+            event_traces(&goal, 1000),
+            Err(BudgetExceeded { budget: 1000 })
+        );
     }
 
     #[test]
@@ -448,7 +461,12 @@ mod tests {
         assert!(equivalent(&isolated(g("a")), &g("a"), BUDGET).unwrap());
         assert!(!equivalent(&g("a"), &g("b"), BUDGET).unwrap());
         // But | and ⊗ differ.
-        assert!(!equivalent(&conc(vec![g("a"), g("b")]), &seq(vec![g("a"), g("b")]), BUDGET).unwrap());
+        assert!(!equivalent(
+            &conc(vec![g("a"), g("b")]),
+            &seq(vec![g("a"), g("b")]),
+            BUDGET
+        )
+        .unwrap());
     }
 
     #[test]
@@ -465,15 +483,26 @@ mod tests {
     #[test]
     fn satisfies_serial_subsequence() {
         let t = trace(&["a", "x", "b", "y", "c"]);
-        assert!(satisfies(&t, &Constraint::serial(vec![sym("a"), sym("b"), sym("c")])));
-        assert!(!satisfies(&t, &Constraint::serial(vec![sym("b"), sym("a")])));
+        assert!(satisfies(
+            &t,
+            &Constraint::serial(vec![sym("a"), sym("b"), sym("c")])
+        ));
+        assert!(!satisfies(
+            &t,
+            &Constraint::serial(vec![sym("b"), sym("a")])
+        ));
     }
 
     #[test]
     fn satisfies_matches_normal_form_semantics() {
         let c = Constraint::klein_order("a", "b");
         let nf = c.normalize();
-        for t in [trace(&["a", "b"]), trace(&["b", "a"]), trace(&["a"]), trace(&[])] {
+        for t in [
+            trace(&["a", "b"]),
+            trace(&["b", "a"]),
+            trace(&["a"]),
+            trace(&[]),
+        ] {
             assert_eq!(
                 satisfies(&t, &c),
                 satisfies_normal_form(&t, &nf),

@@ -26,7 +26,10 @@ struct Interner {
 
 impl Interner {
     fn new() -> Self {
-        Interner { names: Vec::new(), map: HashMap::new() }
+        Interner {
+            names: Vec::new(),
+            map: HashMap::new(),
+        }
     }
 
     fn intern(&mut self, name: &str) -> Symbol {
@@ -56,12 +59,18 @@ fn interner() -> &'static Mutex<Interner> {
 impl Symbol {
     /// Interns `name` and returns its symbol.
     pub fn intern(name: &str) -> Symbol {
-        interner().lock().expect("symbol interner poisoned").intern(name)
+        interner()
+            .lock()
+            .expect("symbol interner poisoned")
+            .intern(name)
     }
 
     /// Returns the string this symbol was interned from.
     pub fn as_str(self) -> &'static str {
-        interner().lock().expect("symbol interner poisoned").resolve(self)
+        interner()
+            .lock()
+            .expect("symbol interner poisoned")
+            .resolve(self)
     }
 
     /// The raw interner index. Useful as a dense array key.

@@ -129,17 +129,29 @@ impl Atom {
     /// A propositional (zero-ary, positive) atom — the encoding of workflow
     /// activities and significant events in the paper.
     pub fn prop(name: impl Into<Symbol>) -> Atom {
-        Atom { pred: name.into(), args: Vec::new(), negated: false }
+        Atom {
+            pred: name.into(),
+            args: Vec::new(),
+            negated: false,
+        }
     }
 
     /// A positive first-order atom.
     pub fn new(pred: impl Into<Symbol>, args: Vec<Term>) -> Atom {
-        Atom { pred: pred.into(), args, negated: false }
+        Atom {
+            pred: pred.into(),
+            args,
+            negated: false,
+        }
     }
 
     /// Returns the negated copy of this atom.
     pub fn negate(&self) -> Atom {
-        Atom { pred: self.pred, args: self.args.clone(), negated: !self.negated }
+        Atom {
+            pred: self.pred,
+            args: self.args.clone(),
+            negated: !self.negated,
+        }
     }
 
     /// True if the atom is propositional: positive with no arguments.
@@ -229,7 +241,10 @@ mod tests {
     fn collect_vars_finds_nested_variables() {
         let t = Term::compound(
             "f",
-            vec![Term::Var(Var(1)), Term::compound("g", vec![Term::Var(Var(2))])],
+            vec![
+                Term::Var(Var(1)),
+                Term::compound("g", vec![Term::Var(Var(2))]),
+            ],
         );
         let mut vars = Vec::new();
         t.collect_vars(&mut vars);
@@ -268,7 +283,10 @@ mod tests {
 
     #[test]
     fn term_size_counts_nodes() {
-        let t = Term::compound("f", vec![Term::constant("a"), Term::compound("g", vec![Term::Int(1)])]);
+        let t = Term::compound(
+            "f",
+            vec![Term::constant("a"), Term::compound("g", vec![Term::Int(1)])],
+        );
         assert_eq!(t.size(), 4);
     }
 }

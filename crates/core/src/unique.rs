@@ -74,11 +74,14 @@ pub fn check_unique_events_among(
             }
             Goal::Seq(gs) | Goal::Conc(gs) => {
                 let mut acc: BTreeSet<Symbol> = BTreeSet::new();
-                for g in gs {
+                for g in gs.iter() {
                     let child = walk(g, significant)?;
                     for e in child {
                         if !acc.insert(e) {
-                            return Err(DuplicateEvent { event: e, context: goal.to_string() });
+                            return Err(DuplicateEvent {
+                                event: e,
+                                context: goal.to_string(),
+                            });
                         }
                     }
                 }
@@ -86,7 +89,7 @@ pub fn check_unique_events_among(
             }
             Goal::Or(gs) => {
                 let mut acc: BTreeSet<Symbol> = BTreeSet::new();
-                for g in gs {
+                for g in gs.iter() {
                     acc.extend(walk(g, significant)?);
                 }
                 Ok(acc)
@@ -123,7 +126,11 @@ mod tests {
         let goal = seq(vec![
             g("a"),
             conc(vec![
-                seq(vec![g("b"), or(vec![seq(vec![g("d"), g("h")]), g("e")]), g("j")]),
+                seq(vec![
+                    g("b"),
+                    or(vec![seq(vec![g("d"), g("h")]), g("e")]),
+                    g("j"),
+                ]),
                 seq(vec![g("c"), or(vec![seq(vec![g("f"), g("i")]), g("g")])]),
             ]),
             g("k"),
@@ -150,7 +157,10 @@ mod tests {
     fn duplicate_across_or_branches_is_allowed() {
         // η occurs in both branches of the ∨ in Example 5.7; the goal is
         // still unique-event because only one branch executes.
-        let goal = seq(vec![g("gamma"), or(vec![g("eta"), conc(vec![g("alpha"), g("beta"), g("eta")])])]);
+        let goal = seq(vec![
+            g("gamma"),
+            or(vec![g("eta"), conc(vec![g("alpha"), g("beta"), g("eta")])]),
+        ]);
         assert!(is_unique_event(&goal));
     }
 
@@ -172,7 +182,11 @@ mod tests {
     #[test]
     fn channels_and_units_do_not_count_as_events() {
         use crate::goal::Channel;
-        let goal = seq(vec![Goal::Send(Channel(0)), Goal::Receive(Channel(0)), Goal::Empty]);
+        let goal = seq(vec![
+            Goal::Send(Channel(0)),
+            Goal::Receive(Channel(0)),
+            Goal::Empty,
+        ]);
         assert_eq!(check_unique_events(&goal).unwrap().len(), 0);
     }
 
@@ -185,7 +199,12 @@ mod tests {
         assert!(is_unique_event(&seq(vec![possible(g("a")), g("a")])));
         // The ◇-guarded-sequence combinator relies on this: guards carry
         // copies of later steps.
-        let guarded = seq(vec![possible(seq(vec![g("x"), g("y")])), g("x"), possible(g("y")), g("y")]);
+        let guarded = seq(vec![
+            possible(seq(vec![g("x"), g("y")])),
+            g("x"),
+            possible(g("y")),
+            g("y"),
+        ]);
         assert!(is_unique_event(&guarded));
     }
 

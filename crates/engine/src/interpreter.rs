@@ -117,10 +117,16 @@ enum Res {
     Done,
     Atom(Atom),
     /// `cursor` indexes the first unfinished child.
-    Seq { children: Vec<Res>, cursor: usize },
+    Seq {
+        children: Vec<Res>,
+        cursor: usize,
+    },
     Conc(Vec<Res>),
     Or(Vec<Res>),
-    Iso { body: Box<Res>, entered: bool },
+    Iso {
+        body: Box<Res>,
+        entered: bool,
+    },
     Poss(Goal),
     Send(Channel),
     Recv(Channel),
@@ -130,12 +136,16 @@ impl Res {
     fn compile(goal: &Goal) -> Res {
         match goal {
             Goal::Atom(a) => Res::Atom(a.clone()),
-            Goal::Seq(gs) => {
-                Res::Seq { children: gs.iter().map(Res::compile).collect(), cursor: 0 }
-            }
+            Goal::Seq(gs) => Res::Seq {
+                children: gs.iter().map(Res::compile).collect(),
+                cursor: 0,
+            },
             Goal::Conc(gs) => Res::Conc(gs.iter().map(Res::compile).collect()),
             Goal::Or(gs) => Res::Or(gs.iter().map(Res::compile).collect()),
-            Goal::Isolated(g) => Res::Iso { body: Box::new(Res::compile(g)), entered: false },
+            Goal::Isolated(g) => Res::Iso {
+                body: Box::new(Res::compile(g)),
+                entered: false,
+            },
             Goal::Possible(g) => Res::Poss((**g).clone()),
             Goal::Send(c) => Res::Send(*c),
             Goal::Receive(c) => Res::Recv(*c),
@@ -347,9 +357,7 @@ fn enter_isolation(res: &mut Res, path: &[usize]) {
             *entered = true;
         }
         cur = match cur {
-            Res::Seq { children, .. } | Res::Conc(children) | Res::Or(children) => {
-                &mut children[i]
-            }
+            Res::Seq { children, .. } | Res::Conc(children) | Res::Or(children) => &mut children[i],
             Res::Iso { body, .. } => body,
             _ => return,
         };
@@ -389,12 +397,20 @@ impl Engine {
     /// An engine for purely propositional workflows: no oracle, no rules —
     /// every atom is a significant event.
     pub fn new() -> Engine {
-        Engine { rules: RuleBase::new(), oracle: Box::new(NullOracle), options: ExecOptions::default() }
+        Engine {
+            rules: RuleBase::new(),
+            oracle: Box::new(NullOracle),
+            options: ExecOptions::default(),
+        }
     }
 
     /// An engine with a transition oracle for elementary updates.
     pub fn with_oracle(oracle: Box<dyn TransitionOracle + Send + Sync>) -> Engine {
-        Engine { rules: RuleBase::new(), oracle, options: ExecOptions::default() }
+        Engine {
+            rules: RuleBase::new(),
+            oracle,
+            options: ExecOptions::default(),
+        }
     }
 
     /// Replaces the execution limits.
@@ -444,7 +460,11 @@ impl Engine {
             sent: BTreeSet::new(),
             events: Vec::new(),
             depth: 0,
-            states: if self.options.record_states { vec![db.clone()] } else { Vec::new() },
+            states: if self.options.record_states {
+                vec![db.clone()]
+            } else {
+                Vec::new()
+            },
         };
         let mut seen: BTreeSet<String> = BTreeSet::new();
         let mut steps = 0usize;
@@ -673,14 +693,20 @@ fn execution_key(exec: &Execution) -> String {
 }
 
 /// Renames the variables of every atom in a goal apart.
-fn rename_goal(goal: &Goal, mapping: &mut BTreeMap<ctr::term::Var, ctr::term::Var>, subst: &mut Subst) -> Goal {
+fn rename_goal(
+    goal: &Goal,
+    mapping: &mut BTreeMap<ctr::term::Var, ctr::term::Var>,
+    subst: &mut Subst,
+) -> Goal {
     match goal {
         Goal::Atom(a) => Goal::Atom(rename_atom(a, mapping, subst)),
-        Goal::Seq(gs) => Goal::Seq(gs.iter().map(|g| rename_goal(g, mapping, subst)).collect()),
-        Goal::Conc(gs) => Goal::Conc(gs.iter().map(|g| rename_goal(g, mapping, subst)).collect()),
-        Goal::Or(gs) => Goal::Or(gs.iter().map(|g| rename_goal(g, mapping, subst)).collect()),
-        Goal::Isolated(g) => Goal::Isolated(Box::new(rename_goal(g, mapping, subst))),
-        Goal::Possible(g) => Goal::Possible(Box::new(rename_goal(g, mapping, subst))),
+        Goal::Seq(gs) => Goal::raw_seq(gs.iter().map(|g| rename_goal(g, mapping, subst)).collect()),
+        Goal::Conc(gs) => {
+            Goal::raw_conc(gs.iter().map(|g| rename_goal(g, mapping, subst)).collect())
+        }
+        Goal::Or(gs) => Goal::raw_or(gs.iter().map(|g| rename_goal(g, mapping, subst)).collect()),
+        Goal::Isolated(g) => Goal::raw_isolated(rename_goal(g, mapping, subst)),
+        Goal::Possible(g) => Goal::raw_possible(rename_goal(g, mapping, subst)),
         other => other.clone(),
     }
 }
@@ -699,7 +725,7 @@ fn goal_var_floor(goal: &Goal) -> u32 {
                 }
             }
             Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
-                for g in gs {
+                for g in gs.iter() {
                     walk(g, floor);
                 }
             }
@@ -732,21 +758,30 @@ mod tests {
     #[test]
     fn seq_executes_in_order() {
         let engine = Engine::new();
-        let execs = engine.executions(&seq(vec![g("a"), g("b")]), &Database::new()).unwrap();
-        assert_eq!(event_sets(&execs), [vec![sym("a"), sym("b")]].into_iter().collect());
+        let execs = engine
+            .executions(&seq(vec![g("a"), g("b")]), &Database::new())
+            .unwrap();
+        assert_eq!(
+            event_sets(&execs),
+            [vec![sym("a"), sym("b")]].into_iter().collect()
+        );
     }
 
     #[test]
     fn conc_produces_all_interleavings() {
         let engine = Engine::new();
-        let execs = engine.executions(&conc(vec![g("a"), g("b")]), &Database::new()).unwrap();
+        let execs = engine
+            .executions(&conc(vec![g("a"), g("b")]), &Database::new())
+            .unwrap();
         assert_eq!(execs.len(), 2);
     }
 
     #[test]
     fn or_produces_all_choices() {
         let engine = Engine::new();
-        let execs = engine.executions(&or(vec![g("a"), g("b"), g("c")]), &Database::new()).unwrap();
+        let execs = engine
+            .executions(&or(vec![g("a"), g("b"), g("c")]), &Database::new())
+            .unwrap();
         assert_eq!(execs.len(), 3);
     }
 
@@ -757,10 +792,19 @@ mod tests {
         let engine = Engine::new();
         let mut checked = 0;
         for seed in 0..15 {
-            let (goal, _) =
-                ctr::gen::random_goal(seed, ctr::gen::GoalShape { depth: 3, width: 3, or_bias: 0.3 }, "p");
+            let (goal, _) = ctr::gen::random_goal(
+                seed,
+                ctr::gen::GoalShape {
+                    depth: 3,
+                    width: 3,
+                    or_bias: 0.3,
+                },
+                "p",
+            );
             // Skip seeds whose interleaving space exceeds the oracle budget.
-            let Ok(semantic) = ctr::semantics::event_traces(&goal, 100_000) else { continue };
+            let Ok(semantic) = ctr::semantics::event_traces(&goal, 100_000) else {
+                continue;
+            };
             let execs = engine.executions(&goal, &Database::new()).unwrap();
             assert_eq!(event_sets(&execs), semantic, "seed {seed} goal {goal}");
             checked += 1;
@@ -777,7 +821,10 @@ mod tests {
         ]);
         let engine = Engine::new();
         let execs = engine.executions(&goal, &Database::new()).unwrap();
-        assert_eq!(event_sets(&execs), [vec![sym("a"), sym("b")]].into_iter().collect());
+        assert_eq!(
+            event_sets(&execs),
+            [vec![sym("a"), sym("b")]].into_iter().collect()
+        );
     }
 
     #[test]
@@ -896,7 +943,10 @@ mod tests {
     #[test]
     fn state_paths_are_recorded_on_request() {
         let mut engine = Engine::with_oracle(Box::new(StandardOracle::new()));
-        engine.set_options(ExecOptions { record_states: true, ..Default::default() });
+        engine.set_options(ExecOptions {
+            record_states: true,
+            ..Default::default()
+        });
         let goal = seq(vec![
             Goal::Atom(Atom::new("ins_cart", vec![Term::constant("book")])),
             g("checkout"),
@@ -929,8 +979,14 @@ mod tests {
         let mut execs = engine.executions(&goal, &db).unwrap();
         execs.sort_by_key(|e| e.bindings.clone());
         assert_eq!(execs.len(), 2);
-        assert_eq!(execs[0].bindings, vec![(ctr::term::Var(0), Term::constant("aa100"))]);
-        assert_eq!(execs[1].bindings, vec![(ctr::term::Var(0), Term::constant("ba200"))]);
+        assert_eq!(
+            execs[0].bindings,
+            vec![(ctr::term::Var(0), Term::constant("aa100"))]
+        );
+        assert_eq!(
+            execs[1].bindings,
+            vec![(ctr::term::Var(0), Term::constant("ba200"))]
+        );
     }
 
     #[test]
@@ -943,7 +999,13 @@ mod tests {
     #[test]
     fn rules_unfold_subworkflows() {
         let mut engine = Engine::new();
-        engine.rules.define("ship", seq(vec![g("pack"), or(vec![g("ground"), g("air")])])).unwrap();
+        engine
+            .rules
+            .define(
+                "ship",
+                seq(vec![g("pack"), or(vec![g("ground"), g("air")])]),
+            )
+            .unwrap();
         let goal = seq(vec![g("order"), g("ship")]);
         let execs = engine.executions(&goal, &Database::new()).unwrap();
         assert_eq!(
@@ -980,9 +1042,17 @@ mod tests {
         engine.rules.allow_recursion();
         engine
             .rules
-            .define("loop", or(vec![Goal::Empty, seq(vec![g("tick"), g("loop")])]))
+            .define(
+                "loop",
+                or(vec![Goal::Empty, seq(vec![g("tick"), g("loop")])]),
+            )
             .unwrap();
-        engine.set_options(ExecOptions { max_solutions: 5, max_steps: 100_000, max_depth: 16, ..Default::default() });
+        engine.set_options(ExecOptions {
+            max_solutions: 5,
+            max_steps: 100_000,
+            max_depth: 16,
+            ..Default::default()
+        });
         let execs = engine.executions(&g("loop"), &Database::new()).unwrap();
         assert_eq!(execs.len(), 5);
         // Executions are tick-sequences of increasing length, including 0.
@@ -992,7 +1062,12 @@ mod tests {
     #[test]
     fn step_limit_is_enforced() {
         let mut engine = Engine::new();
-        engine.set_options(ExecOptions { max_solutions: usize::MAX, max_steps: 10, max_depth: 8, ..Default::default() });
+        engine.set_options(ExecOptions {
+            max_solutions: usize::MAX,
+            max_steps: 10,
+            max_depth: 8,
+            ..Default::default()
+        });
         let goal = conc((0..6).map(|i| g(&format!("t{i}"))).collect());
         assert_eq!(
             engine.executions(&goal, &Database::new()),
@@ -1011,5 +1086,4 @@ mod tests {
         let execs = engine.executions(&Goal::atom("pick"), &db).unwrap();
         assert_eq!(execs.len(), 2);
     }
-
 }

@@ -106,7 +106,10 @@ impl RuleBase {
 
     /// Convenience: defines a propositional sub-workflow.
     pub fn define(&mut self, name: impl Into<Symbol>, body: Goal) -> Result<&mut Self, RuleError> {
-        self.add(Rule { head: Atom::prop(name), body })
+        self.add(Rule {
+            head: Atom::prop(name),
+            body,
+        })
     }
 
     /// The rules whose head predicate is `pred`.
@@ -145,8 +148,7 @@ impl RuleBase {
             Black,
         }
         let preds: Vec<Symbol> = self.rules.keys().copied().collect();
-        let mut marks: BTreeMap<Symbol, Mark> =
-            preds.iter().map(|&p| (p, Mark::White)).collect();
+        let mut marks: BTreeMap<Symbol, Mark> = preds.iter().map(|&p| (p, Mark::White)).collect();
 
         fn callees(rules: &BTreeMap<Symbol, Vec<Rule>>, pred: Symbol) -> BTreeSet<Symbol> {
             let mut out = BTreeSet::new();
@@ -204,8 +206,11 @@ impl RuleBase {
         );
         match goal {
             Goal::Atom(a) if a.is_prop() && self.defines(a.pred) => {
-                let bodies: Vec<Goal> =
-                    self.rules_for(a.pred).iter().map(|r| self.expand(&r.body)).collect();
+                let bodies: Vec<Goal> = self
+                    .rules_for(a.pred)
+                    .iter()
+                    .map(|r| self.expand(&r.body))
+                    .collect();
                 ctr::goal::or(bodies)
             }
             Goal::Atom(_) | Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => {
@@ -227,7 +232,7 @@ fn collect_preds(goal: &Goal, out: &mut BTreeSet<Symbol>) {
             out.insert(a.pred);
         }
         Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
-            for g in gs {
+            for g in gs.iter() {
                 collect_preds(g, out);
             }
         }
@@ -266,7 +271,9 @@ mod tests {
     #[test]
     fn direct_recursion_is_rejected() {
         let mut rb = RuleBase::new();
-        let err = rb.define("loop", seq(vec![g("work"), g("loop")])).unwrap_err();
+        let err = rb
+            .define("loop", seq(vec![g("work"), g("loop")]))
+            .unwrap_err();
         assert_eq!(err, RuleError::Recursive(sym("loop")));
         assert!(!rb.defines(sym("loop")), "rejected rule is rolled back");
     }
@@ -285,7 +292,11 @@ mod tests {
     fn recursion_opt_in() {
         let mut rb = RuleBase::new();
         rb.allow_recursion();
-        rb.define("loop", or(vec![Goal::Empty, seq(vec![g("work"), g("loop")])])).unwrap();
+        rb.define(
+            "loop",
+            or(vec![Goal::Empty, seq(vec![g("work"), g("loop")])]),
+        )
+        .unwrap();
         assert!(rb.defines(sym("loop")));
     }
 
@@ -293,7 +304,10 @@ mod tests {
     fn negated_head_is_rejected() {
         let mut rb = RuleBase::new();
         let err = rb
-            .add(Rule { head: Atom::prop("p").negate(), body: g("q") })
+            .add(Rule {
+                head: Atom::prop("p").negate(),
+                body: g("q"),
+            })
             .unwrap_err();
         assert_eq!(err, RuleError::NegatedHead(sym("p")));
     }
@@ -326,7 +340,10 @@ mod tests {
 
     #[test]
     fn display_rule() {
-        let r = Rule { head: Atom::prop("ship"), body: seq(vec![g("pack"), g("post")]) };
+        let r = Rule {
+            head: Atom::prop("ship"),
+            body: seq(vec![g("pack"), g("post")]),
+        };
         assert_eq!(r.to_string(), "ship <- pack * post");
     }
 }

@@ -57,7 +57,10 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::Inconsistent => {
-                write!(f, "goal is ¬path: the workflow specification is inconsistent")
+                write!(
+                    f,
+                    "goal is ¬path: the workflow specification is inconsistent"
+                )
             }
         }
     }
@@ -222,17 +225,29 @@ impl<'p> Scheduler<'p> {
             return;
         }
         match &self.program.nodes[node].kind {
-            NodeKind::Event(_) => out.push(Choice { node, observable: true }),
-            NodeKind::Send(_) => out.push(Choice { node, observable: false }),
+            NodeKind::Event(_) => out.push(Choice {
+                node,
+                observable: true,
+            }),
+            NodeKind::Send(_) => out.push(Choice {
+                node,
+                observable: false,
+            }),
             NodeKind::Recv(c) => {
                 if self.sent.contains(c) {
-                    out.push(Choice { node, observable: false });
+                    out.push(Choice {
+                        node,
+                        observable: false,
+                    });
                 }
             }
             // A ready Empty is only still pending when choosing it would
             // commit something (e.g. an ∨-branch that is just the empty
             // goal); taking that branch is a silent scheduling decision.
-            NodeKind::Empty => out.push(Choice { node, observable: false }),
+            NodeKind::Empty => out.push(Choice {
+                node,
+                observable: false,
+            }),
             NodeKind::Seq(cs) => {
                 if let Some(&cur) = cs.get(self.seq_pos[node]) {
                     self.collect_eligible(cur, out);
@@ -283,9 +298,7 @@ impl<'p> Scheduler<'p> {
         let matches: Vec<NodeId> = self
             .eligible()
             .into_iter()
-            .filter(|c| {
-                self.program.event(c.node).and_then(Atom::as_event) == Some(event)
-            })
+            .filter(|c| self.program.event(c.node).and_then(Atom::as_event) == Some(event))
             .map(|c| c.node)
             .collect();
         match matches.as_slice() {
@@ -323,14 +336,12 @@ impl<'p> Scheduler<'p> {
         for (i, &anc) in chain.iter().enumerate() {
             let towards = *chain.get(i + 1).unwrap_or(&node);
             match &self.program.nodes[anc].kind {
-                NodeKind::Or(_)
-                    if self.or_choice[anc].is_none() => {
-                        self.or_choice[anc] = Some(towards);
-                    }
-                NodeKind::Iso(_)
-                    if !self.lock.contains(&anc) => {
-                        self.lock.push(anc);
-                    }
+                NodeKind::Or(_) if self.or_choice[anc].is_none() => {
+                    self.or_choice[anc] = Some(towards);
+                }
+                NodeKind::Iso(_) if !self.lock.contains(&anc) => {
+                    self.lock.push(anc);
+                }
                 _ => {}
             }
         }
@@ -339,7 +350,9 @@ impl<'p> Scheduler<'p> {
     /// Marks `node` done and propagates completion upward.
     fn complete(&mut self, node: NodeId) {
         self.done[node] = true;
-        let Some(parent) = self.program.nodes[node].parent else { return };
+        let Some(parent) = self.program.nodes[node].parent else {
+            return;
+        };
         match &self.program.nodes[parent].kind {
             NodeKind::Seq(cs) => {
                 let cs = cs.clone();
@@ -450,9 +463,7 @@ impl<'p> Scheduler<'p> {
         for anc in self.ancestors(node) {
             match &self.program.nodes[anc].kind {
                 NodeKind::Or(_) if self.or_choice[anc].is_none() => return false,
-                NodeKind::Iso(_) if !self.lock.contains(&anc) && !self.done[anc] => {
-                    return false
-                }
+                NodeKind::Iso(_) if !self.lock.contains(&anc) && !self.done[anc] => return false,
                 _ => {}
             }
         }
@@ -476,8 +487,10 @@ impl<'p> Scheduler<'p> {
     /// model checking over the marking graph.
     pub fn state_key(&self) -> Vec<u8> {
         let mut key = Vec::with_capacity(self.done.len() * 10 + 16);
-        for (&d, (&pos, choice)) in
-            self.done.iter().zip(self.seq_pos.iter().zip(self.or_choice.iter()))
+        for (&d, (&pos, choice)) in self
+            .done
+            .iter()
+            .zip(self.seq_pos.iter().zip(self.or_choice.iter()))
         {
             key.push(d as u8);
             key.extend_from_slice(&(pos as u32).to_le_bytes());
@@ -560,7 +573,10 @@ mod tests {
 
     #[test]
     fn nopath_is_rejected() {
-        assert!(matches!(Program::compile(&Goal::NoPath), Err(ScheduleError::Inconsistent)));
+        assert!(matches!(
+            Program::compile(&Goal::NoPath),
+            Err(ScheduleError::Inconsistent)
+        ));
     }
 
     #[test]
@@ -583,7 +599,10 @@ mod tests {
 
     #[test]
     fn firing_commits_or_choice() {
-        let p = compile(&or(vec![seq(vec![g("a"), g("b")]), seq(vec![g("x"), g("y")])]));
+        let p = compile(&or(vec![
+            seq(vec![g("a"), g("b")]),
+            seq(vec![g("x"), g("y")]),
+        ]));
         let mut s = Scheduler::new(&p);
         assert_eq!(s.eligible().len(), 2, "both branch heads eligible");
         assert!(s.fire_event(sym("a")));
@@ -660,11 +679,17 @@ mod tests {
         for seed in 0..15 {
             let (goal, _) = ctr::gen::random_goal(
                 seed,
-                ctr::gen::GoalShape { depth: 3, width: 3, or_bias: 0.3 },
+                ctr::gen::GoalShape {
+                    depth: 3,
+                    width: 3,
+                    or_bias: 0.3,
+                },
                 "s",
             );
             // Skip seeds whose interleaving space exceeds the oracle budget.
-            let Ok(semantic) = ctr::semantics::event_traces(&goal, 100_000) else { continue };
+            let Ok(semantic) = ctr::semantics::event_traces(&goal, 100_000) else {
+                continue;
+            };
             let p = compile(&goal);
             let scheduled = Scheduler::new(&p).enumerate_traces(1_000_000);
             assert_eq!(scheduled, semantic, "seed {seed} goal {goal}");
@@ -728,7 +753,9 @@ mod tests {
         let traces = Scheduler::new(&p).enumerate_traces(100);
         assert_eq!(
             traces,
-            [vec![sym("a")], vec![sym("a"), sym("b")]].into_iter().collect()
+            [vec![sym("a")], vec![sym("a"), sym("b")]]
+                .into_iter()
+                .collect()
         );
         // And the semantics oracle agrees.
         assert_eq!(traces, ctr::semantics::event_traces(&goal, 10_000).unwrap());

@@ -22,7 +22,11 @@ impl Subst {
     /// An empty substitution whose fresh variables start above `floor` —
     /// pass the highest variable index used by the query.
     pub fn with_floor(floor: u32) -> Subst {
-        Subst { bindings: BTreeMap::new(), trail: Vec::new(), next_var: floor }
+        Subst {
+            bindings: BTreeMap::new(),
+            trail: Vec::new(),
+            next_var: floor,
+        }
     }
 
     /// Allocates a fresh, unbound variable.
@@ -140,9 +144,12 @@ pub fn rename_term(term: &Term, mapping: &mut BTreeMap<Var, Var>, subst: &mut Su
             Term::Var(fresh)
         }
         Term::Const(_) | Term::Int(_) => term.clone(),
-        Term::Compound(f, args) => {
-            Term::Compound(*f, args.iter().map(|a| rename_term(a, mapping, subst)).collect())
-        }
+        Term::Compound(f, args) => Term::Compound(
+            *f,
+            args.iter()
+                .map(|a| rename_term(a, mapping, subst))
+                .collect(),
+        ),
     }
 }
 
@@ -150,7 +157,11 @@ pub fn rename_term(term: &Term, mapping: &mut BTreeMap<Var, Var>, subst: &mut Su
 pub fn rename_atom(atom: &Atom, mapping: &mut BTreeMap<Var, Var>, subst: &mut Subst) -> Atom {
     Atom {
         pred: atom.pred,
-        args: atom.args.iter().map(|a| rename_term(a, mapping, subst)).collect(),
+        args: atom
+            .args
+            .iter()
+            .map(|a| rename_term(a, mapping, subst))
+            .collect(),
         negated: atom.negated,
     }
 }
@@ -202,7 +213,10 @@ mod tests {
     #[test]
     fn unify_mismatched_functors_fails() {
         let mut s = Subst::default();
-        assert!(!s.unify(&Term::compound("f", vec![c("a")]), &Term::compound("g", vec![c("a")])));
+        assert!(!s.unify(
+            &Term::compound("f", vec![c("a")]),
+            &Term::compound("g", vec![c("a")])
+        ));
     }
 
     #[test]
@@ -246,7 +260,9 @@ mod tests {
         let mut mapping = BTreeMap::new();
         let t = Term::compound("f", vec![v(0), v(0), v(1)]);
         let renamed = rename_term(&t, &mut mapping, &mut s);
-        let Term::Compound(_, args) = renamed else { panic!("compound expected") };
+        let Term::Compound(_, args) = renamed else {
+            panic!("compound expected")
+        };
         assert_eq!(args[0], args[1], "same source var maps to same fresh var");
         assert_ne!(args[0], args[2]);
         assert_eq!(args[0], Term::Var(Var(10)));

@@ -86,7 +86,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character `{}` at {}:{}", self.found, self.line, self.col)
+        write!(
+            f,
+            "unexpected character `{}` at {}:{}",
+            self.found, self.line, self.col
+        )
     }
 }
 
@@ -100,7 +104,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
 
     macro_rules! push {
         ($kind:expr, $len:expr) => {{
-            tokens.push(Token { kind: $kind, line, col });
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
             col += $len;
         }};
     }
@@ -127,7 +135,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 } else {
-                    return Err(LexError { found: '/', line, col });
+                    return Err(LexError {
+                        found: '/',
+                        line,
+                        col,
+                    });
                 }
             }
             '*' => {
@@ -176,7 +188,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     chars.next();
                     push!(TokenKind::Bang, 2);
                 } else {
-                    return Err(LexError { found: '\\', line, col });
+                    return Err(LexError {
+                        found: '\\',
+                        line,
+                        col,
+                    });
                 }
             }
             ':' => {
@@ -185,7 +201,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     chars.next();
                     push!(TokenKind::Define, 2);
                 } else {
-                    return Err(LexError { found: ':', line, col });
+                    return Err(LexError {
+                        found: ':',
+                        line,
+                        col,
+                    });
                 }
             }
             c if c.is_ascii_digit() || c == '-' => {
@@ -194,7 +214,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     text.push(c);
                     chars.next();
                     if !chars.peek().is_some_and(char::is_ascii_digit) {
-                        return Err(LexError { found: '-', line, col });
+                        return Err(LexError {
+                            found: '-',
+                            line,
+                            col,
+                        });
                     }
                 }
                 while let Some(&d) = chars.peek() {
@@ -205,7 +229,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         break;
                     }
                 }
-                let value: i64 = text.parse().map_err(|_| LexError { found: c, line, col })?;
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    found: c,
+                    line,
+                    col,
+                })?;
                 let len = text.len();
                 push!(TokenKind::Int(value), len);
             }
@@ -224,10 +252,20 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 let len = text.len();
                 push!(TokenKind::Ident(text), len);
             }
-            other => return Err(LexError { found: other, line, col }),
+            other => {
+                return Err(LexError {
+                    found: other,
+                    line,
+                    col,
+                })
+            }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
     Ok(tokens)
 }
 
@@ -306,7 +344,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("a // this is a comment\n b"),
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -320,7 +362,14 @@ mod tests {
     #[test]
     fn bad_character_is_reported_with_position() {
         let err = lex("a @ b").unwrap_err();
-        assert_eq!(err, LexError { found: '@', line: 1, col: 3 });
+        assert_eq!(
+            err,
+            LexError {
+                found: '@',
+                line: 1,
+                col: 3
+            }
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { message: format!("unexpected character `{}`", e.found), line: e.line, col: e.col }
+        ParseError {
+            message: format!("unexpected character `{}`", e.found),
+            line: e.line,
+            col: e.col,
+        }
     }
 }
 
@@ -78,7 +82,11 @@ struct Parser {
 
 impl Parser {
     fn new(input: &str) -> Result<Parser, ParseError> {
-        Ok(Parser { tokens: lex(input)?, pos: 0, vars: BTreeMap::new() })
+        Ok(Parser {
+            tokens: lex(input)?,
+            pos: 0,
+            vars: BTreeMap::new(),
+        })
     }
 
     fn peek(&self) -> &Token {
@@ -95,7 +103,11 @@ impl Parser {
 
     fn error(&self, message: impl Into<String>) -> ParseError {
         let t = self.peek();
-        ParseError { message: message.into(), line: t.line, col: t.col }
+        ParseError {
+            message: message.into(),
+            line: t.line,
+            col: t.col,
+        }
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
@@ -181,7 +193,11 @@ impl Parser {
                     self.expect(&TokenKind::LParen)?;
                     let g = self.goal()?;
                     self.expect(&TokenKind::RParen)?;
-                    Ok(if wrapper == "iso" { isolated(g) } else { possible(g) })
+                    Ok(if wrapper == "iso" {
+                        isolated(g)
+                    } else {
+                        possible(g)
+                    })
                 }
                 // §7 iteration: `repeat(body, min, max)` unrolls the body
                 // with per-iteration event renaming (see
@@ -211,7 +227,7 @@ impl Parser {
                     let body = self.goal()?;
                     self.expect(&TokenKind::RParen)?;
                     let steps: Vec<Goal> = match body {
-                        Goal::Seq(gs) => gs,
+                        Goal::Seq(gs) => gs.to_vec(),
                         other => vec![other],
                     };
                     Ok(ctr_workflow::guarded_seq(&steps))
@@ -243,7 +259,11 @@ impl Parser {
                     self.advance();
                     self.expect(&TokenKind::RParen)?;
                     let ch = ctr::goal::Channel(n);
-                    Ok(if which == "send" { Goal::Send(ch) } else { Goal::Receive(ch) })
+                    Ok(if which == "send" {
+                        Goal::Send(ch)
+                    } else {
+                        Goal::Receive(ch)
+                    })
                 }
                 _ => Ok(Goal::Atom(self.atom()?)),
             },
@@ -435,9 +455,9 @@ impl Parser {
                 let sub = self.eat_ident()?;
                 self.expect(&TokenKind::Define)?;
                 let body = self.goal()?;
-                spec.subworkflows.define(sub.as_str(), body).map_err(|e| {
-                    self.error(e.to_string())
-                })?;
+                spec.subworkflows
+                    .define(sub.as_str(), body)
+                    .map_err(|e| self.error(e.to_string()))?;
             } else if self.eat_keyword("constraint") {
                 spec.constraints.push(self.constraint()?);
             } else if self.eat_keyword("trigger") {
@@ -445,7 +465,11 @@ impl Parser {
                     return Err(self.error("expected `on <event>` after `trigger`"));
                 }
                 let on = self.eat_ident()?;
-                let condition = if self.eat_keyword("if") { Some(self.atom()?) } else { None };
+                let condition = if self.eat_keyword("if") {
+                    Some(self.atom()?)
+                } else {
+                    None
+                };
                 if !self.eat_keyword("do") {
                     return Err(self.error("expected `do <goal>` in trigger"));
                 }
@@ -518,7 +542,10 @@ mod tests {
     #[test]
     fn goal_precedence_matches_display() {
         let goal = parse_goal("a * (b + c) # d").unwrap();
-        assert_eq!(goal, conc(vec![seq(vec![g("a"), or(vec![g("b"), g("c")])]), g("d")]));
+        assert_eq!(
+            goal,
+            conc(vec![seq(vec![g("a"), or(vec![g("b"), g("c")])]), g("d")])
+        );
         // Round trip through Display.
         assert_eq!(parse_goal(&goal.to_string()).unwrap(), goal);
     }
@@ -526,7 +553,10 @@ mod tests {
     #[test]
     fn or_binds_loosest() {
         let goal = parse_goal("a * b + c # d").unwrap();
-        assert_eq!(goal, or(vec![seq(vec![g("a"), g("b")]), conc(vec![g("c"), g("d")])]));
+        assert_eq!(
+            goal,
+            or(vec![seq(vec![g("a"), g("b")]), conc(vec![g("c"), g("d")])])
+        );
     }
 
     #[test]
@@ -542,19 +572,26 @@ mod tests {
     #[test]
     fn negated_and_first_order_atoms() {
         let goal = parse_goal("!frozen * pay(X, 3) * book(paris)").unwrap();
-        let Goal::Seq(parts) = &goal else { panic!("expected seq") };
+        let Goal::Seq(parts) = &goal else {
+            panic!("expected seq")
+        };
         assert_eq!(parts[0], Goal::Atom(Atom::prop("frozen").negate()));
         assert_eq!(
             parts[1],
             Goal::Atom(Atom::new("pay", vec![Term::Var(Var(0)), Term::Int(3)]))
         );
-        assert_eq!(parts[2], Goal::Atom(Atom::new("book", vec![Term::constant("paris")])));
+        assert_eq!(
+            parts[2],
+            Goal::Atom(Atom::new("book", vec![Term::constant("paris")]))
+        );
     }
 
     #[test]
     fn shared_variables_unify_names() {
         let goal = parse_goal("flight(X) * ins_booked(X) * hotel(Y)").unwrap();
-        let Goal::Seq(parts) = &goal else { panic!("expected seq") };
+        let Goal::Seq(parts) = &goal else {
+            panic!("expected seq")
+        };
         let Goal::Atom(a1) = &parts[0] else { panic!() };
         let Goal::Atom(a2) = &parts[1] else { panic!() };
         let Goal::Atom(a3) = &parts[2] else { panic!() };
@@ -569,16 +606,28 @@ mod tests {
             goal,
             Goal::Atom(Atom::new(
                 "log",
-                vec![Term::compound("entry", vec![Term::constant("order"), Term::Int(42)])]
+                vec![Term::compound(
+                    "entry",
+                    vec![Term::constant("order"), Term::Int(42)]
+                )]
             ))
         );
     }
 
     #[test]
     fn constraint_forms() {
-        assert_eq!(parse_constraint("exists(e)").unwrap(), Constraint::must("e"));
-        assert_eq!(parse_constraint("absent(e)").unwrap(), Constraint::must_not("e"));
-        assert_eq!(parse_constraint("before(a, b)").unwrap(), Constraint::order("a", "b"));
+        assert_eq!(
+            parse_constraint("exists(e)").unwrap(),
+            Constraint::must("e")
+        );
+        assert_eq!(
+            parse_constraint("absent(e)").unwrap(),
+            Constraint::must_not("e")
+        );
+        assert_eq!(
+            parse_constraint("before(a, b)").unwrap(),
+            Constraint::order("a", "b")
+        );
         assert_eq!(
             parse_constraint("serial(a, b, c)").unwrap(),
             Constraint::serial(vec![sym("a"), sym("b"), sym("c")])
@@ -604,7 +653,10 @@ mod tests {
             ])
         );
         let imp = parse_constraint("exists(e) implies exists(f)").unwrap();
-        assert_eq!(imp, Constraint::implies(Constraint::must("e"), Constraint::must("f")));
+        assert_eq!(
+            imp,
+            Constraint::implies(Constraint::must("e"), Constraint::must("f"))
+        );
     }
 
     #[test]
@@ -617,10 +669,8 @@ mod tests {
         let text = goal.to_string();
         assert_eq!(parse_goal(&text).unwrap(), goal, "text was `{text}`");
         // A compiled workflow round-trips whole.
-        let compiled = ctr::apply::apply(
-            &[Constraint::order("a", "b")],
-            &conc(vec![g("a"), g("b")]),
-        );
+        let compiled =
+            ctr::apply::apply(&[Constraint::order("a", "b")], &conc(vec![g("a"), g("b")]));
         assert_eq!(parse_goal(&compiled.to_string()).unwrap(), compiled);
     }
 
@@ -651,7 +701,9 @@ mod tests {
     #[test]
     fn guarded_inserts_possibility_checks() {
         let goal = parse_goal("guarded(a * b)").unwrap();
-        let Goal::Seq(parts) = &goal else { panic!("expected sequence") };
+        let Goal::Seq(parts) = &goal else {
+            panic!("expected sequence")
+        };
         assert_eq!(parts.len(), 4);
         assert!(matches!(parts[0], Goal::Possible(_)));
         // Single-step form.

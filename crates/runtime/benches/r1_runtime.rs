@@ -15,7 +15,9 @@ fn spec(n: usize) -> String {
 
 fn bench_runtime(c: &mut Criterion) {
     let mut group = c.benchmark_group("r1_instance_lifetime");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 32, 128] {
         let source = spec(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
@@ -33,7 +35,9 @@ fn bench_runtime(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("r1_snapshot_restore");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 32, 128] {
         let source = spec(n);
         let mut rt = Runtime::new();

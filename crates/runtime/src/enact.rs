@@ -116,7 +116,9 @@ impl Enactor {
                     {
                         continue;
                     }
-                    let Some(atom) = program.event(choice.node) else { continue };
+                    let Some(atom) = program.event(choice.node) else {
+                        continue;
+                    };
                     running.insert(choice.node);
                     let tx = done_tx.clone();
                     let node = choice.node;
@@ -161,9 +163,7 @@ impl Enactor {
                         let atom = program.event(pick.node).cloned();
                         scheduler.fire(pick.node);
                         if let Some(atom) = atom {
-                            if let Some(h) =
-                                atom.as_event().and_then(|e| self.handlers.get(&e))
-                            {
+                            if let Some(h) = atom.as_event().and_then(|e| self.handlers.get(&e)) {
                                 // Inline execution happens after the fire:
                                 // the decision is committed first, like a
                                 // real dispatcher's "claim then work".
@@ -183,8 +183,7 @@ impl Enactor {
                 }
 
                 // Wait for one completion, then fire it into the schedule.
-                let (node, outcome) =
-                    done_rx.recv().expect("worker channel outlives the loop");
+                let (node, outcome) = done_rx.recv().expect("worker channel outlives the loop");
                 running.remove(&node);
                 match outcome {
                     Ok(()) => scheduler.fire(node),
@@ -237,7 +236,10 @@ mod tests {
 
     #[test]
     fn sequential_workflow_runs_in_order() {
-        let p = program(&seq(vec![Goal::atom("a"), Goal::atom("b"), Goal::atom("c")]), &[]);
+        let p = program(
+            &seq(vec![Goal::atom("a"), Goal::atom("b"), Goal::atom("c")]),
+            &[],
+        );
         let log = Arc::new(Mutex::new(Vec::new()));
         let mut enactor = Enactor::new();
         for e in ["a", "b", "c"] {
@@ -257,10 +259,13 @@ mod tests {
         let mut enactor = Enactor::new();
         for e in ["left", "right"] {
             let b = Arc::clone(&barrier);
-            enactor.register(e, Box::new(move |_| {
-                b.wait();
-                Ok(())
-            }));
+            enactor.register(
+                e,
+                Box::new(move |_| {
+                    b.wait();
+                    Ok(())
+                }),
+            );
         }
         let trace = enactor.run(&p).unwrap();
         assert_eq!(trace.len(), 2, "both sides passed the barrier concurrently");
@@ -277,20 +282,26 @@ mod tests {
         let mut enactor = Enactor::new();
         {
             let c = Arc::clone(&counter);
-            enactor.register("a", Box::new(move |_| {
-                c.fetch_add(1, Ordering::SeqCst);
-                Ok(())
-            }));
+            enactor.register(
+                "a",
+                Box::new(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }),
+            );
         }
         {
             let c = Arc::clone(&counter);
-            enactor.register("b", Box::new(move |_| {
-                if c.load(Ordering::SeqCst) == 1 {
-                    Ok(())
-                } else {
-                    Err("started before a completed".to_owned())
-                }
-            }));
+            enactor.register(
+                "b",
+                Box::new(move |_| {
+                    if c.load(Ordering::SeqCst) == 1 {
+                        Ok(())
+                    } else {
+                        Err("started before a completed".to_owned())
+                    }
+                }),
+            );
         }
         enactor.run(&p).expect("order constraint gates dispatch");
     }
@@ -322,14 +333,26 @@ mod tests {
 
     #[test]
     fn handler_failure_aborts_with_context() {
-        let p = program(&seq(vec![Goal::atom("ok"), Goal::atom("boom"), Goal::atom("never")]), &[]);
+        let p = program(
+            &seq(vec![
+                Goal::atom("ok"),
+                Goal::atom("boom"),
+                Goal::atom("never"),
+            ]),
+            &[],
+        );
         let log = Arc::new(Mutex::new(Vec::new()));
         let mut enactor = Enactor::new();
         enactor.register("ok", recording(&log));
         enactor.register("boom", Box::new(|_| Err("disk on fire".to_owned())));
         enactor.register("never", recording(&log));
         let err = enactor.run(&p).unwrap_err();
-        let EnactError::HandlerFailed { event, reason, completed } = err else {
+        let EnactError::HandlerFailed {
+            event,
+            reason,
+            completed,
+        } = err
+        else {
             panic!("expected handler failure");
         };
         assert_eq!(event, "boom");
@@ -353,10 +376,13 @@ mod tests {
         let mut enactor = Enactor::new();
         for i in 0..12 {
             let c = Arc::clone(&counter);
-            enactor.register(format!("w{i}").as_str(), Box::new(move |_| {
-                c.fetch_add(1, Ordering::SeqCst);
-                Ok(())
-            }));
+            enactor.register(
+                format!("w{i}").as_str(),
+                Box::new(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }),
+            );
         }
         let trace = enactor.run(&p).unwrap();
         assert_eq!(trace.len(), 12);

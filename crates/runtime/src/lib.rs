@@ -78,7 +78,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Parse(e) => write!(f, "parse error: {e}"),
             RuntimeError::Compile(e) => write!(f, "compile error: {e}"),
             RuntimeError::Inconsistent(name) => {
-                write!(f, "workflow `{name}` is inconsistent and cannot be deployed")
+                write!(
+                    f,
+                    "workflow `{name}` is inconsistent and cannot be deployed"
+                )
             }
             RuntimeError::UnknownWorkflow(name) => write!(f, "no workflow named `{name}`"),
             RuntimeError::UnknownInstance(id) => write!(f, "no instance #{id}"),
@@ -138,7 +141,9 @@ impl Runtime {
         let spec =
             ctr_parser::parse_spec(source).map_err(|e| RuntimeError::Parse(e.to_string()))?;
         let name = spec.name.clone();
-        let compiled = spec.compile().map_err(|e| RuntimeError::Compile(e.to_string()))?;
+        let compiled = spec
+            .compile()
+            .map_err(|e| RuntimeError::Compile(e.to_string()))?;
         if !compiled.is_consistent() {
             return Err(RuntimeError::Inconsistent(name));
         }
@@ -150,7 +155,8 @@ impl Runtime {
     pub fn deploy_compiled(&mut self, name: &str, compiled: Goal) -> Result<(), RuntimeError> {
         let program =
             Program::compile(&compiled).map_err(|e| RuntimeError::Compile(e.to_string()))?;
-        self.deployments.insert(name.to_owned(), Deployment { compiled, program });
+        self.deployments
+            .insert(name.to_owned(), Deployment { compiled, program });
         Ok(())
     }
 
@@ -172,8 +178,14 @@ impl Runtime {
         } else {
             InstanceStatus::Running
         };
-        self.instances
-            .insert(id, Instance { workflow: workflow.to_owned(), journal: Vec::new(), status });
+        self.instances.insert(
+            id,
+            Instance {
+                workflow: workflow.to_owned(),
+                journal: Vec::new(),
+                status,
+            },
+        );
         Ok(id)
     }
 
@@ -183,7 +195,9 @@ impl Runtime {
     }
 
     fn instance(&self, id: InstanceId) -> Result<&Instance, RuntimeError> {
-        self.instances.get(&id).ok_or(RuntimeError::UnknownInstance(id))
+        self.instances
+            .get(&id)
+            .ok_or(RuntimeError::UnknownInstance(id))
     }
 
     /// Materializes the cursor for an instance by replaying its journal.
@@ -269,7 +283,12 @@ impl Runtime {
 
     /// The journal of fired events.
     pub fn journal(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError> {
-        Ok(self.instance(id)?.journal.iter().map(|s| s.as_str().to_owned()).collect())
+        Ok(self
+            .instance(id)?
+            .journal
+            .iter()
+            .map(|s| s.as_str().to_owned())
+            .collect())
     }
 
     /// Instance status.
@@ -314,7 +333,9 @@ impl Runtime {
     pub fn restore(snapshot: &str) -> Result<Runtime, RuntimeError> {
         let mut lines = snapshot.lines();
         if lines.next() != Some("ctr-runtime snapshot v1") {
-            return Err(RuntimeError::Snapshot("missing or unknown header".to_owned()));
+            return Err(RuntimeError::Snapshot(
+                "missing or unknown header".to_owned(),
+            ));
         }
         let mut rt = Runtime::new();
         for line in lines {
@@ -398,7 +419,10 @@ mod tests {
         let id = rt.start("pay").unwrap();
         assert_eq!(rt.eligible(id).unwrap(), vec!["invoice".to_owned()]);
         rt.fire(id, "invoice").unwrap();
-        assert_eq!(rt.eligible(id).unwrap(), vec!["approve".to_owned(), "reject".to_owned()]);
+        assert_eq!(
+            rt.eligible(id).unwrap(),
+            vec!["approve".to_owned(), "reject".to_owned()]
+        );
         rt.fire(id, "reject").unwrap();
         assert_eq!(rt.fire(id, "file").unwrap(), InstanceStatus::Completed);
         assert!(rt.is_complete(id).unwrap());
@@ -426,16 +450,17 @@ mod tests {
         for e in ["invoice", "approve", "file"] {
             rt.fire(id, e).unwrap();
         }
-        assert_eq!(rt.fire(id, "invoice"), Err(RuntimeError::AlreadyComplete(id)));
+        assert_eq!(
+            rt.fire(id, "invoice"),
+            Err(RuntimeError::AlreadyComplete(id))
+        );
     }
 
     #[test]
     fn inconsistent_specs_are_rejected_at_deploy() {
         let mut rt = Runtime::new();
         let err = rt
-            .deploy_source(
-                "workflow bad { graph b * a; constraint before(a, b); }",
-            )
+            .deploy_source("workflow bad { graph b * a; constraint before(a, b); }")
             .unwrap_err();
         assert_eq!(err, RuntimeError::Inconsistent("bad".to_owned()));
     }
@@ -453,7 +478,10 @@ mod tests {
         rt.deploy_compiled("ab", compiled.goal).unwrap();
         let id = rt.start("ab").unwrap();
         assert_eq!(rt.eligible(id).unwrap(), vec!["a".to_owned()]);
-        assert!(matches!(rt.fire(id, "b"), Err(RuntimeError::NotEligible { .. })));
+        assert!(matches!(
+            rt.fire(id, "b"),
+            Err(RuntimeError::NotEligible { .. })
+        ));
         rt.fire(id, "a").unwrap();
         rt.fire(id, "b").unwrap();
         assert!(rt.is_complete(id).unwrap());
@@ -511,8 +539,9 @@ mod tests {
     #[test]
     fn snapshot_rejects_corruption() {
         assert!(Runtime::restore("bogus").is_err());
-        assert!(Runtime::restore("ctr-runtime snapshot v1\ninstance 0 of ghost [running]: x")
-            .is_err());
+        assert!(
+            Runtime::restore("ctr-runtime snapshot v1\ninstance 0 of ghost [running]: x").is_err()
+        );
         // A journal that replay rejects.
         let mut rt = runtime_with_pay();
         rt.start("pay").unwrap();
@@ -542,7 +571,10 @@ mod tests {
     #[test]
     fn unknown_ids_and_names_error() {
         let mut rt = Runtime::new();
-        assert_eq!(rt.start("ghost"), Err(RuntimeError::UnknownWorkflow("ghost".to_owned())));
+        assert_eq!(
+            rt.start("ghost"),
+            Err(RuntimeError::UnknownWorkflow("ghost".to_owned()))
+        );
         assert_eq!(rt.eligible(42), Err(RuntimeError::UnknownInstance(42)));
         assert_eq!(rt.fire(42, "x"), Err(RuntimeError::UnknownInstance(42)));
     }

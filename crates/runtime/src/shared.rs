@@ -25,14 +25,18 @@ impl SharedRuntime {
 
     /// Wraps an existing runtime.
     pub fn from_runtime(rt: Runtime) -> SharedRuntime {
-        SharedRuntime { inner: Arc::new(Mutex::new(rt)) }
+        SharedRuntime {
+            inner: Arc::new(Mutex::new(rt)),
+        }
     }
 
     fn lock(&self) -> MutexGuard<'_, Runtime> {
         // A poisoned lock means a panic mid-operation; every operation
         // either completes its journal append or leaves it untouched, so
         // continuing with the inner state is safe.
-        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// See [`Runtime::deploy_source`].
@@ -108,7 +112,10 @@ mod tests {
             let ta = std::thread::spawn(move || a.fire(id, "approve").is_ok());
             let tb = std::thread::spawn(move || b.fire(id, "reject").is_ok());
             let (ra, rb) = (ta.join().unwrap(), tb.join().unwrap());
-            assert!(ra ^ rb, "round {round}: exactly one decision wins (a={ra}, b={rb})");
+            assert!(
+                ra ^ rb,
+                "round {round}: exactly one decision wins (a={ra}, b={rb})"
+            );
 
             let journal = rt.journal(id).unwrap();
             assert_eq!(journal.len(), 2);

@@ -69,8 +69,7 @@ pub fn simulate(program: &Program, runs: usize, seed: u64) -> Simulation {
         let Some(trace) = Scheduler::new(program).run_random(seed.wrapping_add(i as u64)) else {
             continue;
         };
-        let names: Vec<Symbol> =
-            trace.iter().filter_map(ctr::term::Atom::as_event).collect();
+        let names: Vec<Symbol> = trace.iter().filter_map(ctr::term::Atom::as_event).collect();
         sim.completed += 1;
         sim.min_len = sim.min_len.min(names.len());
         sim.max_len = sim.max_len.max(names.len());
@@ -105,7 +104,10 @@ mod tests {
 
     #[test]
     fn simulation_counts_and_lengths() {
-        let goal = seq(vec![Goal::atom("a"), or(vec![Goal::atom("b"), Goal::atom("c")])]);
+        let goal = seq(vec![
+            Goal::atom("a"),
+            or(vec![Goal::atom("b"), Goal::atom("c")]),
+        ]);
         let p = program(&goal, &[]);
         let sim = simulate(&p, 200, 7);
         assert_eq!(sim.runs, 200);
@@ -115,8 +117,14 @@ mod tests {
         assert_eq!(sim.frequency(sym("a")), 1.0, "a is mandatory");
         let b = sim.frequency(sym("b"));
         let c = sim.frequency(sym("c"));
-        assert!((b + c - 1.0).abs() < f64::EPSILON, "exactly one branch per run");
-        assert!(b > 0.2 && c > 0.2, "both branches get sampled (b={b}, c={c})");
+        assert!(
+            (b + c - 1.0).abs() < f64::EPSILON,
+            "exactly one branch per run"
+        );
+        assert!(
+            b > 0.2 && c > 0.2,
+            "both branches get sampled (b={b}, c={c})"
+        );
         assert_eq!(sim.distinct_traces, 2);
     }
 

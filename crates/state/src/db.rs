@@ -92,7 +92,10 @@ impl Database {
     /// Inserts a tuple directly (used for setup; execution goes through
     /// [`Database::apply`]).
     pub fn insert(&mut self, rel: impl Into<Symbol>, tuple: Tuple) -> &mut Self {
-        debug_assert!(tuple.iter().all(Term::is_ground), "database tuples must be ground");
+        debug_assert!(
+            tuple.iter().all(Term::is_ground),
+            "database tuples must be ground"
+        );
         self.relations.entry(rel.into()).or_default().insert(tuple);
         self
     }
@@ -104,7 +107,9 @@ impl Database {
 
     /// True if the tuple is present.
     pub fn contains(&self, rel: Symbol, tuple: &[Term]) -> bool {
-        self.relations.get(&rel).is_some_and(|set| set.contains(tuple))
+        self.relations
+            .get(&rel)
+            .is_some_and(|set| set.contains(tuple))
     }
 
     /// Iterates the tuples of a relation (empty iterator if undeclared).
@@ -130,13 +135,25 @@ impl Database {
     pub fn apply(&mut self, change: &Change) -> Option<Change> {
         match change {
             Change::Insert { rel, tuple } => {
-                let added = self.relations.entry(*rel).or_default().insert(tuple.clone());
-                added.then(|| Change::Delete { rel: *rel, tuple: tuple.clone() })
+                let added = self
+                    .relations
+                    .entry(*rel)
+                    .or_default()
+                    .insert(tuple.clone());
+                added.then(|| Change::Delete {
+                    rel: *rel,
+                    tuple: tuple.clone(),
+                })
             }
             Change::Delete { rel, tuple } => {
-                let removed =
-                    self.relations.get_mut(rel).is_some_and(|set| set.remove(tuple));
-                removed.then(|| Change::Insert { rel: *rel, tuple: tuple.clone() })
+                let removed = self
+                    .relations
+                    .get_mut(rel)
+                    .is_some_and(|set| set.remove(tuple));
+                removed.then(|| Change::Insert {
+                    rel: *rel,
+                    tuple: tuple.clone(),
+                })
             }
         }
     }
@@ -208,9 +225,18 @@ mod tests {
     #[test]
     fn apply_insert_returns_inverse() {
         let mut db = Database::new();
-        let change = Change::Insert { rel: sym("p"), tuple: t(&["a"]) };
+        let change = Change::Insert {
+            rel: sym("p"),
+            tuple: t(&["a"]),
+        };
         let inv = db.apply(&change).expect("state changed");
-        assert_eq!(inv, Change::Delete { rel: sym("p"), tuple: t(&["a"]) });
+        assert_eq!(
+            inv,
+            Change::Delete {
+                rel: sym("p"),
+                tuple: t(&["a"])
+            }
+        );
         db.apply(&inv);
         assert!(db.is_empty());
     }
@@ -219,9 +245,21 @@ mod tests {
     fn noop_changes_return_none() {
         let mut db = Database::new();
         // Delete from empty relation: the ⟨s, s⟩ arc.
-        assert_eq!(db.apply(&Change::Delete { rel: sym("p"), tuple: t(&["a"]) }), None);
+        assert_eq!(
+            db.apply(&Change::Delete {
+                rel: sym("p"),
+                tuple: t(&["a"])
+            }),
+            None
+        );
         db.insert("p", t(&["a"]));
-        assert_eq!(db.apply(&Change::Insert { rel: sym("p"), tuple: t(&["a"]) }), None);
+        assert_eq!(
+            db.apply(&Change::Insert {
+                rel: sym("p"),
+                tuple: t(&["a"])
+            }),
+            None
+        );
         assert_eq!(db.cardinality(sym("p")), 1);
     }
 
@@ -231,9 +269,18 @@ mod tests {
         db.insert("p", t(&["x"]));
         let before = db.clone();
         let delta = vec![
-            Change::Delete { rel: sym("p"), tuple: t(&["x"]) },
-            Change::Insert { rel: sym("q"), tuple: t(&["y"]) },
-            Change::Insert { rel: sym("q"), tuple: t(&["y"]) }, // no-op
+            Change::Delete {
+                rel: sym("p"),
+                tuple: t(&["x"]),
+            },
+            Change::Insert {
+                rel: sym("q"),
+                tuple: t(&["y"]),
+            },
+            Change::Insert {
+                rel: sym("q"),
+                tuple: t(&["y"]),
+            }, // no-op
         ];
         let inverse = db.apply_delta(&delta);
         assert!(!db.contains(sym("p"), &t(&["x"])));
@@ -249,7 +296,10 @@ mod tests {
         db.declare("inventory");
         assert!(db.has_relation(sym("inventory")));
         assert!(!db.has_relation(sym("orders")));
-        assert_eq!(db.relation_names().collect::<Vec<_>>(), vec![sym("inventory")]);
+        assert_eq!(
+            db.relation_names().collect::<Vec<_>>(),
+            vec![sym("inventory")]
+        );
     }
 
     #[test]
@@ -265,8 +315,14 @@ mod tests {
         let mut db = Database::new();
         let before = db.clone();
         let delta = vec![
-            Change::Insert { rel: sym("p"), tuple: t(&["a"]) },
-            Change::Delete { rel: sym("p"), tuple: t(&["a"]) },
+            Change::Insert {
+                rel: sym("p"),
+                tuple: t(&["a"]),
+            },
+            Change::Delete {
+                rel: sym("p"),
+                tuple: t(&["a"]),
+            },
         ];
         let inverse = db.apply_delta(&delta);
         db.undo(&inverse);

@@ -97,10 +97,16 @@ impl TransitionOracle for StandardOracle {
             return Some(Vec::new());
         }
         match verb {
-            "ins_" => Some(vec![vec![Change::Insert { rel, tuple: atom.args.clone() }]]),
+            "ins_" => Some(vec![vec![Change::Insert {
+                rel,
+                tuple: atom.args.clone(),
+            }]]),
             // Unconditional deletion: true over ⟨s, s⟩ when the tuple is
             // absent (footnote 3) — a no-op delta, still one alternative.
-            "del_" => Some(vec![vec![Change::Delete { rel, tuple: atom.args.clone() }]]),
+            "del_" => Some(vec![vec![Change::Delete {
+                rel,
+                tuple: atom.args.clone(),
+            }]]),
             "clr_" => {
                 let wipe: Delta = db
                     .tuples(rel)
@@ -134,7 +140,12 @@ pub fn choose_any(rel: impl Into<Symbol>, chosen_rel: impl Into<Symbol>) -> Upda
     let chosen_rel = chosen_rel.into();
     Box::new(move |_atom: &Atom, db: &Database| {
         db.tuples(rel)
-            .map(|t| vec![Change::Insert { rel: chosen_rel, tuple: t.clone() }])
+            .map(|t| {
+                vec![Change::Insert {
+                    rel: chosen_rel,
+                    tuple: t.clone(),
+                }]
+            })
             .collect()
     })
 }
@@ -153,10 +164,15 @@ mod tests {
     fn ins_prefix_inserts() {
         let oracle = StandardOracle::new();
         let db = Database::new();
-        let alts = oracle.transitions(&ground("ins_cart", &["book"]), &db).unwrap();
+        let alts = oracle
+            .transitions(&ground("ins_cart", &["book"]), &db)
+            .unwrap();
         assert_eq!(
             alts,
-            vec![vec![Change::Insert { rel: sym("cart"), tuple: vec![Term::constant("book")] }]]
+            vec![vec![Change::Insert {
+                rel: sym("cart"),
+                tuple: vec![Term::constant("book")]
+            }]]
         );
     }
 
@@ -164,7 +180,9 @@ mod tests {
     fn del_prefix_deletes_even_when_absent() {
         let oracle = StandardOracle::new();
         let db = Database::new();
-        let alts = oracle.transitions(&ground("del_cart", &["book"]), &db).unwrap();
+        let alts = oracle
+            .transitions(&ground("del_cart", &["book"]), &db)
+            .unwrap();
         assert_eq!(alts.len(), 1, "still true, over the ⟨s,s⟩ arc");
     }
 
@@ -172,7 +190,8 @@ mod tests {
     fn clr_prefix_wipes_relation() {
         let oracle = StandardOracle::new();
         let mut db = Database::new();
-        db.insert("cart", vec![Term::constant("a")]).insert("cart", vec![Term::constant("b")]);
+        db.insert("cart", vec![Term::constant("a")])
+            .insert("cart", vec![Term::constant("b")]);
         let alts = oracle.transitions(&ground("clr_cart", &[]), &db).unwrap();
         assert_eq!(alts.len(), 1);
         assert_eq!(alts[0].len(), 2);
@@ -194,7 +213,10 @@ mod tests {
     fn negated_atoms_are_never_updates() {
         let oracle = StandardOracle::new();
         let db = Database::new();
-        assert_eq!(oracle.transitions(&ground("ins_p", &["x"]).negate(), &db), None);
+        assert_eq!(
+            oracle.transitions(&ground("ins_p", &["x"]).negate(), &db),
+            None
+        );
     }
 
     #[test]
@@ -210,7 +232,12 @@ mod tests {
         let mut oracle = StandardOracle::new();
         oracle.register(
             "ins_special",
-            Box::new(|_, _| vec![vec![Change::Insert { rel: sym("marker"), tuple: vec![] }]]),
+            Box::new(|_, _| {
+                vec![vec![Change::Insert {
+                    rel: sym("marker"),
+                    tuple: vec![],
+                }]]
+            }),
         );
         let db = Database::new();
         let alts = oracle.transitions(&Atom::prop("ins_special"), &db).unwrap();
@@ -234,6 +261,9 @@ mod tests {
         let mut oracle = StandardOracle::new();
         oracle.register("pick_flight", choose_any("flights", "booked"));
         let db = Database::new();
-        assert_eq!(oracle.transitions(&Atom::prop("pick_flight"), &db), Some(Vec::new()));
+        assert_eq!(
+            oracle.transitions(&Atom::prop("pick_flight"), &db),
+            Some(Vec::new())
+        );
     }
 }

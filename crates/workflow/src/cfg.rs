@@ -96,7 +96,11 @@ impl Cfg {
     /// first activity added is the initial one; the final activity is the
     /// unique sink (validated at translation).
     pub fn add(&mut self, atom: impl Into<Atom>, split: SplitKind) -> ActivityId {
-        self.activities.push(Activity { atom: atom.into(), split, arcs: Vec::new() });
+        self.activities.push(Activity {
+            atom: atom.into(),
+            split,
+            arcs: Vec::new(),
+        });
         self.activities.len() - 1
     }
 
@@ -112,13 +116,19 @@ impl Cfg {
 
     /// Connects `from → to` unconditionally.
     pub fn arc(&mut self, from: ActivityId, to: ActivityId) -> &mut Self {
-        self.activities[from].arcs.push(Arc { to, condition: None });
+        self.activities[from].arcs.push(Arc {
+            to,
+            condition: None,
+        });
         self
     }
 
     /// Connects `from → to` guarded by a transition condition.
     pub fn arc_if(&mut self, from: ActivityId, to: ActivityId, condition: Atom) -> &mut Self {
-        self.activities[from].arcs.push(Arc { to, condition: Some(condition) });
+        self.activities[from].arcs.push(Arc {
+            to,
+            condition: Some(condition),
+        });
         self
     }
 
@@ -160,13 +170,21 @@ impl Cfg {
 
         let mut edges: Vec<Edge> = Vec::new();
         for (i, a) in self.activities.iter().enumerate() {
-            edges.push(Edge { from: 2 * i, to: 2 * i + 1, goal: Goal::Atom(a.atom.clone()) });
+            edges.push(Edge {
+                from: 2 * i,
+                to: 2 * i + 1,
+                goal: Goal::Atom(a.atom.clone()),
+            });
             for arc in &a.arcs {
                 let goal = match &arc.condition {
                     Some(c) => Goal::Atom(c.clone()),
                     None => Goal::Empty,
                 };
-                edges.push(Edge { from: 2 * i + 1, to: 2 * arc.to, goal });
+                edges.push(Edge {
+                    from: 2 * i + 1,
+                    to: 2 * arc.to,
+                    goal,
+                });
             }
         }
         let (s, t) = (2 * start, 2 * sink + 1);
@@ -224,7 +242,10 @@ impl Cfg {
                 Some(v) => {
                     let in_idx = edges.iter().position(|e| e.to == v).expect("in-degree 1");
                     let in_edge = edges.swap_remove(in_idx);
-                    let out_idx = edges.iter().position(|e| e.from == v).expect("out-degree 1");
+                    let out_idx = edges
+                        .iter()
+                        .position(|e| e.from == v)
+                        .expect("out-degree 1");
                     let out_edge = &mut edges[out_idx];
                     out_edge.goal = seq(vec![in_edge.goal, out_edge.goal.clone()]);
                     out_edge.from = in_edge.from;
@@ -345,7 +366,10 @@ mod tests {
                 seq(vec![
                     g("cond2"),
                     g("c"),
-                    or(vec![seq(vec![g("f"), g("i"), g("cond4")]), seq(vec![g("g"), g("cond5")])]),
+                    or(vec![
+                        seq(vec![g("f"), g("i"), g("cond4")]),
+                        seq(vec![g("g"), g("cond5")]),
+                    ]),
                 ]),
             ]),
             g("k"),
@@ -367,7 +391,10 @@ mod tests {
     fn dangling_arc_is_rejected() {
         let mut cfg = Cfg::new();
         let a = cfg.activity("a");
-        cfg.activities[a].arcs.push(Arc { to: 99, condition: None });
+        cfg.activities[a].arcs.push(Arc {
+            to: 99,
+            condition: None,
+        });
         assert_eq!(cfg.to_goal(), Err(CfgError::DanglingArc(99)));
     }
 
@@ -413,7 +440,13 @@ mod tests {
         let goal = cfg.to_goal().unwrap();
         assert_eq!(
             goal,
-            seq(vec![g("a"), g("b"), or(vec![g("c"), g("d")]), g("e"), g("f")])
+            seq(vec![
+                g("a"),
+                g("b"),
+                or(vec![g("c"), g("d")]),
+                g("e"),
+                g("f")
+            ])
         );
     }
 
@@ -426,8 +459,10 @@ mod tests {
         }
         impl Gen {
             fn next(&mut self) -> u64 {
-                self.state =
-                    self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                self.state = self
+                    .state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 self.state >> 33
             }
             fn name(&mut self) -> String {
@@ -450,7 +485,11 @@ mod tests {
                 }
                 _ => {
                     // Parallel composition behind a split and a join.
-                    let kind = if gen.next().is_multiple_of(2) { SplitKind::And } else { SplitKind::Or };
+                    let kind = if gen.next().is_multiple_of(2) {
+                        SplitKind::And
+                    } else {
+                        SplitKind::Or
+                    };
                     let split = cfg.add(Atom::prop(gen.name().as_str()), kind);
                     let join = cfg.activity(&gen.name());
                     let branches = 2 + (gen.next() % 2) as usize;
@@ -464,7 +503,10 @@ mod tests {
             }
         }
         let mut cfg = Cfg::new();
-        let mut gen = Gen { state: seed.wrapping_add(0x9E3779B97F4A7C15), next_name: 0 };
+        let mut gen = Gen {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+            next_name: 0,
+        };
         // The generator's entry must be activity 0 (the Cfg convention),
         // so wrap in a fixed start/end chain.
         let start = cfg.activity("start");

@@ -38,7 +38,11 @@ pub struct SagaStep {
 impl SagaStep {
     /// An unguarded step.
     pub fn new(action: Goal, compensation: Goal) -> SagaStep {
-        SagaStep { guard: None, action, compensation }
+        SagaStep {
+            guard: None,
+            action,
+            compensation,
+        }
     }
 
     /// Adds a guard condition.
@@ -63,7 +67,9 @@ pub fn saga(steps: &[SagaStep]) -> Goal {
 
     // Failure at step k (0-based): prefix 0..k succeeded, guard k failed.
     for k in 0..steps.len() {
-        let Some(guard) = &steps[k].guard else { continue };
+        let Some(guard) = &steps[k].guard else {
+            continue;
+        };
         let mut parts: Vec<Goal> = Vec::new();
         for step in &steps[..k] {
             if let Some(g) = &step.guard {
@@ -126,7 +132,9 @@ mod tests {
     #[test]
     fn saga_has_happy_path_and_one_branch_per_guard() {
         let goal = saga(&saga_3());
-        let Goal::Or(branches) = &goal else { panic!("expected disjunction") };
+        let Goal::Or(branches) = &goal else {
+            panic!("expected disjunction")
+        };
         assert_eq!(branches.len(), 3, "2 guarded steps + happy path");
     }
 
@@ -192,7 +200,9 @@ mod tests {
     #[test]
     fn guarded_seq_inserts_possibility_checks() {
         let goal = guarded_seq(&[g("a"), g("b")]);
-        let Goal::Seq(parts) = &goal else { panic!("expected sequence") };
+        let Goal::Seq(parts) = &goal else {
+            panic!("expected sequence")
+        };
         assert_eq!(parts.len(), 4);
         assert!(matches!(parts[0], Goal::Possible(_)));
         assert!(matches!(parts[2], Goal::Possible(_)));

@@ -21,8 +21,14 @@ pub fn goal_to_dot(name: &str, goal: &Goal) -> String {
     let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
     let _ = writeln!(out, "  rankdir=LR;");
     let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
-    let _ = writeln!(out, "  start [shape=circle, label=\"\", style=filled, fillcolor=black, width=0.15];");
-    let _ = writeln!(out, "  end [shape=doublecircle, label=\"\", style=filled, fillcolor=black, width=0.12];");
+    let _ = writeln!(
+        out,
+        "  start [shape=circle, label=\"\", style=filled, fillcolor=black, width=0.15];"
+    );
+    let _ = writeln!(
+        out,
+        "  end [shape=doublecircle, label=\"\", style=filled, fillcolor=black, width=0.12];"
+    );
     out.push_str(&r.body);
     let _ = writeln!(out, "  start -> n{entry};");
     let _ = writeln!(out, "  n{exit} -> end;");
@@ -95,7 +101,7 @@ impl Renderer {
             Goal::Seq(gs) => {
                 let mut entry = None;
                 let mut prev: Option<usize> = None;
-                for g in gs {
+                for g in gs.iter() {
                     let (e, x) = self.walk(g);
                     if let Some(p) = prev {
                         self.edge(p, e);
@@ -103,7 +109,10 @@ impl Renderer {
                     entry.get_or_insert(e);
                     prev = Some(x);
                 }
-                (entry.expect("canonical Seq is non-empty"), prev.expect("non-empty"))
+                (
+                    entry.expect("canonical Seq is non-empty"),
+                    prev.expect("non-empty"),
+                )
             }
             Goal::Conc(gs) => self.block(gs, "AND", "diamond"),
             Goal::Or(gs) => self.block(gs, "OR", "diamond, style=dashed"),
@@ -132,7 +141,7 @@ impl Renderer {
     fn block(&mut self, gs: &[Goal], label: &str, shape: &str) -> (usize, usize) {
         let fork = self.node(label, &format!(", shape={shape}"));
         let join = self.node("", ", shape=point");
-        for g in gs {
+        for g in gs.iter() {
             let (e, x) = self.walk(g);
             self.edge(fork, e);
             self.edge(x, join);
@@ -174,7 +183,10 @@ mod tests {
         let goal = conc(vec![g("a"), g("b")]);
         let compiled = apply(&[Constraint::order("a", "b")], &goal);
         let dot = goal_to_dot("t", &compiled);
-        assert!(dot.contains("style=dotted, color=crimson"), "channel edge missing:\n{dot}");
+        assert!(
+            dot.contains("style=dotted, color=crimson"),
+            "channel edge missing:\n{dot}"
+        );
         assert!(dot.contains("send xi"));
         assert!(dot.contains("recv xi"));
     }
@@ -194,7 +206,10 @@ mod tests {
 
     #[test]
     fn braces_are_balanced() {
-        let goal = seq(vec![isolated(conc(vec![g("a"), g("b")])), or(vec![g("c"), g("d")])]);
+        let goal = seq(vec![
+            isolated(conc(vec![g("a"), g("b")])),
+            or(vec![g("c"), g("d")]),
+        ]);
         let dot = goal_to_dot("t", &goal);
         assert_eq!(dot.matches('{').count(), dot.matches('}').count());
     }

@@ -60,7 +60,10 @@ pub fn unroll(body: &Goal, min: usize, max: usize) -> Unrolling {
     }
     let mut parts: Vec<Goal> = iterations[..min].to_vec();
     parts.push(optional);
-    Unrolling { goal: seq(parts), occurrences }
+    Unrolling {
+        goal: seq(parts),
+        occurrences,
+    }
 }
 
 fn rename_iteration(
@@ -82,9 +85,19 @@ fn rename_iteration(
             // events: they repeat freely.
             None => goal.clone(),
         },
-        Goal::Seq(gs) => seq(gs.iter().map(|g| rename_iteration(g, i, occurrences)).collect()),
-        Goal::Conc(gs) => conc(gs.iter().map(|g| rename_iteration(g, i, occurrences)).collect()),
-        Goal::Or(gs) => or(gs.iter().map(|g| rename_iteration(g, i, occurrences)).collect()),
+        Goal::Seq(gs) => seq(gs
+            .iter()
+            .map(|g| rename_iteration(g, i, occurrences))
+            .collect()),
+        Goal::Conc(gs) => conc(
+            gs.iter()
+                .map(|g| rename_iteration(g, i, occurrences))
+                .collect(),
+        ),
+        Goal::Or(gs) => or(gs
+            .iter()
+            .map(|g| rename_iteration(g, i, occurrences))
+            .collect()),
         Goal::Isolated(g) => isolated(rename_iteration(g, i, occurrences)),
         Goal::Possible(g) => possible(rename_iteration(g, i, occurrences)),
         other => other.clone(),
@@ -195,7 +208,10 @@ mod tests {
     fn zero_minimum_allows_empty_run() {
         let u = unroll(&g("tick"), 0, 2);
         let traces = event_traces(&u.goal, 10_000).unwrap();
-        assert_eq!(traces.iter().map(Vec::len).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            traces.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
@@ -260,6 +276,9 @@ mod tests {
     #[test]
     fn debase_ignores_literal_at_signs_in_names() {
         let t = vec![sym("tick@2"), sym("plain"), sym("odd@name")];
-        assert_eq!(Unrolling::debase(&t), vec![sym("tick"), sym("plain"), sym("odd@name")]);
+        assert_eq!(
+            Unrolling::debase(&t),
+            vec![sym("tick"), sym("plain"), sym("odd@name")]
+        );
     }
 }

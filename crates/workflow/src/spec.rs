@@ -16,7 +16,7 @@
 //! to the largest per-sub-workflow count `M`.
 
 use crate::triggers::{compile_triggers, Trigger};
-use ctr::analysis::{self, Compiled, CompileError, Verification};
+use ctr::analysis::{self, CompileError, Compiled, Verification};
 use ctr::apply::{apply_all, ChannelAlloc};
 use ctr::constraints::Constraint;
 use ctr::excise::excise_with_diagnostics;
@@ -104,9 +104,9 @@ impl SubWorkflows {
     /// bodies, recursively (definitions are acyclic, so this terminates).
     pub fn expand(&self, goal: &Goal) -> Goal {
         match goal {
-            Goal::Atom(a) if a.is_prop() && self.defines(a.pred) => ctr::goal::or(
-                self.bodies(a.pred).iter().map(|b| self.expand(b)).collect(),
-            ),
+            Goal::Atom(a) if a.is_prop() && self.defines(a.pred) => {
+                ctr::goal::or(self.bodies(a.pred).iter().map(|b| self.expand(b)).collect())
+            }
             Goal::Atom(_) | Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => {
                 goal.clone()
             }
@@ -205,7 +205,11 @@ pub struct WorkflowSpec {
 impl WorkflowSpec {
     /// A specification with just a graph.
     pub fn new(name: &str, graph: Goal) -> WorkflowSpec {
-        WorkflowSpec { name: name.to_owned(), graph, ..WorkflowSpec::default() }
+        WorkflowSpec {
+            name: name.to_owned(),
+            graph,
+            ..WorkflowSpec::default()
+        }
     }
 
     /// The flattened goal: sub-workflows expanded and triggers compiled,
@@ -254,12 +258,12 @@ pub fn compile_modular(
     // Shared across the per-sub-workflow closures so channels stay
     // globally fresh.
     let channels = std::cell::RefCell::new(ChannelAlloc::new());
-    let flattened = spec.subworkflows.expand_with(&spec.graph, &|name, body| {
-        match local.get(&name) {
-            Some(constraints) => apply_all(constraints, &body, &mut channels.borrow_mut()),
-            None => body,
-        }
-    });
+    let flattened =
+        spec.subworkflows
+            .expand_with(&spec.graph, &|name, body| match local.get(&name) {
+                Some(constraints) => apply_all(constraints, &body, &mut channels.borrow_mut()),
+                None => body,
+            });
     let mut alloc = ChannelAlloc::fresh_for(&flattened);
     let with_triggers = compile_triggers(&flattened, &spec.triggers, &mut alloc);
     ctr::unique::check_unique_events(&with_triggers).map_err(CompileError::NotUniqueEvent)?;
@@ -292,8 +296,10 @@ mod tests {
     #[test]
     fn subworkflows_expand_recursively() {
         let mut sw = SubWorkflows::new();
-        sw.define("inner", ctr::goal::or(vec![g("x"), g("y")])).unwrap();
-        sw.define("outer", ctr::goal::seq(vec![g("a"), g("inner")])).unwrap();
+        sw.define("inner", ctr::goal::or(vec![g("x"), g("y")]))
+            .unwrap();
+        sw.define("outer", ctr::goal::seq(vec![g("a"), g("inner")]))
+            .unwrap();
         let flat = sw.expand(&ctr::goal::seq(vec![g("outer"), g("z")]));
         assert_eq!(
             flat,
@@ -315,7 +321,10 @@ mod tests {
         let mut sw = SubWorkflows::new();
         sw.define("pay", g("card")).unwrap();
         sw.define("pay", g("cash")).unwrap();
-        assert_eq!(sw.expand(&g("pay")), ctr::goal::or(vec![g("card"), g("cash")]));
+        assert_eq!(
+            sw.expand(&g("pay")),
+            ctr::goal::or(vec![g("card"), g("cash")])
+        );
     }
 
     #[test]
@@ -335,14 +344,16 @@ mod tests {
         assert!(!traces.is_empty());
         for t in &traces {
             assert!(satisfies(t, &Constraint::order("pick", "invoice")), "{t:?}");
-            assert!(satisfies(t, &Constraint::order("log", "pick")), "trigger ran first: {t:?}");
+            assert!(
+                satisfies(t, &Constraint::order("log", "pick")),
+                "trigger ran first: {t:?}"
+            );
         }
     }
 
     #[test]
     fn verify_and_redundancy_through_spec() {
-        let mut spec =
-            WorkflowSpec::new("pipeline", ctr::goal::seq(vec![g("a"), g("b"), g("c")]));
+        let mut spec = WorkflowSpec::new("pipeline", ctr::goal::seq(vec![g("a"), g("b"), g("c")]));
         spec.constraints.push(Constraint::order("a", "c"));
         // The graph alone forces a<c: the constraint is redundant.
         assert!(spec.is_redundant(0).unwrap());
@@ -356,7 +367,11 @@ mod tests {
         // and flat compilations must accept the same executions.
         let mut spec = WorkflowSpec::new(
             "modular",
-            ctr::goal::seq(vec![g("start"), ctr::goal::conc(vec![g("sub1"), g("sub2")]), g("end")]),
+            ctr::goal::seq(vec![
+                g("start"),
+                ctr::goal::conc(vec![g("sub1"), g("sub2")]),
+                g("end"),
+            ]),
         );
         spec.subworkflows
             .define("sub1", ctr::goal::conc(vec![g("a1"), g("b1")]))
@@ -374,8 +389,7 @@ mod tests {
         let modular = compile_modular(&spec, &local).unwrap();
 
         let mut flat = spec.clone();
-        flat.constraints =
-            vec![Constraint::order("a1", "b1"), Constraint::order("a2", "b2")];
+        flat.constraints = vec![Constraint::order("a1", "b1"), Constraint::order("a2", "b2")];
         let flat_compiled = flat.compile().unwrap();
 
         let m: BTreeSet<_> = event_traces(&modular.goal, 1_000_000).unwrap();
@@ -391,9 +405,7 @@ mod tests {
         let k = 4;
         let mut spec = WorkflowSpec::new(
             "mod-size",
-            ctr::goal::seq(
-                (0..k).map(|i| g(&format!("sub{i}"))).collect(),
-            ),
+            ctr::goal::seq((0..k).map(|i| g(&format!("sub{i}"))).collect()),
         );
         let mut local: BTreeMap<Symbol, Vec<Constraint>> = BTreeMap::new();
         for i in 0..k {
@@ -408,16 +420,17 @@ mod tests {
                 .unwrap();
             local.insert(
                 sym(&format!("sub{i}")),
-                vec![Constraint::klein_order(format!("a{i}").as_str(), format!("b{i}").as_str())],
+                vec![Constraint::klein_order(
+                    format!("a{i}").as_str(),
+                    format!("b{i}").as_str(),
+                )],
             );
         }
         let modular = compile_modular(&spec, &local).unwrap();
 
         let mut flat = spec.clone();
         flat.constraints = (0..k)
-            .map(|i| {
-                Constraint::klein_order(format!("a{i}").as_str(), format!("b{i}").as_str())
-            })
+            .map(|i| Constraint::klein_order(format!("a{i}").as_str(), format!("b{i}").as_str()))
             .collect();
         let flat_compiled = flat.compile().unwrap();
 

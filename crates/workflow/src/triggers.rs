@@ -49,12 +49,22 @@ pub struct Trigger {
 impl Trigger {
     /// An unconditional immediate trigger.
     pub fn immediate(on: impl Into<Symbol>, action: Goal) -> Trigger {
-        Trigger { on: on.into(), condition: None, action, semantics: TriggerSemantics::Immediate }
+        Trigger {
+            on: on.into(),
+            condition: None,
+            action,
+            semantics: TriggerSemantics::Immediate,
+        }
     }
 
     /// An unconditional eventual trigger.
     pub fn eventual(on: impl Into<Symbol>, action: Goal) -> Trigger {
-        Trigger { on: on.into(), condition: None, action, semantics: TriggerSemantics::Eventual }
+        Trigger {
+            on: on.into(),
+            condition: None,
+            action,
+            semantics: TriggerSemantics::Eventual,
+        }
     }
 
     /// Adds a condition.
@@ -97,9 +107,19 @@ fn rewrite_event(goal: &Goal, e: Symbol, replacement: &Goal) -> Goal {
         Goal::Atom(_) | Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => {
             goal.clone()
         }
-        Goal::Seq(gs) => seq(gs.iter().map(|g| rewrite_event(g, e, replacement)).collect()),
-        Goal::Conc(gs) => conc(gs.iter().map(|g| rewrite_event(g, e, replacement)).collect()),
-        Goal::Or(gs) => or(gs.iter().map(|g| rewrite_event(g, e, replacement)).collect()),
+        Goal::Seq(gs) => seq(gs
+            .iter()
+            .map(|g| rewrite_event(g, e, replacement))
+            .collect()),
+        Goal::Conc(gs) => conc(
+            gs.iter()
+                .map(|g| rewrite_event(g, e, replacement))
+                .collect(),
+        ),
+        Goal::Or(gs) => or(gs
+            .iter()
+            .map(|g| rewrite_event(g, e, replacement))
+            .collect()),
         Goal::Isolated(g) => ctr::goal::isolated(rewrite_event(g, e, replacement)),
         Goal::Possible(g) => ctr::goal::possible(rewrite_event(g, e, replacement)),
     }
@@ -127,7 +147,10 @@ pub fn compile_trigger(goal: &Goal, trigger: &Trigger, channels: &mut ChannelAll
                 trigger.on,
                 &seq(vec![Goal::atom(trigger.on), Goal::Send(xi)]),
             );
-            or(vec![without, conc(vec![signalled, seq(vec![Goal::Receive(xi), action])])])
+            or(vec![
+                without,
+                conc(vec![signalled, seq(vec![Goal::Receive(xi), action])]),
+            ])
         }
     }
 }
@@ -179,7 +202,9 @@ mod tests {
         let compiled = compile_trigger(&goal, &t, &mut ChannelAlloc::new());
         assert_eq!(
             traces(&compiled),
-            [tr(&["a", "e", "act"]), tr(&["e", "act", "b"])].into_iter().collect()
+            [tr(&["a", "e", "act"]), tr(&["e", "act", "b"])]
+                .into_iter()
+                .collect()
         );
     }
 
@@ -219,7 +244,10 @@ mod tests {
         let t = Trigger::eventual("approve", g("archive"));
         let compiled = compile_trigger(&goal, &t, &mut ChannelAlloc::new());
         let ts = traces(&compiled);
-        assert!(ts.contains(&tr(&["reject"])), "no trigger on the reject path");
+        assert!(
+            ts.contains(&tr(&["reject"])),
+            "no trigger on the reject path"
+        );
         assert!(ts.contains(&tr(&["approve", "archive"])));
         assert_eq!(ts.len(), 2);
     }
@@ -235,10 +263,15 @@ mod tests {
     #[test]
     fn cascading_triggers_compose() {
         let goal = g("a");
-        let triggers =
-            [Trigger::immediate("a", g("b")), Trigger::immediate("b", g("c"))];
+        let triggers = [
+            Trigger::immediate("a", g("b")),
+            Trigger::immediate("b", g("c")),
+        ];
         let compiled = compile_triggers(&goal, &triggers, &mut ChannelAlloc::new());
-        assert_eq!(traces(&compiled), [tr(&["a", "b", "c"])].into_iter().collect());
+        assert_eq!(
+            traces(&compiled),
+            [tr(&["a", "b", "c"])].into_iter().collect()
+        );
     }
 
     #[test]

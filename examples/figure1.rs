@@ -78,7 +78,10 @@ fn main() {
         // the trigger ran after b in b's own thread (concurrent branches
         // may interleave between them).
         if let Some(pb) = t.iter().position(|&x| x == ctr::sym("b")) {
-            let pa = t.iter().position(|&x| x == ctr::sym("audit_b")).expect("trigger fired");
+            let pa = t
+                .iter()
+                .position(|&x| x == ctr::sym("audit_b"))
+                .expect("trigger fired");
             assert!(pb < pa);
         }
     }

@@ -32,9 +32,7 @@ fn main() {
     .unwrap();
     println!("deployed: {:?}", rt.workflows());
 
-    let broken = rt.deploy_source(
-        "workflow broken { graph b * a; constraint before(a, b); }",
-    );
+    let broken = rt.deploy_source("workflow broken { graph b * a; constraint before(a, b); }");
     println!("deploying an inconsistent spec: {}\n", broken.unwrap_err());
 
     // Drive instances. The runtime exposes, at every stage, exactly the

@@ -16,7 +16,11 @@ fn main() {
         Goal::atom("gamma"),
         or(vec![
             Goal::atom("eta"),
-            conc(vec![Goal::atom("alpha"), Goal::atom("beta"), Goal::atom("eta")]),
+            conc(vec![
+                Goal::atom("alpha"),
+                Goal::atom("beta"),
+                Goal::atom("eta"),
+            ]),
         ]),
     ]);
     println!("G  = {goal}");
@@ -43,7 +47,10 @@ fn main() {
     // and prunes the dead branch.
     let excised = excise_with_diagnostics(&applied);
     println!("Excise(…) = {}", excised.goal);
-    assert_eq!(excised.goal, seq(vec![Goal::atom("gamma"), Goal::atom("eta")]));
+    assert_eq!(
+        excised.goal,
+        seq(vec![Goal::atom("gamma"), Goal::atom("eta")])
+    );
     println!("\nknot reports (the paper's G_fail feedback):");
     for report in &excised.reports {
         println!("  - {report}");
@@ -55,7 +62,10 @@ fn main() {
     // that could never satisfy all three constraints.
     let compiled = compile(&goal, &[c1, c2, c3]).unwrap();
     assert!(compiled.is_consistent());
-    assert_eq!(compiled.goal, seq(vec![Goal::atom("gamma"), Goal::atom("eta")]));
+    assert_eq!(
+        compiled.goal,
+        seq(vec![Goal::atom("gamma"), Goal::atom("eta")])
+    );
     println!("\nExcise(Apply(c1 ∧ c2 ∧ c3, G)) ≡ gamma * eta   — as in Example 5.7");
 
     // Tightening c₃ to an unconditional order (η must precede α, and both

@@ -22,12 +22,18 @@ fn main() {
     let fund = cfg.activity("fund");
     let decline = cfg.activity("decline");
     let close = cfg.activity("close");
-    cfg.arc(intake, credit).arc(intake, income).arc(intake, collateral);
-    cfg.arc(credit, decision).arc(income, decision).arc(collateral, decision);
+    cfg.arc(intake, credit)
+        .arc(intake, income)
+        .arc(intake, collateral);
+    cfg.arc(credit, decision)
+        .arc(income, decision)
+        .arc(collateral, decision);
     cfg.arc(decision, approve).arc(decision, decline);
     cfg.arc(approve, fund);
     cfg.arc(fund, close).arc(decline, close);
-    let graph = cfg.to_goal().expect("the underwriting graph is well-structured");
+    let graph = cfg
+        .to_goal()
+        .expect("the underwriting graph is well-structured");
     println!("graph: {graph}\n");
 
     // --- 2. Policy: spec with triggers and global constraints -------------
@@ -35,10 +41,13 @@ fn main() {
     // Compliance: every funded loan must have had its credit pulled
     // before funding (redundant here — verified below), and a declined
     // application must never fund.
-    spec.constraints.push(parse_constraint("klein_order(credit_pull, fund)").unwrap());
-    spec.constraints.push(parse_constraint("absent(decline) or absent(fund)").unwrap());
+    spec.constraints
+        .push(parse_constraint("klein_order(credit_pull, fund)").unwrap());
+    spec.constraints
+        .push(parse_constraint("absent(decline) or absent(fund)").unwrap());
     // Audit trigger: every decision is logged, eventually.
-    spec.triggers.push(Trigger::eventual("decision", Goal::atom("audit_decision")));
+    spec.triggers
+        .push(Trigger::eventual("decision", Goal::atom("audit_decision")));
 
     let compiled = spec.compile().unwrap();
     assert!(compiled.is_consistent());
@@ -50,7 +59,10 @@ fn main() {
     );
 
     // Verification: funding always follows approval.
-    assert!(spec.verify(&parse_constraint("klein_order(approve, fund)").unwrap()).unwrap().holds());
+    assert!(spec
+        .verify(&parse_constraint("klein_order(approve, fund)").unwrap())
+        .unwrap()
+        .holds());
     // Redundancy: the credit-before-fund rule is already structural.
     assert!(spec.is_redundant(0).unwrap());
     println!("verified: funding requires approval; constraint 0 is structurally redundant\n");
@@ -98,7 +110,11 @@ fn main() {
     let execs = engine.executions(&disbursement, &db).unwrap();
     assert_eq!(
         execs[0].event_names(),
-        vec![sym("reserve_funds"), sym("register_lien"), sym("wire_funds")]
+        vec![
+            sym("reserve_funds"),
+            sym("register_lien"),
+            sym("wire_funds")
+        ]
     );
     println!("\nhappy path run:\n  reserve_funds -> register_lien -> wire_funds");
 
@@ -121,6 +137,8 @@ fn main() {
     let flow = parse_goal("intake * approve * fund").unwrap();
     let execs = engine.executions(&flow, &db).unwrap();
     assert_eq!(execs.len(), 1);
-    assert!(execs[0].db.contains(sym("approved"), &[Term::constant("loan1")]));
+    assert!(execs[0]
+        .db
+        .contains(sym("approved"), &[Term::constant("loan1")]));
     println!("\nstate-aware run recorded approval in the database: approved(loan1)");
 }

@@ -31,13 +31,20 @@ fn main() {
 
     // Compile the constraints *into* the workflow (Apply + Excise, §5).
     let compiled = compile(&workflow, &policy).expect("unique-event workflow");
-    assert!(compiled.is_consistent(), "policy is satisfiable on this workflow");
+    assert!(
+        compiled.is_consistent(),
+        "policy is satisfiable on this workflow"
+    );
     println!("compiled:  {}\n", compiled.goal);
 
     // Verification (Theorem 5.9): every remaining execution invoices
     // after the check.
-    match verify(&workflow, &policy, &Constraint::klein_order("credit_check", "send_invoice"))
-        .unwrap()
+    match verify(
+        &workflow,
+        &policy,
+        &Constraint::klein_order("credit_check", "send_invoice"),
+    )
+    .unwrap()
     {
         Verification::Holds => println!("verified: invoices always follow the credit check"),
         Verification::CounterExample(ce) => println!("violated, e.g. by: {ce}"),
@@ -55,7 +62,9 @@ fn main() {
             .filter_map(|c| program.event(c.node))
             .map(|a| a.to_string())
             .collect();
-        let step = eligible.first().expect("knot-free compiled goals never deadlock");
+        let step = eligible
+            .first()
+            .expect("knot-free compiled goals never deadlock");
         println!("  eligible now: {names:?}");
         scheduler.fire(step.node);
     }

@@ -18,7 +18,11 @@ fn main() {
     // chaining the stages.
     let goal = gen::layered_workflow(6, 3);
     let constraints = gen::klein_chain(5);
-    println!("workflow: {} nodes, constraints: {}\n", goal.size(), constraints.len());
+    println!(
+        "workflow: {} nodes, constraints: {}\n",
+        goal.size(),
+        constraints.len()
+    );
 
     // --- Pro-active: compile once, schedule with no run-time checks -----
     let t0 = Instant::now();
@@ -51,7 +55,12 @@ fn main() {
     // single-disjunct constraints give hard reorderings — Klein
     // constraints are conditional and can only be validated post hoc.)
     let stage_orders: Vec<Constraint> = (0..5)
-        .map(|i| Constraint::order(ctr::sym(&format!("l{i}_0")), ctr::sym(&format!("l{}_0", i + 1))))
+        .map(|i| {
+            Constraint::order(
+                ctr::sym(&format!("l{i}_0")),
+                ctr::sym(&format!("l{}_0", i + 1)),
+            )
+        })
         .collect();
     let mut reorder = ReorderingScheduler::new(&stage_orders);
     let l5 = ctr::sym("l5_0");
@@ -64,7 +73,11 @@ fn main() {
     }
     println!(
         "  after the missing stages arrived, emitted order: {:?}",
-        reorder.emitted().iter().map(|s| s.as_str()).collect::<Vec<_>>()
+        reorder
+            .emitted()
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
     );
     assert_eq!(reorder.emitted().last(), Some(&l5));
 
@@ -76,7 +89,10 @@ fn main() {
     // the honest comparison here; disjunctive constraints multiply the
     // compiled structure and are measured separately in experiment E1.
     println!("\nscaling (per-path scheduling vs passive validation):");
-    println!("{:>8} {:>16} {:>16}", "events", "pro-active", "passive-validate");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "events", "pro-active", "passive-validate"
+    );
     for lanes in [2usize, 4, 8, 16] {
         let goal = gen::layered_workflow(8, lanes);
         let constraints: Vec<Constraint> = (0..7)
@@ -104,5 +120,7 @@ fn main() {
 
         println!("{:>8} {:>16?} {:>16?}", names.len(), active, passive);
     }
-    println!("\n(the full parameter sweep is experiment E5: `cargo run -p ctr-bench --bin experiments`)");
+    println!(
+        "\n(the full parameter sweep is experiment E5: `cargo run -p ctr-bench --bin experiments`)"
+    );
 }

@@ -110,7 +110,9 @@ fn main() {
     // after pick_courses, so demanding a late registration *before* the
     // waiver contradicts the structure — caught constructively.
     let mut broken = spec.clone();
-    broken.constraints.push(Constraint::order("late_register", "waiver"));
+    broken
+        .constraints
+        .push(Constraint::order("late_register", "waiver"));
     assert!(!broken.is_consistent().unwrap());
     println!("\nadding `before(late_register, waiver)` makes the spec inconsistent — detected");
 }

@@ -35,7 +35,10 @@ fn main() {
     // Sub-workflow: payment is a rule with two alternative definitions
     // (concurrent-Horn rules, §2).
     engine.rules.define("pay", Goal::atom("pay_card")).unwrap();
-    engine.rules.define("pay", Goal::atom("pay_invoice")).unwrap();
+    engine
+        .rules
+        .define("pay", Goal::atom("pay_invoice"))
+        .unwrap();
 
     // A parametric logging sub-workflow with a variable: record(X) inserts
     // into the log relation.
@@ -69,7 +72,10 @@ fn main() {
 
     // --- Execute -----------------------------------------------------------
     let execs = engine.executions(&trip, &db).unwrap();
-    println!("{} distinct executions (2 flights × 2 hotels × 2 payments × interleavings):", execs.len());
+    println!(
+        "{} distinct executions (2 flights × 2 hotels × 2 payments × interleavings):",
+        execs.len()
+    );
     for (i, e) in execs.iter().enumerate().take(6) {
         let path: Vec<String> = e.events.iter().map(|a| a.to_string()).collect();
         println!("  #{i}: {}", path.join(" -> "));
@@ -81,7 +87,9 @@ fn main() {
     for e in &execs {
         assert_eq!(e.db.cardinality(ctr::sym("booked_flight")), 1);
         assert_eq!(e.db.cardinality(ctr::sym("booked_hotel")), 1);
-        assert!(e.db.contains(ctr::sym("log"), &[Term::constant("trip_done")]));
+        assert!(e
+            .db
+            .contains(ctr::sym("log"), &[Term::constant("trip_done")]));
     }
     println!("\nall executions book one flight, one hotel, and log completion");
 

@@ -59,7 +59,7 @@ pub mod prelude {
     pub use ctr::term::{Atom, Term};
     pub use ctr_engine::{Engine, Program, Scheduler};
     pub use ctr_parser::{parse_constraint, parse_goal, parse_spec};
-    pub use ctr_state::{Database, StandardOracle};
     pub use ctr_runtime::{InstanceStatus, Runtime};
+    pub use ctr_state::{Database, StandardOracle};
     pub use ctr_workflow::{saga, Cfg, SagaStep, Trigger, WorkflowSpec};
 }

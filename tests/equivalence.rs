@@ -28,7 +28,11 @@ use std::collections::BTreeSet;
 const BUDGET: usize = 60_000;
 
 fn shape() -> GoalShape {
-    GoalShape { depth: 3, width: 3, or_bias: 0.35 }
+    GoalShape {
+        depth: 3,
+        width: 3,
+        or_bias: 0.35,
+    }
 }
 
 /// Trace set of a goal, or `None` if enumeration exceeds the budget.

@@ -65,7 +65,9 @@ fn doubly_guarded_knot_prunes_one_combination() {
     assert!(!traces
         .iter()
         .any(|t| t.contains(&ctr::sym("a2")) && t.contains(&ctr::sym("b2"))));
-    assert!(traces.iter().any(|t| t.contains(&ctr::sym("a1")) && t.contains(&ctr::sym("b2"))));
+    assert!(traces
+        .iter()
+        .any(|t| t.contains(&ctr::sym("a1")) && t.contains(&ctr::sym("b2"))));
 }
 
 /// Channels spanning an ∨: the send sits in the chosen branch, the
@@ -149,8 +151,15 @@ fn deep_alternation_with_two_constraints() {
     let goal = seq(vec![
         g("s0"),
         conc(vec![
-            seq(vec![g("p1"), or(vec![g("q1"), seq(vec![g("q2"), g("q3")])]), g("p2")]),
-            seq(vec![or(vec![g("r1"), g("r2")]), conc(vec![g("u1"), g("u2")])]),
+            seq(vec![
+                g("p1"),
+                or(vec![g("q1"), seq(vec![g("q2"), g("q3")])]),
+                g("p2"),
+            ]),
+            seq(vec![
+                or(vec![g("r1"), g("r2")]),
+                conc(vec![g("u1"), g("u2")]),
+            ]),
         ]),
         g("s1"),
     ]);

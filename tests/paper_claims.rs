@@ -28,11 +28,19 @@ fn equation_1_three_ways() {
     let built = seq(vec![
         g("a"),
         conc(vec![
-            seq(vec![g("cond1"), g("b"), or(vec![seq(vec![g("d"), g("cond3"), g("h")]), g("e")]), g("j")]),
+            seq(vec![
+                g("cond1"),
+                g("b"),
+                or(vec![seq(vec![g("d"), g("cond3"), g("h")]), g("e")]),
+                g("j"),
+            ]),
             seq(vec![
                 g("cond2"),
                 g("c"),
-                or(vec![seq(vec![g("f"), g("i"), g("cond4")]), seq(vec![g("g"), g("cond5")])]),
+                or(vec![
+                    seq(vec![g("f"), g("i"), g("cond4")]),
+                    seq(vec![g("g"), g("cond5")]),
+                ]),
             ]),
         ]),
         g("k"),
@@ -152,7 +160,11 @@ fn theorem_5_11_size_bounds() {
 /// of the workflow is an execution of the counterexample.
 #[test]
 fn most_general_counterexamples() {
-    let goal = seq(vec![g("s"), conc(vec![g("a"), g("b"), or(vec![g("c"), g("d")])]), g("t")]);
+    let goal = seq(vec![
+        g("s"),
+        conc(vec![g("a"), g("b"), or(vec![g("c"), g("d")])]),
+        g("t"),
+    ]);
     let property = Constraint::klein_order("a", "b");
     let Verification::CounterExample(ce) = verify(&goal, &[], &property).unwrap() else {
         panic!("a|b is unordered, the property must fail");
@@ -225,7 +237,10 @@ fn model_checking_comparison() {
     let wide = gen::parallel_workflow(10);
     let mc_states = ctr_baselines::explore(&wide, 10_000_000).unwrap().states;
     let compiled = compile(&wide, &[Constraint::must("t0")]).unwrap();
-    assert!(mc_states >= 1 << 10, "marking graph of 10 parallel tasks: {mc_states}");
+    assert!(
+        mc_states >= 1 << 10,
+        "marking graph of 10 parallel tasks: {mc_states}"
+    );
     assert!(compiled.applied_size < 2 * wide.size());
 }
 
@@ -254,7 +269,10 @@ fn modular_compilation_exponent() {
             .unwrap();
         local.insert(
             sym(&format!("sub{i}")),
-            vec![Constraint::klein_order(format!("a{i}").as_str(), format!("b{i}").as_str())],
+            vec![Constraint::klein_order(
+                format!("a{i}").as_str(),
+                format!("b{i}").as_str(),
+            )],
         );
     }
     let modular = compile_modular(&spec, &local).unwrap();

@@ -48,8 +48,7 @@ fn runtime_journals_satisfy_constraints_per_baselines() {
             let pick = eligible[k % eligible.len()].clone();
             rt.fire(id, &pick).unwrap();
         }
-        let journal: Vec<ctr::Symbol> =
-            rt.journal(id).unwrap().iter().map(|s| sym(s)).collect();
+        let journal: Vec<ctr::Symbol> = rt.journal(id).unwrap().iter().map(|s| sym(s)).collect();
         assert!(validator.validate(&journal), "instance {k}: {journal:?}");
         assert!(product.validate(&journal), "instance {k}: {journal:?}");
         for c in constraints() {
@@ -70,17 +69,30 @@ fn enactment_respects_compiled_constraints() {
     for seed in 0..12u64 {
         let counter = Arc::new(AtomicUsize::new(0));
         let mut enactor = Enactor::new().with_policy(ChoicePolicy::Random(seed));
-        for event in ["file", "triage", "verify_policy", "approve_claim", "deny", "notify"] {
+        for event in [
+            "file",
+            "triage",
+            "verify_policy",
+            "approve_claim",
+            "deny",
+            "notify",
+        ] {
             let c = Arc::clone(&counter);
-            enactor.register(event, Box::new(move |_| {
-                c.fetch_add(1, Ordering::SeqCst);
-                Ok(())
-            }));
+            enactor.register(
+                event,
+                Box::new(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }),
+            );
         }
         let trace = enactor.run(&program).unwrap();
-        let names: Vec<ctr::Symbol> =
-            trace.iter().filter_map(ctr::term::Atom::as_event).collect();
-        assert_eq!(counter.load(Ordering::SeqCst), names.len(), "one handler call per event");
+        let names: Vec<ctr::Symbol> = trace.iter().filter_map(ctr::term::Atom::as_event).collect();
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            names.len(),
+            "one handler call per event"
+        );
         for c in constraints() {
             assert!(satisfies(&names, &c), "seed {seed}: {names:?}");
         }

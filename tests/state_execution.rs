@@ -33,7 +33,10 @@ fn conditions_select_branches_per_state() {
     .unwrap();
     let compiled = spec.compile().unwrap();
     assert!(compiled.is_consistent());
-    assert!(compiled.has_conditions, "negated query atoms count as conditions");
+    assert!(
+        compiled.has_conditions,
+        "negated query atoms count as conditions"
+    );
 
     let engine = Engine::new();
 
@@ -64,7 +67,10 @@ fn conditions_select_branches_per_state() {
 fn soundness_gap_resolved_by_execution() {
     let goal = parse_goal("start * approved * finish").unwrap();
     let compiled = ctr::analysis::compile(&goal, &[]).unwrap();
-    assert!(compiled.is_consistent(), "consistent for some condition outcomes");
+    assert!(
+        compiled.is_consistent(),
+        "consistent for some condition outcomes"
+    );
     // `approved` is only a condition if the schema declares it.
     let mut db = Database::new();
     db.declare("approved");
@@ -81,7 +87,9 @@ fn updates_enable_downstream_conditions() {
     let engine = Engine::with_oracle(Box::new(StandardOracle::new()));
     let execs = engine.executions(&goal, &Database::new()).unwrap();
     assert_eq!(execs.len(), 1);
-    assert!(execs[0].db.contains(sym("approved"), &[Term::constant("claim9")]));
+    assert!(execs[0]
+        .db
+        .contains(sym("approved"), &[Term::constant("claim9")]));
 }
 
 /// Variables flow from queries into updates across a parsed goal, and
@@ -142,9 +150,10 @@ fn recursive_retry_loop_with_state_condition() {
         "try_upload",
         Box::new(|_, db| {
             let n = db.cardinality(sym("attempts")) as i64;
-            vec![vec![
-                ctr_state::Change::Insert { rel: sym("attempts"), tuple: vec![Term::Int(n)] },
-            ]]
+            vec![vec![ctr_state::Change::Insert {
+                rel: sym("attempts"),
+                tuple: vec![Term::Int(n)],
+            }]]
         }),
     );
     let mut engine = Engine::with_oracle(Box::new(oracle));
@@ -153,17 +162,26 @@ fn recursive_retry_loop_with_state_condition() {
         .rules
         .define(
             "upload_loop",
-            parse_goal(
-                "try_upload * ((attempts(2) * done) + (!attempts(2) * upload_loop))",
-            )
-            .unwrap(),
+            parse_goal("try_upload * ((attempts(2) * done) + (!attempts(2) * upload_loop))")
+                .unwrap(),
         )
         .unwrap();
-    engine.set_options(ExecOptions { max_solutions: 1, max_steps: 100_000, max_depth: 16, ..Default::default() });
+    engine.set_options(ExecOptions {
+        max_solutions: 1,
+        max_steps: 100_000,
+        max_depth: 16,
+        ..Default::default()
+    });
 
-    let execs = engine.executions(&ctr::Goal::atom("upload_loop"), &Database::new()).unwrap();
+    let execs = engine
+        .executions(&ctr::Goal::atom("upload_loop"), &Database::new())
+        .unwrap();
     assert_eq!(execs.len(), 1);
-    let uploads = execs[0].events.iter().filter(|a| a.pred == sym("try_upload")).count();
+    let uploads = execs[0]
+        .events
+        .iter()
+        .filter(|a| a.pred == sym("try_upload"))
+        .count();
     assert_eq!(uploads, 3, "two failures then success");
     assert!(execs[0].events.iter().any(|a| a.pred == sym("done")));
 }
@@ -203,5 +221,8 @@ fn isolation_makes_check_then_set_atomic() {
     // relation and fails its check — no execution pays both.
     let atomic = conc(vec![isolated(withdraw("a")), isolated(withdraw("b"))]);
     let execs = engine.executions(&atomic, &db).unwrap();
-    assert!(execs.is_empty(), "one withdrawal empties funds; the other's check fails");
+    assert!(
+        execs.is_empty(),
+        "one withdrawal empties funds; the other's check fails"
+    );
 }

@@ -18,14 +18,9 @@ use std::hint;
 use std::time::{Duration, Instant};
 
 /// Benchmark context handed to the functions in [`criterion_group!`].
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Criterion {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
@@ -107,7 +102,10 @@ impl BenchmarkGroup {
     fn run_bench(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
         // Calibrate: find how many iterations fit a per-sample slice of
         // the measurement budget, starting from a single timed run.
-        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut bencher);
         let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
         let per_sample = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
@@ -115,7 +113,10 @@ impl BenchmarkGroup {
 
         let mut samples = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
-            let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut bencher);
             samples.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
         }
@@ -123,8 +124,17 @@ impl BenchmarkGroup {
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(0.0f64, f64::max);
 
-        let full = if self.name.is_empty() { id.to_owned() } else { format!("{}/{id}", self.name) };
-        print!("{full:<48} mean {:>12}  [{} .. {}]", fmt_ns(mean), fmt_ns(min), fmt_ns(max));
+        let full = if self.name.is_empty() {
+            id.to_owned()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        print!(
+            "{full:<48} mean {:>12}  [{} .. {}]",
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max)
+        );
         if let Some(Throughput::Elements(n)) = self.throughput {
             if mean > 0.0 {
                 print!("  {:.0} elem/s", n as f64 * 1e9 / mean);

@@ -67,13 +67,19 @@ pub mod test_runner {
     impl Config {
         /// Config with the given number of cases.
         pub fn with_cases(cases: u32) -> Config {
-            Config { cases, ..Config::default() }
+            Config {
+                cases,
+                ..Config::default()
+            }
         }
     }
 
     impl Default for Config {
         fn default() -> Config {
-            Config { cases: 256, max_global_rejects: 65_536 }
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
         }
     }
 
@@ -149,7 +155,9 @@ pub mod strategy {
     impl ValueSource {
         /// Source seeded with `seed`.
         pub fn new(seed: u64) -> ValueSource {
-            ValueSource { state: seed ^ 0x6A09_E667_F3BC_C909 }
+            ValueSource {
+                state: seed ^ 0x6A09_E667_F3BC_C909,
+            }
         }
 
         /// Next raw 64 bits.
@@ -270,7 +278,11 @@ pub mod collection {
 
     /// Vec of values from `element`, with length drawn from `len`.
     pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
-        VecStrategy { element, min: len.start, max: len.end.saturating_sub(1) }
+        VecStrategy {
+            element,
+            min: len.start,
+            max: len.end.saturating_sub(1),
+        }
     }
 
     /// Strategy produced by [`vec`].
@@ -409,7 +421,9 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return Err($crate::TestCaseError::fail(format!(
                 "assertion failed: `{} != {}`\n  both: {:?}",
-                stringify!($left), stringify!($right), l
+                stringify!($left),
+                stringify!($right),
+                l
             )));
         }
     }};
