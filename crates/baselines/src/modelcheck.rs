@@ -52,7 +52,7 @@ fn explore_with_property(
     let automaton = property.map(ConstraintAutomaton::new);
 
     struct Node<'p> {
-        scheduler: Scheduler<'p>,
+        scheduler: Scheduler<&'p Program>,
         auto: AutoState,
     }
 

@@ -2,6 +2,10 @@
 //! experiment in DESIGN.md's index) with deterministic workloads.
 //!
 //! Run with: `cargo run --release -p ctr-bench --bin experiments`
+//!
+//! `--smoke` skips the (slow) tables and regenerates only the
+//! machine-readable `BENCH_*.json` records on tiny workloads — CI runs
+//! this so the JSON generation paths cannot silently rot.
 
 use ctr::analysis::compile;
 use ctr::apply::apply;
@@ -13,23 +17,28 @@ use ctr::sym;
 use ctr_baselines::{explore, PassiveValidator, ProductScheduler};
 use ctr_bench::{fmt_ns, log_growth_factor, power_law_exponent, time_mean, Table};
 use ctr_engine::scheduler::{Program, Scheduler};
+use ctr_runtime::Runtime;
 use ctr_workflow::{compile_modular, compile_triggers, Trigger, WorkflowSpec};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let t0 = Instant::now();
-    e1_apply_size();
-    e2_excise_linear();
-    e3_serial_linear();
-    e4_np_hardness();
-    e5_scheduling();
-    e6_vs_modelcheck();
-    e7_subworkflows();
-    e8_triggers();
-    x2_automata();
-    a1_ablation();
-    bench_compile_json();
+    if !smoke {
+        e1_apply_size();
+        e2_excise_linear();
+        e3_serial_linear();
+        e4_np_hardness();
+        e5_scheduling();
+        e6_vs_modelcheck();
+        e7_subworkflows();
+        e8_triggers();
+        x2_automata();
+        a1_ablation();
+    }
+    bench_compile_json(smoke);
+    bench_exec_json(smoke);
     eprintln!("\n(total {:.1?})", t0.elapsed());
 }
 
@@ -438,7 +447,7 @@ fn a1_ablation() {
 /// One record per workload: the E1 linearity family (layered workflow,
 /// klein_chain(3)) and the E2 excise family, with apply and excise wall
 /// times measured separately.
-fn bench_compile_json() {
+fn bench_compile_json(smoke: bool) {
     struct Record {
         name: String,
         goal_size: usize,
@@ -464,7 +473,8 @@ fn bench_compile_json() {
         });
     };
 
-    for layers in [4usize, 8, 16, 32, 64] {
+    let e1_layers: &[usize] = if smoke { &[4] } else { &[4, 8, 16, 32, 64] };
+    for &layers in e1_layers {
         let goal = gen::layered_workflow(layers, 2);
         measure(
             format!("e1_apply_size/layers{layers}_klein3"),
@@ -472,7 +482,12 @@ fn bench_compile_json() {
             &gen::klein_chain(3),
         );
     }
-    for (layers, n) in [(8usize, 3usize), (16, 4), (32, 4), (32, 5)] {
+    let e2_shapes: &[(usize, usize)] = if smoke {
+        &[(8, 3)]
+    } else {
+        &[(8, 3), (16, 4), (32, 4), (32, 5)]
+    };
+    for &(layers, n) in e2_shapes {
         let goal = gen::layered_workflow(layers, 2);
         measure(
             format!("e2_excise_linear/layers{layers}_klein{n}"),
@@ -494,6 +509,133 @@ fn bench_compile_json() {
     let json = format!("[\n{}\n]\n", rows.join(",\n"));
     std::fs::write("BENCH_compile.json", &json).expect("write BENCH_compile.json");
     eprintln!("\nwrote BENCH_compile.json ({} workloads)", records.len());
+}
+
+/// Machine-readable record of the execution hot path (`Runtime::fire` /
+/// `Runtime::eligible`), written alongside `BENCH_compile.json` so the
+/// run-time layer's perf can be compared across commits.
+///
+/// One record per workload: a long single instance (per-fire cost must be
+/// flat in the journal length), an `eligible()` probe at the end of a long
+/// journal, and a fleet of instances sharing one deployment.
+fn bench_exec_json(smoke: bool) {
+    struct Record {
+        name: String,
+        instances: usize,
+        total_fires: usize,
+        wall_ns: u128,
+        fires_per_sec: u64,
+        replayed_steps: u64,
+    }
+    let mut records = Vec::new();
+
+    // Drives `fires` pipeline events through one instance.
+    let mut single = |name: &str, fires: usize| {
+        let mut rt = Runtime::new();
+        rt.deploy_compiled("pipe", gen::pipeline_workflow(fires))
+            .expect("pipeline compiles");
+        let id = rt.start("pipe").expect("deployed");
+        let events: Vec<String> = (0..fires).map(|i| format!("t{i}")).collect();
+        let t0 = Instant::now();
+        for e in &events {
+            rt.fire(id, e).expect("pipeline order");
+        }
+        let wall = t0.elapsed();
+        records.push(Record {
+            name: name.to_owned(),
+            instances: 1,
+            total_fires: fires,
+            wall_ns: wall.as_nanos(),
+            fires_per_sec: (fires as f64 / wall.as_secs_f64()) as u64,
+            replayed_steps: rt.replayed_steps(),
+        });
+    };
+    if smoke {
+        single("single/pipeline_200", 200);
+    } else {
+        single("single/pipeline_1000", 1_000);
+        single("single/pipeline_10000", 10_000);
+    }
+
+    // `eligible()` probes at the end of a long journal: the cursor-cache
+    // case the passive replay design paid O(journal) for.
+    {
+        let fires = if smoke { 200 } else { 10_000 };
+        let probes = if smoke { 50 } else { 1_000 };
+        let mut rt = Runtime::new();
+        rt.deploy_compiled("pipe", gen::pipeline_workflow(fires))
+            .expect("pipeline compiles");
+        let id = rt.start("pipe").expect("deployed");
+        for i in 0..fires - 1 {
+            rt.fire(id, &format!("t{i}")).expect("pipeline order");
+        }
+        let before = rt.replayed_steps();
+        let t0 = Instant::now();
+        for _ in 0..probes {
+            assert_eq!(rt.eligible(id).expect("live instance").len(), 1);
+        }
+        let wall = t0.elapsed();
+        records.push(Record {
+            name: format!("eligible_tail/pipeline_{fires}x{probes}"),
+            instances: 1,
+            total_fires: probes,
+            wall_ns: wall.as_nanos(),
+            fires_per_sec: (probes as f64 / wall.as_secs_f64()) as u64,
+            replayed_steps: rt.replayed_steps() - before,
+        });
+    }
+
+    // A fleet of instances sharing one deployment (one Arc'd program).
+    {
+        let fleet = if smoke { 10 } else { 200 };
+        let goal = gen::layered_workflow(16, 2);
+        let compiled = compile(&goal, &stage_orders(15)).expect("consistent");
+        let program = Program::compile(&compiled.goal).expect("knot-free");
+        let trace: Vec<String> = Scheduler::new(&program)
+            .run_first()
+            .expect("knot-free")
+            .iter()
+            .filter_map(ctr::term::Atom::as_event)
+            .map(|s| s.as_str().to_owned())
+            .collect();
+        let mut rt = Runtime::new();
+        rt.deploy_compiled("layered", compiled.goal.clone())
+            .expect("compiles");
+        let ids: Vec<_> = (0..fleet)
+            .map(|_| rt.start("layered").expect("deployed"))
+            .collect();
+        let t0 = Instant::now();
+        for &id in &ids {
+            for e in &trace {
+                rt.fire(id, e).expect("trace replays");
+            }
+            rt.try_complete(id).expect("live instance");
+        }
+        let wall = t0.elapsed();
+        let fires = fleet * trace.len();
+        records.push(Record {
+            name: format!("fleet/layered16x2_orders_{fleet}inst"),
+            instances: fleet,
+            total_fires: fires,
+            wall_ns: wall.as_nanos(),
+            fires_per_sec: (fires as f64 / wall.as_secs_f64()) as u64,
+            replayed_steps: rt.replayed_steps(),
+        });
+    }
+
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"name\": \"{}\", \"instances\": {}, \"total_fires\": {}, \
+                 \"wall_ns\": {}, \"fires_per_sec\": {}, \"replayed_steps\": {}}}",
+                r.name, r.instances, r.total_fires, r.wall_ns, r.fires_per_sec, r.replayed_steps
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    eprintln!("wrote BENCH_exec.json ({} workloads)", records.len());
 }
 
 fn x2_automata() {

@@ -352,6 +352,38 @@ impl Goal {
         }
     }
 
+    /// Visits every atom in the goal, left to right. The shared walker
+    /// behind variable-floor scans, predicate collection, and other
+    /// atom-level analyses — callers should use this rather than matching
+    /// the goal shape themselves.
+    pub fn for_each_atom(&self, f: &mut impl FnMut(&Atom)) {
+        match self {
+            Goal::Atom(a) => f(a),
+            Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
+                for g in gs.iter() {
+                    g.for_each_atom(f);
+                }
+            }
+            Goal::Isolated(g) | Goal::Possible(g) => g.for_each_atom(f),
+            Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => {}
+        }
+    }
+
+    /// Rebuilds the goal with `f` applied to every atom, preserving the
+    /// exact tree shape (raw constructors, no flattening), so an atom-level
+    /// rewrite such as variable renaming cannot disturb the structure.
+    pub fn map_atoms(&self, f: &mut impl FnMut(&Atom) -> Atom) -> Goal {
+        match self {
+            Goal::Atom(a) => Goal::Atom(f(a)),
+            Goal::Seq(gs) => Goal::raw_seq(gs.iter().map(|g| g.map_atoms(f)).collect()),
+            Goal::Conc(gs) => Goal::raw_conc(gs.iter().map(|g| g.map_atoms(f)).collect()),
+            Goal::Or(gs) => Goal::raw_or(gs.iter().map(|g| g.map_atoms(f)).collect()),
+            Goal::Isolated(g) => Goal::raw_isolated(g.map_atoms(f)),
+            Goal::Possible(g) => Goal::raw_possible(g.map_atoms(f)),
+            other => other.clone(),
+        }
+    }
+
     /// Rebuilds the goal through the smart constructors, enforcing the
     /// canonical simplified form (flattened connectives, units dropped,
     /// `¬path` absorbed per the tautologies of §5). Goals produced by this

@@ -31,6 +31,7 @@ use ctr::term::Atom;
 use ctr_state::{Database, Delta, NullOracle, TransitionOracle};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Resource limits for a run.
 #[derive(Clone, Copy, Debug)]
@@ -112,48 +113,95 @@ impl Execution {
 // ---------------------------------------------------------------------------
 
 /// A resolvent node: the goal with run-time bookkeeping.
+///
+/// Mirrors `core::goal`'s `Arc`-shared representation at run time:
+/// child lists and `⊙`-bodies sit behind `Arc`s, so cloning a resolvent
+/// (one per choice point in the search) is a constant number of
+/// refcount bumps, and rewrites clone only the spine from the root to
+/// the rewritten node ([`node_at_mut`] / [`tidy_at`] use
+/// `Arc::make_mut`, which copies a node only while it is shared).
+/// `◇`-bodies stay as [`Goal`]s — compiling `◇G` bumps the refcount of
+/// the goal's own `Arc` payload, keeping its cached size/fingerprint
+/// machinery, instead of deep-copying the subtree.
 #[derive(Clone, Debug)]
 enum Res {
     Done,
     Atom(Atom),
     /// `cursor` indexes the first unfinished child.
     Seq {
-        children: Vec<Res>,
+        children: Arc<Vec<Res>>,
         cursor: usize,
     },
-    Conc(Vec<Res>),
-    Or(Vec<Res>),
+    Conc(Arc<Vec<Res>>),
+    Or(Arc<Vec<Res>>),
     Iso {
-        body: Box<Res>,
+        body: Arc<Res>,
         entered: bool,
     },
-    Poss(Goal),
+    Poss(Arc<Goal>),
     Send(Channel),
     Recv(Channel),
 }
 
 impl Res {
+    /// Compiles a simplified goal, normalizing as it builds: sequence
+    /// cursors start past finished children and fully finished
+    /// composites collapse to [`Res::Done`]. Every `Res` in the search
+    /// is kept in this normal form ([`tidy_at`] restores it after each
+    /// spine rewrite), so "is this branch complete?" is a root check.
     fn compile(goal: &Goal) -> Res {
         match goal {
             Goal::Atom(a) => Res::Atom(a.clone()),
-            Goal::Seq(gs) => Res::Seq {
-                children: gs.iter().map(Res::compile).collect(),
-                cursor: 0,
-            },
-            Goal::Conc(gs) => Res::Conc(gs.iter().map(Res::compile).collect()),
-            Goal::Or(gs) => Res::Or(gs.iter().map(Res::compile).collect()),
-            Goal::Isolated(g) => Res::Iso {
-                body: Box::new(Res::compile(g)),
-                entered: false,
-            },
-            Goal::Possible(g) => Res::Poss((**g).clone()),
+            Goal::Seq(gs) => Res::seq(gs.iter().map(Res::compile).collect()),
+            Goal::Conc(gs) => Res::conc(gs.iter().map(Res::compile).collect()),
+            Goal::Or(gs) => Res::Or(Arc::new(gs.iter().map(Res::compile).collect())),
+            Goal::Isolated(g) => Res::iso(Res::compile(g), false),
+            Goal::Possible(g) => Res::Poss(Arc::clone(g)),
             Goal::Send(c) => Res::Send(*c),
             Goal::Receive(c) => Res::Recv(*c),
             Goal::Empty => Res::Done,
             Goal::NoPath => {
                 // Simplified goals contain ¬path only at the root; compile
                 // it to an empty disjunction, which can never be chosen.
-                Res::Or(Vec::new())
+                Res::Or(Arc::new(Vec::new()))
+            }
+        }
+    }
+
+    /// Normalized sequence: skips finished prefixes, collapses when all
+    /// children are done.
+    fn seq(children: Vec<Res>) -> Res {
+        let mut cursor = 0;
+        while children.get(cursor).is_some_and(Res::is_done) {
+            cursor += 1;
+        }
+        if cursor == children.len() {
+            Res::Done
+        } else {
+            Res::Seq {
+                children: Arc::new(children),
+                cursor,
+            }
+        }
+    }
+
+    /// Normalized concurrence: collapses when all children are done.
+    fn conc(children: Vec<Res>) -> Res {
+        if children.iter().all(Res::is_done) {
+            Res::Done
+        } else {
+            Res::Conc(Arc::new(children))
+        }
+    }
+
+    /// Normalized isolation: collapses when the body is done.
+    fn iso(body: Res, entered: bool) -> Res {
+        if body.is_done() {
+            Res::Done
+        } else {
+            Res::Iso {
+                body: Arc::new(body),
+                entered,
             }
         }
     }
@@ -182,14 +230,18 @@ fn node_at<'a>(res: &'a Res, path: &[usize]) -> &'a Res {
     }
 }
 
+/// Mutable access along a path — the spine-only rewrite. `Arc::make_mut`
+/// copies a node (shallowly: its children are refcount bumps) only when
+/// it is still shared with another configuration; everything off the
+/// path stays shared.
 fn node_at_mut<'a>(res: &'a mut Res, path: &[usize]) -> &'a mut Res {
     match path.split_first() {
         None => res,
         Some((&i, rest)) => match res {
             Res::Seq { children, .. } | Res::Conc(children) | Res::Or(children) => {
-                node_at_mut(&mut children[i], rest)
+                node_at_mut(&mut Arc::make_mut(children)[i], rest)
             }
-            Res::Iso { body, .. } => node_at_mut(body, rest),
+            Res::Iso { body, .. } => node_at_mut(Arc::make_mut(body), rest),
             _ => unreachable!("path descends through interior nodes"),
         },
     }
@@ -295,37 +347,34 @@ fn redexes(res: &Res, sent: &BTreeSet<Channel>) -> Vec<Redex> {
     out
 }
 
-/// After a node completes, advance sequence cursors and collapse finished
-/// composites bottom-up along `path`.
-fn tidy(res: &mut Res) {
+/// Restores the normal form after a rewrite at `path`: bottom-up along
+/// the path (and only the path — everything else is already normalized
+/// and possibly shared), advance sequence cursors past finished
+/// children and collapse finished composites to [`Res::Done`]. The
+/// spine was just made unique by the rewrite, so the `make_mut`s here
+/// never copy.
+fn tidy_at(res: &mut Res, path: &[usize]) {
+    if let Some((&i, rest)) = path.split_first() {
+        match res {
+            Res::Seq { children, .. } | Res::Conc(children) | Res::Or(children) => {
+                tidy_at(&mut Arc::make_mut(children)[i], rest);
+            }
+            Res::Iso { body, .. } => tidy_at(Arc::make_mut(body), rest),
+            // The node below was rewritten to a leaf: nothing deeper.
+            _ => {}
+        }
+    }
     match res {
         Res::Seq { children, cursor } => {
-            while *cursor < children.len() {
-                tidy(&mut children[*cursor]);
-                if children[*cursor].is_done() {
-                    *cursor += 1;
-                } else {
-                    return;
-                }
+            while children.get(*cursor).is_some_and(Res::is_done) {
+                *cursor += 1;
             }
-            *res = Res::Done;
-        }
-        Res::Conc(children) => {
-            let mut all_done = true;
-            for c in children.iter_mut() {
-                tidy(c);
-                all_done &= c.is_done();
-            }
-            if all_done {
+            if *cursor == children.len() {
                 *res = Res::Done;
             }
         }
-        Res::Iso { body, .. } => {
-            tidy(body);
-            if body.is_done() {
-                *res = Res::Done;
-            }
-        }
+        Res::Conc(children) if children.iter().all(Res::is_done) => *res = Res::Done,
+        Res::Iso { body, .. } if body.is_done() => *res = Res::Done,
         _ => {}
     }
 }
@@ -349,7 +398,8 @@ fn enters_isolation(res: &Res, path: &[usize]) -> bool {
     matches!(cur, Res::Iso { entered: false, .. })
 }
 
-/// Marks every `⊙` along `path` as entered.
+/// Marks every `⊙` along `path` as entered (spine-only: shared nodes on
+/// the path are unshared by `make_mut`, siblings stay shared).
 fn enter_isolation(res: &mut Res, path: &[usize]) {
     let mut cur = res;
     for &i in path {
@@ -357,8 +407,10 @@ fn enter_isolation(res: &mut Res, path: &[usize]) {
             *entered = true;
         }
         cur = match cur {
-            Res::Seq { children, .. } | Res::Conc(children) | Res::Or(children) => &mut children[i],
-            Res::Iso { body, .. } => body,
+            Res::Seq { children, .. } | Res::Conc(children) | Res::Or(children) => {
+                &mut Arc::make_mut(children)[i]
+            }
+            Res::Iso { body, .. } => Arc::make_mut(body),
             _ => return,
         };
     }
@@ -382,15 +434,20 @@ impl Default for Engine {
     }
 }
 
+/// One configuration of the search. Cloning (one per choice point) is
+/// cheap by construction: the resolvent, the database snapshot, the
+/// event log, and the recorded state path are all `Arc`-shared —
+/// mutation goes through `Arc::make_mut`, so a branch pays for copying
+/// only what it actually changes.
 #[derive(Clone)]
 struct Config {
     res: Res,
-    db: Database,
+    db: Arc<Database>,
     subst: Subst,
     sent: BTreeSet<Channel>,
-    events: Vec<Atom>,
+    events: Arc<Vec<Atom>>,
     depth: usize,
-    states: Vec<Database>,
+    states: Vec<Arc<Database>>,
 }
 
 impl Engine {
@@ -453,15 +510,16 @@ impl Engine {
     ) -> Result<(), EngineError> {
         let simplified = goal.simplify();
         let query_vars = goal_var_floor(&simplified);
+        let db = Arc::new(db.clone());
         let initial = Config {
             res: Res::compile(&simplified),
-            db: db.clone(),
+            db: Arc::clone(&db),
             subst: Subst::with_floor(query_vars),
             sent: BTreeSet::new(),
-            events: Vec::new(),
+            events: Arc::new(Vec::new()),
             depth: 0,
             states: if self.options.record_states {
-                vec![db.clone()]
+                vec![db]
             } else {
                 Vec::new()
             },
@@ -479,7 +537,6 @@ impl Engine {
                 return Err(EngineError::StepLimit(self.options.max_steps));
             }
 
-            tidy(&mut cfg.res);
             if cfg.res.is_done() {
                 // Answer bindings: resolve each of the query's own
                 // variables against the final substitution.
@@ -491,10 +548,10 @@ impl Engine {
                     })
                     .collect();
                 let exec = Execution {
-                    events: cfg.events.clone(),
-                    db: cfg.db.clone(),
+                    events: (*cfg.events).clone(),
+                    db: (*cfg.db).clone(),
                     bindings,
-                    states: cfg.states.clone(),
+                    states: cfg.states.iter().map(|s| (**s).clone()).collect(),
                 };
                 let key = execution_key(&exec);
                 if seen.insert(key) {
@@ -519,6 +576,7 @@ impl Engine {
                     cfg.sent.insert(*c);
                 }
                 *node_at_mut(&mut cfg.res, &path) = Res::Done;
+                tidy_at(&mut cfg.res, &path);
                 stack.push(cfg);
                 continue;
             }
@@ -533,7 +591,10 @@ impl Engine {
                         let Res::Or(children) = node else {
                             unreachable!("choose redex leads to a disjunction")
                         };
+                        // The chosen branch is an Arc-shared subtree:
+                        // committing is a refcount bump, not a copy.
                         *node = children[*branch].clone();
+                        tidy_at(&mut next.res, path);
                         stack.push(next);
                     }
                     Redex::Channel(path) => {
@@ -544,6 +605,7 @@ impl Engine {
                             next.sent.insert(*c);
                         }
                         *node_at_mut(&mut next.res, path) = Res::Done;
+                        tidy_at(&mut next.res, path);
                         stack.push(next);
                     }
                     Redex::Check(path) => {
@@ -552,9 +614,10 @@ impl Engine {
                         };
                         // ◇: executable-at-current-state test; consumes no
                         // path and leaves no changes.
-                        if self.is_executable(&body.clone(), &cfg.db)? {
+                        if self.is_executable(body.as_ref(), &cfg.db)? {
                             let mut next = cfg.clone();
                             *node_at_mut(&mut next.res, path) = Res::Done;
+                            tidy_at(&mut next.res, path);
                             stack.push(next);
                         }
                     }
@@ -594,8 +657,11 @@ impl Engine {
                 if !next.subst.unify_atoms(&head, &atom) {
                     continue;
                 }
-                let body = rename_goal(&rule.body, &mut mapping, &mut next.subst);
+                let body = rule
+                    .body
+                    .map_atoms(&mut |a| rename_atom(a, &mut mapping, &mut next.subst));
                 *node_at_mut(&mut next.res, path) = Res::compile(&body.simplify());
+                tidy_at(&mut next.res, path);
                 stack.push(next);
             }
             return Ok(());
@@ -606,12 +672,13 @@ impl Engine {
             for delta in &alternatives {
                 let mut next = cfg.clone();
                 enter_isolation(&mut next.res, path);
-                apply_logged(&mut next.db, delta);
-                next.events.push(atom.clone());
+                apply_logged(Arc::make_mut(&mut next.db), delta);
+                Arc::make_mut(&mut next.events).push(atom.clone());
                 if self.options.record_states {
-                    next.states.push(next.db.clone());
+                    next.states.push(Arc::clone(&next.db));
                 }
                 *node_at_mut(&mut next.res, path) = Res::Done;
+                tidy_at(&mut next.res, path);
                 stack.push(next);
             }
             return Ok(());
@@ -627,6 +694,7 @@ impl Engine {
                 let mut next = cfg.clone();
                 enter_isolation(&mut next.res, path);
                 *node_at_mut(&mut next.res, path) = Res::Done;
+                tidy_at(&mut next.res, path);
                 stack.push(next);
             }
             return Ok(());
@@ -648,6 +716,7 @@ impl Engine {
                 if matches {
                     enter_isolation(&mut next.res, path);
                     *node_at_mut(&mut next.res, path) = Res::Done;
+                    tidy_at(&mut next.res, path);
                     stack.push(next);
                 } else {
                     next.subst.undo_to(mark);
@@ -660,13 +729,14 @@ impl Engine {
         // only appends to the log (assumption (2)).
         let mut next = cfg.clone();
         enter_isolation(&mut next.res, path);
-        next.events.push(atom);
+        Arc::make_mut(&mut next.events).push(atom);
         if self.options.record_states {
             // Significant events leave the state unchanged (assumption
             // (2)); the path still advances by one arc ⟨s, s⟩.
-            next.states.push(next.db.clone());
+            next.states.push(Arc::clone(&next.db));
         }
         *node_at_mut(&mut next.res, path) = Res::Done;
+        tidy_at(&mut next.res, path);
         stack.push(next);
         Ok(())
     }
@@ -692,49 +762,18 @@ fn execution_key(exec: &Execution) -> String {
     key
 }
 
-/// Renames the variables of every atom in a goal apart.
-fn rename_goal(
-    goal: &Goal,
-    mapping: &mut BTreeMap<ctr::term::Var, ctr::term::Var>,
-    subst: &mut Subst,
-) -> Goal {
-    match goal {
-        Goal::Atom(a) => Goal::Atom(rename_atom(a, mapping, subst)),
-        Goal::Seq(gs) => Goal::raw_seq(gs.iter().map(|g| rename_goal(g, mapping, subst)).collect()),
-        Goal::Conc(gs) => {
-            Goal::raw_conc(gs.iter().map(|g| rename_goal(g, mapping, subst)).collect())
-        }
-        Goal::Or(gs) => Goal::raw_or(gs.iter().map(|g| rename_goal(g, mapping, subst)).collect()),
-        Goal::Isolated(g) => Goal::raw_isolated(rename_goal(g, mapping, subst)),
-        Goal::Possible(g) => Goal::raw_possible(rename_goal(g, mapping, subst)),
-        other => other.clone(),
-    }
-}
-
 /// Highest variable index in the goal's atoms, plus one.
 fn goal_var_floor(goal: &Goal) -> u32 {
-    fn walk(goal: &Goal, floor: &mut u32) {
-        match goal {
-            Goal::Atom(a) => {
-                let mut vars = Vec::new();
-                for arg in &a.args {
-                    arg.collect_vars(&mut vars);
-                }
-                for ctr::term::Var(i) in vars {
-                    *floor = (*floor).max(i + 1);
-                }
-            }
-            Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
-                for g in gs.iter() {
-                    walk(g, floor);
-                }
-            }
-            Goal::Isolated(g) | Goal::Possible(g) => walk(g, floor),
-            _ => {}
+    let mut floor = 0u32;
+    goal.for_each_atom(&mut |a| {
+        let mut vars = Vec::new();
+        for arg in &a.args {
+            arg.collect_vars(&mut vars);
         }
-    }
-    let mut floor = 0;
-    walk(goal, &mut floor);
+        for ctr::term::Var(i) in vars {
+            floor = floor.max(i + 1);
+        }
+    });
     floor
 }
 

@@ -40,6 +40,9 @@ pub enum RuleError {
     Recursive(Symbol),
     /// A rule head is negated, which is not Horn.
     NegatedHead(Symbol),
+    /// Static expansion was requested on a base with recursion enabled;
+    /// bounded recursion cannot be flattened.
+    CannotExpandRecursive,
 }
 
 impl fmt::Display for RuleError {
@@ -51,6 +54,9 @@ impl fmt::Display for RuleError {
                  require acyclic sub-workflow definitions (enable bounded recursion to allow)"
             ),
             RuleError::NegatedHead(p) => write!(f, "rule head `{p}` must not be negated"),
+            RuleError::CannotExpandRecursive => {
+                write!(f, "cannot statically expand a recursive rule base")
+            }
         }
     }
 }
@@ -154,7 +160,9 @@ impl RuleBase {
             let mut out = BTreeSet::new();
             if let Some(rs) = rules.get(&pred) {
                 for r in rs {
-                    collect_preds(&r.body, &mut out);
+                    r.body.for_each_atom(&mut |a| {
+                        out.insert(a.pred);
+                    });
                 }
             }
             out.retain(|p| rules.contains_key(p));
@@ -195,49 +203,36 @@ impl RuleBase {
     /// the flattening used before constraint compilation when global
     /// dependencies span sub-workflow boundaries (§7).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if recursion was enabled; bounded recursion cannot be
-    /// flattened.
-    pub fn expand(&self, goal: &Goal) -> Goal {
-        assert!(
-            !self.allow_recursion,
-            "cannot statically expand a recursive rule base"
-        );
+    /// [`RuleError::CannotExpandRecursive`] if recursion was enabled —
+    /// bounded recursion cannot be flattened statically.
+    pub fn expand(&self, goal: &Goal) -> Result<Goal, RuleError> {
+        if self.allow_recursion {
+            return Err(RuleError::CannotExpandRecursive);
+        }
+        Ok(self.expand_inner(goal))
+    }
+
+    fn expand_inner(&self, goal: &Goal) -> Goal {
         match goal {
             Goal::Atom(a) if a.is_prop() && self.defines(a.pred) => {
                 let bodies: Vec<Goal> = self
                     .rules_for(a.pred)
                     .iter()
-                    .map(|r| self.expand(&r.body))
+                    .map(|r| self.expand_inner(&r.body))
                     .collect();
                 ctr::goal::or(bodies)
             }
             Goal::Atom(_) | Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => {
                 goal.clone()
             }
-            Goal::Seq(gs) => ctr::goal::seq(gs.iter().map(|g| self.expand(g)).collect()),
-            Goal::Conc(gs) => ctr::goal::conc(gs.iter().map(|g| self.expand(g)).collect()),
-            Goal::Or(gs) => ctr::goal::or(gs.iter().map(|g| self.expand(g)).collect()),
-            Goal::Isolated(g) => ctr::goal::isolated(self.expand(g)),
-            Goal::Possible(g) => ctr::goal::possible(self.expand(g)),
+            Goal::Seq(gs) => ctr::goal::seq(gs.iter().map(|g| self.expand_inner(g)).collect()),
+            Goal::Conc(gs) => ctr::goal::conc(gs.iter().map(|g| self.expand_inner(g)).collect()),
+            Goal::Or(gs) => ctr::goal::or(gs.iter().map(|g| self.expand_inner(g)).collect()),
+            Goal::Isolated(g) => ctr::goal::isolated(self.expand_inner(g)),
+            Goal::Possible(g) => ctr::goal::possible(self.expand_inner(g)),
         }
-    }
-}
-
-/// Collects the predicates of every atom in a goal.
-fn collect_preds(goal: &Goal, out: &mut BTreeSet<Symbol>) {
-    match goal {
-        Goal::Atom(a) => {
-            out.insert(a.pred);
-        }
-        Goal::Seq(gs) | Goal::Conc(gs) | Goal::Or(gs) => {
-            for g in gs.iter() {
-                collect_preds(g, out);
-            }
-        }
-        Goal::Isolated(g) | Goal::Possible(g) => collect_preds(g, out),
-        Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => {}
     }
 }
 
@@ -317,7 +312,7 @@ mod tests {
         let mut rb = RuleBase::new();
         rb.define("inner", or(vec![g("x"), g("y")])).unwrap();
         rb.define("outer", seq(vec![g("a"), g("inner")])).unwrap();
-        let flat = rb.expand(&seq(vec![g("outer"), g("z")]));
+        let flat = rb.expand(&seq(vec![g("outer"), g("z")])).unwrap();
         assert_eq!(flat, seq(vec![g("a"), or(vec![g("x"), g("y")]), g("z")]));
     }
 
@@ -326,16 +321,21 @@ mod tests {
         let mut rb = RuleBase::new();
         rb.define("pay", g("card")).unwrap();
         rb.define("pay", g("cash")).unwrap();
-        assert_eq!(rb.expand(&g("pay")), or(vec![g("card"), g("cash")]));
+        assert_eq!(
+            rb.expand(&g("pay")).unwrap(),
+            or(vec![g("card"), g("cash")])
+        );
     }
 
     #[test]
-    #[should_panic(expected = "cannot statically expand")]
-    fn expand_panics_on_recursive_base() {
+    fn expand_rejects_recursive_base() {
         let mut rb = RuleBase::new();
         rb.allow_recursion();
         rb.define("loop", or(vec![Goal::Empty, g("loop")])).unwrap();
-        rb.expand(&g("loop"));
+        assert_eq!(
+            rb.expand(&g("loop")).unwrap_err(),
+            RuleError::CannotExpandRecursive
+        );
     }
 
     #[test]

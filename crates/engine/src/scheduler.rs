@@ -156,9 +156,15 @@ pub struct Choice {
 }
 
 /// A cursor executing a [`Program`].
+///
+/// Generic over how the program is held: `Scheduler<&Program>` borrows
+/// (the common transient case — `Scheduler::new(&program)` infers it),
+/// while `Scheduler<Arc<Program>>` co-owns the program, letting
+/// long-lived cursors (e.g. `ctr-runtime` instances) share one compiled
+/// arena across a whole deployment without lifetime plumbing.
 #[derive(Clone, Debug)]
-pub struct Scheduler<'p> {
-    program: &'p Program,
+pub struct Scheduler<P: std::ops::Deref<Target = Program>> {
+    program: P,
     done: Vec<bool>,
     seq_pos: Vec<usize>,
     or_choice: Vec<Option<NodeId>>,
@@ -169,12 +175,13 @@ pub struct Scheduler<'p> {
     finished: bool,
 }
 
-impl<'p> Scheduler<'p> {
+impl<P: std::ops::Deref<Target = Program>> Scheduler<P> {
     /// A fresh cursor at the program's initial state. Leading `Empty`
     /// nodes and commitment-free channel operations are drained
     /// immediately.
-    pub fn new(program: &'p Program) -> Scheduler<'p> {
+    pub fn new(program: P) -> Scheduler<P> {
         let n = program.len();
+        let root = program.root;
         let mut s = Scheduler {
             program,
             done: vec![false; n],
@@ -186,8 +193,13 @@ impl<'p> Scheduler<'p> {
             finished: false,
         };
         s.drain_silent();
-        s.finished = s.done[program.root];
+        s.finished = s.done[root];
         s
+    }
+
+    /// The program this cursor executes.
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 
     /// The events fired so far.
@@ -353,28 +365,48 @@ impl<'p> Scheduler<'p> {
         let Some(parent) = self.program.nodes[node].parent else {
             return;
         };
-        match &self.program.nodes[parent].kind {
+        // Decide while the program is borrowed, mutate after — avoids
+        // cloning child lists on the per-fire hot path.
+        enum Action {
+            Advance { pos: usize, complete: bool },
+            CompleteParent,
+            ExitIso,
+            Nothing,
+        }
+        let action = match &self.program.nodes[parent].kind {
             NodeKind::Seq(cs) => {
-                let cs = cs.clone();
                 let mut pos = self.seq_pos[parent];
                 while pos < cs.len() && self.done[cs[pos]] {
                     pos += 1;
                 }
-                self.seq_pos[parent] = pos;
-                if pos == cs.len() {
-                    self.complete(parent);
+                Action::Advance {
+                    pos,
+                    complete: pos == cs.len(),
                 }
             }
             NodeKind::Conc(cs) => {
                 if cs.iter().all(|&c| self.done[c]) {
-                    self.complete(parent);
+                    Action::CompleteParent
+                } else {
+                    Action::Nothing
                 }
             }
             NodeKind::Or(_) => {
                 debug_assert_eq!(self.or_choice[parent], Some(node));
-                self.complete(parent);
+                Action::CompleteParent
             }
-            NodeKind::Iso(_) => {
+            NodeKind::Iso(_) => Action::ExitIso,
+            other => unreachable!("leaf parent must be a connective, got {other:?}"),
+        };
+        match action {
+            Action::Advance { pos, complete } => {
+                self.seq_pos[parent] = pos;
+                if complete {
+                    self.complete(parent);
+                }
+            }
+            Action::CompleteParent => self.complete(parent),
+            Action::ExitIso => {
                 if self.lock.last() == Some(&parent) {
                     self.lock.pop();
                 } else {
@@ -382,7 +414,7 @@ impl<'p> Scheduler<'p> {
                 }
                 self.complete(parent);
             }
-            other => unreachable!("leaf parent must be a connective, got {other:?}"),
+            Action::Nothing => {}
         }
     }
 
@@ -535,7 +567,10 @@ impl<'p> Scheduler<'p> {
     /// Enumerates every complete trace (as event-name sequences), up to
     /// `limit` distinct traces. Clone-based DFS over the choice tree —
     /// the enumeration utility of §4 ("enumerate all allowed executions").
-    pub fn enumerate_traces(&self, limit: usize) -> BTreeSet<Vec<Symbol>> {
+    pub fn enumerate_traces(&self, limit: usize) -> BTreeSet<Vec<Symbol>>
+    where
+        P: Clone,
+    {
         let mut out = BTreeSet::new();
         let mut stack = vec![self.clone()];
         while let Some(s) = stack.pop() {

@@ -1,8 +1,9 @@
 //! R1 — engineering bench (not a paper claim): the cost profile of the
-//! event-sourced runtime. Firing event `k` replays the `k`-long journal,
-//! so instance lifetime cost is quadratic in path length — the classic
-//! event-sourcing trade-off, acceptable because workflow paths are short
-//! and recovery is free.
+//! event-sourced runtime. Each instance holds a cached incremental
+//! cursor, so firing event `k` is O(eligible set) regardless of journal
+//! length — instance lifetime cost is linear in path length. Only the
+//! recovery paths (snapshot restore, explicit invalidation) replay the
+//! journal, and each replays it exactly once.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ctr_runtime::Runtime;

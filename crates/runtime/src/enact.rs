@@ -49,6 +49,12 @@ pub enum EnactError {
     /// The schedule deadlocked (cannot happen for excised programs with
     /// the knot-free guarantee).
     Deadlock,
+    /// A worker thread died without reporting a result (its handler
+    /// panicked). The trace so far is attached.
+    WorkerLost {
+        /// Events completed before the worker vanished.
+        completed: Vec<Symbol>,
+    },
 }
 
 impl fmt::Display for EnactError {
@@ -58,6 +64,12 @@ impl fmt::Display for EnactError {
                 write!(f, "activity `{event}` failed: {reason}")
             }
             EnactError::Deadlock => write!(f, "schedule deadlocked"),
+            EnactError::WorkerLost { .. } => {
+                write!(
+                    f,
+                    "a worker thread died without reporting (handler panicked)"
+                )
+            }
         }
     }
 }
@@ -183,7 +195,13 @@ impl Enactor {
                 }
 
                 // Wait for one completion, then fire it into the schedule.
-                let (node, outcome) = done_rx.recv().expect("worker channel outlives the loop");
+                // A recv error means a worker died without sending — its
+                // handler panicked past the Result boundary.
+                let Ok((node, outcome)) = done_rx.recv() else {
+                    return Err(EnactError::WorkerLost {
+                        completed: scheduler.trace_names(),
+                    });
+                };
                 running.remove(&node);
                 match outcome {
                     Ok(()) => scheduler.fire(node),

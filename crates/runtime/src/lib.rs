@@ -9,12 +9,19 @@
 //! **snapshot/restore** everything as plain text.
 //!
 //! Instances are **event-sourced**: the only persistent state is the
-//! journal of fired events. Cursors are materialized on demand by
-//! replaying the journal against the deployed program — deterministic
-//! because the compiled scheduler resolves event-to-node ambiguity by a
-//! fixed rule. This makes crash recovery trivial (replay) and keeps the
-//! snapshot format human-readable: the compiled goal in its concrete
-//! syntax plus one journal line per instance.
+//! journal of fired events. Each instance holds a **cached incremental
+//! cursor** over its deployment's `Arc`-shared compiled [`Program`]:
+//! the cursor is materialized once at [`Runtime::start`], advanced in
+//! place on every [`Runtime::fire`], and rebuilt by journal replay only
+//! on [`Runtime::restore`] — so steady-state work per fire is constant
+//! in the journal length ([`Runtime::replayed_steps`] counts the replay
+//! work and stays at zero outside recovery). The cache is sound because
+//! replay is deterministic: the compiled scheduler resolves
+//! event-to-node ambiguity by a fixed rule, so replaying the journal
+//! from scratch always reproduces the cached cursor state. This keeps
+//! crash recovery trivial (replay) and the snapshot format
+//! human-readable: the compiled goal in its concrete syntax plus one
+//! journal line per instance.
 //!
 //! ```
 //! use ctr_runtime::Runtime;
@@ -38,6 +45,7 @@ use ctr::symbol::{sym, Symbol};
 use ctr_engine::scheduler::{Program, Scheduler};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 pub use enact::{ChoicePolicy, EnactError, Enactor, Handler};
 pub use shared::SharedRuntime;
@@ -110,13 +118,18 @@ pub enum InstanceStatus {
 struct Deployment {
     /// The compiled, knot-free goal (source of truth for snapshots).
     compiled: Goal,
-    program: Program,
+    /// The scheduling arena, shared (`Arc`) with every instance cursor.
+    program: Arc<Program>,
 }
 
 struct Instance {
     workflow: String,
     journal: Vec<Symbol>,
     status: InstanceStatus,
+    /// Cached cursor over the deployment's program: always equal to the
+    /// state obtained by replaying `journal` against a fresh scheduler
+    /// (replay is deterministic), but maintained incrementally.
+    cursor: Scheduler<Arc<Program>>,
 }
 
 /// The workflow runtime: deployed definitions plus running instances.
@@ -125,6 +138,10 @@ pub struct Runtime {
     deployments: BTreeMap<String, Deployment>,
     instances: BTreeMap<InstanceId, Instance>,
     next_id: InstanceId,
+    /// Journal events re-fired to (re)materialize cursors — replay work.
+    /// Stays 0 in steady state; grows only on [`Runtime::restore`] and
+    /// explicit [`Runtime::invalidate`].
+    replayed: u64,
 }
 
 impl Runtime {
@@ -152,11 +169,20 @@ impl Runtime {
     }
 
     /// Deploys an already-compiled goal under a name.
+    ///
+    /// Re-deploying a name only affects instances started afterwards:
+    /// running instances keep (and share, via `Arc`) the program they
+    /// were started with.
     pub fn deploy_compiled(&mut self, name: &str, compiled: Goal) -> Result<(), RuntimeError> {
         let program =
             Program::compile(&compiled).map_err(|e| RuntimeError::Compile(e.to_string()))?;
-        self.deployments
-            .insert(name.to_owned(), Deployment { compiled, program });
+        self.deployments.insert(
+            name.to_owned(),
+            Deployment {
+                compiled,
+                program: Arc::new(program),
+            },
+        );
         Ok(())
     }
 
@@ -165,15 +191,17 @@ impl Runtime {
         self.deployments.keys().cloned().collect()
     }
 
-    /// Starts a new instance of a deployed workflow.
+    /// Starts a new instance of a deployed workflow, materializing its
+    /// cursor once. The cursor shares the deployment's compiled program.
     pub fn start(&mut self, workflow: &str) -> Result<InstanceId, RuntimeError> {
         let deployment = self
             .deployments
             .get(workflow)
             .ok_or_else(|| RuntimeError::UnknownWorkflow(workflow.to_owned()))?;
+        let cursor = Scheduler::new(Arc::clone(&deployment.program));
         let id = self.next_id;
         self.next_id += 1;
-        let status = if Scheduler::new(&deployment.program).is_complete() {
+        let status = if cursor.is_complete() {
             InstanceStatus::Completed
         } else {
             InstanceStatus::Running
@@ -184,6 +212,7 @@ impl Runtime {
                 workflow: workflow.to_owned(),
                 journal: Vec::new(),
                 status,
+                cursor,
             },
         );
         Ok(id)
@@ -200,84 +229,98 @@ impl Runtime {
             .ok_or(RuntimeError::UnknownInstance(id))
     }
 
-    /// Materializes the cursor for an instance by replaying its journal.
-    fn cursor(&self, id: InstanceId) -> Result<Scheduler<'_>, RuntimeError> {
-        let inst = self.instance(id)?;
+    fn instance_mut(&mut self, id: InstanceId) -> Result<&mut Instance, RuntimeError> {
+        self.instances
+            .get_mut(&id)
+            .ok_or(RuntimeError::UnknownInstance(id))
+    }
+
+    /// Total journal events re-fired to (re)materialize cursors. Zero in
+    /// steady state — `eligible`/`fire`/`try_complete` use the cached
+    /// incremental cursor; only [`Runtime::restore`] and
+    /// [`Runtime::invalidate`] replay.
+    pub fn replayed_steps(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Discards the cached cursor of `id` and rebuilds it by replaying
+    /// the journal from scratch — the crash-recovery code path, exposed
+    /// so it can be exercised (and its equivalence with the incremental
+    /// cursor asserted) directly.
+    pub fn invalidate(&mut self, id: InstanceId) -> Result<(), RuntimeError> {
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(RuntimeError::UnknownInstance(id))?;
         let deployment = self
             .deployments
             .get(&inst.workflow)
             .ok_or_else(|| RuntimeError::UnknownWorkflow(inst.workflow.clone()))?;
-        let mut s = Scheduler::new(&deployment.program);
+        let mut cursor = Scheduler::new(Arc::clone(&deployment.program));
         for &event in &inst.journal {
             // The journal was validated when appended; replay cannot fail.
-            let fired = s.fire_event(event);
+            let fired = cursor.fire_event(event);
             debug_assert!(fired, "journal replay diverged");
         }
-        Ok(s)
+        self.replayed += inst.journal.len() as u64;
+        inst.cursor = cursor;
+        Ok(())
     }
 
     /// The observable events eligible to fire now, deduplicated and
     /// sorted — the pro-active scheduler's answer to "what can happen
-    /// next?" (§4).
+    /// next?" (§4). Reads the cached cursor: O(eligible), not O(journal).
     pub fn eligible(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError> {
-        let cursor = self.cursor(id)?;
-        let deployment = &self.deployments[&self.instance(id)?.workflow];
-        let mut names: Vec<String> = cursor
-            .eligible()
-            .into_iter()
-            .filter_map(|c| deployment.program.event(c.node))
-            .filter_map(ctr::term::Atom::as_event)
-            .map(|s| s.as_str().to_owned())
-            .collect();
-        names.sort();
-        names.dedup();
-        Ok(names)
+        Ok(eligible_names(&self.instance(id)?.cursor))
     }
 
     /// Fires an external event against an instance. Rejects events the
     /// compiled schedule does not allow at this stage — no run-time
-    /// constraint checking, just structural eligibility.
+    /// constraint checking, just structural eligibility. Advances the
+    /// cached cursor in place: per-fire work is independent of the
+    /// journal length.
     pub fn fire(&mut self, id: InstanceId, event: &str) -> Result<InstanceStatus, RuntimeError> {
-        let status = self.instance(id)?.status;
-        if status == InstanceStatus::Completed {
+        let inst = self.instance_mut(id)?;
+        if inst.status == InstanceStatus::Completed {
             return Err(RuntimeError::AlreadyComplete(id));
         }
-        let mut cursor = self.cursor(id)?;
         let symbol = sym(event);
-        if !cursor.fire_event(symbol) {
+        // A failed `fire_event` leaves the cursor untouched, so the
+        // cache stays valid on the error path.
+        if !inst.cursor.fire_event(symbol) {
             return Err(RuntimeError::NotEligible {
                 event: event.to_owned(),
-                eligible: self.eligible(id)?,
+                eligible: eligible_names(&inst.cursor),
             });
         }
-        let complete = cursor.is_complete();
-        let inst = self.instances.get_mut(&id).expect("checked above");
         inst.journal.push(symbol);
-        if complete {
+        if inst.cursor.is_complete() {
             inst.status = InstanceStatus::Completed;
         }
-        Ok(self.instance(id)?.status)
+        Ok(inst.status)
     }
 
     /// Tries to finish an instance through silent steps only (committing
     /// `∨`-branches made of bookkeeping, e.g. an optional tail that was
     /// compiled away). Returns the resulting status.
     pub fn try_complete(&mut self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
-        let mut cursor = self.cursor(id)?;
+        let inst = self.instance_mut(id)?;
+        // Probe on a clone: silent advances are NOT journaled, so they
+        // must not leak into the cached cursor either — the cache always
+        // mirrors exactly what journal replay would produce. A silent
+        // *choice* is re-resolved after restore, so completion is
+        // recorded in the status instead.
+        let mut probe = inst.cursor.clone();
         loop {
-            if cursor.is_complete() {
-                self.instances.get_mut(&id).expect("exists").status = InstanceStatus::Completed;
+            if probe.is_complete() {
+                inst.status = InstanceStatus::Completed;
                 return Ok(InstanceStatus::Completed);
             }
-            let eligible = cursor.eligible();
+            let eligible = probe.eligible();
             let Some(silent) = eligible.iter().find(|c| !c.observable) else {
-                return Ok(self.instance(id)?.status);
+                return Ok(inst.status);
             };
-            // Note: silent advances are NOT journaled; replay re-derives
-            // them only if they were forced. A silent *choice* is
-            // re-resolved at the next materialization, so completion is
-            // recorded in the status instead.
-            cursor.fire(silent.node);
+            probe.fire(silent.node);
         }
     }
 
@@ -364,24 +407,28 @@ impl Runtime {
                     (Some("of"), Some(w)) => w.to_owned(),
                     _ => return Err(RuntimeError::Snapshot(format!("bad instance line: {line}"))),
                 };
-                if !rt.deployments.contains_key(&workflow) {
+                let Some(deployment) = rt.deployments.get(&workflow) else {
                     return Err(RuntimeError::Snapshot(format!(
                         "instance {id} references unknown workflow `{workflow}`"
                     )));
-                }
+                };
+                let cursor = Scheduler::new(Arc::clone(&deployment.program));
                 rt.instances.insert(
                     id,
                     Instance {
                         workflow,
                         journal: Vec::new(),
                         status: InstanceStatus::Running,
+                        cursor,
                     },
                 );
                 rt.next_id = rt.next_id.max(id + 1);
                 // Replay through the public API so every journaled event
-                // is re-validated.
+                // is re-validated. This is the one place cursors are
+                // materialized by replay rather than advanced in place.
                 for event in journal_text.split_whitespace() {
                     rt.fire(id, event)?;
+                    rt.replayed += 1;
                 }
                 if head.ends_with("[completed") {
                     // Completion may have come from silent finishing.
@@ -393,6 +440,20 @@ impl Runtime {
         }
         Ok(rt)
     }
+}
+
+/// Observable eligible events of a cursor, deduplicated and sorted.
+fn eligible_names(cursor: &Scheduler<Arc<Program>>) -> Vec<String> {
+    let mut names: Vec<String> = cursor
+        .eligible()
+        .into_iter()
+        .filter_map(|c| cursor.program().event(c.node))
+        .filter_map(ctr::term::Atom::as_event)
+        .map(|s| s.as_str().to_owned())
+        .collect();
+    names.sort();
+    names.dedup();
+    names
 }
 
 #[cfg(test)]

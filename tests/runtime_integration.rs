@@ -119,6 +119,100 @@ fn simulation_reflects_constraint_structure() {
     assert!(approve > 0.0 && deny > 0.0);
 }
 
+/// The cached-cursor regression gate: per-fire work must not grow with
+/// journal length. 10k incremental fires replay nothing; recovery paths
+/// (restore, invalidate) replay the journal exactly once each.
+#[test]
+fn per_fire_work_is_flat_in_journal_length() {
+    let n = 10_000usize;
+    let mut rt = Runtime::new();
+    rt.deploy_compiled("pipe", ctr::gen::pipeline_workflow(n))
+        .unwrap();
+    let id = rt.start("pipe").unwrap();
+    for i in 0..n {
+        rt.fire(id, &format!("t{i}")).unwrap();
+    }
+    assert!(rt.is_complete(id).unwrap());
+    assert_eq!(
+        rt.replayed_steps(),
+        0,
+        "incremental fires must advance the cursor without replaying the journal"
+    );
+
+    // Restoring from a snapshot replays each journal entry exactly once.
+    let restored = Runtime::restore(&rt.snapshot()).unwrap();
+    assert_eq!(restored.replayed_steps(), n as u64);
+    assert!(restored.is_complete(id).unwrap());
+
+    // Explicit cache invalidation replays the journal exactly once more.
+    let mut rt = restored;
+    rt.invalidate(id).unwrap();
+    assert_eq!(rt.replayed_steps(), 2 * n as u64);
+    assert!(rt.is_complete(id).unwrap());
+}
+
+mod cursor_oracle {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn shape() -> ctr::gen::GoalShape {
+        ctr::gen::GoalShape {
+            depth: 4,
+            width: 3,
+            or_bias: 0.35,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Interleaves fire / snapshot+restore / invalidate over random
+        /// workflows from the `gen` corpus, asserting at every step that
+        /// the cached cursor's eligibility set equals the
+        /// replay-from-scratch oracle's (a fresh runtime rebuilt from the
+        /// snapshot text). This pins the cache-coherence invariant: the
+        /// cursor is always exactly what replaying the journal produces.
+        #[test]
+        fn cached_cursor_matches_replay_oracle(seed in 0u64..10_000, decisions in 0u64..u64::MAX) {
+            let (goal, events) = ctr::gen::random_goal(seed, shape(), "w");
+            prop_assume!(!events.is_empty());
+            let mut rt = Runtime::new();
+            prop_assume!(rt.deploy_compiled("w", goal).is_ok());
+            let id = rt.start("w").unwrap();
+
+            let mut rng = decisions;
+            for step in 0..64usize {
+                let oracle = Runtime::restore(&rt.snapshot()).unwrap();
+                prop_assert_eq!(
+                    rt.eligible(id).unwrap(),
+                    oracle.eligible(id).unwrap(),
+                    "step {}: cached cursor diverged from replay", step
+                );
+                prop_assert_eq!(rt.status(id).unwrap(), oracle.status(id).unwrap());
+
+                let eligible = rt.eligible(id).unwrap();
+                if eligible.is_empty() {
+                    rt.try_complete(id).unwrap();
+                    let oracle = Runtime::restore(&rt.snapshot()).unwrap();
+                    prop_assert_eq!(rt.status(id).unwrap(), oracle.status(id).unwrap());
+                    break;
+                }
+                // Exercise each recovery path on a rotating schedule.
+                match step % 3 {
+                    1 => rt = Runtime::restore(&rt.snapshot()).unwrap(),
+                    2 => rt.invalidate(id).unwrap(),
+                    _ => {}
+                }
+                let pick = eligible[(rng % eligible.len() as u64) as usize].clone();
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                rt.fire(id, &pick).unwrap();
+            }
+        }
+    }
+}
+
 /// Snapshot mid-enactment state consistency: runtime journals written by
 /// a driver thread restore correctly at any point.
 #[test]

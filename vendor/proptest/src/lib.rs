@@ -7,7 +7,7 @@
 //! * the [`proptest!`] macro with `#![proptest_config(...)]` and
 //!   `name in strategy` binders,
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`],
-//! * integer-range strategies, [`Just`], [`prop_oneof!`], string-pattern
+//! * integer-range strategies, [`strategy::Just`], [`prop_oneof!`], string-pattern
 //!   strategies, and [`collection::vec`].
 //!
 //! Differences from upstream: cases are generated from a fixed seed (so
@@ -285,7 +285,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min: usize,
