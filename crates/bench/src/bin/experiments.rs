@@ -17,7 +17,9 @@ use ctr::sym;
 use ctr_baselines::{explore, PassiveValidator, ProductScheduler};
 use ctr_bench::{fmt_ns, log_growth_factor, power_law_exponent, time_mean, Table};
 use ctr_engine::scheduler::{Program, Scheduler};
-use ctr_runtime::Runtime;
+use ctr_runtime::{
+    CoarseRuntime, InstanceId, InstanceStatus, Runtime, RuntimeError, SharedRuntime,
+};
 use ctr_workflow::{compile_modular, compile_triggers, Trigger, WorkflowSpec};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -517,7 +519,10 @@ fn bench_compile_json(smoke: bool) {
 ///
 /// One record per workload: a long single instance (per-fire cost must be
 /// flat in the journal length), an `eligible()` probe at the end of a long
-/// journal, and a fleet of instances sharing one deployment.
+/// journal, a fleet of instances sharing one deployment, and the
+/// `fleet_mt/<workload>x<threads>` family — the same fleet driven by
+/// concurrent client threads on the sharded runtime, with
+/// `fleet_mt_coarse/*` pinning the coarse-lock baseline it replaced.
 fn bench_exec_json(smoke: bool) {
     struct Record {
         name: String,
@@ -623,6 +628,57 @@ fn bench_exec_json(smoke: bool) {
         });
     }
 
+    // Multi-threaded fleets: T client threads fire disjoint instance
+    // sets against one shared handle. `fleet_mt/*` uses the sharded
+    // runtime (per-instance locks — threads should not contend);
+    // `fleet_mt_coarse/*` is the same workload on the retired
+    // single-mutex design, recorded as the scaling baseline.
+    {
+        let fleet = if smoke { 8 } else { 64 };
+        let goal = gen::layered_workflow(16, 2);
+        let compiled = compile(&goal, &stage_orders(15)).expect("consistent");
+        let program = Program::compile(&compiled.goal).expect("knot-free");
+        let trace: Vec<String> = Scheduler::new(&program)
+            .run_first()
+            .expect("knot-free")
+            .iter()
+            .filter_map(ctr::term::Atom::as_event)
+            .map(|s| s.as_str().to_owned())
+            .collect();
+        let workload = format!("layered16x2_orders_{fleet}inst");
+
+        let threads_list: &[usize] = if smoke { &[1, 4] } else { &[1, 4, 8] };
+        for &threads in threads_list {
+            for coarse in [false, true] {
+                let handle: Box<dyn FleetHandle> = if coarse {
+                    let rt = CoarseRuntime::new();
+                    rt.deploy_compiled("layered", compiled.goal.clone())
+                        .expect("compiles");
+                    Box::new(rt)
+                } else {
+                    let rt = SharedRuntime::new();
+                    rt.deploy_compiled("layered", compiled.goal.clone())
+                        .expect("compiles");
+                    Box::new(rt)
+                };
+                let family = if coarse {
+                    "fleet_mt_coarse"
+                } else {
+                    "fleet_mt"
+                };
+                let (wall, fires) = run_fleet_mt(&*handle, fleet, threads, &trace);
+                records.push(Record {
+                    name: format!("{family}/{workload}x{threads}"),
+                    instances: fleet,
+                    total_fires: fires,
+                    wall_ns: wall.as_nanos(),
+                    fires_per_sec: (fires as f64 / wall.as_secs_f64()) as u64,
+                    replayed_steps: 0,
+                });
+            }
+        }
+    }
+
     let rows: Vec<String> = records
         .iter()
         .map(|r| {
@@ -636,6 +692,74 @@ fn bench_exec_json(smoke: bool) {
     let json = format!("[\n{}\n]\n", rows.join(",\n"));
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
     eprintln!("wrote BENCH_exec.json ({} workloads)", records.len());
+}
+
+/// The method surface the fleet benchmark drives, implemented by both the
+/// sharded runtime and the coarse-lock baseline so one driver measures
+/// both.
+trait FleetHandle: Sync {
+    fn start(&self, workflow: &str) -> Result<InstanceId, RuntimeError>;
+    fn fire(&self, id: InstanceId, event: &str) -> Result<InstanceStatus, RuntimeError>;
+    fn try_complete(&self, id: InstanceId) -> Result<InstanceStatus, RuntimeError>;
+    fn journal(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError>;
+}
+
+macro_rules! impl_fleet_handle {
+    ($ty:ty) => {
+        impl FleetHandle for $ty {
+            fn start(&self, workflow: &str) -> Result<InstanceId, RuntimeError> {
+                <$ty>::start(self, workflow)
+            }
+            fn fire(&self, id: InstanceId, event: &str) -> Result<InstanceStatus, RuntimeError> {
+                <$ty>::fire(self, id, event)
+            }
+            fn try_complete(&self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
+                <$ty>::try_complete(self, id)
+            }
+            fn journal(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError> {
+                <$ty>::journal(self, id)
+            }
+        }
+    };
+}
+impl_fleet_handle!(SharedRuntime);
+impl_fleet_handle!(CoarseRuntime);
+
+/// Starts `fleet` instances, splits them over `threads` client threads,
+/// and drives each through `trace`. Returns (wall time, total fires).
+/// Every journal is checked against the single-threaded trace afterwards:
+/// concurrency must not change per-instance executions.
+fn run_fleet_mt(
+    rt: &dyn FleetHandle,
+    fleet: usize,
+    threads: usize,
+    trace: &[String],
+) -> (std::time::Duration, usize) {
+    let ids: Vec<InstanceId> = (0..fleet)
+        .map(|_| rt.start("layered").expect("deployed"))
+        .collect();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in ids.chunks(fleet.div_ceil(threads)) {
+            scope.spawn(move || {
+                for &id in chunk {
+                    for e in trace {
+                        rt.fire(id, e).expect("trace replays");
+                    }
+                    rt.try_complete(id).expect("live instance");
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    for &id in &ids {
+        assert_eq!(
+            rt.journal(id).expect("live instance"),
+            trace,
+            "per-instance journal identical to single-threaded execution"
+        );
+    }
+    (wall, fleet * trace.len())
 }
 
 fn x2_automata() {

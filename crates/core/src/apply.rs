@@ -54,9 +54,11 @@ pub enum Parallelism {
 const PAR_WORK_THRESHOLD: usize = 1 << 10;
 
 impl Parallelism {
-    /// Whether to fan out `tasks` independent pieces of work over a goal
-    /// of `size` nodes.
-    fn go(self, size: usize, tasks: usize) -> bool {
+    /// Whether to fan out `tasks` independent pieces of work over an
+    /// input of `size` units. Shared by every consumer of the knob (the
+    /// compiler's disjunct fan-out, the runtime's Monte-Carlo sampler) so
+    /// "how much work justifies threads" is decided in one place.
+    pub fn fan_out(self, size: usize, tasks: usize) -> bool {
         match self {
             Parallelism::Never => false,
             Parallelism::Always => tasks > 1,
@@ -361,7 +363,7 @@ pub fn apply_normal_form_with(
         .iter()
         .map(|conj| channels.reserve(order_budget(conj)))
         .collect();
-    let results: Vec<Goal> = if par.go(goal.size(), disjuncts.len()) {
+    let results: Vec<Goal> = if par.fan_out(goal.size(), disjuncts.len()) {
         std::thread::scope(|scope| {
             let handles: Vec<_> = disjuncts
                 .iter()

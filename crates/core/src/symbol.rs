@@ -5,10 +5,31 @@
 //! [`Symbol`]. Interning makes atom comparison — the inner loop of the
 //! `Apply` transformation (paper, Definition 5.1) — a single integer
 //! compare, and keeps the recursive goal terms small.
+//!
+//! The table is **append-only**, which lets resolution be lock-free:
+//! [`Symbol::as_str`] sits on every journal append, snapshot line, and
+//! `eligible()` materialization in the runtime, so it must not serialize
+//! concurrent readers behind the intern mutex. Names are published into a
+//! chunked store whose slots are [`OnceLock`]s — a resolve is two atomic
+//! acquire loads (chunk pointer, slot) and never blocks. Only an
+//! intern-*miss* takes the [`Mutex`] guarding the name→id map.
+//!
+//! ## Poisoning
+//!
+//! The intern mutex recovers from poisoning (`PoisonError::into_inner`)
+//! instead of propagating the panic, matching the runtime's lock
+//! discipline. This is sound because interner state is valid after a
+//! panic at any point: entries are appended in a fixed order — the name
+//! slot is published (idempotently, via `get_or_init`) *before* the map
+//! entry, and the map itself allocates the next id from its own length —
+//! so an interrupted append is either invisible (no map entry: the next
+//! `intern` of that name redoes it, reusing the already-published slot)
+//! or complete. No operation ever leaves a map entry pointing at an
+//! unpublished slot.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// An interned string.
 ///
@@ -19,58 +40,102 @@ use std::sync::{Mutex, OnceLock};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Symbol(u32);
 
-struct Interner {
-    names: Vec<&'static str>,
-    map: HashMap<&'static str, u32>,
+/// Capacity of chunk 0; chunk `i` holds `CHUNK0 << i` slots, so 26 chunks
+/// cover the whole `u32` id space while a resolve stays two pointer hops.
+const CHUNK0: u32 = 64;
+const NUM_CHUNKS: usize = 26;
+
+type Chunk = Box<[OnceLock<&'static str>]>;
+
+/// The lock-free name store: id → name. Chunks are allocated on demand by
+/// writers (who hold the intern mutex) and published through the outer
+/// `OnceLock`; slots are published through the inner one. Readers only
+/// ever perform acquire loads.
+struct Names {
+    chunks: [OnceLock<Chunk>; NUM_CHUNKS],
 }
 
-impl Interner {
-    fn new() -> Self {
-        Interner {
-            names: Vec::new(),
-            map: HashMap::new(),
+/// Decomposes an id into (chunk index, offset within chunk). Chunk `i`
+/// spans ids `[CHUNK0·(2^i − 1), CHUNK0·(2^{i+1} − 1))`.
+fn slot_of(index: u32) -> (usize, usize) {
+    let v = index / CHUNK0 + 1;
+    let chunk = (u32::BITS - 1 - v.leading_zeros()) as usize;
+    let start = CHUNK0 * ((1u32 << chunk) - 1);
+    (chunk, (index - start) as usize)
+}
+
+impl Names {
+    fn new() -> Names {
+        Names {
+            chunks: std::array::from_fn(|_| OnceLock::new()),
         }
     }
 
-    fn intern(&mut self, name: &str) -> Symbol {
-        if let Some(&id) = self.map.get(name) {
+    /// Lock-free resolve. Panics on an id that was never interned (which
+    /// cannot be produced by the public API).
+    fn resolve(&self, index: u32) -> &'static str {
+        let (chunk, offset) = slot_of(index);
+        self.chunks[chunk]
+            .get()
+            .and_then(|c| c[offset].get())
+            .copied()
+            .expect("symbol id was never interned")
+    }
+
+    /// Publishes `name` under `index`. Called with the intern mutex held;
+    /// idempotent so a previously interrupted append is simply redone.
+    fn publish(&self, index: u32, name: &'static str) -> &'static str {
+        let (chunk, offset) = slot_of(index);
+        let chunk = self.chunks[chunk].get_or_init(|| {
+            let capacity = (CHUNK0 as usize) << chunk;
+            (0..capacity).map(|_| OnceLock::new()).collect()
+        });
+        chunk[offset].get_or_init(|| name)
+    }
+}
+
+struct Interner {
+    names: Names,
+    /// name → id. `map.len()` doubles as the next fresh id, so ids are
+    /// only advanced by a completed append.
+    map: Mutex<HashMap<&'static str, u32>>,
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        names: Names::new(),
+        map: Mutex::new(HashMap::new()),
+    })
+}
+
+impl Symbol {
+    /// Interns `name` and returns its symbol. Takes the intern mutex; the
+    /// hot resolution path ([`Symbol::as_str`]) does not.
+    pub fn intern(name: &str) -> Symbol {
+        let interner = interner();
+        // See the module docs: recovery is safe because appends publish
+        // the name slot before the map entry.
+        let mut map = interner.map.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(&id) = map.get(name) {
             return Symbol(id);
         }
         // Interned names live for the lifetime of the process. The leak is
         // bounded by the number of distinct identifiers in the program,
         // which is the usual trade-off for a global interner.
         let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
-        let id = self.names.len() as u32;
-        self.names.push(leaked);
-        self.map.insert(leaked, id);
+        let id = map.len() as u32;
+        let published = interner.names.publish(id, leaked);
+        map.insert(published, id);
         Symbol(id)
     }
 
-    fn resolve(&self, sym: Symbol) -> &'static str {
-        self.names[sym.0 as usize]
-    }
-}
-
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| Mutex::new(Interner::new()))
-}
-
-impl Symbol {
-    /// Interns `name` and returns its symbol.
-    pub fn intern(name: &str) -> Symbol {
-        interner()
-            .lock()
-            .expect("symbol interner poisoned")
-            .intern(name)
-    }
-
     /// Returns the string this symbol was interned from.
+    ///
+    /// Lock-free: two atomic acquire loads into the append-only name
+    /// store, never contending with concurrent interns or other readers.
     pub fn as_str(self) -> &'static str {
-        interner()
-            .lock()
-            .expect("symbol interner poisoned")
-            .resolve(self)
+        interner().names.resolve(self.0)
     }
 
     /// The raw interner index. Useful as a dense array key.
@@ -142,6 +207,30 @@ mod tests {
     }
 
     #[test]
+    fn slot_decomposition_is_contiguous() {
+        // Every id maps into a valid chunk, offsets are in range, and the
+        // mapping is a bijection over chunk boundaries.
+        let mut last = (0usize, 0usize);
+        for id in 1..10_000u32 {
+            let (chunk, offset) = slot_of(id);
+            assert!(chunk < NUM_CHUNKS);
+            assert!(offset < (CHUNK0 as usize) << chunk);
+            if chunk == last.0 {
+                assert_eq!(offset, last.1 + 1, "offsets advance within a chunk");
+            } else {
+                assert_eq!((chunk, offset), (last.0 + 1, 0), "chunks are adjacent");
+            }
+            last = (chunk, offset);
+        }
+        // Chunk boundaries land where the capacity formula says.
+        assert_eq!(slot_of(0), (0, 0));
+        assert_eq!(slot_of(63), (0, 63));
+        assert_eq!(slot_of(64), (1, 0));
+        assert_eq!(slot_of(191), (1, 127));
+        assert_eq!(slot_of(192), (2, 0));
+    }
+
+    #[test]
     fn interning_is_thread_safe() {
         let handles: Vec<_> = (0..8)
             .map(|i| std::thread::spawn(move || Symbol::intern(&format!("t{}", i % 3))))
@@ -150,5 +239,55 @@ mod tests {
         for (i, s) in syms.iter().enumerate() {
             assert_eq!(s.as_str(), format!("t{}", i % 3));
         }
+    }
+
+    #[test]
+    fn concurrent_reads_race_concurrent_interns() {
+        // The lock-free read path: reader threads hammer `as_str` on a
+        // growing set of symbols while writer threads keep interning new
+        // names (forcing chunk allocations past the first boundary).
+        // Every resolve must return exactly the interned string.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let seed: Vec<(Symbol, String)> = (0..300)
+            .map(|i| {
+                let name = format!("stress_seed_{i}");
+                (Symbol::intern(&name), name)
+            })
+            .collect();
+        let seed = Arc::new(seed);
+
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let stop = Arc::clone(&stop);
+                let seed = Arc::clone(&seed);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        for (s, name) in seed.iter() {
+                            assert_eq!(s.as_str(), name.as_str());
+                        }
+                    }
+                });
+            }
+            for w in 0..2 {
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut i = 0u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        let name = format!("stress_new_{w}_{i}");
+                        let s = Symbol::intern(&name);
+                        assert_eq!(s.as_str(), name);
+                        i += 1;
+                        if i >= 2_000 {
+                            break;
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 }

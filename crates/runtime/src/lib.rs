@@ -48,8 +48,8 @@ use std::fmt;
 use std::sync::Arc;
 
 pub use enact::{ChoicePolicy, EnactError, Enactor, Handler};
-pub use shared::SharedRuntime;
-pub use stats::{simulate, Simulation};
+pub use shared::{CoarseRuntime, SharedRuntime};
+pub use stats::{simulate, simulate_par, Simulation};
 
 /// Identifier of a running instance.
 pub type InstanceId = u64;
@@ -115,33 +115,170 @@ pub enum InstanceStatus {
     Completed,
 }
 
-struct Deployment {
+pub(crate) struct Deployment {
     /// The compiled, knot-free goal (source of truth for snapshots).
-    compiled: Goal,
+    pub(crate) compiled: Goal,
     /// The scheduling arena, shared (`Arc`) with every instance cursor.
-    program: Arc<Program>,
+    pub(crate) program: Arc<Program>,
 }
 
-struct Instance {
-    workflow: String,
-    journal: Vec<Symbol>,
-    status: InstanceStatus,
+impl Deployment {
+    /// Appends this deployment's snapshot line. Both runtimes serialize
+    /// through here, which is what keeps their formats byte-identical.
+    pub(crate) fn snapshot_line(&self, out: &mut String, name: &str) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "workflow {name} := {}", self.compiled);
+    }
+}
+
+/// One running instance: the journal (sole persistent state) plus the
+/// cached cursor. All per-instance operations live here so the
+/// single-threaded [`Runtime`] and the sharded [`SharedRuntime`] run the
+/// exact same logic — the latter merely wraps each `Instance` in its own
+/// lock.
+pub(crate) struct Instance {
+    pub(crate) workflow: String,
+    pub(crate) journal: Vec<Symbol>,
+    pub(crate) status: InstanceStatus,
     /// Cached cursor over the deployment's program: always equal to the
     /// state obtained by replaying `journal` against a fresh scheduler
     /// (replay is deterministic), but maintained incrementally.
-    cursor: Scheduler<Arc<Program>>,
+    pub(crate) cursor: Scheduler<Arc<Program>>,
+}
+
+impl Instance {
+    /// A fresh instance of `workflow`, materializing its cursor once.
+    pub(crate) fn new(workflow: String, program: Arc<Program>) -> Instance {
+        let cursor = Scheduler::new(program);
+        let status = if cursor.is_complete() {
+            InstanceStatus::Completed
+        } else {
+            InstanceStatus::Running
+        };
+        Instance {
+            workflow,
+            journal: Vec::new(),
+            status,
+            cursor,
+        }
+    }
+
+    /// Fires one event; see [`Runtime::fire`].
+    pub(crate) fn fire(
+        &mut self,
+        id: InstanceId,
+        event: &str,
+    ) -> Result<InstanceStatus, RuntimeError> {
+        if self.status == InstanceStatus::Completed {
+            return Err(RuntimeError::AlreadyComplete(id));
+        }
+        let symbol = sym(event);
+        // A failed `fire_event` leaves the cursor untouched, so the
+        // cache stays valid on the error path.
+        if !self.cursor.fire_event(symbol) {
+            return Err(RuntimeError::NotEligible {
+                event: event.to_owned(),
+                eligible: self.eligible_names(),
+            });
+        }
+        self.journal.push(symbol);
+        if self.cursor.is_complete() {
+            self.status = InstanceStatus::Completed;
+        }
+        Ok(self.status)
+    }
+
+    /// Probes silent completion; see [`Runtime::try_complete`].
+    pub(crate) fn try_complete(&mut self) -> InstanceStatus {
+        // Probe on a clone: silent advances are NOT journaled, so they
+        // must not leak into the cached cursor either — the cache always
+        // mirrors exactly what journal replay would produce. A silent
+        // *choice* is re-resolved after restore, so completion is
+        // recorded in the status instead.
+        let mut probe = self.cursor.clone();
+        loop {
+            if probe.is_complete() {
+                self.status = InstanceStatus::Completed;
+                return InstanceStatus::Completed;
+            }
+            let eligible = probe.eligible();
+            let Some(silent) = eligible.iter().find(|c| !c.observable) else {
+                return self.status;
+            };
+            probe.fire(silent.node);
+        }
+    }
+
+    /// Observable eligible events, deduplicated and sorted by name —
+    /// allocation-free apart from the returned `Vec` (symbols resolve
+    /// without copying).
+    pub(crate) fn eligible_symbols(&self) -> Vec<Symbol> {
+        let mut events: Vec<Symbol> = self
+            .cursor
+            .eligible()
+            .into_iter()
+            .filter_map(|c| self.cursor.program().event(c.node))
+            .filter_map(ctr::term::Atom::as_event)
+            .collect();
+        events.sort_unstable_by_key(|s| s.as_str());
+        events.dedup();
+        events
+    }
+
+    /// [`Instance::eligible_symbols`], materialized as owned strings.
+    pub(crate) fn eligible_names(&self) -> Vec<String> {
+        self.eligible_symbols()
+            .into_iter()
+            .map(|s| s.as_str().to_owned())
+            .collect()
+    }
+
+    /// The journal as owned strings.
+    pub(crate) fn journal_names(&self) -> Vec<String> {
+        self.journal.iter().map(|s| s.as_str().to_owned()).collect()
+    }
+
+    /// Appends this instance's snapshot line (shared serialization path;
+    /// see [`Deployment::snapshot_line`]).
+    pub(crate) fn snapshot_line(&self, out: &mut String, id: InstanceId) {
+        use std::fmt::Write as _;
+        let journal: Vec<&str> = self.journal.iter().map(|s| s.as_str()).collect();
+        let status = match self.status {
+            InstanceStatus::Running => "running",
+            InstanceStatus::Completed => "completed",
+        };
+        let _ = writeln!(
+            out,
+            "instance {id} of {} [{status}]: {}",
+            self.workflow,
+            journal.join(" ")
+        );
+    }
+
+    /// Rebuilds the cursor by replaying the journal against `program`;
+    /// returns the number of replayed events.
+    pub(crate) fn rebuild_cursor(&mut self, program: Arc<Program>) -> u64 {
+        let mut cursor = Scheduler::new(program);
+        for &event in &self.journal {
+            // The journal was validated when appended; replay cannot fail.
+            let fired = cursor.fire_event(event);
+            debug_assert!(fired, "journal replay diverged");
+        }
+        self.cursor = cursor;
+        self.journal.len() as u64
+    }
 }
 
 /// The workflow runtime: deployed definitions plus running instances.
 #[derive(Default)]
 pub struct Runtime {
-    deployments: BTreeMap<String, Deployment>,
-    instances: BTreeMap<InstanceId, Instance>,
-    next_id: InstanceId,
+    pub(crate) deployments: BTreeMap<String, Arc<Deployment>>,
+    pub(crate) instances: BTreeMap<InstanceId, Instance>,
+    pub(crate) next_id: InstanceId,
     /// Journal events re-fired to (re)materialize cursors — replay work.
     /// Stays 0 in steady state; grows only on [`Runtime::restore`] and
     /// explicit [`Runtime::invalidate`].
-    replayed: u64,
+    pub(crate) replayed: u64,
 }
 
 impl Runtime {
@@ -178,10 +315,10 @@ impl Runtime {
             Program::compile(&compiled).map_err(|e| RuntimeError::Compile(e.to_string()))?;
         self.deployments.insert(
             name.to_owned(),
-            Deployment {
+            Arc::new(Deployment {
                 compiled,
                 program: Arc::new(program),
-            },
+            }),
         );
         Ok(())
     }
@@ -198,23 +335,10 @@ impl Runtime {
             .deployments
             .get(workflow)
             .ok_or_else(|| RuntimeError::UnknownWorkflow(workflow.to_owned()))?;
-        let cursor = Scheduler::new(Arc::clone(&deployment.program));
+        let instance = Instance::new(workflow.to_owned(), Arc::clone(&deployment.program));
         let id = self.next_id;
         self.next_id += 1;
-        let status = if cursor.is_complete() {
-            InstanceStatus::Completed
-        } else {
-            InstanceStatus::Running
-        };
-        self.instances.insert(
-            id,
-            Instance {
-                workflow: workflow.to_owned(),
-                journal: Vec::new(),
-                status,
-                cursor,
-            },
-        );
+        self.instances.insert(id, instance);
         Ok(id)
     }
 
@@ -256,22 +380,25 @@ impl Runtime {
             .deployments
             .get(&inst.workflow)
             .ok_or_else(|| RuntimeError::UnknownWorkflow(inst.workflow.clone()))?;
-        let mut cursor = Scheduler::new(Arc::clone(&deployment.program));
-        for &event in &inst.journal {
-            // The journal was validated when appended; replay cannot fail.
-            let fired = cursor.fire_event(event);
-            debug_assert!(fired, "journal replay diverged");
-        }
-        self.replayed += inst.journal.len() as u64;
-        inst.cursor = cursor;
+        let replayed = inst.rebuild_cursor(Arc::clone(&deployment.program));
+        self.replayed += replayed;
         Ok(())
     }
 
     /// The observable events eligible to fire now, deduplicated and
     /// sorted — the pro-active scheduler's answer to "what can happen
     /// next?" (§4). Reads the cached cursor: O(eligible), not O(journal).
+    ///
+    /// Allocates one `String` per name; hot polling loops should prefer
+    /// [`Runtime::eligible_symbols`].
     pub fn eligible(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError> {
-        Ok(eligible_names(&self.instance(id)?.cursor))
+        Ok(self.instance(id)?.eligible_names())
+    }
+
+    /// [`Runtime::eligible`] without the per-name allocations: returns
+    /// interned [`Symbol`]s (same order — sorted by name, deduplicated).
+    pub fn eligible_symbols(&self, id: InstanceId) -> Result<Vec<Symbol>, RuntimeError> {
+        Ok(self.instance(id)?.eligible_symbols())
     }
 
     /// Fires an external event against an instance. Rejects events the
@@ -280,58 +407,19 @@ impl Runtime {
     /// cached cursor in place: per-fire work is independent of the
     /// journal length.
     pub fn fire(&mut self, id: InstanceId, event: &str) -> Result<InstanceStatus, RuntimeError> {
-        let inst = self.instance_mut(id)?;
-        if inst.status == InstanceStatus::Completed {
-            return Err(RuntimeError::AlreadyComplete(id));
-        }
-        let symbol = sym(event);
-        // A failed `fire_event` leaves the cursor untouched, so the
-        // cache stays valid on the error path.
-        if !inst.cursor.fire_event(symbol) {
-            return Err(RuntimeError::NotEligible {
-                event: event.to_owned(),
-                eligible: eligible_names(&inst.cursor),
-            });
-        }
-        inst.journal.push(symbol);
-        if inst.cursor.is_complete() {
-            inst.status = InstanceStatus::Completed;
-        }
-        Ok(inst.status)
+        self.instance_mut(id)?.fire(id, event)
     }
 
     /// Tries to finish an instance through silent steps only (committing
     /// `∨`-branches made of bookkeeping, e.g. an optional tail that was
     /// compiled away). Returns the resulting status.
     pub fn try_complete(&mut self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
-        let inst = self.instance_mut(id)?;
-        // Probe on a clone: silent advances are NOT journaled, so they
-        // must not leak into the cached cursor either — the cache always
-        // mirrors exactly what journal replay would produce. A silent
-        // *choice* is re-resolved after restore, so completion is
-        // recorded in the status instead.
-        let mut probe = inst.cursor.clone();
-        loop {
-            if probe.is_complete() {
-                inst.status = InstanceStatus::Completed;
-                return Ok(InstanceStatus::Completed);
-            }
-            let eligible = probe.eligible();
-            let Some(silent) = eligible.iter().find(|c| !c.observable) else {
-                return Ok(inst.status);
-            };
-            probe.fire(silent.node);
-        }
+        Ok(self.instance_mut(id)?.try_complete())
     }
 
     /// The journal of fired events.
     pub fn journal(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError> {
-        Ok(self
-            .instance(id)?
-            .journal
-            .iter()
-            .map(|s| s.as_str().to_owned())
-            .collect())
+        Ok(self.instance(id)?.journal_names())
     }
 
     /// Instance status.
@@ -350,23 +438,13 @@ impl Runtime {
     /// the concrete syntax, instances as journals — into a line-based
     /// textual snapshot.
     pub fn snapshot(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::from("ctr-runtime snapshot v1\n");
+        let mut out = String::from(SNAPSHOT_HEADER);
+        out.push('\n');
         for (name, d) in &self.deployments {
-            let _ = writeln!(out, "workflow {name} := {}", d.compiled);
+            d.snapshot_line(&mut out, name);
         }
         for (id, inst) in &self.instances {
-            let journal: Vec<&str> = inst.journal.iter().map(|s| s.as_str()).collect();
-            let status = match inst.status {
-                InstanceStatus::Running => "running",
-                InstanceStatus::Completed => "completed",
-            };
-            let _ = writeln!(
-                out,
-                "instance {id} of {} [{status}]: {}",
-                inst.workflow,
-                journal.join(" ")
-            );
+            inst.snapshot_line(&mut out, *id);
         }
         out
     }
@@ -375,7 +453,7 @@ impl Runtime {
     /// replay.
     pub fn restore(snapshot: &str) -> Result<Runtime, RuntimeError> {
         let mut lines = snapshot.lines();
-        if lines.next() != Some("ctr-runtime snapshot v1") {
+        if lines.next() != Some(SNAPSHOT_HEADER) {
             return Err(RuntimeError::Snapshot(
                 "missing or unknown header".to_owned(),
             ));
@@ -412,16 +490,8 @@ impl Runtime {
                         "instance {id} references unknown workflow `{workflow}`"
                     )));
                 };
-                let cursor = Scheduler::new(Arc::clone(&deployment.program));
-                rt.instances.insert(
-                    id,
-                    Instance {
-                        workflow,
-                        journal: Vec::new(),
-                        status: InstanceStatus::Running,
-                        cursor,
-                    },
-                );
+                rt.instances
+                    .insert(id, Instance::new(workflow, Arc::clone(&deployment.program)));
                 rt.next_id = rt.next_id.max(id + 1);
                 // Replay through the public API so every journaled event
                 // is re-validated. This is the one place cursors are
@@ -442,19 +512,8 @@ impl Runtime {
     }
 }
 
-/// Observable eligible events of a cursor, deduplicated and sorted.
-fn eligible_names(cursor: &Scheduler<Arc<Program>>) -> Vec<String> {
-    let mut names: Vec<String> = cursor
-        .eligible()
-        .into_iter()
-        .filter_map(|c| cursor.program().event(c.node))
-        .filter_map(ctr::term::Atom::as_event)
-        .map(|s| s.as_str().to_owned())
-        .collect();
-    names.sort();
-    names.dedup();
-    names
-}
+/// First line of every snapshot; version-checks the format.
+pub(crate) const SNAPSHOT_HEADER: &str = "ctr-runtime snapshot v1";
 
 #[cfg(test)]
 mod tests {

@@ -1,20 +1,127 @@
-//! A thread-safe handle over the runtime, for services where several
-//! clients report events concurrently.
+//! Thread-safe handles over the runtime, for services where many clients
+//! report events concurrently.
 //!
-//! The scheduler's state is tiny (journals), so a single coarse lock is
-//! the right design: contention is bounded by journal replay, and the
-//! eligibility check plus journal append happen atomically — two clients
-//! racing to fire conflicting events serialize, and exactly one of two
-//! mutually-exclusive branch events wins (the other gets
-//! [`RuntimeError::NotEligible`] with the post-commit alternatives).
+//! [`SharedRuntime`] is **sharded**: a fleet of independent workflow
+//! instances is exactly the workload the paper's compiled scheduler makes
+//! cheap per instance, so the service layer must not re-serialize it
+//! behind one lock. The state splits three ways:
+//!
+//! * a **read-mostly deployment registry** behind an [`RwLock`] — deploys
+//!   are rare, `start`/`fire` are hot, and readers only clone an `Arc`;
+//! * an **instance table striped across [`SHARD_COUNT`] shards** keyed by
+//!   `InstanceId`, each shard a small map behind its own [`Mutex`];
+//! * **per-instance state behind its own lock**, so two clients firing
+//!   events on *different* instances never contend.
+//!
+//! The single-instance atomicity guarantee of the coarse-lock design is
+//! preserved *per instance*: eligibility check and journal append happen
+//! under that instance's lock, so of two clients racing to fire
+//! mutually-exclusive branch events exactly one wins and the loser gets
+//! [`RuntimeError::NotEligible`] with the post-commit alternatives.
+//!
+//! ## Lock order
+//!
+//! `registry < shard[0] < … < shard[SHARD_COUNT−1] < instance locks`.
+//! Operations on one instance take its shard lock only to resolve the id
+//! (releasing it before the instance lock); [`SharedRuntime::snapshot`]
+//! takes *every* shard lock in ascending index order and then every
+//! instance lock, freezing the fleet for a consistent point-in-time cut.
+//! No path ever waits on a shard lock while holding an instance lock, so
+//! the order is acyclic. Snapshot output is **byte-identical** to
+//! [`Runtime::snapshot`] on the same logical state — both serialize
+//! through the same per-deployment/per-instance code.
+//!
+//! ## Poisoning
+//!
+//! All locks recover from poisoning (`PoisonError::into_inner`): a panic
+//! mid-operation either completed its journal append or left it
+//! untouched, so the inner state is always valid. The symbol interner
+//! follows the same discipline (see `ctr::symbol`).
+//!
+//! [`CoarseRuntime`] is the retired single-`Mutex` design, kept (and kept
+//! correct) as the measured baseline for the `fleet_mt` benchmark family
+//! in `BENCH_exec.json`.
 
-use crate::{InstanceId, InstanceStatus, Runtime, RuntimeError};
-use std::sync::{Arc, Mutex, MutexGuard};
+use crate::SNAPSHOT_HEADER;
+use crate::{Deployment, Instance, InstanceId, InstanceStatus, Runtime, RuntimeError};
+use ctr::symbol::Symbol;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
-/// A cloneable, `Send + Sync` handle to a shared [`Runtime`].
+/// Number of stripes in the instance table. Ids are assigned round-robin
+/// (`id % SHARD_COUNT`), so load spreads evenly; a power of two keeps the
+/// modulo cheap. Contention on a shard lock is only the map *lookup* —
+/// the per-event work happens under the instance's own lock.
+pub const SHARD_COUNT: usize = 16;
+
+/// Locks a mutex, recovering from poisoning (see module docs).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+type InstanceCell = Arc<Mutex<Instance>>;
+
+/// One stripe of the instance table.
+#[derive(Default)]
+struct Shard {
+    instances: Mutex<BTreeMap<InstanceId, InstanceCell>>,
+}
+
+struct Inner {
+    /// Read-mostly: `start` takes a read lock and clones an `Arc`;
+    /// only deployment takes the write lock.
+    registry: RwLock<BTreeMap<String, Arc<Deployment>>>,
+    shards: [Shard; SHARD_COUNT],
+    next_id: AtomicU64,
+    /// Replay work counter, aggregated across instances (see
+    /// [`Runtime::replayed_steps`]).
+    replayed: AtomicU64,
+}
+
+/// A cloneable, `Send + Sync`, sharded handle to a workflow runtime.
+///
+/// See the module docs for the locking model. The API mirrors
+/// [`Runtime`]; every method is `&self`.
 #[derive(Clone, Default)]
 pub struct SharedRuntime {
-    inner: Arc<Mutex<Runtime>>,
+    inner: Arc<Inner>,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            registry: RwLock::new(BTreeMap::new()),
+            shards: std::array::from_fn(|_| Shard::default()),
+            next_id: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Inner {
+    fn shard(&self, id: InstanceId) -> &Shard {
+        &self.shards[(id % SHARD_COUNT as u64) as usize]
+    }
+
+    /// Resolves an id to its instance cell. Holds the shard lock only for
+    /// the lookup: callers then lock the instance itself, so operations
+    /// on different instances proceed in parallel.
+    fn instance(&self, id: InstanceId) -> Result<InstanceCell, RuntimeError> {
+        lock(&self.shard(id).instances)
+            .get(&id)
+            .cloned()
+            .ok_or(RuntimeError::UnknownInstance(id))
+    }
+
+    fn deployment(&self, workflow: &str) -> Result<Arc<Deployment>, RuntimeError> {
+        self.registry
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(workflow)
+            .cloned()
+            .ok_or_else(|| RuntimeError::UnknownWorkflow(workflow.to_owned()))
+    }
 }
 
 impl SharedRuntime {
@@ -23,25 +130,246 @@ impl SharedRuntime {
         SharedRuntime::default()
     }
 
-    /// Wraps an existing runtime.
+    /// Adopts the state of an existing single-threaded runtime,
+    /// distributing its instances over the shards.
     pub fn from_runtime(rt: Runtime) -> SharedRuntime {
-        SharedRuntime {
+        let shared = SharedRuntime::new();
+        *shared
+            .inner
+            .registry
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = rt.deployments;
+        for (id, instance) in rt.instances {
+            lock(&shared.inner.shard(id).instances).insert(id, Arc::new(Mutex::new(instance)));
+        }
+        shared.inner.next_id.store(rt.next_id, Ordering::Relaxed);
+        shared.inner.replayed.store(rt.replayed, Ordering::Relaxed);
+        shared
+    }
+
+    /// See [`Runtime::restore`]: replay-validates the snapshot, then
+    /// shards the result.
+    pub fn restore(snapshot: &str) -> Result<SharedRuntime, RuntimeError> {
+        Ok(SharedRuntime::from_runtime(Runtime::restore(snapshot)?))
+    }
+
+    /// See [`Runtime::deploy_source`]. Parsing and compilation run
+    /// outside any lock; only the registry insert takes the write lock.
+    pub fn deploy_source(&self, source: &str) -> Result<String, RuntimeError> {
+        let mut staging = Runtime::new();
+        let name = staging.deploy_source(source)?;
+        let deployment = staging.deployments.remove(&name).expect("just deployed");
+        self.inner
+            .registry
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.clone(), deployment);
+        Ok(name)
+    }
+
+    /// See [`Runtime::deploy_compiled`]. Compilation runs outside any
+    /// lock. Running instances keep the program they started with.
+    pub fn deploy_compiled(
+        &self,
+        name: &str,
+        compiled: ctr::goal::Goal,
+    ) -> Result<(), RuntimeError> {
+        let mut staging = Runtime::new();
+        staging.deploy_compiled(name, compiled)?;
+        let deployment = staging.deployments.remove(name).expect("just deployed");
+        self.inner
+            .registry
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_owned(), deployment);
+        Ok(())
+    }
+
+    /// Deployed workflow names.
+    pub fn workflows(&self) -> Vec<String> {
+        self.inner
+            .registry
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// See [`Runtime::start`]. Takes the registry read lock (shared with
+    /// other starters) and one shard lock for the insert.
+    pub fn start(&self, workflow: &str) -> Result<InstanceId, RuntimeError> {
+        let deployment = self.inner.deployment(workflow)?;
+        let instance = Instance::new(workflow.to_owned(), Arc::clone(&deployment.program));
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        lock(&self.inner.shard(id).instances).insert(id, Arc::new(Mutex::new(instance)));
+        Ok(id)
+    }
+
+    /// Running and completed instance ids, ascending.
+    pub fn instances(&self) -> Vec<InstanceId> {
+        let mut ids: Vec<InstanceId> = Vec::new();
+        for shard in &self.inner.shards {
+            ids.extend(lock(&shard.instances).keys().copied());
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// See [`Runtime::fire`] — atomic with respect to other clients *of
+    /// this instance*; clients of other instances proceed concurrently.
+    pub fn fire(&self, id: InstanceId, event: &str) -> Result<InstanceStatus, RuntimeError> {
+        let cell = self.inner.instance(id)?;
+        let result = lock(&cell).fire(id, event);
+        result
+    }
+
+    /// See [`Runtime::eligible`]. The answer is a snapshot: another
+    /// client may commit a branch before you act on it — `fire` remains
+    /// the arbiter.
+    pub fn eligible(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError> {
+        let cell = self.inner.instance(id)?;
+        let names = lock(&cell).eligible_names();
+        Ok(names)
+    }
+
+    /// See [`Runtime::eligible_symbols`] — the allocation-free probe for
+    /// hot polling loops.
+    pub fn eligible_symbols(&self, id: InstanceId) -> Result<Vec<Symbol>, RuntimeError> {
+        let cell = self.inner.instance(id)?;
+        let events = lock(&cell).eligible_symbols();
+        Ok(events)
+    }
+
+    /// See [`Runtime::journal`].
+    pub fn journal(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError> {
+        let cell = self.inner.instance(id)?;
+        let journal = lock(&cell).journal_names();
+        Ok(journal)
+    }
+
+    /// See [`Runtime::status`].
+    pub fn status(&self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
+        let cell = self.inner.instance(id)?;
+        let status = lock(&cell).status;
+        Ok(status)
+    }
+
+    /// See [`Runtime::is_complete`].
+    pub fn is_complete(&self, id: InstanceId) -> Result<bool, RuntimeError> {
+        Ok(self.status(id)? == InstanceStatus::Completed)
+    }
+
+    /// See [`Runtime::try_complete`].
+    pub fn try_complete(&self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
+        let cell = self.inner.instance(id)?;
+        let status = lock(&cell).try_complete();
+        Ok(status)
+    }
+
+    /// See [`Runtime::invalidate`] — rebuilds one instance's cursor by
+    /// replay, under that instance's lock.
+    pub fn invalidate(&self, id: InstanceId) -> Result<(), RuntimeError> {
+        let cell = self.inner.instance(id)?;
+        let mut inst = lock(&cell);
+        let deployment = self.inner.deployment(&inst.workflow)?;
+        let replayed = inst.rebuild_cursor(Arc::clone(&deployment.program));
+        drop(inst);
+        self.inner.replayed.fetch_add(replayed, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// See [`Runtime::replayed_steps`].
+    pub fn replayed_steps(&self) -> u64 {
+        self.inner.replayed.load(Ordering::Relaxed)
+    }
+
+    /// A consistent point-in-time snapshot, byte-identical to
+    /// [`Runtime::snapshot`] on the same state.
+    ///
+    /// Takes the registry read lock, then every shard lock in ascending
+    /// index order, then every instance lock — the fleet is frozen while
+    /// the text is built, so the snapshot is an atomic cut: it contains
+    /// exactly the fires that committed before the cut, instance by
+    /// instance, and always restores.
+    pub fn snapshot(&self) -> String {
+        let registry = self
+            .inner
+            .registry
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let shard_guards: Vec<MutexGuard<'_, BTreeMap<InstanceId, InstanceCell>>> = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| lock(&s.instances))
+            .collect();
+        let mut instance_guards: Vec<(InstanceId, MutexGuard<'_, Instance>)> = Vec::new();
+        for shard in &shard_guards {
+            for (&id, cell) in shard.iter() {
+                instance_guards.push((id, lock(cell)));
+            }
+        }
+        // Ids interleave across shards (round-robin); the output orders
+        // them globally, exactly like the BTreeMap iteration in
+        // `Runtime::snapshot`.
+        instance_guards.sort_unstable_by_key(|(id, _)| *id);
+
+        let mut out = String::from(SNAPSHOT_HEADER);
+        out.push('\n');
+        for (name, d) in registry.iter() {
+            d.snapshot_line(&mut out, name);
+        }
+        for (id, inst) in &instance_guards {
+            inst.snapshot_line(&mut out, *id);
+        }
+        out
+    }
+}
+
+/// The retired coarse-lock handle: one `Mutex` around the whole
+/// [`Runtime`], so every client serializes even across independent
+/// instances.
+///
+/// Kept as the measured baseline for the `fleet_mt/*` records in
+/// `BENCH_exec.json` — the sharded [`SharedRuntime`] must beat this on
+/// multi-threaded fleets, and the margin is pinned there per commit. Not
+/// deprecated for single-client embedding, but services should use
+/// [`SharedRuntime`].
+#[derive(Clone, Default)]
+pub struct CoarseRuntime {
+    inner: Arc<Mutex<Runtime>>,
+}
+
+impl CoarseRuntime {
+    /// Wraps an empty runtime.
+    pub fn new() -> CoarseRuntime {
+        CoarseRuntime::default()
+    }
+
+    /// Wraps an existing runtime.
+    pub fn from_runtime(rt: Runtime) -> CoarseRuntime {
+        CoarseRuntime {
             inner: Arc::new(Mutex::new(rt)),
         }
     }
 
     fn lock(&self) -> MutexGuard<'_, Runtime> {
-        // A poisoned lock means a panic mid-operation; every operation
-        // either completes its journal append or leaves it untouched, so
-        // continuing with the inner state is safe.
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        lock(&self.inner)
     }
 
     /// See [`Runtime::deploy_source`].
     pub fn deploy_source(&self, source: &str) -> Result<String, RuntimeError> {
         self.lock().deploy_source(source)
+    }
+
+    /// See [`Runtime::deploy_compiled`].
+    pub fn deploy_compiled(
+        &self,
+        name: &str,
+        compiled: ctr::goal::Goal,
+    ) -> Result<(), RuntimeError> {
+        self.lock().deploy_compiled(name, compiled)
     }
 
     /// See [`Runtime::start`].
@@ -54,9 +382,7 @@ impl SharedRuntime {
         self.lock().fire(id, event)
     }
 
-    /// See [`Runtime::eligible`]. The answer is a snapshot: another
-    /// client may commit a branch before you act on it — `fire` remains
-    /// the arbiter.
+    /// See [`Runtime::eligible`].
     pub fn eligible(&self, id: InstanceId) -> Result<Vec<String>, RuntimeError> {
         self.lock().eligible(id)
     }
@@ -76,7 +402,7 @@ impl SharedRuntime {
         self.lock().try_complete(id)
     }
 
-    /// See [`Runtime::snapshot`] — a consistent point-in-time snapshot.
+    /// See [`Runtime::snapshot`].
     pub fn snapshot(&self) -> String {
         self.lock().snapshot()
     }
@@ -86,23 +412,26 @@ impl SharedRuntime {
 mod tests {
     use super::*;
 
+    const PAY: &str = "workflow pay { graph invoice * (approve + reject) * file; }";
+
     fn shared_pay() -> SharedRuntime {
         let rt = SharedRuntime::new();
-        rt.deploy_source("workflow pay { graph invoice * (approve + reject) * file; }")
-            .unwrap();
+        rt.deploy_source(PAY).unwrap();
         rt
     }
 
     #[test]
-    fn handle_is_send_sync_and_cloneable() {
+    fn handles_are_send_sync_and_cloneable() {
         fn assert_send_sync<T: Send + Sync + Clone>() {}
         assert_send_sync::<SharedRuntime>();
+        assert_send_sync::<CoarseRuntime>();
     }
 
     #[test]
-    fn racing_exclusive_branches_serialize() {
+    fn racing_exclusive_branches_serialize_per_instance() {
         // Two threads race to decide the same instance; exactly one of
-        // approve/reject lands, every time.
+        // approve/reject lands, every time — the per-instance lock is
+        // the arbiter now, not a global one.
         for round in 0..20 {
             let rt = shared_pay();
             let id = rt.start("pay").unwrap();
@@ -124,9 +453,23 @@ mod tests {
     }
 
     #[test]
+    fn loser_gets_post_commit_alternatives() {
+        let rt = shared_pay();
+        let id = rt.start("pay").unwrap();
+        rt.fire(id, "invoice").unwrap();
+        rt.fire(id, "approve").unwrap();
+        let err = rt.fire(id, "reject").unwrap_err();
+        let RuntimeError::NotEligible { event, eligible } = err else {
+            panic!("expected NotEligible");
+        };
+        assert_eq!(event, "reject");
+        assert_eq!(eligible, vec!["file".to_owned()], "post-commit view");
+    }
+
+    #[test]
     fn concurrent_instances_do_not_interfere() {
         let rt = shared_pay();
-        let ids: Vec<_> = (0..8).map(|_| rt.start("pay").unwrap()).collect();
+        let ids: Vec<_> = (0..32).map(|_| rt.start("pay").unwrap()).collect();
         let handles: Vec<_> = ids
             .iter()
             .map(|&id| {
@@ -144,6 +487,78 @@ mod tests {
         for id in ids {
             assert_eq!(rt.status(id).unwrap(), InstanceStatus::Completed);
         }
+    }
+
+    #[test]
+    fn instances_stripe_across_shards() {
+        let rt = shared_pay();
+        let ids: Vec<_> = (0..SHARD_COUNT as u64 * 2)
+            .map(|_| rt.start("pay").unwrap())
+            .collect();
+        // Sequential ids land round-robin: every shard holds exactly two.
+        for shard in &rt.inner.shards {
+            assert_eq!(lock(&shard.instances).len(), 2);
+        }
+        assert_eq!(rt.instances(), ids);
+    }
+
+    #[test]
+    fn deploy_while_firing_does_not_disturb_running_instances() {
+        let rt = shared_pay();
+        let id = rt.start("pay").unwrap();
+        rt.fire(id, "invoice").unwrap();
+        // Redeploy the same name with a different body mid-flight.
+        rt.deploy_source("workflow pay { graph invoice * file; }")
+            .unwrap();
+        // The running instance still follows the program it pinned …
+        assert_eq!(
+            rt.eligible(id).unwrap(),
+            vec!["approve".to_owned(), "reject".to_owned()]
+        );
+        // … and new instances follow the new deployment.
+        let id2 = rt.start("pay").unwrap();
+        rt.fire(id2, "invoice").unwrap();
+        assert_eq!(rt.eligible(id2).unwrap(), vec!["file".to_owned()]);
+    }
+
+    #[test]
+    fn snapshot_format_is_byte_identical_to_runtime() {
+        // Build the same logical state through both front-ends; the
+        // snapshot text must match byte for byte.
+        let shared = shared_pay();
+        let mut plain = Runtime::new();
+        plain.deploy_source(PAY).unwrap();
+        for _ in 0..SHARD_COUNT + 3 {
+            let a = shared.start("pay").unwrap();
+            let b = plain.start("pay").unwrap();
+            assert_eq!(a, b);
+        }
+        for id in [0u64, 3, 7, 17] {
+            shared.fire(id, "invoice").unwrap();
+            plain.fire(id, "invoice").unwrap();
+        }
+        shared.fire(3, "approve").unwrap();
+        plain.fire(3, "approve").unwrap();
+        assert_eq!(shared.snapshot(), plain.snapshot());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_through_shards() {
+        let rt = shared_pay();
+        let i1 = rt.start("pay").unwrap();
+        let i2 = rt.start("pay").unwrap();
+        rt.fire(i1, "invoice").unwrap();
+        rt.fire(i1, "approve").unwrap();
+        rt.fire(i2, "invoice").unwrap();
+        let restored = SharedRuntime::restore(&rt.snapshot()).unwrap();
+        assert_eq!(restored.journal(i1).unwrap(), vec!["invoice", "approve"]);
+        assert_eq!(
+            restored.eligible(i2).unwrap(),
+            vec!["approve".to_owned(), "reject".to_owned()]
+        );
+        // Fresh ids allocate past the restored ones.
+        let i3 = restored.start("pay").unwrap();
+        assert!(i3 > i2);
     }
 
     #[test]
@@ -167,5 +582,49 @@ mod tests {
         let final_snap = rt.snapshot();
         let restored = Runtime::restore(&final_snap).unwrap();
         assert!(restored.is_complete(id).unwrap());
+    }
+
+    #[test]
+    fn invalidate_replays_and_matches_incremental_cursor() {
+        let rt = shared_pay();
+        let id = rt.start("pay").unwrap();
+        rt.fire(id, "invoice").unwrap();
+        rt.fire(id, "reject").unwrap();
+        assert_eq!(rt.replayed_steps(), 0);
+        rt.invalidate(id).unwrap();
+        assert_eq!(rt.replayed_steps(), 2);
+        assert_eq!(rt.eligible(id).unwrap(), vec!["file".to_owned()]);
+        rt.fire(id, "file").unwrap();
+        assert!(rt.is_complete(id).unwrap());
+    }
+
+    #[test]
+    fn coarse_runtime_still_works() {
+        // The baseline keeps full semantics: races serialize globally.
+        let rt = CoarseRuntime::new();
+        rt.deploy_source(PAY).unwrap();
+        let id = rt.start("pay").unwrap();
+        rt.fire(id, "invoice").unwrap();
+        let (a, b) = (rt.clone(), rt.clone());
+        let ta = std::thread::spawn(move || a.fire(id, "approve").is_ok());
+        let tb = std::thread::spawn(move || b.fire(id, "reject").is_ok());
+        assert!(ta.join().unwrap() ^ tb.join().unwrap());
+        rt.fire(id, "file").unwrap();
+        assert_eq!(rt.status(id).unwrap(), InstanceStatus::Completed);
+        assert_eq!(
+            rt.snapshot(),
+            SharedRuntime::restore(&rt.snapshot()).unwrap().snapshot()
+        );
+    }
+
+    #[test]
+    fn unknown_ids_and_names_error() {
+        let rt = SharedRuntime::new();
+        assert_eq!(
+            rt.start("ghost"),
+            Err(RuntimeError::UnknownWorkflow("ghost".to_owned()))
+        );
+        assert_eq!(rt.eligible(42), Err(RuntimeError::UnknownInstance(42)));
+        assert_eq!(rt.fire(42, "x"), Err(RuntimeError::UnknownInstance(42)));
     }
 }

@@ -8,9 +8,10 @@
 //! activity run, how long are the paths, which activities always/never
 //! co-occur in practice.
 
+use ctr::apply::Parallelism;
 use ctr::symbol::Symbol;
 use ctr_engine::scheduler::{Program, Scheduler};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Aggregate statistics over sampled schedules.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -52,9 +53,92 @@ impl Simulation {
     }
 }
 
+/// Mergeable aggregate over a contiguous range of sampled runs. Each run
+/// is an independent sample keyed only by its global index (seed
+/// `seed + i`), so partials computed on different threads merge into
+/// exactly the sequential result.
+#[derive(Default)]
+struct Partial {
+    completed: usize,
+    event_frequency: BTreeMap<Symbol, usize>,
+    min_len: usize,
+    max_len: usize,
+    total_len: usize,
+    /// Full trace set — distinct-trace counting needs global dedup, so
+    /// partials keep the traces and the merge takes the union.
+    traces: BTreeSet<Vec<Symbol>>,
+}
+
+/// Samples the run indices `lo..hi`.
+fn sample_range(program: &Program, lo: usize, hi: usize, seed: u64) -> Partial {
+    let mut part = Partial {
+        min_len: usize::MAX,
+        ..Partial::default()
+    };
+    for i in lo..hi {
+        let Some(trace) = Scheduler::new(program).run_random(seed.wrapping_add(i as u64)) else {
+            continue;
+        };
+        let names: Vec<Symbol> = trace.iter().filter_map(ctr::term::Atom::as_event).collect();
+        part.completed += 1;
+        part.min_len = part.min_len.min(names.len());
+        part.max_len = part.max_len.max(names.len());
+        part.total_len += names.len();
+        let mut once: Vec<Symbol> = names.clone();
+        once.sort_unstable();
+        once.dedup();
+        for e in once {
+            *part.event_frequency.entry(e).or_insert(0) += 1;
+        }
+        part.traces.insert(names);
+    }
+    part
+}
+
 /// Samples `runs` randomized schedules of `program` (seeds
-/// `seed, seed+1, …`) and aggregates.
+/// `seed, seed+1, …`) and aggregates. Uses [`Parallelism::Auto`]; see
+/// [`simulate_par`] to pin the mode.
 pub fn simulate(program: &Program, runs: usize, seed: u64) -> Simulation {
+    simulate_par(program, runs, seed, Parallelism::Auto)
+}
+
+/// [`simulate`] with an explicit [`Parallelism`] mode — the same knob the
+/// compiler's fan-out uses. Runs are independent samples, so they
+/// partition across worker threads and the partial aggregates merge;
+/// every mode produces the **identical** `Simulation` (each run's seed
+/// depends only on its global index, and all merge operations are
+/// commutative sums/min/max/unions).
+pub fn simulate_par(program: &Program, runs: usize, seed: u64, par: Parallelism) -> Simulation {
+    let workers = if par.fan_out(program.len(), runs) {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(runs)
+    } else {
+        1
+    };
+
+    let partials: Vec<Partial> = if workers <= 1 {
+        vec![sample_range(program, 0, runs, seed)]
+    } else {
+        // Contiguous index ranges, remainder spread over the first few
+        // workers; coverage is exactly 0..runs.
+        let base = runs / workers;
+        let extra = runs % workers;
+        std::thread::scope(|scope| {
+            let mut lo = 0;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let hi = lo + base + usize::from(w < extra);
+                    let range = (lo, hi);
+                    lo = hi;
+                    scope.spawn(move || sample_range(program, range.0, range.1, seed))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+
     let mut sim = Simulation {
         runs,
         completed: 0,
@@ -64,26 +148,18 @@ pub fn simulate(program: &Program, runs: usize, seed: u64) -> Simulation {
         total_len: 0,
         distinct_traces: 0,
     };
-    let mut seen = std::collections::BTreeSet::new();
-    for i in 0..runs {
-        let Some(trace) = Scheduler::new(program).run_random(seed.wrapping_add(i as u64)) else {
-            continue;
-        };
-        let names: Vec<Symbol> = trace.iter().filter_map(ctr::term::Atom::as_event).collect();
-        sim.completed += 1;
-        sim.min_len = sim.min_len.min(names.len());
-        sim.max_len = sim.max_len.max(names.len());
-        sim.total_len += names.len();
-        let mut once: Vec<Symbol> = names.clone();
-        once.sort_unstable();
-        once.dedup();
-        for e in once {
-            *sim.event_frequency.entry(e).or_insert(0) += 1;
+    let mut seen = BTreeSet::new();
+    for part in partials {
+        sim.completed += part.completed;
+        sim.min_len = sim.min_len.min(part.min_len);
+        sim.max_len = sim.max_len.max(part.max_len);
+        sim.total_len += part.total_len;
+        for (e, n) in part.event_frequency {
+            *sim.event_frequency.entry(e).or_insert(0) += n;
         }
-        if seen.insert(names) {
-            sim.distinct_traces += 1;
-        }
+        seen.extend(part.traces);
     }
+    sim.distinct_traces = seen.len();
     if sim.completed == 0 {
         sim.min_len = 0;
     }
@@ -146,6 +222,23 @@ mod tests {
         let p = program(&conc(vec![Goal::atom("p"), Goal::atom("q")]), &[]);
         let sim = simulate(&p, 300, 11);
         assert_eq!(sim.distinct_traces, 2);
+    }
+
+    #[test]
+    fn parallel_modes_produce_identical_simulations() {
+        // Runs are independent samples seeded by global index, so the
+        // threaded fan-out must be invisible in the aggregate.
+        let goal = seq(vec![
+            conc(vec![Goal::atom("p"), Goal::atom("q")]),
+            or(vec![Goal::atom("b"), Goal::atom("c")]),
+        ]);
+        let p = program(&goal, &[]);
+        let sequential = simulate_par(&p, 300, 42, Parallelism::Never);
+        let threaded = simulate_par(&p, 300, 42, Parallelism::Always);
+        let auto = simulate_par(&p, 300, 42, Parallelism::Auto);
+        assert_eq!(sequential, threaded);
+        assert_eq!(sequential, auto);
+        assert!(sequential.distinct_traces >= 2);
     }
 
     #[test]
