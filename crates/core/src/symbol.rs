@@ -40,10 +40,13 @@ use std::sync::{Mutex, OnceLock, PoisonError};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Symbol(u32);
 
-/// Capacity of chunk 0; chunk `i` holds `CHUNK0 << i` slots, so 26 chunks
-/// cover the whole `u32` id space while a resolve stays two pointer hops.
+/// Capacity of chunk 0; chunk `i` holds `CHUNK0 << i` slots. 26 chunks
+/// reach id `64·(2²⁶−1)`, 64 ids short of `u32::MAX`, so a 27th absorbs
+/// the tail and every `u32` id has a slot while a resolve stays two
+/// pointer hops. (Chunks allocate on demand; the tail chunk only
+/// materializes past ~4.3e9 interned names.)
 const CHUNK0: u32 = 64;
-const NUM_CHUNKS: usize = 26;
+const NUM_CHUNKS: usize = 27;
 
 type Chunk = Box<[OnceLock<&'static str>]>;
 
@@ -124,7 +127,7 @@ impl Symbol {
         // bounded by the number of distinct identifiers in the program,
         // which is the usual trade-off for a global interner.
         let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
-        let id = map.len() as u32;
+        let id = u32::try_from(map.len()).expect("symbol table exhausted the u32 id space");
         let published = interner.names.publish(id, leaked);
         map.insert(published, id);
         Symbol(id)
@@ -228,6 +231,12 @@ mod tests {
         assert_eq!(slot_of(64), (1, 0));
         assert_eq!(slot_of(191), (1, 127));
         assert_eq!(slot_of(192), (2, 0));
+        // The very top of the u32 id space lands in the tail chunk, in
+        // range — no id can index past NUM_CHUNKS.
+        assert_eq!(slot_of(CHUNK0 * ((1 << 26) - 1) - 1), (25, (1 << 31) - 1));
+        assert_eq!(slot_of(CHUNK0 * ((1 << 26) - 1)), (26, 0));
+        assert_eq!(slot_of(u32::MAX), (26, 63));
+        assert!(26 < NUM_CHUNKS);
     }
 
     #[test]

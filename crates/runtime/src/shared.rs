@@ -26,8 +26,12 @@
 //! (releasing it before the instance lock); [`SharedRuntime::snapshot`]
 //! takes *every* shard lock in ascending index order and then every
 //! instance lock, freezing the fleet for a consistent point-in-time cut.
-//! No path ever waits on a shard lock while holding an instance lock, so
-//! the order is acyclic. Snapshot output is **byte-identical** to
+//! No path ever waits on the registry or a shard lock while holding an
+//! instance lock, so the order is acyclic. (This matters for more than
+//! tidiness: `RwLock` readers can queue behind a waiting writer, so a
+//! registry read taken under an instance lock could deadlock against
+//! `snapshot` + a pending deploy. `invalidate` therefore resolves the
+//! deployment *between* instance-lock critical sections.) Snapshot output is **byte-identical** to
 //! [`Runtime::snapshot`] on the same logical state — both serialize
 //! through the same per-deployment/per-instance code.
 //!
@@ -269,12 +273,20 @@ impl SharedRuntime {
 
     /// See [`Runtime::invalidate`] — rebuilds one instance's cursor by
     /// replay, under that instance's lock.
+    ///
+    /// The registry lookup happens *between* two instance-lock critical
+    /// sections, never while the instance lock is held — taking the
+    /// registry lock inside an instance lock would invert the documented
+    /// lock order and deadlock against `snapshot` + a queued deploy (a
+    /// waiting writer can block new readers). The workflow name is
+    /// immutable for the life of an instance, so the two-step read is not
+    /// a TOCTOU; events fired by other clients in the gap are simply part
+    /// of the journal the rebuild replays.
     pub fn invalidate(&self, id: InstanceId) -> Result<(), RuntimeError> {
         let cell = self.inner.instance(id)?;
-        let mut inst = lock(&cell);
-        let deployment = self.inner.deployment(&inst.workflow)?;
-        let replayed = inst.rebuild_cursor(Arc::clone(&deployment.program));
-        drop(inst);
+        let workflow = lock(&cell).workflow.clone();
+        let deployment = self.inner.deployment(&workflow)?;
+        let replayed = lock(&cell).rebuild_cursor(Arc::clone(&deployment.program));
         self.inner.replayed.fetch_add(replayed, Ordering::Relaxed);
         Ok(())
     }
@@ -596,6 +608,49 @@ mod tests {
         assert_eq!(rt.eligible(id).unwrap(), vec!["file".to_owned()]);
         rt.fire(id, "file").unwrap();
         assert!(rt.is_complete(id).unwrap());
+    }
+
+    #[test]
+    fn snapshot_invalidate_deploy_storm_does_not_deadlock() {
+        // Regression: invalidate used to take the registry read lock
+        // while holding an instance lock. With snapshot holding the
+        // registry read lock while collecting instance locks and a deploy
+        // writer queued (std RwLock may block new readers behind waiting
+        // writers), the fleet could deadlock. Hammer all three paths
+        // concurrently; completion of every thread is the assertion.
+        let rt = shared_pay();
+        let ids: Vec<_> = (0..8).map(|_| rt.start("pay").unwrap()).collect();
+        for &id in &ids {
+            rt.fire(id, "invoice").unwrap();
+        }
+        std::thread::scope(|scope| {
+            for &id in &ids {
+                let rt = rt.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        rt.invalidate(id).unwrap();
+                    }
+                });
+            }
+            let snapper = rt.clone();
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    Runtime::restore(&snapper.snapshot()).expect("consistent snapshot");
+                }
+            });
+            let deployer = rt.clone();
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    deployer.deploy_source(PAY).unwrap();
+                }
+            });
+        });
+        for &id in &ids {
+            assert_eq!(
+                rt.eligible(id).unwrap(),
+                vec!["approve".to_owned(), "reject".to_owned()]
+            );
+        }
     }
 
     #[test]
