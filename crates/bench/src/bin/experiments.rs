@@ -519,10 +519,13 @@ fn bench_compile_json(smoke: bool) {
 ///
 /// One record per workload: a long single instance (per-fire cost must be
 /// flat in the journal length), an `eligible()` probe at the end of a long
-/// journal, a fleet of instances sharing one deployment, and the
+/// journal, a fleet of instances sharing one deployment, the
 /// `fleet_mt/<workload>x<threads>` family — the same fleet driven by
 /// concurrent client threads on the sharded runtime, with
-/// `fleet_mt_coarse/*` pinning the coarse-lock baseline it replaced.
+/// `fleet_mt_coarse/*` pinning the coarse-lock baseline it replaced —
+/// plus the engine-level `sched_hot/{eligible,fire_event,deadlock_probe}`
+/// hot paths of the incremental frontier and the `batch/<workload>xB`
+/// family driving `fire_batch`/`fire_many` in chunks of B.
 fn bench_exec_json(smoke: bool) {
     struct Record {
         name: String,
@@ -677,6 +680,154 @@ fn bench_exec_json(smoke: bool) {
                 });
             }
         }
+    }
+
+    // Engine-level scheduler hot paths, measured without any runtime
+    // wrapper: cached-frontier `eligible()` probes, indexed `fire_event`
+    // dispatch, and O(1) `is_deadlocked()` — the operations the
+    // incremental frontier makes walk-free.
+    {
+        let fires = if smoke { 200 } else { 10_000 };
+        let probes = if smoke { 10_000 } else { 1_000_000 };
+
+        // Pure fire_event dispatch down a long pipeline: one hash lookup
+        // and a path-local delta per fire, no frontier walk.
+        let program = Program::compile(&gen::pipeline_workflow(fires)).expect("compiles");
+        let events: Vec<ctr::Symbol> = (0..fires).map(|i| sym(&format!("t{i}"))).collect();
+        let mut s = Scheduler::new(&program);
+        let t0 = Instant::now();
+        for &e in &events {
+            assert!(s.fire_event(e), "pipeline order");
+        }
+        let wall = t0.elapsed();
+        records.push(Record {
+            name: format!("sched_hot/fire_event/pipeline_{fires}"),
+            instances: 1,
+            total_fires: fires,
+            wall_ns: wall.as_nanos(),
+            fires_per_sec: (fires as f64 / wall.as_secs_f64()) as u64,
+            replayed_steps: 0,
+        });
+
+        // eligible()/is_deadlocked() probes on a mid-flight layered
+        // schedule (non-trivial frontier, several live branches).
+        let goal = gen::layered_workflow(16, 2);
+        let compiled = compile(&goal, &stage_orders(15)).expect("consistent");
+        let program = Program::compile(&compiled.goal).expect("knot-free");
+        let steps = Scheduler::new(&program)
+            .run_first()
+            .expect("knot-free")
+            .len();
+        let mut s = Scheduler::new(&program);
+        for _ in 0..steps / 2 {
+            let pick = s.eligible()[0];
+            s.fire(pick.node);
+        }
+        // black_box the scheduler each round: both probes are O(1) field
+        // reads, and without it LLVM hoists them out of the loop entirely
+        // (the run then reports a meaningless ~10^13 probes/sec).
+        let t0 = Instant::now();
+        let mut seen = 0usize;
+        for _ in 0..probes {
+            seen += std::hint::black_box(&s).eligible().len();
+        }
+        let wall = t0.elapsed();
+        assert!(seen >= probes, "mid-flight frontier is non-empty");
+        records.push(Record {
+            name: format!("sched_hot/eligible/layered16x2_midx{probes}"),
+            instances: 1,
+            total_fires: probes,
+            wall_ns: wall.as_nanos(),
+            fires_per_sec: (probes as f64 / wall.as_secs_f64()) as u64,
+            replayed_steps: 0,
+        });
+        let t0 = Instant::now();
+        let mut dead = 0usize;
+        for _ in 0..probes {
+            dead += std::hint::black_box(&s).is_deadlocked() as usize;
+        }
+        let wall = t0.elapsed();
+        assert_eq!(dead, 0, "mid-flight schedule is live");
+        records.push(Record {
+            name: format!("sched_hot/deadlock_probe/layered16x2_midx{probes}"),
+            instances: 1,
+            total_fires: probes,
+            wall_ns: wall.as_nanos(),
+            fires_per_sec: (probes as f64 / wall.as_secs_f64()) as u64,
+            replayed_steps: 0,
+        });
+    }
+
+    // Batched firing through the runtimes: whole chunks commit under one
+    // instance resolution (and, for `fire_many`, one shard-lock pass).
+    {
+        use ctr_runtime::FireOutcome;
+
+        // Single-instance chunks through Runtime::fire_batch.
+        let fires = if smoke { 200 } else { 10_000 };
+        let chunk = if smoke { 16 } else { 64 };
+        let mut rt = Runtime::new();
+        rt.deploy_compiled("pipe", gen::pipeline_workflow(fires))
+            .expect("pipeline compiles");
+        let id = rt.start("pipe").expect("deployed");
+        let events: Vec<String> = (0..fires).map(|i| format!("t{i}")).collect();
+        let t0 = Instant::now();
+        for c in events.chunks(chunk) {
+            for outcome in rt.fire_batch(id, c).expect("live instance") {
+                assert!(matches!(outcome, FireOutcome::Fired(_)), "pipeline order");
+            }
+        }
+        let wall = t0.elapsed();
+        records.push(Record {
+            name: format!("batch/pipeline_{fires}x{chunk}"),
+            instances: 1,
+            total_fires: fires,
+            wall_ns: wall.as_nanos(),
+            fires_per_sec: (fires as f64 / wall.as_secs_f64()) as u64,
+            replayed_steps: rt.replayed_steps(),
+        });
+
+        // Cross-instance mixed chunks through SharedRuntime::fire_many:
+        // the fleet advances in lockstep, each chunk grouped by shard.
+        let fleet = if smoke { 8 } else { 64 };
+        let goal = gen::layered_workflow(16, 2);
+        let compiled = compile(&goal, &stage_orders(15)).expect("consistent");
+        let program = Program::compile(&compiled.goal).expect("knot-free");
+        let trace: Vec<String> = Scheduler::new(&program)
+            .run_first()
+            .expect("knot-free")
+            .iter()
+            .filter_map(ctr::term::Atom::as_event)
+            .map(|s| s.as_str().to_owned())
+            .collect();
+        let rt = SharedRuntime::new();
+        rt.deploy_compiled("layered", compiled.goal.clone())
+            .expect("compiles");
+        let ids: Vec<InstanceId> = (0..fleet)
+            .map(|_| rt.start("layered").expect("deployed"))
+            .collect();
+        let pairs: Vec<(InstanceId, &str)> = trace
+            .iter()
+            .flat_map(|e| ids.iter().map(move |&id| (id, e.as_str())))
+            .collect();
+        let t0 = Instant::now();
+        for c in pairs.chunks(chunk) {
+            for outcome in rt.fire_many(c) {
+                assert!(matches!(outcome, FireOutcome::Fired(_)), "trace replays");
+            }
+        }
+        for &id in &ids {
+            rt.try_complete(id).expect("live instance");
+        }
+        let wall = t0.elapsed();
+        records.push(Record {
+            name: format!("batch/fleet_layered16x2_orders_{fleet}instx{chunk}"),
+            instances: fleet,
+            total_fires: pairs.len(),
+            wall_ns: wall.as_nanos(),
+            fires_per_sec: (pairs.len() as f64 / wall.as_secs_f64()) as u64,
+            replayed_steps: 0,
+        });
     }
 
     let rows: Vec<String> = records

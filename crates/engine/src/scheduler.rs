@@ -10,20 +10,68 @@
 //! [`Program`] is the goal flattened into an arena; [`Scheduler`] is a
 //! cursor over it. Each [`Scheduler::fire`] commits the `∨`-choices and
 //! `⊙`-entries on the fired node's path, appends the event to the trace,
-//! and silently drains enabled `send`/`receive` bookkeeping. Driving a
-//! complete schedule touches each node of the chosen execution variant a
-//! constant number of times — the linear-time scheduling the paper
-//! contrasts with the quadratic per-sequence validation of the passive
-//! approaches (benchmarked in experiment E5 against `ctr-baselines`).
+//! and silently drains enabled `send`/`receive` bookkeeping.
+//!
+//! The scheduler's "knows all events" promise is implemented literally:
+//! eligibility is **stateful and incremental**, not recomputed. The
+//! cursor maintains a persistent *frontier* — the eligible-node set, kept
+//! sorted in the program's DFS pre-order, plus an event-symbol index over
+//! it — and every `fire` delta-updates it: only the fired leaf's
+//! root-to-leaf path (committed `∨`-branches lose their abandoned
+//! siblings, newly reached `⊗`-successors and enabled `receive`s join)
+//! changes; the rest of the frontier is untouched. [`Scheduler::eligible`]
+//! therefore returns a cached slice, [`Scheduler::fire_event`] is a hash
+//! lookup, and [`Scheduler::is_complete`]/[`Scheduler::is_deadlocked`]
+//! are O(1) flag/length reads. The delta rules and their soundness
+//! argument are written up in DESIGN.md §11; the from-scratch recursive
+//! walk is retained as [`Scheduler::eligible_reference`] and proptests
+//! pin the two observationally identical.
 
 use ctr::goal::{Channel, Goal};
 use ctr::symbol::Symbol;
 use ctr::term::Atom;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Index of a node in a [`Program`].
 pub type NodeId = usize;
+
+/// Sentinel for "no slot" / "end of list" in the dense event index.
+const NIL: u32 = u32::MAX;
+
+/// FxHash-style mixer for the compile-time symbol→slot map. The key is a
+/// single interned `u32` id, so a full SipHash pass per `fire_event`
+/// dispatch is pure overhead; one rotate-xor-multiply round is enough to
+/// spread sequential interner ids across buckets.
+#[derive(Default)]
+struct SymbolIdHasher(u64);
+
+impl Hasher for SymbolIdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type SymbolMap<V> = HashMap<Symbol, V, BuildHasherDefault<SymbolIdHasher>>;
 
 #[derive(Clone, Debug)]
 enum NodeKind {
@@ -73,6 +121,27 @@ impl std::error::Error for ScheduleError {}
 pub struct Program {
     nodes: Vec<Node>,
     root: NodeId,
+    /// DFS pre-order rank of each node. The frontier is kept sorted by
+    /// this rank, which reproduces the recursive walk's emission order;
+    /// `[pre[n], end[n])` is `n`'s subtree as a rank interval, making
+    /// descendant tests and subtree evictions O(1)/O(evicted).
+    pre: Vec<u32>,
+    /// One past the last pre-order rank inside each node's subtree.
+    end: Vec<u32>,
+    /// `receive` nodes per channel — consulted when a `send` fires to
+    /// promote newly enabled receives into the frontier.
+    recvs: HashMap<Channel, Vec<NodeId>>,
+    /// One past the largest channel id mentioned; sizes the dense
+    /// channel bitset carried by each cursor.
+    channel_bound: u32,
+    /// Event symbol → dense slot id, assigned at compile time. The one
+    /// hashed lookup on the `fire_event` path; everything downstream
+    /// indexes by slot.
+    slots: SymbolMap<u32>,
+    /// Per node: the slot of its event symbol, or [`NIL`] for nodes that
+    /// are not event leaves. Lets the cursor's event index update without
+    /// hashing.
+    event_slot: Vec<u32>,
 }
 
 impl Program {
@@ -98,7 +167,40 @@ impl Program {
                 nodes[c].parent = Some(parent);
             }
         }
-        Ok(Program { nodes, root })
+        let mut pre = vec![0u32; nodes.len()];
+        let mut end = vec![0u32; nodes.len()];
+        let mut counter = 0u32;
+        assign_ranks(&nodes, root, &mut pre, &mut end, &mut counter);
+        let mut recvs: HashMap<Channel, Vec<NodeId>> = HashMap::new();
+        let mut channel_bound = 0u32;
+        let mut slots: SymbolMap<u32> = SymbolMap::default();
+        let mut event_slot = vec![NIL; nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            match &n.kind {
+                NodeKind::Send(c) => channel_bound = channel_bound.max(c.0 + 1),
+                NodeKind::Recv(c) => {
+                    channel_bound = channel_bound.max(c.0 + 1);
+                    recvs.entry(*c).or_default().push(i);
+                }
+                NodeKind::Event(a) => {
+                    if let Some(s) = a.as_event() {
+                        let next = slots.len() as u32;
+                        event_slot[i] = *slots.entry(s).or_insert(next);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(Program {
+            nodes,
+            root,
+            pre,
+            end,
+            recvs,
+            channel_bound,
+            slots,
+            event_slot,
+        })
     }
 
     /// Number of nodes in the program.
@@ -117,6 +219,17 @@ impl Program {
             NodeKind::Event(a) => Some(a),
             _ => None,
         }
+    }
+
+    /// True if `node` lies in `anc`'s subtree (including `anc` itself).
+    #[inline]
+    fn in_subtree(&self, anc: NodeId, node: NodeId) -> bool {
+        self.pre[node] >= self.pre[anc] && self.pre[node] < self.end[anc]
+    }
+
+    /// The `receive` nodes listening on a channel.
+    fn recvs_on(&self, c: Channel) -> &[NodeId] {
+        self.recvs.get(&c).map_or(&[], Vec::as_slice)
     }
 }
 
@@ -145,6 +258,66 @@ fn build(goal: &Goal, nodes: &mut Vec<Node>) -> NodeId {
     nodes.len() - 1
 }
 
+fn assign_ranks(nodes: &[Node], node: NodeId, pre: &mut [u32], end: &mut [u32], counter: &mut u32) {
+    pre[node] = *counter;
+    *counter += 1;
+    for &c in children_of(&nodes[node].kind) {
+        assign_ranks(nodes, c, pre, end, counter);
+    }
+    end[node] = *counter;
+}
+
+/// A dense channel bitset: channel ids are allocated contiguously by
+/// `ChannelAlloc`, so membership is one shift-and-mask instead of a
+/// `BTreeSet` probe. Iteration yields channels in ascending id order —
+/// the same order the `BTreeSet` representation produced, which keeps
+/// [`Scheduler::state_key`] byte-identical.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct ChannelSet {
+    words: Vec<u64>,
+}
+
+impl ChannelSet {
+    fn with_bound(bound: u32) -> ChannelSet {
+        ChannelSet {
+            words: vec![0; (bound as usize).div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn contains(&self, c: Channel) -> bool {
+        self.words
+            .get((c.0 / 64) as usize)
+            .is_some_and(|w| w & (1u64 << (c.0 % 64)) != 0)
+    }
+
+    /// Inserts the channel; true if it was newly added.
+    fn insert(&mut self, c: Channel) -> bool {
+        let (word, bit) = ((c.0 / 64) as usize, c.0 % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let fresh = self.words[word] & (1u64 << bit) == 0;
+        self.words[word] |= 1u64 << bit;
+        fresh
+    }
+
+    /// Set channels in ascending id order.
+    fn iter(&self) -> impl Iterator<Item = Channel> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros();
+                w &= w - 1;
+                Some(Channel((i * 64) as u32 + bit))
+            })
+        })
+    }
+}
+
 /// One schedulable step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Choice {
@@ -155,88 +328,429 @@ pub struct Choice {
     pub observable: bool,
 }
 
-/// A cursor executing a [`Program`].
-///
-/// Generic over how the program is held: `Scheduler<&Program>` borrows
-/// (the common transient case — `Scheduler::new(&program)` infers it),
-/// while `Scheduler<Arc<Program>>` co-owns the program, letting
-/// long-lived cursors (e.g. `ctr-runtime` instances) share one compiled
-/// arena across a whole deployment without lifetime plumbing.
+/// The mutable cursor state, split out of [`Scheduler`] so the frontier
+/// machinery can borrow the (generically held) program and the state
+/// disjointly.
 #[derive(Clone, Debug)]
-pub struct Scheduler<P: std::ops::Deref<Target = Program>> {
-    program: P,
+struct Cursor {
     done: Vec<bool>,
     seq_pos: Vec<usize>,
     or_choice: Vec<Option<NodeId>>,
-    sent: BTreeSet<Channel>,
+    sent: ChannelSet,
     /// Stack of entered, unfinished `⊙` nodes (innermost last).
     lock: Vec<NodeId>,
+    /// Dense membership mirror of `lock` — O(1) instead of a `Vec` scan.
+    locked: Vec<bool>,
     trace: Vec<Atom>,
     finished: bool,
+    /// The eligible set, ignoring `⊙`-scoping, sorted by DFS pre-order
+    /// rank (== the recursive walk's emission order). Invariant: a node
+    /// is here iff the walk from the root would emit it.
+    frontier: Vec<Choice>,
+    /// Dense membership mirror of `frontier`.
+    in_frontier: Vec<bool>,
+    /// Eligible *event* nodes by event-symbol slot — `fire_event`'s O(1)
+    /// dispatch index, as intrusive singly-linked lists: `evt_head[slot]`
+    /// is the first frontier node carrying that symbol, `evt_next[node]`
+    /// the next one (both [`NIL`]-terminated). Maintenance is pointer
+    /// writes — no hashing, no allocation; lists are unordered and ties
+    /// resolve by pre-order at dispatch.
+    evt_head: Vec<u32>,
+    evt_next: Vec<u32>,
+    /// `frontier` filtered to the innermost `⊙` subtree; refreshed after
+    /// every mutation while a lock is active, unused (empty) otherwise.
+    scoped: Vec<Choice>,
+    /// Reusable scratch buffers — the fire path allocates nothing.
+    scratch: Vec<NodeId>,
+    scratch_or: Vec<(NodeId, NodeId)>,
+    scratch_evict: Vec<NodeId>,
 }
 
-impl<P: std::ops::Deref<Target = Program>> Scheduler<P> {
-    /// A fresh cursor at the program's initial state. Leading `Empty`
-    /// nodes and commitment-free channel operations are drained
-    /// immediately.
-    pub fn new(program: P) -> Scheduler<P> {
-        let n = program.len();
-        let root = program.root;
-        let mut s = Scheduler {
-            program,
+impl Cursor {
+    fn new(p: &Program) -> Cursor {
+        let n = p.len();
+        let mut cursor = Cursor {
             done: vec![false; n],
             seq_pos: vec![0; n],
             or_choice: vec![None; n],
-            sent: BTreeSet::new(),
+            sent: ChannelSet::with_bound(p.channel_bound),
             lock: Vec::new(),
+            locked: vec![false; n],
             trace: Vec::new(),
             finished: false,
+            frontier: Vec::new(),
+            in_frontier: vec![false; n],
+            evt_head: vec![NIL; p.slots.len()],
+            evt_next: vec![NIL; n],
+            scoped: Vec::new(),
+            scratch: Vec::new(),
+            scratch_or: Vec::new(),
+            scratch_evict: Vec::new(),
         };
-        s.drain_silent();
-        s.finished = s.done[root];
-        s
+        cursor.add_subtree(p, p.root);
+        cursor.drain_silent(p);
+        cursor.finished = cursor.done[p.root];
+        cursor
     }
 
-    /// The program this cursor executes.
-    pub fn program(&self) -> &Program {
-        &self.program
+    /// True if `node` is visible through the current `⊙`-scoping: inside
+    /// the innermost active lock's subtree, or unconditionally when no
+    /// lock is active.
+    #[inline]
+    fn scoped_visible(&self, p: &Program, node: NodeId) -> bool {
+        match self.lock.last() {
+            Some(&l) => p.in_subtree(l, node),
+            None => true,
+        }
     }
 
-    /// The events fired so far.
-    pub fn trace(&self) -> &[Atom] {
-        &self.trace
+    /// Rebuilds the scoped frontier view. Called at the end of every
+    /// mutating operation; a no-op (empty) when no lock is active, since
+    /// `eligible()` then serves the unscoped frontier directly.
+    fn refresh_scoped(&mut self, p: &Program) {
+        self.scoped.clear();
+        if let Some(&l) = self.lock.last() {
+            let (lo, hi) = (p.pre[l], p.end[l]);
+            self.scoped.extend(self.frontier.iter().filter(|c| {
+                let r = p.pre[c.node];
+                r >= lo && r < hi
+            }));
+        }
     }
 
-    /// The trace as propositional event names.
-    pub fn trace_names(&self) -> Vec<Symbol> {
-        self.trace.iter().filter_map(Atom::as_event).collect()
+    /// Inserts a leaf into the frontier at its pre-order position and
+    /// indexes its event symbol.
+    fn insert_choice(&mut self, p: &Program, node: NodeId, observable: bool) {
+        if self.in_frontier[node] {
+            return;
+        }
+        self.in_frontier[node] = true;
+        let rank = p.pre[node];
+        let pos = self.frontier.partition_point(|c| p.pre[c.node] < rank);
+        self.frontier.insert(pos, Choice { node, observable });
+        let slot = p.event_slot[node];
+        if slot != NIL {
+            self.evt_next[node] = self.evt_head[slot as usize];
+            self.evt_head[slot as usize] = node as u32;
+        }
     }
 
-    /// True when the whole workflow has completed.
-    pub fn is_complete(&self) -> bool {
-        self.finished
+    /// Removes a node from the frontier (no-op if absent).
+    fn remove_choice(&mut self, p: &Program, node: NodeId) {
+        if !self.in_frontier[node] {
+            return;
+        }
+        self.in_frontier[node] = false;
+        let rank = p.pre[node];
+        let pos = self.frontier.partition_point(|c| p.pre[c.node] < rank);
+        debug_assert_eq!(self.frontier[pos].node, node);
+        self.frontier.remove(pos);
+        self.unindex_event(p, node);
     }
 
-    /// True when incomplete with nothing eligible — a knot at run time
-    /// (cannot happen on `Excise`d programs with `guaranteed_knot_free`).
-    pub fn is_deadlocked(&self) -> bool {
-        !self.is_complete() && self.eligible().is_empty()
+    /// Unlinks `node` from its symbol's dispatch list. The walk is over
+    /// frontier nodes *sharing one event symbol* — almost always a
+    /// singleton — not the frontier.
+    fn unindex_event(&mut self, p: &Program, node: NodeId) {
+        let slot = p.event_slot[node];
+        if slot == NIL {
+            return;
+        }
+        let target = node as u32;
+        let mut cur = self.evt_head[slot as usize];
+        if cur == target {
+            self.evt_head[slot as usize] = self.evt_next[node];
+            self.evt_next[node] = NIL;
+            return;
+        }
+        while cur != NIL {
+            let next = self.evt_next[cur as usize];
+            if next == target {
+                self.evt_next[cur as usize] = self.evt_next[node];
+                self.evt_next[node] = NIL;
+                return;
+            }
+            cur = next;
+        }
     }
 
-    /// All steps eligible to start now: the pro-active scheduler's
-    /// knowledge at this stage of the execution.
-    pub fn eligible(&self) -> Vec<Choice> {
-        let mut out = Vec::new();
-        let start = *self.lock.last().unwrap_or(&self.program.root);
-        self.collect_eligible(start, &mut out);
-        out
+    /// Evicts every frontier entry whose pre-order rank lies in
+    /// `[lo, hi)` — the subtrees abandoned by an `∨`-commit.
+    fn evict_range(&mut self, p: &Program, lo: u32, hi: u32) {
+        if lo >= hi {
+            return;
+        }
+        let start = self.frontier.partition_point(|c| p.pre[c.node] < lo);
+        let stop = self.frontier.partition_point(|c| p.pre[c.node] < hi);
+        if start == stop {
+            return;
+        }
+        // `scratch` is live across this call (commit_path's iso list), so
+        // eviction keeps its own reusable buffer.
+        let mut evicted = std::mem::take(&mut self.scratch_evict);
+        evicted.clear();
+        evicted.extend(self.frontier.drain(start..stop).map(|c| c.node));
+        for &node in &evicted {
+            self.in_frontier[node] = false;
+            self.unindex_event(p, node);
+        }
+        self.scratch_evict = evicted;
     }
 
-    fn collect_eligible(&self, node: NodeId, out: &mut Vec<Choice>) {
+    /// Walks a freshly reached subtree, inserting its ready leaves — the
+    /// only place the frontier is grown structurally. Cost is bounded by
+    /// the reached region, which the delta argument (DESIGN.md §11)
+    /// charges to the nodes becoming reachable for the first time.
+    fn add_subtree(&mut self, p: &Program, node: NodeId) {
         if self.done[node] {
             return;
         }
-        match &self.program.nodes[node].kind {
+        match &p.nodes[node].kind {
+            NodeKind::Event(_) => self.insert_choice(p, node, true),
+            NodeKind::Send(_) | NodeKind::Empty => self.insert_choice(p, node, false),
+            NodeKind::Recv(c) => {
+                // A blocked receive stays out of the frontier; the send
+                // that enables it promotes it via `recvs_on`.
+                if self.sent.contains(*c) {
+                    self.insert_choice(p, node, false);
+                }
+            }
+            NodeKind::Seq(cs) => {
+                if let Some(&cur) = cs.get(self.seq_pos[node]) {
+                    self.add_subtree(p, cur);
+                }
+            }
+            NodeKind::Conc(cs) => {
+                for &c in cs {
+                    self.add_subtree(p, c);
+                }
+            }
+            NodeKind::Or(cs) => match self.or_choice[node] {
+                Some(chosen) => self.add_subtree(p, chosen),
+                None => {
+                    for &c in cs {
+                        self.add_subtree(p, c);
+                    }
+                }
+            },
+            NodeKind::Iso(body) => self.add_subtree(p, *body),
+        }
+    }
+
+    /// True if the recursive walk from the root currently reaches `node`:
+    /// no ancestor is done, every `⊗`-ancestor's position and committed
+    /// `∨`-ancestor's choice point toward it. Used only to promote
+    /// receives when their channel's send fires.
+    fn walk_reachable(&self, p: &Program, node: NodeId) -> bool {
+        let mut child = node;
+        let mut cur = p.nodes[node].parent;
+        while let Some(a) = cur {
+            if self.done[a] {
+                return false;
+            }
+            match &p.nodes[a].kind {
+                NodeKind::Seq(cs) if cs.get(self.seq_pos[a]) != Some(&child) => return false,
+                NodeKind::Or(_) if self.or_choice[a].is_some_and(|chosen| chosen != child) => {
+                    return false;
+                }
+                _ => {}
+            }
+            child = a;
+            cur = p.nodes[a].parent;
+        }
+        true
+    }
+
+    /// Commits every unchosen `∨` and un-entered `⊙` on the way to
+    /// `node`, evicting the frontier entries of abandoned `∨`-siblings.
+    /// Allocation-free: the upward walk records into reused scratch
+    /// buffers, and sibling eviction uses the rank-interval complement of
+    /// the committed child inside its parent.
+    fn commit_path(&mut self, p: &Program, node: NodeId) {
+        self.scratch_or.clear();
+        self.scratch.clear();
+        let mut child = node;
+        let mut cur = p.nodes[node].parent;
+        while let Some(a) = cur {
+            match &p.nodes[a].kind {
+                NodeKind::Or(_) if self.or_choice[a].is_none() => {
+                    self.scratch_or.push((a, child));
+                }
+                NodeKind::Iso(_) if !self.locked[a] => self.scratch.push(a),
+                _ => {}
+            }
+            child = a;
+            cur = p.nodes[a].parent;
+        }
+        let commits = std::mem::take(&mut self.scratch_or);
+        for &(a, chosen) in &commits {
+            self.or_choice[a] = Some(chosen);
+            self.evict_range(p, p.pre[a], p.pre[chosen]);
+            self.evict_range(p, p.end[chosen], p.end[a]);
+        }
+        self.scratch_or = commits;
+        // The upward walk met isos leaf-to-root; the lock stack pushes
+        // them root-to-leaf (innermost last), like the old path walk.
+        let isos = std::mem::take(&mut self.scratch);
+        for &a in isos.iter().rev() {
+            self.lock.push(a);
+            self.locked[a] = true;
+        }
+        self.scratch = isos;
+    }
+
+    /// Records a fired `send` and promotes any receive on the channel
+    /// that is already walk-reachable into the frontier.
+    fn send_effect(&mut self, p: &Program, c: Channel) {
+        if !self.sent.insert(c) {
+            return;
+        }
+        for &r in p.recvs_on(c) {
+            if !self.done[r] && !self.in_frontier[r] && self.walk_reachable(p, r) {
+                self.insert_choice(p, r, false);
+            }
+        }
+    }
+
+    /// Marks `node` done and propagates completion upward, keeping the
+    /// frontier in sync: the completed node leaves it, a `⊗`-parent's
+    /// next child enters it, an exiting `⊙` unlocks.
+    fn complete(&mut self, p: &Program, node: NodeId) {
+        self.done[node] = true;
+        self.remove_choice(p, node);
+        let Some(parent) = p.nodes[node].parent else {
+            return;
+        };
+        match &p.nodes[parent].kind {
+            NodeKind::Seq(cs) => {
+                let mut pos = self.seq_pos[parent];
+                while pos < cs.len() && self.done[cs[pos]] {
+                    pos += 1;
+                }
+                self.seq_pos[parent] = pos;
+                if pos == cs.len() {
+                    self.complete(p, parent);
+                } else {
+                    self.add_subtree(p, cs[pos]);
+                }
+            }
+            NodeKind::Conc(cs) => {
+                if cs.iter().all(|&c| self.done[c]) {
+                    self.complete(p, parent);
+                }
+            }
+            NodeKind::Or(_) => {
+                debug_assert_eq!(self.or_choice[parent], Some(node));
+                self.complete(p, parent);
+            }
+            NodeKind::Iso(_) => {
+                if self.lock.last() == Some(&parent) {
+                    self.lock.pop();
+                } else {
+                    self.lock.retain(|&l| l != parent);
+                }
+                self.locked[parent] = false;
+                self.complete(p, parent);
+            }
+            other => unreachable!("leaf parent must be a connective, got {other:?}"),
+        }
+    }
+
+    /// True if firing `node` commits no `∨`-choice and enters no `⊙`.
+    fn commitment_free(&self, p: &Program, node: NodeId) -> bool {
+        let mut cur = p.nodes[node].parent;
+        while let Some(a) = cur {
+            match &p.nodes[a].kind {
+                NodeKind::Or(_) if self.or_choice[a].is_none() => return false,
+                NodeKind::Iso(_) if !self.locked[a] && !self.done[a] => return false,
+                _ => {}
+            }
+            cur = p.nodes[a].parent;
+        }
+        true
+    }
+
+    /// Fires one step's effects: path commitment, trace/channel effect,
+    /// completion cascade, silent drain, finish flag, scoped refresh.
+    fn fire(&mut self, p: &Program, node: NodeId) {
+        debug_assert!(
+            self.in_frontier[node] && self.scoped_visible(p, node),
+            "fired node must be eligible"
+        );
+        self.commit_path(p, node);
+        match &p.nodes[node].kind {
+            NodeKind::Event(a) => self.trace.push(a.clone()),
+            NodeKind::Send(c) => {
+                let c = *c;
+                self.send_effect(p, c);
+            }
+            NodeKind::Recv(_) | NodeKind::Empty => {}
+            other => unreachable!("only leaves fire, got {other:?}"),
+        }
+        self.complete(p, node);
+        self.drain_silent(p);
+        self.finished = self.done[p.root];
+        self.refresh_scoped(p);
+    }
+
+    /// Fires, to fixpoint, every eligible internal step that commits
+    /// nothing: `Empty` nodes, `send`s, and enabled `receive`s whose path
+    /// is already fully committed. Candidates come from the frontier's
+    /// silent entries (scoped to the innermost `⊙`), not a tree walk.
+    fn drain_silent(&mut self, p: &Program) {
+        loop {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            match self.lock.last() {
+                Some(&l) => {
+                    let (lo, hi) = (p.pre[l], p.end[l]);
+                    scratch.extend(self.frontier.iter().filter_map(|c| {
+                        let r = p.pre[c.node];
+                        (!c.observable && r >= lo && r < hi).then_some(c.node)
+                    }));
+                }
+                None => scratch.extend(
+                    self.frontier
+                        .iter()
+                        .filter_map(|c| (!c.observable).then_some(c.node)),
+                ),
+            }
+            let mut fired = false;
+            for &node in &scratch {
+                if self.done[node] || !self.in_frontier[node] || !self.commitment_free(p, node) {
+                    continue;
+                }
+                match &p.nodes[node].kind {
+                    NodeKind::Send(c) => {
+                        let c = *c;
+                        self.send_effect(p, c);
+                    }
+                    NodeKind::Recv(c) => {
+                        if !self.sent.contains(*c) {
+                            continue;
+                        }
+                    }
+                    NodeKind::Empty => {}
+                    _ => continue,
+                }
+                self.complete(p, node);
+                fired = true;
+            }
+            self.scratch = scratch;
+            if !fired {
+                return;
+            }
+        }
+    }
+
+    /// The from-scratch recursive eligibility walk — the original
+    /// implementation, retained as the oracle the incremental frontier is
+    /// proptested against.
+    fn collect_eligible_recursive(&self, p: &Program, node: NodeId, out: &mut Vec<Choice>) {
+        if self.done[node] {
+            return;
+        }
+        match &p.nodes[node].kind {
             NodeKind::Event(_) => out.push(Choice {
                 node,
                 observable: true,
@@ -246,7 +760,7 @@ impl<P: std::ops::Deref<Target = Program>> Scheduler<P> {
                 observable: false,
             }),
             NodeKind::Recv(c) => {
-                if self.sent.contains(c) {
+                if self.sent.contains(*c) {
                     out.push(Choice {
                         node,
                         observable: false,
@@ -262,224 +776,146 @@ impl<P: std::ops::Deref<Target = Program>> Scheduler<P> {
             }),
             NodeKind::Seq(cs) => {
                 if let Some(&cur) = cs.get(self.seq_pos[node]) {
-                    self.collect_eligible(cur, out);
+                    self.collect_eligible_recursive(p, cur, out);
                 }
             }
             NodeKind::Conc(cs) => {
                 for &c in cs {
-                    self.collect_eligible(c, out);
+                    self.collect_eligible_recursive(p, c, out);
                 }
             }
             NodeKind::Or(cs) => match self.or_choice[node] {
-                Some(chosen) => self.collect_eligible(chosen, out),
+                Some(chosen) => self.collect_eligible_recursive(p, chosen, out),
                 None => {
                     for &c in cs {
-                        self.collect_eligible(c, out);
+                        self.collect_eligible_recursive(p, c, out);
                     }
                 }
             },
-            NodeKind::Iso(body) => self.collect_eligible(*body, out),
+            NodeKind::Iso(body) => self.collect_eligible_recursive(p, *body, out),
         }
+    }
+}
+
+/// A cursor executing a [`Program`].
+///
+/// Generic over how the program is held: `Scheduler<&Program>` borrows
+/// (the common transient case — `Scheduler::new(&program)` infers it),
+/// while `Scheduler<Arc<Program>>` co-owns the program, letting
+/// long-lived cursors (e.g. `ctr-runtime` instances) share one compiled
+/// arena across a whole deployment without lifetime plumbing.
+#[derive(Clone, Debug)]
+pub struct Scheduler<P: std::ops::Deref<Target = Program>> {
+    program: P,
+    cursor: Cursor,
+}
+
+impl<P: std::ops::Deref<Target = Program>> Scheduler<P> {
+    /// A fresh cursor at the program's initial state. Leading `Empty`
+    /// nodes and commitment-free channel operations are drained
+    /// immediately.
+    pub fn new(program: P) -> Scheduler<P> {
+        let cursor = Cursor::new(&program);
+        Scheduler { program, cursor }
+    }
+
+    /// The program this cursor executes.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The events fired so far.
+    pub fn trace(&self) -> &[Atom] {
+        &self.cursor.trace
+    }
+
+    /// The trace as propositional event names.
+    pub fn trace_names(&self) -> Vec<Symbol> {
+        self.cursor
+            .trace
+            .iter()
+            .filter_map(Atom::as_event)
+            .collect()
+    }
+
+    /// True when the whole workflow has completed. O(1).
+    pub fn is_complete(&self) -> bool {
+        self.cursor.finished
+    }
+
+    /// True when incomplete with nothing eligible — a knot at run time
+    /// (cannot happen on `Excise`d programs with `guaranteed_knot_free`).
+    /// O(1): a flag read and a cached-slice length check.
+    pub fn is_deadlocked(&self) -> bool {
+        !self.is_complete() && self.eligible().is_empty()
+    }
+
+    /// All steps eligible to start now: the pro-active scheduler's
+    /// knowledge at this stage of the execution. Returns the cached
+    /// frontier — no walk, no allocation — in the DFS pre-order the
+    /// recursive walk would emit.
+    pub fn eligible(&self) -> &[Choice] {
+        if self.cursor.lock.is_empty() {
+            &self.cursor.frontier
+        } else {
+            &self.cursor.scoped
+        }
+    }
+
+    /// The eligible set recomputed from scratch by the original recursive
+    /// walk. This is the reference implementation the incremental
+    /// frontier is verified against (proptests in this crate and at the
+    /// workspace root); production callers use [`Scheduler::eligible`].
+    #[doc(hidden)]
+    pub fn eligible_reference(&self) -> Vec<Choice> {
+        let p: &Program = &self.program;
+        let mut out = Vec::new();
+        let start = *self.cursor.lock.last().unwrap_or(&p.root);
+        self.cursor.collect_eligible_recursive(p, start, &mut out);
+        out
     }
 
     /// Fires the step at `node` (which must currently be eligible):
     /// commits the choices on its path, records the event, and drains
-    /// enabled bookkeeping.
+    /// enabled bookkeeping. Delta-updates the frontier; work is bounded
+    /// by the fired path and the region that changed, never the whole
+    /// program.
     pub fn fire(&mut self, node: NodeId) {
-        debug_assert!(
-            self.eligible().iter().any(|c| c.node == node),
-            "fired node must be eligible"
-        );
-        self.commit_path(node);
-        match &self.program.nodes[node].kind {
-            NodeKind::Event(a) => self.trace.push(a.clone()),
-            NodeKind::Send(c) => {
-                self.sent.insert(*c);
-            }
-            NodeKind::Recv(_) | NodeKind::Empty => {}
-            other => unreachable!("only leaves fire, got {other:?}"),
-        }
-        self.complete(node);
-        self.drain_silent();
-        self.finished = self.done[self.program.root];
+        let p: &Program = &self.program;
+        self.cursor.fire(p, node);
     }
 
-    /// Fires the atom named `event` if exactly one eligible node carries
-    /// it; returns false when absent or ambiguous.
+    /// Fires the atom named `event` if an eligible node carries it;
+    /// returns false when absent. When several branches offer the event
+    /// any is valid (the program is knot-free); the first in frontier
+    /// order is picked deterministically — the same node the recursive
+    /// walk's first match would yield. One hash lookup; no allocation.
     pub fn fire_event(&mut self, event: Symbol) -> bool {
-        let matches: Vec<NodeId> = self
-            .eligible()
-            .into_iter()
-            .filter(|c| self.program.event(c.node).and_then(Atom::as_event) == Some(event))
-            .map(|c| c.node)
-            .collect();
-        match matches.as_slice() {
-            [node] => {
-                self.fire(*node);
-                true
-            }
-            [node, ..] => {
-                // Several branches offer the event; any is valid (the
-                // program is knot-free), pick the first deterministically.
-                self.fire(*node);
-                true
-            }
-            [] => false,
-        }
-    }
-
-    /// Path from root to `node`, exclusive of `node`.
-    fn ancestors(&self, node: NodeId) -> Vec<NodeId> {
-        let mut chain = Vec::new();
-        let mut cur = self.program.nodes[node].parent;
-        while let Some(p) = cur {
-            chain.push(p);
-            cur = self.program.nodes[p].parent;
-        }
-        chain.reverse();
-        chain
-    }
-
-    /// Commits every unchosen `∨` and un-entered `⊙` on the way to `node`.
-    fn commit_path(&mut self, node: NodeId) {
-        let chain = self.ancestors(node);
-        // `chain` runs root → parent; each entry's relevant child is the
-        // next entry (or `node` itself at the end).
-        for (i, &anc) in chain.iter().enumerate() {
-            let towards = *chain.get(i + 1).unwrap_or(&node);
-            match &self.program.nodes[anc].kind {
-                NodeKind::Or(_) if self.or_choice[anc].is_none() => {
-                    self.or_choice[anc] = Some(towards);
-                }
-                NodeKind::Iso(_) if !self.lock.contains(&anc) => {
-                    self.lock.push(anc);
-                }
-                _ => {}
-            }
-        }
-    }
-
-    /// Marks `node` done and propagates completion upward.
-    fn complete(&mut self, node: NodeId) {
-        self.done[node] = true;
-        let Some(parent) = self.program.nodes[node].parent else {
-            return;
-        };
-        // Decide while the program is borrowed, mutate after — avoids
-        // cloning child lists on the per-fire hot path.
-        enum Action {
-            Advance { pos: usize, complete: bool },
-            CompleteParent,
-            ExitIso,
-            Nothing,
-        }
-        let action = match &self.program.nodes[parent].kind {
-            NodeKind::Seq(cs) => {
-                let mut pos = self.seq_pos[parent];
-                while pos < cs.len() && self.done[cs[pos]] {
-                    pos += 1;
-                }
-                Action::Advance {
-                    pos,
-                    complete: pos == cs.len(),
-                }
-            }
-            NodeKind::Conc(cs) => {
-                if cs.iter().all(|&c| self.done[c]) {
-                    Action::CompleteParent
-                } else {
-                    Action::Nothing
-                }
-            }
-            NodeKind::Or(_) => {
-                debug_assert_eq!(self.or_choice[parent], Some(node));
-                Action::CompleteParent
-            }
-            NodeKind::Iso(_) => Action::ExitIso,
-            other => unreachable!("leaf parent must be a connective, got {other:?}"),
-        };
-        match action {
-            Action::Advance { pos, complete } => {
-                self.seq_pos[parent] = pos;
-                if complete {
-                    self.complete(parent);
-                }
-            }
-            Action::CompleteParent => self.complete(parent),
-            Action::ExitIso => {
-                if self.lock.last() == Some(&parent) {
-                    self.lock.pop();
-                } else {
-                    self.lock.retain(|&l| l != parent);
-                }
-                self.complete(parent);
-            }
-            Action::Nothing => {}
-        }
-    }
-
-    /// Fires, to fixpoint, every eligible internal step that commits
-    /// nothing: `Empty` nodes, `send`s, and enabled `receive`s whose path
-    /// is already fully committed.
-    fn drain_silent(&mut self) {
-        loop {
-            let mut fired = false;
-            let start = *self.lock.last().unwrap_or(&self.program.root);
-            let mut silents = Vec::new();
-            self.collect_silent(start, &mut silents);
-            for node in silents {
-                if self.done[node] || !self.commitment_free(node) {
+        let node = {
+            let p: &Program = &self.program;
+            let Some(&slot) = p.slots.get(&event) else {
+                return false;
+            };
+            let mut best: Option<(u32, NodeId)> = None;
+            let mut cur = self.cursor.evt_head[slot as usize];
+            while cur != NIL {
+                let n = cur as NodeId;
+                cur = self.cursor.evt_next[n];
+                if !self.cursor.scoped_visible(p, n) {
                     continue;
                 }
-                match &self.program.nodes[node].kind {
-                    NodeKind::Send(c) => {
-                        self.sent.insert(*c);
-                    }
-                    NodeKind::Recv(c) => {
-                        if !self.sent.contains(c) {
-                            continue;
-                        }
-                    }
-                    NodeKind::Empty => {}
-                    _ => continue,
-                }
-                self.complete(node);
-                fired = true;
-            }
-            if !fired {
-                return;
-            }
-        }
-    }
-
-    /// Collects ready silent candidates (sends, receives, empties).
-    fn collect_silent(&self, node: NodeId, out: &mut Vec<NodeId>) {
-        if self.done[node] {
-            return;
-        }
-        match &self.program.nodes[node].kind {
-            NodeKind::Send(_) | NodeKind::Recv(_) | NodeKind::Empty => out.push(node),
-            NodeKind::Event(_) => {}
-            NodeKind::Seq(cs) => {
-                if let Some(&cur) = cs.get(self.seq_pos[node]) {
-                    self.collect_silent(cur, out);
+                let rank = p.pre[n];
+                if best.is_none_or(|(r, _)| rank < r) {
+                    best = Some((rank, n));
                 }
             }
-            NodeKind::Conc(cs) => {
-                for &c in cs {
-                    self.collect_silent(c, out);
-                }
+            match best {
+                Some((_, n)) => n,
+                None => return false,
             }
-            NodeKind::Or(cs) => match self.or_choice[node] {
-                Some(chosen) => self.collect_silent(chosen, out),
-                None => {
-                    for &c in cs {
-                        self.collect_silent(c, out);
-                    }
-                }
-            },
-            NodeKind::Iso(body) => self.collect_silent(*body, out),
-        }
+        };
+        self.fire(node);
+        true
     }
 
     /// True if firing `node` commits no `∨`-choice and enters no `⊙` —
@@ -487,19 +923,7 @@ impl<P: std::ops::Deref<Target = Program>> Scheduler<P> {
     /// layers use this to decide which eligible activities may start
     /// concurrently and which require a branching decision first.
     pub fn is_commitment_free(&self, node: NodeId) -> bool {
-        self.commitment_free(node)
-    }
-
-    /// True if firing `node` commits no `∨`-choice and enters no `⊙`.
-    fn commitment_free(&self, node: NodeId) -> bool {
-        for anc in self.ancestors(node) {
-            match &self.program.nodes[anc].kind {
-                NodeKind::Or(_) if self.or_choice[anc].is_none() => return false,
-                NodeKind::Iso(_) if !self.lock.contains(&anc) && !self.done[anc] => return false,
-                _ => {}
-            }
-        }
-        true
+        self.cursor.commitment_free(&self.program, node)
     }
 
     /// Drives the schedule to completion by always firing the first
@@ -510,7 +934,7 @@ impl<P: std::ops::Deref<Target = Program>> Scheduler<P> {
             let choice = *self.eligible().first()?;
             self.fire(choice.node);
         }
-        Some(self.trace)
+        Some(self.cursor.trace)
     }
 
     /// A canonical fingerprint of the cursor state (node statuses, choice
@@ -518,22 +942,19 @@ impl<P: std::ops::Deref<Target = Program>> Scheduler<P> {
     /// the same continuations — the state identity used by explicit-state
     /// model checking over the marking graph.
     pub fn state_key(&self) -> Vec<u8> {
-        let mut key = Vec::with_capacity(self.done.len() * 10 + 16);
-        for (&d, (&pos, choice)) in self
-            .done
-            .iter()
-            .zip(self.seq_pos.iter().zip(self.or_choice.iter()))
-        {
+        let c = &self.cursor;
+        let mut key = Vec::with_capacity(c.done.len() * 10 + 16);
+        for (&d, (&pos, choice)) in c.done.iter().zip(c.seq_pos.iter().zip(c.or_choice.iter())) {
             key.push(d as u8);
             key.extend_from_slice(&(pos as u32).to_le_bytes());
-            key.extend_from_slice(&choice.map_or(u32::MAX, |c| c as u32).to_le_bytes());
+            key.extend_from_slice(&choice.map_or(u32::MAX, |n| n as u32).to_le_bytes());
         }
         key.push(0xFE);
-        for c in &self.sent {
-            key.extend_from_slice(&c.0.to_le_bytes());
+        for ch in c.sent.iter() {
+            key.extend_from_slice(&ch.0.to_le_bytes());
         }
         key.push(0xFD);
-        for l in &self.lock {
+        for l in &c.lock {
             key.extend_from_slice(&(*l as u32).to_le_bytes());
         }
         key
@@ -561,7 +982,7 @@ impl<P: std::ops::Deref<Target = Program>> Scheduler<P> {
             let pick = eligible[(next() % eligible.len() as u64) as usize];
             self.fire(pick.node);
         }
-        Some(self.trace)
+        Some(self.cursor.trace)
     }
 
     /// Enumerates every complete trace (as event-name sequences), up to
@@ -581,8 +1002,7 @@ impl<P: std::ops::Deref<Target = Program>> Scheduler<P> {
                 out.insert(s.trace_names());
                 continue;
             }
-            let eligible = s.eligible();
-            for choice in eligible {
+            for choice in s.eligible() {
                 let mut next = s.clone();
                 next.fire(choice.node);
                 stack.push(next);
@@ -773,7 +1193,7 @@ mod tests {
         assert_eq!(eligible.len(), 2);
         assert_eq!(eligible.iter().filter(|c| c.observable).count(), 1);
         // Take the silent branch.
-        let silent = eligible.iter().find(|c| !c.observable).unwrap();
+        let silent = *eligible.iter().find(|c| !c.observable).unwrap();
         s.fire(silent.node);
         assert!(s.is_complete());
         assert_eq!(s.trace_names(), vec![sym("a")]);
@@ -823,5 +1243,108 @@ mod tests {
         let p = compile(&goal);
         let trace = Scheduler::new(&p).run_first().unwrap();
         assert_eq!(trace.len(), 64);
+    }
+
+    #[test]
+    fn state_key_is_byte_identical_to_btreeset_era_format() {
+        // The sent-channel section of `state_key` must serialize exactly
+        // as the retired `BTreeSet<Channel>` representation did: channel
+        // ids as little-endian u32s in ascending order. Pin the bytes.
+        let xi = Channel(5);
+        let nu = Channel(2);
+        let goal = conc(vec![
+            seq(vec![g("a"), Goal::Send(xi)]),
+            seq(vec![g("b"), Goal::Send(nu)]),
+            seq(vec![Goal::Receive(xi), Goal::Receive(nu), g("c")]),
+        ]);
+        let p = compile(&goal);
+        let mut s = Scheduler::new(&p);
+        s.fire_event(sym("a"));
+        s.fire_event(sym("b"));
+        let key = s.state_key();
+
+        // Reconstruct the expected key from first principles, with the
+        // channel section built through an actual BTreeSet.
+        let mut expected = Vec::new();
+        for (&d, (&pos, choice)) in s
+            .cursor
+            .done
+            .iter()
+            .zip(s.cursor.seq_pos.iter().zip(s.cursor.or_choice.iter()))
+        {
+            expected.push(d as u8);
+            expected.extend_from_slice(&(pos as u32).to_le_bytes());
+            expected.extend_from_slice(&choice.map_or(u32::MAX, |n| n as u32).to_le_bytes());
+        }
+        expected.push(0xFE);
+        let sent: std::collections::BTreeSet<Channel> = s.cursor.sent.iter().collect();
+        assert_eq!(sent.len(), 2, "both sends drained into the channel set");
+        for c in &sent {
+            expected.extend_from_slice(&c.0.to_le_bytes());
+        }
+        expected.push(0xFD);
+        for l in &s.cursor.lock {
+            expected.extend_from_slice(&(*l as u32).to_le_bytes());
+        }
+        assert_eq!(key, expected);
+    }
+
+    #[test]
+    fn channel_set_iterates_ascending_across_words() {
+        let mut set = ChannelSet::default();
+        for id in [200u32, 3, 64, 0, 127, 65] {
+            assert!(set.insert(Channel(id)));
+            assert!(!set.insert(Channel(id)), "second insert is a no-op");
+        }
+        assert!(set.contains(Channel(64)));
+        assert!(!set.contains(Channel(63)));
+        assert!(!set.contains(Channel(1000)), "beyond allocated words");
+        let ids: Vec<u32> = set.iter().map(|c| c.0).collect();
+        assert_eq!(ids, vec![0, 3, 64, 65, 127, 200]);
+    }
+
+    /// Drives random schedules over the `gen` corpus, asserting after
+    /// every fire that the incremental frontier equals the retained
+    /// recursive walk — set, order, and observability flags.
+    #[test]
+    fn frontier_matches_recursive_walk_on_corpus() {
+        let mut fires_checked = 0usize;
+        for seed in 0..60u64 {
+            let (goal, _) = ctr::gen::random_goal(
+                seed,
+                ctr::gen::GoalShape {
+                    depth: 4,
+                    width: 3,
+                    or_bias: 0.35,
+                },
+                "f",
+            );
+            let p = compile(&goal);
+            for salt in 0..4u64 {
+                let mut s = Scheduler::new(&p);
+                let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+                loop {
+                    assert_eq!(
+                        s.eligible(),
+                        s.eligible_reference().as_slice(),
+                        "seed {seed} salt {salt} goal {goal}"
+                    );
+                    assert_eq!(
+                        s.is_deadlocked(),
+                        !s.is_complete() && s.eligible_reference().is_empty()
+                    );
+                    if s.is_complete() || s.eligible().is_empty() {
+                        break;
+                    }
+                    rng = rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let pick = s.eligible()[(rng >> 33) as usize % s.eligible().len()];
+                    s.fire(pick.node);
+                    fires_checked += 1;
+                }
+            }
+        }
+        assert!(fires_checked > 500, "corpus exercised ({fires_checked})");
     }
 }

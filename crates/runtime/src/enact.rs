@@ -116,12 +116,13 @@ impl Enactor {
             let (done_tx, done_rx) = mpsc::channel::<(usize, Result<(), String>)>();
             // Node ids currently running on a worker.
             let mut running: BTreeSet<usize> = BTreeSet::new();
+            // Completion batch buffer, reused across iterations.
+            let mut completions: Vec<(usize, Result<(), String>)> = Vec::new();
 
             loop {
                 // Dispatch every eligible, commitment-free, observable
                 // step that is not already running.
-                let eligible = scheduler.eligible();
-                for choice in &eligible {
+                for choice in scheduler.eligible() {
                     if !choice.observable
                         || running.contains(&choice.node)
                         || !scheduler.is_commitment_free(choice.node)
@@ -194,34 +195,51 @@ impl Enactor {
                     continue;
                 }
 
-                // Wait for one completion, then fire it into the schedule.
-                // A recv error means a worker died without sending — its
-                // handler panicked past the Result boundary.
-                let Ok((node, outcome)) = done_rx.recv() else {
-                    return Err(EnactError::WorkerLost {
-                        completed: scheduler.trace_names(),
-                    });
-                };
-                running.remove(&node);
-                match outcome {
-                    Ok(()) => scheduler.fire(node),
-                    Err(reason) => {
-                        let event = program
-                            .event(node)
-                            .map(ToString::to_string)
-                            .unwrap_or_default();
-                        // Drain remaining workers before unwinding the
-                        // scope (their sends must not panic the join).
-                        while !running.is_empty() {
-                            if let Ok((n, _)) = done_rx.recv() {
-                                running.remove(&n);
-                            }
-                        }
-                        return Err(EnactError::HandlerFailed {
-                            event,
-                            reason,
+                // Wait for one completion, then opportunistically drain
+                // every completion already queued: a burst of finished
+                // workers is fired as one batch under a single dispatch
+                // pass instead of one loop round-trip per event. Safe
+                // because every dispatched step was commitment-free, so
+                // firing one cannot cancel another. A recv error means a
+                // worker died without sending — its handler panicked past
+                // the Result boundary.
+                completions.clear();
+                match done_rx.recv() {
+                    Ok(done) => completions.push(done),
+                    Err(_) => {
+                        return Err(EnactError::WorkerLost {
                             completed: scheduler.trace_names(),
                         });
+                    }
+                }
+                completions.extend(std::iter::from_fn(|| done_rx.try_recv().ok()));
+                let mut batch = completions.drain(..);
+                while let Some((node, outcome)) = batch.next() {
+                    running.remove(&node);
+                    match outcome {
+                        Ok(()) => scheduler.fire(node),
+                        Err(reason) => {
+                            let event = program
+                                .event(node)
+                                .map(ToString::to_string)
+                                .unwrap_or_default();
+                            // Drain the rest of the batch and the
+                            // remaining workers before unwinding the scope
+                            // (their sends must not panic the join).
+                            for (n, _) in batch {
+                                running.remove(&n);
+                            }
+                            while !running.is_empty() {
+                                if let Ok((n, _)) = done_rx.recv() {
+                                    running.remove(&n);
+                                }
+                            }
+                            return Err(EnactError::HandlerFailed {
+                                event,
+                                reason,
+                                completed: scheduler.trace_names(),
+                            });
+                        }
                     }
                 }
             }

@@ -115,6 +115,26 @@ pub enum InstanceStatus {
     Completed,
 }
 
+/// Per-event result of a batched fire ([`Runtime::fire_batch`],
+/// [`SharedRuntime::fire_batch`], [`SharedRuntime::fire_many`]).
+///
+/// A batch commits its events in order and stops at the first failure:
+/// the committed prefix is journaled exactly as if fired individually,
+/// the failing event reports why, and everything after it is skipped
+/// untried. The outcome vector always has one entry per input event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FireOutcome {
+    /// The event fired; the instance's status immediately after it.
+    Fired(InstanceStatus),
+    /// The event was rejected (not eligible, instance already complete,
+    /// or unknown instance in [`SharedRuntime::fire_many`]); the batch
+    /// stopped here.
+    Rejected(RuntimeError),
+    /// A preceding event of the same instance's batch failed; this one
+    /// was never attempted.
+    Skipped,
+}
+
 pub(crate) struct Deployment {
     /// The compiled, knot-free goal (source of truth for snapshots).
     pub(crate) compiled: Goal,
@@ -188,6 +208,47 @@ impl Instance {
         Ok(self.status)
     }
 
+    /// Fires a batch of events in order, stopping at the first failure;
+    /// see [`Runtime::fire_batch`]. The committed prefix reaches the
+    /// journal through a single `extend`.
+    pub(crate) fn fire_batch<S: AsRef<str>>(
+        &mut self,
+        id: InstanceId,
+        events: &[S],
+    ) -> Vec<FireOutcome> {
+        let mut outcomes = Vec::with_capacity(events.len());
+        let mut committed: Vec<Symbol> = Vec::with_capacity(events.len());
+        for event in events {
+            if matches!(
+                outcomes.last(),
+                Some(FireOutcome::Rejected(_) | FireOutcome::Skipped)
+            ) {
+                outcomes.push(FireOutcome::Skipped);
+                continue;
+            }
+            let event = event.as_ref();
+            if self.status == InstanceStatus::Completed {
+                outcomes.push(FireOutcome::Rejected(RuntimeError::AlreadyComplete(id)));
+                continue;
+            }
+            let symbol = sym(event);
+            if !self.cursor.fire_event(symbol) {
+                outcomes.push(FireOutcome::Rejected(RuntimeError::NotEligible {
+                    event: event.to_owned(),
+                    eligible: self.eligible_names(),
+                }));
+                continue;
+            }
+            committed.push(symbol);
+            if self.cursor.is_complete() {
+                self.status = InstanceStatus::Completed;
+            }
+            outcomes.push(FireOutcome::Fired(self.status));
+        }
+        self.journal.extend(committed);
+        outcomes
+    }
+
     /// Probes silent completion; see [`Runtime::try_complete`].
     pub(crate) fn try_complete(&mut self) -> InstanceStatus {
         // Probe on a clone: silent advances are NOT journaled, so they
@@ -216,7 +277,7 @@ impl Instance {
         let mut events: Vec<Symbol> = self
             .cursor
             .eligible()
-            .into_iter()
+            .iter()
             .filter_map(|c| self.cursor.program().event(c.node))
             .filter_map(ctr::term::Atom::as_event)
             .collect();
@@ -408,6 +469,24 @@ impl Runtime {
     /// journal length.
     pub fn fire(&mut self, id: InstanceId, event: &str) -> Result<InstanceStatus, RuntimeError> {
         self.instance_mut(id)?.fire(id, event)
+    }
+
+    /// Fires a batch of events against one instance in order, under a
+    /// single instance resolution and a single journal extend.
+    ///
+    /// Partial-failure semantics: the batch stops at the first event that
+    /// cannot fire — the committed prefix stays journaled (exactly the
+    /// journal a sequence of individual [`Runtime::fire`] calls would
+    /// have produced), the failing event reports
+    /// [`FireOutcome::Rejected`], and the remaining events report
+    /// [`FireOutcome::Skipped`] untried. Returns one [`FireOutcome`] per
+    /// input event; `Err` only when the instance id itself is unknown.
+    pub fn fire_batch<S: AsRef<str>>(
+        &mut self,
+        id: InstanceId,
+        events: &[S],
+    ) -> Result<Vec<FireOutcome>, RuntimeError> {
+        Ok(self.instance_mut(id)?.fire_batch(id, events))
     }
 
     /// Tries to finish an instance through silent steps only (committing
@@ -697,5 +776,86 @@ mod tests {
         );
         assert_eq!(rt.eligible(42), Err(RuntimeError::UnknownInstance(42)));
         assert_eq!(rt.fire(42, "x"), Err(RuntimeError::UnknownInstance(42)));
+    }
+
+    #[test]
+    fn fire_batch_matches_individual_fires() {
+        // A full batch produces the same journal, statuses, and snapshot
+        // as the same events fired one by one.
+        let mut batched = runtime_with_pay();
+        let mut single = runtime_with_pay();
+        let ib = batched.start("pay").unwrap();
+        let is_ = single.start("pay").unwrap();
+        let events = ["invoice", "approve", "file"];
+        let outcomes = batched.fire_batch(ib, &events).unwrap();
+        let expected: Vec<FireOutcome> = events
+            .iter()
+            .map(|e| FireOutcome::Fired(single.fire(is_, e).unwrap()))
+            .collect();
+        assert_eq!(outcomes, expected);
+        assert_eq!(
+            outcomes.last(),
+            Some(&FireOutcome::Fired(InstanceStatus::Completed))
+        );
+        assert_eq!(batched.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn fire_batch_journals_prefix_and_skips_suffix() {
+        let mut rt = runtime_with_pay();
+        let id = rt.start("pay").unwrap();
+        // The second "invoice" is ineligible: the batch must stop there
+        // with the first fire already committed.
+        let outcomes = rt
+            .fire_batch(id, &["invoice", "invoice", "approve", "file"])
+            .unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[0], FireOutcome::Fired(InstanceStatus::Running));
+        let FireOutcome::Rejected(RuntimeError::NotEligible { event, eligible }) = &outcomes[1]
+        else {
+            panic!("expected NotEligible, got {:?}", outcomes[1]);
+        };
+        assert_eq!(event, "invoice");
+        assert_eq!(eligible, &["approve".to_owned(), "reject".to_owned()]);
+        assert_eq!(outcomes[2], FireOutcome::Skipped);
+        assert_eq!(outcomes[3], FireOutcome::Skipped);
+        // Only the committed prefix reached the journal; the instance is
+        // still usable afterwards.
+        assert_eq!(rt.journal(id).unwrap(), vec!["invoice"]);
+        rt.fire(id, "approve").unwrap();
+        rt.fire(id, "file").unwrap();
+        assert!(rt.is_complete(id).unwrap());
+    }
+
+    #[test]
+    fn fire_batch_rejects_past_completion() {
+        let mut rt = runtime_with_pay();
+        let id = rt.start("pay").unwrap();
+        let outcomes = rt
+            .fire_batch(id, &["invoice", "approve", "file", "invoice"])
+            .unwrap();
+        assert_eq!(outcomes[2], FireOutcome::Fired(InstanceStatus::Completed));
+        assert_eq!(
+            outcomes[3],
+            FireOutcome::Rejected(RuntimeError::AlreadyComplete(id))
+        );
+    }
+
+    #[test]
+    fn fire_batch_unknown_instance_is_err() {
+        let mut rt = runtime_with_pay();
+        assert_eq!(
+            rt.fire_batch(42, &["invoice"]),
+            Err(RuntimeError::UnknownInstance(42))
+        );
+    }
+
+    #[test]
+    fn empty_fire_batch_is_a_no_op() {
+        let mut rt = runtime_with_pay();
+        let id = rt.start("pay").unwrap();
+        let outcomes = rt.fire_batch::<&str>(id, &[]).unwrap();
+        assert!(outcomes.is_empty());
+        assert!(rt.journal(id).unwrap().is_empty());
     }
 }

@@ -47,7 +47,7 @@
 //! in `BENCH_exec.json`.
 
 use crate::SNAPSHOT_HEADER;
-use crate::{Deployment, Instance, InstanceId, InstanceStatus, Runtime, RuntimeError};
+use crate::{Deployment, FireOutcome, Instance, InstanceId, InstanceStatus, Runtime, RuntimeError};
 use ctr::symbol::Symbol;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -226,6 +226,102 @@ impl SharedRuntime {
         let cell = self.inner.instance(id)?;
         let result = lock(&cell).fire(id, event);
         result
+    }
+
+    /// See [`Runtime::fire_batch`]: fires a batch of events against one
+    /// instance under a **single** shard-lock resolution and a **single**
+    /// instance-lock acquisition — the whole batch is one atomic section
+    /// with respect to other clients of this instance. Partial-failure
+    /// semantics are those of [`Runtime::fire_batch`] (stop at first
+    /// failure, committed prefix journaled, suffix
+    /// [`FireOutcome::Skipped`]).
+    pub fn fire_batch<S: AsRef<str>>(
+        &self,
+        id: InstanceId,
+        events: &[S],
+    ) -> Result<Vec<FireOutcome>, RuntimeError> {
+        let cell = self.inner.instance(id)?;
+        let outcomes = lock(&cell).fire_batch(id, events);
+        Ok(outcomes)
+    }
+
+    /// Fires a mixed batch of `(instance, event)` pairs, amortizing lock
+    /// traffic across the fleet: the batch is grouped by shard (one
+    /// shard-lock acquisition per *referenced shard* to resolve ids, not
+    /// one per event), then by instance (one instance-lock acquisition
+    /// per referenced instance, processed in first-appearance order).
+    ///
+    /// Within each instance its events fire in input order with
+    /// [`Runtime::fire_batch`] semantics: first failure stops *that
+    /// instance's* sub-batch (committed prefix journaled, rest
+    /// [`FireOutcome::Skipped`]) while other instances' sub-batches
+    /// proceed independently. An unknown instance id rejects its first
+    /// event with [`RuntimeError::UnknownInstance`] and skips the rest.
+    /// Returns one [`FireOutcome`] per input pair, in input positions.
+    ///
+    /// Lock order is preserved: shard locks are taken one at a time in
+    /// ascending index order (each released before the next), and
+    /// instance locks one at a time after all shard locks are released.
+    pub fn fire_many<S: AsRef<str>>(&self, batch: &[(InstanceId, S)]) -> Vec<FireOutcome> {
+        // Group event positions per instance, keeping first-appearance
+        // order so cross-instance progress stays deterministic.
+        let mut order: Vec<InstanceId> = Vec::new();
+        let mut groups: BTreeMap<InstanceId, Vec<usize>> = BTreeMap::new();
+        for (i, (id, _)) in batch.iter().enumerate() {
+            groups
+                .entry(*id)
+                .or_insert_with(|| {
+                    order.push(*id);
+                    Vec::new()
+                })
+                .push(i);
+        }
+        // Resolve cells shard by shard: one lock per referenced shard.
+        let mut by_shard: [Vec<InstanceId>; SHARD_COUNT] = std::array::from_fn(|_| Vec::new());
+        for &id in groups.keys() {
+            by_shard[(id % SHARD_COUNT as u64) as usize].push(id);
+        }
+        let mut cells: BTreeMap<InstanceId, Option<InstanceCell>> = BTreeMap::new();
+        for (s, ids) in by_shard.iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            let shard = lock(&self.inner.shards[s].instances);
+            for &id in ids {
+                cells.insert(id, shard.get(&id).cloned());
+            }
+        }
+        // Fire per instance: one instance-lock acquisition each, events
+        // spliced back to their input positions.
+        let mut outcomes: Vec<Option<FireOutcome>> = vec![None; batch.len()];
+        let mut events: Vec<&str> = Vec::new();
+        for id in order {
+            let positions = &groups[&id];
+            match &cells[&id] {
+                None => {
+                    let mut first = true;
+                    for &i in positions {
+                        outcomes[i] = Some(if std::mem::take(&mut first) {
+                            FireOutcome::Rejected(RuntimeError::UnknownInstance(id))
+                        } else {
+                            FireOutcome::Skipped
+                        });
+                    }
+                }
+                Some(cell) => {
+                    events.clear();
+                    events.extend(positions.iter().map(|&i| batch[i].1.as_ref()));
+                    let per = lock(cell).fire_batch(id, &events);
+                    for (&i, outcome) in positions.iter().zip(per) {
+                        outcomes[i] = Some(outcome);
+                    }
+                }
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every position resolved"))
+            .collect()
     }
 
     /// See [`Runtime::eligible`]. The answer is a snapshot: another
@@ -670,6 +766,92 @@ mod tests {
             rt.snapshot(),
             SharedRuntime::restore(&rt.snapshot()).unwrap().snapshot()
         );
+    }
+
+    #[test]
+    fn shared_fire_batch_matches_runtime_fire_batch() {
+        let shared = shared_pay();
+        let mut plain = Runtime::new();
+        plain.deploy_source(PAY).unwrap();
+        let a = shared.start("pay").unwrap();
+        let b = plain.start("pay").unwrap();
+        assert_eq!(a, b);
+        let events = ["invoice", "reject", "reject", "file"];
+        assert_eq!(
+            shared.fire_batch(a, &events).unwrap(),
+            plain.fire_batch(b, &events).unwrap()
+        );
+        assert_eq!(shared.snapshot(), plain.snapshot());
+    }
+
+    #[test]
+    fn fire_many_splices_outcomes_to_input_positions() {
+        let rt = shared_pay();
+        let i1 = rt.start("pay").unwrap();
+        let i2 = rt.start("pay").unwrap();
+        let ghost = 999u64;
+        // Interleave two instances and an unknown id; per-instance event
+        // order is the input order regardless of interleaving.
+        let batch = [
+            (i1, "invoice"),
+            (i2, "invoice"),
+            (ghost, "invoice"),
+            (i1, "approve"),
+            (ghost, "file"),
+            (i2, "file"), // ineligible: i2 has not decided yet
+            (i2, "reject"),
+            (i1, "file"),
+        ];
+        let outcomes = rt.fire_many(&batch);
+        use FireOutcome::{Fired, Rejected, Skipped};
+        use InstanceStatus::{Completed, Running};
+        assert_eq!(outcomes.len(), batch.len());
+        assert_eq!(outcomes[0], Fired(Running));
+        assert_eq!(outcomes[1], Fired(Running));
+        assert_eq!(outcomes[2], Rejected(RuntimeError::UnknownInstance(ghost)));
+        assert_eq!(outcomes[3], Fired(Running));
+        assert_eq!(outcomes[4], Skipped, "later event of the unknown id");
+        assert!(
+            matches!(&outcomes[5], Rejected(RuntimeError::NotEligible { event, .. }) if event == "file")
+        );
+        assert_eq!(outcomes[6], Skipped, "after i2's failure");
+        assert_eq!(outcomes[7], Fired(Completed));
+        // Committed prefixes landed; i2 remains decidable.
+        assert_eq!(rt.journal(i1).unwrap(), vec!["invoice", "approve", "file"]);
+        assert_eq!(rt.journal(i2).unwrap(), vec!["invoice"]);
+        rt.fire(i2, "reject").unwrap();
+        rt.fire(i2, "file").unwrap();
+        assert!(rt.is_complete(i2).unwrap());
+    }
+
+    #[test]
+    fn fire_many_matches_sequential_fires_across_shards() {
+        // A batch spanning more instances than shards produces the same
+        // fleet state as firing every pair individually.
+        let many = shared_pay();
+        let single = shared_pay();
+        let n = SHARD_COUNT as u64 * 2 + 3;
+        let mut batch: Vec<(InstanceId, &str)> = Vec::new();
+        for _ in 0..n {
+            let a = many.start("pay").unwrap();
+            let b = single.start("pay").unwrap();
+            assert_eq!(a, b);
+        }
+        for round in ["invoice", "approve", "file"] {
+            for id in 0..n {
+                batch.push((id, round));
+            }
+        }
+        let outcomes = many.fire_many(&batch);
+        for (&(id, event), outcome) in batch.iter().zip(&outcomes) {
+            assert_eq!(single.fire(id, event).unwrap(), {
+                let FireOutcome::Fired(status) = outcome else {
+                    panic!("expected Fired, got {outcome:?}");
+                };
+                *status
+            });
+        }
+        assert_eq!(many.snapshot(), single.snapshot());
     }
 
     #[test]

@@ -174,6 +174,47 @@ proptest! {
             }
         }
     }
+
+    /// The scheduler's incrementally maintained frontier is
+    /// observationally identical — same set, same order, same
+    /// observability flags — to the from-scratch recursive walk retained
+    /// as `eligible_reference`, at every stage of random schedules over
+    /// constrained corpus programs, including deadlocked ones.
+    #[test]
+    fn incremental_frontier_matches_recursive_oracle(
+        seed in 0u64..10_000,
+        cseed in 0u64..10_000,
+        decisions in 0u64..u64::MAX,
+    ) {
+        let (goal, events) = random_goal(seed, shape(), "fr");
+        prop_assume!(events.len() >= 2);
+        let constraints = random_constraints(cseed, &events, 2);
+        let compiled = excise(&apply(&constraints, &goal));
+        prop_assume!(!compiled.is_nopath());
+        let program = ctr_engine::Program::compile(&compiled).unwrap();
+        let mut s = ctr_engine::Scheduler::new(&program);
+        let mut rng = decisions;
+        loop {
+            let reference = s.eligible_reference();
+            prop_assert_eq!(
+                s.eligible(),
+                reference.as_slice(),
+                "frontier diverged from recursive walk on {}", compiled
+            );
+            prop_assert_eq!(
+                s.is_deadlocked(),
+                !s.is_complete() && reference.is_empty()
+            );
+            if s.is_complete() || s.eligible().is_empty() {
+                break;
+            }
+            let pick = s.eligible()[(rng % s.eligible().len() as u64) as usize];
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s.fire(pick.node);
+        }
+    }
 }
 
 /// Non-proptest structural checks that complement the random ones.

@@ -210,6 +210,84 @@ mod cursor_oracle {
                 rt.fire(id, &pick).unwrap();
             }
         }
+
+        /// Batched firing is bit-identical to individual firing: a
+        /// `fire_batch` of random (sometimes ineligible) events produces
+        /// the same per-event outcomes, the same journal, and the same
+        /// snapshot **bytes** as firing the events one by one — across
+        /// restore and invalidate interleavings.
+        #[test]
+        fn fire_batch_is_bit_identical_to_individual_fires(
+            seed in 0u64..10_000,
+            decisions in 0u64..u64::MAX,
+        ) {
+            use ctr_runtime::FireOutcome;
+            let (goal, events) = ctr::gen::random_goal(seed, shape(), "b");
+            prop_assume!(!events.is_empty());
+            let mut batched = Runtime::new();
+            prop_assume!(batched.deploy_compiled("w", goal.clone()).is_ok());
+            let mut single = Runtime::new();
+            single.deploy_compiled("w", goal).unwrap();
+            let id = batched.start("w").unwrap();
+            single.start("w").unwrap();
+
+            let mut rng = decisions;
+            let mut next = move || {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                rng
+            };
+            for round in 0..16usize {
+                // Build a batch of 1–4 events: mostly eligible picks, with
+                // a chance of an arbitrary (possibly ineligible) event so
+                // rejection and skip paths are exercised.
+                let size = (next() % 4 + 1) as usize;
+                let mut batch: Vec<String> = Vec::new();
+                for _ in 0..size {
+                    let eligible = batched.eligible(id).unwrap();
+                    let roll = next();
+                    if eligible.is_empty() || roll % 5 == 0 {
+                        batch.push(events[(roll % events.len() as u64) as usize].as_str().to_owned());
+                    } else {
+                        batch.push(eligible[(roll % eligible.len() as u64) as usize].clone());
+                    }
+                }
+                // Exercise recovery paths between batches.
+                match round % 4 {
+                    1 => batched = Runtime::restore(&batched.snapshot()).unwrap(),
+                    2 => batched.invalidate(id).unwrap(),
+                    _ => {}
+                }
+
+                let outcomes = batched.fire_batch(id, &batch).unwrap();
+                prop_assert_eq!(outcomes.len(), batch.len());
+                // Mirror with individual fires, asserting per-event
+                // outcome equivalence and stop-at-first-failure.
+                let mut failed = false;
+                for (event, outcome) in batch.iter().zip(&outcomes) {
+                    if failed {
+                        prop_assert_eq!(outcome, &FireOutcome::Skipped);
+                        continue;
+                    }
+                    match single.fire(id, event) {
+                        Ok(status) => prop_assert_eq!(outcome, &FireOutcome::Fired(status)),
+                        Err(e) => {
+                            prop_assert_eq!(outcome, &FireOutcome::Rejected(e));
+                            failed = true;
+                        }
+                    }
+                }
+                prop_assert_eq!(batched.journal(id).unwrap(), single.journal(id).unwrap());
+                prop_assert_eq!(
+                    batched.snapshot(), single.snapshot(),
+                    "snapshot bytes diverged after round {}", round
+                );
+                if batched.is_complete(id).unwrap() {
+                    break;
+                }
+            }
+        }
     }
 }
 
