@@ -830,6 +830,53 @@ fn bench_exec_json(smoke: bool) {
         });
     }
 
+    // Enactment overhead: the fault-tolerant dispatcher driving a
+    // pipeline of instant activities, clean vs under an injected fault
+    // plan (every 8th activity fails twice and is retried under a
+    // 3-attempt budget). `total_fires` counts attempts — the work the
+    // dispatcher actually performed — and `replayed_steps` counts the
+    // retry attempts, so the two records separate scheduling overhead
+    // from recovery overhead.
+    {
+        use ctr_runtime::{Enactor, FaultPlan, RetryPolicy};
+        let activities = if smoke { 32 } else { 256 };
+        let mut rt = Runtime::new();
+        rt.deploy_compiled("pipe", gen::pipeline_workflow(activities))
+            .expect("pipeline compiles");
+
+        let mut run = |name: String, enactor: &Enactor| {
+            let t0 = Instant::now();
+            let report = rt.enact("pipe", enactor).expect("deployed");
+            let wall = t0.elapsed();
+            assert!(report.is_success(), "bench plan is recoverable");
+            assert_eq!(report.completed.len(), activities);
+            let attempts = report.attempts.len();
+            records.push(Record {
+                name,
+                instances: 1,
+                total_fires: attempts,
+                wall_ns: wall.as_nanos(),
+                fires_per_sec: (attempts as f64 / wall.as_secs_f64()) as u64,
+                replayed_steps: u64::from(report.total_retries()),
+            });
+        };
+
+        run(
+            format!("enact/pipeline_{activities}_clean"),
+            &Enactor::new(),
+        );
+        let mut plan = FaultPlan::new(0xFA117);
+        for i in (0..activities).step_by(8) {
+            plan = plan.fail(format!("t{i}").as_str(), 2);
+        }
+        run(
+            format!("enact/pipeline_{activities}_faults"),
+            &Enactor::new()
+                .with_default_retry(RetryPolicy::attempts(3))
+                .with_faults(plan),
+        );
+    }
+
     let rows: Vec<String> = records
         .iter()
         .map(|r| {

@@ -176,6 +176,122 @@ pub fn cmd_simulate(input: &str, runs: usize) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parameters for [`cmd_enact`], all optional on the command line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EnactOptions {
+    /// Seed for the branching policy, fault plan, and retry jitter.
+    pub seed: u64,
+    /// Retry budget applied to every activity (total attempts; min 1).
+    pub attempts: u32,
+    /// Per-attempt timeout in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Fault-injection spec: comma-separated `event=kind:arg` items with
+    /// kinds `fail:N`, `panic:K`, `delay:MS`, `vanish:N`.
+    pub faults: String,
+}
+
+/// Parses the `--faults` grammar into a [`ctr_runtime::FaultPlan`]:
+/// `boom=fail:2,slow=delay:50,ghost=vanish:1,bad=panic:1` injects two
+/// failures into `boom`'s first attempts, delays every `slow` attempt by
+/// 50ms, makes `ghost`'s first worker vanish, and panics `bad`'s first
+/// attempt.
+fn parse_fault_plan(spec: &str, seed: u64) -> Result<ctr_runtime::FaultPlan, CliError> {
+    use ctr_runtime::Fault;
+    let mut plan = ctr_runtime::FaultPlan::new(seed);
+    for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
+        let bad = || CliError::usage(format!("bad fault `{item}` (want event=kind:arg)"));
+        let (event, kind_arg) = item.trim().split_once('=').ok_or_else(bad)?;
+        let (kind, arg) = kind_arg.split_once(':').ok_or_else(bad)?;
+        let n: u64 = arg.parse().map_err(|_| bad())?;
+        let fault = match kind {
+            "fail" => Fault::FailTimes(u32::try_from(n).map_err(|_| bad())?),
+            "panic" => Fault::PanicOnAttempt(u32::try_from(n).map_err(|_| bad())?),
+            "vanish" => Fault::Vanish(u32::try_from(n).map_err(|_| bad())?),
+            "delay" => Fault::Delay(std::time::Duration::from_millis(n)),
+            _ => return Err(bad()),
+        };
+        plan = plan.inject(event, fault);
+    }
+    Ok(plan)
+}
+
+/// `ctr enact`: run the compiled schedule through the fault-tolerant
+/// dispatcher — activities complete instantly unless the `--faults` plan
+/// injects failures — and print the per-attempt log, committed trace,
+/// and (on abort) the typed error with the compensation-relevant prefix.
+/// Deterministic for a fixed `(spec, options)` pair.
+pub fn cmd_enact(input: &str, opts: &EnactOptions) -> Result<String, CliError> {
+    use ctr_runtime::{AttemptOutcome, ChoicePolicy, RetryPolicy};
+    let spec = load(input)?;
+    let compiled = compile_spec(&spec)?;
+    if !compiled.is_consistent() {
+        return Err(CliError::analysis(
+            "inconsistent specification: nothing to enact\n",
+        ));
+    }
+    let program =
+        Program::compile(&compiled.goal).map_err(|e| CliError::analysis(format!("{e}\n")))?;
+    let mut policy = RetryPolicy::attempts(opts.attempts.max(1));
+    if let Some(ms) = opts.timeout_ms {
+        policy = policy.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    let enactor = ctr_runtime::Enactor::new()
+        .with_policy(ChoicePolicy::Random(opts.seed))
+        .with_default_retry(policy)
+        .with_faults(parse_fault_plan(&opts.faults, opts.seed)?)
+        .with_seed(opts.seed);
+    let report = enactor.run_report(&program);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "enacting `{}` (seed {}, attempts {}{})",
+        spec.name,
+        opts.seed,
+        opts.attempts.max(1),
+        match opts.timeout_ms {
+            Some(ms) => format!(", timeout {ms}ms"),
+            None => String::new(),
+        }
+    );
+    for a in &report.attempts {
+        let verdict = match &a.outcome {
+            AttemptOutcome::Success => "ok".to_owned(),
+            AttemptOutcome::Failed(reason) => format!("failed: {reason}"),
+            AttemptOutcome::Panicked(msg) => format!("panicked: {msg}"),
+            AttemptOutcome::TimedOut => "timed out".to_owned(),
+            AttemptOutcome::Lost => "worker lost".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "  attempt {} of `{}`: {verdict} ({:?})",
+            a.attempt, a.event, a.latency
+        );
+    }
+    let committed: Vec<&str> = report.completed.iter().map(|s| s.as_str()).collect();
+    let _ = writeln!(out, "committed: {}", committed.join(" -> "));
+    match &report.error {
+        None => {
+            let _ = writeln!(
+                out,
+                "COMPLETED: {} events, {} retries, {:?}",
+                report.completed.len(),
+                report.total_retries(),
+                report.elapsed
+            );
+            Ok(out)
+        }
+        Some(err) => {
+            let _ = writeln!(out, "FAILED: {err}");
+            if !report.compensation.is_empty() {
+                let undo: Vec<&str> = report.compensation.iter().map(|s| s.as_str()).collect();
+                let _ = writeln!(out, "compensation: {}", undo.join(" -> "));
+            }
+            Err(CliError::analysis(out))
+        }
+    }
+}
+
 /// `ctr dot`: render the (compiled) workflow as a Graphviz digraph, with
 /// injected channels shown as dotted cross edges.
 pub fn cmd_dot(input: &str) -> Result<String, CliError> {
@@ -309,6 +425,8 @@ USAGE:
     ctr report    <spec.ctr>
     ctr enumerate <spec.ctr> [-n LIMIT]
     ctr simulate  <spec.ctr> [-n RUNS]
+    ctr enact     <spec.ctr> [--seed N] [--attempts N] [--timeout-ms N]
+                             [--faults 'e=fail:2,f=panic:1,g=delay:5,h=vanish:1']
 
 CONSTRAINT SYNTAX:
     exists(e)  absent(e)  before(a,b)  serial(a,b,c)
@@ -368,6 +486,37 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             _ => Err(CliError::usage(USAGE)),
         },
+        "enact" => {
+            let [_, path, rest @ ..] = args else {
+                return Err(CliError::usage(USAGE));
+            };
+            let mut opts = EnactOptions {
+                attempts: 1,
+                ..EnactOptions::default()
+            };
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::usage(format!("{flag} needs a value\n\n{USAGE}")))?;
+                let number = || {
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| CliError::usage(format!("{flag} must be a number")))
+                };
+                match flag.as_str() {
+                    "--seed" => opts.seed = number()?,
+                    "--attempts" => {
+                        opts.attempts = u32::try_from(number()?)
+                            .map_err(|_| CliError::usage("--attempts out of range"))?;
+                    }
+                    "--timeout-ms" => opts.timeout_ms = Some(number()?),
+                    "--faults" => opts.faults = value.clone(),
+                    _ => return Err(CliError::usage(USAGE)),
+                }
+            }
+            cmd_enact(&read(path)?, &opts)
+        }
         "help" | "--help" | "-h" | "" => Ok(USAGE.to_owned()),
         other => Err(CliError::usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
@@ -499,6 +648,83 @@ mod tests {
         );
         let err = cmd_dot(INCONSISTENT).unwrap_err();
         assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn enact_clean_run_completes() {
+        let opts = EnactOptions {
+            attempts: 1,
+            ..EnactOptions::default()
+        };
+        let out = cmd_enact(SPEC, &opts).unwrap();
+        assert!(out.contains("enacting `demo` (seed 0, attempts 1)"));
+        assert!(out.contains("COMPLETED: 4 events, 0 retries"));
+        assert!(out.contains("committed: a -> b -> c -> d"));
+    }
+
+    #[test]
+    fn enact_recovers_injected_faults_with_retries() {
+        let opts = EnactOptions {
+            attempts: 3,
+            faults: "b=fail:2".to_owned(),
+            ..EnactOptions::default()
+        };
+        let out = cmd_enact(SPEC, &opts).unwrap();
+        assert!(out.contains("attempt 1 of `b`: failed: injected failure (1/2)"));
+        assert!(out.contains("attempt 2 of `b`: failed: injected failure (2/2)"));
+        assert!(out.contains("attempt 3 of `b`: ok"));
+        assert!(out.contains("COMPLETED: 4 events, 2 retries"));
+    }
+
+    #[test]
+    fn enact_reports_typed_failure_with_exit_code_1() {
+        let opts = EnactOptions {
+            attempts: 2,
+            faults: "c=fail:99".to_owned(),
+            ..EnactOptions::default()
+        };
+        let err = cmd_enact(SPEC, &opts).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("FAILED: activity `c` failed"));
+        assert!(err.message.contains("committed: a -> b"));
+    }
+
+    #[test]
+    fn enact_rejects_bad_fault_specs() {
+        let opts = EnactOptions {
+            faults: "b=explode:1".to_owned(),
+            ..EnactOptions::default()
+        };
+        let err = cmd_enact(SPEC, &opts).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("bad fault `b=explode:1`"));
+        let opts = EnactOptions {
+            faults: "nonsense".to_owned(),
+            ..EnactOptions::default()
+        };
+        assert_eq!(cmd_enact(SPEC, &opts).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn run_parses_enact_flags() {
+        let path = std::env::temp_dir().join("ctr_cli_enact_spec.ctr");
+        std::fs::write(&path, SPEC).unwrap();
+        let out = run(&[
+            "enact".into(),
+            path.display().to_string(),
+            "--seed".into(),
+            "7".into(),
+            "--attempts".into(),
+            "2".into(),
+            "--faults".into(),
+            "a=fail:1".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("enacting `demo` (seed 7, attempts 2)"));
+        assert!(out.contains("attempt 2 of `a`: ok"));
+        let err = run(&["enact".into(), path.display().to_string(), "--seed".into()]).unwrap_err();
+        assert!(err.message.contains("--seed needs a value"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -133,6 +133,32 @@ impl Symbol {
         Symbol(id)
     }
 
+    /// Looks `name` up **without interning it**: returns its symbol if
+    /// some prior [`Symbol::intern`] created one, `None` otherwise.
+    ///
+    /// The table is append-only and process-global, so any path that
+    /// interns externally-supplied strings (e.g. event names arriving
+    /// over a service boundary) grows memory permanently — hostile or
+    /// merely buggy clients can pump the table forever. Validation
+    /// paths should use `try_get`: a name that was never interned
+    /// cannot refer to anything in the system, so it can be rejected
+    /// without allocating.
+    pub fn try_get(name: &str) -> Option<Symbol> {
+        let interner = interner();
+        let map = interner.map.lock().unwrap_or_else(PoisonError::into_inner);
+        map.get(name).map(|&id| Symbol(id))
+    }
+
+    /// Number of names interned so far, process-wide. Intended for
+    /// tests asserting that an operation did not grow the table.
+    pub fn interned_count() -> usize {
+        interner()
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
     /// Returns the string this symbol was interned from.
     ///
     /// Lock-free: two atomic acquire loads into the append-only name
@@ -201,6 +227,26 @@ mod tests {
         let s = sym("trip_planning");
         assert_eq!(format!("{s}"), "trip_planning");
         assert_eq!(format!("{s:?}"), "trip_planning");
+    }
+
+    #[test]
+    fn try_get_finds_interned_names_without_interning_new_ones() {
+        let s = Symbol::intern("try_get_known");
+        assert_eq!(Symbol::try_get("try_get_known"), Some(s));
+        // An unknown name is rejected without growing the table. Other
+        // tests intern concurrently, so retry the count comparison a few
+        // times rather than demanding a quiescent table.
+        for attempt in 0.. {
+            let before = Symbol::interned_count();
+            let miss = Symbol::try_get("try_get_never_interned_name");
+            let after = Symbol::interned_count();
+            assert_eq!(miss, None);
+            if before == after {
+                break;
+            }
+            assert!(attempt < 5, "interner table would not settle");
+        }
+        assert_eq!(Symbol::try_get("try_get_never_interned_name"), None);
     }
 
     #[test]

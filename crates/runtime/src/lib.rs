@@ -41,13 +41,16 @@ pub mod shared;
 pub mod stats;
 
 use ctr::goal::Goal;
-use ctr::symbol::{sym, Symbol};
+use ctr::symbol::Symbol;
 use ctr_engine::scheduler::{Program, Scheduler};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-pub use enact::{ChoicePolicy, EnactError, Enactor, Handler};
+pub use enact::{
+    AttemptOutcome, AttemptRecord, Backoff, ChoicePolicy, EnactError, EnactReport, Enactor, Fault,
+    FaultPlan, Handler, RetryPolicy,
+};
 pub use shared::{CoarseRuntime, SharedRuntime};
 pub use stats::{simulate, simulate_par, Simulation};
 
@@ -192,7 +195,16 @@ impl Instance {
         if self.status == InstanceStatus::Completed {
             return Err(RuntimeError::AlreadyComplete(id));
         }
-        let symbol = sym(event);
+        // Non-interning lookup: event names come from clients, and a name
+        // that was never interned cannot be in any deployed program — it
+        // is rejected without permanently growing the global symbol
+        // table on behalf of unknown (possibly hostile) input.
+        let Some(symbol) = Symbol::try_get(event) else {
+            return Err(RuntimeError::NotEligible {
+                event: event.to_owned(),
+                eligible: self.eligible_names(),
+            });
+        };
         // A failed `fire_event` leaves the cursor untouched, so the
         // cache stays valid on the error path.
         if !self.cursor.fire_event(symbol) {
@@ -231,14 +243,16 @@ impl Instance {
                 outcomes.push(FireOutcome::Rejected(RuntimeError::AlreadyComplete(id)));
                 continue;
             }
-            let symbol = sym(event);
-            if !self.cursor.fire_event(symbol) {
+            // Same non-interning lookup as `fire`: unknown names reject
+            // without growing the symbol table.
+            let symbol = Symbol::try_get(event).filter(|&s| self.cursor.fire_event(s));
+            let Some(symbol) = symbol else {
                 outcomes.push(FireOutcome::Rejected(RuntimeError::NotEligible {
                     event: event.to_owned(),
                     eligible: self.eligible_names(),
                 }));
                 continue;
-            }
+            };
             committed.push(symbol);
             if self.cursor.is_complete() {
                 self.status = InstanceStatus::Completed;
@@ -494,6 +508,28 @@ impl Runtime {
     /// compiled away). Returns the resulting status.
     pub fn try_complete(&mut self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
         Ok(self.instance_mut(id)?.try_complete())
+    }
+
+    /// Enacts a deployed workflow with the given [`Enactor`]: dispatches
+    /// activity handlers under the compiled schedule and returns the full
+    /// [`EnactReport`] — committed trace, per-attempt outcomes and
+    /// latencies, and (on abort) the typed error plus compensation plan.
+    ///
+    /// Enactment is **deployment-level**: it runs against the
+    /// deployment's compiled program and does *not* create a journaled
+    /// instance. An enactor may legitimately commit *silent* `∨`-branches
+    /// (policy picks), and a silent commit is not an event — replaying
+    /// the observable trace through `fire_event` on a fresh cursor could
+    /// not reproduce it, which would break the journal-replay invariant
+    /// every instance relies on. Callers that want a journaled record can
+    /// [`Runtime::start`] an instance and [`Runtime::fire_batch`] the
+    /// report's `completed` events, which the runtime then re-validates.
+    pub fn enact(&self, workflow: &str, enactor: &Enactor) -> Result<EnactReport, RuntimeError> {
+        let deployment = self
+            .deployments
+            .get(workflow)
+            .ok_or_else(|| RuntimeError::UnknownWorkflow(workflow.to_owned()))?;
+        Ok(enactor.run_report(&deployment.program))
     }
 
     /// The journal of fired events.
@@ -857,5 +893,65 @@ mod tests {
         let outcomes = rt.fire_batch::<&str>(id, &[]).unwrap();
         assert!(outcomes.is_empty());
         assert!(rt.journal(id).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejected_unknown_event_names_do_not_grow_the_interner() {
+        let mut rt = runtime_with_pay();
+        let id = rt.start("pay").unwrap();
+        // Submitting never-interned names must not permanently intern
+        // them: a hostile client pumping random names would otherwise
+        // grow the process-global append-only table without bound. Other
+        // tests intern concurrently, so retry the count comparison
+        // instead of demanding a quiescent table.
+        for attempt in 0.. {
+            let hostile = format!("zz_hostile_name_{attempt}_never_interned");
+            let before = ctr::symbol::Symbol::interned_count();
+            let err = rt.fire(id, &hostile).unwrap_err();
+            let batch = rt.fire_batch(id, &[hostile.as_str()]).unwrap();
+            let after = ctr::symbol::Symbol::interned_count();
+            assert!(matches!(err, RuntimeError::NotEligible { .. }));
+            assert!(matches!(
+                batch[0],
+                FireOutcome::Rejected(RuntimeError::NotEligible { .. })
+            ));
+            assert_eq!(
+                ctr::symbol::Symbol::try_get(&hostile),
+                None,
+                "rejected name must not be interned"
+            );
+            if before == after {
+                break;
+            }
+            assert!(attempt < 5, "interner table would not settle");
+        }
+        // The instance is untouched and still fires known events.
+        rt.fire(id, "invoice").unwrap();
+    }
+
+    #[test]
+    fn runtime_enact_runs_a_deployment_and_reports() {
+        let rt = runtime_with_pay();
+        let order = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut enactor = Enactor::new();
+        for e in ["invoice", "approve", "reject", "file"] {
+            let log = std::sync::Arc::clone(&order);
+            enactor.register(
+                e,
+                Box::new(move |atom| {
+                    log.lock().unwrap().push(atom.to_string());
+                    Ok(())
+                }),
+            );
+        }
+        let report = rt.enact("pay", &enactor).unwrap();
+        assert!(report.is_success());
+        assert_eq!(report.completed.len(), 3, "invoice, one branch, file");
+        let completed: Vec<String> = report.completed.iter().map(|s| s.to_string()).collect();
+        assert_eq!(*order.lock().unwrap(), completed);
+        assert!(matches!(
+            rt.enact("ghost", &enactor).unwrap_err(),
+            RuntimeError::UnknownWorkflow(name) if name == "ghost"
+        ));
     }
 }

@@ -367,6 +367,19 @@ impl SharedRuntime {
         Ok(status)
     }
 
+    /// See [`Runtime::enact`]. The deployment `Arc` is resolved under a
+    /// brief registry read lock; the enactment itself — which may run for
+    /// as long as the slowest handler chain — holds **no** runtime locks,
+    /// so concurrent deploys, fires, and snapshots proceed untouched.
+    pub fn enact(
+        &self,
+        workflow: &str,
+        enactor: &crate::Enactor,
+    ) -> Result<crate::EnactReport, RuntimeError> {
+        let deployment = self.inner.deployment(workflow)?;
+        Ok(enactor.run_report(&deployment.program))
+    }
+
     /// See [`Runtime::invalidate`] — rebuilds one instance's cursor by
     /// replay, under that instance's lock.
     ///
@@ -627,6 +640,33 @@ mod tests {
         let id2 = rt.start("pay").unwrap();
         rt.fire(id2, "invoice").unwrap();
         assert_eq!(rt.eligible(id2).unwrap(), vec!["file".to_owned()]);
+    }
+
+    #[test]
+    fn enact_resolves_the_deployment_and_holds_no_locks() {
+        let rt = shared_pay();
+        // Handlers fire events on the *same* shared runtime while the
+        // enactment is in flight: if `enact` held any runtime lock this
+        // would deadlock instead of completing.
+        let rt2 = rt.clone();
+        let id = rt.start("pay").unwrap();
+        let mut enactor = crate::Enactor::new();
+        enactor.register(
+            "invoice",
+            Box::new(move |_| {
+                rt2.fire(id, "invoice")
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }),
+        );
+        let report = rt.enact("pay", &enactor).unwrap();
+        assert!(report.is_success());
+        assert_eq!(report.completed.len(), 3);
+        assert_eq!(rt.journal(id).unwrap(), vec!["invoice"]);
+        assert!(matches!(
+            rt.enact("ghost", &crate::Enactor::new()).unwrap_err(),
+            RuntimeError::UnknownWorkflow(_)
+        ));
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub struct Simulation {
     /// Schedules that ran to completion (all of them, for excised
     /// programs).
     pub completed: usize,
-    /// How many sampled schedules each event occurred in.
+    /// How many **completed** schedules each event occurred in.
+    /// Deadlocked samples contribute to [`Simulation::runs`] only —
+    /// their partial prefixes are not counted here.
     pub event_frequency: BTreeMap<Symbol, usize>,
     /// Shortest complete path length observed.
     pub min_len: usize,
@@ -43,12 +45,30 @@ impl Simulation {
         }
     }
 
-    /// Fraction of sampled schedules containing `event`.
+    /// Fraction of **completed** schedules containing `event`.
+    ///
+    /// The denominator is [`Simulation::completed`], not
+    /// [`Simulation::runs`]: a deadlocked sample has no complete trace,
+    /// so "how often does this activity run" is only meaningful over the
+    /// schedules that actually finished (for excised programs the two
+    /// coincide — excision guarantees completion). Multiply by
+    /// [`Simulation::completion_rate`] for the per-*sample* rate.
     pub fn frequency(&self, event: Symbol) -> f64 {
         if self.completed == 0 {
             0.0
         } else {
             *self.event_frequency.get(&event).unwrap_or(&0) as f64 / self.completed as f64
+        }
+    }
+
+    /// Fraction of sampled schedules that ran to completion; 1.0 for
+    /// excised programs, lower when raw (un-excised) programs deadlock
+    /// under some resolutions.
+    pub fn completion_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.runs as f64
         }
     }
 }
@@ -95,6 +115,25 @@ fn sample_range(program: &Program, lo: usize, hi: usize, seed: u64) -> Partial {
     part
 }
 
+/// Joins a sampler worker, re-raising any panic **with its payload and
+/// the worker's run range attached** — a bare `.unwrap()` on a `join`
+/// error would panic on the opaque `Box<dyn Any>` (a "double panic" that
+/// names neither the message nor the culprit runs), making fleet-sized
+/// simulations undebuggable.
+fn join_attributed<T>(handle: std::thread::ScopedJoinHandle<'_, T>, (lo, hi): (usize, usize)) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+            panic!("simulation worker for runs {lo}..{hi} panicked: {msg}");
+        }
+    }
+}
+
 /// Samples `runs` randomized schedules of `program` (seeds
 /// `seed, seed+1, …`) and aggregates. Uses [`Parallelism::Auto`]; see
 /// [`simulate_par`] to pin the mode.
@@ -132,10 +171,16 @@ pub fn simulate_par(program: &Program, runs: usize, seed: u64, par: Parallelism)
                     let hi = lo + base + usize::from(w < extra);
                     let range = (lo, hi);
                     lo = hi;
-                    scope.spawn(move || sample_range(program, range.0, range.1, seed))
+                    (
+                        range,
+                        scope.spawn(move || sample_range(program, range.0, range.1, seed)),
+                    )
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .map(|(range, h)| join_attributed(h, range))
+                .collect()
         })
     };
 
@@ -239,6 +284,54 @@ mod tests {
         assert_eq!(sequential, threaded);
         assert_eq!(sequential, auto);
         assert!(sequential.distinct_traces >= 2);
+    }
+
+    #[test]
+    fn frequency_uses_completed_runs_as_denominator() {
+        // A raw (un-excised) program whose second branch deadlocks: pick
+        // `c`, then block forever on a receive no one sends. Compiled
+        // directly — `ctr::analysis::compile` would excise the knot away.
+        use ctr::goal::{Channel, Goal};
+        let goal = or(vec![
+            seq(vec![Goal::atom("a"), Goal::atom("b")]),
+            seq(vec![Goal::atom("c"), Goal::Receive(Channel(0))]),
+        ]);
+        let p = Program::compile(&goal).unwrap();
+        let sim = simulate(&p, 200, 13);
+        assert_eq!(sim.runs, 200);
+        assert!(
+            sim.completed > 0 && sim.completed < sim.runs,
+            "both outcomes sampled (completed={})",
+            sim.completed
+        );
+        // `a` appears in every *completed* schedule: frequency is exactly
+        // 1.0 — the documented completed-only denominator. Under a
+        // runs-denominator it would equal the completion rate instead.
+        assert_eq!(sim.frequency(sym("a")), 1.0);
+        // `c` only occurs on the deadlocking branch, whose partial
+        // prefixes are never counted.
+        assert_eq!(sim.frequency(sym("c")), 0.0);
+        let rate = sim.completion_rate();
+        assert!(rate > 0.0 && rate < 1.0);
+        assert_eq!(rate, sim.completed as f64 / sim.runs as f64);
+    }
+
+    #[test]
+    fn worker_panics_are_attributed_with_range_context() {
+        let caught = std::panic::catch_unwind(|| {
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(|| -> () { panic!("sampler exploded") });
+                join_attributed(handle, (64, 128))
+            })
+        })
+        .unwrap_err();
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("attributed panic carries a String payload");
+        assert_eq!(
+            msg,
+            "simulation worker for runs 64..128 panicked: sampler exploded"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   averted rather than repaired.
 
 use ctr::goal::{or, possible, seq, Goal};
+use ctr::symbol::Symbol;
 use ctr::term::Atom;
 
 /// One compensable step of a saga.
@@ -50,6 +51,73 @@ impl SagaStep {
         self.guard = Some(guard);
         self
     }
+
+    /// The event symbols of the forward action, in emission order.
+    pub fn action_events(&self) -> Vec<Symbol> {
+        collect_events(&self.action)
+    }
+
+    /// The event symbols of the compensator, in emission order.
+    pub fn compensation_events(&self) -> Vec<Symbol> {
+        collect_events(&self.compensation)
+    }
+}
+
+fn collect_events(goal: &Goal) -> Vec<Symbol> {
+    let mut events = Vec::new();
+    goal.for_each_atom(&mut |atom| {
+        if let Some(e) = atom.as_event() {
+            events.push(e);
+        }
+    });
+    events
+}
+
+/// The run-time counterpart of [`saga`]: given the saga's steps and the
+/// *committed* observable prefix of an aborted enactment, returns the
+/// compensating activity sequence — the compensators of every step whose
+/// forward action fully committed, in reverse commitment order (Sagas:
+/// undo `k..1` when step `k+1` failed).
+///
+/// A step counts as committed when its action's events appear as a
+/// subsequence of `committed`; partially-committed steps (the failing
+/// step itself, typically) are *not* compensated — their own attempt
+/// never fired, so there is nothing recorded to undo. Steps are ordered
+/// by the position of their last committed event, latest first, so
+/// interleaved concurrent sagas unwind in reverse commit order rather
+/// than reverse declaration order.
+pub fn compensation_plan(steps: &[SagaStep], committed: &[Symbol]) -> Vec<Symbol> {
+    let mut done: Vec<(usize, usize)> = Vec::new();
+    for (step_idx, step) in steps.iter().enumerate() {
+        let actions = step.action_events();
+        if actions.is_empty() {
+            continue;
+        }
+        let mut pos = 0usize;
+        let mut last = 0usize;
+        let mut matched = true;
+        for action in &actions {
+            match committed[pos..].iter().position(|c| c == action) {
+                Some(offset) => {
+                    last = pos + offset;
+                    pos = last + 1;
+                }
+                None => {
+                    matched = false;
+                    break;
+                }
+            }
+        }
+        if matched {
+            done.push((last, step_idx));
+        }
+    }
+    // Latest-committed first; ties (steps sharing a last position cannot
+    // happen, but keep deterministic anyway) break on later step index.
+    done.sort_by(|a, b| b.cmp(a));
+    done.into_iter()
+        .flat_map(|(_, step_idx)| steps[step_idx].compensation_events())
+        .collect()
 }
 
 /// Compiles a saga into a concurrent-Horn goal.
@@ -221,6 +289,58 @@ mod tests {
         // before discovering the failure: CTR's failure atomicity hides
         // this, but the ◇ guard rejects it without any search.
         assert!(!engine.is_executable(&seq(steps), &db).unwrap());
+    }
+
+    #[test]
+    fn compensation_plan_unwinds_committed_steps_in_reverse() {
+        let steps = saga_3();
+        let committed = vec![sym("book_flight"), sym("book_hotel")];
+        assert_eq!(
+            compensation_plan(&steps, &committed),
+            vec![sym("cancel_hotel"), sym("cancel_flight")]
+        );
+    }
+
+    #[test]
+    fn compensation_plan_skips_uncommitted_and_partial_steps() {
+        let steps = vec![
+            SagaStep::new(seq(vec![g("pick"), g("pack")]), g("unpack")),
+            SagaStep::new(g("ship"), g("recall")),
+        ];
+        // `pick` committed but `pack` did not: the step is partial, and
+        // `ship` never ran — nothing to compensate.
+        assert!(compensation_plan(&steps, &[sym("pick")]).is_empty());
+        // Both of step 1's events committed: only it is compensated.
+        assert_eq!(
+            compensation_plan(&steps, &[sym("pick"), sym("pack")]),
+            vec![sym("unpack")]
+        );
+    }
+
+    #[test]
+    fn compensation_plan_orders_by_commit_position_not_declaration() {
+        // Declared a-then-b, but b committed first (concurrent saga):
+        // unwind must follow commit order.
+        let steps = vec![
+            SagaStep::new(g("a"), g("undo_a")),
+            SagaStep::new(g("b"), g("undo_b")),
+        ];
+        assert_eq!(
+            compensation_plan(&steps, &[sym("b"), sym("a")]),
+            vec![sym("undo_a"), sym("undo_b")]
+        );
+    }
+
+    #[test]
+    fn compensation_plan_on_empty_prefix_is_empty() {
+        assert!(compensation_plan(&saga_3(), &[]).is_empty());
+    }
+
+    #[test]
+    fn step_event_helpers_flatten_goals() {
+        let step = SagaStep::new(seq(vec![g("x"), g("y")]), g("undo"));
+        assert_eq!(step.action_events(), vec![sym("x"), sym("y")]);
+        assert_eq!(step.compensation_events(), vec![sym("undo")]);
     }
 
     #[test]
