@@ -1,9 +1,14 @@
 //! E4 — Proposition 4.1: consistency is NP-complete already for existence
 //! constraints (3-SAT encoding), but polynomial for order constraints.
+//!
+//! The `*_tabled` variants run the same workloads through a warm
+//! `ctr::memo::Memo` — repeated compiles of one instance are the
+//! amortized regime the cross-query `Analyzer` session lives in.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ctr::analysis::compile;
 use ctr::gen;
+use ctr::memo::Memo;
 use std::time::Duration;
 
 fn bench_np(c: &mut Criterion) {
@@ -20,6 +25,21 @@ fn bench_np(c: &mut Criterion) {
     }
     group.finish();
 
+    let mut group = c.benchmark_group("e4_sat_family_tabled");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for vars in [4usize, 6, 8, 10] {
+        let inst = gen::random_3sat(7, vars, (vars as f64 * 4.3) as usize);
+        let (goal, constraints) = gen::sat_to_workflow(&inst);
+        let mut memo = Memo::new();
+        memo.compile_unchecked(&goal, &constraints); // warm the tables
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, _| {
+            b.iter(|| memo.compile_unchecked(&goal, &constraints).is_consistent())
+        });
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("e4_order_family");
     group
         .sample_size(20)
@@ -29,6 +49,21 @@ fn bench_np(c: &mut Criterion) {
         let constraints = gen::order_chain(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| compile(&goal, &constraints).unwrap().is_consistent())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e4_order_family_tabled");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for n in [8usize, 16, 32, 64] {
+        let goal = gen::pipeline_workflow(2 * n + 2);
+        let constraints = gen::order_chain(n);
+        let mut memo = Memo::new();
+        memo.compile_unchecked(&goal, &constraints);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| memo.compile_unchecked(&goal, &constraints).is_consistent())
         });
     }
     group.finish();

@@ -23,6 +23,20 @@ fn bench_vs_mc(c: &mut Criterion) {
     }
     apply_group.finish();
 
+    let mut tabled_group = c.benchmark_group("e6_apply_verification_tabled");
+    tabled_group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
+    for w in [4usize, 8, 12] {
+        let goal = gen::parallel_workflow(w);
+        let mut analyzer = ctr::memo::Analyzer::new(&goal, &[]).unwrap();
+        analyzer.verify(&property); // warm the session tables
+        tabled_group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| analyzer.verify(&property))
+        });
+    }
+    tabled_group.finish();
+
     let mut mc_group = c.benchmark_group("e6_explicit_modelcheck");
     mc_group
         .sample_size(10)

@@ -41,6 +41,7 @@ fn main() {
     }
     bench_compile_json(smoke);
     bench_exec_json(smoke);
+    bench_verify_json(smoke);
     eprintln!("\n(total {:.1?})", t0.elapsed());
 }
 
@@ -890,6 +891,233 @@ fn bench_exec_json(smoke: bool) {
     let json = format!("[\n{}\n]\n", rows.join(",\n"));
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
     eprintln!("wrote BENCH_exec.json ({} workloads)", records.len());
+}
+
+/// Machine-readable record of the tabled verification path
+/// (`ctr::memo::Analyzer`), written alongside the other `BENCH_*.json`
+/// files.
+///
+/// Two families, each comparing the same queries untabled vs through a
+/// warm session — results are asserted identical before timing:
+///
+/// * `verify_incr/<workload>` — incremental re-verification after a
+///   single-constraint edit (remove the last constraint, check
+///   consistency, add it back, check again) against from-scratch
+///   recompiles of both edit states. The e4 NP-hardness workloads are the
+///   ones where the avoided recompile matters most.
+/// * `verify_repeat/<workload>` — repeated-query workloads: a batch of
+///   properties answered through one session (the compiled `G ∧ C`
+///   prefix replays as table hits per property), and
+///   `minimize_constraints`, whose probe sets share almost all of their
+///   structure across iterations.
+fn bench_verify_json(smoke: bool) {
+    use ctr::memo::Analyzer;
+
+    struct Record {
+        name: String,
+        goal_size: usize,
+        constraint_count: usize,
+        queries: usize,
+        scratch_ns: u128,
+        tabled_ns: u128,
+        speedup: f64,
+        hits: u64,
+        misses: u64,
+    }
+    let mut records = Vec::new();
+    let reps = if smoke { 3 } else { 10 };
+    let push = |records: &mut Vec<Record>,
+                name: String,
+                goal: &Goal,
+                constraints: &[Constraint],
+                queries: usize,
+                scratch: std::time::Duration,
+                tabled: std::time::Duration,
+                stats: ctr::memo::MemoStats| {
+        records.push(Record {
+            name,
+            goal_size: goal.size(),
+            constraint_count: constraints.len(),
+            queries,
+            scratch_ns: scratch.as_nanos(),
+            tabled_ns: tabled.as_nanos(),
+            speedup: scratch.as_nanos() as f64 / tabled.as_nanos().max(1) as f64,
+            hits: stats.hits,
+            misses: stats.misses,
+        });
+    };
+
+    // --- verify_incr: one-constraint edit, warm session vs recompile.
+    let mut incr = |name: String, goal: &Goal, constraints: &[Constraint]| {
+        assert!(!constraints.is_empty(), "need a constraint to edit");
+        let head = &constraints[..constraints.len() - 1];
+
+        // The tabled path must be bit-identical on both edit states.
+        let mut check = Analyzer::new(goal, constraints).expect("unique-event");
+        assert_eq!(
+            check.compiled().goal,
+            compile(goal, constraints).unwrap().goal
+        );
+        check.remove_constraint(constraints.len() - 1);
+        assert_eq!(check.compiled().goal, compile(goal, head).unwrap().goal);
+
+        let t_scratch = time_mean(reps, || {
+            let without = compile(goal, head).unwrap().is_consistent();
+            let with = compile(goal, constraints).unwrap().is_consistent();
+            (without, with)
+        });
+
+        let mut an = Analyzer::new(goal, constraints).expect("unique-event");
+        // Warm the tables on both edit states once, then measure the
+        // steady-state edit loop.
+        an.compiled();
+        let last = an.remove_constraint(constraints.len() - 1);
+        an.compiled();
+        an.add_constraint(last);
+        an.reset_counters();
+        let t_tabled = time_mean(reps, || {
+            let removed = an.remove_constraint(an.constraints().len() - 1);
+            let without = an.is_consistent();
+            an.add_constraint(removed);
+            let with = an.is_consistent();
+            (without, with)
+        });
+        let stats = an.stats();
+        push(
+            &mut records,
+            name,
+            goal,
+            constraints,
+            2 * reps,
+            t_scratch,
+            t_tabled,
+            stats,
+        );
+    };
+
+    let sat_vars: &[usize] = if smoke { &[4] } else { &[6, 10] };
+    for &vars in sat_vars {
+        let inst = gen::random_3sat(7, vars, (vars as f64 * 4.3) as usize);
+        let (goal, constraints) = gen::sat_to_workflow(&inst);
+        incr(format!("verify_incr/sat{vars}"), &goal, &constraints);
+    }
+    let order_ns: &[usize] = if smoke { &[8] } else { &[16, 64] };
+    for &n in order_ns {
+        let goal = gen::pipeline_workflow(2 * n + 2);
+        let constraints = gen::order_chain(n);
+        incr(format!("verify_incr/orders{n}"), &goal, &constraints);
+    }
+
+    // --- verify_repeat: property batches through one session.
+    {
+        let widths: &[usize] = if smoke { &[4] } else { &[8, 12] };
+        for &w in widths {
+            let goal = gen::parallel_workflow(w);
+            let constraints = vec![Constraint::order("t0", "t1"), Constraint::order("t1", "t2")];
+            let properties: Vec<Constraint> = (0..w - 1)
+                .map(|i| {
+                    Constraint::klein_order(
+                        format!("t{i}").as_str(),
+                        format!("t{}", i + 1).as_str(),
+                    )
+                })
+                .collect();
+
+            let one_shot: Vec<_> = properties
+                .iter()
+                .map(|p| ctr::analysis::verify(&goal, &constraints, p).unwrap())
+                .collect();
+            let mut check = Analyzer::new(&goal, &constraints).expect("unique-event");
+            assert_eq!(
+                check.verify_all(&properties),
+                one_shot,
+                "verdicts identical"
+            );
+
+            let t_scratch = time_mean(reps, || {
+                properties
+                    .iter()
+                    .map(|p| {
+                        ctr::analysis::verify(&goal, &constraints, p)
+                            .unwrap()
+                            .holds()
+                    })
+                    .collect::<Vec<bool>>()
+            });
+            let mut an = Analyzer::new(&goal, &constraints).expect("unique-event");
+            an.verify_all(&properties); // warm
+            an.reset_counters();
+            let t_tabled = time_mean(reps, || an.verify_all(&properties));
+            let stats = an.stats();
+            push(
+                &mut records,
+                format!("verify_repeat/multiprop_parallel{w}"),
+                &goal,
+                &constraints,
+                properties.len() * reps,
+                t_scratch,
+                t_tabled,
+                stats,
+            );
+        }
+    }
+    {
+        let order_ns: &[usize] = if smoke { &[6] } else { &[16, 32] };
+        for &n in order_ns {
+            let goal = gen::pipeline_workflow(2 * n + 2);
+            let constraints = gen::order_chain(n);
+
+            let one_shot = ctr::analysis::minimize_constraints(&goal, &constraints).unwrap();
+            let mut check = Analyzer::new(&goal, &constraints).expect("unique-event");
+            assert_eq!(
+                check.minimize_constraints(),
+                one_shot,
+                "kept sets identical"
+            );
+
+            let t_scratch = time_mean(reps, || {
+                ctr::analysis::minimize_constraints(&goal, &constraints).unwrap()
+            });
+            let mut an = Analyzer::new(&goal, &constraints).expect("unique-event");
+            an.minimize_constraints(); // warm
+            an.reset_counters();
+            let t_tabled = time_mean(reps, || an.minimize_constraints());
+            let stats = an.stats();
+            push(
+                &mut records,
+                format!("verify_repeat/minimize_orders{n}"),
+                &goal,
+                &constraints,
+                constraints.len() * reps,
+                t_scratch,
+                t_tabled,
+                stats,
+            );
+        }
+    }
+
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"name\": \"{}\", \"goal_size\": {}, \"constraint_count\": {}, \
+                 \"queries\": {}, \"scratch_ns\": {}, \"tabled_ns\": {}, \
+                 \"speedup\": {:.2}, \"hits\": {}, \"misses\": {}}}",
+                r.name,
+                r.goal_size,
+                r.constraint_count,
+                r.queries,
+                r.scratch_ns,
+                r.tabled_ns,
+                r.speedup,
+                r.hits,
+                r.misses
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    std::fs::write("BENCH_verify.json", &json).expect("write BENCH_verify.json");
+    eprintln!("wrote BENCH_verify.json ({} workloads)", records.len());
 }
 
 /// The method surface the fleet benchmark drives, implemented by both the

@@ -8,7 +8,8 @@
 //! ```text
 //! ctr check <file>                     consistency (Thm 5.8) + knot report
 //! ctr compile <file>                   print the compiled, executable goal
-//! ctr verify <file> -p '<constraint>'  property verification (Thm 5.9)
+//! ctr verify <file> -p '<c>' [-p ...]  property verification (Thm 5.9),
+//!                                      one tabled session for all -p flags
 //! ctr minimize <file>                  drop redundant constraints (Thm 5.10)
 //! ctr schedule <file>                  print one constraint-respecting schedule
 //! ctr enumerate <file> [-n LIMIT]      list allowed executions
@@ -305,20 +306,57 @@ pub fn cmd_dot(input: &str) -> Result<String, CliError> {
     Ok(ctr_workflow::goal_to_dot(&spec.name, &compiled.goal))
 }
 
-/// `ctr verify -p <constraint>`: does every execution satisfy the
-/// property?
-pub fn cmd_verify(input: &str, property: &str) -> Result<String, CliError> {
+/// `ctr verify -p <constraint> [-p <constraint> ...] [--stats]`: does
+/// every execution satisfy each property?
+///
+/// All properties are answered through one [`ctr::memo::Analyzer`]
+/// session, so the compiled `G ∧ C` prefix is shared across them instead
+/// of being recompiled per property (the verification path is
+/// NP-complete — the sharing is the point). Exit code 1 if any property
+/// is violated; `--stats` appends the session's memo-table counters.
+pub fn cmd_verify(input: &str, properties: &[String], stats: bool) -> Result<String, CliError> {
+    if properties.is_empty() {
+        return Err(CliError::usage(USAGE));
+    }
     let spec = load(input)?;
-    let property: Constraint =
-        parse_constraint(property).map_err(|e| CliError::usage(format!("property: {e}")))?;
-    match spec
-        .verify(&property)
-        .map_err(|e| CliError::usage(e.to_string()))?
-    {
-        Verification::Holds => Ok(format!("HOLDS: every execution satisfies {property}\n")),
-        Verification::CounterExample(ce) => Err(CliError::analysis(format!(
-            "VIOLATED: {property}\nmost general counterexample:\n  {ce}\n"
-        ))),
+    let parsed: Vec<Constraint> = properties
+        .iter()
+        .map(|p| parse_constraint(p).map_err(|e| CliError::usage(format!("property: {e}"))))
+        .collect::<Result<_, _>>()?;
+    let goal = spec.to_goal();
+    let mut analyzer = ctr::memo::Analyzer::new(&goal, &spec.constraints)
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    let mut out = String::new();
+    let mut violated = 0usize;
+    for property in &parsed {
+        match analyzer.verify(property) {
+            Verification::Holds => {
+                let _ = writeln!(out, "HOLDS: every execution satisfies {property}");
+            }
+            Verification::CounterExample(ce) => {
+                violated += 1;
+                let _ = writeln!(
+                    out,
+                    "VIOLATED: {property}\nmost general counterexample:\n  {ce}"
+                );
+            }
+        }
+    }
+    if parsed.len() > 1 {
+        let _ = writeln!(
+            out,
+            "{} of {} properties hold",
+            parsed.len() - violated,
+            parsed.len()
+        );
+    }
+    if stats {
+        let _ = writeln!(out, "memo: {}", analyzer.stats());
+    }
+    if violated == 0 {
+        Ok(out)
+    } else {
+        Err(CliError::analysis(out))
     }
 }
 
@@ -418,7 +456,7 @@ ctr — logic-based workflow analysis (PODS'98 CTR)
 USAGE:
     ctr check     <spec.ctr>
     ctr compile   <spec.ctr>
-    ctr verify    <spec.ctr> -p '<constraint>'
+    ctr verify    <spec.ctr> -p '<constraint>' [-p '<constraint>' ...] [--stats]
     ctr minimize  <spec.ctr>
     ctr schedule  <spec.ctr>
     ctr dot       <spec.ctr>
@@ -458,13 +496,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
         }
         "verify" => {
-            let [_, path, flag, property] = args else {
+            let [_, path, rest @ ..] = args else {
                 return Err(CliError::usage(USAGE));
             };
-            if flag != "-p" && flag != "--property" {
-                return Err(CliError::usage(USAGE));
+            let mut properties: Vec<String> = Vec::new();
+            let mut stats = false;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "-p" | "--property" => {
+                        let value = it.next().ok_or_else(|| {
+                            CliError::usage(format!("{flag} needs a value\n\n{USAGE}"))
+                        })?;
+                        properties.push(value.clone());
+                    }
+                    "--stats" => stats = true,
+                    _ => return Err(CliError::usage(USAGE)),
+                }
             }
-            cmd_verify(&read(path)?, property)
+            cmd_verify(&read(path)?, &properties, stats)
         }
         "simulate" => match args {
             [_, path] => cmd_simulate(&read(path)?, 1000),
@@ -571,18 +621,68 @@ mod tests {
 
     #[test]
     fn verify_holds_and_violated() {
-        assert!(cmd_verify(SPEC, "klein_order(b, c)")
+        assert!(cmd_verify(SPEC, &["klein_order(b, c)".into()], false)
             .unwrap()
             .contains("HOLDS"));
-        let err = cmd_verify(SPEC, "before(c, b)").unwrap_err();
+        let err = cmd_verify(SPEC, &["before(c, b)".into()], false).unwrap_err();
         assert_eq!(err.code, 1);
         assert!(err.message.contains("counterexample"));
     }
 
     #[test]
     fn verify_rejects_bad_property_syntax() {
-        let err = cmd_verify(SPEC, "sometime(b)").unwrap_err();
+        let err = cmd_verify(SPEC, &["sometime(b)".into()], false).unwrap_err();
         assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn verify_answers_many_properties_in_one_session() {
+        let props: Vec<String> = vec![
+            "klein_order(b, c)".into(),
+            "exists(a)".into(),
+            "exists(d)".into(),
+        ];
+        let out = cmd_verify(SPEC, &props, true).unwrap();
+        assert_eq!(out.matches("HOLDS").count(), 3);
+        assert!(out.contains("3 of 3 properties hold"));
+        assert!(
+            out.contains("memo:") && out.contains("hits"),
+            "--stats line"
+        );
+
+        // A mixed batch reports every verdict and exits 1.
+        let mixed: Vec<String> = vec!["exists(a)".into(), "before(c, b)".into()];
+        let err = cmd_verify(SPEC, &mixed, false).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err
+            .message
+            .contains("HOLDS: every execution satisfies exists(a)"));
+        assert!(err.message.contains("VIOLATED"));
+        assert!(err.message.contains("1 of 2 properties hold"));
+
+        // No properties at all is a usage error.
+        assert_eq!(cmd_verify(SPEC, &[], false).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn run_parses_repeated_verify_properties() {
+        let path = std::env::temp_dir().join("ctr_cli_verify_spec.ctr");
+        std::fs::write(&path, SPEC).unwrap();
+        let out = run(&[
+            "verify".into(),
+            path.display().to_string(),
+            "-p".into(),
+            "klein_order(b, c)".into(),
+            "--property".into(),
+            "exists(d)".into(),
+            "--stats".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("2 of 2 properties hold"));
+        assert!(out.contains("memo:"));
+        let err = run(&["verify".into(), path.display().to_string(), "-p".into()]).unwrap_err();
+        assert!(err.message.contains("-p needs a value"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

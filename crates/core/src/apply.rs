@@ -114,7 +114,9 @@ impl ChannelAlloc {
 
 /// Upper bound on the channels one conjunct can allocate: one per order
 /// basic ([`apply_order`] allocates at most once, and only for orders).
-fn order_budget(conj: &Conjunct) -> u32 {
+/// Shared with the tabled compiler (`crate::memo`), which must reserve
+/// identical per-disjunct ranges to reproduce the untabled numbering.
+pub(crate) fn order_budget(conj: &Conjunct) -> u32 {
     conj.iter()
         .filter(|b| matches!(b, Basic::Order(..)))
         .count() as u32
@@ -125,7 +127,7 @@ fn order_budget(conj: &Conjunct) -> u32 {
 /// reuses the whole node instead of rebuilding it, so sharing survives even
 /// when the event fingerprint gave a false positive. Otherwise returns the
 /// rewritten child vector, with untouched children as `Arc` bumps.
-fn map_children_shared(
+pub(crate) fn map_children_shared(
     gs: &crate::goal::GoalList,
     mut f: impl FnMut(&Goal) -> Goal,
 ) -> Option<Vec<Goal>> {

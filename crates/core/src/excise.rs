@@ -190,7 +190,11 @@ fn excise_branches_parallel(
     branches
 }
 
-fn excise_inner(goal: &Goal, reports: &mut Vec<KnotReport>, guaranteed: &mut bool) -> Goal {
+pub(crate) fn excise_inner(
+    goal: &Goal,
+    reports: &mut Vec<KnotReport>,
+    guaranteed: &mut bool,
+) -> Goal {
     match goal {
         // Exact distribution at a disjunctive root.
         Goal::Or(gs) => crate::goal::or(

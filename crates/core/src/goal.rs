@@ -130,6 +130,65 @@ fn event_fp_bits(event: Symbol) -> u64 {
     (1u64 << (h & 63)) | (1u64 << ((h >> 6) & 63))
 }
 
+/// FxHash-style hasher behind the `Atom` case of [`Goal::structural_hash`].
+///
+/// The hash is purely in-memory (dedup buckets, memo keys) and never
+/// persisted, so a keyed SipHash pass per atom is pure overhead: one
+/// rotate-xor-multiply round per written word spreads interned symbol ids
+/// and small term payloads well enough for bucketing. Same mixer as the
+/// engine's symbol→slot map.
+#[derive(Default)]
+struct AtomHasher(u64);
+
+impl std::hash::Hasher for AtomHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, v: isize) {
+        self.write_u64(v as u64);
+    }
+}
+
 /// A concurrent-Horn goal.
 ///
 /// `Seq`, `Conc`, and `Or` are n-ary: `Goal::raw_seq(vec![a, b, c])` is
@@ -260,11 +319,10 @@ impl Goal {
     /// Structural hash, cached for the n-ary connectives. Structurally
     /// equal goals always hash equal.
     pub fn structural_hash(&self) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
         match self {
             Goal::Atom(a) => {
-                let mut hasher = DefaultHasher::new();
+                let mut hasher = AtomHasher::default();
                 a.hash(&mut hasher);
                 mix64(hasher.finish() ^ 0x01)
             }

@@ -21,6 +21,7 @@
 //! | [`apply`](mod@apply) | §5 | the `Apply` transformation and `sync` (Defs 5.1/5.3/5.5), event-index pruning, deterministic parallel disjunct fan-out (`Parallelism`) |
 //! | [`excise`](mod@excise) | §5 | knot detection and removal, `G_fail` diagnostics, parallel `∨`-branch fan-out |
 //! | [`analysis`] | §4 | consistency, verification, redundancy (Thms 5.8–5.10) |
+//! | [`memo`] | §5 | tabled analysis: hash-consed subgoal memoization and the cross-query [`Analyzer`] session |
 //! | [`formula`] | §2 | full CTR formulas (adds `∧`, `¬`) with declarative trace satisfaction |
 //! | [`gen`] | — | workload generators, incl. the 3-SAT reduction of Prop 4.1 |
 //!
@@ -54,20 +55,22 @@ pub mod excise;
 pub mod formula;
 pub mod gen;
 pub mod goal;
+pub mod memo;
 pub mod semantics;
 pub mod symbol;
 pub mod term;
 pub mod unique;
 
 pub use analysis::{
-    activity_report, compile, is_consistent, is_redundant, ordering, verify, ActivityStatus,
-    Compiled, Verification,
+    activity_report, compile, is_consistent, is_redundant, minimize_constraints, ordering, verify,
+    ActivityStatus, Compiled, Verification,
 };
 pub use apply::{apply, ChannelAlloc};
 pub use constraints::{Basic, Conjunct, Constraint, NormalForm};
 pub use excise::{excise, excise_with_diagnostics, ExciseResult, KnotReport};
 pub use formula::Formula;
 pub use goal::{conc, isolated, or, possible, seq, Channel, Goal};
+pub use memo::{Analyzer, Memo, MemoStats};
 pub use semantics::equivalent;
 pub use symbol::{sym, Symbol};
 pub use term::{Atom, Term, Var};

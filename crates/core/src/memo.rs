@@ -1,0 +1,1088 @@
+//! Tabled analysis: hash-consed subgoal memoization and the cross-query
+//! [`Analyzer`] session.
+//!
+//! Verification (Theorem 5.9) is NP-complete, and every entry point in
+//! [`crate::analysis`] pays full price every time: `verify` recompiles
+//! `G ∧ C ∧ ¬Φ` from scratch, `ordering` runs three independent compiles,
+//! and `minimize_constraints` is a loop of nearly identical `is_redundant`
+//! compiles. Across those queries the *same* subgoals are rewritten by the
+//! *same* primitive operations over and over — the shape SLG-style tabling
+//! (Swift/Warren) and mir-formality's `cosld` solver exploit: memoize
+//! subgoal results, keyed on structure, with an explicit in-progress stack
+//! guarding re-entry.
+//!
+//! Three layers:
+//!
+//! 1. [`GoalTable`] — a hash-consing table interning `Goal` subtrees into
+//!    stable [`NodeId`]s. Buckets are keyed by the cached
+//!    [`Goal::structural_hash`]; inside a bucket candidates are compared
+//!    with a *real* equality check (pointer comparison first, exactly like
+//!    [`crate::goal::or`]'s idempotence dedup — hash equality alone is NOT
+//!    identity). Repeated subtrees across disjuncts and across queries
+//!    therefore share one id, and re-encountering a cached `Arc` costs one
+//!    pointer compare.
+//! 2. [`Memo`] — memo tables for the **channel-free** rewrites
+//!    (`apply_must`, `apply_must_not`, `sync` at a fixed channel,
+//!    `simplify`, and per-region `Excise` results), keyed on
+//!    `(op, event, node_id)`. `apply_order` allocates a fresh channel, so
+//!    its output depends on allocator state and is not tabled as a unit;
+//!    see DESIGN.md §13 for the channel-normalization decision (table the
+//!    channel-free inner `apply_must ∘ apply_must` stage, plus the `sync`
+//!    stage keyed on the *concrete* channel it was given — deterministic
+//!    once the channel is part of the key).
+//! 3. [`Analyzer`] — a session owning one `Memo` across queries:
+//!    `verify_all`, `activity_report`, `ordering`, `minimize_constraints`,
+//!    and incremental re-verification after adding/removing/replacing one
+//!    constraint in roughly the cost of the changed region (the unchanged
+//!    constraint prefix replays as top-level memo hits).
+//!
+//! Every tabled operation is a pure function of its key, so outputs are
+//! **bit-identical** to the untabled path — pinned by the equivalence
+//! proptest in `tests/tabled_analysis.rs` and asserted again by the
+//! `verify_incr` benchmarks.
+
+use crate::analysis::{
+    mentions_conditions, ActivityStatus, CompileError, Compiled, Ordering, Verification,
+};
+use crate::apply::{map_children_shared, order_budget, ChannelAlloc};
+use crate::constraints::{Basic, Conjunct, Constraint, NormalForm};
+use crate::excise::{ExciseResult, KnotReport};
+use crate::goal::{conc, isolated, or, seq, Channel, Goal};
+use crate::symbol::Symbol;
+use crate::unique::check_unique_events;
+use std::collections::HashMap;
+
+/// Stable id of an interned goal subtree. Ids are dense indices into the
+/// owning [`GoalTable`]; equal goals always receive the same id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(u32);
+
+/// Hash-consing table: interns `Goal` subtrees into stable [`NodeId`]s.
+///
+/// Buckets are keyed by the cached structural hash; within a bucket the
+/// candidate is confirmed by real equality, pointer comparison first (the
+/// [`crate::goal::or`] dedup idiom). Two structurally distinct goals that
+/// collide on the hash therefore land in the same bucket but keep distinct
+/// ids — see the `hash_collision_keeps_distinct_ids` test.
+#[derive(Default)]
+pub struct GoalTable {
+    nodes: Vec<Goal>,
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl GoalTable {
+    /// An empty table.
+    pub fn new() -> GoalTable {
+        GoalTable::default()
+    }
+
+    /// Interns a goal, returning its stable id. Equal goals (by structural
+    /// equality) always return the same id.
+    pub fn intern(&mut self, goal: &Goal) -> NodeId {
+        self.intern_hashed(goal, goal.structural_hash())
+    }
+
+    /// [`GoalTable::intern`] with the bucket hash supplied by the caller.
+    /// Split out so the collision-safety test can force two structurally
+    /// distinct goals through one bucket.
+    fn intern_hashed(&mut self, goal: &Goal, hash: u64) -> NodeId {
+        let ids = self.buckets.entry(hash).or_default();
+        for &i in ids.iter() {
+            let candidate = &self.nodes[i as usize];
+            // Pointer compare first: re-encountering a cached Arc is the
+            // common case on warm tables. Hash equality alone is NOT
+            // identity — the deep equality check is what keeps colliding
+            // goals distinct.
+            if candidate.ptr_eq(goal) || candidate == goal {
+                return NodeId(i);
+            }
+        }
+        let id = u32::try_from(self.nodes.len()).expect("fewer than 2^32 interned subgoals");
+        self.nodes.push(goal.clone());
+        ids.push(id);
+        NodeId(id)
+    }
+
+    /// The goal a node id stands for.
+    pub fn resolve(&self, id: NodeId) -> &Goal {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of interned subtrees.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Memo key: which channel-free rewrite, at which event/channel binding.
+/// Paired with the [`NodeId`] of the input subtree.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Op {
+    /// `Apply(∇α, ·)`.
+    Must(Symbol),
+    /// `Apply(¬∇α, ·)`.
+    MustNot(Symbol),
+    /// `sync(α<β, ·)` at a fixed, caller-supplied channel. The channel is
+    /// part of the key, so the entry is deterministic even though
+    /// `apply_order` allocates it freshly per compilation.
+    Sync(Symbol, Symbol, u32),
+    /// Canonicalizing [`Goal::simplify`].
+    Simplify,
+}
+
+type Key = (Op, NodeId);
+
+/// Cached per-region `Excise` outcome: the rewritten goal plus the exact
+/// diagnostics the untabled pass would have appended.
+struct ExciseEntry {
+    goal: Goal,
+    reports: Vec<KnotReport>,
+    guaranteed: bool,
+}
+
+/// Observability counters for the memo tables.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct MemoStats {
+    /// Lookups answered from a table.
+    pub hits: u64,
+    /// Lookups that fell through to a real computation.
+    pub misses: u64,
+    /// Live cached entries across all tables.
+    pub entries: usize,
+    /// Distinct subtrees in the hash-consing table.
+    pub interned: usize,
+}
+
+impl std::fmt::Display for MemoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} entries, {} interned subgoals",
+            self.hits, self.misses, self.entries, self.interned
+        )
+    }
+}
+
+/// Memoizing rewrite engine over one [`GoalTable`].
+///
+/// Each public method is bit-identical to its untabled counterpart in
+/// [`mod@crate::apply`] / [`mod@crate::excise`] / [`crate::goal`]; the tables only
+/// change how often the structural recursion actually runs. Tables persist
+/// for the lifetime of the `Memo`, so repeated queries over overlapping
+/// goals (the [`Analyzer`] pattern) replay shared regions as O(1) hits.
+#[derive(Default)]
+pub struct Memo {
+    table: GoalTable,
+    rewrites: HashMap<Key, Goal>,
+    excise: HashMap<NodeId, ExciseEntry>,
+    normal_forms: HashMap<Constraint, NormalForm>,
+    /// Explicit in-progress stack, per the cosld shape: a key is pushed
+    /// while its entry is being computed and popped before insertion. A
+    /// lookup that finds its own key on the stack is a re-entrant proof
+    /// attempt; goals are finite trees so this cannot happen for the
+    /// structural rewrites, but the guard keeps the tabling sound if a
+    /// future (co)recursive rule layer reuses these tables — re-entries
+    /// fall back to the untabled computation instead of looping.
+    in_progress: Vec<Key>,
+    hits: u64,
+    misses: u64,
+    /// Re-entrant lookups resolved by the in-progress guard.
+    reentries: u64,
+}
+
+impl Memo {
+    /// A fresh memo with empty tables.
+    pub fn new() -> Memo {
+        Memo::default()
+    }
+
+    /// Current counters. `entries` sums the rewrite, excise, and
+    /// normal-form tables; `interned` is the hash-consing table size.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.rewrites.len() + self.excise.len() + self.normal_forms.len(),
+            interned: self.table.len(),
+        }
+    }
+
+    /// Resets the hit/miss counters (entries are kept).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.reentries = 0;
+    }
+
+    /// Looks up `key`, counting the outcome. Returns the cached goal, or
+    /// `None` on a miss (counted) — re-entrant lookups are reported
+    /// through the second flag so callers can skip caching.
+    fn probe(&mut self, key: &Key) -> (Option<Goal>, bool) {
+        if let Some(hit) = self.rewrites.get(key) {
+            self.hits += 1;
+            return (Some(hit.clone()), false);
+        }
+        self.misses += 1;
+        if self.in_progress.contains(key) {
+            self.reentries += 1;
+            return (None, true);
+        }
+        (None, false)
+    }
+
+    fn finish(&mut self, key: Key, out: Goal) -> Goal {
+        let popped = self.in_progress.pop();
+        debug_assert_eq!(popped, Some(key), "in-progress stack discipline");
+        self.rewrites.insert(key, out.clone());
+        out
+    }
+
+    /// Tabled `Apply(∇α, T)` — bit-identical to [`crate::apply::apply_must`].
+    pub fn apply_must(&mut self, alpha: Symbol, goal: &Goal) -> Goal {
+        // Same O(1) fast paths as the untabled rewrite: fingerprint
+        // pruning and leaf cases never touch the tables.
+        if !goal.may_mention(alpha) {
+            return Goal::NoPath;
+        }
+        match goal {
+            Goal::Seq(_) | Goal::Conc(_) | Goal::Or(_) | Goal::Isolated(_) => {}
+            _ => return crate::apply::apply_must(alpha, goal),
+        }
+        let id = self.table.intern(goal);
+        let key = (Op::Must(alpha), id);
+        let (cached, reentrant) = self.probe(&key);
+        if let Some(hit) = cached {
+            return hit;
+        }
+        if reentrant {
+            return crate::apply::apply_must(alpha, goal);
+        }
+        self.in_progress.push(key);
+        let out = match goal {
+            Goal::Seq(gs) => or((0..gs.len())
+                .map(|i| {
+                    let rewritten = self.apply_must(alpha, &gs[i]);
+                    if rewritten.is_nopath() {
+                        return Goal::NoPath;
+                    }
+                    let mut children = Vec::with_capacity(gs.len());
+                    children.extend(gs[..i].iter().cloned());
+                    children.push(rewritten);
+                    children.extend(gs[i + 1..].iter().cloned());
+                    seq(children)
+                })
+                .collect()),
+            Goal::Conc(gs) => or((0..gs.len())
+                .map(|i| {
+                    let rewritten = self.apply_must(alpha, &gs[i]);
+                    if rewritten.is_nopath() {
+                        return Goal::NoPath;
+                    }
+                    let mut children = Vec::with_capacity(gs.len());
+                    children.extend(gs[..i].iter().cloned());
+                    children.push(rewritten);
+                    children.extend(gs[i + 1..].iter().cloned());
+                    conc(children)
+                })
+                .collect()),
+            Goal::Or(gs) => or(gs.iter().map(|g| self.apply_must(alpha, g)).collect()),
+            Goal::Isolated(g) => isolated(self.apply_must(alpha, g)),
+            _ => unreachable!("leaves handled above"),
+        };
+        self.finish(key, out)
+    }
+
+    /// Tabled `Apply(¬∇α, T)` — bit-identical to
+    /// [`crate::apply::apply_must_not`].
+    pub fn apply_must_not(&mut self, alpha: Symbol, goal: &Goal) -> Goal {
+        if !goal.may_mention(alpha) {
+            return goal.clone();
+        }
+        match goal {
+            Goal::Seq(_) | Goal::Conc(_) | Goal::Or(_) | Goal::Isolated(_) => {}
+            _ => return crate::apply::apply_must_not(alpha, goal),
+        }
+        let id = self.table.intern(goal);
+        let key = (Op::MustNot(alpha), id);
+        let (cached, reentrant) = self.probe(&key);
+        if let Some(hit) = cached {
+            return hit;
+        }
+        if reentrant {
+            return crate::apply::apply_must_not(alpha, goal);
+        }
+        self.in_progress.push(key);
+        let out = match goal {
+            Goal::Seq(gs) => match map_children_shared(gs, |g| self.apply_must_not(alpha, g)) {
+                Some(kids) => seq(kids),
+                None => goal.clone(),
+            },
+            Goal::Conc(gs) => match map_children_shared(gs, |g| self.apply_must_not(alpha, g)) {
+                Some(kids) => conc(kids),
+                None => goal.clone(),
+            },
+            Goal::Or(gs) => match map_children_shared(gs, |g| self.apply_must_not(alpha, g)) {
+                Some(kids) => or(kids),
+                None => goal.clone(),
+            },
+            Goal::Isolated(g) => {
+                let new = self.apply_must_not(alpha, g);
+                if new.ptr_eq(g) {
+                    goal.clone()
+                } else {
+                    isolated(new)
+                }
+            }
+            _ => unreachable!("leaves handled above"),
+        };
+        self.finish(key, out)
+    }
+
+    /// Tabled `sync(α<β, T)` at a fixed channel — bit-identical to
+    /// [`crate::apply::sync`]. The channel is part of the key; see the
+    /// module docs for why this stays deterministic.
+    pub fn sync(&mut self, alpha: Symbol, beta: Symbol, xi: Channel, goal: &Goal) -> Goal {
+        if !goal.may_mention(alpha) && !goal.may_mention(beta) {
+            return goal.clone();
+        }
+        match goal {
+            Goal::Seq(_) | Goal::Conc(_) | Goal::Or(_) | Goal::Isolated(_) => {}
+            _ => return crate::apply::sync(alpha, beta, xi, goal),
+        }
+        let id = self.table.intern(goal);
+        let key = (Op::Sync(alpha, beta, xi.0), id);
+        let (cached, reentrant) = self.probe(&key);
+        if let Some(hit) = cached {
+            return hit;
+        }
+        if reentrant {
+            return crate::apply::sync(alpha, beta, xi, goal);
+        }
+        self.in_progress.push(key);
+        let out = match goal {
+            Goal::Seq(gs) => match map_children_shared(gs, |g| self.sync(alpha, beta, xi, g)) {
+                Some(kids) => seq(kids),
+                None => goal.clone(),
+            },
+            Goal::Conc(gs) => match map_children_shared(gs, |g| self.sync(alpha, beta, xi, g)) {
+                Some(kids) => conc(kids),
+                None => goal.clone(),
+            },
+            Goal::Or(gs) => match map_children_shared(gs, |g| self.sync(alpha, beta, xi, g)) {
+                Some(kids) => or(kids),
+                None => goal.clone(),
+            },
+            Goal::Isolated(g) => {
+                let new = self.sync(alpha, beta, xi, g);
+                if new.ptr_eq(g) {
+                    goal.clone()
+                } else {
+                    isolated(new)
+                }
+            }
+            _ => unreachable!("leaves handled above"),
+        };
+        self.finish(key, out)
+    }
+
+    /// Tabled canonicalization — bit-identical to [`Goal::simplify`].
+    /// Tabled at whole-subtree granularity: on goals built by this crate's
+    /// own transformations the untabled walk is a pure check, so the win
+    /// is skipping repeated whole-tree checks across queries.
+    pub fn simplify(&mut self, goal: &Goal) -> Goal {
+        match goal {
+            Goal::Seq(_) | Goal::Conc(_) | Goal::Or(_) | Goal::Isolated(_) | Goal::Possible(_) => {}
+            _ => return goal.clone(),
+        }
+        let id = self.table.intern(goal);
+        let key = (Op::Simplify, id);
+        let (cached, reentrant) = self.probe(&key);
+        if let Some(hit) = cached {
+            return hit;
+        }
+        if reentrant {
+            return goal.simplify();
+        }
+        self.in_progress.push(key);
+        let out = goal.simplify();
+        self.finish(key, out)
+    }
+
+    /// Tabled `Apply(∇α ⊗ ∇β, T)` — bit-identical to
+    /// [`crate::apply::apply_order`]. Only the two channel-free stages are
+    /// tabled as such; the channel itself is drawn from `channels` exactly
+    /// like the untabled path, then keys the `sync` entry.
+    pub fn apply_order(
+        &mut self,
+        alpha: Symbol,
+        beta: Symbol,
+        goal: &Goal,
+        channels: &mut ChannelAlloc,
+    ) -> Goal {
+        if alpha == beta {
+            return Goal::NoPath;
+        }
+        let after_beta = self.apply_must(beta, goal);
+        let inner = self.apply_must(alpha, &after_beta);
+        if inner.is_nopath() {
+            return Goal::NoPath;
+        }
+        let xi = channels.fresh();
+        self.sync(alpha, beta, xi, &inner)
+    }
+
+    /// Tabled `Apply` of a single basic constraint — bit-identical to
+    /// [`crate::apply::apply_basic`].
+    pub fn apply_basic(&mut self, basic: &Basic, goal: &Goal, channels: &mut ChannelAlloc) -> Goal {
+        match *basic {
+            Basic::Must(e) => self.apply_must(e, goal),
+            Basic::MustNot(e) => self.apply_must_not(e, goal),
+            Basic::Order(a, b) => self.apply_order(a, b, goal, channels),
+        }
+    }
+
+    /// Tabled `Apply` of a conjunction of basics — bit-identical to
+    /// [`crate::apply::apply_conjunct`].
+    pub fn apply_conjunct(
+        &mut self,
+        conj: &Conjunct,
+        goal: &Goal,
+        channels: &mut ChannelAlloc,
+    ) -> Goal {
+        let Some((first, rest)) = conj.split_first() else {
+            return goal.clone();
+        };
+        let mut current = self.apply_basic(first, goal, channels);
+        for basic in rest {
+            if current.is_nopath() {
+                return Goal::NoPath;
+            }
+            current = self.apply_basic(basic, &current, channels);
+        }
+        current
+    }
+
+    /// Cached [`Constraint::normalize`]: constraint sets replay verbatim
+    /// across queries, so the normal form is computed once per distinct
+    /// constraint.
+    fn normal_form(&mut self, c: &Constraint) -> NormalForm {
+        if let Some(nf) = self.normal_forms.get(c) {
+            self.hits += 1;
+            return nf.clone();
+        }
+        self.misses += 1;
+        let nf = c.normalize();
+        self.normal_forms.insert(c.clone(), nf.clone());
+        nf
+    }
+
+    /// Tabled `Apply` of one normalized constraint — bit-identical to
+    /// [`crate::apply::apply_normal_form`]. Channel ranges are reserved per
+    /// disjunct exactly like the untabled compiler, so numbering matches.
+    pub fn apply_normal_form(
+        &mut self,
+        nf: &NormalForm,
+        goal: &Goal,
+        channels: &mut ChannelAlloc,
+    ) -> Goal {
+        let disjuncts = &nf.disjuncts;
+        if disjuncts.len() == 1 {
+            return self.apply_conjunct(&disjuncts[0], goal, channels);
+        }
+        let mut allocs: Vec<ChannelAlloc> = disjuncts
+            .iter()
+            .map(|conj| channels.reserve(order_budget(conj)))
+            .collect();
+        or(disjuncts
+            .iter()
+            .zip(allocs.iter_mut())
+            .map(|(conj, alloc)| self.apply_conjunct(conj, goal, alloc))
+            .collect())
+    }
+
+    /// Tabled `Apply(C, G)` for a whole constraint set — bit-identical to
+    /// [`crate::apply::apply_all`]. On a warm table, re-running an
+    /// unchanged constraint prefix costs one top-level hit per basic.
+    pub fn apply_all(
+        &mut self,
+        constraints: &[Constraint],
+        goal: &Goal,
+        channels: &mut ChannelAlloc,
+    ) -> Goal {
+        let Some((first, rest)) = constraints.split_first() else {
+            return goal.clone();
+        };
+        let nf = self.normal_form(first);
+        let mut current = self.apply_normal_form(&nf, goal, channels);
+        for c in rest {
+            if current.is_nopath() {
+                return Goal::NoPath;
+            }
+            let nf = self.normal_form(c);
+            current = self.apply_normal_form(&nf, &current, channels);
+        }
+        current
+    }
+
+    /// Tabled `Excise` with diagnostics — bit-identical to
+    /// [`crate::excise::excise_with_diagnostics`]. Results are cached per
+    /// choice-rooted-free region (the unit the untabled pass analyzes),
+    /// including the exact `G_fail` reports it would have appended.
+    pub fn excise_with_diagnostics(&mut self, goal: &Goal) -> ExciseResult {
+        let mut reports = Vec::new();
+        let mut guaranteed = true;
+        let out = self.excise_inner(goal, &mut reports, &mut guaranteed);
+        ExciseResult {
+            goal: self.simplify(&out),
+            reports,
+            guaranteed_knot_free: guaranteed,
+        }
+    }
+
+    /// Tabled `Excise` without diagnostics — bit-identical to
+    /// [`crate::excise::excise`].
+    pub fn excise(&mut self, goal: &Goal) -> Goal {
+        self.excise_with_diagnostics(goal).goal
+    }
+
+    fn excise_inner(
+        &mut self,
+        goal: &Goal,
+        reports: &mut Vec<KnotReport>,
+        guaranteed: &mut bool,
+    ) -> Goal {
+        // Distribution at a disjunctive root is exact (excise step 1), so
+        // each branch is its own tabling unit.
+        if let Goal::Or(gs) = goal {
+            return or(gs
+                .iter()
+                .map(|g| self.excise_inner(g, reports, guaranteed))
+                .collect());
+        }
+        match goal {
+            Goal::Seq(_) | Goal::Conc(_) | Goal::Isolated(_) | Goal::Possible(_) => {}
+            // Leaves carry no channel structure worth caching.
+            _ => return crate::excise::excise_inner(goal, reports, guaranteed),
+        }
+        let id = self.table.intern(goal);
+        if let Some(entry) = self.excise.get(&id) {
+            self.hits += 1;
+            reports.extend(entry.reports.iter().cloned());
+            *guaranteed &= entry.guaranteed;
+            return entry.goal.clone();
+        }
+        self.misses += 1;
+        let key = (Op::Simplify, id); // stack marker only; excise has its own table
+        if self.in_progress.contains(&key) {
+            self.reentries += 1;
+            return crate::excise::excise_inner(goal, reports, guaranteed);
+        }
+        self.in_progress.push(key);
+        let mut local_reports = Vec::new();
+        let mut local_guaranteed = true;
+        let out = crate::excise::excise_inner(goal, &mut local_reports, &mut local_guaranteed);
+        let popped = self.in_progress.pop();
+        debug_assert_eq!(popped, Some(key), "in-progress stack discipline");
+        reports.extend(local_reports.iter().cloned());
+        *guaranteed &= local_guaranteed;
+        self.excise.insert(
+            id,
+            ExciseEntry {
+                goal: out.clone(),
+                reports: local_reports,
+                guaranteed: local_guaranteed,
+            },
+        );
+        out
+    }
+
+    /// Tabled compilation of `G ∧ C` — bit-identical to
+    /// [`crate::analysis::compile_unchecked`] (the caller is responsible
+    /// for the unique-event property, as there).
+    pub fn compile_unchecked(&mut self, goal: &Goal, constraints: &[Constraint]) -> Compiled {
+        self.compile_seeded(
+            goal,
+            constraints,
+            ChannelAlloc::fresh_for(goal),
+            mentions_conditions(goal),
+        )
+    }
+
+    /// [`Memo::compile_unchecked`] with the channel scan and condition
+    /// test pre-computed — the [`Analyzer`] caches both per session so a
+    /// warm query never re-walks the input goal.
+    fn compile_seeded(
+        &mut self,
+        goal: &Goal,
+        constraints: &[Constraint],
+        mut channels: ChannelAlloc,
+        has_conditions: bool,
+    ) -> Compiled {
+        let applied = if constraints.is_empty() {
+            goal.clone()
+        } else {
+            self.apply_all(constraints, goal, &mut channels)
+        };
+        let applied_size = applied.size();
+        let excised = self.excise_with_diagnostics(&applied);
+        Compiled {
+            goal: excised.goal,
+            knots: excised.reports,
+            applied_size,
+            guaranteed_knot_free: excised.guaranteed_knot_free,
+            has_conditions,
+        }
+    }
+}
+
+/// A cross-query analysis session over one workflow goal and its
+/// constraint set.
+///
+/// Construction checks the unique-event property once; every query after
+/// that runs through the session's persistent [`Memo`], so repeated and
+/// incrementally edited queries replay shared work as table hits. All
+/// verdicts and compiled goals are bit-identical to the corresponding
+/// one-shot functions in [`crate::analysis`].
+pub struct Analyzer {
+    goal: Goal,
+    constraints: Vec<Constraint>,
+    memo: Memo,
+    /// `ChannelAlloc::fresh_for(goal)`, computed once (it walks the goal).
+    base_channels: ChannelAlloc,
+    /// `mentions_conditions(goal)`, computed once.
+    has_conditions: bool,
+    /// Compiled `G ∧ C`, invalidated by constraint edits.
+    compiled: Option<Compiled>,
+    /// Reusable query buffer: the constraint set plus a per-query suffix.
+    scratch: Vec<Constraint>,
+}
+
+impl Analyzer {
+    /// Opens a session. Fails (once) if `goal` violates the unique-event
+    /// property — the same precondition [`crate::analysis::compile`]
+    /// checks per call.
+    pub fn new(goal: &Goal, constraints: &[Constraint]) -> Result<Analyzer, CompileError> {
+        check_unique_events(goal).map_err(CompileError::NotUniqueEvent)?;
+        Ok(Analyzer {
+            base_channels: ChannelAlloc::fresh_for(goal),
+            has_conditions: mentions_conditions(goal),
+            goal: goal.clone(),
+            constraints: constraints.to_vec(),
+            memo: Memo::new(),
+            compiled: None,
+            scratch: Vec::with_capacity(constraints.len() + 1),
+        })
+    }
+
+    /// The workflow goal under analysis.
+    pub fn goal(&self) -> &Goal {
+        &self.goal
+    }
+
+    /// The current constraint set.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Memo-table counters for this session.
+    pub fn stats(&self) -> MemoStats {
+        self.memo.stats()
+    }
+
+    /// Resets the hit/miss counters (tables are kept warm).
+    pub fn reset_counters(&mut self) {
+        self.memo.reset_counters();
+    }
+
+    /// Compiles `goal ∧ extra` through the session tables, where `extra`
+    /// is the constraint set plus an optional per-query suffix.
+    fn query(&mut self, suffix: Option<Constraint>) -> Compiled {
+        self.scratch.clear();
+        self.scratch.extend(self.constraints.iter().cloned());
+        self.scratch.extend(suffix);
+        self.memo.compile_seeded(
+            &self.goal,
+            &self.scratch,
+            self.base_channels.clone(),
+            self.has_conditions,
+        )
+    }
+
+    /// The compiled `G ∧ C` — computed on first use, cached until a
+    /// constraint edit, bit-identical to [`crate::analysis::compile`].
+    pub fn compiled(&mut self) -> &Compiled {
+        if self.compiled.is_none() {
+            self.compiled = Some(self.query(None));
+        }
+        self.compiled.as_ref().expect("just computed")
+    }
+
+    /// Consistency (Theorem 5.8) of the current specification.
+    pub fn is_consistent(&mut self) -> bool {
+        self.compiled().is_consistent()
+    }
+
+    /// Verification (Theorem 5.9) — bit-identical to
+    /// [`crate::analysis::verify`], including the most-general
+    /// counterexample goal.
+    pub fn verify(&mut self, property: &Constraint) -> Verification {
+        let compiled = self.query(Some(Constraint::not(property.clone())));
+        if compiled.is_consistent() {
+            Verification::CounterExample(compiled.goal)
+        } else {
+            Verification::Holds
+        }
+    }
+
+    /// Verifies every property through the shared tables. The compiled
+    /// `G ∧ C` prefix replays as table hits from the second property on.
+    pub fn verify_all(&mut self, properties: &[Constraint]) -> Vec<Verification> {
+        properties.iter().map(|p| self.verify(p)).collect()
+    }
+
+    /// Activity classification — bit-identical to
+    /// [`crate::analysis::activity_report`].
+    pub fn activity_report(&mut self) -> Vec<(Symbol, ActivityStatus)> {
+        let compiled_goal = self.compiled().goal.clone();
+        let mut out = Vec::new();
+        for event in self.goal.events() {
+            let status = if compiled_goal.is_nopath()
+                || self.memo.apply_must(event, &compiled_goal).is_nopath()
+            {
+                ActivityStatus::Dead
+            } else {
+                let without = self.memo.apply_must_not(event, &compiled_goal);
+                if self.memo.excise(&without).is_nopath() {
+                    ActivityStatus::Mandatory
+                } else {
+                    ActivityStatus::Optional
+                }
+            };
+            out.push((event, status));
+        }
+        out
+    }
+
+    /// Execution-order relation between two activities — bit-identical to
+    /// [`crate::analysis::ordering`].
+    pub fn ordering(&mut self, a: Symbol, b: Symbol) -> Ordering {
+        let together = Constraint::and(vec![Constraint::Must(a), Constraint::Must(b)]);
+        if !self.query(Some(together)).is_consistent() {
+            return Ordering::NeverTogether;
+        }
+        let before = self.verify(&Constraint::klein_order(a, b)).holds();
+        let after = self.verify(&Constraint::klein_order(b, a)).holds();
+        match (before, after) {
+            (true, _) => Ordering::AlwaysBefore,
+            (false, true) => Ordering::AlwaysAfter,
+            (false, false) => Ordering::Unordered,
+        }
+    }
+
+    /// Greedy redundancy elimination — the same elimination order and
+    /// result as [`crate::analysis::minimize_constraints`], with every
+    /// `is_redundant` probe running through the warm tables. The session's
+    /// constraint set itself is left unchanged.
+    pub fn minimize_constraints(&mut self) -> Vec<usize> {
+        let mut retained: Vec<usize> = (0..self.constraints.len()).collect();
+        let mut kept = self.constraints.clone();
+        let mut i = 0;
+        while i < retained.len() {
+            // Probe set = kept − {i} followed by ¬φᵢ, built by moves: the
+            // same sequence `verify(goal, rest, φ)` would compile.
+            let phi = kept.remove(i);
+            kept.push(Constraint::not(phi));
+            let consistent = self
+                .memo
+                .compile_seeded(
+                    &self.goal,
+                    &kept,
+                    self.base_channels.clone(),
+                    self.has_conditions,
+                )
+                .is_consistent();
+            let Some(Constraint::Not(phi)) = kept.pop() else {
+                unreachable!("pushed ¬φ above");
+            };
+            if consistent {
+                // Some execution of the rest violates φ: not redundant.
+                kept.insert(i, *phi);
+                i += 1;
+            } else {
+                retained.remove(i);
+            }
+        }
+        retained
+    }
+
+    /// Appends a constraint, returning its index. Invalidates the cached
+    /// compile; the memo tables persist, so re-verification replays the
+    /// unchanged prefix as hits and only compiles the new suffix.
+    pub fn add_constraint(&mut self, constraint: Constraint) -> usize {
+        self.constraints.push(constraint);
+        self.compiled = None;
+        self.constraints.len() - 1
+    }
+
+    /// Removes and returns the constraint at `index` (panics if out of
+    /// range). Invalidates the cached compile; tables persist.
+    pub fn remove_constraint(&mut self, index: usize) -> Constraint {
+        let removed = self.constraints.remove(index);
+        self.compiled = None;
+        removed
+    }
+
+    /// Replaces the constraint at `index`, returning the old one (panics
+    /// if out of range). Invalidates the cached compile; tables persist,
+    /// so re-verification costs roughly the changed region: the prefix
+    /// before `index` replays as hits.
+    pub fn replace_constraint(&mut self, index: usize, constraint: Constraint) -> Constraint {
+        let old = std::mem::replace(&mut self.constraints[index], constraint);
+        self.compiled = None;
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::symbol::sym;
+
+    fn g(name: &str) -> Goal {
+        Goal::atom(name)
+    }
+
+    fn demo() -> (Goal, Vec<Constraint>) {
+        let goal = seq(vec![
+            g("a"),
+            conc(vec![g("b"), or(vec![g("c"), g("d")])]),
+            g("e"),
+        ]);
+        let constraints = vec![Constraint::order("b", "c"), Constraint::must_not("d")];
+        (goal, constraints)
+    }
+
+    #[test]
+    fn interner_shares_ids_for_equal_goals() {
+        let mut table = GoalTable::new();
+        let g1 = seq(vec![g("a"), g("b")]);
+        let g2 = seq(vec![g("a"), g("b")]); // equal, distinct Arc
+        let g3 = seq(vec![g("b"), g("a")]);
+        let id1 = table.intern(&g1);
+        assert_eq!(table.intern(&g2), id1);
+        assert_eq!(table.intern(&g1.clone()), id1, "Arc bump hits ptr_eq");
+        assert_ne!(table.intern(&g3), id1);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.resolve(id1), &g1);
+    }
+
+    #[test]
+    fn hash_collision_keeps_distinct_ids() {
+        // Force two structurally distinct goals through one bucket: the
+        // in-bucket equality check must keep them apart — hash equality
+        // alone is not identity.
+        let mut table = GoalTable::new();
+        let g1 = seq(vec![g("a"), g("b")]);
+        let g2 = conc(vec![g("x"), g("y")]);
+        let forced = 0xDEAD_BEEF;
+        let id1 = table.intern_hashed(&g1, forced);
+        let id2 = table.intern_hashed(&g2, forced);
+        assert_ne!(id1, id2);
+        assert_eq!(table.len(), 2);
+        // Re-interning under the same forced hash still resolves to the
+        // original ids.
+        assert_eq!(table.intern_hashed(&g1, forced), id1);
+        assert_eq!(table.intern_hashed(&g2, forced), id2);
+        assert_eq!(table.resolve(id1), &g1);
+        assert_eq!(table.resolve(id2), &g2);
+    }
+
+    #[test]
+    fn tabled_rewrites_match_untabled() {
+        let (goal, _) = demo();
+        let mut memo = Memo::new();
+        for event in ["a", "b", "c", "d", "e", "zzz"] {
+            let e = sym(event);
+            assert_eq!(
+                memo.apply_must(e, &goal),
+                crate::apply::apply_must(e, &goal)
+            );
+            assert_eq!(
+                memo.apply_must_not(e, &goal),
+                crate::apply::apply_must_not(e, &goal)
+            );
+        }
+        let xi = Channel(9);
+        assert_eq!(
+            memo.sync(sym("b"), sym("c"), xi, &goal),
+            crate::apply::sync(sym("b"), sym("c"), xi, &goal)
+        );
+        // Replaying an op answers from the table at the root.
+        let before = memo.stats();
+        assert_eq!(
+            memo.apply_must(sym("b"), &goal),
+            crate::apply::apply_must(sym("b"), &goal)
+        );
+        let after = memo.stats();
+        assert!(after.hits > before.hits, "replay hits the table");
+        assert_eq!(after.entries, before.entries, "replay adds no entries");
+        assert!(memo.in_progress.is_empty(), "stack fully unwound");
+    }
+
+    #[test]
+    fn tabled_compile_matches_untabled() {
+        let (goal, constraints) = demo();
+        let mut memo = Memo::new();
+        let tabled = memo.compile_unchecked(&goal, &constraints);
+        let untabled = analysis::compile(&goal, &constraints).unwrap();
+        assert_eq!(tabled.goal, untabled.goal);
+        assert_eq!(tabled.knots, untabled.knots);
+        assert_eq!(tabled.applied_size, untabled.applied_size);
+        assert_eq!(tabled.guaranteed_knot_free, untabled.guaranteed_knot_free);
+        assert_eq!(tabled.has_conditions, untabled.has_conditions);
+        // A verbatim replay is pure table hits at the top level.
+        let before = memo.stats();
+        let replay = memo.compile_unchecked(&goal, &constraints);
+        assert_eq!(replay.goal, untabled.goal);
+        let after = memo.stats();
+        assert!(after.hits > before.hits);
+        assert_eq!(
+            after.entries, before.entries,
+            "replay creates no new entries"
+        );
+    }
+
+    #[test]
+    fn analyzer_queries_match_one_shot_functions() {
+        let (goal, constraints) = demo();
+        let mut an = Analyzer::new(&goal, &constraints).unwrap();
+        let properties = [
+            Constraint::klein_order("b", "c"),
+            Constraint::klein_order("c", "b"),
+            Constraint::must("e"),
+            Constraint::must("d"),
+        ];
+        for p in &properties {
+            assert_eq!(
+                an.verify(p),
+                analysis::verify(&goal, &constraints, p).unwrap(),
+                "property {p}"
+            );
+        }
+        assert_eq!(
+            an.verify_all(&properties),
+            properties
+                .iter()
+                .map(|p| analysis::verify(&goal, &constraints, p).unwrap())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            an.activity_report(),
+            analysis::activity_report(&goal, &constraints).unwrap()
+        );
+        for (x, y) in [("a", "e"), ("b", "c"), ("c", "d")] {
+            assert_eq!(
+                an.ordering(sym(x), sym(y)),
+                analysis::ordering(&goal, &constraints, sym(x), sym(y)).unwrap(),
+                "ordering({x}, {y})"
+            );
+        }
+        assert!(an.stats().hits > 0);
+    }
+
+    #[test]
+    fn analyzer_minimize_matches_one_shot() {
+        let goal = conc(vec![g("a"), g("b"), g("c")]);
+        let constraints = vec![
+            Constraint::order("a", "b"),
+            Constraint::order("b", "c"),
+            Constraint::order("a", "c"),
+        ];
+        let mut an = Analyzer::new(&goal, &constraints).unwrap();
+        assert_eq!(
+            an.minimize_constraints(),
+            analysis::minimize_constraints(&goal, &constraints).unwrap()
+        );
+        assert_eq!(an.constraints(), &constraints[..], "set left unchanged");
+    }
+
+    #[test]
+    fn analyzer_incremental_edit_matches_recompile() {
+        let (goal, constraints) = demo();
+        let mut an = Analyzer::new(&goal, &constraints).unwrap();
+        assert!(an.is_consistent());
+
+        // Replace: demanding e before a contradicts the `⊗` backbone, so
+        // the edited spec is inconsistent.
+        let old = an.replace_constraint(0, Constraint::order("e", "a"));
+        assert_eq!(old, constraints[0]);
+        let edited = vec![Constraint::order("e", "a"), constraints[1].clone()];
+        assert_eq!(
+            an.compiled().goal,
+            analysis::compile(&goal, &edited).unwrap().goal
+        );
+        assert!(!an.is_consistent());
+
+        // Remove it again: back to the single must-not constraint.
+        an.remove_constraint(0);
+        assert_eq!(
+            an.compiled().goal,
+            analysis::compile(&goal, &constraints[1..]).unwrap().goal
+        );
+
+        // Add a fresh property and verify against the from-scratch path.
+        let idx = an.add_constraint(Constraint::must("c"));
+        assert_eq!(idx, 1);
+        let now = vec![constraints[1].clone(), Constraint::must("c")];
+        assert_eq!(
+            an.compiled().goal,
+            analysis::compile(&goal, &now).unwrap().goal
+        );
+        let p = Constraint::klein_order("b", "c");
+        assert_eq!(an.verify(&p), analysis::verify(&goal, &now, &p).unwrap());
+    }
+
+    #[test]
+    fn analyzer_rejects_non_unique_goals_once() {
+        let bad = seq(vec![g("a"), g("a")]);
+        assert!(matches!(
+            Analyzer::new(&bad, &[]),
+            Err(CompileError::NotUniqueEvent(_))
+        ));
+    }
+
+    #[test]
+    fn excise_diagnostics_are_cached_verbatim() {
+        // A knotted compile (paper Example 4): receive ⊗ β ⊗ α ⊗ send.
+        let t = or(vec![g("gamma"), seq(vec![g("beta"), g("alpha")])]);
+        let constraints = vec![Constraint::order("alpha", "beta")];
+        let mut memo = Memo::new();
+        let first = memo.compile_unchecked(&t, &constraints);
+        let reference = analysis::compile(&t, &constraints).unwrap();
+        assert_eq!(first.goal, reference.goal);
+        assert_eq!(first.knots, reference.knots);
+        assert!(!first.knots.is_empty(), "the knot is reported");
+        let replay = memo.compile_unchecked(&t, &constraints);
+        assert_eq!(replay.knots, reference.knots, "cached reports replay");
+    }
+
+    #[test]
+    fn stats_display_is_compact() {
+        let s = MemoStats {
+            hits: 3,
+            misses: 2,
+            entries: 4,
+            interned: 5,
+        };
+        assert_eq!(
+            s.to_string(),
+            "3 hits, 2 misses, 4 entries, 5 interned subgoals"
+        );
+    }
+}
