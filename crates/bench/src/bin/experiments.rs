@@ -42,6 +42,7 @@ fn main() {
     bench_compile_json(smoke);
     bench_exec_json(smoke);
     bench_verify_json(smoke);
+    bench_store_json(smoke);
     eprintln!("\n(total {:.1?})", t0.elapsed());
 }
 
@@ -1118,6 +1119,97 @@ fn bench_verify_json(smoke: bool) {
     let json = format!("[\n{}\n]\n", rows.join(",\n"));
     std::fs::write("BENCH_verify.json", &json).expect("write BENCH_verify.json");
     eprintln!("wrote BENCH_verify.json ({} workloads)", records.len());
+}
+
+/// Machine-readable record of the durability cost spectrum: the same
+/// instance-driving loop over three store configurations —
+/// `durability/mem` (in-memory journal, the ceiling), `durability/wal`
+/// (write-ahead log, one fsync per fired event), and
+/// `durability/wal_group` (write-ahead log, whole trace per
+/// `fire_batch`, i.e. group commit: one fsync per instance). The
+/// interesting columns are `fires_per_sec` and `fsyncs_per_fire` — group
+/// commit should recover most of the in-memory throughput while keeping
+/// every committed event durable.
+fn bench_store_json(smoke: bool) {
+    use ctr_runtime::{MemStore, Store, WalStore};
+    use std::sync::Arc;
+
+    const EVENTS: usize = 16;
+    let trace: Vec<String> = (0..EVENTS).map(|i| format!("e{i}")).collect();
+    let source = format!("workflow chain {{ graph {}; }}", trace.join(" * "));
+    let instances = if smoke { 16 } else { 128 };
+
+    struct Record {
+        name: &'static str,
+        instances: usize,
+        events: u64,
+        elapsed_ns: u128,
+        appends: u64,
+        fsyncs: u64,
+    }
+    let mut records: Vec<Record> = Vec::new();
+
+    let mut measure = |name: &'static str, store: Arc<dyn Store>, grouped: bool| {
+        let mut rt = Runtime::with_store(store);
+        rt.deploy_source(&source).expect("deploy chain");
+        let t0 = Instant::now();
+        for _ in 0..instances {
+            let id = rt.start("chain").expect("start");
+            if grouped {
+                rt.fire_batch(id, &trace).expect("fire_batch");
+            } else {
+                for event in &trace {
+                    rt.fire(id, event).expect("fire");
+                }
+            }
+            rt.try_complete(id).expect("complete");
+        }
+        let elapsed_ns = t0.elapsed().as_nanos();
+        let stats = rt.store_stats().expect("store attached");
+        records.push(Record {
+            name,
+            instances,
+            events: stats.events,
+            elapsed_ns,
+            appends: stats.appends,
+            fsyncs: stats.fsyncs,
+        });
+    };
+
+    measure("durability/mem", Arc::new(MemStore::new()), false);
+    let wal_dir = std::env::temp_dir().join(format!("ctr_bench_wal_{}", std::process::id()));
+    for (name, grouped) in [("durability/wal", false), ("durability/wal_group", true)] {
+        std::fs::remove_dir_all(&wal_dir).ok();
+        measure(
+            name,
+            Arc::new(WalStore::open(&wal_dir).expect("open wal")),
+            grouped,
+        );
+    }
+    std::fs::remove_dir_all(&wal_dir).ok();
+
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let secs = (r.elapsed_ns as f64 / 1e9).max(1e-9);
+            format!(
+                "  {{\"name\": \"{}\", \"instances\": {}, \"events\": {}, \
+                 \"elapsed_ns\": {}, \"appends\": {}, \"fsyncs\": {}, \
+                 \"fires_per_sec\": {:.0}, \"fsyncs_per_fire\": {:.4}}}",
+                r.name,
+                r.instances,
+                r.events,
+                r.elapsed_ns,
+                r.appends,
+                r.fsyncs,
+                r.events as f64 / secs,
+                r.fsyncs as f64 / r.events.max(1) as f64
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
+    eprintln!("wrote BENCH_store.json ({} workloads)", records.len());
 }
 
 /// The method surface the fleet benchmark drives, implemented by both the

@@ -449,6 +449,99 @@ pub fn cmd_enumerate(input: &str, limit: usize) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `ctr run --store <dir> <verb>`: one step of a durable workflow
+/// session. Every invocation opens the write-ahead store at `dir`
+/// (creating it on first use), replays it into a fresh runtime —
+/// recovery failure is a nonzero exit — applies the verb, and returns.
+/// All mutations (`deploy`, `start`, `fire`, `pump`) are durable before
+/// the command prints anything, so the session survives `kill -9`
+/// between (or during) invocations.
+pub fn cmd_run(dir: &str, verb: &str, rest: &[String]) -> Result<String, CliError> {
+    use ctr_runtime::{Runtime, Store, WalStore};
+    use std::sync::Arc;
+
+    let store: Arc<dyn Store> = Arc::new(
+        WalStore::open(dir).map_err(|e| CliError::analysis(format!("store `{dir}`: {e}\n")))?,
+    );
+    let mut rt = Runtime::open(Arc::clone(&store))
+        .map_err(|e| CliError::analysis(format!("recovery from `{dir}` failed: {e}\n")))?;
+    let step = |e: ctr_runtime::RuntimeError| CliError::analysis(format!("{e}\n"));
+
+    let mut out = String::new();
+    match (verb, rest) {
+        ("deploy", [path]) => {
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| CliError::usage(format!("cannot read `{path}`: {e}")))?;
+            let name = rt.deploy_source(&source).map_err(step)?;
+            let _ = writeln!(out, "deployed `{name}`");
+        }
+        ("start", [workflow]) => {
+            let id = rt.start(workflow).map_err(step)?;
+            let _ = writeln!(out, "started instance {id} of `{workflow}`");
+        }
+        ("fire", [id, events @ ..]) if !events.is_empty() => {
+            let id: u64 = id
+                .parse()
+                .map_err(|_| CliError::usage("fire needs a numeric instance id"))?;
+            for event in events {
+                rt.fire(id, event).map_err(step)?;
+            }
+            let status = rt.try_complete(id).map_err(step)?;
+            let journal = rt.journal(id).map_err(step)?;
+            let _ = writeln!(out, "instance {id} [{status}]: {}", journal.join(" "));
+        }
+        ("status", []) => out = rt.snapshot(),
+        ("status", [id]) => {
+            let id: u64 = id
+                .parse()
+                .map_err(|_| CliError::usage("status needs a numeric instance id"))?;
+            let status = rt.status(id).map_err(step)?;
+            let _ = writeln!(out, "instance {id} [{status}]");
+            let _ = writeln!(
+                out,
+                "  journal: {}",
+                rt.journal(id).map_err(step)?.join(" ")
+            );
+            let _ = writeln!(
+                out,
+                "  eligible: {}",
+                rt.eligible(id).map_err(step)?.join(" ")
+            );
+        }
+        ("snapshot", []) => {
+            rt.checkpoint().map_err(step)?;
+            out = rt.snapshot();
+        }
+        ("recover", []) => {
+            let _ = writeln!(
+                out,
+                "recovered `{dir}`: {} workflows, {} instances, {} replayed steps",
+                rt.workflows().len(),
+                rt.instances().len(),
+                rt.replayed_steps()
+            );
+            if let Some(stats) = rt.store_stats() {
+                let _ = writeln!(out, "store: {stats}");
+            }
+        }
+        ("pump", [workflow, count]) => {
+            let count: u64 = count
+                .parse()
+                .map_err(|_| CliError::usage("pump needs a numeric instance count"))?;
+            for _ in 0..count {
+                let id = rt.start(workflow).map_err(step)?;
+                while let Some(event) = rt.eligible(id).map_err(step)?.first().cloned() {
+                    rt.fire(id, &event).map_err(step)?;
+                }
+                rt.try_complete(id).map_err(step)?;
+            }
+            let _ = writeln!(out, "pumped {count} instances of `{workflow}`");
+        }
+        _ => return Err(CliError::usage(USAGE)),
+    }
+    Ok(out)
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 ctr — logic-based workflow analysis (PODS'98 CTR)
@@ -465,6 +558,13 @@ USAGE:
     ctr simulate  <spec.ctr> [-n RUNS]
     ctr enact     <spec.ctr> [--seed N] [--attempts N] [--timeout-ms N]
                              [--faults 'e=fail:2,f=panic:1,g=delay:5,h=vanish:1']
+    ctr run --store <dir> deploy <spec.ctr>     durable session over a WAL store:
+    ctr run --store <dir> start <workflow>      each verb recovers the runtime
+    ctr run --store <dir> fire <id> <event>...  from <dir>, applies, and persists
+    ctr run --store <dir> status [<id>]
+    ctr run --store <dir> snapshot              print + compact to a checkpoint
+    ctr run --store <dir> recover               recovery report (exit 1 on corruption)
+    ctr run --store <dir> pump <workflow> <n>   start+drive n instances to completion
 
 CONSTRAINT SYNTAX:
     exists(e)  absent(e)  before(a,b)  serial(a,b,c)
@@ -566,6 +666,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
             }
             cmd_enact(&read(path)?, &opts)
+        }
+        "run" => {
+            let [_, flag, dir, verb, rest @ ..] = args else {
+                return Err(CliError::usage(USAGE));
+            };
+            if flag != "--store" {
+                return Err(CliError::usage(USAGE));
+            }
+            cmd_run(dir, verb, rest)
         }
         "help" | "--help" | "-h" | "" => Ok(USAGE.to_owned()),
         other => Err(CliError::usage(format!(
@@ -835,6 +944,105 @@ mod tests {
         assert_eq!(err.code, 2);
         let err = run(&["check".into(), "/nonexistent/x.ctr".into()]).unwrap_err();
         assert!(err.message.contains("cannot read"));
+    }
+
+    /// Drives one `ctr run --store` invocation; every call is a fresh
+    /// process as far as the runtime is concerned (full reopen+replay).
+    fn session(dir: &std::path::Path, verb: &[&str]) -> Result<String, CliError> {
+        let mut args = vec![
+            "run".to_owned(),
+            "--store".to_owned(),
+            dir.display().to_string(),
+        ];
+        args.extend(verb.iter().map(|s| (*s).to_owned()));
+        run(&args)
+    }
+
+    #[test]
+    fn run_store_session_survives_reopen_between_every_verb() {
+        let dir = std::env::temp_dir().join(format!("ctr_cli_store_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = std::env::temp_dir().join("ctr_cli_store_spec.ctr");
+        std::fs::write(&spec, SPEC).unwrap();
+        let spec = spec.display().to_string();
+
+        assert!(session(&dir, &["deploy", &spec])
+            .unwrap()
+            .contains("deployed `demo`"));
+        assert!(session(&dir, &["start", "demo"])
+            .unwrap()
+            .contains("started instance 0 of `demo`"));
+        assert!(session(&dir, &["fire", "0", "a", "b"])
+            .unwrap()
+            .contains("instance 0 [running]: a b"));
+        let out = session(&dir, &["status"]).unwrap();
+        assert!(out.contains("instance 0 of demo [running]: a b"), "{out}");
+        let out = session(&dir, &["status", "0"]).unwrap();
+        assert!(out.contains("eligible: c"), "{out}");
+        // Compact, then keep going: the checkpoint must carry the state.
+        assert!(session(&dir, &["snapshot"])
+            .unwrap()
+            .contains("[running]: a b"));
+        assert!(session(&dir, &["fire", "0", "c", "d"])
+            .unwrap()
+            .contains("instance 0 [completed]: a b c d"));
+        let out = session(&dir, &["recover"]).unwrap();
+        assert!(out.contains("1 workflows, 1 instances"), "{out}");
+        assert!(out.contains("store:"), "{out}");
+        // A rejected event is an analysis error, not a panic — and the
+        // store still reopens cleanly afterwards (nothing half-written).
+        assert_eq!(session(&dir, &["fire", "0", "z"]).unwrap_err().code, 1);
+        assert!(session(&dir, &["status"]).unwrap().contains("[completed]"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_store_pump_drives_instances_to_completion() {
+        let dir = std::env::temp_dir().join(format!("ctr_cli_pump_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = std::env::temp_dir().join("ctr_cli_pump_spec.ctr");
+        std::fs::write(&spec, SPEC).unwrap();
+
+        session(&dir, &["deploy", &spec.display().to_string()]).unwrap();
+        let out = session(&dir, &["pump", "demo", "3"]).unwrap();
+        assert!(out.contains("pumped 3 instances of `demo`"), "{out}");
+        let out = session(&dir, &["recover"]).unwrap();
+        assert!(out.contains("3 instances"), "{out}");
+        assert_eq!(
+            session(&dir, &["status"])
+                .unwrap()
+                .matches("[completed]")
+                .count(),
+            3
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_store_recovery_failure_is_exit_code_1() {
+        let dir = std::env::temp_dir().join(format!("ctr_cli_corrupt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("checkpoint.snap"), "not a checkpoint\nbody").unwrap();
+        let err = session(&dir, &["status"]).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("checkpoint"), "{}", err.message);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_store_usage_errors_are_exit_code_2() {
+        let dir = std::env::temp_dir().join(format!("ctr_cli_usage_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let err = session(&dir, &["warble"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = session(&dir, &["fire", "zero", "a"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run(&["run".into(), "--shop".into(), "x".into(), "status".into()]).unwrap_err();
+        assert_eq!(err.code, 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

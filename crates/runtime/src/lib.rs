@@ -43,10 +43,12 @@ pub mod stats;
 use ctr::goal::Goal;
 use ctr::symbol::Symbol;
 use ctr_engine::scheduler::{Program, Scheduler};
+use ctr_store::Record;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+pub use ctr_store::{MemStore, Store, StoreError, StoreStats, WalStore};
 pub use enact::{
     AttemptOutcome, AttemptRecord, Backoff, ChoicePolicy, EnactError, EnactReport, Enactor, Fault,
     FaultPlan, Handler, RetryPolicy,
@@ -81,6 +83,13 @@ pub enum RuntimeError {
     AlreadyComplete(InstanceId),
     /// A snapshot could not be decoded.
     Snapshot(String),
+    /// The durable store rejected an operation (I/O failure or
+    /// unrecoverable corruption). The in-memory state it guards is
+    /// rolled back: a failed persist never leaves a half-committed fire.
+    Store(String),
+    /// A journal failed to replay against its deployed program — the
+    /// journal (or the program it was validated against) is corrupt.
+    Journal(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -103,6 +112,8 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::AlreadyComplete(id) => write!(f, "instance #{id} already completed"),
             RuntimeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            RuntimeError::Store(e) => write!(f, "store error: {e}"),
+            RuntimeError::Journal(e) => write!(f, "journal error: {e}"),
         }
     }
 }
@@ -116,6 +127,16 @@ pub enum InstanceStatus {
     Running,
     /// The workflow ran to completion.
     Completed,
+}
+
+impl fmt::Display for InstanceStatus {
+    /// The snapshot's status tag: `running` / `completed`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InstanceStatus::Running => "running",
+            InstanceStatus::Completed => "completed",
+        })
+    }
 }
 
 /// Per-event result of a batched fire ([`Runtime::fire_batch`],
@@ -139,18 +160,36 @@ pub enum FireOutcome {
 }
 
 pub(crate) struct Deployment {
-    /// The compiled, knot-free goal (source of truth for snapshots).
-    pub(crate) compiled: Goal,
+    /// The compiled goal rendered once in its concrete syntax — the
+    /// exact bytes both the snapshot line and the durable deploy record
+    /// use. Caching the render keeps snapshots (which compaction puts
+    /// on a hot-ish path) from re-walking the goal tree per call.
+    pub(crate) rendered: String,
     /// The scheduling arena, shared (`Arc`) with every instance cursor.
     pub(crate) program: Arc<Program>,
 }
 
 impl Deployment {
+    /// Compiles a goal into a deployment, caching its rendered text.
+    pub(crate) fn new(compiled: Goal) -> Result<Deployment, RuntimeError> {
+        let program =
+            Program::compile(&compiled).map_err(|e| RuntimeError::Compile(e.to_string()))?;
+        Ok(Deployment {
+            rendered: compiled.to_string(),
+            program: Arc::new(program),
+        })
+    }
+
     /// Appends this deployment's snapshot line. Both runtimes serialize
     /// through here, which is what keeps their formats byte-identical.
     pub(crate) fn snapshot_line(&self, out: &mut String, name: &str) {
         use std::fmt::Write as _;
-        let _ = writeln!(out, "workflow {name} := {}", self.compiled);
+        let _ = writeln!(out, "workflow {name} := {}", self.rendered);
+    }
+
+    /// Bytes [`Deployment::snapshot_line`] will append for `name`.
+    pub(crate) fn snapshot_len(&self, name: &str) -> usize {
+        "workflow  := \n".len() + name.len() + self.rendered.len()
     }
 }
 
@@ -163,6 +202,10 @@ pub(crate) struct Instance {
     pub(crate) workflow: String,
     pub(crate) journal: Vec<Symbol>,
     pub(crate) status: InstanceStatus,
+    /// The program this instance pinned at start — also held by
+    /// `cursor`, kept separately so the store-failure rollback path can
+    /// rebuild the cursor without resolving the deployment registry.
+    pub(crate) program: Arc<Program>,
     /// Cached cursor over the deployment's program: always equal to the
     /// state obtained by replaying `journal` against a fresh scheduler
     /// (replay is deterministic), but maintained incrementally.
@@ -172,7 +215,7 @@ pub(crate) struct Instance {
 impl Instance {
     /// A fresh instance of `workflow`, materializing its cursor once.
     pub(crate) fn new(workflow: String, program: Arc<Program>) -> Instance {
-        let cursor = Scheduler::new(program);
+        let cursor = Scheduler::new(Arc::clone(&program));
         let status = if cursor.is_complete() {
             InstanceStatus::Completed
         } else {
@@ -182,15 +225,20 @@ impl Instance {
             workflow,
             journal: Vec::new(),
             status,
+            program,
             cursor,
         }
     }
 
-    /// Fires one event; see [`Runtime::fire`].
+    /// Fires one event; see [`Runtime::fire`]. With a store attached
+    /// this is write-ahead: the event record must be durable before the
+    /// in-memory journal commits, and a failed persist rolls the cursor
+    /// back (by replaying the unchanged journal) so nothing half-fires.
     pub(crate) fn fire(
         &mut self,
         id: InstanceId,
         event: &str,
+        store: Option<&dyn Store>,
     ) -> Result<InstanceStatus, RuntimeError> {
         if self.status == InstanceStatus::Completed {
             return Err(RuntimeError::AlreadyComplete(id));
@@ -213,6 +261,16 @@ impl Instance {
                 eligible: self.eligible_names(),
             });
         }
+        if let Some(store) = store {
+            let record = Record::Events {
+                instance: id,
+                events: vec![event.to_owned()],
+            };
+            if let Err(e) = store.append(&record) {
+                self.rebuild_cursor(Arc::clone(&self.program))?;
+                return Err(RuntimeError::Store(e.to_string()));
+            }
+        }
         self.journal.push(symbol);
         if self.cursor.is_complete() {
             self.status = InstanceStatus::Completed;
@@ -222,12 +280,20 @@ impl Instance {
 
     /// Fires a batch of events in order, stopping at the first failure;
     /// see [`Runtime::fire_batch`]. The committed prefix reaches the
-    /// journal through a single `extend`.
+    /// journal through a single `extend` — and, with a store attached,
+    /// a single durable append: the whole batch is one group commit
+    /// (one fsync on the WAL backend). If that append fails, the batch
+    /// commits **nothing** — the cursor is rolled back by replay, the
+    /// first event reports [`RuntimeError::Store`], and the rest are
+    /// [`FireOutcome::Skipped`]. `Err` is reserved for a rollback that
+    /// itself finds the journal unreplayable.
     pub(crate) fn fire_batch<S: AsRef<str>>(
         &mut self,
         id: InstanceId,
         events: &[S],
-    ) -> Vec<FireOutcome> {
+        store: Option<&dyn Store>,
+    ) -> Result<Vec<FireOutcome>, RuntimeError> {
+        let status_before = self.status;
         let mut outcomes = Vec::with_capacity(events.len());
         let mut committed: Vec<Symbol> = Vec::with_capacity(events.len());
         for event in events {
@@ -259,12 +325,35 @@ impl Instance {
             }
             outcomes.push(FireOutcome::Fired(self.status));
         }
+        if let Some(store) = store {
+            if !committed.is_empty() {
+                let record = Record::Events {
+                    instance: id,
+                    events: committed.iter().map(|s| s.as_str().to_owned()).collect(),
+                };
+                if let Err(e) = store.append(&record) {
+                    self.rebuild_cursor(Arc::clone(&self.program))?;
+                    self.status = status_before;
+                    let mut failed = Vec::with_capacity(events.len());
+                    failed.push(FireOutcome::Rejected(RuntimeError::Store(e.to_string())));
+                    failed.resize(events.len(), FireOutcome::Skipped);
+                    return Ok(failed);
+                }
+            }
+        }
         self.journal.extend(committed);
-        outcomes
+        Ok(outcomes)
     }
 
-    /// Probes silent completion; see [`Runtime::try_complete`].
-    pub(crate) fn try_complete(&mut self) -> InstanceStatus {
+    /// Probes silent completion; see [`Runtime::try_complete`]. A
+    /// silent completion is the one status change replaying the event
+    /// journal cannot reproduce, so with a store attached it persists
+    /// its own [`Record::Complete`] — durably, before the status flips.
+    pub(crate) fn try_complete(
+        &mut self,
+        id: InstanceId,
+        store: Option<&dyn Store>,
+    ) -> Result<InstanceStatus, RuntimeError> {
         // Probe on a clone: silent advances are NOT journaled, so they
         // must not leak into the cached cursor either — the cache always
         // mirrors exactly what journal replay would produce. A silent
@@ -273,12 +362,19 @@ impl Instance {
         let mut probe = self.cursor.clone();
         loop {
             if probe.is_complete() {
-                self.status = InstanceStatus::Completed;
-                return InstanceStatus::Completed;
+                if self.status != InstanceStatus::Completed {
+                    if let Some(store) = store {
+                        store
+                            .append(&Record::Complete { instance: id })
+                            .map_err(|e| RuntimeError::Store(e.to_string()))?;
+                    }
+                    self.status = InstanceStatus::Completed;
+                }
+                return Ok(InstanceStatus::Completed);
             }
             let eligible = probe.eligible();
             let Some(silent) = eligible.iter().find(|c| !c.observable) else {
-                return self.status;
+                return Ok(self.status);
             };
             probe.fire(silent.node);
         }
@@ -314,33 +410,92 @@ impl Instance {
     }
 
     /// Appends this instance's snapshot line (shared serialization path;
-    /// see [`Deployment::snapshot_line`]).
+    /// see [`Deployment::snapshot_line`]). Writes the journal symbols
+    /// straight into `out` — no intermediate `Vec` or `join` allocation
+    /// per instance, which matters once compaction snapshots a large
+    /// fleet on the hot path.
     pub(crate) fn snapshot_line(&self, out: &mut String, id: InstanceId) {
         use std::fmt::Write as _;
-        let journal: Vec<&str> = self.journal.iter().map(|s| s.as_str()).collect();
-        let status = match self.status {
-            InstanceStatus::Running => "running",
-            InstanceStatus::Completed => "completed",
-        };
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "instance {id} of {} [{status}]: {}",
-            self.workflow,
-            journal.join(" ")
+            "instance {id} of {} [{}]: ",
+            self.workflow, self.status
         );
+        for (i, event) in self.journal.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(event.as_str());
+        }
+        out.push('\n');
     }
 
-    /// Rebuilds the cursor by replaying the journal against `program`;
-    /// returns the number of replayed events.
-    pub(crate) fn rebuild_cursor(&mut self, program: Arc<Program>) -> u64 {
-        let mut cursor = Scheduler::new(program);
+    /// Bytes [`Instance::snapshot_line`] will append for `id` (the
+    /// status is sized at its longer variant; a one-byte-per-instance
+    /// overshoot is fine for a reserve hint).
+    pub(crate) fn snapshot_len(&self, id: InstanceId) -> usize {
+        let id_digits = if id == 0 { 1 } else { id.ilog10() as usize + 1 };
+        "instance  of  [completed]: \n".len()
+            + id_digits
+            + self.workflow.len()
+            + self
+                .journal
+                .iter()
+                .map(|s| s.as_str().len() + 1)
+                .sum::<usize>()
+    }
+
+    /// Rebuilds the cursor by replaying the journal against `program`,
+    /// re-pinning the instance to it; returns the number of replayed
+    /// events. A journal that no longer replays — corrupt storage, or a
+    /// program that does not match the one the journal was validated
+    /// against — is a typed [`RuntimeError::Journal`] error, and the
+    /// instance keeps its previous cursor untouched. (This used to be a
+    /// `debug_assert!`, i.e. silent cursor corruption in release builds;
+    /// with journals coming back from disk it must be a real error.)
+    pub(crate) fn rebuild_cursor(&mut self, program: Arc<Program>) -> Result<u64, RuntimeError> {
+        let mut cursor = Scheduler::new(Arc::clone(&program));
         for &event in &self.journal {
-            // The journal was validated when appended; replay cannot fail.
-            let fired = cursor.fire_event(event);
-            debug_assert!(fired, "journal replay diverged");
+            if !cursor.fire_event(event) {
+                return Err(RuntimeError::Journal(format!(
+                    "replay diverged: journaled event `{}` is not eligible under the deployed program",
+                    event.as_str()
+                )));
+            }
         }
+        self.program = program;
         self.cursor = cursor;
-        self.journal.len() as u64
+        Ok(self.journal.len() as u64)
+    }
+}
+
+/// Renders the canonical snapshot text into `out`, clearing it first —
+/// the single serialization path under [`Runtime::snapshot`],
+/// [`SharedRuntime::snapshot`], and both checkpoints, which is what
+/// keeps their bytes identical. The buffer is pre-sized in one counting
+/// pass, so a caller reusing one `String` across snapshots settles into
+/// a single steady-state allocation.
+pub(crate) fn render_snapshot<'a, D, I>(deployments: D, instances: I, out: &mut String)
+where
+    D: Iterator<Item = (&'a String, &'a Deployment)> + Clone,
+    I: Iterator<Item = (InstanceId, &'a Instance)> + Clone,
+{
+    out.clear();
+    let mut len = SNAPSHOT_HEADER.len() + 1;
+    for (name, d) in deployments.clone() {
+        len += d.snapshot_len(name);
+    }
+    for (id, inst) in instances.clone() {
+        len += inst.snapshot_len(id);
+    }
+    out.reserve(len);
+    out.push_str(SNAPSHOT_HEADER);
+    out.push('\n');
+    for (name, d) in deployments {
+        d.snapshot_line(out, name);
+    }
+    for (id, inst) in instances {
+        inst.snapshot_line(out, id);
     }
 }
 
@@ -354,12 +509,111 @@ pub struct Runtime {
     /// Stays 0 in steady state; grows only on [`Runtime::restore`] and
     /// explicit [`Runtime::invalidate`].
     pub(crate) replayed: u64,
+    /// The durability backend, if any. `None` (the default) keeps every
+    /// path purely in-memory with zero overhead; with a store attached,
+    /// every deploy, start, fire, and silent completion is appended
+    /// *before* the in-memory commit (write-ahead discipline).
+    pub(crate) store: Option<Arc<dyn Store>>,
 }
 
 impl Runtime {
     /// An empty runtime.
     pub fn new() -> Runtime {
         Runtime::default()
+    }
+
+    /// An empty runtime persisting through `store`. Anything the store
+    /// already holds is ignored — use [`Runtime::open`] to recover.
+    pub fn with_store(store: Arc<dyn Store>) -> Runtime {
+        Runtime {
+            store: Some(store),
+            ..Runtime::default()
+        }
+    }
+
+    /// Recovers a runtime from everything `store` retained — the latest
+    /// checkpoint snapshot first, then every post-checkpoint record in
+    /// append order, each re-validated exactly like a live call (replayed
+    /// fires count toward [`Runtime::replayed_steps`]). The store is
+    /// attached only after replay, so recovery never re-appends its own
+    /// input. Fails with [`RuntimeError::Store`] if the store cannot be
+    /// read, or a replay-level error if its contents do not re-validate.
+    pub fn open(store: Arc<dyn Store>) -> Result<Runtime, RuntimeError> {
+        let replay = store
+            .replay()
+            .map_err(|e| RuntimeError::Store(e.to_string()))?;
+        let mut rt = match &replay.snapshot {
+            Some(snapshot) => Runtime::restore(snapshot)?,
+            None => Runtime::new(),
+        };
+        for record in replay.records {
+            match record {
+                Record::Deploy { name, goal } => {
+                    let goal = ctr_parser::parse_goal(&goal).map_err(|e| {
+                        RuntimeError::Journal(format!("deploy record for `{name}`: {e}"))
+                    })?;
+                    rt.deploy_compiled(&name, goal)?;
+                }
+                Record::Start { instance, workflow } => {
+                    rt.adopt_instance(instance, &workflow)?;
+                }
+                Record::Events { instance, events } => {
+                    for event in &events {
+                        rt.fire(instance, event).map_err(|e| {
+                            RuntimeError::Journal(format!(
+                                "instance {instance}: replaying event `{event}`: {e}"
+                            ))
+                        })?;
+                        rt.replayed += 1;
+                    }
+                }
+                Record::Complete { instance } => {
+                    rt.try_complete(instance)?;
+                }
+            }
+        }
+        rt.store = Some(store);
+        Ok(rt)
+    }
+
+    /// Compacts the attached store: freezes the current state as a text
+    /// snapshot (the ordinary [`Runtime::snapshot`] bytes) and lets the
+    /// store truncate every record the snapshot covers. Errors if no
+    /// store is attached.
+    pub fn checkpoint(&mut self) -> Result<(), RuntimeError> {
+        let Some(store) = &self.store else {
+            return Err(RuntimeError::Store(
+                "no store attached to checkpoint into".to_owned(),
+            ));
+        };
+        let mut out = String::new();
+        render_snapshot(
+            self.deployments.iter().map(|(n, d)| (n, &**d)),
+            self.instances.iter().map(|(id, inst)| (*id, inst)),
+            &mut out,
+        );
+        store
+            .checkpoint(&out)
+            .map_err(|e| RuntimeError::Store(e.to_string()))
+    }
+
+    /// Adopts an instance under a caller-chosen id — the recovery path
+    /// for durable [`Record::Start`] records, which must reproduce the
+    /// exact ids clients were given before the crash.
+    fn adopt_instance(&mut self, id: InstanceId, workflow: &str) -> Result<(), RuntimeError> {
+        let deployment = self
+            .deployments
+            .get(workflow)
+            .ok_or_else(|| RuntimeError::UnknownWorkflow(workflow.to_owned()))?;
+        if self.instances.contains_key(&id) {
+            return Err(RuntimeError::Journal(format!(
+                "duplicate start record for instance {id}"
+            )));
+        }
+        let instance = Instance::new(workflow.to_owned(), Arc::clone(&deployment.program));
+        self.instances.insert(id, instance);
+        self.next_id = self.next_id.max(id + 1);
+        Ok(())
     }
 
     /// Deploys a specification from its textual source. Compiles the
@@ -386,15 +640,17 @@ impl Runtime {
     /// running instances keep (and share, via `Arc`) the program they
     /// were started with.
     pub fn deploy_compiled(&mut self, name: &str, compiled: Goal) -> Result<(), RuntimeError> {
-        let program =
-            Program::compile(&compiled).map_err(|e| RuntimeError::Compile(e.to_string()))?;
-        self.deployments.insert(
-            name.to_owned(),
-            Arc::new(Deployment {
-                compiled,
-                program: Arc::new(program),
-            }),
-        );
+        let deployment = Deployment::new(compiled)?;
+        if let Some(store) = &self.store {
+            store
+                .append(&Record::Deploy {
+                    name: name.to_owned(),
+                    goal: deployment.rendered.clone(),
+                })
+                .map_err(|e| RuntimeError::Store(e.to_string()))?;
+        }
+        self.deployments
+            .insert(name.to_owned(), Arc::new(deployment));
         Ok(())
     }
 
@@ -412,7 +668,15 @@ impl Runtime {
             .ok_or_else(|| RuntimeError::UnknownWorkflow(workflow.to_owned()))?;
         let instance = Instance::new(workflow.to_owned(), Arc::clone(&deployment.program));
         let id = self.next_id;
-        self.next_id += 1;
+        if let Some(store) = &self.store {
+            store
+                .append(&Record::Start {
+                    instance: id,
+                    workflow: workflow.to_owned(),
+                })
+                .map_err(|e| RuntimeError::Store(e.to_string()))?;
+        }
+        self.next_id = id + 1;
         self.instances.insert(id, instance);
         Ok(id)
     }
@@ -428,12 +692,6 @@ impl Runtime {
             .ok_or(RuntimeError::UnknownInstance(id))
     }
 
-    fn instance_mut(&mut self, id: InstanceId) -> Result<&mut Instance, RuntimeError> {
-        self.instances
-            .get_mut(&id)
-            .ok_or(RuntimeError::UnknownInstance(id))
-    }
-
     /// Total journal events re-fired to (re)materialize cursors. Zero in
     /// steady state — `eligible`/`fire`/`try_complete` use the cached
     /// incremental cursor; only [`Runtime::restore`] and
@@ -445,7 +703,10 @@ impl Runtime {
     /// Discards the cached cursor of `id` and rebuilds it by replaying
     /// the journal from scratch — the crash-recovery code path, exposed
     /// so it can be exercised (and its equivalence with the incremental
-    /// cursor asserted) directly.
+    /// cursor asserted) directly. A journal the *current* deployment
+    /// cannot replay (e.g. the name was re-deployed with an incompatible
+    /// body) is a typed [`RuntimeError::Journal`] error and leaves the
+    /// instance's cursor untouched.
     pub fn invalidate(&mut self, id: InstanceId) -> Result<(), RuntimeError> {
         let inst = self
             .instances
@@ -455,7 +716,7 @@ impl Runtime {
             .deployments
             .get(&inst.workflow)
             .ok_or_else(|| RuntimeError::UnknownWorkflow(inst.workflow.clone()))?;
-        let replayed = inst.rebuild_cursor(Arc::clone(&deployment.program));
+        let replayed = inst.rebuild_cursor(Arc::clone(&deployment.program))?;
         self.replayed += replayed;
         Ok(())
     }
@@ -482,7 +743,11 @@ impl Runtime {
     /// cached cursor in place: per-fire work is independent of the
     /// journal length.
     pub fn fire(&mut self, id: InstanceId, event: &str) -> Result<InstanceStatus, RuntimeError> {
-        self.instance_mut(id)?.fire(id, event)
+        let store = self.store.as_deref();
+        self.instances
+            .get_mut(&id)
+            .ok_or(RuntimeError::UnknownInstance(id))?
+            .fire(id, event, store)
     }
 
     /// Fires a batch of events against one instance in order, under a
@@ -500,14 +765,22 @@ impl Runtime {
         id: InstanceId,
         events: &[S],
     ) -> Result<Vec<FireOutcome>, RuntimeError> {
-        Ok(self.instance_mut(id)?.fire_batch(id, events))
+        let store = self.store.as_deref();
+        self.instances
+            .get_mut(&id)
+            .ok_or(RuntimeError::UnknownInstance(id))?
+            .fire_batch(id, events, store)
     }
 
     /// Tries to finish an instance through silent steps only (committing
     /// `∨`-branches made of bookkeeping, e.g. an optional tail that was
     /// compiled away). Returns the resulting status.
     pub fn try_complete(&mut self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
-        Ok(self.instance_mut(id)?.try_complete())
+        let store = self.store.as_deref();
+        self.instances
+            .get_mut(&id)
+            .ok_or(RuntimeError::UnknownInstance(id))?
+            .try_complete(id, store)
     }
 
     /// Enacts a deployed workflow with the given [`Enactor`]: dispatches
@@ -553,15 +826,22 @@ impl Runtime {
     /// the concrete syntax, instances as journals — into a line-based
     /// textual snapshot.
     pub fn snapshot(&self) -> String {
-        let mut out = String::from(SNAPSHOT_HEADER);
-        out.push('\n');
-        for (name, d) in &self.deployments {
-            d.snapshot_line(&mut out, name);
-        }
-        for (id, inst) in &self.instances {
-            inst.snapshot_line(&mut out, *id);
-        }
+        let mut out = String::new();
+        self.snapshot_into(&mut out);
         out
+    }
+
+    /// [`Runtime::snapshot`] into a caller-owned buffer: the buffer is
+    /// cleared, pre-sized from the deployment renders and journal
+    /// lengths, and filled — so a loop snapshotting repeatedly (e.g.
+    /// periodic compaction) reuses one allocation instead of growing a
+    /// fresh `String` through repeated doublings each time.
+    pub fn snapshot_into(&self, out: &mut String) {
+        render_snapshot(
+            self.deployments.iter().map(|(n, d)| (n, &**d)),
+            self.instances.iter().map(|(id, inst)| (*id, inst)),
+            out,
+        );
     }
 
     /// Restores a runtime from a snapshot, re-validating every journal by
@@ -927,6 +1207,140 @@ mod tests {
         }
         // The instance is untouched and still fires known events.
         rt.fire(id, "invoice").unwrap();
+    }
+
+    #[test]
+    fn mem_store_path_is_bit_identical_to_storeless() {
+        // Attaching MemStore must not change a single observable byte:
+        // same ids, same outcomes, same snapshot.
+        let mut stored = Runtime::with_store(Arc::new(MemStore::new()));
+        let mut plain = Runtime::new();
+        for rt in [&mut stored, &mut plain] {
+            rt.deploy_source(PAY).unwrap();
+        }
+        for _ in 0..3 {
+            assert_eq!(stored.start("pay").unwrap(), plain.start("pay").unwrap());
+        }
+        let events = ["invoice", "approve", "file"];
+        assert_eq!(
+            stored.fire_batch(0, &events).unwrap(),
+            plain.fire_batch(0, &events).unwrap()
+        );
+        assert_eq!(
+            stored.fire(1, "invoice").unwrap(),
+            plain.fire(1, "invoice").unwrap()
+        );
+        assert_eq!(stored.snapshot(), plain.snapshot());
+        let stats = stored.store_stats().unwrap();
+        assert_eq!(
+            stats.appends,
+            1 + 3 + 2,
+            "deploy + starts + two event groups"
+        );
+        assert_eq!(stats.events, 4);
+        assert_eq!(stats.max_group, 3);
+        assert_eq!(plain.store_stats(), None);
+    }
+
+    #[test]
+    fn open_recovers_the_full_fleet_from_records() {
+        let store = Arc::new(MemStore::new());
+        let snap_before;
+        {
+            let mut rt = Runtime::with_store(Arc::clone(&store) as Arc<dyn ctr_store::Store>);
+            rt.deploy_source(PAY).unwrap();
+            let i1 = rt.start("pay").unwrap();
+            let i2 = rt.start("pay").unwrap();
+            rt.fire_batch(i1, &["invoice", "approve", "file"]).unwrap();
+            rt.fire(i2, "invoice").unwrap();
+            snap_before = rt.snapshot();
+        }
+        // "Crash": drop the runtime, recover purely from the store.
+        let rt = Runtime::open(store).unwrap();
+        assert_eq!(rt.snapshot(), snap_before);
+        assert!(rt.is_complete(0).unwrap());
+        assert_eq!(rt.replayed_steps(), 4, "recovery replays every fire");
+        // Recovered runtimes keep persisting: new ids continue the line.
+        let mut rt = rt;
+        assert_eq!(rt.start("pay").unwrap(), 2);
+    }
+
+    #[test]
+    fn open_recovers_silent_completion_via_complete_record() {
+        let goal = ctr::goal::seq(vec![
+            Goal::atom("a"),
+            ctr::goal::or(vec![Goal::Send(ctr::goal::Channel(0)), Goal::atom("b")]),
+        ]);
+        let store = Arc::new(MemStore::new());
+        {
+            let mut rt = Runtime::with_store(Arc::clone(&store) as Arc<dyn ctr_store::Store>);
+            rt.deploy_compiled("opt", goal).unwrap();
+            let id = rt.start("opt").unwrap();
+            rt.fire(id, "a").unwrap();
+            assert_eq!(rt.try_complete(id).unwrap(), InstanceStatus::Completed);
+        }
+        let rt = Runtime::open(store).unwrap();
+        assert!(rt.is_complete(0).unwrap(), "silent completion survives");
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_reopens_identically() {
+        let store = Arc::new(MemStore::new());
+        let mut rt = Runtime::with_store(Arc::clone(&store) as Arc<dyn ctr_store::Store>);
+        rt.deploy_source(PAY).unwrap();
+        let id = rt.start("pay").unwrap();
+        rt.fire(id, "invoice").unwrap();
+        rt.checkpoint().unwrap();
+        // Post-checkpoint traffic lands as fresh records.
+        rt.fire(id, "approve").unwrap();
+        let snap = rt.snapshot();
+        drop(rt);
+        let replay = store.replay().unwrap();
+        assert!(replay.snapshot.is_some(), "checkpoint installed a baseline");
+        assert_eq!(replay.records.len(), 1, "only the post-checkpoint fire");
+        let rt = Runtime::open(store).unwrap();
+        assert_eq!(rt.snapshot(), snap);
+    }
+
+    #[test]
+    fn storeless_checkpoint_is_a_typed_error() {
+        let mut rt = runtime_with_pay();
+        assert!(matches!(rt.checkpoint(), Err(RuntimeError::Store(_))));
+    }
+
+    #[test]
+    fn diverged_journal_rebuild_is_a_typed_error_not_a_debug_assert() {
+        // Re-deploy an incompatible body, then ask the instance to
+        // rebuild from its (now unreplayable) journal: this used to be
+        // a debug_assert! — a panic in debug builds, silent cursor
+        // corruption in release. It must be a typed Journal error.
+        let mut rt = runtime_with_pay();
+        let id = rt.start("pay").unwrap();
+        rt.fire(id, "invoice").unwrap();
+        rt.fire(id, "approve").unwrap();
+        rt.deploy_source("workflow pay { graph other * things; }")
+            .unwrap();
+        let err = rt.invalidate(id).unwrap_err();
+        assert!(matches!(err, RuntimeError::Journal(_)), "got {err:?}");
+        // The failed rebuild left the old cursor untouched and usable.
+        assert_eq!(rt.eligible(id).unwrap(), vec!["file".to_owned()]);
+        rt.fire(id, "file").unwrap();
+        assert!(rt.is_complete(id).unwrap());
+    }
+
+    #[test]
+    fn snapshot_into_reuses_the_buffer() {
+        let mut rt = runtime_with_pay();
+        let id = rt.start("pay").unwrap();
+        rt.fire(id, "invoice").unwrap();
+        let expected = rt.snapshot();
+        let mut buf = String::from("stale content from a previous use");
+        rt.snapshot_into(&mut buf);
+        assert_eq!(buf, expected);
+        let cap = buf.capacity();
+        rt.snapshot_into(&mut buf);
+        assert_eq!(buf, expected);
+        assert_eq!(buf.capacity(), cap, "steady state allocates nothing");
     }
 
     #[test]

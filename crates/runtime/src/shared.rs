@@ -46,9 +46,10 @@
 //! correct) as the measured baseline for the `fleet_mt` benchmark family
 //! in `BENCH_exec.json`.
 
-use crate::SNAPSHOT_HEADER;
+use crate::render_snapshot;
 use crate::{Deployment, FireOutcome, Instance, InstanceId, InstanceStatus, Runtime, RuntimeError};
 use ctr::symbol::Symbol;
+use ctr_store::Store;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
@@ -81,6 +82,12 @@ struct Inner {
     /// Replay work counter, aggregated across instances (see
     /// [`Runtime::replayed_steps`]).
     replayed: AtomicU64,
+    /// Durability backend shared by every shard; immutable for the life
+    /// of the handle, so reads need no lock. The WAL backend stripes
+    /// its segments by the same `id % SHARD_COUNT` rule as the instance
+    /// table, so two instances on different shards never contend on a
+    /// log stripe either.
+    pub(crate) store: Option<Arc<dyn Store>>,
 }
 
 /// A cloneable, `Send + Sync`, sharded handle to a workflow runtime.
@@ -99,6 +106,7 @@ impl Default for Inner {
             shards: std::array::from_fn(|_| Shard::default()),
             next_id: AtomicU64::new(0),
             replayed: AtomicU64::new(0),
+            store: None,
         }
     }
 }
@@ -134,10 +142,16 @@ impl SharedRuntime {
         SharedRuntime::default()
     }
 
-    /// Adopts the state of an existing single-threaded runtime,
-    /// distributing its instances over the shards.
+    /// Adopts the state of an existing single-threaded runtime —
+    /// including its attached store, if any — distributing its
+    /// instances over the shards.
     pub fn from_runtime(rt: Runtime) -> SharedRuntime {
-        let shared = SharedRuntime::new();
+        let shared = SharedRuntime {
+            inner: Arc::new(Inner {
+                store: rt.store,
+                ..Inner::default()
+            }),
+        };
         *shared
             .inner
             .registry
@@ -157,12 +171,28 @@ impl SharedRuntime {
         Ok(SharedRuntime::from_runtime(Runtime::restore(snapshot)?))
     }
 
+    /// An empty sharded runtime persisting through `store`; see
+    /// [`Runtime::with_store`].
+    pub fn with_store(store: Arc<dyn Store>) -> SharedRuntime {
+        SharedRuntime::from_runtime(Runtime::with_store(store))
+    }
+
+    /// Recovers a sharded runtime from `store` — see [`Runtime::open`]
+    /// — then distributes the recovered fleet over the shards with the
+    /// store attached.
+    pub fn open(store: Arc<dyn Store>) -> Result<SharedRuntime, RuntimeError> {
+        Ok(SharedRuntime::from_runtime(Runtime::open(store)?))
+    }
+
     /// See [`Runtime::deploy_source`]. Parsing and compilation run
     /// outside any lock; only the registry insert takes the write lock.
+    /// With a store attached the deploy record is durable before the
+    /// registry exposes the deployment.
     pub fn deploy_source(&self, source: &str) -> Result<String, RuntimeError> {
         let mut staging = Runtime::new();
         let name = staging.deploy_source(source)?;
         let deployment = staging.deployments.remove(&name).expect("just deployed");
+        self.persist_deploy(&name, &deployment)?;
         self.inner
             .registry
             .write()
@@ -181,11 +211,27 @@ impl SharedRuntime {
         let mut staging = Runtime::new();
         staging.deploy_compiled(name, compiled)?;
         let deployment = staging.deployments.remove(name).expect("just deployed");
+        self.persist_deploy(name, &deployment)?;
         self.inner
             .registry
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(name.to_owned(), deployment);
+        Ok(())
+    }
+
+    /// Write-ahead append of a deploy record (no-op without a store).
+    /// The staging runtime above is store-less on purpose: the record is
+    /// appended exactly once, here.
+    fn persist_deploy(&self, name: &str, deployment: &Deployment) -> Result<(), RuntimeError> {
+        if let Some(store) = &self.inner.store {
+            store
+                .append(&ctr_store::Record::Deploy {
+                    name: name.to_owned(),
+                    goal: deployment.rendered.clone(),
+                })
+                .map_err(|e| RuntimeError::Store(e.to_string()))?;
+        }
         Ok(())
     }
 
@@ -201,11 +247,24 @@ impl SharedRuntime {
     }
 
     /// See [`Runtime::start`]. Takes the registry read lock (shared with
-    /// other starters) and one shard lock for the insert.
+    /// other starters) and one shard lock for the insert. With a store
+    /// attached the start record is durable before the instance becomes
+    /// visible — so any event subsequently fired on it lands in the log
+    /// strictly after its start (same stripe, later sequence number). A
+    /// failed persist burns the allocated id, which is harmless: ids
+    /// only ever need to be unique and monotonic.
     pub fn start(&self, workflow: &str) -> Result<InstanceId, RuntimeError> {
         let deployment = self.inner.deployment(workflow)?;
         let instance = Instance::new(workflow.to_owned(), Arc::clone(&deployment.program));
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.inner.store {
+            store
+                .append(&ctr_store::Record::Start {
+                    instance: id,
+                    workflow: workflow.to_owned(),
+                })
+                .map_err(|e| RuntimeError::Store(e.to_string()))?;
+        }
         lock(&self.inner.shard(id).instances).insert(id, Arc::new(Mutex::new(instance)));
         Ok(id)
     }
@@ -224,7 +283,7 @@ impl SharedRuntime {
     /// this instance*; clients of other instances proceed concurrently.
     pub fn fire(&self, id: InstanceId, event: &str) -> Result<InstanceStatus, RuntimeError> {
         let cell = self.inner.instance(id)?;
-        let result = lock(&cell).fire(id, event);
+        let result = lock(&cell).fire(id, event, self.inner.store.as_deref());
         result
     }
 
@@ -241,8 +300,8 @@ impl SharedRuntime {
         events: &[S],
     ) -> Result<Vec<FireOutcome>, RuntimeError> {
         let cell = self.inner.instance(id)?;
-        let outcomes = lock(&cell).fire_batch(id, events);
-        Ok(outcomes)
+        let outcomes = lock(&cell).fire_batch(id, events, self.inner.store.as_deref());
+        outcomes
     }
 
     /// Fires a mixed batch of `(instance, event)` pairs, amortizing lock
@@ -311,9 +370,25 @@ impl SharedRuntime {
                 Some(cell) => {
                     events.clear();
                     events.extend(positions.iter().map(|&i| batch[i].1.as_ref()));
-                    let per = lock(cell).fire_batch(id, &events);
-                    for (&i, outcome) in positions.iter().zip(per) {
-                        outcomes[i] = Some(outcome);
+                    match lock(cell).fire_batch(id, &events, self.inner.store.as_deref()) {
+                        Ok(per) => {
+                            for (&i, outcome) in positions.iter().zip(per) {
+                                outcomes[i] = Some(outcome);
+                            }
+                        }
+                        // The rollback itself failed (unreplayable
+                        // journal): surface it on this instance's first
+                        // position, skip the rest, and leave the other
+                        // instances' sub-batches to proceed.
+                        Err(e) => {
+                            let mut first = Some(e);
+                            for &i in positions {
+                                outcomes[i] = Some(match first.take() {
+                                    Some(e) => FireOutcome::Rejected(e),
+                                    None => FireOutcome::Skipped,
+                                });
+                            }
+                        }
                     }
                 }
             }
@@ -363,8 +438,8 @@ impl SharedRuntime {
     /// See [`Runtime::try_complete`].
     pub fn try_complete(&self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
         let cell = self.inner.instance(id)?;
-        let status = lock(&cell).try_complete();
-        Ok(status)
+        let status = lock(&cell).try_complete(id, self.inner.store.as_deref());
+        status
     }
 
     /// See [`Runtime::enact`]. The deployment `Arc` is resolved under a
@@ -395,7 +470,7 @@ impl SharedRuntime {
         let cell = self.inner.instance(id)?;
         let workflow = lock(&cell).workflow.clone();
         let deployment = self.inner.deployment(&workflow)?;
-        let replayed = lock(&cell).rebuild_cursor(Arc::clone(&deployment.program));
+        let replayed = lock(&cell).rebuild_cursor(Arc::clone(&deployment.program))?;
         self.inner.replayed.fetch_add(replayed, Ordering::Relaxed);
         Ok(())
     }
@@ -414,6 +489,38 @@ impl SharedRuntime {
     /// exactly the fires that committed before the cut, instance by
     /// instance, and always restores.
     pub fn snapshot(&self) -> String {
+        self.frozen_snapshot(|snapshot| snapshot)
+    }
+
+    /// Compacts the attached store behind a consistent cut: freezes the
+    /// fleet exactly like [`SharedRuntime::snapshot`], and hands the
+    /// snapshot to [`ctr_store::Store::checkpoint`] **while the freeze
+    /// is still held** — so no fire can slip between the snapshot and
+    /// the log truncation and be lost to both. Errors if no store is
+    /// attached.
+    pub fn checkpoint(&self) -> Result<(), RuntimeError> {
+        let store = self.inner.store.clone().ok_or_else(|| {
+            RuntimeError::Store("no store attached to checkpoint into".to_owned())
+        })?;
+        self.frozen_snapshot(|snapshot| {
+            store
+                .checkpoint(&snapshot)
+                .map_err(|e| RuntimeError::Store(e.to_string()))
+        })
+    }
+
+    /// The attached store, if any (crate-internal: `stats.rs` surfaces
+    /// its counters as [`crate::StoreStats`]).
+    pub(crate) fn store(&self) -> Option<&Arc<dyn Store>> {
+        self.inner.store.as_ref()
+    }
+
+    /// Freezes the fleet (registry read lock, every shard lock in
+    /// ascending index order, then every instance lock), renders the
+    /// snapshot text, and runs `consume` on it *before* releasing
+    /// anything — the shared underpinning of [`SharedRuntime::snapshot`]
+    /// and [`SharedRuntime::checkpoint`].
+    fn frozen_snapshot<R>(&self, consume: impl FnOnce(String) -> R) -> R {
         let registry = self
             .inner
             .registry
@@ -436,15 +543,13 @@ impl SharedRuntime {
         // `Runtime::snapshot`.
         instance_guards.sort_unstable_by_key(|(id, _)| *id);
 
-        let mut out = String::from(SNAPSHOT_HEADER);
-        out.push('\n');
-        for (name, d) in registry.iter() {
-            d.snapshot_line(&mut out, name);
-        }
-        for (id, inst) in &instance_guards {
-            inst.snapshot_line(&mut out, *id);
-        }
-        out
+        let mut out = String::new();
+        render_snapshot(
+            registry.iter().map(|(n, d)| (n, &**d)),
+            instance_guards.iter().map(|(id, guard)| (*id, &**guard)),
+            &mut out,
+        );
+        consume(out)
     }
 }
 
@@ -892,6 +997,62 @@ mod tests {
             });
         }
         assert_eq!(many.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn shared_store_survives_crash_and_recovers_sharded() {
+        use ctr_store::MemStore;
+        let store = Arc::new(MemStore::new());
+        let snap_before;
+        {
+            let rt = SharedRuntime::with_store(Arc::clone(&store) as Arc<dyn Store>);
+            rt.deploy_source(PAY).unwrap();
+            // Span several shards.
+            let ids: Vec<_> = (0..SHARD_COUNT as u64 + 3)
+                .map(|_| rt.start("pay").unwrap())
+                .collect();
+            let batch: Vec<(InstanceId, &str)> = ids.iter().map(|&id| (id, "invoice")).collect();
+            for outcome in rt.fire_many(&batch) {
+                assert!(matches!(outcome, FireOutcome::Fired(_)));
+            }
+            rt.fire(3, "approve").unwrap();
+            snap_before = rt.snapshot();
+        }
+        let rt = SharedRuntime::open(store).unwrap();
+        assert_eq!(rt.snapshot(), snap_before);
+        assert_eq!(rt.journal(3).unwrap(), vec!["invoice", "approve"]);
+        let stats = rt.store_stats().expect("store stays attached");
+        assert!(stats.appends > 0);
+    }
+
+    #[test]
+    fn shared_checkpoint_compacts_under_the_freeze() {
+        use ctr_store::{MemStore, Store as _};
+        let store = Arc::new(MemStore::new());
+        let rt = SharedRuntime::with_store(Arc::clone(&store) as Arc<dyn Store>);
+        rt.deploy_source(PAY).unwrap();
+        let id = rt.start("pay").unwrap();
+        rt.fire(id, "invoice").unwrap();
+        rt.checkpoint().unwrap();
+        rt.fire(id, "approve").unwrap();
+        let replay = store.replay().unwrap();
+        assert!(replay.snapshot.is_some());
+        assert_eq!(replay.records.len(), 1, "pre-checkpoint records truncated");
+        // Concurrent fires + checkpoints never lose an event.
+        let writer = {
+            let rt = rt.clone();
+            std::thread::spawn(move || {
+                let _ = rt.fire(id, "file");
+            })
+        };
+        for _ in 0..5 {
+            rt.checkpoint().unwrap();
+        }
+        writer.join().unwrap();
+        rt.checkpoint().unwrap();
+        let recovered = SharedRuntime::open(store).unwrap();
+        assert_eq!(recovered.snapshot(), rt.snapshot());
+        assert!(recovered.is_complete(id).unwrap());
     }
 
     #[test]

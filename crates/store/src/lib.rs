@@ -1,0 +1,519 @@
+#![warn(missing_docs)]
+
+//! # ctr-store — the durability layer under the workflow runtime
+//!
+//! The paper's enactment model makes the event history the *entire*
+//! execution state: a configuration is the initial goal plus the fired
+//! prefix. So durability is journal durability and nothing else — the
+//! runtime never needs to persist cursors, frontiers, or any derived
+//! state, only the ordered stream of control records:
+//!
+//! * [`Record::Deploy`] — a workflow name bound to its compiled goal
+//!   (the concrete syntax the snapshot format already uses);
+//! * [`Record::Start`] — an instance id bound to a workflow name;
+//! * [`Record::Events`] — a batch of events fired by one instance
+//!   (one record per `fire_batch` extend: the group-commit unit);
+//! * [`Record::Complete`] — a silent completion (the one status change
+//!   journal replay alone cannot reproduce).
+//!
+//! A [`Store`] appends records, reads them back for recovery
+//! ([`Store::replay`]), and compacts the log behind a text snapshot
+//! ([`Store::checkpoint`]). Two backends ship:
+//!
+//! * [`MemStore`] — records in a `Vec`, no I/O. Attaching it to a
+//!   runtime reproduces today's purely in-memory behavior byte for
+//!   byte; it is also the honest baseline the `durability/*` benches
+//!   compare the WAL against.
+//! * [`wal::WalStore`] — an append-only segmented log per shard with
+//!   length-prefixed, CRC-checked records, group commit (one fsync per
+//!   append, however many events it carries), snapshot compaction, and
+//!   torn-tail crash recovery.
+//!
+//! The crate is deliberately independent of the runtime: records carry
+//! plain strings, so the store can be tested, fuzzed, and benchmarked
+//! without compiling a single workflow.
+
+pub mod wal;
+
+pub use wal::{WalOptions, WalStore};
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Errors from a [`Store`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An I/O operation failed (the store may be partially written but
+    /// never inconsistently: appends are all-or-nothing at recovery).
+    Io(String),
+    /// Durable data failed validation beyond what torn-tail repair is
+    /// allowed to discard (e.g. a checkpoint with a mangled header).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Corrupt(e) => write!(f, "store corruption: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One durable control record. The journal of a workflow fleet is an
+/// ordered stream of these; replaying them against an empty runtime
+/// reproduces the fleet exactly (silent completions included, via
+/// [`Record::Complete`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// A workflow deployed under `name` with compiled goal text `goal`.
+    Deploy {
+        /// Workflow name.
+        name: String,
+        /// The compiled goal in concrete syntax (what `parse_goal` reads).
+        goal: String,
+    },
+    /// Instance `instance` started as workflow `workflow`.
+    Start {
+        /// Instance id.
+        instance: u64,
+        /// Workflow name.
+        workflow: String,
+    },
+    /// Instance `instance` fired `events` in order — one record per
+    /// journal extend, which is the group-commit unit.
+    Events {
+        /// Instance id.
+        instance: u64,
+        /// Event names, in fire order.
+        events: Vec<String>,
+    },
+    /// Instance `instance` completed silently (no event to replay).
+    Complete {
+        /// Instance id.
+        instance: u64,
+    },
+}
+
+impl Record {
+    /// Which of `shards` log stripes this record belongs to. Instance
+    /// records ride their instance's stripe (`id % shards` — the same
+    /// striping the sharded runtime uses), so all records of one
+    /// instance live in one shard and keep their relative order without
+    /// any cross-shard coordination. Deploys go to stripe 0.
+    pub fn shard(&self, shards: usize) -> usize {
+        match self {
+            Record::Deploy { .. } => 0,
+            Record::Start { instance, .. }
+            | Record::Events { instance, .. }
+            | Record::Complete { instance } => (*instance % shards as u64) as usize,
+        }
+    }
+
+    /// Number of journal events this record carries (its group size).
+    pub fn event_count(&self) -> u64 {
+        match self {
+            Record::Events { events, .. } => events.len() as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// Everything a [`Store`] has retained, in replay order: the latest
+/// checkpoint snapshot (if any) plus every record appended after it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Replay {
+    /// The compaction snapshot to restore first, if one was taken.
+    pub snapshot: Option<String>,
+    /// Records appended after the snapshot, in append order.
+    pub records: Vec<Record>,
+}
+
+/// Counters a [`Store`] keeps about its own traffic. All monotonic;
+/// [`MemStore`] leaves the fsync-related ones at zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Durable appends ([`Store::append`] calls that succeeded).
+    pub appends: u64,
+    /// Journal events carried by those appends (≥ `appends` under
+    /// group commit, == for one-event fires).
+    pub events: u64,
+    /// fsync-class syncs issued (file data syncs + directory syncs).
+    pub fsyncs: u64,
+    /// Largest event group committed by a single append.
+    pub max_group: u64,
+    /// Checkpoint compactions taken.
+    pub compactions: u64,
+    /// Bytes of valid log scanned back at open.
+    pub recovered_bytes: u64,
+    /// Bytes discarded at open as a torn tail (truncated at the first
+    /// record that failed its length or checksum).
+    pub torn_bytes: u64,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "appends={} events={} fsyncs={} max_group={} compactions={} recovered_bytes={} torn_bytes={}",
+            self.appends, self.events, self.fsyncs, self.max_group,
+            self.compactions, self.recovered_bytes, self.torn_bytes
+        )
+    }
+}
+
+/// Shared counter block; backends bump these as traffic flows.
+#[derive(Default)]
+pub(crate) struct Counters {
+    appends: AtomicU64,
+    events: AtomicU64,
+    fsyncs: AtomicU64,
+    max_group: AtomicU64,
+    compactions: AtomicU64,
+    recovered_bytes: AtomicU64,
+    torn_bytes: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn on_append(&self, group: u64) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        if group > 0 {
+            self.events.fetch_add(group, Ordering::Relaxed);
+            self.max_group.fetch_max(group, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn on_fsync(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_compaction(&self) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_recovered(&self, good: u64, torn: u64) {
+        self.recovered_bytes.fetch_add(good, Ordering::Relaxed);
+        self.torn_bytes.fetch_add(torn, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            max_group: self.max_group.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            recovered_bytes: self.recovered_bytes.load(Ordering::Relaxed),
+            torn_bytes: self.torn_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The journal/store abstraction every runtime persistence path flows
+/// through: append control records, read them back for recovery, and
+/// compact the log behind a snapshot.
+///
+/// ## Contract
+///
+/// * [`Store::append`] is durable on return (for backends that promise
+///   durability at all): a record either survives a crash in full or —
+///   if the crash tears its tail — is discarded in full at the next
+///   open. Records never survive partially.
+/// * [`Store::replay`] returns the snapshot (if any) plus appended
+///   records in append order; replaying both reproduces the fleet.
+/// * [`Store::checkpoint`] atomically replaces the log with `snapshot`:
+///   callers must guarantee no concurrent [`Store::append`] covers state
+///   *not* captured by `snapshot` (the runtime freezes the fleet across
+///   the call, exactly as it already does for consistent snapshots).
+pub trait Store: Send + Sync {
+    /// Durably appends one record.
+    fn append(&self, record: &Record) -> Result<(), StoreError>;
+
+    /// Reads everything back: latest snapshot plus post-snapshot
+    /// records, in replay order.
+    fn replay(&self) -> Result<Replay, StoreError>;
+
+    /// Compacts: atomically installs `snapshot` as the recovery
+    /// baseline and truncates every record it covers.
+    fn checkpoint(&self, snapshot: &str) -> Result<(), StoreError>;
+
+    /// Traffic counters (monotonic since open).
+    fn stats(&self) -> StoreStats;
+}
+
+// --- MemStore --------------------------------------------------------------
+
+#[derive(Default)]
+struct MemInner {
+    snapshot: Option<String>,
+    records: Vec<Record>,
+}
+
+/// The in-memory backend: a `Vec` of records behind a mutex. Survives
+/// nothing, costs nothing — attaching it to a runtime reproduces the
+/// store-less behavior byte for byte (pinned by tests) while exercising
+/// the exact same append/replay/checkpoint code paths as the WAL.
+#[derive(Default)]
+pub struct MemStore {
+    inner: Mutex<MemInner>,
+    counters: Counters,
+}
+
+impl MemStore {
+    /// An empty in-memory store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl Store for MemStore {
+    fn append(&self, record: &Record) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.records.push(record.clone());
+        self.counters.on_append(record.event_count());
+        Ok(())
+    }
+
+    fn replay(&self) -> Result<Replay, StoreError> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(Replay {
+            snapshot: inner.snapshot.clone(),
+            records: inner.records.clone(),
+        })
+    }
+
+    fn checkpoint(&self, snapshot: &str) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.snapshot = Some(snapshot.to_owned());
+        inner.records.clear();
+        self.counters.on_compaction();
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.counters.snapshot()
+    }
+}
+
+// --- Record wire format ----------------------------------------------------
+
+/// Serializes a record payload: tab-separated fields, one line, with
+/// the global sequence number as the second field. Event lists are
+/// space-separated (names are identifiers — no spaces or tabs).
+pub(crate) fn encode_payload(seq: u64, record: &Record) -> Vec<u8> {
+    let text = match record {
+        Record::Deploy { name, goal } => format!("d\t{seq}\t{name}\t{goal}"),
+        Record::Start { instance, workflow } => format!("s\t{seq}\t{instance}\t{workflow}"),
+        Record::Events { instance, events } => {
+            format!("e\t{seq}\t{instance}\t{}", events.join(" "))
+        }
+        Record::Complete { instance } => format!("c\t{seq}\t{instance}"),
+    };
+    text.into_bytes()
+}
+
+/// Decodes a record payload; inverse of [`encode_payload`].
+pub(crate) fn decode_payload(payload: &[u8]) -> Result<(u64, Record), StoreError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| StoreError::Corrupt("record payload is not utf-8".to_owned()))?;
+    let mut fields = text.splitn(4, '\t');
+    let (tag, seq) = match (fields.next(), fields.next()) {
+        (Some(tag), Some(seq)) => (tag, seq),
+        _ => return Err(StoreError::Corrupt(format!("truncated record: {text:?}"))),
+    };
+    let seq: u64 = seq
+        .parse()
+        .map_err(|_| StoreError::Corrupt(format!("bad sequence number: {text:?}")))?;
+    let record = match (tag, fields.next(), fields.next()) {
+        ("d", Some(name), Some(goal)) => Record::Deploy {
+            name: name.to_owned(),
+            goal: goal.to_owned(),
+        },
+        ("s", Some(instance), Some(workflow)) => Record::Start {
+            instance: parse_id(instance, text)?,
+            workflow: workflow.to_owned(),
+        },
+        ("e", Some(instance), Some(events)) => Record::Events {
+            instance: parse_id(instance, text)?,
+            events: events.split_whitespace().map(str::to_owned).collect(),
+        },
+        ("c", Some(instance), None) => Record::Complete {
+            instance: parse_id(instance, text)?,
+        },
+        _ => {
+            return Err(StoreError::Corrupt(format!(
+                "unrecognized record: {text:?}"
+            )))
+        }
+    };
+    Ok((seq, record))
+}
+
+fn parse_id(field: &str, text: &str) -> Result<u64, StoreError> {
+    field
+        .parse()
+        .map_err(|_| StoreError::Corrupt(format!("bad instance id: {text:?}")))
+}
+
+/// Merges per-shard record streams back into one global append order by
+/// sequence number. Within a shard the scan already yields ascending
+/// seqs; across shards the global `AtomicU64` allocator makes them
+/// unique, so a stable sort restores the exact interleaving.
+pub(crate) fn merge_by_seq(per_shard: Vec<Vec<(u64, Record)>>) -> Vec<Record> {
+    let mut merged: BTreeMap<u64, Record> = BTreeMap::new();
+    for shard in per_shard {
+        for (seq, record) in shard {
+            merged.insert(seq, record);
+        }
+    }
+    merged.into_values().collect()
+}
+
+// --- CRC32 (IEEE) ----------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `data`. Hand-rolled:
+/// the build environment has no registry access, and eight table
+/// lookups per byte is plenty for records this size.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn payload_round_trips_every_record_shape() {
+        let records = [
+            Record::Deploy {
+                name: "pay".to_owned(),
+                goal: "invoice * (approve + reject) * file".to_owned(),
+            },
+            Record::Start {
+                instance: 17,
+                workflow: "pay".to_owned(),
+            },
+            Record::Events {
+                instance: 17,
+                events: vec!["invoice".to_owned(), "approve".to_owned()],
+            },
+            Record::Complete { instance: 17 },
+        ];
+        for (seq, record) in records.iter().enumerate() {
+            let bytes = encode_payload(seq as u64, record);
+            let (got_seq, got) = decode_payload(&bytes).unwrap();
+            assert_eq!(got_seq, seq as u64);
+            assert_eq!(&got, record);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_payload(b"").is_err());
+        assert!(decode_payload(b"x\t1\t2\t3").is_err());
+        assert!(decode_payload(b"e\tnotanumber\t0\ta").is_err());
+        assert!(decode_payload(b"s\t1\tnotanid\tpay").is_err());
+        assert!(decode_payload(&[0xFF, 0xFE, 0x00]).is_err());
+    }
+
+    #[test]
+    fn records_stripe_by_instance_and_deploys_pin_to_zero() {
+        let deploy = Record::Deploy {
+            name: "w".to_owned(),
+            goal: "a".to_owned(),
+        };
+        assert_eq!(deploy.shard(16), 0);
+        for id in [0u64, 1, 15, 16, 17, 255] {
+            let start = Record::Start {
+                instance: id,
+                workflow: "w".to_owned(),
+            };
+            assert_eq!(start.shard(16), (id % 16) as usize);
+        }
+    }
+
+    #[test]
+    fn mem_store_replays_appends_and_truncates_on_checkpoint() {
+        let store = MemStore::new();
+        let r1 = Record::Start {
+            instance: 0,
+            workflow: "w".to_owned(),
+        };
+        let r2 = Record::Events {
+            instance: 0,
+            events: vec!["a".to_owned(), "b".to_owned()],
+        };
+        store.append(&r1).unwrap();
+        store.append(&r2).unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.snapshot, None);
+        assert_eq!(replay.records, vec![r1, r2.clone()]);
+
+        store.checkpoint("snap-text").unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.snapshot.as_deref(), Some("snap-text"));
+        assert!(replay.records.is_empty());
+
+        store.append(&r2).unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.records, vec![r2]);
+
+        let stats = store.stats();
+        assert_eq!(stats.appends, 3);
+        assert_eq!(stats.events, 4);
+        assert_eq!(stats.max_group, 2);
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.fsyncs, 0, "memory is not durable and says so");
+    }
+
+    #[test]
+    fn merge_by_seq_restores_global_order() {
+        let e = |seq: u64| (seq, Record::Complete { instance: seq * 10 });
+        let merged = merge_by_seq(vec![vec![e(0), e(3)], vec![e(1), e(4)], vec![e(2)]]);
+        let ids: Vec<u64> = merged
+            .iter()
+            .map(|r| match r {
+                Record::Complete { instance } => *instance,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,681 @@
+//! The segmented write-ahead log backend.
+//!
+//! ## Layout
+//!
+//! ```text
+//! <root>/
+//!   checkpoint.snap          latest compaction snapshot (atomic rename)
+//!   shard-00/ 00000001.seg   append-only segments, rotated by size
+//!   shard-01/ ...
+//! ```
+//!
+//! One log stripe per shard, matching the sharded runtime's instance
+//! striping: every record of one instance lands in one stripe (see
+//! [`Record::shard`]), so per-instance order needs no cross-shard
+//! coordination. A global `AtomicU64` sequence number — allocated
+//! *under the destination stripe's lock* — stamps every record, and
+//! recovery merges the stripes back into the exact global append order.
+//!
+//! ## Record frame
+//!
+//! `[len: u32 LE] [crc32(payload): u32 LE] [payload]` — the payload is
+//! the tab-separated text of `encode_payload`. A record either reads
+//! back whole (length sane, checksum matches, payload parses) or the
+//! scan stops there: everything from the first bad byte on is a **torn
+//! tail**, truncated at open and counted in
+//! [`StoreStats::torn_bytes`]. Only a tail can legitimately tear —
+//! appends are sequential and synced — so any later segments of that
+//! stripe are discarded with it rather than replayed out of order.
+//!
+//! ## Group commit
+//!
+//! One [`WalStore::append`] = one frame = **one** `fdatasync`, however
+//! many events the record carries. The runtime's `fire_batch` path
+//! already funnels a whole batch into a single journal extend, so the
+//! batch rides one sync — that is the entire group-commit story, and
+//! [`StoreStats::max_group`] records how well it is being exploited.
+//!
+//! ## Checkpoint compaction
+//!
+//! [`WalStore::checkpoint`] freezes all stripes (takes every stripe
+//! lock, which also blocks the sequence allocator), writes
+//! `checkpoint.tmp` — a one-line header `ctr-store checkpoint v1 <cut>`
+//! followed by the runtime's ordinary text snapshot — syncs it, renames
+//! it over `checkpoint.snap`, syncs the directory, and only then
+//! deletes the covered segments. A crash anywhere in that sequence is
+//! safe: before the rename the old baseline still rules; after it,
+//! leftover segments only contain records with `seq < cut`, which
+//! replay skips. Recovery can therefore never land *behind* a committed
+//! snapshot.
+
+use crate::{
+    crc32, decode_payload, encode_payload, merge_by_seq, Counters, Record, Replay, Store,
+    StoreError, StoreStats,
+};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// First line of `checkpoint.snap`, followed by the cut sequence: every
+/// record with `seq < cut` is covered by the snapshot body.
+const CHECKPOINT_HEADER: &str = "ctr-store checkpoint v1";
+
+/// Frames larger than this are rejected as corrupt rather than
+/// allocated — a torn length prefix must not ask for gigabytes.
+const MAX_PAYLOAD: u32 = 1 << 28;
+
+/// Tuning knobs for [`WalStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct WalOptions {
+    /// Number of log stripes. Match the runtime's shard count (16) so
+    /// instance striping and log striping agree.
+    pub shards: usize,
+    /// Rotate a segment once it holds at least this many bytes.
+    pub segment_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> WalOptions {
+        WalOptions {
+            shards: 16,
+            segment_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Mutable per-stripe state: the open segment and its write position.
+struct StripeLog {
+    dir: PathBuf,
+    /// Open segment file, if any writes happened since open/rotation.
+    file: Option<File>,
+    /// Index of the current (or, if `file` is `None`, next) segment.
+    seg_index: u64,
+    /// Bytes written to the current segment.
+    seg_bytes: u64,
+}
+
+impl StripeLog {
+    fn segment_path(&self, index: u64) -> PathBuf {
+        self.dir.join(format!("{index:08}.seg"))
+    }
+}
+
+/// The durable backend: an append-only segmented log per stripe. See
+/// the module docs for the on-disk contract.
+pub struct WalStore {
+    root: PathBuf,
+    options: WalOptions,
+    /// Next global sequence number. Allocated while holding the
+    /// destination stripe's lock, so `checkpoint` (which holds *all*
+    /// stripe locks) observes a frontier no in-flight append can cross.
+    seq: AtomicU64,
+    stripes: Vec<Mutex<StripeLog>>,
+    counters: Counters,
+    /// Scan result from [`WalStore::open`], handed out by the first
+    /// [`WalStore::replay`] so recovery does not re-read the disk.
+    recovered: Mutex<Option<Replay>>,
+}
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Io(format!("{context} {}: {e}", path.display()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Syncs a directory so renames/creates/unlinks in it are durable.
+fn sync_dir(path: &Path) -> Result<(), StoreError> {
+    File::open(path)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("syncing directory", path, e))
+}
+
+/// Result of scanning one stripe directory.
+struct StripeScan {
+    records: Vec<(u64, Record)>,
+    /// Index of the last existing segment (next writes continue there).
+    seg_index: u64,
+    /// Size of that segment after any torn-tail truncation.
+    seg_bytes: u64,
+    good_bytes: u64,
+    torn_bytes: u64,
+}
+
+impl WalStore {
+    /// Opens (creating if absent) a WAL rooted at `root` with default
+    /// options, repairing any torn tail left by a crash.
+    pub fn open(root: impl Into<PathBuf>) -> Result<WalStore, StoreError> {
+        WalStore::open_with(root, WalOptions::default())
+    }
+
+    /// [`WalStore::open`] with explicit tuning options.
+    pub fn open_with(
+        root: impl Into<PathBuf>,
+        options: WalOptions,
+    ) -> Result<WalStore, StoreError> {
+        let root = root.into();
+        assert!(options.shards > 0, "need at least one stripe");
+        fs::create_dir_all(&root).map_err(|e| io_err("creating", &root, e))?;
+
+        let (snapshot, cut) = read_checkpoint(&root)?;
+
+        let counters = Counters::default();
+        let mut stripes = Vec::with_capacity(options.shards);
+        let mut per_shard = Vec::with_capacity(options.shards);
+        let mut max_seq = cut; // next seq must be ≥ the checkpoint cut
+        for s in 0..options.shards {
+            let dir = root.join(format!("shard-{s:02}"));
+            fs::create_dir_all(&dir).map_err(|e| io_err("creating", &dir, e))?;
+            let scan = scan_stripe(&dir, cut)?;
+            counters.on_recovered(scan.good_bytes, scan.torn_bytes);
+            if let Some(&(seq, _)) = scan.records.last() {
+                max_seq = max_seq.max(seq + 1);
+            }
+            per_shard.push(scan.records);
+            stripes.push(Mutex::new(StripeLog {
+                dir,
+                file: None,
+                seg_index: scan.seg_index,
+                seg_bytes: scan.seg_bytes,
+            }));
+        }
+
+        let replay = Replay {
+            snapshot,
+            records: merge_by_seq(per_shard),
+        };
+        Ok(WalStore {
+            root,
+            options,
+            seq: AtomicU64::new(max_seq),
+            stripes,
+            counters,
+            recovered: Mutex::new(Some(replay)),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+}
+
+/// Reads `checkpoint.snap`: returns the snapshot body and the cut
+/// sequence, or `(None, 0)` if no checkpoint was ever taken.
+fn read_checkpoint(root: &Path) -> Result<(Option<String>, u64), StoreError> {
+    let path = root.join("checkpoint.snap");
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((None, 0)),
+        Err(e) => return Err(io_err("reading", &path, e)),
+    };
+    let Some((header, body)) = text.split_once('\n') else {
+        return Err(StoreError::Corrupt(
+            "checkpoint has no header line".to_owned(),
+        ));
+    };
+    let cut = header
+        .strip_prefix(CHECKPOINT_HEADER)
+        .map(str::trim)
+        .and_then(|cut| cut.parse::<u64>().ok())
+        .ok_or_else(|| StoreError::Corrupt(format!("bad checkpoint header: {header:?}")))?;
+    Ok((Some(body.to_owned()), cut))
+}
+
+/// Numeric index of a `NNNNNNNN.seg` file name, if it is one.
+fn segment_index(name: &std::ffi::OsStr) -> Option<u64> {
+    let name = name.to_str()?;
+    name.strip_suffix(".seg")?.parse().ok()
+}
+
+/// Scans one stripe directory: walks its segments in order, collecting
+/// every whole record with `seq ≥ cut`. The first bad frame marks a
+/// torn tail — the segment is truncated there and any later segments of
+/// the stripe are deleted (they would replay records out of order past
+/// a hole). Returns where the stripe's writer should resume.
+fn scan_stripe(dir: &Path, cut: u64) -> Result<StripeScan, StoreError> {
+    let mut segments: Vec<u64> = fs::read_dir(dir)
+        .map_err(|e| io_err("listing", dir, e))?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| segment_index(&entry.file_name()))
+        .collect();
+    segments.sort_unstable();
+
+    let mut scan = StripeScan {
+        records: Vec::new(),
+        seg_index: *segments.last().unwrap_or(&0),
+        seg_bytes: 0,
+        good_bytes: 0,
+        torn_bytes: 0,
+    };
+    let mut torn_at: Option<u64> = None; // segment where the tail tore
+    for (i, &index) in segments.iter().enumerate() {
+        let path = dir.join(format!("{index:08}.seg"));
+        if let Some(first_torn) = torn_at {
+            // Everything after a tear is unreachable history; drop it.
+            let len = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            scan.torn_bytes += len;
+            fs::remove_file(&path).map_err(|e| io_err("removing", &path, e))?;
+            debug_assert!(index > first_torn);
+            continue;
+        }
+        let mut bytes = Vec::new();
+        File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err("reading", &path, e))?;
+        let (good_end, records) = scan_segment(&bytes, cut);
+        scan.records.extend(records);
+        scan.good_bytes += good_end;
+        if (good_end as usize) < bytes.len() {
+            // Torn tail: truncate the segment to its valid prefix.
+            scan.torn_bytes += bytes.len() as u64 - good_end;
+            let file = OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| io_err("opening for repair", &path, e))?;
+            file.set_len(good_end)
+                .and_then(|()| file.sync_all())
+                .map_err(|e| io_err("truncating torn tail of", &path, e))?;
+            sync_dir(dir)?;
+            torn_at = Some(index);
+            scan.seg_index = index;
+            scan.seg_bytes = good_end;
+        } else if i == segments.len() - 1 {
+            scan.seg_index = index;
+            scan.seg_bytes = good_end;
+        }
+    }
+    Ok(scan)
+}
+
+/// Walks frames in one segment's bytes. Returns the byte offset of the
+/// end of the last whole, checksum-valid, parseable record (everything
+/// before it decoded) — the scan's truncation point on a torn tail.
+fn scan_segment(bytes: &[u8], cut: u64) -> (u64, Vec<(u64, Record)>) {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while let Some(header) = bytes.get(offset..offset + 8) {
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            break;
+        }
+        let start = offset + 8;
+        let Some(payload) = bytes.get(start..start + len as usize) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok((seq, record)) = decode_payload(payload) else {
+            break;
+        };
+        offset = start + len as usize;
+        if seq >= cut {
+            records.push((seq, record));
+        }
+    }
+    (offset as u64, records)
+}
+
+impl Store for WalStore {
+    fn append(&self, record: &Record) -> Result<(), StoreError> {
+        let stripe = &self.stripes[record.shard(self.options.shards)];
+        let mut log = lock(stripe);
+        // Sequence allocation happens under the stripe lock on purpose:
+        // checkpoint holds every stripe lock, so no append can hold an
+        // unwritten seq while the cut is being chosen.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let payload = encode_payload(seq, record);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        if log.file.is_none() || log.seg_bytes >= self.options.segment_bytes {
+            self.rotate(&mut log)?;
+        }
+        let file = log.file.as_mut().expect("rotate opened a segment");
+        file.write_all(&frame)
+            .and_then(|()| file.sync_data())
+            .map_err(|e| io_err("appending to", &log.segment_path(log.seg_index), e))?;
+        log.seg_bytes += frame.len() as u64;
+        self.counters.on_fsync();
+        self.counters.on_append(record.event_count());
+        Ok(())
+    }
+
+    fn replay(&self) -> Result<Replay, StoreError> {
+        if let Some(replay) = lock(&self.recovered).take() {
+            return Ok(replay);
+        }
+        // Subsequent calls re-scan the disk (read-only: repairs already
+        // happened at open, and appends since then are whole by
+        // construction).
+        let (snapshot, cut) = read_checkpoint(&self.root)?;
+        let mut per_shard = Vec::with_capacity(self.options.shards);
+        for stripe in &self.stripes {
+            let log = lock(stripe);
+            let mut segments: Vec<u64> = fs::read_dir(&log.dir)
+                .map_err(|e| io_err("listing", &log.dir, e))?
+                .filter_map(|entry| entry.ok())
+                .filter_map(|entry| segment_index(&entry.file_name()))
+                .collect();
+            segments.sort_unstable();
+            let mut records = Vec::new();
+            for index in segments {
+                let path = log.segment_path(index);
+                let mut bytes = Vec::new();
+                File::open(&path)
+                    .and_then(|mut f| f.read_to_end(&mut bytes))
+                    .map_err(|e| io_err("reading", &path, e))?;
+                let (_, segment_records) = scan_segment(&bytes, cut);
+                records.extend(segment_records);
+            }
+            per_shard.push(records);
+        }
+        Ok(Replay {
+            snapshot,
+            records: merge_by_seq(per_shard),
+        })
+    }
+
+    fn checkpoint(&self, snapshot: &str) -> Result<(), StoreError> {
+        // Freeze every stripe (ascending order — the only multi-stripe
+        // path, so no ordering conflicts). With all stripe locks held no
+        // append can allocate a sequence number, so `cut` cleanly splits
+        // history: everything below is in `snapshot`, everything at or
+        // above will be appended after we release.
+        let mut logs: Vec<MutexGuard<'_, StripeLog>> = self.stripes.iter().map(lock).collect();
+        let cut = self.seq.load(Ordering::Relaxed);
+
+        let tmp = self.root.join("checkpoint.tmp");
+        let path = self.root.join("checkpoint.snap");
+        let mut file = File::create(&tmp).map_err(|e| io_err("creating", &tmp, e))?;
+        file.write_all(format!("{CHECKPOINT_HEADER} {cut}\n").as_bytes())
+            .and_then(|()| file.write_all(snapshot.as_bytes()))
+            .and_then(|()| file.sync_all())
+            .map_err(|e| io_err("writing", &tmp, e))?;
+        self.counters.on_fsync();
+        fs::rename(&tmp, &path).map_err(|e| io_err("installing", &path, e))?;
+        sync_dir(&self.root)?;
+        self.counters.on_fsync();
+
+        // The snapshot is the durable baseline now; covered segments
+        // (every record they hold has seq < cut) are dead weight. A
+        // crash before these deletes finish is harmless: replay skips
+        // records below the cut.
+        for log in logs.iter_mut() {
+            let entries = fs::read_dir(&log.dir).map_err(|e| io_err("listing", &log.dir, e))?;
+            for entry in entries.filter_map(|e| e.ok()) {
+                if segment_index(&entry.file_name()).is_none() {
+                    continue;
+                }
+                let path = entry.path();
+                match fs::remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(io_err("removing", &path, e)),
+                }
+            }
+            sync_dir(&log.dir)?;
+            log.file = None;
+            log.seg_index += 1;
+            log.seg_bytes = 0;
+        }
+        self.counters.on_compaction();
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.counters.snapshot()
+    }
+}
+
+impl WalStore {
+    /// Opens the next segment file for a stripe (called with the stripe
+    /// lock held).
+    fn rotate(&self, log: &mut StripeLog) -> Result<(), StoreError> {
+        if log.file.is_some() {
+            log.seg_index += 1;
+        } else if log.seg_bytes > 0 {
+            // Resuming after open(): continue the existing segment.
+            let path = log.segment_path(log.seg_index);
+            let file = OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .map_err(|e| io_err("reopening", &path, e))?;
+            log.file = Some(file);
+            return Ok(());
+        }
+        let path = log.segment_path(log.seg_index);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("creating", &path, e))?;
+        // Make the new directory entry durable before its records are.
+        sync_dir(&log.dir)?;
+        self.counters.on_fsync();
+        log.file = Some(file);
+        log.seg_bytes = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Unique scratch directory under the target dir (no external
+    /// tempdir crate in this environment).
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("ctr-store-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ev(instance: u64, events: &[&str]) -> Record {
+        Record::Events {
+            instance,
+            events: events.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+
+    #[test]
+    fn wal_round_trips_across_reopen() {
+        let dir = scratch("roundtrip");
+        let records = vec![
+            Record::Deploy {
+                name: "pay".to_owned(),
+                goal: "a * b".to_owned(),
+            },
+            Record::Start {
+                instance: 0,
+                workflow: "pay".to_owned(),
+            },
+            ev(0, &["a"]),
+            Record::Start {
+                instance: 17,
+                workflow: "pay".to_owned(),
+            },
+            ev(17, &["a", "b"]),
+            Record::Complete { instance: 17 },
+        ];
+        {
+            let store = WalStore::open(&dir).unwrap();
+            for r in &records {
+                store.append(r).unwrap();
+            }
+            let stats = store.stats();
+            assert_eq!(stats.appends, 6);
+            assert_eq!(stats.events, 3);
+            assert_eq!(stats.max_group, 2);
+            assert!(stats.fsyncs >= 6, "every append syncs");
+        }
+        let store = WalStore::open(&dir).unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.snapshot, None);
+        assert_eq!(replay.records, records);
+        assert!(store.stats().recovered_bytes > 0);
+        assert_eq!(store.stats().torn_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_counted() {
+        let dir = scratch("torn");
+        {
+            let store = WalStore::open(&dir).unwrap();
+            store
+                .append(&Record::Start {
+                    instance: 1,
+                    workflow: "w".to_owned(),
+                })
+                .unwrap();
+            store.append(&ev(1, &["a"])).unwrap();
+        }
+        // Tear the last record: chop bytes off the stripe-01 segment.
+        let seg = dir.join("shard-01").join("00000000.seg");
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+
+        let store = WalStore::open(&dir).unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(
+            replay.records,
+            vec![Record::Start {
+                instance: 1,
+                workflow: "w".to_owned(),
+            }]
+        );
+        assert!(store.stats().torn_bytes > 0);
+        // The truncated file holds exactly the surviving record.
+        let repaired = fs::read(&seg).unwrap();
+        assert!(repaired.len() < bytes.len());
+
+        // New appends continue cleanly after the repair.
+        store.append(&ev(1, &["a"])).unwrap();
+        drop(store);
+        let store = WalStore::open(&dir).unwrap();
+        assert_eq!(store.replay().unwrap().records.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_mid_segment_discards_the_suffix_not_the_prefix() {
+        let dir = scratch("bitflip");
+        {
+            let store = WalStore::open(&dir).unwrap();
+            for i in 0..5 {
+                store.append(&ev(32, &[&format!("e{i}")])).unwrap();
+            }
+        }
+        let seg = dir.join("shard-00").join("00000000.seg");
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+
+        let store = WalStore::open(&dir).unwrap();
+        let replay = store.replay().unwrap();
+        assert!(replay.records.len() < 5, "suffix after the flip is gone");
+        for (i, r) in replay.records.iter().enumerate() {
+            assert_eq!(r, &ev(32, &[&format!("e{i}")]), "prefix intact");
+        }
+        assert!(store.stats().torn_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovery_never_lands_behind_it() {
+        let dir = scratch("checkpoint");
+        {
+            let store = WalStore::open(&dir).unwrap();
+            store.append(&ev(3, &["a"])).unwrap();
+            store.append(&ev(3, &["b"])).unwrap();
+            store.checkpoint("the-snapshot").unwrap();
+            // Segments covered by the checkpoint are gone.
+            let survivors: Vec<_> = fs::read_dir(dir.join("shard-03"))
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .collect();
+            assert!(survivors.is_empty(), "compaction removed segments");
+            store.append(&ev(3, &["c"])).unwrap();
+            assert_eq!(store.stats().compactions, 1);
+        }
+        let store = WalStore::open(&dir).unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.snapshot.as_deref(), Some("the-snapshot"));
+        assert_eq!(replay.records, vec![ev(3, &["c"])]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_segments_below_the_cut_are_skipped() {
+        // Simulate a crash between checkpoint rename and segment
+        // deletion: put a pre-cut segment back and reopen.
+        let dir = scratch("stale");
+        let seg = dir.join("shard-05").join("00000000.seg");
+        {
+            let store = WalStore::open(&dir).unwrap();
+            store.append(&ev(5, &["old"])).unwrap();
+            let stale = fs::read(&seg).unwrap();
+            store.checkpoint("snap").unwrap();
+            store.append(&ev(5, &["new"])).unwrap();
+            // Resurrect the pre-checkpoint segment alongside the live one.
+            fs::write(&seg, stale).unwrap();
+        }
+        let store = WalStore::open(&dir).unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.snapshot.as_deref(), Some("snap"));
+        assert_eq!(
+            replay.records,
+            vec![ev(5, &["new"])],
+            "pre-cut record skipped"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_by_size_and_replay_in_order() {
+        let dir = scratch("rotate");
+        let options = WalOptions {
+            shards: 4,
+            segment_bytes: 64,
+        };
+        {
+            let store = WalStore::open_with(&dir, options).unwrap();
+            for i in 0..40u64 {
+                store.append(&ev(i % 4, &[&format!("e{i}")])).unwrap();
+            }
+        }
+        let segs = fs::read_dir(dir.join("shard-00")).unwrap().count();
+        assert!(
+            segs > 1,
+            "size limit forces rotation, got {segs} segment(s)"
+        );
+        let store = WalStore::open_with(&dir, options).unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.records.len(), 40);
+        for (i, r) in replay.records.iter().enumerate() {
+            assert_eq!(r, &ev(i as u64 % 4, &[&format!("e{i}")]), "global order");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_header_is_a_typed_error() {
+        let dir = scratch("badckpt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("checkpoint.snap"), "not a checkpoint\nbody").unwrap();
+        assert!(matches!(WalStore::open(&dir), Err(StoreError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,9 +1,71 @@
 //! Robustness tests for the user-facing surfaces: the parser never
-//! panics on arbitrary input, and the analysis pipeline is total on
-//! whatever the parser accepts.
+//! panics on arbitrary input, the analysis pipeline is total on
+//! whatever the parser accepts, and the persistence boundary — snapshot
+//! restore and write-ahead-log recovery — is total on corrupt bytes.
 
 use ctr_parser::{lex, parse_constraint, parse_goal, parse_spec};
 use proptest::prelude::*;
+
+/// A small but representative runtime snapshot to corrupt: two
+/// workflows, a running instance and a completed one.
+fn seed_snapshot() -> String {
+    let mut rt = ctr_runtime::Runtime::new();
+    rt.deploy_source("workflow pay { graph invoice * (approve # audit) * archive; }")
+        .unwrap();
+    rt.deploy_source("workflow ship { graph pick * pack * dispatch; }")
+        .unwrap();
+    let a = rt.start("pay").unwrap();
+    rt.fire(a, "invoice").unwrap();
+    let b = rt.start("ship").unwrap();
+    for event in ["pick", "pack", "dispatch"] {
+        rt.fire(b, event).unwrap();
+    }
+    rt.try_complete(b).unwrap();
+    rt.snapshot()
+}
+
+/// A scratch directory holding a small write-ahead log (a deploy, two
+/// starts, a few fires, optionally a checkpoint) whose files the tests
+/// then corrupt.
+fn seed_wal(tag: &str, n: u64, checkpoint: bool) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ctr_fuzz_wal_{tag}_{}_{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = std::sync::Arc::new(ctr_runtime::WalStore::open(&dir).unwrap());
+    let mut rt = ctr_runtime::Runtime::with_store(store);
+    rt.deploy_source("workflow pay { graph invoice * (approve # audit) * archive; }")
+        .unwrap();
+    let a = rt.start("pay").unwrap();
+    rt.fire_batch(a, &["invoice", "approve", "audit", "archive"])
+        .unwrap();
+    rt.try_complete(a).unwrap();
+    if checkpoint {
+        rt.checkpoint().unwrap();
+    }
+    let b = rt.start("pay").unwrap();
+    rt.fire(b, "invoice").unwrap();
+    dir
+}
+
+/// Every file under the store directory, sorted for determinism.
+fn wal_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(at) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&at) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -91,5 +153,57 @@ proptest! {
                 let _ = ctr_engine::Scheduler::new(&program).run_first();
             }
         }
+    }
+
+    /// Snapshot restore — through both the single-threaded and the
+    /// sharded runtime — returns `Ok` or a typed error on arbitrarily
+    /// mangled snapshots (truncated anywhere, noise spliced anywhere),
+    /// never a panic.
+    #[test]
+    fn restore_is_total_on_corrupted_snapshots(
+        cut in 0..400usize,
+        pos in 0..400usize,
+        noise in proptest::collection::vec(0..=255u8, 0..24),
+    ) {
+        let base = seed_snapshot().into_bytes();
+        let mut mangled = base.clone();
+        mangled.truncate(cut.min(base.len()));
+        let at = pos.min(mangled.len());
+        mangled.splice(at..at, noise);
+        let text = String::from_utf8_lossy(&mangled);
+        let _ = ctr_runtime::Runtime::restore(&text);
+        let _ = ctr_runtime::SharedRuntime::restore(&text);
+    }
+
+    /// Write-ahead-log recovery is total on torn and bit-flipped files:
+    /// any prefix truncation or byte corruption of any store file —
+    /// segments or the checkpoint — yields a recovered runtime or a
+    /// typed error, never a panic. (A tear confined to the newest
+    /// segment's tail must recover cleanly; that stronger property is
+    /// pinned in tests/store_recovery.rs.)
+    #[test]
+    fn wal_recovery_is_total_on_corrupted_files(
+        n in 0..u64::MAX,
+        checkpoint in (0..2u8).prop_map(|b| b == 1),
+        which in 0..16usize,
+        truncate_to in 0..4096usize,
+        flips in proptest::collection::vec((0..4096usize, 1..=255u8), 0..6),
+    ) {
+        let dir = seed_wal("total", n, checkpoint);
+        let files = wal_files(&dir);
+        let path = &files[which % files.len()];
+        let mut bytes = std::fs::read(path).unwrap();
+        bytes.truncate(truncate_to.min(bytes.len()));
+        for (at, mask) in flips {
+            if !bytes.is_empty() {
+                let at = at % bytes.len();
+                bytes[at] ^= mask;
+            }
+        }
+        std::fs::write(path, &bytes).unwrap();
+        if let Ok(store) = ctr_runtime::WalStore::open(&dir) {
+            let _ = ctr_runtime::Runtime::open(std::sync::Arc::new(store));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

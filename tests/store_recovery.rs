@@ -1,0 +1,210 @@
+//! Kill-recover property: crash the write-ahead store at a random byte
+//! offset inside the last operation's write, recover, and the replayed
+//! runtime must byte-match a never-crashed oracle.
+//!
+//! Every operation below issues at most one store append (the group
+//! commit discipline), so a tear inside the final operation's bytes
+//! invalidates exactly that operation's frame: recovery lands on the
+//! state just before it. A tear that removes the whole frame — or no
+//! tear at all, when the operation wrote nothing — lands on the state
+//! just after it. Both are checked against an oracle [`Runtime`] that
+//! ran the corresponding prefix with no store attached.
+
+use ctr_runtime::{Runtime, WalStore};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SPECS: [(&str, &str); 2] = [
+    (
+        "pay",
+        "workflow pay { graph invoice * (approve # audit) * archive; }",
+    ),
+    ("ship", "workflow ship { graph pick * pack * dispatch; }"),
+];
+
+/// One session operation. Each variant performs at most one store
+/// append when applied, which is what makes the torn-tail oracle exact.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Deploy `SPECS[i]` (skipped once deployed).
+    Deploy(usize),
+    /// Start an instance of `SPECS[i]` (skipped until deployed).
+    Start(usize),
+    /// Group-commit up to `k` currently-eligible events on the
+    /// `slot`-th instance (skipped while no instance exists).
+    FireBatch(usize, usize),
+    /// Probe the `slot`-th instance for completion.
+    Complete(usize),
+    /// Compact the store (durable side only; a no-op on the oracle).
+    Checkpoint,
+}
+
+/// Applies `op` identically on the durable runtime and the oracle: all
+/// choices (which instance, which events) read only deterministic,
+/// sorted runtime state, so the two sides stay in lockstep.
+fn apply(rt: &mut Runtime, op: &Op, durable: bool) {
+    match *op {
+        Op::Deploy(i) => {
+            let (name, source) = SPECS[i];
+            if !rt.workflows().contains(&name.to_owned()) {
+                rt.deploy_source(source).expect("deploy");
+            }
+        }
+        Op::Start(i) => {
+            let (name, _) = SPECS[i];
+            if rt.workflows().contains(&name.to_owned()) {
+                rt.start(name).expect("start");
+            }
+        }
+        Op::FireBatch(slot, k) => {
+            let ids = rt.instances();
+            let Some(&id) = ids.get(slot % ids.len().max(1)) else {
+                return;
+            };
+            let events: Vec<String> = rt
+                .eligible(id)
+                .unwrap_or_default()
+                .into_iter()
+                .take(k)
+                .collect();
+            if !events.is_empty() {
+                rt.fire_batch(id, &events).expect("fire_batch");
+            }
+        }
+        Op::Complete(slot) => {
+            let ids = rt.instances();
+            if let Some(&id) = ids.get(slot % ids.len().max(1)) {
+                let _ = rt.try_complete(id);
+            }
+        }
+        Op::Checkpoint => {
+            if durable {
+                rt.checkpoint().expect("checkpoint");
+            }
+        }
+    }
+}
+
+/// Byte length of every `.seg` file under `dir`, keyed by path.
+fn seg_sizes(dir: &Path) -> BTreeMap<PathBuf, u64> {
+    let mut sizes = BTreeMap::new();
+    let Ok(shards) = std::fs::read_dir(dir) else {
+        return sizes;
+    };
+    for shard in shards.flatten() {
+        let Ok(entries) = std::fs::read_dir(shard.path()) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            if entry.path().extension().is_some_and(|e| e == "seg") {
+                sizes.insert(entry.path(), entry.metadata().map(|m| m.len()).unwrap_or(0));
+            }
+        }
+    }
+    sizes
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ctr_recovery_{tag}_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..SPECS.len()).prop_map(Op::Deploy),
+        (0..SPECS.len()).prop_map(Op::Start),
+        ((0..8usize), (1..5usize)).prop_map(|(slot, k)| Op::FireBatch(slot, k)),
+        (0..8usize).prop_map(Op::Complete),
+        Just(Op::Checkpoint),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Crash the WAL at a random byte offset inside the final
+    /// operation's write; the recovered snapshot byte-matches the
+    /// oracle that stopped just before (torn) or just after (untouched)
+    /// that operation.
+    #[test]
+    fn kill_recover_matches_the_never_crashed_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..16),
+        tear in 1..4096usize,
+    ) {
+        let dir = scratch("kill");
+        let (prefix, last) = ops.split_at(ops.len() - 1);
+
+        let mut rt = Runtime::with_store(Arc::new(WalStore::open(&dir).unwrap()));
+        for op in prefix {
+            apply(&mut rt, op, true);
+        }
+        let before = seg_sizes(&dir);
+        apply(&mut rt, &last[0], true);
+        drop(rt); // the crash: no shutdown hook runs, files stay as-is
+
+        // Tear `1..=written` bytes off the end of whichever segment the
+        // final operation extended (checkpoints and no-op finals extend
+        // nothing and are left alone).
+        let after = seg_sizes(&dir);
+        let grown = after
+            .iter()
+            .find(|(path, len)| before.get(*path).copied().unwrap_or(0) < **len);
+        let torn = if let Some((path, &len)) = grown {
+            let written = len - before.get(path).copied().unwrap_or(0);
+            let cut = len - 1 - (tear as u64 - 1) % written;
+            let file = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+            file.set_len(cut).unwrap();
+            true
+        } else {
+            false
+        };
+
+        let mut oracle = Runtime::new();
+        let survived = if torn { prefix } else { &ops[..] };
+        for op in survived {
+            apply(&mut oracle, op, false);
+        }
+
+        let store = Arc::new(WalStore::open(&dir).unwrap());
+        let recovered = Runtime::open(store).unwrap();
+        prop_assert_eq!(recovered.snapshot(), oracle.snapshot());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The recovered runtime is live, not just a matching snapshot: it
+    /// accepts further work and a second recovery sees that work too.
+    #[test]
+    fn recovery_composes_with_further_work(
+        ops in proptest::collection::vec(op_strategy(), 1..10),
+    ) {
+        let dir = scratch("compose");
+
+        let mut rt = Runtime::with_store(Arc::new(WalStore::open(&dir).unwrap()));
+        for op in &ops {
+            apply(&mut rt, op, true);
+        }
+        drop(rt);
+
+        let mut recovered = Runtime::open(Arc::new(WalStore::open(&dir).unwrap())).unwrap();
+        apply(&mut recovered, &Op::Deploy(0), true);
+        apply(&mut recovered, &Op::Start(0), true);
+        apply(&mut recovered, &Op::FireBatch(7, 2), true);
+        let expected = recovered.snapshot();
+        drop(recovered);
+
+        let again = Runtime::open(Arc::new(WalStore::open(&dir).unwrap())).unwrap();
+        prop_assert_eq!(again.snapshot(), expected);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -182,6 +182,64 @@ pub mod strategy {
 
         /// Generates one value.
         fn generate(&self, source: &mut ValueSource) -> Self::Value;
+
+        /// Maps generated values through `map` — `strategy.prop_map(f)`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Type-erases the strategy so differently-shaped strategies can
+        /// share one slot (the arms of `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, source: &mut ValueSource) -> T {
+            (self.map)(self.inner.generate(source))
+        }
+    }
+
+    /// A type-erased strategy; see [`Strategy::boxed`].
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, source: &mut ValueSource) -> T {
+            (**self).generate(source)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, source: &mut ValueSource) -> Self::Value {
+            (self.0.generate(source), self.1.generate(source))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, source: &mut ValueSource) -> Self::Value {
+            (
+                self.0.generate(source),
+                self.1.generate(source),
+                self.2.generate(source),
+            )
+        }
     }
 
     macro_rules! impl_int_range {
@@ -221,7 +279,9 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among homogeneous strategies — `prop_oneof!`.
+    /// Uniform choice among strategies of one value type — `prop_oneof!`
+    /// (the macro boxes each arm, so the strategies themselves may be
+    /// heterogeneous).
     pub struct OneOf<S> {
         options: Vec<S>,
     }
@@ -429,11 +489,15 @@ macro_rules! prop_assert_ne {
     }};
 }
 
-/// Uniform choice among strategies of the same type.
+/// Uniform choice among strategies producing the same value type. Each
+/// arm is boxed, so differently-shaped strategies (a range, a `Just`, a
+/// `prop_map`) can mix freely.
 #[macro_export]
 macro_rules! prop_oneof {
     ($($strat:expr),+ $(,)?) => {
-        $crate::strategy::OneOf::new(vec![$($strat),+])
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
     };
 }
 
