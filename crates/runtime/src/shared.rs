@@ -35,6 +35,21 @@
 //! [`Runtime::snapshot`] on the same logical state — both serialize
 //! through the same per-deployment/per-instance code.
 //!
+//! With a store attached, the store's own stripe locks sit strictly
+//! *below* every runtime lock (they are only ever taken inside a
+//! [`Store`] call, never around one), and each durable **control-record
+//! append rides inside the lock that publishes its effect**: deploy
+//! records under the registry write lock, start records under the
+//! destination shard lock, event/complete records under the instance
+//! lock. That discipline is what makes [`SharedRuntime::checkpoint`]'s
+//! freeze a true cut — holding the registry read lock, every shard
+//! lock, and every instance lock excludes every in-flight control
+//! append, so no record can take a sequence number below the checkpoint
+//! cut while the state it describes is still invisible to the snapshot.
+//! (Without it, a start could append its record, the checkpoint could
+//! truncate that record behind a snapshot that misses the instance, and
+//! recovery would fail on the instance's surviving event records.)
+//!
 //! ## Poisoning
 //!
 //! All locks recover from poisoning (`PoisonError::into_inner`): a panic
@@ -185,24 +200,30 @@ impl SharedRuntime {
     }
 
     /// See [`Runtime::deploy_source`]. Parsing and compilation run
-    /// outside any lock; only the registry insert takes the write lock.
-    /// With a store attached the deploy record is durable before the
-    /// registry exposes the deployment.
+    /// outside any lock; the registry write lock covers the durable
+    /// deploy append *and* the insert, so the record is durable before
+    /// the registry exposes the deployment — and a fleet frozen under
+    /// the registry read lock ([`SharedRuntime::checkpoint`]) has no
+    /// in-flight deploy whose record could predate the checkpoint cut
+    /// yet miss its snapshot.
     pub fn deploy_source(&self, source: &str) -> Result<String, RuntimeError> {
         let mut staging = Runtime::new();
         let name = staging.deploy_source(source)?;
         let deployment = staging.deployments.remove(&name).expect("just deployed");
-        self.persist_deploy(&name, &deployment)?;
-        self.inner
+        let mut registry = self
+            .inner
             .registry
             .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(name.clone(), deployment);
+            .unwrap_or_else(PoisonError::into_inner);
+        self.persist_deploy(&name, &deployment)?;
+        registry.insert(name.clone(), deployment);
         Ok(name)
     }
 
     /// See [`Runtime::deploy_compiled`]. Compilation runs outside any
-    /// lock. Running instances keep the program they started with.
+    /// lock; append + insert share the registry write lock (see
+    /// [`SharedRuntime::deploy_source`]). Running instances keep the
+    /// program they started with.
     pub fn deploy_compiled(
         &self,
         name: &str,
@@ -211,18 +232,20 @@ impl SharedRuntime {
         let mut staging = Runtime::new();
         staging.deploy_compiled(name, compiled)?;
         let deployment = staging.deployments.remove(name).expect("just deployed");
-        self.persist_deploy(name, &deployment)?;
-        self.inner
+        let mut registry = self
+            .inner
             .registry
             .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(name.to_owned(), deployment);
+            .unwrap_or_else(PoisonError::into_inner);
+        self.persist_deploy(name, &deployment)?;
+        registry.insert(name.to_owned(), deployment);
         Ok(())
     }
 
     /// Write-ahead append of a deploy record (no-op without a store).
     /// The staging runtime above is store-less on purpose: the record is
-    /// appended exactly once, here.
+    /// appended exactly once, here — and always with the registry write
+    /// lock held, see [`SharedRuntime::deploy_source`].
     fn persist_deploy(&self, name: &str, deployment: &Deployment) -> Result<(), RuntimeError> {
         if let Some(store) = &self.inner.store {
             store
@@ -247,16 +270,22 @@ impl SharedRuntime {
     }
 
     /// See [`Runtime::start`]. Takes the registry read lock (shared with
-    /// other starters) and one shard lock for the insert. With a store
-    /// attached the start record is durable before the instance becomes
-    /// visible — so any event subsequently fired on it lands in the log
-    /// strictly after its start (same stripe, later sequence number). A
-    /// failed persist burns the allocated id, which is harmless: ids
-    /// only ever need to be unique and monotonic.
+    /// other starters) and one shard lock covering the durable start
+    /// append *and* the insert. With a store attached the start record
+    /// is durable before the instance becomes visible — so any event
+    /// subsequently fired on it lands in the log strictly after its
+    /// start (same stripe, later sequence number) — and, because the
+    /// append happens *under the destination shard's lock*, a fleet
+    /// frozen by [`SharedRuntime::checkpoint`] (which holds every shard
+    /// lock) has no in-flight start whose record could predate the
+    /// checkpoint cut yet miss its snapshot. A failed persist burns the
+    /// allocated id, which is harmless: ids only ever need to be unique
+    /// and monotonic.
     pub fn start(&self, workflow: &str) -> Result<InstanceId, RuntimeError> {
         let deployment = self.inner.deployment(workflow)?;
         let instance = Instance::new(workflow.to_owned(), Arc::clone(&deployment.program));
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut shard = lock(&self.inner.shard(id).instances);
         if let Some(store) = &self.inner.store {
             store
                 .append(&ctr_store::Record::Start {
@@ -265,7 +294,7 @@ impl SharedRuntime {
                 })
                 .map_err(|e| RuntimeError::Store(e.to_string()))?;
         }
-        lock(&self.inner.shard(id).instances).insert(id, Arc::new(Mutex::new(instance)));
+        shard.insert(id, Arc::new(Mutex::new(instance)));
         Ok(id)
     }
 
@@ -1053,6 +1082,48 @@ mod tests {
         let recovered = SharedRuntime::open(store).unwrap();
         assert_eq!(recovered.snapshot(), rt.snapshot());
         assert!(recovered.is_complete(id).unwrap());
+    }
+
+    #[test]
+    fn checkpoint_never_loses_concurrent_starts_or_deploys() {
+        use ctr_store::MemStore;
+        // Regression: `start` used to append its Start record *before*
+        // taking the shard lock (and deploys appended before the
+        // registry write lock), so a checkpoint could freeze the fleet
+        // without the new instance, truncate its already-appended Start
+        // record behind the snapshot, and recovery would then fail with
+        // UnknownInstance on the instance's surviving event records.
+        // Hammer starts, fires, redeploys, and checkpoints concurrently;
+        // recovery reproducing the exact fleet is the assertion.
+        let store = Arc::new(MemStore::new());
+        let rt = SharedRuntime::with_store(Arc::clone(&store) as Arc<dyn Store>);
+        rt.deploy_source(PAY).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rt = rt.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let id = rt.start("pay").unwrap();
+                        rt.fire(id, "invoice").unwrap();
+                    }
+                });
+            }
+            let deployer = rt.clone();
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    deployer.deploy_source(PAY).unwrap();
+                }
+            });
+            let compactor = rt.clone();
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    compactor.checkpoint().unwrap();
+                }
+            });
+        });
+        let recovered = SharedRuntime::open(store).unwrap();
+        assert_eq!(recovered.snapshot(), rt.snapshot());
+        assert_eq!(recovered.instances().len(), 200);
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub enum StoreError {
     /// Durable data failed validation beyond what torn-tail repair is
     /// allowed to discard (e.g. a checkpoint with a mangled header).
     Corrupt(String),
+    /// The record cannot be represented in the backend's wire format —
+    /// an oversized payload, or a name the text encoding cannot
+    /// round-trip (see [`Record::validate_encodable`]). Rejected
+    /// *before* any byte is written, so the log is untouched.
+    Unencodable(String),
 }
 
 impl fmt::Display for StoreError {
@@ -58,6 +63,7 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "store i/o error: {e}"),
             StoreError::Corrupt(e) => write!(f, "store corruption: {e}"),
+            StoreError::Unencodable(e) => write!(f, "store cannot encode record: {e}"),
         }
     }
 }
@@ -119,6 +125,33 @@ impl Record {
         match self {
             Record::Events { events, .. } => events.len() as u64,
             _ => 0,
+        }
+    }
+
+    /// Checks that the text wire format can round-trip this record:
+    /// workflow and event names must be non-empty and whitespace-free.
+    /// The encoding separates fields with tabs and event lists with
+    /// spaces, so a name containing either would decode into different
+    /// fields or a different event list than was appended — silent
+    /// replay divergence. (Such names never come out of the parser, but
+    /// `deploy_compiled` accepts hand-built goals, so the encoding
+    /// backend rejects them with a typed error instead.) Goal text is
+    /// exempt: it is always the final field of its record, so the
+    /// decoder takes it verbatim to end of payload.
+    pub fn validate_encodable(&self) -> Result<(), StoreError> {
+        fn name_ok(kind: &str, name: &str) -> Result<(), StoreError> {
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(StoreError::Unencodable(format!(
+                    "{kind} name {name:?} is empty or contains whitespace and cannot round-trip the wire format"
+                )));
+            }
+            Ok(())
+        }
+        match self {
+            Record::Deploy { name, .. } => name_ok("workflow", name),
+            Record::Start { workflow, .. } => name_ok("workflow", workflow),
+            Record::Events { events, .. } => events.iter().try_for_each(|e| name_ok("event", e)),
+            Record::Complete { .. } => Ok(()),
         }
     }
 }
@@ -303,7 +336,8 @@ impl Store for MemStore {
 
 /// Serializes a record payload: tab-separated fields, one line, with
 /// the global sequence number as the second field. Event lists are
-/// space-separated (names are identifiers — no spaces or tabs).
+/// space-separated — whitespace-free names are *enforced* by
+/// [`Record::validate_encodable`] on the write path, not assumed.
 pub(crate) fn encode_payload(seq: u64, record: &Record) -> Vec<u8> {
     let text = match record {
         Record::Deploy { name, goal } => format!("d\t{seq}\t{name}\t{goal}"),
@@ -451,6 +485,42 @@ mod tests {
         assert!(decode_payload(b"e\tnotanumber\t0\ta").is_err());
         assert!(decode_payload(b"s\t1\tnotanid\tpay").is_err());
         assert!(decode_payload(&[0xFF, 0xFE, 0x00]).is_err());
+    }
+
+    #[test]
+    fn validate_encodable_rejects_names_the_wire_format_cannot_round_trip() {
+        let bad_events = |names: &[&str]| Record::Events {
+            instance: 0,
+            events: names.iter().map(|s| (*s).to_owned()).collect(),
+        };
+        assert!(bad_events(&["ok", "two words"])
+            .validate_encodable()
+            .is_err());
+        assert!(bad_events(&["tab\there"]).validate_encodable().is_err());
+        assert!(bad_events(&[""]).validate_encodable().is_err());
+        assert!(bad_events(&["ok", "also_ok"]).validate_encodable().is_ok());
+        assert!(Record::Deploy {
+            name: "spaced out".to_owned(),
+            goal: "a * b".to_owned(),
+        }
+        .validate_encodable()
+        .is_err());
+        // Goal text is the final field of its record: spaces are fine.
+        assert!(Record::Deploy {
+            name: "pay".to_owned(),
+            goal: "invoice * (approve + reject) * file".to_owned(),
+        }
+        .validate_encodable()
+        .is_ok());
+        assert!(Record::Start {
+            instance: 1,
+            workflow: "w f".to_owned(),
+        }
+        .validate_encodable()
+        .is_err());
+        assert!(Record::Complete { instance: 1 }
+            .validate_encodable()
+            .is_ok());
     }
 
     #[test]

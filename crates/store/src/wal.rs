@@ -27,6 +27,15 @@
 //! appends are sequential and synced — so any later segments of that
 //! stripe are discarded with it rather than replayed out of order.
 //!
+//! The write path defends that invariant: payloads over [`MAX_PAYLOAD`]
+//! and records the text format cannot round-trip (see
+//! [`Record::validate_encodable`]) are rejected with
+//! [`StoreError::Unencodable`] before any byte lands, and a failed
+//! write or fsync truncates the segment back to its last acknowledged
+//! byte (poisoning the stripe until the truncation succeeds) — so a
+//! mid-segment frame that fails the scan can only mean external
+//! corruption, never a write the store itself acknowledged past.
+//!
 //! ## Group commit
 //!
 //! One [`WalStore::append`] = one frame = **one** `fdatasync`, however
@@ -94,6 +103,12 @@ struct StripeLog {
     seg_index: u64,
     /// Bytes written to the current segment.
     seg_bytes: u64,
+    /// A failed append may have left a partial frame after `seg_bytes`.
+    /// While set, no further append may land — the next write after
+    /// garbage would be unreachable at recovery (the scan truncates at
+    /// the first bad frame). [`WalStore::repair`] truncates the segment
+    /// back to `seg_bytes` and clears the flag.
+    dirty: bool,
 }
 
 impl StripeLog {
@@ -180,6 +195,7 @@ impl WalStore {
                 file: None,
                 seg_index: scan.seg_index,
                 seg_bytes: scan.seg_bytes,
+                dirty: false,
             }));
         }
 
@@ -323,13 +339,30 @@ fn scan_segment(bytes: &[u8], cut: u64) -> (u64, Vec<(u64, Record)>) {
 
 impl Store for WalStore {
     fn append(&self, record: &Record) -> Result<(), StoreError> {
+        record.validate_encodable()?;
         let stripe = &self.stripes[record.shard(self.options.shards)];
         let mut log = lock(stripe);
+        if log.dirty {
+            // A previous append failed mid-frame and its immediate
+            // repair failed too; retry before writing anything new.
+            self.repair(&mut log)?;
+        }
         // Sequence allocation happens under the stripe lock on purpose:
         // checkpoint holds every stripe lock, so no append can hold an
         // unwritten seq while the cut is being chosen.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let payload = encode_payload(seq, record);
+        if payload.len() > MAX_PAYLOAD as usize {
+            // The scan enforces this limit on read; a frame written past
+            // it would be rejected at recovery as a torn tail, taking
+            // every later record of the stripe with it. Refuse it here,
+            // before any byte lands. (The burned seq is a harmless gap —
+            // recovery merges by seq, it never requires contiguity.)
+            return Err(StoreError::Unencodable(format!(
+                "record payload of {} bytes exceeds the {MAX_PAYLOAD} byte frame limit",
+                payload.len()
+            )));
+        }
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -338,10 +371,18 @@ impl Store for WalStore {
         if log.file.is_none() || log.seg_bytes >= self.options.segment_bytes {
             self.rotate(&mut log)?;
         }
+        let path = log.segment_path(log.seg_index);
         let file = log.file.as_mut().expect("rotate opened a segment");
-        file.write_all(&frame)
-            .and_then(|()| file.sync_data())
-            .map_err(|e| io_err("appending to", &log.segment_path(log.seg_index), e))?;
+        if let Err(e) = file.write_all(&frame).and_then(|()| file.sync_data()) {
+            // The segment may now hold a partial frame, and a handle
+            // whose write or fsync failed cannot be trusted about what
+            // is durable. Truncate back to the last acknowledged byte
+            // now; if even that fails, the stripe stays poisoned and
+            // every later append retries the repair first.
+            log.dirty = true;
+            let _ = self.repair(&mut log);
+            return Err(io_err("appending to", &path, e));
+        }
         log.seg_bytes += frame.len() as u64;
         self.counters.on_fsync();
         self.counters.on_append(record.event_count());
@@ -354,11 +395,17 @@ impl Store for WalStore {
         }
         // Subsequent calls re-scan the disk (read-only: repairs already
         // happened at open, and appends since then are whole by
-        // construction).
+        // construction). Every stripe lock is held for the whole scan —
+        // the same freeze checkpoint takes, in the same ascending order
+        // — so concurrent appends and checkpoints cannot interleave
+        // mid-scan and the merged result is a single point in time
+        // across stripes (never, say, an `Events` record without the
+        // earlier `Start` an in-flight append was still writing to
+        // another stripe).
+        let logs: Vec<MutexGuard<'_, StripeLog>> = self.stripes.iter().map(lock).collect();
         let (snapshot, cut) = read_checkpoint(&self.root)?;
         let mut per_shard = Vec::with_capacity(self.options.shards);
-        for stripe in &self.stripes {
-            let log = lock(stripe);
+        for log in &logs {
             let mut segments: Vec<u64> = fs::read_dir(&log.dir)
                 .map_err(|e| io_err("listing", &log.dir, e))?
                 .filter_map(|entry| entry.ok())
@@ -425,6 +472,9 @@ impl Store for WalStore {
             log.file = None;
             log.seg_index += 1;
             log.seg_bytes = 0;
+            // Any partial frame a failed append left behind was deleted
+            // with its segment; the stripe starts clean.
+            log.dirty = false;
         }
         self.counters.on_compaction();
         Ok(())
@@ -436,6 +486,27 @@ impl Store for WalStore {
 }
 
 impl WalStore {
+    /// Truncates a stripe's open segment back to its last acknowledged
+    /// byte after a failed append (possibly) left a partial frame past
+    /// `seg_bytes` — writing after that garbage would strand every
+    /// later record behind an unreadable frame at recovery. The failed
+    /// handle is discarded (after a failed write or fsync its state is
+    /// untrustworthy); the next append reopens the segment fresh.
+    /// Called with the stripe lock held.
+    fn repair(&self, log: &mut StripeLog) -> Result<(), StoreError> {
+        log.file = None;
+        let path = log.segment_path(log.seg_index);
+        let file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("reopening to repair", &path, e))?;
+        file.set_len(log.seg_bytes)
+            .and_then(|()| file.sync_all())
+            .map_err(|e| io_err("truncating failed append in", &path, e))?;
+        log.dirty = false;
+        Ok(())
+    }
+
     /// Opens the next segment file for a stripe (called with the stripe
     /// lock held).
     fn rotate(&self, log: &mut StripeLog) -> Result<(), StoreError> {
@@ -667,6 +738,89 @@ mod tests {
         for (i, r) in replay.records.iter().enumerate() {
             assert_eq!(r, &ev(i as u64 % 4, &[&format!("e{i}")]), "global order");
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_frame_from_a_failed_append_is_repaired_before_the_next() {
+        use std::io::Write as _;
+        // Simulate a failed append that left a partial frame behind the
+        // acknowledged tail: write garbage through the open handle and
+        // mark the stripe dirty, exactly the state the append error
+        // path leaves when its immediate repair also fails. The next
+        // append must truncate back to the last acknowledged byte
+        // before writing — otherwise its record (and everything after)
+        // would sit behind an unreadable frame and be discarded as a
+        // torn tail at recovery.
+        let dir = scratch("failedappend");
+        let store = WalStore::open(&dir).unwrap();
+        store.append(&ev(1, &["a"])).unwrap();
+        {
+            let mut log = lock(&store.stripes[1]);
+            let good = log.seg_bytes;
+            let path = log.segment_path(log.seg_index);
+            log.file
+                .as_mut()
+                .unwrap()
+                .write_all(&[0xDE, 0xAD, 0xBE])
+                .unwrap();
+            assert!(fs::metadata(&path).unwrap().len() > good);
+            log.dirty = true;
+        }
+        store.append(&ev(1, &["b"])).unwrap();
+        drop(store);
+        let store = WalStore::open(&dir).unwrap();
+        assert_eq!(store.stats().torn_bytes, 0, "no garbage survived");
+        assert_eq!(
+            store.replay().unwrap().records,
+            vec![ev(1, &["a"]), ev(1, &["b"])]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unencodable_records_are_rejected_before_any_write() {
+        let dir = scratch("unencodable");
+        let store = WalStore::open(&dir).unwrap();
+        // An event name with whitespace would round-trip into multiple
+        // events (`split_whitespace` on read) — replay divergence.
+        let err = store.append(&ev(2, &["two words"])).unwrap_err();
+        assert!(matches!(err, StoreError::Unencodable(_)), "got {err:?}");
+        let err = store
+            .append(&Record::Start {
+                instance: 2,
+                workflow: "tab\tbed".to_owned(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Unencodable(_)), "got {err:?}");
+        // Nothing landed; the stripe still accepts normal traffic.
+        assert_eq!(store.stats().appends, 0);
+        store.append(&ev(2, &["fine"])).unwrap();
+        drop(store);
+        let store = WalStore::open(&dir).unwrap();
+        assert_eq!(store.replay().unwrap().records, vec![ev(2, &["fine"])]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_before_any_write() {
+        // The scan rejects frames over MAX_PAYLOAD on read; writing one
+        // anyway would strand it (and every later record of the stripe)
+        // as a torn tail at recovery. The write path must refuse first.
+        let dir = scratch("toolarge");
+        let store = WalStore::open(&dir).unwrap();
+        let err = store
+            .append(&Record::Deploy {
+                name: "big".to_owned(),
+                goal: "g".repeat(MAX_PAYLOAD as usize + 1),
+            })
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Unencodable(_)), "got {err:?}");
+        assert_eq!(store.stats().appends, 0);
+        store.append(&ev(0, &["a"])).unwrap();
+        drop(store);
+        let store = WalStore::open(&dir).unwrap();
+        assert_eq!(store.replay().unwrap().records, vec![ev(0, &["a"])]);
         fs::remove_dir_all(&dir).unwrap();
     }
 
