@@ -26,7 +26,16 @@ use std::time::Instant;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let store_only = std::env::args().any(|a| a == "--store-only");
     let t0 = Instant::now();
+    if store_only {
+        // Regenerate only BENCH_store.json at full size — the store
+        // bench depends on real fsync latency, so it is the one table
+        // worth re-measuring in isolation on a quiet machine.
+        bench_store_json(smoke);
+        eprintln!("\n(total {:.1?})", t0.elapsed());
+        return;
+    }
     if !smoke {
         e1_apply_size();
         e2_excise_linear();
@@ -1121,17 +1130,27 @@ fn bench_verify_json(smoke: bool) {
     eprintln!("wrote BENCH_verify.json ({} workloads)", records.len());
 }
 
-/// Machine-readable record of the durability cost spectrum: the same
-/// instance-driving loop over three store configurations —
-/// `durability/mem` (in-memory journal, the ceiling), `durability/wal`
-/// (write-ahead log, one fsync per fired event), and
-/// `durability/wal_group` (write-ahead log, whole trace per
-/// `fire_batch`, i.e. group commit: one fsync per instance). The
-/// interesting columns are `fires_per_sec` and `fsyncs_per_fire` — group
-/// commit should recover most of the in-memory throughput while keeping
-/// every committed event durable.
+/// Machine-readable record of the durability cost spectrum.
+///
+/// Single-threaded rows, the same instance-driving loop over three
+/// store configurations: `durability/mem` (in-memory journal, the
+/// ceiling), `durability/wal` (write-ahead log, one fsync per fired
+/// event), and `durability/wal_group` (whole trace per `fire_batch`,
+/// i.e. batch-level group commit: one fsync per instance).
+///
+/// Multi-threaded rows, `durability_mt/{strict,coalesced}xT`: T client
+/// threads fire per-event appends into a *one-stripe* WAL through a
+/// `SharedRuntime` — one stripe on purpose, so every append contends on
+/// the same commit pipeline and the rows measure cross-thread commit
+/// coalescing itself, not stripe spreading. Under `strict` the threads
+/// serialize behind each other's fsyncs (throughput stays flat as T
+/// grows); under `coalesced` concurrent appends share one fsync, so
+/// `fires_per_sec` scales with T while `fsyncs_per_fire` falls.
+/// `commit_p50_us`/`commit_p99_us` are client-observed per-fire commit
+/// latencies (single-threaded rows report the store's own fsync
+/// histogram percentiles instead).
 fn bench_store_json(smoke: bool) {
-    use ctr_runtime::{MemStore, Store, WalStore};
+    use ctr_runtime::{Durability, MemStore, Store, WalOptions, WalStore};
     use std::sync::Arc;
 
     const EVENTS: usize = 16;
@@ -1140,16 +1159,20 @@ fn bench_store_json(smoke: bool) {
     let instances = if smoke { 16 } else { 128 };
 
     struct Record {
-        name: &'static str,
+        name: String,
         instances: usize,
+        threads: usize,
         events: u64,
         elapsed_ns: u128,
         appends: u64,
         fsyncs: u64,
+        rotation_syncs: u64,
+        commit_p50_us: u64,
+        commit_p99_us: u64,
     }
     let mut records: Vec<Record> = Vec::new();
 
-    let mut measure = |name: &'static str, store: Arc<dyn Store>, grouped: bool| {
+    let mut measure = |name: &str, store: Arc<dyn Store>, grouped: bool| {
         let mut rt = Runtime::with_store(store);
         rt.deploy_source(&source).expect("deploy chain");
         let t0 = Instant::now();
@@ -1167,12 +1190,16 @@ fn bench_store_json(smoke: bool) {
         let elapsed_ns = t0.elapsed().as_nanos();
         let stats = rt.store_stats().expect("store attached");
         records.push(Record {
-            name,
+            name: name.to_owned(),
             instances,
+            threads: 1,
             events: stats.events,
             elapsed_ns,
             appends: stats.appends,
             fsyncs: stats.fsyncs,
+            rotation_syncs: stats.rotation_syncs,
+            commit_p50_us: stats.fsync_p50_micros(),
+            commit_p99_us: stats.fsync_p99_micros(),
         });
     };
 
@@ -1186,6 +1213,91 @@ fn bench_store_json(smoke: bool) {
             grouped,
         );
     }
+
+    // Cross-thread group commit, measured on one stripe so every append
+    // rides the same commit pipeline.
+    let per_thread = if smoke { 2 } else { 16 };
+    let warmup = if smoke { 1 } else { 2 };
+    let mt_threads: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    /// Drives every instance of `ids[t]` through `trace` on thread `t`
+    /// (one append per fire), returning each fire's client-observed
+    /// commit latency in microseconds.
+    fn drive_mt(rt: &SharedRuntime, ids: &[Vec<InstanceId>], trace: &[String]) -> Vec<u64> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ids
+                .iter()
+                .map(|mine| {
+                    scope.spawn(move || {
+                        let mut lat = Vec::with_capacity(mine.len() * trace.len());
+                        for &id in mine {
+                            for event in trace {
+                                let f0 = Instant::now();
+                                rt.fire(id, event).expect("fire");
+                                lat.push(f0.elapsed().as_micros() as u64);
+                            }
+                            rt.try_complete(id).expect("complete");
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        })
+    }
+
+    for (mode, durability) in [
+        ("strict", Durability::Strict),
+        ("coalesced", Durability::coalesced()),
+    ] {
+        for &threads in mt_threads {
+            std::fs::remove_dir_all(&wal_dir).ok();
+            let options = WalOptions {
+                shards: 1,
+                durability,
+                ..WalOptions::default()
+            };
+            let store = Arc::new(WalStore::open_with(&wal_dir, options).expect("open wal"));
+            let rt = SharedRuntime::with_store(store);
+            rt.deploy_source(&source).expect("deploy chain");
+            let start_fleet = |count: usize| -> Vec<Vec<InstanceId>> {
+                (0..threads)
+                    .map(|_| {
+                        (0..count)
+                            .map(|_| rt.start("chain").expect("start"))
+                            .collect()
+                    })
+                    .collect()
+            };
+            // Warm the page cache, the segment files, and the
+            // pipeline's concurrency estimate before the timer starts.
+            let warm_ids = start_fleet(warmup);
+            drive_mt(&rt, &warm_ids, &trace);
+            let ids = start_fleet(per_thread);
+            let before = rt.store_stats().expect("store attached");
+            let t0 = Instant::now();
+            let mut latencies = drive_mt(&rt, &ids, &trace);
+            let elapsed_ns = t0.elapsed().as_nanos();
+            let after = rt.store_stats().expect("store attached");
+            latencies.sort_unstable();
+            let pct = |p: usize| latencies[(latencies.len() * p / 100).min(latencies.len() - 1)];
+            records.push(Record {
+                name: format!("durability_mt/{mode}x{threads}"),
+                instances: threads * per_thread,
+                threads,
+                events: after.events - before.events,
+                elapsed_ns,
+                appends: after.appends - before.appends,
+                fsyncs: after.fsyncs - before.fsyncs,
+                rotation_syncs: after.rotation_syncs,
+                commit_p50_us: pct(50),
+                commit_p99_us: pct(99),
+            });
+        }
+    }
     std::fs::remove_dir_all(&wal_dir).ok();
 
     let rows: Vec<String> = records
@@ -1193,17 +1305,22 @@ fn bench_store_json(smoke: bool) {
         .map(|r| {
             let secs = (r.elapsed_ns as f64 / 1e9).max(1e-9);
             format!(
-                "  {{\"name\": \"{}\", \"instances\": {}, \"events\": {}, \
-                 \"elapsed_ns\": {}, \"appends\": {}, \"fsyncs\": {}, \
-                 \"fires_per_sec\": {:.0}, \"fsyncs_per_fire\": {:.4}}}",
+                "  {{\"name\": \"{}\", \"instances\": {}, \"threads\": {}, \
+                 \"events\": {}, \"elapsed_ns\": {}, \"appends\": {}, \"fsyncs\": {}, \
+                 \"rotation_syncs\": {}, \"fires_per_sec\": {:.0}, \
+                 \"fsyncs_per_fire\": {:.4}, \"commit_p50_us\": {}, \"commit_p99_us\": {}}}",
                 r.name,
                 r.instances,
+                r.threads,
                 r.events,
                 r.elapsed_ns,
                 r.appends,
                 r.fsyncs,
+                r.rotation_syncs,
                 r.events as f64 / secs,
-                r.fsyncs as f64 / r.events.max(1) as f64
+                r.fsyncs as f64 / r.events.max(1) as f64,
+                r.commit_p50_us,
+                r.commit_p99_us
             )
         })
         .collect();

@@ -449,19 +449,47 @@ pub fn cmd_enumerate(input: &str, limit: usize) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `ctr run --store <dir> <verb>`: one step of a durable workflow
-/// session. Every invocation opens the write-ahead store at `dir`
-/// (creating it on first use), replays it into a fresh runtime —
-/// recovery failure is a nonzero exit — applies the verb, and returns.
-/// All mutations (`deploy`, `start`, `fire`, `pump`) are durable before
-/// the command prints anything, so the session survives `kill -9`
-/// between (or during) invocations.
-pub fn cmd_run(dir: &str, verb: &str, rest: &[String]) -> Result<String, CliError> {
-    use ctr_runtime::{Runtime, Store, WalStore};
+/// Parses a `--durability` value: `strict` (one fsync per append),
+/// `coalesced` (cross-thread group commit, still durable-on-return), or
+/// `periodic` (acknowledge at staging; background sync bounds the loss
+/// window — relaxed, documented as such).
+pub fn parse_durability(value: &str) -> Result<ctr_runtime::Durability, CliError> {
+    use ctr_runtime::Durability;
+    match value {
+        "strict" => Ok(Durability::Strict),
+        "coalesced" => Ok(Durability::coalesced()),
+        "periodic" => Ok(Durability::periodic()),
+        other => Err(CliError::usage(format!(
+            "--durability must be strict, coalesced, or periodic (got `{other}`)"
+        ))),
+    }
+}
+
+/// `ctr run --store <dir> [--durability <policy>] <verb>`: one step of
+/// a durable workflow session. Every invocation opens the write-ahead
+/// store at `dir` (creating it on first use), replays it into a fresh
+/// runtime — recovery failure is a nonzero exit — applies the verb, and
+/// returns. All mutations (`deploy`, `start`, `fire`, `pump`) are
+/// durable before the command prints anything (under `periodic`:
+/// durable within one sync interval or on clean exit, whichever comes
+/// first), so the session survives `kill -9` between (or during)
+/// invocations.
+pub fn cmd_run(
+    dir: &str,
+    durability: ctr_runtime::Durability,
+    verb: &str,
+    rest: &[String],
+) -> Result<String, CliError> {
+    use ctr_runtime::{Runtime, Store, WalOptions, WalStore};
     use std::sync::Arc;
 
+    let options = WalOptions {
+        durability,
+        ..WalOptions::default()
+    };
     let store: Arc<dyn Store> = Arc::new(
-        WalStore::open(dir).map_err(|e| CliError::analysis(format!("store `{dir}`: {e}\n")))?,
+        WalStore::open_with(dir, options)
+            .map_err(|e| CliError::analysis(format!("store `{dir}`: {e}\n")))?,
     );
     let mut rt = Runtime::open(Arc::clone(&store))
         .map_err(|e| CliError::analysis(format!("recovery from `{dir}` failed: {e}\n")))?;
@@ -558,13 +586,17 @@ USAGE:
     ctr simulate  <spec.ctr> [-n RUNS]
     ctr enact     <spec.ctr> [--seed N] [--attempts N] [--timeout-ms N]
                              [--faults 'e=fail:2,f=panic:1,g=delay:5,h=vanish:1']
-    ctr run --store <dir> deploy <spec.ctr>     durable session over a WAL store:
-    ctr run --store <dir> start <workflow>      each verb recovers the runtime
-    ctr run --store <dir> fire <id> <event>...  from <dir>, applies, and persists
-    ctr run --store <dir> status [<id>]
-    ctr run --store <dir> snapshot              print + compact to a checkpoint
-    ctr run --store <dir> recover               recovery report (exit 1 on corruption)
-    ctr run --store <dir> pump <workflow> <n>   start+drive n instances to completion
+    ctr run --store <dir> [--durability strict|coalesced|periodic] <verb> ...
+        deploy <spec.ctr>     durable session over a WAL store:
+        start <workflow>      each verb recovers the runtime
+        fire <id> <event>...  from <dir>, applies, and persists
+        status [<id>]
+        snapshot              print + compact to a checkpoint
+        recover               recovery report (exit 1 on corruption)
+        pump <workflow> <n>   start+drive n instances to completion
+        (--durability: strict = fsync per append; coalesced = group
+         commit, still durable-on-return; periodic = ack at staging,
+         synced within ~5ms — a crash may lose that window)
 
 CONSTRAINT SYNTAX:
     exists(e)  absent(e)  before(a,b)  serial(a,b,c)
@@ -668,13 +700,22 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             cmd_enact(&read(path)?, &opts)
         }
         "run" => {
-            let [_, flag, dir, verb, rest @ ..] = args else {
+            let [_, flag, dir, rest @ ..] = args else {
                 return Err(CliError::usage(USAGE));
             };
             if flag != "--store" {
                 return Err(CliError::usage(USAGE));
             }
-            cmd_run(dir, verb, rest)
+            let (durability, rest) = match rest {
+                [flag, value, rest @ ..] if flag == "--durability" => {
+                    (parse_durability(value)?, rest)
+                }
+                _ => (ctr_runtime::Durability::Strict, rest),
+            };
+            let [verb, rest @ ..] = rest else {
+                return Err(CliError::usage(USAGE));
+            };
+            cmd_run(dir, durability, verb, rest)
         }
         "help" | "--help" | "-h" | "" => Ok(USAGE.to_owned()),
         other => Err(CliError::usage(format!(
@@ -1017,6 +1058,46 @@ mod tests {
             3
         );
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_store_durability_flag_round_trips_a_session() {
+        let dir = std::env::temp_dir().join(format!("ctr_cli_coalesced_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = std::env::temp_dir().join("ctr_cli_coalesced_spec.ctr");
+        std::fs::write(&spec, SPEC).unwrap();
+        let spec = spec.display().to_string();
+
+        // Mixed policies over the same store are fine — durability is a
+        // per-open choice, the on-disk format is identical.
+        assert!(
+            session(&dir, &["--durability", "coalesced", "deploy", &spec])
+                .unwrap()
+                .contains("deployed `demo`")
+        );
+        assert!(
+            session(&dir, &["--durability", "periodic", "pump", "demo", "2"])
+                .unwrap()
+                .contains("pumped 2 instances")
+        );
+        let out = session(&dir, &["--durability", "strict", "recover"]).unwrap();
+        assert!(out.contains("2 instances"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_store_rejects_a_bad_durability_value() {
+        let dir = std::env::temp_dir().join(format!("ctr_cli_baddur_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let err = session(&dir, &["--durability", "eventual", "status"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--durability"), "{}", err.message);
+        // Flag without a verb is a usage error too.
+        let err = session(&dir, &["--durability", "strict"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(!dir.exists(), "usage errors must not create the store");
         std::fs::remove_dir_all(&dir).ok();
     }
 

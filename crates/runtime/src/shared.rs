@@ -50,6 +50,30 @@
 //! truncate that record behind a snapshot that misses the instance, and
 //! recovery would fail on the instance's surviving event records.)
 //!
+//! ## Durability policy and blocking
+//!
+//! With a [`crate::WalStore`] attached, [`crate::Durability`] (set via
+//! [`crate::WalOptions`]) decides how long those in-lock appends block:
+//!
+//! * `Strict` — every append blocks its instance lock for a full
+//!   private fsync; appends on the same log stripe serialize.
+//! * `Coalesced` — an append still blocks until its record is durable,
+//!   but concurrent appends on a stripe share **one** fsync (the
+//!   store's commit pipeline): the instance lock is held across the
+//!   group wait, other instances proceed, and total fsync pressure
+//!   drops with concurrency. This is the recommended policy for
+//!   multi-client services.
+//! * `Periodic` — appends return at staging time, so instance locks
+//!   are barely held; a crash may lose up to one sync interval of
+//!   *acknowledged* records (always a contiguous per-stripe suffix).
+//!   Only for deployments that accept that loss window.
+//!
+//! The checkpoint cut is durability-safe in every mode: the store
+//! quiesces its commit pipeline (flushing staged frames) before
+//! choosing the cut, and the fleet freeze above excludes in-flight
+//! appends, so acknowledged-but-unsynced records can never be
+//! truncated behind a snapshot that misses them.
+//!
 //! ## Poisoning
 //!
 //! All locks recover from poisoning (`PoisonError::into_inner`): a panic

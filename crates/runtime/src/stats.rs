@@ -11,9 +11,10 @@
 //! The **store counters** also surface here: [`Runtime::store_stats`] /
 //! [`SharedRuntime::store_stats`] expose the attached backend's
 //! [`StoreStats`] — appends, journal events per append (group sizes),
-//! fsyncs, compactions, and recovered/torn byte counts — which is how
-//! the `durability/*` benches and the CLI `recover` verb report what
-//! the log actually did.
+//! commit fsyncs (with rotation and checkpoint syncs attributed
+//! separately), group-size and fsync-latency histograms, compactions,
+//! and recovered/torn byte counts — which is how the `durability/*`
+//! benches and the CLI `recover` verb report what the log actually did.
 
 use crate::{Runtime, SharedRuntime};
 use ctr::apply::Parallelism;

@@ -25,22 +25,26 @@
 //!   byte; it is also the honest baseline the `durability/*` benches
 //!   compare the WAL against.
 //! * [`wal::WalStore`] — an append-only segmented log per shard with
-//!   length-prefixed, CRC-checked records, group commit (one fsync per
-//!   append, however many events it carries), snapshot compaction, and
+//!   length-prefixed, CRC-checked records, a cross-thread group-commit
+//!   pipeline (N concurrent appends on a stripe cost one fsync — see
+//!   [`commit`]), tunable [`Durability`], snapshot compaction, and
 //!   torn-tail crash recovery.
 //!
 //! The crate is deliberately independent of the runtime: records carry
 //! plain strings, so the store can be tested, fuzzed, and benchmarked
 //! without compiling a single workflow.
 
+pub mod commit;
 pub mod wal;
 
+pub use commit::Durability;
 pub use wal::{WalOptions, WalStore};
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Errors from a [`Store`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -166,6 +170,16 @@ pub struct Replay {
     pub records: Vec<Record>,
 }
 
+/// Number of power-of-two buckets in [`StoreStats::group_size_hist`]:
+/// bucket `i` counts groups of `[2^i, 2^(i+1))` frames, the last
+/// bucket absorbs everything larger.
+pub const GROUP_SIZE_BUCKETS: usize = 8;
+
+/// Number of power-of-two buckets in [`StoreStats::fsync_micros_hist`]:
+/// bucket `i` counts syncs that took `[2^i, 2^(i+1))` microseconds, the
+/// last bucket absorbs everything slower (≥ ~0.5 s).
+pub const FSYNC_MICROS_BUCKETS: usize = 20;
+
 /// Counters a [`Store`] keeps about its own traffic. All monotonic;
 /// [`MemStore`] leaves the fsync-related ones at zero.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -175,8 +189,15 @@ pub struct StoreStats {
     /// Journal events carried by those appends (≥ `appends` under
     /// group commit, == for one-event fires).
     pub events: u64,
-    /// fsync-class syncs issued (file data syncs + directory syncs).
+    /// Commit-path data syncs — one per group commit, however many
+    /// frames the group carried. Rotation and checkpoint syncs are
+    /// attributed separately so `fsyncs / appends` measures commit
+    /// coalescing cleanly.
     pub fsyncs: u64,
+    /// Directory syncs from segment creation and stripe repair.
+    pub rotation_syncs: u64,
+    /// File and directory syncs issued by checkpoint compaction.
+    pub checkpoint_syncs: u64,
     /// Largest event group committed by a single append.
     pub max_group: u64,
     /// Checkpoint compactions taken.
@@ -186,17 +207,74 @@ pub struct StoreStats {
     /// Bytes discarded at open as a torn tail (truncated at the first
     /// record that failed its length or checksum).
     pub torn_bytes: u64,
+    /// How many *frames* each group commit carried, in power-of-two
+    /// buckets (see [`GROUP_SIZE_BUCKETS`]). Strict appends always land
+    /// in bucket 0; cross-thread coalescing shows up as mass in the
+    /// higher buckets.
+    pub group_size_hist: [u64; GROUP_SIZE_BUCKETS],
+    /// Commit write+sync latency in power-of-two microsecond buckets
+    /// (see [`FSYNC_MICROS_BUCKETS`]).
+    pub fsync_micros_hist: [u64; FSYNC_MICROS_BUCKETS],
+}
+
+/// The value at percentile `pct` of a power-of-two histogram, reported
+/// as the (inclusive) upper bound of the bucket it lands in.
+fn hist_percentile(hist: &[u64], pct: u64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = (total * pct).div_ceil(100);
+    let mut cum = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        cum += count;
+        if cum >= target {
+            return (1u64 << (i + 1)) - 1;
+        }
+    }
+    unreachable!("percentile target exceeds histogram total")
+}
+
+impl StoreStats {
+    /// Median commit write+sync latency in microseconds (upper bound of
+    /// the histogram bucket the median lands in; 0 with no commits).
+    pub fn fsync_p50_micros(&self) -> u64 {
+        hist_percentile(&self.fsync_micros_hist, 50)
+    }
+
+    /// 99th-percentile commit write+sync latency in microseconds (upper
+    /// bound of its histogram bucket; 0 with no commits).
+    pub fn fsync_p99_micros(&self) -> u64 {
+        hist_percentile(&self.fsync_micros_hist, 99)
+    }
 }
 
 impl fmt::Display for StoreStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "appends={} events={} fsyncs={} max_group={} compactions={} recovered_bytes={} torn_bytes={}",
-            self.appends, self.events, self.fsyncs, self.max_group,
-            self.compactions, self.recovered_bytes, self.torn_bytes
+            "appends={} events={} fsyncs={} rotation_syncs={} checkpoint_syncs={} \
+             max_group={} compactions={} recovered_bytes={} torn_bytes={} \
+             fsync_p50_us={} fsync_p99_us={}",
+            self.appends,
+            self.events,
+            self.fsyncs,
+            self.rotation_syncs,
+            self.checkpoint_syncs,
+            self.max_group,
+            self.compactions,
+            self.recovered_bytes,
+            self.torn_bytes,
+            self.fsync_p50_micros(),
+            self.fsync_p99_micros()
         )
     }
+}
+
+/// Which power-of-two bucket `value` lands in, clamped to the
+/// histogram's last bucket. Zero counts as one (bucket 0).
+fn hist_bucket(value: u64, buckets: usize) -> usize {
+    (63 - value.max(1).leading_zeros() as usize).min(buckets - 1)
 }
 
 /// Shared counter block; backends bump these as traffic flows.
@@ -205,10 +283,14 @@ pub(crate) struct Counters {
     appends: AtomicU64,
     events: AtomicU64,
     fsyncs: AtomicU64,
+    rotation_syncs: AtomicU64,
+    checkpoint_syncs: AtomicU64,
     max_group: AtomicU64,
     compactions: AtomicU64,
     recovered_bytes: AtomicU64,
     torn_bytes: AtomicU64,
+    group_size_hist: [AtomicU64; GROUP_SIZE_BUCKETS],
+    fsync_micros_hist: [AtomicU64; FSYNC_MICROS_BUCKETS],
 }
 
 impl Counters {
@@ -220,8 +302,23 @@ impl Counters {
         }
     }
 
-    pub(crate) fn on_fsync(&self) {
+    /// One group commit: `frames` whole records made durable by a
+    /// single write+sync that took `latency`.
+    pub(crate) fn on_commit(&self, frames: u64, latency: Duration) {
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.group_size_hist[hist_bucket(frames, GROUP_SIZE_BUCKETS)]
+            .fetch_add(1, Ordering::Relaxed);
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.fsync_micros_hist[hist_bucket(micros, FSYNC_MICROS_BUCKETS)]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_rotation_sync(&self) {
+        self.rotation_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_checkpoint_sync(&self) {
+        self.checkpoint_syncs.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_compaction(&self) {
@@ -234,15 +331,31 @@ impl Counters {
     }
 
     pub(crate) fn snapshot(&self) -> StoreStats {
-        StoreStats {
+        let load_hist = |hist: &[AtomicU64]| {
+            let mut out = Vec::with_capacity(hist.len());
+            out.extend(hist.iter().map(|b| b.load(Ordering::Relaxed)));
+            out
+        };
+        let mut stats = StoreStats {
             appends: self.appends.load(Ordering::Relaxed),
             events: self.events.load(Ordering::Relaxed),
             fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            rotation_syncs: self.rotation_syncs.load(Ordering::Relaxed),
+            checkpoint_syncs: self.checkpoint_syncs.load(Ordering::Relaxed),
             max_group: self.max_group.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
             recovered_bytes: self.recovered_bytes.load(Ordering::Relaxed),
             torn_bytes: self.torn_bytes.load(Ordering::Relaxed),
-        }
+            group_size_hist: [0; GROUP_SIZE_BUCKETS],
+            fsync_micros_hist: [0; FSYNC_MICROS_BUCKETS],
+        };
+        stats
+            .group_size_hist
+            .copy_from_slice(&load_hist(&self.group_size_hist));
+        stats
+            .fsync_micros_hist
+            .copy_from_slice(&load_hist(&self.fsync_micros_hist));
+        stats
     }
 }
 

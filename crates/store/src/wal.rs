@@ -13,8 +13,9 @@
 //! striping: every record of one instance lands in one stripe (see
 //! [`Record::shard`]), so per-instance order needs no cross-shard
 //! coordination. A global `AtomicU64` sequence number — allocated
-//! *under the destination stripe's lock* — stamps every record, and
-//! recovery merges the stripes back into the exact global append order.
+//! *under the destination stripe's staging lock* — stamps every record,
+//! and recovery merges the stripes back into the exact global append
+//! order.
 //!
 //! ## Record frame
 //!
@@ -27,7 +28,7 @@
 //! appends are sequential and synced — so any later segments of that
 //! stripe are discarded with it rather than replayed out of order.
 //!
-//! The write path defends that invariant: payloads over [`MAX_PAYLOAD`]
+//! The write path defends that invariant: payloads over `MAX_PAYLOAD`
 //! and records the text format cannot round-trip (see
 //! [`Record::validate_encodable`]) are rejected with
 //! [`StoreError::Unencodable`] before any byte lands, and a failed
@@ -36,27 +37,44 @@
 //! mid-segment frame that fails the scan can only mean external
 //! corruption, never a write the store itself acknowledged past.
 //!
-//! ## Group commit
+//! ## The commit pipeline
 //!
-//! One [`WalStore::append`] = one frame = **one** `fdatasync`, however
-//! many events the record carries. The runtime's `fire_batch` path
-//! already funnels a whole batch into a single journal extend, so the
-//! batch rides one sync — that is the entire group-commit story, and
-//! [`StoreStats::max_group`] records how well it is being exploited.
+//! Appending is a two-lock pipeline per stripe (see [`crate::commit`]
+//! for the full protocol): frames *stage* into a commit queue under a
+//! short **staging** lock, and a per-stripe **leader** drains every
+//! staged frame into one `write_all` + one `sync_data` under the
+//! separate **I/O** lock — so N concurrent appends on a stripe cost
+//! one fsync, not N, while each `append()` still returns only after
+//! its record is durable. [`WalOptions::durability`] picks the policy:
+//!
+//! | [`Durability`]        | acknowledged when…        | crash may lose |
+//! |-----------------------|---------------------------|----------------|
+//! | `Strict` (default)    | its own fsync returns     | nothing acknowledged |
+//! | `Coalesced{max_wait}` | its *group's* fsync returns | nothing acknowledged |
+//! | `Periodic{interval}`  | staged (fsync in ≤ interval) | up to one interval, always a contiguous per-stripe suffix |
+//!
+//! On top of cross-thread coalescing, the runtime's `fire_batch` path
+//! still funnels a whole batch into a single record: one frame per
+//! batch, however many events it carries ([`StoreStats::max_group`]
+//! records how well that is exploited; the group-size and
+//! fsync-latency histograms in [`StoreStats`] record how well the
+//! pipeline coalesces across threads).
 //!
 //! ## Checkpoint compaction
 //!
-//! [`WalStore::checkpoint`] freezes all stripes (takes every stripe
-//! lock, which also blocks the sequence allocator), writes
-//! `checkpoint.tmp` — a one-line header `ctr-store checkpoint v1 <cut>`
-//! followed by the runtime's ordinary text snapshot — syncs it, renames
-//! it over `checkpoint.snap`, syncs the directory, and only then
-//! deletes the covered segments. A crash anywhere in that sequence is
-//! safe: before the rename the old baseline still rules; after it,
-//! leftover segments only contain records with `seq < cut`, which
-//! replay skips. Recovery can therefore never land *behind* a committed
-//! snapshot.
+//! [`WalStore::checkpoint`] quiesces every stripe's pipeline (staged
+//! frames flush, leaders drain) and then freezes all stripes — taking
+//! every staging and I/O lock in ascending order, which also blocks the
+//! sequence allocator — writes `checkpoint.tmp` — a one-line header
+//! `ctr-store checkpoint v1 <cut>` followed by the runtime's ordinary
+//! text snapshot — syncs it, renames it over `checkpoint.snap`, syncs
+//! the directory, and only then deletes the covered segments. A crash
+//! anywhere in that sequence is safe: before the rename the old
+//! baseline still rules; after it, leftover segments only contain
+//! records with `seq < cut`, which replay skips. Recovery can therefore
+//! never land *behind* a committed snapshot.
 
+use crate::commit::{CommitQueue, Durability};
 use crate::{
     crc32, decode_payload, encode_payload, merge_by_seq, Counters, Record, Replay, Store,
     StoreError, StoreStats,
@@ -64,8 +82,10 @@ use crate::{
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// First line of `checkpoint.snap`, followed by the cut sequence: every
 /// record with `seq < cut` is covered by the snapshot body.
@@ -83,6 +103,9 @@ pub struct WalOptions {
     pub shards: usize,
     /// Rotate a segment once it holds at least this many bytes.
     pub segment_bytes: u64,
+    /// When an append is acknowledged and what a crash may lose; see
+    /// [`Durability`]. Defaults to [`Durability::Strict`].
+    pub durability: Durability,
 }
 
 impl Default for WalOptions {
@@ -90,55 +113,116 @@ impl Default for WalOptions {
         WalOptions {
             shards: 16,
             segment_bytes: 4 << 20,
+            durability: Durability::Strict,
         }
     }
 }
 
-/// Mutable per-stripe state: the open segment and its write position.
-struct StripeLog {
-    dir: PathBuf,
+/// Mutable per-stripe file state: the open segment and its write
+/// position. Lives behind the stripe's I/O lock.
+pub(crate) struct StripeLog {
+    pub(crate) dir: PathBuf,
     /// Open segment file, if any writes happened since open/rotation.
-    file: Option<File>,
+    pub(crate) file: Option<File>,
     /// Index of the current (or, if `file` is `None`, next) segment.
-    seg_index: u64,
+    pub(crate) seg_index: u64,
     /// Bytes written to the current segment.
-    seg_bytes: u64,
+    pub(crate) seg_bytes: u64,
     /// A failed append may have left a partial frame after `seg_bytes`.
     /// While set, no further append may land — the next write after
     /// garbage would be unreachable at recovery (the scan truncates at
-    /// the first bad frame). [`WalStore::repair`] truncates the segment
+    /// the first bad frame). [`WalInner::repair`] truncates the segment
     /// back to `seg_bytes` and clears the flag.
-    dirty: bool,
+    pub(crate) dirty: bool,
 }
 
 impl StripeLog {
-    fn segment_path(&self, index: u64) -> PathBuf {
+    pub(crate) fn segment_path(&self, index: u64) -> PathBuf {
         self.dir.join(format!("{index:08}.seg"))
     }
 }
 
-/// The durable backend: an append-only segmented log per stripe. See
-/// the module docs for the on-disk contract.
-pub struct WalStore {
-    root: PathBuf,
-    options: WalOptions,
+/// One log stripe: the commit queue (staging side) and the segment
+/// file state (I/O side), each behind its own lock so appenders can
+/// stage the next group while the leader blocks in `sync_data`.
+///
+/// Lock order within a stripe: staging before I/O; the I/O lock is
+/// never held while (re)acquiring the staging lock.
+pub(crate) struct Stripe {
+    pub(crate) staging: Mutex<CommitQueue>,
+    /// Wakes waiters when the durable watermark advances, a group
+    /// fails, or leadership frees up (the wait loop is also the leader
+    /// election).
+    pub(crate) durable_cv: Condvar,
+    /// Wakes a leader lingering in its grow-the-group window when a
+    /// new frame stages.
+    pub(crate) staged_cv: Condvar,
+    pub(crate) io: Mutex<StripeLog>,
+}
+
+/// The shared guts of a [`WalStore`], behind an `Arc` so the periodic
+/// background syncer thread can hold them too.
+pub(crate) struct WalInner {
+    pub(crate) root: PathBuf,
+    pub(crate) options: WalOptions,
     /// Next global sequence number. Allocated while holding the
-    /// destination stripe's lock, so `checkpoint` (which holds *all*
-    /// stripe locks) observes a frontier no in-flight append can cross.
+    /// destination stripe's staging lock, so `checkpoint` (which holds
+    /// *all* staging locks) observes a frontier no in-flight append can
+    /// cross.
     seq: AtomicU64,
-    stripes: Vec<Mutex<StripeLog>>,
-    counters: Counters,
+    pub(crate) stripes: Vec<Stripe>,
+    pub(crate) counters: Counters,
     /// Scan result from [`WalStore::open`], handed out by the first
     /// [`WalStore::replay`] so recovery does not re-read the disk.
     recovered: Mutex<Option<Replay>>,
+    /// Test hook: fail the next N group writes (after writing half the
+    /// group's bytes, so a real partial frame exercises the repair
+    /// path). Zero in production; one relaxed load per group commit.
+    pub(crate) fail_writes: AtomicU32,
+    /// Shutdown flag for the periodic syncer thread.
+    stop: Mutex<bool>,
+    stop_cv: Condvar,
+}
+
+/// The durable backend: an append-only segmented log per stripe with a
+/// cross-thread group-commit pipeline. See the module docs for the
+/// on-disk contract and [`crate::commit`] for the pipeline protocol.
+pub struct WalStore {
+    inner: Arc<WalInner>,
+    /// Background syncer under [`Durability::Periodic`].
+    syncer: Option<JoinHandle<()>>,
 }
 
 fn io_err(context: &str, path: &Path, e: std::io::Error) -> StoreError {
     StoreError::Io(format!("{context} {}: {e}", path.display()))
 }
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> MutexGuard<'a, T> {
+    cv.wait_timeout(guard, timeout)
+        .map(|(guard, _)| guard)
+        .unwrap_or_else(|e| e.into_inner().0)
+}
+
+/// Wraps an encoded payload in the on-disk frame:
+/// `[len: u32 LE] [crc32: u32 LE] [payload]`.
+pub(crate) fn build_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
 }
 
 /// Syncs a directory so renames/creates/unlinks in it are durable.
@@ -190,32 +274,90 @@ impl WalStore {
                 max_seq = max_seq.max(seq + 1);
             }
             per_shard.push(scan.records);
-            stripes.push(Mutex::new(StripeLog {
-                dir,
-                file: None,
-                seg_index: scan.seg_index,
-                seg_bytes: scan.seg_bytes,
-                dirty: false,
-            }));
+            stripes.push(Stripe {
+                staging: Mutex::new(CommitQueue::new()),
+                durable_cv: Condvar::new(),
+                staged_cv: Condvar::new(),
+                io: Mutex::new(StripeLog {
+                    dir,
+                    file: None,
+                    seg_index: scan.seg_index,
+                    seg_bytes: scan.seg_bytes,
+                    dirty: false,
+                }),
+            });
         }
 
         let replay = Replay {
             snapshot,
             records: merge_by_seq(per_shard),
         };
-        Ok(WalStore {
+        let inner = Arc::new(WalInner {
             root,
             options,
             seq: AtomicU64::new(max_seq),
             stripes,
             counters,
             recovered: Mutex::new(Some(replay)),
-        })
+            fail_writes: AtomicU32::new(0),
+            stop: Mutex::new(false),
+            stop_cv: Condvar::new(),
+        });
+
+        let syncer = match options.durability {
+            Durability::Periodic { interval } => {
+                let inner = Arc::clone(&inner);
+                let handle = std::thread::Builder::new()
+                    .name("ctr-wal-syncer".to_owned())
+                    .spawn(move || {
+                        let mut stop = lock(&inner.stop);
+                        loop {
+                            stop = wait_timeout(&inner.stop_cv, stop, interval);
+                            if *stop {
+                                return;
+                            }
+                            drop(stop);
+                            for s in 0..inner.options.shards {
+                                inner.sync_stripe_once(s);
+                            }
+                            stop = lock(&inner.stop);
+                        }
+                    })
+                    .map_err(|e| StoreError::Io(format!("spawning wal syncer: {e}")))?;
+                Some(handle)
+            }
+            _ => None,
+        };
+        Ok(WalStore { inner, syncer })
     }
 
     /// The store's root directory.
     pub fn path(&self) -> &Path {
-        &self.root
+        &self.inner.root
+    }
+
+    /// The shared internals — for in-crate tests (fault injection,
+    /// direct stripe inspection).
+    #[cfg(test)]
+    pub(crate) fn inner(&self) -> &WalInner {
+        &self.inner
+    }
+}
+
+impl Drop for WalStore {
+    fn drop(&mut self) {
+        *lock(&self.inner.stop) = true;
+        self.inner.stop_cv.notify_all();
+        if let Some(handle) = self.syncer.take() {
+            let _ = handle.join();
+        }
+        // Flush any staged-but-unsynced tail (the Periodic window) —
+        // best effort: a failure here is exactly the bounded loss the
+        // relaxed policy documents. Strict/Coalesced queues are empty
+        // by construction (their appends return only after the sync).
+        for s in 0..self.inner.options.shards {
+            drop(self.inner.quiesce_stripe(s));
+        }
     }
 }
 
@@ -340,69 +482,139 @@ fn scan_segment(bytes: &[u8], cut: u64) -> (u64, Vec<(u64, Record)>) {
 impl Store for WalStore {
     fn append(&self, record: &Record) -> Result<(), StoreError> {
         record.validate_encodable()?;
-        let stripe = &self.stripes[record.shard(self.options.shards)];
-        let mut log = lock(stripe);
-        if log.dirty {
-            // A previous append failed mid-frame and its immediate
-            // repair failed too; retry before writing anything new.
-            self.repair(&mut log)?;
+        let s = record.shard(self.inner.options.shards);
+        match self.inner.options.durability {
+            Durability::Strict => self.inner.append_strict(s, record),
+            Durability::Coalesced { .. } | Durability::Periodic { .. } => {
+                self.inner.append_queued(s, record)
+            }
         }
-        // Sequence allocation happens under the stripe lock on purpose:
-        // checkpoint holds every stripe lock, so no append can hold an
-        // unwritten seq while the cut is being chosen.
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let payload = encode_payload(seq, record);
-        if payload.len() > MAX_PAYLOAD as usize {
-            // The scan enforces this limit on read; a frame written past
-            // it would be rejected at recovery as a torn tail, taking
-            // every later record of the stripe with it. Refuse it here,
-            // before any byte lands. (The burned seq is a harmless gap —
-            // recovery merges by seq, it never requires contiguity.)
+    }
+
+    fn replay(&self) -> Result<Replay, StoreError> {
+        self.inner.replay()
+    }
+
+    fn checkpoint(&self, snapshot: &str) -> Result<(), StoreError> {
+        self.inner.checkpoint(snapshot)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.counters.snapshot()
+    }
+}
+
+impl WalInner {
+    /// Allocates the next global sequence number. Must be called with
+    /// the destination stripe's staging lock held (see `seq`).
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Rejects payloads the frame scan would refuse on read — a frame
+    /// written past [`MAX_PAYLOAD`] would be discarded at recovery as a
+    /// torn tail, taking every later record of the stripe with it. (A
+    /// burned seq is a harmless gap — recovery merges by seq and never
+    /// requires contiguity.)
+    pub(crate) fn check_payload_size(&self, len: usize) -> Result<(), StoreError> {
+        if len > MAX_PAYLOAD as usize {
             return Err(StoreError::Unencodable(format!(
-                "record payload of {} bytes exceeds the {MAX_PAYLOAD} byte frame limit",
-                payload.len()
+                "record payload of {len} bytes exceeds the {MAX_PAYLOAD} byte frame limit"
             )));
         }
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-
-        if log.file.is_none() || log.seg_bytes >= self.options.segment_bytes {
-            self.rotate(&mut log)?;
-        }
-        let path = log.segment_path(log.seg_index);
-        let file = log.file.as_mut().expect("rotate opened a segment");
-        if let Err(e) = file.write_all(&frame).and_then(|()| file.sync_data()) {
-            // The segment may now hold a partial frame, and a handle
-            // whose write or fsync failed cannot be trusted about what
-            // is durable. Truncate back to the last acknowledged byte
-            // now; if even that fails, the stripe stays poisoned and
-            // every later append retries the repair first.
-            log.dirty = true;
-            let _ = self.repair(&mut log);
-            return Err(io_err("appending to", &path, e));
-        }
-        log.seg_bytes += frame.len() as u64;
-        self.counters.on_fsync();
-        self.counters.on_append(record.event_count());
         Ok(())
     }
 
+    /// The [`Durability::Strict`] append path: one critical section per
+    /// append — the staging lock is held across the whole write, so
+    /// strict appends on a stripe serialize and each pays its own fsync,
+    /// exactly the pre-pipeline behavior.
+    fn append_strict(&self, s: usize, record: &Record) -> Result<(), StoreError> {
+        let stripe = &self.stripes[s];
+        let _q = lock(&stripe.staging);
+        let seq = self.next_seq();
+        let payload = encode_payload(seq, record);
+        self.check_payload_size(payload.len())?;
+        let frame = build_frame(&payload);
+        let latency = {
+            let mut io = lock(&stripe.io);
+            self.write_group(&mut io, &frame)?
+        };
+        self.counters.on_append(record.event_count());
+        self.counters.on_commit(1, latency);
+        Ok(())
+    }
+
+    /// Writes one group (one or more whole frames) to a stripe's open
+    /// segment and syncs it: repair-if-poisoned, rotate-if-full, one
+    /// `write_all`, one `sync_data`. On failure the stripe is poisoned
+    /// and immediately truncated back to its last acknowledged byte —
+    /// a handle whose write or fsync failed cannot be trusted about
+    /// what is durable, and writing after a partial frame would strand
+    /// every later record behind an unreadable frame at recovery.
+    /// Returns the write+sync latency. Called with the I/O lock held.
+    pub(crate) fn write_group(
+        &self,
+        log: &mut StripeLog,
+        buf: &[u8],
+    ) -> Result<Duration, StoreError> {
+        if log.dirty {
+            // A previous write failed mid-frame and its immediate
+            // repair failed too; retry before writing anything new.
+            self.repair(log)?;
+        }
+        if log.file.is_none() || log.seg_bytes >= self.options.segment_bytes {
+            self.rotate(log)?;
+        }
+        let path = log.segment_path(log.seg_index);
+        let file = log.file.as_mut().expect("rotate opened a segment");
+        let inject = {
+            let mut injected = false;
+            let _ = self
+                .fail_writes
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    injected = n > 0;
+                    n.checked_sub(1)
+                });
+            injected
+        };
+        let start = Instant::now();
+        let outcome = if inject {
+            let _ = file.write_all(&buf[..buf.len() / 2]);
+            Err(std::io::Error::other("injected write failure"))
+        } else {
+            file.write_all(buf).and_then(|()| file.sync_data())
+        };
+        match outcome {
+            Ok(()) => {
+                log.seg_bytes += buf.len() as u64;
+                Ok(start.elapsed())
+            }
+            Err(e) => {
+                log.dirty = true;
+                let _ = self.repair(log);
+                Err(io_err("appending to", &path, e))
+            }
+        }
+    }
+
+    /// Reads everything back; see [`Store::replay`]. Re-scans after the
+    /// first call quiesce every stripe's pipeline (so a relaxed
+    /// policy's staged-but-unsynced tail is flushed and visible) and
+    /// hold all staging + I/O locks for the whole scan — the same
+    /// freeze checkpoint takes, in the same ascending order — so
+    /// concurrent appends and checkpoints cannot interleave mid-scan
+    /// and the merged result is a single point in time across stripes.
     fn replay(&self) -> Result<Replay, StoreError> {
         if let Some(replay) = lock(&self.recovered).take() {
             return Ok(replay);
         }
-        // Subsequent calls re-scan the disk (read-only: repairs already
-        // happened at open, and appends since then are whole by
-        // construction). Every stripe lock is held for the whole scan —
-        // the same freeze checkpoint takes, in the same ascending order
-        // — so concurrent appends and checkpoints cannot interleave
-        // mid-scan and the merged result is a single point in time
-        // across stripes (never, say, an `Events` record without the
-        // earlier `Start` an in-flight append was still writing to
-        // another stripe).
-        let logs: Vec<MutexGuard<'_, StripeLog>> = self.stripes.iter().map(lock).collect();
+        let mut queues = Vec::with_capacity(self.options.shards);
+        let mut logs = Vec::with_capacity(self.options.shards);
+        for s in 0..self.options.shards {
+            queues.push(self.quiesce_stripe(s));
+            logs.push(lock(&self.stripes[s].io));
+        }
         let (snapshot, cut) = read_checkpoint(&self.root)?;
         let mut per_shard = Vec::with_capacity(self.options.shards);
         for log in &logs {
@@ -430,13 +642,22 @@ impl Store for WalStore {
         })
     }
 
+    /// Compacts; see [`Store::checkpoint`]. Quiesces and freezes every
+    /// stripe (ascending order — the only multi-stripe path, so no
+    /// ordering conflicts). Quiescing first flushes any staged frames:
+    /// under [`Durability::Periodic`] those are acknowledged records
+    /// whose effects the caller's snapshot already covers, and they
+    /// must not evaporate with the deleted segments. With all staging
+    /// locks held no append can allocate a sequence number, so `cut`
+    /// cleanly splits history: everything below is in `snapshot`,
+    /// everything at or above will be appended after we release.
     fn checkpoint(&self, snapshot: &str) -> Result<(), StoreError> {
-        // Freeze every stripe (ascending order — the only multi-stripe
-        // path, so no ordering conflicts). With all stripe locks held no
-        // append can allocate a sequence number, so `cut` cleanly splits
-        // history: everything below is in `snapshot`, everything at or
-        // above will be appended after we release.
-        let mut logs: Vec<MutexGuard<'_, StripeLog>> = self.stripes.iter().map(lock).collect();
+        let mut queues = Vec::with_capacity(self.options.shards);
+        let mut logs = Vec::with_capacity(self.options.shards);
+        for s in 0..self.options.shards {
+            queues.push(self.quiesce_stripe(s));
+            logs.push(lock(&self.stripes[s].io));
+        }
         let cut = self.seq.load(Ordering::Relaxed);
 
         let tmp = self.root.join("checkpoint.tmp");
@@ -446,10 +667,10 @@ impl Store for WalStore {
             .and_then(|()| file.write_all(snapshot.as_bytes()))
             .and_then(|()| file.sync_all())
             .map_err(|e| io_err("writing", &tmp, e))?;
-        self.counters.on_fsync();
+        self.counters.on_checkpoint_sync();
         fs::rename(&tmp, &path).map_err(|e| io_err("installing", &path, e))?;
         sync_dir(&self.root)?;
-        self.counters.on_fsync();
+        self.counters.on_checkpoint_sync();
 
         // The snapshot is the durable baseline now; covered segments
         // (every record they hold has seq < cut) are dead weight. A
@@ -469,30 +690,26 @@ impl Store for WalStore {
                 }
             }
             sync_dir(&log.dir)?;
+            self.counters.on_checkpoint_sync();
             log.file = None;
             log.seg_index += 1;
             log.seg_bytes = 0;
-            // Any partial frame a failed append left behind was deleted
+            // Any partial frame a failed write left behind was deleted
             // with its segment; the stripe starts clean.
             log.dirty = false;
         }
+        drop(queues);
         self.counters.on_compaction();
         Ok(())
     }
 
-    fn stats(&self) -> StoreStats {
-        self.counters.snapshot()
-    }
-}
-
-impl WalStore {
     /// Truncates a stripe's open segment back to its last acknowledged
-    /// byte after a failed append (possibly) left a partial frame past
+    /// byte after a failed write (possibly) left a partial frame past
     /// `seg_bytes` — writing after that garbage would strand every
     /// later record behind an unreadable frame at recovery. The failed
     /// handle is discarded (after a failed write or fsync its state is
-    /// untrustworthy); the next append reopens the segment fresh.
-    /// Called with the stripe lock held.
+    /// untrustworthy); the next write reopens the segment fresh.
+    /// Called with the I/O lock held.
     fn repair(&self, log: &mut StripeLog) -> Result<(), StoreError> {
         log.file = None;
         let path = log.segment_path(log.seg_index);
@@ -503,11 +720,12 @@ impl WalStore {
         file.set_len(log.seg_bytes)
             .and_then(|()| file.sync_all())
             .map_err(|e| io_err("truncating failed append in", &path, e))?;
+        self.counters.on_rotation_sync();
         log.dirty = false;
         Ok(())
     }
 
-    /// Opens the next segment file for a stripe (called with the stripe
+    /// Opens the next segment file for a stripe (called with the I/O
     /// lock held).
     fn rotate(&self, log: &mut StripeLog) -> Result<(), StoreError> {
         if log.file.is_some() {
@@ -530,7 +748,7 @@ impl WalStore {
             .map_err(|e| io_err("creating", &path, e))?;
         // Make the new directory entry durable before its records are.
         sync_dir(&log.dir)?;
-        self.counters.on_fsync();
+        self.counters.on_rotation_sync();
         log.file = Some(file);
         log.seg_bytes = 0;
         Ok(())
@@ -540,7 +758,6 @@ impl WalStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// Unique scratch directory under the target dir (no external
     /// tempdir crate in this environment).
@@ -557,6 +774,11 @@ mod tests {
             instance,
             events: events.iter().map(|s| (*s).to_owned()).collect(),
         }
+    }
+
+    #[test]
+    fn default_durability_is_strict() {
+        assert_eq!(WalOptions::default().durability, Durability::Strict);
     }
 
     #[test]
@@ -588,7 +810,12 @@ mod tests {
             assert_eq!(stats.appends, 6);
             assert_eq!(stats.events, 3);
             assert_eq!(stats.max_group, 2);
-            assert!(stats.fsyncs >= 6, "every append syncs");
+            assert_eq!(stats.fsyncs, 6, "strict: every append pays its own sync");
+            assert!(
+                stats.rotation_syncs >= 1,
+                "segment-creation dir syncs are attributed separately"
+            );
+            assert_eq!(stats.group_size_hist[0], 6, "all groups of one");
         }
         let store = WalStore::open(&dir).unwrap();
         let replay = store.replay().unwrap();
@@ -596,6 +823,7 @@ mod tests {
         assert_eq!(replay.records, records);
         assert!(store.stats().recovered_bytes > 0);
         assert_eq!(store.stats().torn_bytes, 0);
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -636,6 +864,7 @@ mod tests {
         drop(store);
         let store = WalStore::open(&dir).unwrap();
         assert_eq!(store.replay().unwrap().records.len(), 2);
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -661,6 +890,7 @@ mod tests {
             assert_eq!(r, &ev(32, &[&format!("e{i}")]), "prefix intact");
         }
         assert!(store.stats().torn_bytes > 0);
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -680,11 +910,17 @@ mod tests {
             assert!(survivors.is_empty(), "compaction removed segments");
             store.append(&ev(3, &["c"])).unwrap();
             assert_eq!(store.stats().compactions, 1);
+            assert!(
+                store.stats().checkpoint_syncs >= 2,
+                "checkpoint syncs are attributed separately from commits"
+            );
+            assert_eq!(store.stats().fsyncs, 3, "one commit sync per append");
         }
         let store = WalStore::open(&dir).unwrap();
         let replay = store.replay().unwrap();
         assert_eq!(replay.snapshot.as_deref(), Some("the-snapshot"));
         assert_eq!(replay.records, vec![ev(3, &["c"])]);
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -711,6 +947,7 @@ mod tests {
             vec![ev(5, &["new"])],
             "pre-cut record skipped"
         );
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -720,6 +957,7 @@ mod tests {
         let options = WalOptions {
             shards: 4,
             segment_bytes: 64,
+            ..WalOptions::default()
         };
         {
             let store = WalStore::open_with(&dir, options).unwrap();
@@ -738,6 +976,7 @@ mod tests {
         for (i, r) in replay.records.iter().enumerate() {
             assert_eq!(r, &ev(i as u64 % 4, &[&format!("e{i}")]), "global order");
         }
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -746,7 +985,7 @@ mod tests {
         use std::io::Write as _;
         // Simulate a failed append that left a partial frame behind the
         // acknowledged tail: write garbage through the open handle and
-        // mark the stripe dirty, exactly the state the append error
+        // mark the stripe dirty, exactly the state the write error
         // path leaves when its immediate repair also fails. The next
         // append must truncate back to the last acknowledged byte
         // before writing — otherwise its record (and everything after)
@@ -756,7 +995,7 @@ mod tests {
         let store = WalStore::open(&dir).unwrap();
         store.append(&ev(1, &["a"])).unwrap();
         {
-            let mut log = lock(&store.stripes[1]);
+            let mut log = lock(&store.inner().stripes[1].io);
             let good = log.seg_bytes;
             let path = log.segment_path(log.seg_index);
             log.file
@@ -775,6 +1014,7 @@ mod tests {
             store.replay().unwrap().records,
             vec![ev(1, &["a"]), ev(1, &["b"])]
         );
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -799,6 +1039,7 @@ mod tests {
         drop(store);
         let store = WalStore::open(&dir).unwrap();
         assert_eq!(store.replay().unwrap().records, vec![ev(2, &["fine"])]);
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -821,6 +1062,7 @@ mod tests {
         drop(store);
         let store = WalStore::open(&dir).unwrap();
         assert_eq!(store.replay().unwrap().records, vec![ev(0, &["a"])]);
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 
