@@ -24,15 +24,31 @@ use ctr_workflow::{compile_modular, compile_triggers, Trigger, WorkflowSpec};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+/// The host-facts row every `BENCH_*.json` table leads with: core
+/// count, hostname hash, build flags. A number without the box it was
+/// measured on is not a benchmark result.
+fn host_row(smoke: bool) -> String {
+    ctr_serve::host_json_row(if smoke { &["smoke"] } else { &[] })
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let store_only = std::env::args().any(|a| a == "--store-only");
+    let exec_only = std::env::args().any(|a| a == "--exec-only");
     let t0 = Instant::now();
     if store_only {
         // Regenerate only BENCH_store.json at full size — the store
         // bench depends on real fsync latency, so it is the one table
         // worth re-measuring in isolation on a quiet machine.
         bench_store_json(smoke);
+        eprintln!("\n(total {:.1?})", t0.elapsed());
+        return;
+    }
+    if exec_only {
+        // Regenerate only BENCH_exec.json at full size — handy when a
+        // runtime hot-path change needs a before/after on the batch and
+        // fleet families without re-running the whole suite.
+        bench_exec_json(smoke);
         eprintln!("\n(total {:.1?})", t0.elapsed());
         return;
     }
@@ -519,7 +535,7 @@ fn bench_compile_json(smoke: bool) {
             )
         })
         .collect();
-    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    let json = format!("[\n{},\n{}\n]\n", host_row(smoke), rows.join(",\n"));
     std::fs::write("BENCH_compile.json", &json).expect("write BENCH_compile.json");
     eprintln!("\nwrote BENCH_compile.json ({} workloads)", records.len());
 }
@@ -898,7 +914,7 @@ fn bench_exec_json(smoke: bool) {
             )
         })
         .collect();
-    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    let json = format!("[\n{},\n{}\n]\n", host_row(smoke), rows.join(",\n"));
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
     eprintln!("wrote BENCH_exec.json ({} workloads)", records.len());
 }
@@ -1125,7 +1141,7 @@ fn bench_verify_json(smoke: bool) {
             )
         })
         .collect();
-    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    let json = format!("[\n{},\n{}\n]\n", host_row(smoke), rows.join(",\n"));
     std::fs::write("BENCH_verify.json", &json).expect("write BENCH_verify.json");
     eprintln!("wrote BENCH_verify.json ({} workloads)", records.len());
 }
@@ -1324,7 +1340,7 @@ fn bench_store_json(smoke: bool) {
             )
         })
         .collect();
-    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    let json = format!("[\n{},\n{}\n]\n", host_row(smoke), rows.join(",\n"));
     std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
     eprintln!("wrote BENCH_store.json ({} workloads)", records.len());
 }

@@ -570,6 +570,66 @@ pub fn cmd_run(
     Ok(out)
 }
 
+/// `ctr serve [--addr HOST:PORT] [--store <dir> [--durability <p>]]
+/// [--burst N]`: serve the shared runtime over TCP until a client
+/// sends the `shutdown` verb. Prints the bound address on its own
+/// line and flushes *before* blocking, so scripts binding port 0 can
+/// read the ephemeral port from the first line of output.
+pub fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
+    use ctr_runtime::{SharedRuntime, Store, WalOptions, WalStore};
+    use std::sync::Arc;
+
+    let mut addr = "127.0.0.1:7171".to_owned();
+    let mut store_dir: Option<String> = None;
+    let mut durability = ctr_runtime::Durability::Strict;
+    let mut opts = ctr_serve::ServeOptions::default();
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let mut value = || -> Result<&String, CliError> {
+            i += 1;
+            rest.get(i)
+                .ok_or_else(|| CliError::usage(format!("{flag} needs a value\n\n{USAGE}")))
+        };
+        match flag {
+            "--addr" => addr = value()?.clone(),
+            "--store" => store_dir = Some(value()?.clone()),
+            "--durability" => durability = parse_durability(value()?)?,
+            "--burst" => {
+                opts.max_burst_requests = value()?
+                    .parse()
+                    .map_err(|_| CliError::usage("--burst must be a number"))?;
+            }
+            _ => return Err(CliError::usage(USAGE)),
+        }
+        i += 1;
+    }
+    let runtime = match &store_dir {
+        Some(dir) => {
+            let options = WalOptions {
+                durability,
+                ..WalOptions::default()
+            };
+            let store: Arc<dyn Store> = Arc::new(
+                WalStore::open_with(dir, options)
+                    .map_err(|e| CliError::analysis(format!("store `{dir}`: {e}\n")))?,
+            );
+            SharedRuntime::open(store)
+                .map_err(|e| CliError::analysis(format!("recovery from `{dir}` failed: {e}\n")))?
+        }
+        None => SharedRuntime::new(),
+    };
+    let server = ctr_serve::Server::bind(runtime, &addr, opts)
+        .map_err(|e| CliError::analysis(format!("cannot bind `{addr}`: {e}\n")))?;
+    println!("serving on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server
+        .run()
+        .map_err(|e| CliError::analysis(format!("server failed: {e}\n")))?;
+    Ok("server exited\n".to_owned())
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 ctr — logic-based workflow analysis (PODS'98 CTR)
@@ -597,6 +657,16 @@ USAGE:
         (--durability: strict = fsync per append; coalesced = group
          commit, still durable-on-return; periodic = ack at staging,
          synced within ~5ms — a crash may lose that window)
+    ctr serve [--addr HOST:PORT] [--store <dir> [--durability <p>]]
+              [--burst N]
+        serve the runtime over TCP (binary wire protocol; see
+        DESIGN.md sec. 16). Prints the bound address first, then
+        blocks until a client sends `shutdown`. --addr defaults to
+        127.0.0.1:7171; port 0 binds an ephemeral port. --burst caps
+        admitted requests per read burst (excess answer Busy).
+    ctr load <bench|ADDR> [flags]
+        load-test a serving endpoint, or regenerate BENCH_serve.json
+        (`ctr load --help` for flags and examples)
 
 CONSTRAINT SYNTAX:
     exists(e)  absent(e)  before(a,b)  serial(a,b,c)
@@ -716,6 +786,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 return Err(CliError::usage(USAGE));
             };
             cmd_run(dir, durability, verb, rest)
+        }
+        "serve" => cmd_serve(&args[1..]),
+        "load" => {
+            let rest = &args[1..];
+            if rest.is_empty() {
+                return Ok(format!("{}\n", ctr_serve::loadgen::LOAD_USAGE));
+            }
+            ctr_serve::loadgen::cli_main(rest)
+                .map(|text| format!("{text}\n"))
+                .map_err(CliError::usage)
         }
         "help" | "--help" | "-h" | "" => Ok(USAGE.to_owned()),
         other => Err(CliError::usage(format!(

@@ -345,6 +345,94 @@ impl Instance {
         Ok(outcomes)
     }
 
+    /// Fires several independent *runs* (sub-batches) against this
+    /// instance, each with [`Instance::fire_batch`] semantics — a
+    /// failure stops its own run (rest [`FireOutcome::Skipped`]) but
+    /// never the following runs, exactly as if the runs had been
+    /// submitted as separate `fire_batch` calls back to back. The
+    /// difference is durability traffic: all committed events of the
+    /// whole burst reach the store through **one** append (one group
+    /// commit on the WAL backend) instead of one per run.
+    ///
+    /// The burst is consequently one commit unit: if the append fails,
+    /// *every* run rolls back (cursor rebuilt by replay, status
+    /// restored) and every run reports `Rejected(Store)` on its first
+    /// event with the rest `Skipped` — nothing was acknowledged, so no
+    /// caller can have observed the discarded prefix. `Err` is reserved
+    /// for a rollback that itself finds the journal unreplayable.
+    pub(crate) fn fire_runs<S: AsRef<str>>(
+        &mut self,
+        id: InstanceId,
+        runs: &[&[S]],
+        store: Option<&dyn Store>,
+    ) -> Result<Vec<Vec<FireOutcome>>, RuntimeError> {
+        let status_before = self.status;
+        let journal_before = self.journal.len();
+        let mut outcomes: Vec<Vec<FireOutcome>> = Vec::with_capacity(runs.len());
+        let mut committed: Vec<Symbol> = Vec::new();
+        for events in runs {
+            let mut run = Vec::with_capacity(events.len());
+            for event in *events {
+                if matches!(
+                    run.last(),
+                    Some(FireOutcome::Rejected(_) | FireOutcome::Skipped)
+                ) {
+                    run.push(FireOutcome::Skipped);
+                    continue;
+                }
+                let event = event.as_ref();
+                if self.status == InstanceStatus::Completed {
+                    run.push(FireOutcome::Rejected(RuntimeError::AlreadyComplete(id)));
+                    continue;
+                }
+                let symbol = Symbol::try_get(event).filter(|&s| self.cursor.fire_event(s));
+                let Some(symbol) = symbol else {
+                    run.push(FireOutcome::Rejected(RuntimeError::NotEligible {
+                        event: event.to_owned(),
+                        eligible: self.eligible_names(),
+                    }));
+                    continue;
+                };
+                committed.push(symbol);
+                // Later runs see the committed prefix immediately — the
+                // in-memory journal is extended run by run so a mid-burst
+                // snapshot or rollback always has the true event list.
+                self.journal.push(symbol);
+                if self.cursor.is_complete() {
+                    self.status = InstanceStatus::Completed;
+                }
+                run.push(FireOutcome::Fired(self.status));
+            }
+            outcomes.push(run);
+        }
+        if let Some(store) = store {
+            if !committed.is_empty() {
+                let record = Record::Events {
+                    instance: id,
+                    events: committed.iter().map(|s| s.as_str().to_owned()).collect(),
+                };
+                if let Err(e) = store.append(&record) {
+                    self.journal.truncate(journal_before);
+                    self.rebuild_cursor(Arc::clone(&self.program))?;
+                    self.status = status_before;
+                    let failed = runs
+                        .iter()
+                        .map(|events| {
+                            let mut run = Vec::with_capacity(events.len());
+                            if !events.is_empty() {
+                                run.push(FireOutcome::Rejected(RuntimeError::Store(e.to_string())));
+                                run.resize(events.len(), FireOutcome::Skipped);
+                            }
+                            run
+                        })
+                        .collect();
+                    return Ok(failed);
+                }
+            }
+        }
+        Ok(outcomes)
+    }
+
     /// Probes silent completion; see [`Runtime::try_complete`]. A
     /// silent completion is the one status change replaying the event
     /// journal cannot reproduce, so with a store attached it persists

@@ -375,6 +375,20 @@ impl SharedRuntime {
     /// ascending index order (each released before the next), and
     /// instance locks one at a time after all shard locks are released.
     pub fn fire_many<S: AsRef<str>>(&self, batch: &[(InstanceId, S)]) -> Vec<FireOutcome> {
+        // Fast path: a batch whose instance ids are pairwise distinct
+        // (the common interleaved-arrival shape — one event per instance
+        // per batch) needs none of the grouping bookkeeping below. Its
+        // per-instance runs are singletons, so per-instance order is
+        // input order, and a plain `fire` per pair under the same
+        // shard-by-shard resolution gives identical outcomes while
+        // skipping the order/group/cell maps whose allocations used to
+        // make these batches *trail* sequential fires.
+        let mut sorted_ids: Vec<InstanceId> = batch.iter().map(|(id, _)| *id).collect();
+        sorted_ids.sort_unstable();
+        if sorted_ids.windows(2).all(|w| w[0] != w[1]) {
+            return self.fire_many_singletons(batch);
+        }
+        drop(sorted_ids);
         // Group event positions per instance, keeping first-appearance
         // order so cross-instance progress stays deterministic.
         let mut order: Vec<InstanceId> = Vec::new();
@@ -449,6 +463,145 @@ impl SharedRuntime {
         outcomes
             .into_iter()
             .map(|o| o.expect("every position resolved"))
+            .collect()
+    }
+
+    /// [`SharedRuntime::fire_many`] for batches with pairwise-distinct
+    /// ids: shard-by-shard cell resolution (ascending, one lock per
+    /// referenced shard — same lock order as the general path), then one
+    /// plain `fire` per pair in input order. No grouping maps: the only
+    /// allocations are the flat position/cell vectors.
+    fn fire_many_singletons<S: AsRef<str>>(&self, batch: &[(InstanceId, S)]) -> Vec<FireOutcome> {
+        let mut by_shard: [Vec<usize>; SHARD_COUNT] = std::array::from_fn(|_| Vec::new());
+        for (i, (id, _)) in batch.iter().enumerate() {
+            by_shard[(id % SHARD_COUNT as u64) as usize].push(i);
+        }
+        let mut cells: Vec<Option<InstanceCell>> = Vec::new();
+        cells.resize_with(batch.len(), || None);
+        for (s, positions) in by_shard.iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let shard = lock(&self.inner.shards[s].instances);
+            for &i in positions {
+                cells[i] = shard.get(&batch[i].0).cloned();
+            }
+        }
+        batch
+            .iter()
+            .zip(&cells)
+            .map(|((id, event), cell)| match cell {
+                None => FireOutcome::Rejected(RuntimeError::UnknownInstance(*id)),
+                Some(cell) => {
+                    match lock(cell).fire(*id, event.as_ref(), self.inner.store.as_deref()) {
+                        Ok(status) => FireOutcome::Fired(status),
+                        Err(e) => FireOutcome::Rejected(e),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Fires a burst of independent *runs* — `(instance, events)`
+    /// sub-batches — amortizing lock and durability traffic while
+    /// preserving each run's identity: runs against the same instance
+    /// execute in input order under **one** instance-lock acquisition,
+    /// each with [`Runtime::fire_batch`] semantics (its failure stops
+    /// that run only, never a later run), and all of an instance's
+    /// committed events from the burst reach the store through **one**
+    /// append — one WAL group commit per instance per burst.
+    ///
+    /// This is the service batching primitive: a connection that reads
+    /// several pipelined `fire`/`fire_batch` requests submits them as
+    /// one burst and gets per-request outcomes identical to submitting
+    /// them one by one — batching amortizes, it never merges requests
+    /// into a wider failure domain (except store-append failure, where
+    /// the burst is one commit unit and nothing is acknowledged).
+    ///
+    /// Returns one outcome vector per input run, in input positions. An
+    /// unknown instance rejects the first event of its first run and
+    /// skips everything else addressed to it. Lock order is the
+    /// [`SharedRuntime::fire_many`] order: shard locks one at a time
+    /// ascending, then instance locks one at a time.
+    pub fn fire_runs<S: AsRef<str>>(&self, runs: &[(InstanceId, &[S])]) -> Vec<Vec<FireOutcome>> {
+        // Group run positions per instance, first-appearance order.
+        let mut order: Vec<InstanceId> = Vec::new();
+        let mut groups: BTreeMap<InstanceId, Vec<usize>> = BTreeMap::new();
+        for (i, (id, _)) in runs.iter().enumerate() {
+            groups
+                .entry(*id)
+                .or_insert_with(|| {
+                    order.push(*id);
+                    Vec::new()
+                })
+                .push(i);
+        }
+        // Resolve cells shard by shard, ascending.
+        let mut by_shard: [Vec<InstanceId>; SHARD_COUNT] = std::array::from_fn(|_| Vec::new());
+        for &id in groups.keys() {
+            by_shard[(id % SHARD_COUNT as u64) as usize].push(id);
+        }
+        let mut cells: BTreeMap<InstanceId, Option<InstanceCell>> = BTreeMap::new();
+        for (s, ids) in by_shard.iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            let shard = lock(&self.inner.shards[s].instances);
+            for &id in ids {
+                cells.insert(id, shard.get(&id).cloned());
+            }
+        }
+        let mut outcomes: Vec<Option<Vec<FireOutcome>>> = Vec::new();
+        outcomes.resize_with(runs.len(), || None);
+        for id in order {
+            let positions = &groups[&id];
+            match &cells[&id] {
+                None => {
+                    // Each run is a separate logical request: every one
+                    // rejects its first event, exactly as back-to-back
+                    // submissions against the unknown id would.
+                    for &i in positions {
+                        let events = runs[i].1;
+                        let mut run = Vec::with_capacity(events.len());
+                        if !events.is_empty() {
+                            run.push(FireOutcome::Rejected(RuntimeError::UnknownInstance(id)));
+                        }
+                        run.resize(events.len(), FireOutcome::Skipped);
+                        outcomes[i] = Some(run);
+                    }
+                }
+                Some(cell) => {
+                    let instance_runs: Vec<&[S]> = positions.iter().map(|&i| runs[i].1).collect();
+                    match lock(cell).fire_runs(id, &instance_runs, self.inner.store.as_deref()) {
+                        Ok(per_run) => {
+                            for (&i, run) in positions.iter().zip(per_run) {
+                                outcomes[i] = Some(run);
+                            }
+                        }
+                        // Rollback itself failed (unreplayable journal):
+                        // surface it on the first event of the first
+                        // run, skip everything else for this instance.
+                        Err(e) => {
+                            let mut first = Some(e);
+                            for &i in positions {
+                                let events = runs[i].1;
+                                let mut run = Vec::with_capacity(events.len());
+                                if !events.is_empty() {
+                                    if let Some(e) = first.take() {
+                                        run.push(FireOutcome::Rejected(e));
+                                    }
+                                }
+                                run.resize(events.len(), FireOutcome::Skipped);
+                                outcomes[i] = Some(run);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every run resolved"))
             .collect()
     }
 
@@ -1050,6 +1203,171 @@ mod tests {
             });
         }
         assert_eq!(many.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn fire_many_singleton_batches_match_individual_fires() {
+        // Pairwise-distinct ids take the allocation-light fast path;
+        // outcomes (including unknown-instance and not-eligible
+        // rejections) must be exactly those of per-pair fires.
+        let fast = shared_pay();
+        let slow = shared_pay();
+        let n = SHARD_COUNT as u64 + 5;
+        for _ in 0..n {
+            assert_eq!(fast.start("pay").unwrap(), slow.start("pay").unwrap());
+        }
+        let ghost = 999u64;
+        let mut batch: Vec<(InstanceId, &str)> = (0..n).map(|id| (id, "invoice")).collect();
+        batch.push((ghost, "invoice"));
+        batch.push((n - 1, "file")); // duplicate id → general path
+        let outcomes = fast.fire_many(&batch);
+        for (&(id, event), outcome) in batch.iter().zip(&outcomes) {
+            match slow.fire(id, event) {
+                Ok(status) => assert_eq!(*outcome, FireOutcome::Fired(status)),
+                Err(e) => assert_eq!(*outcome, FireOutcome::Rejected(e)),
+            }
+        }
+        assert_eq!(fast.snapshot(), slow.snapshot());
+        // And the genuinely-singleton version of the same batch.
+        batch.pop();
+        let outcomes = fast.fire_many(&batch[..]);
+        assert!(
+            matches!(&outcomes[..n as usize], o if o.iter().all(|o| matches!(o, FireOutcome::Rejected(RuntimeError::NotEligible { .. })))),
+            "second invoice is no longer eligible anywhere"
+        );
+        assert_eq!(
+            outcomes[n as usize],
+            FireOutcome::Rejected(RuntimeError::UnknownInstance(ghost))
+        );
+    }
+
+    #[test]
+    fn fire_runs_matches_back_to_back_fire_batches() {
+        // A burst of runs — including two runs on the same instance
+        // where the first fails mid-way — must produce exactly the
+        // outcomes and journals of sequential fire_batch calls.
+        let burst = shared_pay();
+        let seq = shared_pay();
+        let a = burst.start("pay").unwrap();
+        assert_eq!(a, seq.start("pay").unwrap());
+        let b = burst.start("pay").unwrap();
+        assert_eq!(b, seq.start("pay").unwrap());
+        let runs: Vec<(InstanceId, &[&str])> = vec![
+            (a, &["invoice", "file"]), // "file" ineligible: stops run 1
+            (b, &["invoice"]),
+            (a, &["approve", "file"]), // run 3 proceeds despite run 1's failure
+            (b, &["reject", "file"]),
+        ];
+        let outcomes = burst.fire_runs(&runs);
+        assert_eq!(outcomes.len(), runs.len());
+        for ((id, events), outcome) in runs.iter().zip(&outcomes) {
+            assert_eq!(outcome, &seq.fire_batch(*id, events).unwrap());
+        }
+        assert_eq!(burst.snapshot(), seq.snapshot());
+        assert_eq!(
+            burst.journal(a).unwrap(),
+            vec!["invoice", "approve", "file"]
+        );
+        // Every run against an unknown id rejects its own first event —
+        // each run is a separate logical request.
+        let ghost = 999u64;
+        let ghost_runs: Vec<(InstanceId, &[&str])> =
+            vec![(ghost, &["invoice", "file"]), (ghost, &["approve"])];
+        let outcomes = burst.fire_runs(&ghost_runs);
+        assert_eq!(
+            outcomes[0],
+            vec![
+                FireOutcome::Rejected(RuntimeError::UnknownInstance(ghost)),
+                FireOutcome::Skipped
+            ]
+        );
+        assert_eq!(
+            outcomes[1],
+            vec![FireOutcome::Rejected(RuntimeError::UnknownInstance(ghost))]
+        );
+    }
+
+    #[test]
+    fn fire_runs_appends_once_per_instance_per_burst() {
+        use ctr_store::MemStore;
+        let store = Arc::new(MemStore::new());
+        let rt = SharedRuntime::with_store(Arc::clone(&store) as Arc<dyn Store>);
+        rt.deploy_source(PAY).unwrap();
+        let a = rt.start("pay").unwrap();
+        let b = rt.start("pay").unwrap();
+        let before = store.stats().appends;
+        // Three runs on `a`, one on `b` → exactly two Events appends.
+        let runs: Vec<(InstanceId, &[&str])> = vec![
+            (a, &["invoice"]),
+            (b, &["invoice", "approve"]),
+            (a, &["approve"]),
+            (a, &["file"]),
+        ];
+        for outcome in rt.fire_runs(&runs).into_iter().flatten() {
+            assert!(matches!(outcome, FireOutcome::Fired(_)));
+        }
+        assert_eq!(store.stats().appends - before, 2);
+        // The grouped appends replay to the same fleet.
+        let recovered = SharedRuntime::open(store).unwrap();
+        assert_eq!(recovered.snapshot(), rt.snapshot());
+    }
+
+    /// A store that fails every append once `fail` is set — the
+    /// burst-rollback probe.
+    struct FaultyStore {
+        inner: ctr_store::MemStore,
+        fail: std::sync::atomic::AtomicBool,
+    }
+
+    impl Store for FaultyStore {
+        fn append(&self, record: &ctr_store::Record) -> Result<(), ctr_store::StoreError> {
+            if self.fail.load(Ordering::Relaxed) {
+                return Err(ctr_store::StoreError::Io(
+                    "injected append failure".to_owned(),
+                ));
+            }
+            self.inner.append(record)
+        }
+        fn replay(&self) -> Result<ctr_store::Replay, ctr_store::StoreError> {
+            self.inner.replay()
+        }
+        fn checkpoint(&self, snapshot: &str) -> Result<(), ctr_store::StoreError> {
+            self.inner.checkpoint(snapshot)
+        }
+        fn stats(&self) -> ctr_store::StoreStats {
+            self.inner.stats()
+        }
+    }
+
+    #[test]
+    fn fire_runs_store_failure_rolls_back_the_whole_burst() {
+        let store = Arc::new(FaultyStore {
+            inner: ctr_store::MemStore::new(),
+            fail: std::sync::atomic::AtomicBool::new(false),
+        });
+        let rt = SharedRuntime::with_store(Arc::clone(&store) as Arc<dyn Store>);
+        rt.deploy_source(PAY).unwrap();
+        let id = rt.start("pay").unwrap();
+        rt.fire(id, "invoice").unwrap();
+        store.fail.store(true, Ordering::Relaxed);
+        let runs: Vec<(InstanceId, &[&str])> = vec![(id, &["approve"]), (id, &["file"])];
+        let outcomes = rt.fire_runs(&runs);
+        // Every run reports the store failure shape; nothing committed.
+        assert!(matches!(
+            outcomes[0][0],
+            FireOutcome::Rejected(RuntimeError::Store(_))
+        ));
+        assert!(matches!(
+            outcomes[1][0],
+            FireOutcome::Rejected(RuntimeError::Store(_))
+        ));
+        assert_eq!(rt.journal(id).unwrap(), vec!["invoice"]);
+        assert_eq!(rt.status(id).unwrap(), InstanceStatus::Running);
+        // The instance stays usable once the store heals.
+        store.fail.store(false, Ordering::Relaxed);
+        rt.fire(id, "approve").unwrap();
+        rt.fire(id, "file").unwrap();
+        assert!(rt.is_complete(id).unwrap());
     }
 
     #[test]

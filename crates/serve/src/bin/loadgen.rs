@@ -1,0 +1,14 @@
+//! Standalone load harness: `loadgen bench [--quick]` regenerates
+//! `BENCH_serve.json`; `loadgen ADDR [flags]` drives an external
+//! `ctr serve` endpoint. See `loadgen --help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ctr_serve::loadgen::cli_main(&args) {
+        Ok(text) => println!("{text}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

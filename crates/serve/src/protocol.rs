@@ -1,0 +1,752 @@
+//! The wire protocol: length-prefixed, CRC-checked binary frames.
+//!
+//! Every message — request or response — travels as one **frame**:
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! `len` is the payload length (at most [`MAX_FRAME`]); `crc` is the
+//! CRC-32 (IEEE) of the payload, computed with the same
+//! [`ctr_store::crc32`] the WAL uses for its record frames. The check
+//! is not decorative: a frame whose CRC mismatches is a transport-level
+//! fault ([`WireError::BadCrc`]), and the server closes the connection
+//! rather than guess at intent.
+//!
+//! Payloads are a one-byte tag (request verb or response kind) followed
+//! by the body. Scalars are little-endian; strings are `u32` length +
+//! UTF-8 bytes; vectors are `u32` count + elements. Decoding is strict
+//! both ways: a body shorter than its fields claim is
+//! [`WireError::Truncated`], longer is [`WireError::Trailing`] — a
+//! complete frame either decodes to exactly one typed message or fails
+//! with a typed error, never partially.
+//!
+//! Responses carry no request ids: the server answers every request of
+//! a connection **in request order** (pipelining is FIFO), so the
+//! correlation is positional, like Redis.
+
+use ctr_runtime::{FireOutcome, InstanceStatus, RuntimeError};
+use std::fmt;
+
+/// Hard ceiling on a frame's payload length. Large enough for any
+/// realistic snapshot page or batch, small enough that a corrupt or
+/// hostile length prefix cannot balloon the receive buffer.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Frame header length: payload length + CRC, both `u32` LE.
+pub const FRAME_HEADER: usize = 8;
+
+/// Typed decoding faults. Any of these on the server side earns the
+/// client a [`FaultCode::Protocol`] error response (best effort) and a
+/// closed connection — once framing is in doubt, every later byte is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// The payload does not match its CRC.
+    BadCrc,
+    /// The first payload byte is not a known request verb.
+    UnknownVerb(u8),
+    /// The first payload byte is not a known response kind.
+    UnknownKind(u8),
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// The payload ends before its declared fields do.
+    Truncated,
+    /// The payload has bytes left over after its last field.
+    Trailing(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Oversized(len) => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            WireError::BadCrc => write!(f, "frame payload does not match its crc"),
+            WireError::UnknownVerb(v) => write!(f, "unknown request verb 0x{v:02x}"),
+            WireError::UnknownKind(k) => write!(f, "unknown response kind 0x{k:02x}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid utf-8"),
+            WireError::Truncated => write!(f, "payload ends before its declared fields"),
+            WireError::Trailing(n) => write!(f, "{n} bytes of trailing garbage after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// --- Framing ---------------------------------------------------------------
+
+/// Appends one frame carrying `payload` to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&ctr_store::crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Attempts to split one frame off the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` holds only a frame prefix (read more
+/// bytes and retry) and `Ok(Some((consumed, payload)))` for a complete,
+/// CRC-verified frame. Oversized lengths and CRC mismatches are typed
+/// errors — the caller must drop the connection, since byte alignment
+/// can no longer be trusted.
+pub fn split_frame(buf: &[u8]) -> Result<Option<(usize, &[u8])>, WireError> {
+    if buf.len() < FRAME_HEADER {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized(len));
+    }
+    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let Some(payload) = buf.get(FRAME_HEADER..FRAME_HEADER + len) else {
+        return Ok(None);
+    };
+    if ctr_store::crc32(payload) != crc {
+        return Err(WireError::BadCrc);
+    }
+    Ok(Some((FRAME_HEADER + len, payload)))
+}
+
+// --- Body primitives -------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Strict reader over a payload: every `take_*` fails typed on
+/// underrun, and [`Reader::finish`] fails typed on leftovers.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn take_str(&mut self) -> Result<String, WireError> {
+        let len = self.take_u32()? as usize;
+        // The length is bounded by the frame, so `take` rejects any
+        // claim the payload cannot back.
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn take_count(&mut self) -> Result<usize, WireError> {
+        let n = self.take_u32()? as usize;
+        // A count can never exceed the remaining bytes (every element
+        // is at least one byte): reject early instead of letting a
+        // hostile count drive a huge reserve.
+        if n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Trailing(self.buf.len()))
+        }
+    }
+}
+
+// --- Requests --------------------------------------------------------------
+
+const VERB_DEPLOY: u8 = 0x01;
+const VERB_START: u8 = 0x02;
+const VERB_FIRE: u8 = 0x03;
+const VERB_FIRE_BATCH: u8 = 0x04;
+const VERB_FIRE_MANY: u8 = 0x05;
+const VERB_ELIGIBLE: u8 = 0x06;
+const VERB_SNAPSHOT: u8 = 0x07;
+const VERB_STATS: u8 = 0x08;
+const VERB_SHUTDOWN: u8 = 0x09;
+
+/// One client request. The `Fire`/`FireBatch` verbs are the hot path:
+/// the server coalesces adjacent pipelined ones into a single
+/// `SharedRuntime::fire_runs` burst (see `server.rs`); everything else
+/// is a barrier executed in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Deploy a workflow from source text; answers [`Response::Name`].
+    Deploy { source: String },
+    /// Start an instance; answers [`Response::InstanceId`].
+    Start { workflow: String },
+    /// Fire one event; answers [`Response::Status`].
+    Fire { instance: u64, event: String },
+    /// Fire an ordered batch on one instance; answers
+    /// [`Response::Outcomes`] (one per event).
+    FireBatch { instance: u64, events: Vec<String> },
+    /// Fire a mixed `(instance, event)` batch; answers
+    /// [`Response::Outcomes`] (one per pair, input positions).
+    FireMany { pairs: Vec<(u64, String)> },
+    /// Observable eligible events; answers [`Response::Names`].
+    Eligible { instance: u64 },
+    /// Consistent fleet snapshot; answers [`Response::Text`].
+    Snapshot,
+    /// Store / fleet counters; answers [`Response::Stats`].
+    Stats,
+    /// Stop the server (after answering [`Response::Unit`]).
+    Shutdown,
+}
+
+/// Encodes a request payload (frame it with [`encode_frame`]).
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    match req {
+        Request::Deploy { source } => {
+            out.push(VERB_DEPLOY);
+            put_str(out, source);
+        }
+        Request::Start { workflow } => {
+            out.push(VERB_START);
+            put_str(out, workflow);
+        }
+        Request::Fire { instance, event } => {
+            out.push(VERB_FIRE);
+            put_u64(out, *instance);
+            put_str(out, event);
+        }
+        Request::FireBatch { instance, events } => {
+            out.push(VERB_FIRE_BATCH);
+            put_u64(out, *instance);
+            out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+            for event in events {
+                put_str(out, event);
+            }
+        }
+        Request::FireMany { pairs } => {
+            out.push(VERB_FIRE_MANY);
+            out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+            for (instance, event) in pairs {
+                put_u64(out, *instance);
+                put_str(out, event);
+            }
+        }
+        Request::Eligible { instance } => {
+            out.push(VERB_ELIGIBLE);
+            put_u64(out, *instance);
+        }
+        Request::Snapshot => out.push(VERB_SNAPSHOT),
+        Request::Stats => out.push(VERB_STATS),
+        Request::Shutdown => out.push(VERB_SHUTDOWN),
+    }
+}
+
+/// Decodes a request payload. Total: a complete frame yields exactly
+/// one request or one typed error.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let req = match r.take_u8()? {
+        VERB_DEPLOY => Request::Deploy {
+            source: r.take_str()?,
+        },
+        VERB_START => Request::Start {
+            workflow: r.take_str()?,
+        },
+        VERB_FIRE => Request::Fire {
+            instance: r.take_u64()?,
+            event: r.take_str()?,
+        },
+        VERB_FIRE_BATCH => {
+            let instance = r.take_u64()?;
+            let n = r.take_count()?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                events.push(r.take_str()?);
+            }
+            Request::FireBatch { instance, events }
+        }
+        VERB_FIRE_MANY => {
+            let n = r.take_count()?;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let instance = r.take_u64()?;
+                pairs.push((instance, r.take_str()?));
+            }
+            Request::FireMany { pairs }
+        }
+        VERB_ELIGIBLE => Request::Eligible {
+            instance: r.take_u64()?,
+        },
+        VERB_SNAPSHOT => Request::Snapshot,
+        VERB_STATS => Request::Stats,
+        VERB_SHUTDOWN => Request::Shutdown,
+        verb => return Err(WireError::UnknownVerb(verb)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+// --- Responses -------------------------------------------------------------
+
+const KIND_NAME: u8 = 0x81;
+const KIND_ID: u8 = 0x82;
+const KIND_STATUS: u8 = 0x83;
+const KIND_OUTCOMES: u8 = 0x84;
+const KIND_NAMES: u8 = 0x85;
+const KIND_TEXT: u8 = 0x86;
+const KIND_UNIT: u8 = 0x87;
+const KIND_STATS: u8 = 0x88;
+const KIND_ERROR: u8 = 0xEE;
+
+const STATUS_RUNNING: u8 = 0;
+const STATUS_COMPLETED: u8 = 1;
+
+const OUTCOME_FIRED: u8 = 0;
+const OUTCOME_REJECTED: u8 = 1;
+const OUTCOME_SKIPPED: u8 = 2;
+
+/// Why a request (or one event of a batch) failed, as a stable wire
+/// code — clients branch on the code, the message is for humans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FaultCode {
+    /// The event is not eligible at the instance's current stage.
+    NotEligible = 1,
+    /// No instance with this id.
+    UnknownInstance = 2,
+    /// No workflow deployed under this name.
+    UnknownWorkflow = 3,
+    /// The instance already completed.
+    AlreadyComplete = 4,
+    /// The durable store rejected the operation (nothing committed).
+    Store = 5,
+    /// The specification failed to parse, compile, or verify.
+    Spec = 6,
+    /// Journal/snapshot corruption on the server.
+    Corrupt = 7,
+    /// Admission control: the burst exceeded the connection's budget;
+    /// retry after draining responses.
+    Busy = 8,
+    /// The peer broke the wire protocol (the connection is closing).
+    Protocol = 9,
+}
+
+impl FaultCode {
+    fn from_u8(v: u8) -> Option<FaultCode> {
+        Some(match v {
+            1 => FaultCode::NotEligible,
+            2 => FaultCode::UnknownInstance,
+            3 => FaultCode::UnknownWorkflow,
+            4 => FaultCode::AlreadyComplete,
+            5 => FaultCode::Store,
+            6 => FaultCode::Spec,
+            7 => FaultCode::Corrupt,
+            8 => FaultCode::Busy,
+            9 => FaultCode::Protocol,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed error response (or rejected batch event).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    pub code: FaultCode,
+    pub message: String,
+}
+
+impl Fault {
+    /// Maps a runtime error onto its wire fault.
+    pub fn from_runtime(e: &RuntimeError) -> Fault {
+        let code = match e {
+            RuntimeError::NotEligible { .. } => FaultCode::NotEligible,
+            RuntimeError::UnknownInstance(_) => FaultCode::UnknownInstance,
+            RuntimeError::UnknownWorkflow(_) => FaultCode::UnknownWorkflow,
+            RuntimeError::AlreadyComplete(_) => FaultCode::AlreadyComplete,
+            RuntimeError::Store(_) => FaultCode::Store,
+            RuntimeError::Parse(_) | RuntimeError::Compile(_) | RuntimeError::Inconsistent(_) => {
+                FaultCode::Spec
+            }
+            RuntimeError::Snapshot(_) | RuntimeError::Journal(_) => FaultCode::Corrupt,
+        };
+        Fault {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+/// Instance status on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireStatus {
+    Running,
+    Completed,
+}
+
+impl From<InstanceStatus> for WireStatus {
+    fn from(s: InstanceStatus) -> WireStatus {
+        match s {
+            InstanceStatus::Running => WireStatus::Running,
+            InstanceStatus::Completed => WireStatus::Completed,
+        }
+    }
+}
+
+/// Per-event batch outcome on the wire; mirrors
+/// [`ctr_runtime::FireOutcome`] with the error typed as a [`Fault`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireOutcome {
+    Fired(WireStatus),
+    Rejected(Fault),
+    Skipped,
+}
+
+impl WireOutcome {
+    /// Maps a runtime outcome onto its wire form.
+    pub fn from_runtime(o: &FireOutcome) -> WireOutcome {
+        match o {
+            FireOutcome::Fired(status) => WireOutcome::Fired((*status).into()),
+            FireOutcome::Rejected(e) => WireOutcome::Rejected(Fault::from_runtime(e)),
+            FireOutcome::Skipped => WireOutcome::Skipped,
+        }
+    }
+}
+
+/// Store / fleet counters over the wire — enough for a load harness to
+/// compute fsyncs-per-fire without touching the server's disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Durable record appends (0 without a store).
+    pub appends: u64,
+    /// Journal events appended durably (0 without a store).
+    pub events: u64,
+    /// Data fsyncs issued (0 without a store or on `MemStore`).
+    pub fsyncs: u64,
+    /// Instances known to the runtime (running and completed).
+    pub instances: u64,
+}
+
+/// One server response; see [`Request`] for the pairing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    Name(String),
+    InstanceId(u64),
+    Status(WireStatus),
+    Outcomes(Vec<WireOutcome>),
+    Names(Vec<String>),
+    Text(String),
+    Unit,
+    Stats(WireStats),
+    Error(Fault),
+}
+
+/// Encodes a response payload (frame it with [`encode_frame`]).
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    match resp {
+        Response::Name(name) => {
+            out.push(KIND_NAME);
+            put_str(out, name);
+        }
+        Response::InstanceId(id) => {
+            out.push(KIND_ID);
+            put_u64(out, *id);
+        }
+        Response::Status(status) => {
+            out.push(KIND_STATUS);
+            out.push(match status {
+                WireStatus::Running => STATUS_RUNNING,
+                WireStatus::Completed => STATUS_COMPLETED,
+            });
+        }
+        Response::Outcomes(outcomes) => {
+            out.push(KIND_OUTCOMES);
+            out.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
+            for outcome in outcomes {
+                match outcome {
+                    WireOutcome::Fired(status) => {
+                        out.push(OUTCOME_FIRED);
+                        out.push(match status {
+                            WireStatus::Running => STATUS_RUNNING,
+                            WireStatus::Completed => STATUS_COMPLETED,
+                        });
+                    }
+                    WireOutcome::Rejected(fault) => {
+                        out.push(OUTCOME_REJECTED);
+                        out.push(fault.code as u8);
+                        put_str(out, &fault.message);
+                    }
+                    WireOutcome::Skipped => out.push(OUTCOME_SKIPPED),
+                }
+            }
+        }
+        Response::Names(names) => {
+            out.push(KIND_NAMES);
+            out.extend_from_slice(&(names.len() as u32).to_le_bytes());
+            for name in names {
+                put_str(out, name);
+            }
+        }
+        Response::Text(text) => {
+            out.push(KIND_TEXT);
+            put_str(out, text);
+        }
+        Response::Unit => out.push(KIND_UNIT),
+        Response::Stats(stats) => {
+            out.push(KIND_STATS);
+            put_u64(out, stats.appends);
+            put_u64(out, stats.events);
+            put_u64(out, stats.fsyncs);
+            put_u64(out, stats.instances);
+        }
+        Response::Error(fault) => {
+            out.push(KIND_ERROR);
+            out.push(fault.code as u8);
+            put_str(out, &fault.message);
+        }
+    }
+}
+
+fn take_status(r: &mut Reader<'_>) -> Result<WireStatus, WireError> {
+    match r.take_u8()? {
+        STATUS_RUNNING => Ok(WireStatus::Running),
+        STATUS_COMPLETED => Ok(WireStatus::Completed),
+        k => Err(WireError::UnknownKind(k)),
+    }
+}
+
+fn take_fault(r: &mut Reader<'_>) -> Result<Fault, WireError> {
+    let code = r.take_u8()?;
+    let code = FaultCode::from_u8(code).ok_or(WireError::UnknownKind(code))?;
+    Ok(Fault {
+        code,
+        message: r.take_str()?,
+    })
+}
+
+/// Decodes a response payload; inverse of [`encode_response`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let resp = match r.take_u8()? {
+        KIND_NAME => Response::Name(r.take_str()?),
+        KIND_ID => Response::InstanceId(r.take_u64()?),
+        KIND_STATUS => Response::Status(take_status(&mut r)?),
+        KIND_OUTCOMES => {
+            let n = r.take_count()?;
+            let mut outcomes = Vec::with_capacity(n);
+            for _ in 0..n {
+                outcomes.push(match r.take_u8()? {
+                    OUTCOME_FIRED => WireOutcome::Fired(take_status(&mut r)?),
+                    OUTCOME_REJECTED => WireOutcome::Rejected(take_fault(&mut r)?),
+                    OUTCOME_SKIPPED => WireOutcome::Skipped,
+                    k => return Err(WireError::UnknownKind(k)),
+                });
+            }
+            Response::Outcomes(outcomes)
+        }
+        KIND_NAMES => {
+            let n = r.take_count()?;
+            let mut names = Vec::with_capacity(n);
+            for _ in 0..n {
+                names.push(r.take_str()?);
+            }
+            Response::Names(names)
+        }
+        KIND_TEXT => Response::Text(r.take_str()?),
+        KIND_UNIT => Response::Unit,
+        KIND_STATS => Response::Stats(WireStats {
+            appends: r.take_u64()?,
+            events: r.take_u64()?,
+            fsyncs: r.take_u64()?,
+            instances: r.take_u64()?,
+        }),
+        KIND_ERROR => Response::Error(take_fault(&mut r)?),
+        kind => return Err(WireError::UnknownKind(kind)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(req: &Request) -> Vec<u8> {
+        let mut payload = Vec::new();
+        encode_request(req, &mut payload);
+        let mut out = Vec::new();
+        encode_frame(&payload, &mut out);
+        out
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Deploy {
+                source: "workflow w { graph a * b; }".to_owned(),
+            },
+            Request::Start {
+                workflow: "w".to_owned(),
+            },
+            Request::Fire {
+                instance: 7,
+                event: "a".to_owned(),
+            },
+            Request::FireBatch {
+                instance: u64::MAX,
+                events: vec!["a".to_owned(), "b".to_owned()],
+            },
+            Request::FireMany {
+                pairs: vec![(0, "a".to_owned()), (3, "β".to_owned())],
+            },
+            Request::Eligible { instance: 0 },
+            Request::Snapshot,
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in &requests {
+            let bytes = frame(req);
+            let (consumed, payload) = split_frame(&bytes).unwrap().expect("complete");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(&decode_request(payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Name("w".to_owned()),
+            Response::InstanceId(42),
+            Response::Status(WireStatus::Completed),
+            Response::Outcomes(vec![
+                WireOutcome::Fired(WireStatus::Running),
+                WireOutcome::Rejected(Fault {
+                    code: FaultCode::NotEligible,
+                    message: "event `x` is not eligible now".to_owned(),
+                }),
+                WireOutcome::Skipped,
+            ]),
+            Response::Names(vec!["a".to_owned(), "b".to_owned()]),
+            Response::Text("instance 0 of w [running]: a\n".to_owned()),
+            Response::Unit,
+            Response::Stats(WireStats {
+                appends: 1,
+                events: 2,
+                fsyncs: 3,
+                instances: 4,
+            }),
+            Response::Error(Fault {
+                code: FaultCode::Busy,
+                message: "burst budget exceeded".to_owned(),
+            }),
+        ];
+        for resp in &responses {
+            let mut payload = Vec::new();
+            encode_response(resp, &mut payload);
+            let mut bytes = Vec::new();
+            encode_frame(&payload, &mut bytes);
+            let (_, payload) = split_frame(&bytes).unwrap().expect("complete");
+            assert_eq!(&decode_response(payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn torn_frames_wait_for_more_bytes() {
+        let bytes = frame(&Request::Snapshot);
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                split_frame(&bytes[..cut]).unwrap(),
+                None,
+                "prefix of {cut} bytes is incomplete, not an error"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_typed_errors() {
+        // Flipped payload bit → BadCrc.
+        let mut bytes = frame(&Request::Snapshot);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(split_frame(&bytes), Err(WireError::BadCrc));
+
+        // Oversized length prefix.
+        let mut oversized = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        oversized.extend_from_slice(&[0; 12]);
+        assert_eq!(
+            split_frame(&oversized),
+            Err(WireError::Oversized(MAX_FRAME + 1))
+        );
+
+        // Unknown verb in a well-framed payload.
+        let mut bytes = Vec::new();
+        encode_frame(&[0x7f], &mut bytes);
+        let (_, payload) = split_frame(&bytes).unwrap().unwrap();
+        assert_eq!(decode_request(payload), Err(WireError::UnknownVerb(0x7f)));
+
+        // Truncated body: Fire with only 4 of 8 instance-id bytes.
+        let mut bytes = Vec::new();
+        encode_frame(&[VERB_FIRE, 1, 2, 3, 4], &mut bytes);
+        let (_, payload) = split_frame(&bytes).unwrap().unwrap();
+        assert_eq!(decode_request(payload), Err(WireError::Truncated));
+
+        // Trailing garbage after a complete body.
+        let mut payload = Vec::new();
+        encode_request(&Request::Snapshot, &mut payload);
+        payload.push(0);
+        let mut bytes = Vec::new();
+        encode_frame(&payload, &mut bytes);
+        let (_, payload) = split_frame(&bytes).unwrap().unwrap();
+        assert_eq!(decode_request(payload), Err(WireError::Trailing(1)));
+
+        // Bad UTF-8 in a string field.
+        let mut payload = vec![VERB_START];
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&[0xff, 0xfe]);
+        let mut bytes = Vec::new();
+        encode_frame(&payload, &mut bytes);
+        let (_, payload) = split_frame(&bytes).unwrap().unwrap();
+        assert_eq!(decode_request(payload), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn hostile_counts_cannot_balloon_allocation() {
+        // A FireBatch claiming u32::MAX events in a tiny payload must
+        // fail typed before any proportional allocation.
+        let mut payload = vec![VERB_FIRE_BATCH];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&payload), Err(WireError::Truncated));
+    }
+}

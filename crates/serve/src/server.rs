@@ -1,0 +1,517 @@
+//! Thread-per-connection TCP server over one [`SharedRuntime`].
+//!
+//! ## Burst batching — the perf core
+//!
+//! A connection thread's read loop does not process one request per
+//! socket read. It blocks for the *first* byte, then drains everything
+//! the kernel has already buffered (a non-blocking drain, bounded by
+//! [`ServeOptions::max_burst_bytes`]), decodes every complete frame,
+//! and executes the whole **burst** before writing any response:
+//!
+//! * maximal runs of adjacent `fire` / `fire_batch` requests are
+//!   submitted as **one** [`SharedRuntime::fire_runs`] burst — one
+//!   shard-lock resolution, one instance-lock acquisition per
+//!   referenced instance, and one WAL append (one group commit) per
+//!   instance per burst, instead of one of each per request;
+//! * every other verb is a barrier executed in arrival order;
+//! * all responses of the burst leave in one `write` + flush.
+//!
+//! Request *semantics* are untouched: `fire_runs` keeps every
+//! pipelined request's identity (its failure stops only itself), and
+//! responses are FIFO, so a client cannot distinguish a batching
+//! server from a naive one except by throughput. Per-instance journal
+//! order is the connection's request order — the server batches, it
+//! never reorders.
+//!
+//! ## Admission control
+//!
+//! In-flight state per connection is bounded twice over: the drain
+//! stops at `max_burst_bytes` (the kernel's socket buffer then applies
+//! TCP backpressure to the client), and a burst executes at most
+//! [`ServeOptions::max_burst_requests`] requests — the excess is
+//! answered with a typed [`FaultCode::Busy`] error instead of queueing
+//! without bound. A `Busy` request was **not** executed; the client
+//! retries it after draining its responses.
+//!
+//! ## Protocol faults
+//!
+//! A frame that fails CRC, oversteps [`protocol::MAX_FRAME`], carries
+//! an unknown verb, or decodes short/long earns a best-effort
+//! [`FaultCode::Protocol`] error response and a closed connection —
+//! once framing is in doubt every later byte is, so the server never
+//! guesses. Requests of the same burst that decoded cleanly *before*
+//! the corrupt frame are executed and answered first; the corrupt
+//! frame itself commits nothing.
+//!
+//! ## Locks held
+//!
+//! A connection thread calls into the runtime with **no** locks of its
+//! own, so the runtime's lock order is the whole story: in particular
+//! a `snapshot` request (which takes every shard and instance lock)
+//! runs *between* `fire_runs` bursts, never inside one, so it cannot
+//! deadlock against this or any other connection's burst.
+
+use crate::protocol::{self, Fault, FaultCode, Request, Response, WireOutcome, WireStats};
+use ctr_runtime::{FireOutcome, SharedRuntime};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Tuning knobs for [`Server`]; the defaults suit both tests and the
+/// load harness.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Most requests one burst will execute; the rest get
+    /// [`FaultCode::Busy`].
+    pub max_burst_requests: usize,
+    /// Stop draining the socket once this many unprocessed bytes are
+    /// buffered (TCP backpressure bounds the rest).
+    pub max_burst_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            max_burst_requests: 256,
+            max_burst_bytes: 256 * 1024,
+        }
+    }
+}
+
+struct Inner {
+    shutdown: AtomicBool,
+    /// Clones of live connection streams, so shutdown can unblock
+    /// their reads with `Shutdown::Both`.
+    conns: Mutex<BTreeMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    opts: ServeOptions,
+    addr: SocketAddr,
+}
+
+impl Inner {
+    /// Flips the shutdown flag, kicks every blocked connection read,
+    /// and unblocks the accept loop. Idempotent.
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for conn in lock(&self.conns).values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // A throwaway connection unblocks `accept`; the loop re-checks
+        // the flag before serving it.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A handle that can stop a running [`Server`] from another thread
+/// (the in-process equivalent of the wire `shutdown` verb).
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServerHandle {
+    /// Stops the server: wakes the accept loop and every connection.
+    pub fn shutdown(&self) {
+        self.inner.trigger_shutdown();
+    }
+}
+
+/// The TCP front-end: `bind`, then `run` (which blocks until the wire
+/// `shutdown` verb or a [`ServerHandle::shutdown`]).
+pub struct Server {
+    runtime: SharedRuntime,
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port; read it back
+    /// with [`Server::local_addr`]).
+    pub fn bind(runtime: SharedRuntime, addr: &str, opts: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            runtime,
+            listener,
+            inner: Arc::new(Inner {
+                shutdown: AtomicBool::new(false),
+                conns: Mutex::new(BTreeMap::new()),
+                next_conn: AtomicU64::new(0),
+                opts,
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address (the ephemeral port, if 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// A shutdown handle, cloneable across threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Accepts connections until shutdown, one thread per connection;
+    /// joins every connection thread before returning, so when `run`
+    /// returns the runtime is quiescent and (if store-backed) every
+    /// acknowledged fire is persisted.
+    pub fn run(self) -> io::Result<()> {
+        let mut workers = Vec::new();
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) if self.inner.shutdown.load(Ordering::SeqCst) => break,
+                Err(e) => return Err(e),
+            };
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let conn_id = self.inner.next_conn.fetch_add(1, Ordering::Relaxed);
+            if let Ok(clone) = stream.try_clone() {
+                lock(&self.inner.conns).insert(conn_id, clone);
+            }
+            let runtime = self.runtime.clone();
+            let inner = Arc::clone(&self.inner);
+            workers.push(std::thread::spawn(move || {
+                let _ = serve_connection(&runtime, stream, &inner);
+                lock(&inner.conns).remove(&conn_id);
+            }));
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Drives one connection; returns on client close, protocol fault,
+/// I/O error, or shutdown.
+fn serve_connection(rt: &SharedRuntime, mut stream: TcpStream, inner: &Inner) -> io::Result<()> {
+    // Responses are written in one buffered burst; Nagle would only
+    // add latency on top of that.
+    let _ = stream.set_nodelay(true);
+    let mut rx: Vec<u8> = Vec::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut tx: Vec<u8> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut requests: Vec<Request> = Vec::new();
+    loop {
+        // Blocking read for the first byte of the next burst…
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        rx.extend_from_slice(&chunk[..n]);
+        // …then drain whatever else is already buffered, without
+        // blocking — this is the window that turns a pipelined client
+        // into one `fire_runs` burst.
+        if rx.len() < inner.opts.max_burst_bytes {
+            stream.set_nonblocking(true)?;
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        rx.extend_from_slice(&chunk[..n]);
+                        if rx.len() >= inner.opts.max_burst_bytes {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        stream.set_nonblocking(false)?;
+                        return Err(e);
+                    }
+                }
+            }
+            stream.set_nonblocking(false)?;
+        }
+        // Decode every complete frame of the burst.
+        requests.clear();
+        let mut consumed = 0usize;
+        let mut wire_fault = None;
+        loop {
+            match protocol::split_frame(&rx[consumed..]) {
+                Ok(None) => break,
+                Ok(Some((frame_len, frame_payload))) => {
+                    match protocol::decode_request(frame_payload) {
+                        Ok(req) => {
+                            consumed += frame_len;
+                            requests.push(req);
+                        }
+                        Err(e) => {
+                            wire_fault = Some(e);
+                            break;
+                        }
+                    }
+                }
+                Err(e) => {
+                    wire_fault = Some(e);
+                    break;
+                }
+            }
+        }
+        rx.drain(..consumed);
+        // Execute the burst and write every response at once.
+        tx.clear();
+        let shutdown = execute_burst(rt, &requests, inner.opts.max_burst_requests, |resp| {
+            payload.clear();
+            protocol::encode_response(resp, &mut payload);
+            protocol::encode_frame(&payload, &mut tx);
+        });
+        if let Some(e) = &wire_fault {
+            let fault = Response::Error(Fault {
+                code: FaultCode::Protocol,
+                message: e.to_string(),
+            });
+            payload.clear();
+            protocol::encode_response(&fault, &mut payload);
+            protocol::encode_frame(&payload, &mut tx);
+        }
+        stream.write_all(&tx)?;
+        stream.flush()?;
+        if wire_fault.is_some() {
+            // Framing is in doubt: close rather than resynchronize.
+            let _ = stream.shutdown(Shutdown::Both);
+            return Ok(());
+        }
+        if shutdown {
+            inner.trigger_shutdown();
+            return Ok(());
+        }
+    }
+}
+
+/// Executes one burst in request order, emitting one response per
+/// request through `emit`; returns whether a shutdown was requested.
+///
+/// Maximal runs of `Fire`/`FireBatch` become one `fire_runs` call;
+/// requests beyond `budget` are answered `Busy` unexecuted.
+fn execute_burst(
+    rt: &SharedRuntime,
+    requests: &[Request],
+    budget: usize,
+    mut emit: impl FnMut(&Response),
+) -> bool {
+    let (admitted, refused) = requests.split_at(budget.min(requests.len()));
+    let mut shutdown = false;
+    let mut i = 0;
+    while i < admitted.len() {
+        match &admitted[i] {
+            Request::Fire { .. } | Request::FireBatch { .. } => {
+                let start = i;
+                while i < admitted.len()
+                    && matches!(
+                        admitted[i],
+                        Request::Fire { .. } | Request::FireBatch { .. }
+                    )
+                {
+                    i += 1;
+                }
+                let runs: Vec<(u64, &[String])> = admitted[start..i]
+                    .iter()
+                    .map(|req| match req {
+                        Request::Fire { instance, event } => {
+                            (*instance, std::slice::from_ref(event))
+                        }
+                        Request::FireBatch { instance, events } => (*instance, events.as_slice()),
+                        _ => unreachable!("run contains only fire verbs"),
+                    })
+                    .collect();
+                let outcomes = rt.fire_runs(&runs);
+                for (req, run) in admitted[start..i].iter().zip(&outcomes) {
+                    match req {
+                        Request::Fire { .. } => emit(&match &run[0] {
+                            FireOutcome::Fired(status) => Response::Status((*status).into()),
+                            FireOutcome::Rejected(e) => Response::Error(Fault::from_runtime(e)),
+                            FireOutcome::Skipped => {
+                                unreachable!("a singleton run is never skipped")
+                            }
+                        }),
+                        Request::FireBatch { .. } => emit(&Response::Outcomes(
+                            run.iter().map(WireOutcome::from_runtime).collect(),
+                        )),
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            req => {
+                emit(&execute_one(rt, req, &mut shutdown));
+                i += 1;
+            }
+        }
+    }
+    for _ in refused {
+        emit(&Response::Error(Fault {
+            code: FaultCode::Busy,
+            message: format!("burst budget of {budget} requests exceeded; retry"),
+        }));
+    }
+    shutdown
+}
+
+/// Executes one barrier request.
+fn execute_one(rt: &SharedRuntime, req: &Request, shutdown: &mut bool) -> Response {
+    match req {
+        Request::Deploy { source } => match rt.deploy_source(source) {
+            Ok(name) => Response::Name(name),
+            Err(e) => Response::Error(Fault::from_runtime(&e)),
+        },
+        Request::Start { workflow } => match rt.start(workflow) {
+            Ok(id) => Response::InstanceId(id),
+            Err(e) => Response::Error(Fault::from_runtime(&e)),
+        },
+        Request::FireMany { pairs } => Response::Outcomes(
+            rt.fire_many(pairs)
+                .iter()
+                .map(WireOutcome::from_runtime)
+                .collect(),
+        ),
+        Request::Eligible { instance } => match rt.eligible(*instance) {
+            Ok(names) => Response::Names(names),
+            Err(e) => Response::Error(Fault::from_runtime(&e)),
+        },
+        Request::Snapshot => Response::Text(rt.snapshot()),
+        Request::Stats => {
+            let stats = rt.store_stats().unwrap_or_default();
+            Response::Stats(WireStats {
+                appends: stats.appends,
+                events: stats.events,
+                fsyncs: stats.fsyncs,
+                instances: rt.instances().len() as u64,
+            })
+        }
+        Request::Shutdown => {
+            *shutdown = true;
+            Response::Unit
+        }
+        Request::Fire { .. } | Request::FireBatch { .. } => {
+            unreachable!("fire verbs batch through fire_runs")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::WireStatus;
+
+    const PAY: &str = "workflow pay { graph invoice * (approve + reject) * file; }";
+
+    fn collect_burst(rt: &SharedRuntime, requests: &[Request], budget: usize) -> Vec<Response> {
+        let mut out = Vec::new();
+        execute_burst(rt, requests, budget, |resp| out.push(resp.clone()));
+        out
+    }
+
+    #[test]
+    fn bursts_answer_every_request_in_order() {
+        let rt = SharedRuntime::new();
+        rt.deploy_source(PAY).unwrap();
+        let id = rt.start("pay").unwrap();
+        let requests = vec![
+            Request::Fire {
+                instance: id,
+                event: "invoice".into(),
+            },
+            Request::FireBatch {
+                instance: id,
+                events: vec!["approve".into(), "file".into()],
+            },
+            Request::Eligible { instance: id },
+        ];
+        let responses = collect_burst(&rt, &requests, 256);
+        assert_eq!(responses.len(), 3);
+        assert!(matches!(
+            responses[0],
+            Response::Status(WireStatus::Running)
+        ));
+        match &responses[1] {
+            Response::Outcomes(outcomes) => {
+                assert_eq!(outcomes.len(), 2);
+                assert!(outcomes.iter().all(|o| matches!(o, WireOutcome::Fired(_))));
+            }
+            other => panic!("expected Outcomes, got {other:?}"),
+        }
+        match &responses[2] {
+            Response::Names(names) => assert!(names.is_empty(), "completed: {names:?}"),
+            other => panic!("expected Names, got {other:?}"),
+        }
+        assert_eq!(
+            rt.journal(id).unwrap(),
+            vec!["invoice", "approve", "file"],
+            "burst coalescing must not reorder a single instance's events"
+        );
+    }
+
+    #[test]
+    fn requests_beyond_the_burst_budget_are_busy_not_executed() {
+        let rt = SharedRuntime::new();
+        rt.deploy_source(PAY).unwrap();
+        let id = rt.start("pay").unwrap();
+        let requests = vec![
+            Request::Fire {
+                instance: id,
+                event: "invoice".into(),
+            },
+            Request::Fire {
+                instance: id,
+                event: "approve".into(),
+            },
+            Request::Fire {
+                instance: id,
+                event: "file".into(),
+            },
+        ];
+        let responses = collect_burst(&rt, &requests, 2);
+        assert_eq!(responses.len(), 3, "refused requests still get answers");
+        assert!(matches!(
+            responses[0],
+            Response::Status(WireStatus::Running)
+        ));
+        assert!(matches!(
+            responses[1],
+            Response::Status(WireStatus::Running)
+        ));
+        match &responses[2] {
+            Response::Error(fault) => assert_eq!(fault.code, FaultCode::Busy),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // The refused fire never reached the runtime.
+        assert_eq!(rt.journal(id).unwrap(), vec!["invoice", "approve"]);
+        assert_eq!(rt.eligible(id).unwrap(), vec!["file"]);
+    }
+
+    #[test]
+    fn shutdown_mid_burst_still_answers_the_rest() {
+        let rt = SharedRuntime::new();
+        rt.deploy_source(PAY).unwrap();
+        let id = rt.start("pay").unwrap();
+        let requests = vec![
+            Request::Shutdown,
+            Request::Fire {
+                instance: id,
+                event: "invoice".into(),
+            },
+        ];
+        let mut out = Vec::new();
+        let shutdown = execute_burst(&rt, &requests, 256, |resp| out.push(resp.clone()));
+        assert!(shutdown);
+        assert!(matches!(out[0], Response::Unit));
+        assert!(matches!(out[1], Response::Status(WireStatus::Running)));
+    }
+}
