@@ -52,6 +52,13 @@ fn main() {
         eprintln!("\n(total {:.1?})", t0.elapsed());
         return;
     }
+    if std::env::args().any(|a| a == "--timer-only") {
+        // Regenerate only BENCH_timer.json at full size (a million
+        // pending timers) without re-running the whole suite.
+        bench_timer_json(smoke);
+        eprintln!("\n(total {:.1?})", t0.elapsed());
+        return;
+    }
     if !smoke {
         e1_apply_size();
         e2_excise_linear();
@@ -68,7 +75,139 @@ fn main() {
     bench_exec_json(smoke);
     bench_verify_json(smoke);
     bench_store_json(smoke);
+    bench_timer_json(smoke);
     eprintln!("\n(total {:.1?})", t0.elapsed());
+}
+
+/// `BENCH_timer.json` — the hierarchical timer wheel in isolation plus
+/// one fleet advance through the shared runtime.
+///
+/// `timer_wheel/churn_{small,medium,large}` arm N timers with
+/// pseudo-random dues across a 24h horizon, then drain them through
+/// `advance_to` in 1024 clock steps; per-op nanoseconds staying flat as
+/// N grows by 100x is the O(1) claim, measured rather than asserted.
+/// `timer_wheel/arm_cancel_1m` holds one million pending timers at once
+/// and cancels every token (`pending_peak` records the high-water
+/// mark). `timer_wheel/fleet_advance` fires one `after` timer per
+/// instance through `SharedRuntime::advance` — wheel pop, journal
+/// append, and frontier dispatch on the same row.
+fn bench_timer_json(smoke: bool) {
+    use ctr_runtime::TimerWheel;
+
+    struct Record {
+        name: String,
+        timers: u64,
+        pending_peak: u64,
+        arm_ns_per_op: f64,
+        drain_ns_per_op: f64,
+        cancel_ns_per_op: f64,
+    }
+    let mut records: Vec<Record> = Vec::new();
+
+    const HORIZON_MS: u64 = 86_400_000;
+    let mut rng: u64 = 0x7137_BEEF;
+    let mut next_due = |now: u64| -> u64 {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        now + 1 + (rng >> 33) % HORIZON_MS
+    };
+
+    // Churn: arm N, then drain the full horizon in 1024 advances.
+    let churn_sizes: &[(&str, usize)] = if smoke {
+        &[("small", 1_000), ("medium", 10_000), ("large", 50_000)]
+    } else {
+        &[("small", 10_000), ("medium", 100_000), ("large", 1_000_000)]
+    };
+    for &(label, n) in churn_sizes {
+        let mut wheel: TimerWheel<u32> = TimerWheel::new();
+        let now = wheel.now();
+        let t0 = Instant::now();
+        for i in 0..n {
+            wheel.arm(next_due(now), i as u32);
+        }
+        let arm_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+        let pending_peak = wheel.len() as u64;
+        let t0 = Instant::now();
+        let mut fired = 0usize;
+        for step in 1..=1024u64 {
+            fired += wheel.advance_to(now + step * (HORIZON_MS / 1024 + 1)).len();
+        }
+        assert_eq!(fired, n, "every armed timer fires exactly once");
+        records.push(Record {
+            name: format!("timer_wheel/churn_{label}"),
+            timers: n as u64,
+            pending_peak,
+            arm_ns_per_op: arm_ns,
+            drain_ns_per_op: t0.elapsed().as_nanos() as f64 / n as f64,
+            cancel_ns_per_op: 0.0,
+        });
+    }
+
+    // A million timers pending at once, then every token cancelled.
+    let n = if smoke { 50_000 } else { 1_000_000 };
+    let mut wheel: TimerWheel<u32> = TimerWheel::new();
+    let now = wheel.now();
+    let t0 = Instant::now();
+    let tokens: Vec<_> = (0..n).map(|i| wheel.arm(next_due(now), i as u32)).collect();
+    let arm_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+    let pending_peak = wheel.len() as u64;
+    let t0 = Instant::now();
+    for token in tokens {
+        wheel.cancel(token).expect("armed and never fired");
+    }
+    assert_eq!(wheel.len(), 0, "every pending timer cancelled");
+    records.push(Record {
+        name: "timer_wheel/arm_cancel_1m".to_owned(),
+        timers: n as u64,
+        pending_peak,
+        arm_ns_per_op: arm_ns,
+        drain_ns_per_op: 0.0,
+        cancel_ns_per_op: t0.elapsed().as_nanos() as f64 / n as f64,
+    });
+
+    // Fleet advance: one `after` gate per instance, fired through the
+    // shared runtime (wheel pop + journal + frontier dispatch).
+    let fleet = if smoke { 64 } else { 4_096 };
+    let rt = SharedRuntime::new();
+    rt.deploy_source("workflow timed { graph a * b; after(b, 30s); }")
+        .expect("deploy timed");
+    for _ in 0..fleet {
+        rt.start("timed").expect("start");
+    }
+    let pending_peak = rt.pending_timer_count() as u64;
+    let t0 = Instant::now();
+    let fired = rt.advance(30_000).expect("advance fires every gate");
+    let drain_ns = t0.elapsed().as_nanos() as f64 / fleet as f64;
+    assert_eq!(fired.len(), fleet, "one firing per instance");
+    records.push(Record {
+        name: "timer_wheel/fleet_advance".to_owned(),
+        timers: fleet as u64,
+        pending_peak,
+        arm_ns_per_op: 0.0,
+        drain_ns_per_op: drain_ns,
+        cancel_ns_per_op: 0.0,
+    });
+
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"name\": \"{}\", \"timers\": {}, \"pending_peak\": {}, \
+                 \"arm_ns_per_op\": {:.1}, \"drain_ns_per_op\": {:.1}, \
+                 \"cancel_ns_per_op\": {:.1}}}",
+                r.name,
+                r.timers,
+                r.pending_peak,
+                r.arm_ns_per_op,
+                r.drain_ns_per_op,
+                r.cancel_ns_per_op
+            )
+        })
+        .collect();
+    let json = format!("[\n{},\n{}\n]\n", host_row(smoke), rows.join(",\n"));
+    std::fs::write("BENCH_timer.json", &json).expect("write BENCH_timer.json");
+    eprintln!("wrote BENCH_timer.json ({} workloads)", records.len());
 }
 
 /// Order-constraint chain over stage leaders of a layered workflow (d=1).

@@ -189,6 +189,10 @@ pub struct EnactOptions {
     /// Fault-injection spec: comma-separated `event=kind:arg` items with
     /// kinds `fail:N`, `panic:K`, `delay:MS`, `vanish:N`.
     pub faults: String,
+    /// Saga compensators: comma-separated `event=undo` items; an
+    /// aborted run's report lists the undos of the committed prefix in
+    /// reverse commit order.
+    pub compensate: String,
 }
 
 /// Parses the `--faults` grammar into a [`ctr_runtime::FaultPlan`]:
@@ -236,11 +240,17 @@ pub fn cmd_enact(input: &str, opts: &EnactOptions) -> Result<String, CliError> {
     if let Some(ms) = opts.timeout_ms {
         policy = policy.with_timeout(std::time::Duration::from_millis(ms));
     }
-    let enactor = ctr_runtime::Enactor::new()
+    let mut enactor = ctr_runtime::Enactor::new()
         .with_policy(ChoicePolicy::Random(opts.seed))
         .with_default_retry(policy)
         .with_faults(parse_fault_plan(&opts.faults, opts.seed)?)
         .with_seed(opts.seed);
+    for item in opts.compensate.split(',').filter(|s| !s.trim().is_empty()) {
+        let (event, undo) = item.trim().split_once('=').ok_or_else(|| {
+            CliError::usage(format!("bad compensator `{item}` (want event=undo)"))
+        })?;
+        enactor.compensate(event, undo);
+    }
     let report = enactor.run_report(&program);
 
     let mut out = String::new();
@@ -535,6 +545,51 @@ pub fn cmd_run(
                 "  eligible: {}",
                 rt.eligible(id).map_err(step)?.join(" ")
             );
+            let timers = rt.pending_timers(id).map_err(step)?;
+            if !timers.is_empty() {
+                let pending: Vec<String> = timers
+                    .iter()
+                    .map(|(tick, due)| format!("{tick} due {due}ms"))
+                    .collect();
+                let _ = writeln!(out, "  timers: {}", pending.join(", "));
+            }
+        }
+        ("timers", [id]) => {
+            let id: u64 = id
+                .parse()
+                .map_err(|_| CliError::usage("timers needs a numeric instance id"))?;
+            let timers = rt.pending_timers(id).map_err(step)?;
+            let _ = writeln!(
+                out,
+                "instance {id}: {} pending (clock {}ms)",
+                timers.len(),
+                rt.clock_ms()
+            );
+            for (tick, due) in timers {
+                let _ = writeln!(out, "  {tick} due {due}ms");
+            }
+        }
+        ("advance", [to_ms]) => {
+            let to_ms: u64 = to_ms
+                .parse()
+                .map_err(|_| CliError::usage("advance needs a millisecond clock target"))?;
+            let fired = rt.advance(to_ms).map_err(step)?;
+            let _ = writeln!(
+                out,
+                "clock {}ms, {} timer(s) fired",
+                rt.clock_ms(),
+                fired.len()
+            );
+            for (id, tick) in fired {
+                let _ = writeln!(out, "  instance {id}: {tick}");
+            }
+        }
+        ("cancel-timer", [id, event]) => {
+            let id: u64 = id
+                .parse()
+                .map_err(|_| CliError::usage("cancel-timer needs a numeric instance id"))?;
+            rt.cancel_timer(id, event).map_err(step)?;
+            let _ = writeln!(out, "cancelled timer on `{event}` for instance {id}");
         }
         ("snapshot", []) => {
             rt.checkpoint().map_err(step)?;
@@ -646,6 +701,7 @@ USAGE:
     ctr simulate  <spec.ctr> [-n RUNS]
     ctr enact     <spec.ctr> [--seed N] [--attempts N] [--timeout-ms N]
                              [--faults 'e=fail:2,f=panic:1,g=delay:5,h=vanish:1']
+                             [--compensate 'e=undo_e,f=undo_f']
     ctr run --store <dir> [--durability strict|coalesced|periodic] <verb> ...
         deploy <spec.ctr>     durable session over a WAL store:
         start <workflow>      each verb recovers the runtime
@@ -654,6 +710,9 @@ USAGE:
         snapshot              print + compact to a checkpoint
         recover               recovery report (exit 1 on corruption)
         pump <workflow> <n>   start+drive n instances to completion
+        timers <id>           pending timers of one instance
+        advance <ms>          move the logical clock, firing due timers
+        cancel-timer <id> <tick>    disarm a pending timer by tick name
         (--durability: strict = fsync per append; coalesced = group
          commit, still durable-on-return; periodic = ack at staging,
          synced within ~5ms — a crash may lose that window)
@@ -764,6 +823,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     }
                     "--timeout-ms" => opts.timeout_ms = Some(number()?),
                     "--faults" => opts.faults = value.clone(),
+                    "--compensate" => opts.compensate = value.clone(),
                     _ => return Err(CliError::usage(USAGE)),
                 }
             }
@@ -1020,6 +1080,41 @@ mod tests {
     }
 
     #[test]
+    fn enact_expired_deadline_compensates_the_committed_prefix() {
+        const TIMED: &str = r"
+            workflow sla {
+                graph a * b;
+                deadline(b, 40ms);
+            }
+        ";
+        let opts = EnactOptions {
+            attempts: 1,
+            faults: "b=delay:5000".to_owned(),
+            compensate: "a=undo_a".to_owned(),
+            ..EnactOptions::default()
+        };
+        let err = cmd_enact(TIMED, &opts).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(
+            err.message
+                .contains("FAILED: deadline on `b` expired after 40ms"),
+            "{}",
+            err.message
+        );
+        assert!(
+            err.message.contains("compensation: undo_a"),
+            "{}",
+            err.message
+        );
+        // Bad compensator grammar is a usage error, not a run.
+        let opts = EnactOptions {
+            compensate: "a".to_owned(),
+            ..EnactOptions::default()
+        };
+        assert_eq!(cmd_enact(TIMED, &opts).unwrap_err().code, 2);
+    }
+
+    #[test]
     fn enact_rejects_bad_fault_specs() {
         let opts = EnactOptions {
             faults: "b=explode:1".to_owned(),
@@ -1115,6 +1210,46 @@ mod tests {
         assert_eq!(session(&dir, &["fire", "0", "z"]).unwrap_err().code, 1);
         assert!(session(&dir, &["status"]).unwrap().contains("[completed]"));
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_store_timer_verbs_survive_reopen() {
+        let dir = std::env::temp_dir().join(format!("ctr_cli_timer_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = std::env::temp_dir().join("ctr_cli_timer_spec.ctr");
+        std::fs::write(
+            &spec,
+            "workflow timed { graph a * b * c; after(b, 30s); deadline(c, 1h); }",
+        )
+        .unwrap();
+
+        session(&dir, &["deploy", &spec.display().to_string()]).unwrap();
+        session(&dir, &["start", "timed"]).unwrap();
+        // Each verb reopens the store: the armed timers must come back
+        // from the WAL every time.
+        let out = session(&dir, &["timers", "0"]).unwrap();
+        assert!(out.contains("2 pending (clock 0ms)"), "{out}");
+        assert!(out.contains("b@after30000 due 30000ms"), "{out}");
+        assert!(out.contains("c@deadline3600000 due 3600000ms"), "{out}");
+        let out = session(&dir, &["advance", "30000"]).unwrap();
+        assert!(out.contains("clock 30000ms, 1 timer(s) fired"), "{out}");
+        assert!(out.contains("instance 0: b@after30000"), "{out}");
+        let out = session(&dir, &["status", "0"]).unwrap();
+        assert!(
+            out.contains("timers: c@deadline3600000 due 3600000ms"),
+            "{out}"
+        );
+        let out = session(&dir, &["cancel-timer", "0", "c@deadline3600000"]).unwrap();
+        assert!(
+            out.contains("cancelled timer on `c@deadline3600000`"),
+            "{out}"
+        );
+        let out = session(&dir, &["timers", "0"]).unwrap();
+        assert!(out.contains("0 pending (clock 30000ms)"), "{out}");
+        // Cancelling a timer that is not pending is a typed error.
+        let err = session(&dir, &["cancel-timer", "0", "c@deadline3600000"]).unwrap_err();
+        assert_eq!(err.code, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -23,6 +23,7 @@
 //! | [`analysis`] | §4 | consistency, verification, redundancy (Thms 5.8–5.10) |
 //! | [`memo`] | §5 | tabled analysis: hash-consed subgoal memoization and the cross-query [`Analyzer`] session |
 //! | [`formula`] | §2 | full CTR formulas (adds `∧`, `¬`) with declarative trace satisfaction |
+//! | [`timer`] | — | timer ticks as plain event *names* (`ev@after30000`): the tag scheme shared by the workflow compiler, runtime wheel, and enactor |
 //! | [`gen`] | — | workload generators, incl. the 3-SAT reduction of Prop 4.1 |
 //!
 //! ## Quick example
@@ -59,6 +60,7 @@ pub mod memo;
 pub mod semantics;
 pub mod symbol;
 pub mod term;
+pub mod timer;
 pub mod unique;
 
 pub use analysis::{

@@ -1,0 +1,157 @@
+//! Timer events as *names*, not new goal forms.
+//!
+//! The timer surface syntax (`after(ev, 30s)`, `deadline(ev, 24h)`,
+//! `every(ev, 5m)`) compiles into ordinary `send(ξ)`/`receive(ξ)`
+//! channel goals plus one synthetic **tick event** per timer — an
+//! ordinary [`crate::goal::Goal::Atom`] whose *name* carries the timer
+//! metadata. Verification, the tabled [`crate::memo::Analyzer`], the
+//! journal, and the wire protocol therefore see nothing new: a tick is
+//! an event like any other, and every layer that needs to know "this
+//! event is a timer due `d` after instance start" recovers that fact by
+//! parsing the name with [`parse_tick`].
+//!
+//! The naming scheme is `<base>@after<ms>` / `<base>@deadline<ms>`
+//! where `<ms>` is the delay in decimal milliseconds. `<base>` may
+//! itself contain `@` (the parser's `repeat` sugar mints `poll@1`
+//! style occurrence names), so parsing splits on the *last* `@`.
+//! `every(ev, d)` is pure surface sugar: the k-th occurrence of the
+//! family gets an `after` gate at `k·d`, so no `every` tag exists at
+//! this layer.
+
+use std::fmt;
+
+/// What a tick event means for the event it guards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TimerKind {
+    /// `after(ev, d)`: `ev` becomes eligible only once the tick has
+    /// fired — the tick *gates* the event (tick ⊗-before a receive
+    /// that guards `ev`).
+    After,
+    /// `deadline(ev, d)`: the tick races `ev` — firing `ev` cancels
+    /// the tick (structurally: a send taken by the watchdog's receive
+    /// branch), while an expired tick fires as an ordinary event that
+    /// enactment escalates into compensation.
+    Deadline,
+}
+
+impl TimerKind {
+    /// The tag fragment used in tick names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TimerKind::After => "after",
+            TimerKind::Deadline => "deadline",
+        }
+    }
+}
+
+impl fmt::Display for TimerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A parsed tick name: the guarded base event, the timer kind, and the
+/// delay from instance start in milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tick<'a> {
+    /// The event the timer guards (`poll` in `poll@deadline300000`).
+    pub base: &'a str,
+    /// Gate (`after`) or watchdog (`deadline`).
+    pub kind: TimerKind,
+    /// Delay from instance start, in milliseconds.
+    pub delay_ms: u64,
+}
+
+/// Renders the tick-event name for a timer on `base` of `kind` due
+/// `delay_ms` after instance start. Inverse of [`parse_tick`].
+pub fn tick_name(base: &str, kind: TimerKind, delay_ms: u64) -> String {
+    format!("{base}@{}{delay_ms}", kind.tag())
+}
+
+/// Parses a tick-event name minted by [`tick_name`]; returns `None`
+/// for ordinary event names. Splits on the *last* `@` so bases that
+/// themselves contain `@` (occurrence names like `poll@1`) round-trip.
+pub fn parse_tick(name: &str) -> Option<Tick<'_>> {
+    let (base, tag) = name.rsplit_once('@')?;
+    if base.is_empty() {
+        return None;
+    }
+    let (kind, digits) = if let Some(d) = tag.strip_prefix("after") {
+        (TimerKind::After, d)
+    } else if let Some(d) = tag.strip_prefix("deadline") {
+        (TimerKind::Deadline, d)
+    } else {
+        return None;
+    };
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let delay_ms = digits.parse().ok()?;
+    Some(Tick {
+        base,
+        kind,
+        delay_ms,
+    })
+}
+
+/// Renders a millisecond delay the way the surface syntax writes it:
+/// exact in the largest unit that divides it (`30s`, `24h`, `150ms`).
+pub fn render_delay(ms: u64) -> String {
+    const HOUR: u64 = 3_600_000;
+    const MIN: u64 = 60_000;
+    const SEC: u64 = 1_000;
+    if ms > 0 && ms.is_multiple_of(HOUR) {
+        format!("{}h", ms / HOUR)
+    } else if ms > 0 && ms.is_multiple_of(MIN) {
+        format!("{}m", ms / MIN)
+    } else if ms > 0 && ms.is_multiple_of(SEC) {
+        format!("{}s", ms / SEC)
+    } else {
+        format!("{ms}ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_names_round_trip() {
+        for (base, kind, ms) in [
+            ("pay", TimerKind::After, 30_000),
+            ("publish", TimerKind::Deadline, 86_400_000),
+            ("poll@2", TimerKind::After, 1),
+            ("a@b@c", TimerKind::Deadline, 0),
+        ] {
+            let name = tick_name(base, kind, ms);
+            let tick = parse_tick(&name).expect(&name);
+            assert_eq!((tick.base, tick.kind, tick.delay_ms), (base, kind, ms));
+        }
+    }
+
+    #[test]
+    fn ordinary_names_are_not_ticks() {
+        for name in [
+            "pay",
+            "poll@1",
+            "x@afterparty",
+            "x@after12x",
+            "@after5",
+            "after5",
+            "x@deadline",
+            "x@every5",
+        ] {
+            assert_eq!(parse_tick(name), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn delays_render_in_the_largest_exact_unit() {
+        assert_eq!(render_delay(30_000), "30s");
+        assert_eq!(render_delay(86_400_000), "24h");
+        assert_eq!(render_delay(300_000), "5m");
+        assert_eq!(render_delay(150), "150ms");
+        assert_eq!(render_delay(0), "0ms");
+        assert_eq!(render_delay(90_000), "90s");
+    }
+}

@@ -743,6 +743,56 @@ impl Cursor {
         }
     }
 
+    /// Locates the next step toward an event node carrying `slot` whose
+    /// only blockers are enabled silent leaves on its own path: returns
+    /// the event node itself when nothing precedes it, otherwise the
+    /// first such silent leaf to fire. This is the weak-transition view
+    /// of [`Scheduler::fire_event`]: accepting an observable event may
+    /// perform the internal (τ) steps that uniquely precede it — e.g. a
+    /// timer gate's `seq(receive ξ, e)` inside an uncommitted `∨` —
+    /// because choosing `e` is exactly the decision those steps commit.
+    fn step_toward(&self, p: &Program, node: NodeId, slot: u32) -> Option<NodeId> {
+        if self.done[node] {
+            return None;
+        }
+        match &p.nodes[node].kind {
+            NodeKind::Event(_) => (p.event_slot[node] == slot).then_some(node),
+            NodeKind::Send(_) | NodeKind::Recv(_) | NodeKind::Empty => None,
+            NodeKind::Seq(cs) => {
+                let mut pos = self.seq_pos[node];
+                let mut via = None;
+                while let Some(&cur) = cs.get(pos) {
+                    if self.done[cur] {
+                        pos += 1;
+                        continue;
+                    }
+                    if let Some(step) = self.step_toward(p, cur, slot) {
+                        return Some(via.unwrap_or(step));
+                    }
+                    // The event may hide behind this child — but only if
+                    // the child is a silent leaf that is enabled *now*.
+                    let silent = match &p.nodes[cur].kind {
+                        NodeKind::Send(_) | NodeKind::Empty => true,
+                        NodeKind::Recv(c) => self.sent.contains(*c),
+                        _ => false,
+                    };
+                    if !silent {
+                        return None;
+                    }
+                    via.get_or_insert(cur);
+                    pos += 1;
+                }
+                None
+            }
+            NodeKind::Conc(cs) => cs.iter().find_map(|&c| self.step_toward(p, c, slot)),
+            NodeKind::Or(cs) => match self.or_choice[node] {
+                Some(chosen) => self.step_toward(p, chosen, slot),
+                None => cs.iter().find_map(|&c| self.step_toward(p, c, slot)),
+            },
+            NodeKind::Iso(body) => self.step_toward(p, *body, slot),
+        }
+    }
+
     /// The from-scratch recursive eligibility walk — the original
     /// implementation, retained as the oracle the incremental frontier is
     /// proptested against.
@@ -890,32 +940,62 @@ impl<P: std::ops::Deref<Target = Program>> Scheduler<P> {
     /// any is valid (the program is knot-free); the first in frontier
     /// order is picked deterministically — the same node the recursive
     /// walk's first match would yield. One hash lookup; no allocation.
+    ///
+    /// When no frontier node carries the event, a weak-transition
+    /// fallback looks for it behind enabled silent leaves on its own
+    /// path (a sent-enabled `receive`, a `send`, an `Empty`) — the shape
+    /// timer gates and eventual triggers compile to inside an
+    /// uncommitted `∨`. Those τ-steps fire first, committing the path,
+    /// then the event itself; choosing the event *is* the decision they
+    /// commit, so no unrelated choice is ever taken on its behalf.
     pub fn fire_event(&mut self, event: Symbol) -> bool {
-        let node = {
+        let slot = {
             let p: &Program = &self.program;
-            let Some(&slot) = p.slots.get(&event) else {
-                return false;
-            };
-            let mut best: Option<(u32, NodeId)> = None;
-            let mut cur = self.cursor.evt_head[slot as usize];
-            while cur != NIL {
-                let n = cur as NodeId;
-                cur = self.cursor.evt_next[n];
-                if !self.cursor.scoped_visible(p, n) {
-                    continue;
-                }
-                let rank = p.pre[n];
-                if best.is_none_or(|(r, _)| rank < r) {
-                    best = Some((rank, n));
-                }
-            }
-            match best {
-                Some((_, n)) => n,
+            match p.slots.get(&event) {
+                Some(&slot) => slot,
                 None => return false,
             }
         };
-        self.fire(node);
-        true
+        loop {
+            let direct = {
+                let p: &Program = &self.program;
+                let mut best: Option<(u32, NodeId)> = None;
+                let mut cur = self.cursor.evt_head[slot as usize];
+                while cur != NIL {
+                    let n = cur as NodeId;
+                    cur = self.cursor.evt_next[n];
+                    if !self.cursor.scoped_visible(p, n) {
+                        continue;
+                    }
+                    let rank = p.pre[n];
+                    if best.is_none_or(|(r, _)| rank < r) {
+                        best = Some((rank, n));
+                    }
+                }
+                best.map(|(_, n)| n)
+            };
+            if let Some(n) = direct {
+                self.fire(n);
+                return true;
+            }
+            let step = {
+                let p: &Program = &self.program;
+                let start = *self.cursor.lock.last().unwrap_or(&p.root);
+                self.cursor.step_toward(p, start, slot)
+            };
+            match step {
+                // Fire the leading τ-step and retry: each iteration
+                // completes a node, so the loop is bounded by |program|.
+                Some(n) => {
+                    let carries_event = self.program.event_slot[n] == slot;
+                    self.fire(n);
+                    if carries_event {
+                        return true;
+                    }
+                }
+                None => return false,
+            }
+        }
     }
 
     /// True if firing `node` commits no `∨`-choice and enters no `⊙` —
@@ -1099,6 +1179,44 @@ mod tests {
         s.fire_event(sym("a"));
         assert!(s.fire_event(sym("b")), "send/receive drained silently");
         assert!(s.is_complete());
+    }
+
+    #[test]
+    fn fire_event_pulls_through_an_enabled_gate_inside_an_or() {
+        let xi = Channel(0);
+        // A timer-gated optional step: the gate `receive ξ ⊗ b` sits in
+        // an uncommitted ∨, so the receive cannot drain silently even
+        // once ξ is sent — choosing it would commit the branch. Firing
+        // `b` explicitly IS that choice, so the weak fallback takes the
+        // τ-step and then the event.
+        let goal = conc(vec![
+            seq(vec![g("a"), Goal::Send(xi)]),
+            or(vec![Goal::Empty, seq(vec![Goal::Receive(xi), g("b")])]),
+        ]);
+        let p = compile(&goal);
+        let mut s = Scheduler::new(&p);
+        assert!(!s.fire_event(sym("b")), "gate not enabled before the send");
+        s.fire_event(sym("a"));
+        assert!(s.fire_event(sym("b")), "enabled gate is pulled through");
+        assert!(s.is_complete());
+        assert_eq!(s.trace_names(), vec![sym("a"), sym("b")]);
+    }
+
+    #[test]
+    fn fire_event_pulls_through_chained_gates() {
+        let (xi, nu) = (Channel(0), Channel(1));
+        let goal = conc(vec![
+            seq(vec![Goal::Send(xi), Goal::Send(nu)]),
+            or(vec![
+                g("skip"),
+                seq(vec![Goal::Receive(xi), Goal::Receive(nu), g("b")]),
+            ]),
+        ]);
+        let p = compile(&goal);
+        let mut s = Scheduler::new(&p);
+        assert!(s.fire_event(sym("b")), "both τ-steps precede the event");
+        assert!(s.is_complete());
+        assert_eq!(s.trace_names(), vec![sym("b")]);
     }
 
     #[test]

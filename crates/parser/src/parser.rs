@@ -33,6 +33,8 @@
 //!          | 'define' ident ':=' goal ';'
 //!          | 'constraint' constr ';'
 //!          | 'trigger' 'on' ident ['if' atom] 'do' goal ['eventually'] ';'
+//!          | ('after' | 'deadline' | 'every') '(' ident ',' duration ')' ';'
+//! duration := INT ('ms' | 's' | 'm' | 'h')
 //! ```
 
 use crate::lexer::{lex, LexError, Token, TokenKind};
@@ -40,7 +42,7 @@ use ctr::constraints::Constraint;
 use ctr::goal::{conc, isolated, or, possible, seq, Goal};
 use ctr::symbol::{sym, Symbol};
 use ctr::term::{Atom, Term, Var};
-use ctr_workflow::{Trigger, TriggerSemantics, WorkflowSpec};
+use ctr_workflow::{TimerSpec, Trigger, TriggerSemantics, WorkflowSpec};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -78,6 +80,14 @@ struct Parser {
     pos: usize,
     /// Variable-name → index mapping, scoped per top-level parse.
     vars: BTreeMap<String, Var>,
+}
+
+/// Which timer item keyword introduced the declaration.
+#[derive(Clone, Copy)]
+enum TimerForm {
+    After,
+    Deadline,
+    Every,
 }
 
 impl Parser {
@@ -436,6 +446,52 @@ impl Parser {
 
     // --- Specifications ----------------------------------------------------
 
+    /// Parses the parenthesized tail of a timer item: `(ev, 30s)`.
+    fn timer_spec(&mut self, form: TimerForm) -> Result<TimerSpec, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let event = self.eat_ident()?;
+        self.expect(&TokenKind::Comma)?;
+        let ms = self.eat_duration()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(match form {
+            TimerForm::After => TimerSpec::after(event.as_str(), ms),
+            TimerForm::Deadline => TimerSpec::deadline(event.as_str(), ms),
+            TimerForm::Every => TimerSpec::every(event.as_str(), ms),
+        })
+    }
+
+    /// Parses a duration `INT unit` (`150ms`, `30s`, `5m`, `24h`) into
+    /// milliseconds. The lexer splits `30s` into an integer and an
+    /// identifier, so the unit arrives as a separate token.
+    fn eat_duration(&mut self) -> Result<u64, ParseError> {
+        let n = match &self.peek().kind {
+            TokenKind::Int(n) if *n >= 0 => {
+                let n = *n as u64;
+                self.advance();
+                n
+            }
+            other => {
+                return Err(self.error(format!(
+                    "expected a duration like `30s` or `150ms`, found {other}"
+                )))
+            }
+        };
+        let unit = self.eat_ident()?;
+        let scale: u64 = match unit.as_str() {
+            "ms" => 1,
+            "s" => 1_000,
+            "m" => 60_000,
+            "h" => 3_600_000,
+            other => {
+                return Err(self.error(format!(
+                    "unknown duration unit `{other}` (expected ms, s, m, or h)"
+                )))
+            }
+        };
+        n.checked_mul(scale)
+            .ok_or_else(|| self.error(format!("duration `{n}{unit}` overflows milliseconds")))
+    }
+
     fn spec(&mut self) -> Result<WorkflowSpec, ParseError> {
         if !self.eat_keyword("workflow") {
             return Err(self.error("expected `workflow <name> { … }`"));
@@ -485,9 +541,16 @@ impl Parser {
                     action,
                     semantics,
                 });
+            } else if self.eat_keyword("after") {
+                spec.timers.push(self.timer_spec(TimerForm::After)?);
+            } else if self.eat_keyword("deadline") {
+                spec.timers.push(self.timer_spec(TimerForm::Deadline)?);
+            } else if self.eat_keyword("every") {
+                spec.timers.push(self.timer_spec(TimerForm::Every)?);
             } else {
                 return Err(self.error(format!(
-                    "expected `graph`, `define`, `constraint`, or `trigger`, found {}",
+                    "expected `graph`, `define`, `constraint`, `trigger`, `after`, \
+                     `deadline`, or `every`, found {}",
                     self.peek().kind
                 )));
             }
@@ -732,6 +795,55 @@ mod tests {
         assert_eq!(spec.triggers[1].semantics, TriggerSemantics::Eventual);
         // And the whole thing compiles.
         assert!(spec.compile().unwrap().is_consistent());
+    }
+
+    #[test]
+    fn timer_items_parse_with_units() {
+        let input = r"
+            workflow sla {
+                graph submit * review * publish;
+                after(review, 30s);
+                deadline(publish, 24h);
+                every(review, 5m);
+                after(submit, 150ms);
+            }
+        ";
+        let spec = parse_spec(input).unwrap();
+        assert_eq!(
+            spec.timers,
+            vec![
+                ctr_workflow::TimerSpec::after("review", 30_000),
+                ctr_workflow::TimerSpec::deadline("publish", 86_400_000),
+                ctr_workflow::TimerSpec::every("review", 300_000),
+                ctr_workflow::TimerSpec::after("submit", 150),
+            ]
+        );
+        // The compiled goal carries the ticks as ordinary events.
+        let compiled = spec.compile().unwrap();
+        assert!(compiled.is_consistent());
+        let events = compiled.goal.events();
+        assert!(
+            events.contains(&sym("publish@deadline86400000")),
+            "{events:?}"
+        );
+        assert!(events.contains(&sym("review@after30000")));
+    }
+
+    #[test]
+    fn timer_durations_are_validated() {
+        let spec = |body: &str| format!("workflow w {{ graph a; {body} }}");
+        assert!(parse_spec(&spec("after(a, 30s);")).is_ok());
+        let err = parse_spec(&spec("after(a, 30);")).unwrap_err();
+        assert!(err.message.contains("expected identifier"), "{err}");
+        let err = parse_spec(&spec("after(a, 30w);")).unwrap_err();
+        assert!(err.message.contains("unknown duration unit"), "{err}");
+        let err = parse_spec(&spec("after(a, x);")).unwrap_err();
+        assert!(err.message.contains("expected a duration"), "{err}");
+        let err = parse_spec(&spec("after(a, 9999999999999999h);")).unwrap_err();
+        assert!(
+            err.message.contains("overflow") || err.message.contains("expected a duration"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -58,7 +58,8 @@
 use ctr::goal::Goal;
 use ctr::symbol::Symbol;
 use ctr::term::Atom;
-use ctr_engine::scheduler::{Program, Scheduler};
+use ctr::timer::{parse_tick, render_delay, TimerKind};
+use ctr_engine::scheduler::{Choice, Program, Scheduler};
 use ctr_workflow::compensation::{compensation_plan, SagaStep};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -353,6 +354,17 @@ pub enum EnactError {
         /// Events committed before the failure.
         completed: Vec<Symbol>,
     },
+    /// A `deadline(event, d)` timer came due before its guarded event
+    /// committed. The run aborts and the report carries the
+    /// compensation plan for the committed prefix.
+    DeadlineExpired {
+        /// The event the deadline guarded.
+        event: String,
+        /// The deadline delay, in milliseconds from run start.
+        delay_ms: u64,
+        /// Events committed before the expiry.
+        completed: Vec<Symbol>,
+    },
     /// The schedule deadlocked (cannot happen for excised programs with
     /// the knot-free guarantee).
     Deadlock,
@@ -373,6 +385,7 @@ impl EnactError {
             EnactError::HandlerFailed { completed, .. }
             | EnactError::HandlerPanicked { completed, .. }
             | EnactError::TimedOut { completed, .. }
+            | EnactError::DeadlineExpired { completed, .. }
             | EnactError::WorkerLost { completed } => completed,
             EnactError::Deadlock => &[],
         }
@@ -391,6 +404,13 @@ impl EnactError {
                 completed,
             },
             EnactError::TimedOut { event, .. } => EnactError::TimedOut { event, completed },
+            EnactError::DeadlineExpired {
+                event, delay_ms, ..
+            } => EnactError::DeadlineExpired {
+                event,
+                delay_ms,
+                completed,
+            },
             EnactError::WorkerLost { .. } => EnactError::WorkerLost { completed },
             EnactError::Deadlock => EnactError::Deadlock,
         }
@@ -408,6 +428,15 @@ impl fmt::Display for EnactError {
             }
             EnactError::TimedOut { event, .. } => {
                 write!(f, "activity `{event}` timed out")
+            }
+            EnactError::DeadlineExpired {
+                event, delay_ms, ..
+            } => {
+                write!(
+                    f,
+                    "deadline on `{event}` expired after {}",
+                    render_delay(*delay_ms)
+                )
             }
             EnactError::Deadlock => write!(f, "schedule deadlocked"),
             EnactError::WorkerLost { .. } => {
@@ -754,6 +783,36 @@ impl Enactor {
     pub fn run_report(&self, program: &Program) -> EnactReport {
         let run_started = Instant::now();
         let mut scheduler = Scheduler::new(program);
+
+        // Timer ticks are wall-clock alarms, not activities: an event
+        // node named by the tick scheme is never dispatched to a worker.
+        // An `after` tick fires when its delay (from run start) elapses,
+        // opening the delay gate it feeds; a `deadline` tick that comes
+        // due before its base event committed aborts the run.
+        struct ArmedTick {
+            base: Symbol,
+            deadline: bool,
+            due: Instant,
+        }
+        let mut tick_nodes: BTreeSet<usize> = BTreeSet::new();
+        let mut ticks: BTreeMap<usize, ArmedTick> = BTreeMap::new();
+        for node in 0..program.len() {
+            let Some(sym) = program.event(node).and_then(Atom::as_event) else {
+                continue;
+            };
+            let Some(tick) = parse_tick(sym.as_str()) else {
+                continue;
+            };
+            tick_nodes.insert(node);
+            ticks.insert(
+                node,
+                ArmedTick {
+                    base: Symbol::intern(tick.base),
+                    deadline: tick.kind == TimerKind::Deadline,
+                    due: run_started + Duration::from_millis(tick.delay_ms),
+                },
+            );
+        }
         let mut rng_state = match self.policy {
             ChoicePolicy::Random(seed) => seed,
             ChoicePolicy::First => 0,
@@ -786,10 +845,45 @@ impl Enactor {
                 }
             }
 
+            // Fire timer ticks whose due time has arrived and whose node
+            // is eligible. Completions queued before the due instant were
+            // drained at the bottom of the previous iteration, so a base
+            // event that beat its deadline is already in the trace.
+            let now = Instant::now();
+            let due: Vec<usize> = ticks
+                .iter()
+                .filter(|(node, t)| {
+                    t.due <= now && scheduler.eligible().iter().any(|c| c.node == **node)
+                })
+                .map(|(&node, _)| node)
+                .collect();
+            for node in due {
+                let tick = ticks.remove(&node).expect("just listed");
+                if !tick.deadline {
+                    // An elapsed delay gate: fire the tick so its paired
+                    // send opens the gated branch.
+                    scheduler.fire(node);
+                    continue;
+                }
+                if scheduler.trace_names().contains(&tick.base) {
+                    // The guarded event committed in time; the tick node
+                    // is evicted when the dismissal branch resolves.
+                    continue;
+                }
+                let delay_ms = tick.due.saturating_duration_since(run_started).as_millis() as u64;
+                break 'run Some(EnactError::DeadlineExpired {
+                    event: tick.base.to_string(),
+                    delay_ms,
+                    completed: Vec::new(),
+                });
+            }
+
             // Dispatch every eligible, commitment-free, observable step
-            // that is not already being attempted.
+            // that is not already being attempted. Tick nodes are fired
+            // by the clock above, never handed to workers.
             for choice in scheduler.eligible() {
                 if !choice.observable
+                    || tick_nodes.contains(&choice.node)
                     || d.busy.contains(&choice.node)
                     || !scheduler.is_commitment_free(choice.node)
                 {
@@ -808,36 +902,58 @@ impl Enactor {
                 }
                 // Nothing runnable without committing: resolve a choice
                 // via the policy (silent steps included — a silent
-                // branch may be the only way to finish).
-                let eligible = scheduler.eligible();
+                // branch may be the only way to finish). Tick nodes are
+                // not picked — the clock fires them.
+                let eligible: Vec<Choice> = scheduler
+                    .eligible()
+                    .iter()
+                    .filter(|c| !tick_nodes.contains(&c.node))
+                    .copied()
+                    .collect();
                 if eligible.is_empty() {
-                    break 'run Some(EnactError::Deadlock);
-                }
-                let idx = match self.policy {
-                    ChoicePolicy::First => 0,
-                    ChoicePolicy::Random(_) => {
-                        rng_state = rng_state
-                            .wrapping_mul(6364136223846793005)
-                            .wrapping_add(1442695040888963407);
-                        (rng_state >> 33) as usize % eligible.len()
+                    // Only ticks (or nothing) are left: if an armed one
+                    // can still fire, wait for its due time instead of
+                    // declaring a deadlock.
+                    let waiting = scheduler
+                        .eligible()
+                        .iter()
+                        .any(|c| ticks.contains_key(&c.node));
+                    if !waiting {
+                        break 'run Some(EnactError::Deadlock);
                     }
-                };
-                let pick = eligible[idx];
-                let observable_event = program.event(pick.node).filter(|_| pick.observable);
-                match observable_event.cloned() {
-                    // The branch is committed when its first activity
-                    // *succeeds* (work-then-claim): the attempt runs
-                    // through the normal retry machinery and the node is
-                    // fired on success. Nothing else dispatches until
-                    // then — the schedule cannot move under the attempt.
-                    Some(atom) => d.spawn(pick.node, &atom, 1),
-                    None => scheduler.fire(pick.node),
+                } else {
+                    let idx = match self.policy {
+                        ChoicePolicy::First => 0,
+                        ChoicePolicy::Random(_) => {
+                            rng_state = rng_state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            (rng_state >> 33) as usize % eligible.len()
+                        }
+                    };
+                    let pick = eligible[idx];
+                    let observable_event = program.event(pick.node).filter(|_| pick.observable);
+                    match observable_event.cloned() {
+                        // The branch is committed when its first activity
+                        // *succeeds* (work-then-claim): the attempt runs
+                        // through the normal retry machinery and the node is
+                        // fired on success. Nothing else dispatches until
+                        // then — the schedule cannot move under the attempt.
+                        Some(atom) => d.spawn(pick.node, &atom, 1),
+                        None => scheduler.fire(pick.node),
+                    }
+                    continue;
                 }
-                continue;
             }
 
-            // Wait for the next completion, deadline, or retry due time.
-            let first = match d.next_wake() {
+            // Wait for the next completion, deadline, retry due time, or
+            // eligible armed tick.
+            let tick_wake = ticks
+                .iter()
+                .filter(|(node, _)| scheduler.eligible().iter().any(|c| c.node == **node))
+                .map(|(_, t)| t.due)
+                .min();
+            let first = match d.next_wake().into_iter().chain(tick_wake).min() {
                 // The sentinel protocol guarantees one message per
                 // in-flight attempt, so this blocks only as long as an
                 // (untimed) handler runs.
@@ -1056,6 +1172,88 @@ mod tests {
             );
         }
         enactor.run(&p).expect("order constraint gates dispatch");
+    }
+
+    /// Compiles `goal` with one timer rule through the real
+    /// `ctr_workflow::compile_timer` pipeline.
+    fn timed_program(goal: &Goal, timer: &ctr_workflow::TimerSpec) -> Program {
+        let mut channels = ctr::apply::ChannelAlloc::fresh_for(goal);
+        let timed = ctr_workflow::compile_timer(goal, timer, &mut channels);
+        Program::compile(&timed).unwrap()
+    }
+
+    #[test]
+    fn after_gates_hold_the_activity_until_the_delay_elapses() {
+        // after(b, 120ms): the tick is fired by the clock — never handed
+        // to a worker — and `b` cannot start before the delay elapses.
+        let p = timed_program(
+            &seq(vec![Goal::atom("a"), Goal::atom("b")]),
+            &ctr_workflow::TimerSpec::after("b", 120),
+        );
+        let started = Instant::now();
+        let trace = run_guarded(Enactor::new(), p).unwrap();
+        assert!(
+            started.elapsed() >= Duration::from_millis(120),
+            "the gate held until the delay elapsed"
+        );
+        let names: Vec<String> = trace.iter().map(|a| a.to_string()).collect();
+        assert_eq!(names, vec!["a", "b@after120", "b"]);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_the_compensation_plan() {
+        // deadline(approve, 60ms) with an approve handler that stalls
+        // past the deadline: the run aborts, the committed prefix is the
+        // booked work, and the report carries its compensation plan.
+        let p = timed_program(
+            &seq(vec![Goal::atom("book"), Goal::atom("approve")]),
+            &ctr_workflow::TimerSpec::deadline("approve", 60),
+        );
+        let mut enactor = Enactor::new();
+        enactor.register(
+            "approve",
+            Box::new(|_| {
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(())
+            }),
+        );
+        enactor.compensate("book", "cancel_booking");
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(enactor.run_report(&p));
+        });
+        let report = rx.recv_timeout(WATCHDOG).expect("run terminates");
+        match report.error {
+            Some(EnactError::DeadlineExpired {
+                ref event,
+                delay_ms,
+                ref completed,
+            }) => {
+                assert_eq!(event, "approve");
+                assert_eq!(delay_ms, 60);
+                assert_eq!(completed, &[sym("book")]);
+            }
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+        assert_eq!(report.compensation, vec![sym("cancel_booking")]);
+    }
+
+    #[test]
+    fn deadline_met_in_time_is_dismissed_silently() {
+        // The guarded event commits well before the deadline: no tick in
+        // the trace, no error, and the run does not wait out the timer.
+        let p = timed_program(
+            &seq(vec![Goal::atom("book"), Goal::atom("approve")]),
+            &ctr_workflow::TimerSpec::deadline("approve", 30_000),
+        );
+        let started = Instant::now();
+        let trace = run_guarded(Enactor::new(), p).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "dismissal must not wait out the deadline"
+        );
+        let names: Vec<String> = trace.iter().map(|a| a.to_string()).collect();
+        assert_eq!(names, vec!["book", "approve"]);
     }
 
     #[test]

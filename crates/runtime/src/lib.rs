@@ -39,15 +39,17 @@
 pub mod enact;
 pub mod shared;
 pub mod stats;
+pub mod wheel;
 
 use ctr::goal::Goal;
-use ctr::symbol::Symbol;
+use ctr::timer::{parse_tick, TimerKind};
 use ctr_engine::scheduler::{Program, Scheduler};
 use ctr_store::Record;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+pub use ctr::symbol::Symbol;
 pub use ctr_store::{Durability, MemStore, Store, StoreError, StoreStats, WalOptions, WalStore};
 pub use enact::{
     AttemptOutcome, AttemptRecord, Backoff, ChoicePolicy, EnactError, EnactReport, Enactor, Fault,
@@ -55,6 +57,7 @@ pub use enact::{
 };
 pub use shared::{CoarseRuntime, SharedRuntime};
 pub use stats::{simulate, simulate_par, Simulation};
+pub use wheel::{TimerToken, TimerWheel};
 
 /// Identifier of a running instance.
 pub type InstanceId = u64;
@@ -90,6 +93,13 @@ pub enum RuntimeError {
     /// A journal failed to replay against its deployed program — the
     /// journal (or the program it was validated against) is corrupt.
     Journal(String),
+    /// No pending timer with this tick event on the instance.
+    UnknownTimer {
+        /// The instance polled or cancelled against.
+        instance: InstanceId,
+        /// The tick event that is not pending.
+        event: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -114,6 +124,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
             RuntimeError::Store(e) => write!(f, "store error: {e}"),
             RuntimeError::Journal(e) => write!(f, "journal error: {e}"),
+            RuntimeError::UnknownTimer { instance, event } => {
+                write!(f, "instance #{instance} has no pending timer `{event}`")
+            }
         }
     }
 }
@@ -159,6 +172,17 @@ pub enum FireOutcome {
     Skipped,
 }
 
+/// One timer declared by a deployment's compiled goal: the synthetic
+/// tick event carries its own delay in its name (`base@after30000`),
+/// parsed once at deploy time. `base` is `Some` only for deadline
+/// ticks — the event whose firing structurally satisfies the deadline
+/// and therefore disarms it.
+pub(crate) struct DeployedTimer {
+    pub(crate) tick: Symbol,
+    pub(crate) delay_ms: u64,
+    pub(crate) base: Option<Symbol>,
+}
+
 pub(crate) struct Deployment {
     /// The compiled goal rendered once in its concrete syntax — the
     /// exact bytes both the snapshot line and the durable deploy record
@@ -167,16 +191,37 @@ pub(crate) struct Deployment {
     pub(crate) rendered: String,
     /// The scheduling arena, shared (`Arc`) with every instance cursor.
     pub(crate) program: Arc<Program>,
+    /// Timers to arm for every new instance, sorted by tick name.
+    pub(crate) timers: Vec<DeployedTimer>,
 }
 
 impl Deployment {
-    /// Compiles a goal into a deployment, caching its rendered text.
+    /// Compiles a goal into a deployment, caching its rendered text and
+    /// scanning its event alphabet once for timer ticks.
     pub(crate) fn new(compiled: Goal) -> Result<Deployment, RuntimeError> {
         let program =
             Program::compile(&compiled).map_err(|e| RuntimeError::Compile(e.to_string()))?;
+        let mut timers: Vec<DeployedTimer> = compiled
+            .events()
+            .iter()
+            .filter_map(|&event| {
+                let tick = parse_tick(event.as_str())?;
+                let base = match tick.kind {
+                    TimerKind::Deadline => Symbol::try_get(tick.base),
+                    TimerKind::After => None,
+                };
+                Some(DeployedTimer {
+                    tick: event,
+                    delay_ms: tick.delay_ms,
+                    base,
+                })
+            })
+            .collect();
+        timers.sort_by(|a, b| a.tick.as_str().cmp(b.tick.as_str()));
         Ok(Deployment {
             rendered: compiled.to_string(),
             program: Arc::new(program),
+            timers,
         })
     }
 
@@ -191,6 +236,25 @@ impl Deployment {
     pub(crate) fn snapshot_len(&self, name: &str) -> usize {
         "workflow  := \n".len() + name.len() + self.rendered.len()
     }
+}
+
+/// One pending timer of an instance: the tick event, its absolute due
+/// on the runtime's logical clock, the wheel token that disarms it, and
+/// (for deadlines) the base event whose firing satisfies it.
+pub(crate) struct ArmedTimer {
+    pub(crate) tick: Symbol,
+    pub(crate) due: u64,
+    pub(crate) token: TimerToken,
+    pub(crate) base: Option<Symbol>,
+}
+
+/// Outcome of [`Instance::fire_timer`].
+pub(crate) enum TimerFired {
+    /// The tick committed as an ordinary journal event.
+    Fired,
+    /// The tick was no longer fireable — its deadline branch had been
+    /// committed away — so the expiry disarmed vacuously.
+    Vacuous,
 }
 
 /// One running instance: the journal (sole persistent state) plus the
@@ -210,6 +274,9 @@ pub(crate) struct Instance {
     /// state obtained by replaying `journal` against a fresh scheduler
     /// (replay is deterministic), but maintained incrementally.
     pub(crate) cursor: Scheduler<Arc<Program>>,
+    /// Timers still pending for this instance (few per instance; linear
+    /// scans). The wheel holds the mirror entry; `token` ties the two.
+    pub(crate) timers: Vec<ArmedTimer>,
 }
 
 impl Instance {
@@ -227,7 +294,107 @@ impl Instance {
             status,
             program,
             cursor,
+            timers: Vec::new(),
         }
+    }
+
+    /// Records a wheel-armed timer on this instance.
+    pub(crate) fn arm_timer(
+        &mut self,
+        tick: Symbol,
+        due: u64,
+        base: Option<Symbol>,
+        token: TimerToken,
+    ) {
+        self.timers.push(ArmedTimer {
+            tick,
+            due,
+            token,
+            base,
+        });
+    }
+
+    /// Removes and returns the pending timer for `tick`, if any.
+    pub(crate) fn take_timer(&mut self, tick: Symbol) -> Option<ArmedTimer> {
+        let i = self.timers.iter().position(|t| t.tick == tick)?;
+        Some(self.timers.remove(i))
+    }
+
+    /// Removes every timer settled by the journal suffix
+    /// `committed_from..` — the tick itself fired, or a deadline's base
+    /// event fired — or by completion (a completed instance has no
+    /// future), returning their wheel tokens. The caller cancels the
+    /// tokens on the wheel; split this way so [`Runtime`] and
+    /// [`SharedRuntime`] derive disarms identically under their
+    /// different locking.
+    pub(crate) fn settled_tokens(&mut self, committed_from: usize) -> Vec<TimerToken> {
+        if self.timers.is_empty() {
+            return Vec::new();
+        }
+        let mut dead: Vec<TimerToken> = Vec::new();
+        if self.status == InstanceStatus::Completed {
+            dead.extend(
+                std::mem::take(&mut self.timers)
+                    .into_iter()
+                    .map(|t| t.token),
+            );
+        } else {
+            let fired: Vec<Symbol> = self.journal[committed_from..].to_vec();
+            for sym in fired {
+                if let Some(t) = self.take_timer(sym) {
+                    dead.push(t.token);
+                }
+                while let Some(pos) = self.timers.iter().position(|t| t.base == Some(sym)) {
+                    dead.push(self.timers.remove(pos).token);
+                }
+            }
+        }
+        dead
+    }
+
+    /// Fires an expired tick as a journal event, write-ahead as
+    /// [`Record::TimerFire`] (which also restores the clock watermark
+    /// at recovery). A tick that is no longer structurally fireable —
+    /// its deadline's or-branch was committed away without the derived
+    /// disarm catching it — resolves [`TimerFired::Vacuous`], journaled
+    /// as [`Record::TimerCancel`] because the advance that discovered
+    /// it is not itself replayable. The caller has already removed the
+    /// timer from `timers`; on `Err` nothing was journaled and the
+    /// caller re-arms.
+    pub(crate) fn fire_timer(
+        &mut self,
+        id: InstanceId,
+        tick: Symbol,
+        at_ms: u64,
+        store: Option<&dyn Store>,
+    ) -> Result<TimerFired, RuntimeError> {
+        if self.status == InstanceStatus::Completed || !self.cursor.fire_event(tick) {
+            if let Some(store) = store {
+                store
+                    .append(&Record::TimerCancel {
+                        instance: id,
+                        event: tick.as_str().to_owned(),
+                    })
+                    .map_err(|e| RuntimeError::Store(e.to_string()))?;
+            }
+            return Ok(TimerFired::Vacuous);
+        }
+        if let Some(store) = store {
+            let record = Record::TimerFire {
+                instance: id,
+                event: tick.as_str().to_owned(),
+                at_ms,
+            };
+            if let Err(e) = store.append(&record) {
+                self.rebuild_cursor(Arc::clone(&self.program))?;
+                return Err(RuntimeError::Store(e.to_string()));
+            }
+        }
+        self.journal.push(tick);
+        if self.cursor.is_complete() {
+            self.status = InstanceStatus::Completed;
+        }
+        Ok(TimerFired::Fired)
     }
 
     /// Fires one event; see [`Runtime::fire`]. With a store attached
@@ -470,7 +637,9 @@ impl Instance {
 
     /// Observable eligible events, deduplicated and sorted by name —
     /// allocation-free apart from the returned `Vec` (symbols resolve
-    /// without copying).
+    /// without copying). Timer ticks are filtered out: they fire
+    /// through [`Runtime::advance`], never from clients, and the
+    /// pending set is surfaced by [`Runtime::pending_timers`] instead.
     pub(crate) fn eligible_symbols(&self) -> Vec<Symbol> {
         let mut events: Vec<Symbol> = self
             .cursor
@@ -478,6 +647,7 @@ impl Instance {
             .iter()
             .filter_map(|c| self.cursor.program().event(c.node))
             .filter_map(ctr::term::Atom::as_event)
+            .filter(|s| parse_tick(s.as_str()).is_none())
             .collect();
         events.sort_unstable_by_key(|s| s.as_str());
         events.dedup();
@@ -516,6 +686,14 @@ impl Instance {
             out.push_str(event.as_str());
         }
         out.push('\n');
+        // Pending timers follow their instance line, sorted by tick
+        // name — symbol ids differ across processes, names don't, and
+        // snapshots must be byte-deterministic.
+        let mut pending: Vec<&ArmedTimer> = self.timers.iter().collect();
+        pending.sort_by(|a, b| a.tick.as_str().cmp(b.tick.as_str()));
+        for t in pending {
+            let _ = writeln!(out, "timer {id} {} due {}", t.tick.as_str(), t.due);
+        }
     }
 
     /// Bytes [`Instance::snapshot_line`] will append for `id` (the
@@ -530,6 +708,11 @@ impl Instance {
                 .journal
                 .iter()
                 .map(|s| s.as_str().len() + 1)
+                .sum::<usize>()
+            + self
+                .timers
+                .iter()
+                .map(|t| "timer   due \n".len() + id_digits + t.tick.as_str().len() + 20)
                 .sum::<usize>()
     }
 
@@ -602,6 +785,12 @@ pub struct Runtime {
     /// every deploy, start, fire, and silent completion is appended
     /// *before* the in-memory commit (write-ahead discipline).
     pub(crate) store: Option<Arc<dyn Store>>,
+    /// The logical clock (ms). Never ticks by itself: [`Runtime::advance`]
+    /// moves it, and recovery restores it to the latest durable expiry
+    /// watermark (`max` of replayed [`Record::TimerFire`] `at_ms`).
+    pub(crate) clock_ms: u64,
+    /// Pending timers across the fleet, keyed back to their instances.
+    pub(crate) wheel: TimerWheel<(InstanceId, Symbol)>,
 }
 
 impl Runtime {
@@ -634,6 +823,10 @@ impl Runtime {
             Some(snapshot) => Runtime::restore(snapshot)?,
             None => Runtime::new(),
         };
+        // Arm-before-visible buffering: a TimerArm only takes effect
+        // when its Start follows. A crash between the two appends
+        // leaves an orphan arm, which simply never leaves this map.
+        let mut buffered_arms: BTreeMap<InstanceId, Vec<(String, u64)>> = BTreeMap::new();
         for record in replay.records {
             match record {
                 Record::Deploy { name, goal } => {
@@ -642,8 +835,12 @@ impl Runtime {
                     })?;
                     rt.deploy_compiled(&name, goal)?;
                 }
+                Record::TimerArm { instance, timers } => {
+                    buffered_arms.insert(instance, timers);
+                }
                 Record::Start { instance, workflow } => {
-                    rt.adopt_instance(instance, &workflow)?;
+                    let arms = buffered_arms.remove(&instance).unwrap_or_default();
+                    rt.adopt_instance(instance, &workflow, &arms)?;
                 }
                 Record::Events { instance, events } => {
                     for event in &events {
@@ -654,6 +851,17 @@ impl Runtime {
                         })?;
                         rt.replayed += 1;
                     }
+                }
+                Record::TimerFire {
+                    instance,
+                    event,
+                    at_ms,
+                } => {
+                    rt.replay_timer_fire(instance, &event, at_ms)?;
+                    rt.replayed += 1;
+                }
+                Record::TimerCancel { instance, event } => {
+                    rt.replay_timer_cancel(instance, &event);
                 }
                 Record::Complete { instance } => {
                     rt.try_complete(instance)?;
@@ -687,8 +895,15 @@ impl Runtime {
 
     /// Adopts an instance under a caller-chosen id — the recovery path
     /// for durable [`Record::Start`] records, which must reproduce the
-    /// exact ids clients were given before the crash.
-    fn adopt_instance(&mut self, id: InstanceId, workflow: &str) -> Result<(), RuntimeError> {
+    /// exact ids clients were given before the crash. `arms` carries
+    /// the instance's buffered [`Record::TimerArm`] dues (absolute ms),
+    /// re-armed here exactly as the pre-crash start armed them.
+    fn adopt_instance(
+        &mut self,
+        id: InstanceId,
+        workflow: &str,
+        arms: &[(String, u64)],
+    ) -> Result<(), RuntimeError> {
         let deployment = self
             .deployments
             .get(workflow)
@@ -698,10 +913,38 @@ impl Runtime {
                 "duplicate start record for instance {id}"
             )));
         }
-        let instance = Instance::new(workflow.to_owned(), Arc::clone(&deployment.program));
+        let mut instance = Instance::new(workflow.to_owned(), Arc::clone(&deployment.program));
+        for (name, due) in arms {
+            let tick = Symbol::try_get(name).ok_or_else(|| {
+                RuntimeError::Journal(format!(
+                    "arm record for instance {id} references unknown timer event `{name}`"
+                ))
+            })?;
+            let base = parse_tick(name).and_then(|t| match t.kind {
+                TimerKind::Deadline => Symbol::try_get(t.base),
+                TimerKind::After => None,
+            });
+            let token = self.wheel.arm(*due, (id, tick));
+            instance.arm_timer(tick, *due, base, token);
+        }
         self.instances.insert(id, instance);
         self.next_id = self.next_id.max(id + 1);
         Ok(())
+    }
+
+    /// Derived timer bookkeeping after events committed on an instance:
+    /// a deadline whose base event fired is satisfied (disarmed), a
+    /// tick that fired by any path disarms itself, and a completed
+    /// instance drains every pending timer. None of these write a
+    /// record — they are deterministic functions of the journaled
+    /// events, so replay reproduces them exactly.
+    fn settle_timers(&mut self, id: InstanceId, committed_from: usize) {
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
+        for token in inst.settled_tokens(committed_from) {
+            self.wheel.cancel(token);
+        }
     }
 
     /// Deploys a specification from its textual source. Compiles the
@@ -748,21 +991,51 @@ impl Runtime {
     }
 
     /// Starts a new instance of a deployed workflow, materializing its
-    /// cursor once. The cursor shares the deployment's compiled program.
+    /// cursor once and arming its timers at `clock + delay`. The cursor
+    /// shares the deployment's compiled program.
+    ///
+    /// Durability order is **arm-before-visible**: the instance's
+    /// [`Record::TimerArm`] goes to the store *before* its
+    /// [`Record::Start`]. A crash between the two leaves an orphan arm,
+    /// which recovery drops harmlessly; the reverse order could recover
+    /// an instance whose deadlines were silently lost.
     pub fn start(&mut self, workflow: &str) -> Result<InstanceId, RuntimeError> {
-        let deployment = self
-            .deployments
-            .get(workflow)
-            .ok_or_else(|| RuntimeError::UnknownWorkflow(workflow.to_owned()))?;
-        let instance = Instance::new(workflow.to_owned(), Arc::clone(&deployment.program));
+        let deployment = Arc::clone(
+            self.deployments
+                .get(workflow)
+                .ok_or_else(|| RuntimeError::UnknownWorkflow(workflow.to_owned()))?,
+        );
+        let mut instance = Instance::new(workflow.to_owned(), Arc::clone(&deployment.program));
         let id = self.next_id;
         if let Some(store) = &self.store {
+            if !deployment.timers.is_empty() {
+                store
+                    .append(&Record::TimerArm {
+                        instance: id,
+                        timers: deployment
+                            .timers
+                            .iter()
+                            .map(|t| {
+                                (
+                                    t.tick.as_str().to_owned(),
+                                    self.clock_ms.saturating_add(t.delay_ms),
+                                )
+                            })
+                            .collect(),
+                    })
+                    .map_err(|e| RuntimeError::Store(e.to_string()))?;
+            }
             store
                 .append(&Record::Start {
                     instance: id,
                     workflow: workflow.to_owned(),
                 })
                 .map_err(|e| RuntimeError::Store(e.to_string()))?;
+        }
+        for t in &deployment.timers {
+            let due = self.clock_ms.saturating_add(t.delay_ms);
+            let token = self.wheel.arm(due, (id, t.tick));
+            instance.arm_timer(t.tick, due, t.base, token);
         }
         self.next_id = id + 1;
         self.instances.insert(id, instance);
@@ -832,10 +1105,16 @@ impl Runtime {
     /// journal length.
     pub fn fire(&mut self, id: InstanceId, event: &str) -> Result<InstanceStatus, RuntimeError> {
         let store = self.store.as_deref();
-        self.instances
+        let inst = self
+            .instances
             .get_mut(&id)
-            .ok_or(RuntimeError::UnknownInstance(id))?
-            .fire(id, event, store)
+            .ok_or(RuntimeError::UnknownInstance(id))?;
+        let before = inst.journal.len();
+        let result = inst.fire(id, event, store);
+        if result.is_ok() {
+            self.settle_timers(id, before);
+        }
+        result
     }
 
     /// Fires a batch of events against one instance in order, under a
@@ -854,10 +1133,16 @@ impl Runtime {
         events: &[S],
     ) -> Result<Vec<FireOutcome>, RuntimeError> {
         let store = self.store.as_deref();
-        self.instances
+        let inst = self
+            .instances
             .get_mut(&id)
-            .ok_or(RuntimeError::UnknownInstance(id))?
-            .fire_batch(id, events, store)
+            .ok_or(RuntimeError::UnknownInstance(id))?;
+        let before = inst.journal.len();
+        let result = inst.fire_batch(id, events, store);
+        if result.is_ok() {
+            self.settle_timers(id, before);
+        }
+        result
     }
 
     /// Tries to finish an instance through silent steps only (committing
@@ -865,10 +1150,204 @@ impl Runtime {
     /// compiled away). Returns the resulting status.
     pub fn try_complete(&mut self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
         let store = self.store.as_deref();
-        self.instances
+        let inst = self
+            .instances
             .get_mut(&id)
-            .ok_or(RuntimeError::UnknownInstance(id))?
-            .try_complete(id, store)
+            .ok_or(RuntimeError::UnknownInstance(id))?;
+        let result = inst.try_complete(id, store);
+        if matches!(result, Ok(InstanceStatus::Completed)) {
+            // A completed instance has no future: drain its timers.
+            let len = self.instances.get(&id).map_or(0, |inst| inst.journal.len());
+            self.settle_timers(id, len);
+        }
+        result
+    }
+
+    // --- Timers -------------------------------------------------------------
+
+    /// The runtime's logical clock, in ms. Starts at zero and moves
+    /// only through [`Runtime::advance`] — the runtime has no wall
+    /// clock of its own, which keeps expiry deterministic under test.
+    pub fn clock_ms(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// Pending timers of an instance as `(tick event, absolute due ms)`
+    /// pairs, sorted by tick name.
+    pub fn pending_timers(&self, id: InstanceId) -> Result<Vec<(String, u64)>, RuntimeError> {
+        let inst = self.instance(id)?;
+        let mut out: Vec<(String, u64)> = inst
+            .timers
+            .iter()
+            .map(|t| (t.tick.as_str().to_owned(), t.due))
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// Total pending timers across the fleet — O(1) from the wheel.
+    pub fn pending_timer_count(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// The earliest pending due across all instances, as a lower bound
+    /// usable for sleeping; `None` when nothing is armed.
+    pub fn next_timer_due(&self) -> Option<u64> {
+        self.wheel.next_due()
+    }
+
+    /// Advances the logical clock to `to_ms`, expiring every timer due
+    /// on the way in deterministic `(due, instance, tick)` order. Each
+    /// expired tick fires as an ordinary journal event, write-ahead as
+    /// [`Record::TimerFire`]; a tick whose deadline was structurally
+    /// satisfied without the derived disarm catching it resolves
+    /// vacuously (journaled [`Record::TimerCancel`]). A clock already
+    /// at or past `to_ms` is left alone. Returns the `(instance, tick)`
+    /// pairs that fired.
+    ///
+    /// On a store error the failed expiry is re-armed untouched and the
+    /// clock still reflects the timers already processed — a later
+    /// advance retries exactly the unfired tail.
+    pub fn advance(&mut self, to_ms: u64) -> Result<Vec<(InstanceId, String)>, RuntimeError> {
+        let mut due_now = self.wheel.advance_to(to_ms);
+        // Wheel order is (due, arm order); re-sort ties by (instance,
+        // tick name) so expiry order is independent of arm history
+        // (snapshot restore re-arms in sorted order, replay in journal
+        // order — the fleet must expire identically either way).
+        due_now.sort_by(|a, b| (a.0, a.1 .0, a.1 .1.as_str()).cmp(&(b.0, b.1 .0, b.1 .1.as_str())));
+        let mut out = Vec::new();
+        for i in 0..due_now.len() {
+            let (due, (id, tick)) = due_now[i];
+            let store = self.store.as_deref();
+            let Some(inst) = self.instances.get_mut(&id) else {
+                continue;
+            };
+            let Some(armed) = inst.take_timer(tick) else {
+                continue; // disarmed earlier in this same batch
+            };
+            let before = inst.journal.len();
+            match inst.fire_timer(id, tick, due, store) {
+                Ok(TimerFired::Fired) => {
+                    out.push((id, tick.as_str().to_owned()));
+                    self.settle_timers(id, before);
+                }
+                Ok(TimerFired::Vacuous) => {}
+                Err(e) => {
+                    // Re-arm the failed expiry *and* the rest of the
+                    // popped batch: the wheel no longer holds any of
+                    // them, and their instance entries carry dead
+                    // tokens — without this the unfired tail would
+                    // silently never expire.
+                    let token = self.wheel.arm(armed.due, (id, tick));
+                    self.instances
+                        .get_mut(&id)
+                        .expect("instance still exists")
+                        .arm_timer(tick, armed.due, armed.base, token);
+                    for &(_, (id2, tick2)) in &due_now[i + 1..] {
+                        let Some(inst) = self.instances.get_mut(&id2) else {
+                            continue;
+                        };
+                        let Some(armed2) = inst.take_timer(tick2) else {
+                            continue;
+                        };
+                        let token = self.wheel.arm(armed2.due, (id2, tick2));
+                        self.instances
+                            .get_mut(&id2)
+                            .expect("instance still exists")
+                            .arm_timer(tick2, armed2.due, armed2.base, token);
+                    }
+                    self.clock_ms = self.clock_ms.max(self.wheel.now());
+                    return Err(e);
+                }
+            }
+        }
+        self.clock_ms = self.clock_ms.max(to_ms);
+        Ok(out)
+    }
+
+    /// Explicitly disarms a pending timer by its tick event name,
+    /// journaling [`Record::TimerCancel`] write-ahead. Unlike the
+    /// derived disarms (deadline satisfied, instance completed), an API
+    /// cancel is not reproducible from the event journal, so it must be
+    /// its own record.
+    pub fn cancel_timer(&mut self, id: InstanceId, event: &str) -> Result<(), RuntimeError> {
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(RuntimeError::UnknownInstance(id))?;
+        let Some(tick) =
+            Symbol::try_get(event).filter(|s| inst.timers.iter().any(|t| t.tick == *s))
+        else {
+            return Err(RuntimeError::UnknownTimer {
+                instance: id,
+                event: event.to_owned(),
+            });
+        };
+        if let Some(store) = &self.store {
+            store
+                .append(&Record::TimerCancel {
+                    instance: id,
+                    event: event.to_owned(),
+                })
+                .map_err(|e| RuntimeError::Store(e.to_string()))?;
+        }
+        let armed = self
+            .instances
+            .get_mut(&id)
+            .expect("checked above")
+            .take_timer(tick)
+            .expect("checked pending above");
+        self.wheel.cancel(armed.token);
+        Ok(())
+    }
+
+    /// Replays a durable [`Record::TimerFire`]: restores the clock
+    /// watermark and fires the tick exactly as the pre-crash advance
+    /// did.
+    fn replay_timer_fire(
+        &mut self,
+        id: InstanceId,
+        event: &str,
+        at_ms: u64,
+    ) -> Result<(), RuntimeError> {
+        self.clock_ms = self.clock_ms.max(at_ms);
+        let tick = Symbol::try_get(event).ok_or_else(|| {
+            RuntimeError::Journal(format!(
+                "timer fire for instance {id} references unknown event `{event}`"
+            ))
+        })?;
+        let inst = self.instances.get_mut(&id).ok_or_else(|| {
+            RuntimeError::Journal(format!("timer fire for unknown instance {id}"))
+        })?;
+        if let Some(armed) = inst.take_timer(tick) {
+            self.wheel.cancel(armed.token);
+        }
+        let inst = self.instances.get_mut(&id).expect("checked above");
+        let before = inst.journal.len();
+        match inst.fire_timer(id, tick, at_ms, None)? {
+            TimerFired::Fired => {
+                self.settle_timers(id, before);
+                Ok(())
+            }
+            TimerFired::Vacuous => Err(RuntimeError::Journal(format!(
+                "instance {id}: replaying timer fire `{event}`: not eligible"
+            ))),
+        }
+    }
+
+    /// Replays a durable [`Record::TimerCancel`]. Lenient about an
+    /// already-absent timer: the record may follow a derived disarm the
+    /// event replay has reproduced on its own.
+    fn replay_timer_cancel(&mut self, id: InstanceId, event: &str) {
+        let Some(tick) = Symbol::try_get(event) else {
+            return;
+        };
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
+        if let Some(armed) = inst.take_timer(tick) {
+            self.wheel.cancel(armed.token);
+        }
     }
 
     /// Enacts a deployed workflow with the given [`Enactor`]: dispatches
@@ -987,6 +1466,37 @@ impl Runtime {
                     // Completion may have come from silent finishing.
                     rt.try_complete(id)?;
                 }
+            } else if let Some(rest) = line.strip_prefix("timer ") {
+                // timer <instance> <tick> due <ms>
+                let mut parts = rest.split_whitespace();
+                let id: InstanceId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| RuntimeError::Snapshot(format!("bad timer line: {line}")))?;
+                let (name, due) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                    (Some(name), Some("due"), Some(due), None) => (
+                        name,
+                        due.parse::<u64>().map_err(|_| {
+                            RuntimeError::Snapshot(format!("bad timer due: {line}"))
+                        })?,
+                    ),
+                    _ => return Err(RuntimeError::Snapshot(format!("bad timer line: {line}"))),
+                };
+                let Some(inst) = rt.instances.get_mut(&id) else {
+                    return Err(RuntimeError::Snapshot(format!(
+                        "timer line references unknown instance {id}"
+                    )));
+                };
+                // The tick was interned when the workflow goal parsed.
+                let tick = Symbol::try_get(name).ok_or_else(|| {
+                    RuntimeError::Snapshot(format!("timer line references unknown event `{name}`"))
+                })?;
+                let base = parse_tick(name).and_then(|t| match t.kind {
+                    TimerKind::Deadline => Symbol::try_get(t.base),
+                    TimerKind::After => None,
+                });
+                let token = rt.wheel.arm(due, (id, tick));
+                inst.arm_timer(tick, due, base, token);
             } else {
                 return Err(RuntimeError::Snapshot(format!("unrecognized line: {line}")));
             }
@@ -1429,6 +1939,274 @@ mod tests {
         rt.snapshot_into(&mut buf);
         assert_eq!(buf, expected);
         assert_eq!(buf.capacity(), cap, "steady state allocates nothing");
+    }
+
+    const TIMED: &str = r"
+        workflow timed {
+            graph invoice * approve * file;
+            after(approve, 30s);
+        }
+    ";
+
+    const GUARDED: &str = r"
+        workflow guarded {
+            graph invoice * approve;
+            deadline(approve, 1h);
+        }
+    ";
+
+    #[test]
+    fn after_gates_its_event_until_the_clock_advances() {
+        let mut rt = Runtime::new();
+        rt.deploy_source(TIMED).unwrap();
+        let id = rt.start("timed").unwrap();
+        assert_eq!(
+            rt.pending_timers(id).unwrap(),
+            vec![("approve@after30000".to_owned(), 30_000)]
+        );
+        assert_eq!(rt.pending_timer_count(), 1);
+        rt.fire(id, "invoice").unwrap();
+        // The gate holds: approve is not eligible (and the tick is
+        // internal, never listed).
+        assert!(matches!(
+            rt.fire(id, "approve"),
+            Err(RuntimeError::NotEligible { .. })
+        ));
+        assert!(rt.eligible(id).unwrap().is_empty());
+        assert!(rt.advance(29_999).unwrap().is_empty());
+        let fired = rt.advance(30_000).unwrap();
+        assert_eq!(fired, vec![(id, "approve@after30000".to_owned())]);
+        assert_eq!(rt.clock_ms(), 30_000);
+        assert!(rt.pending_timers(id).unwrap().is_empty());
+        assert_eq!(rt.eligible(id).unwrap(), vec!["approve".to_owned()]);
+        rt.fire(id, "approve").unwrap();
+        rt.fire(id, "file").unwrap();
+        assert!(rt.is_complete(id).unwrap());
+    }
+
+    #[test]
+    fn deadline_satisfied_by_its_base_event_disarms() {
+        let mut rt = Runtime::new();
+        rt.deploy_source(GUARDED).unwrap();
+        let id = rt.start("guarded").unwrap();
+        assert_eq!(
+            rt.pending_timers(id).unwrap(),
+            vec![("approve@deadline3600000".to_owned(), 3_600_000)]
+        );
+        rt.fire(id, "invoice").unwrap();
+        rt.fire(id, "approve").unwrap();
+        // Derived disarm: the base event fired, the deadline is gone.
+        assert!(rt.pending_timers(id).unwrap().is_empty());
+        assert_eq!(rt.pending_timer_count(), 0);
+        assert!(rt.advance(4_000_000).unwrap().is_empty());
+        // The watchdog or-branch finishes silently.
+        assert_eq!(rt.try_complete(id).unwrap(), InstanceStatus::Completed);
+    }
+
+    #[test]
+    fn deadline_expiry_fires_the_tick_as_a_journal_event() {
+        let mut rt = Runtime::new();
+        rt.deploy_source(GUARDED).unwrap();
+        let id = rt.start("guarded").unwrap();
+        rt.fire(id, "invoice").unwrap();
+        let fired = rt.advance(3_600_000).unwrap();
+        assert_eq!(fired, vec![(id, "approve@deadline3600000".to_owned())]);
+        assert_eq!(
+            rt.journal(id).unwrap(),
+            vec!["invoice", "approve@deadline3600000"]
+        );
+        // Expiry records the missed deadline; the instance itself
+        // continues — approve can still happen (late).
+        assert_eq!(rt.status(id).unwrap(), InstanceStatus::Running);
+        rt.fire(id, "approve").unwrap();
+        assert_eq!(rt.try_complete(id).unwrap(), InstanceStatus::Completed);
+    }
+
+    #[test]
+    fn completion_drains_pending_timers() {
+        let mut rt = Runtime::new();
+        rt.deploy_source(GUARDED).unwrap();
+        let id = rt.start("guarded").unwrap();
+        rt.fire(id, "invoice").unwrap();
+        rt.fire(id, "approve").unwrap();
+        rt.try_complete(id).unwrap();
+        assert_eq!(rt.pending_timer_count(), 0);
+        assert_eq!(rt.next_timer_due(), None);
+    }
+
+    #[test]
+    fn cancel_timer_disarms_and_rejects_unknowns() {
+        let mut rt = Runtime::new();
+        rt.deploy_source(TIMED).unwrap();
+        let id = rt.start("timed").unwrap();
+        assert_eq!(
+            rt.cancel_timer(id, "nope"),
+            Err(RuntimeError::UnknownTimer {
+                instance: id,
+                event: "nope".to_owned()
+            })
+        );
+        rt.cancel_timer(id, "approve@after30000").unwrap();
+        assert!(rt.pending_timers(id).unwrap().is_empty());
+        assert_eq!(
+            rt.cancel_timer(id, "approve@after30000"),
+            Err(RuntimeError::UnknownTimer {
+                instance: id,
+                event: "approve@after30000".to_owned()
+            })
+        );
+        // The gate never opens now; the timer is simply gone.
+        assert!(rt.advance(100_000).unwrap().is_empty());
+    }
+
+    #[test]
+    fn timer_snapshot_round_trips_and_expires_identically() {
+        let mut rt = Runtime::new();
+        rt.deploy_source(TIMED).unwrap();
+        rt.deploy_source(GUARDED).unwrap();
+        let t = rt.start("timed").unwrap();
+        let g = rt.start("guarded").unwrap();
+        rt.fire(t, "invoice").unwrap();
+        rt.fire(g, "invoice").unwrap();
+        let snap = rt.snapshot();
+        assert!(
+            snap.contains("timer 0 approve@after30000 due 30000"),
+            "{snap}"
+        );
+        let mut restored = Runtime::restore(&snap).unwrap();
+        assert_eq!(restored.snapshot(), snap, "snapshot round-trips");
+        assert_eq!(
+            restored.pending_timers(t).unwrap(),
+            rt.pending_timers(t).unwrap()
+        );
+        // Both expire the same way.
+        assert_eq!(
+            rt.advance(4_000_000).unwrap(),
+            restored.advance(4_000_000).unwrap()
+        );
+        assert_eq!(rt.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn timer_arm_record_precedes_start_and_recovers() {
+        let store = Arc::new(MemStore::new());
+        let snap_before;
+        {
+            let mut rt = Runtime::with_store(Arc::clone(&store) as Arc<dyn ctr_store::Store>);
+            rt.deploy_source(TIMED).unwrap();
+            let id = rt.start("timed").unwrap();
+            rt.fire(id, "invoice").unwrap();
+            snap_before = rt.snapshot();
+        }
+        // Arm-before-visible on the wire: TimerArm strictly before
+        // Start for the same instance.
+        let records = store.replay().unwrap().records;
+        let arm = records
+            .iter()
+            .position(|r| matches!(r, Record::TimerArm { .. }))
+            .expect("arm record present");
+        let start = records
+            .iter()
+            .position(|r| matches!(r, Record::Start { .. }))
+            .expect("start record present");
+        assert!(arm < start, "arm-before-visible: {records:?}");
+        let mut rt = Runtime::open(store).unwrap();
+        assert_eq!(rt.snapshot(), snap_before);
+        assert_eq!(
+            rt.pending_timers(0).unwrap(),
+            vec![("approve@after30000".to_owned(), 30_000)]
+        );
+        // The recovered wheel still expires.
+        let fired = rt.advance(30_000).unwrap();
+        assert_eq!(fired, vec![(0, "approve@after30000".to_owned())]);
+    }
+
+    #[test]
+    fn timer_fire_records_replay_with_clock_watermark() {
+        let store = Arc::new(MemStore::new());
+        let snap_before;
+        {
+            let mut rt = Runtime::with_store(Arc::clone(&store) as Arc<dyn ctr_store::Store>);
+            rt.deploy_source(GUARDED).unwrap();
+            let id = rt.start("guarded").unwrap();
+            rt.fire(id, "invoice").unwrap();
+            let fired = rt.advance(3_700_000).unwrap();
+            assert_eq!(fired.len(), 1);
+            snap_before = rt.snapshot();
+        }
+        let rt = Runtime::open(store).unwrap();
+        assert_eq!(rt.snapshot(), snap_before);
+        assert_eq!(
+            rt.clock_ms(),
+            3_600_000,
+            "clock restored to the durable expiry watermark"
+        );
+        assert_eq!(rt.pending_timer_count(), 0);
+        assert_eq!(
+            rt.journal(0).unwrap(),
+            vec!["invoice", "approve@deadline3600000"]
+        );
+    }
+
+    #[test]
+    fn cancel_records_replay_and_checkpoint_keeps_timer_lines() {
+        let store = Arc::new(MemStore::new());
+        let mut rt = Runtime::with_store(Arc::clone(&store) as Arc<dyn ctr_store::Store>);
+        rt.deploy_source(TIMED).unwrap();
+        rt.deploy_source(GUARDED).unwrap();
+        let t = rt.start("timed").unwrap();
+        let g = rt.start("guarded").unwrap();
+        rt.cancel_timer(t, "approve@after30000").unwrap();
+        rt.checkpoint().unwrap();
+        rt.fire(g, "invoice").unwrap();
+        let snap = rt.snapshot();
+        drop(rt);
+        let replay = store.replay().unwrap();
+        let baseline = replay.snapshot.expect("checkpoint installed");
+        assert!(
+            baseline.contains("timer 1 approve@deadline3600000 due 3600000"),
+            "{baseline}"
+        );
+        // The goal text still names the tick event; only the armed-timer
+        // line must be gone.
+        assert!(!baseline.contains("timer 0 "), "cancelled timer gone");
+        let mut rt = Runtime::open(store).unwrap();
+        assert_eq!(rt.snapshot(), snap);
+        assert!(rt.pending_timers(t).unwrap().is_empty());
+        let fired = rt.advance(3_600_000).unwrap();
+        assert_eq!(fired, vec![(g, "approve@deadline3600000".to_owned())]);
+    }
+
+    #[test]
+    fn every_timers_stagger_and_fire_in_order() {
+        let mut rt = Runtime::new();
+        rt.deploy_source(
+            "workflow poller { graph connect * repeat(poll, 1, 2) * done; every(poll, 5s); }",
+        )
+        .unwrap();
+        let id = rt.start("poller").unwrap();
+        let pending = rt.pending_timers(id).unwrap();
+        assert_eq!(
+            pending,
+            vec![
+                ("poll@1@after5000".to_owned(), 5_000),
+                ("poll@2@after10000".to_owned(), 10_000)
+            ]
+        );
+        rt.fire(id, "connect").unwrap();
+        let fired = rt.advance(20_000).unwrap();
+        assert_eq!(
+            fired,
+            vec![
+                (id, "poll@1@after5000".to_owned()),
+                (id, "poll@2@after10000".to_owned())
+            ],
+            "both gates open in period order"
+        );
+        rt.fire(id, "poll@1").unwrap();
+        rt.fire(id, "poll@2").unwrap();
+        rt.fire(id, "done").unwrap();
+        assert!(rt.is_complete(id).unwrap());
     }
 
     #[test]

@@ -21,7 +21,13 @@
 //!
 //! ## Lock order
 //!
-//! `registry < shard[0] < … < shard[SHARD_COUNT−1] < instance locks`.
+//! `registry < shard[0] < … < shard[SHARD_COUNT−1] < instance locks <
+//! timer state`. The timer wheel and logical clock live behind one
+//! dedicated mutex at the *bottom* of the order: every fire path may
+//! take it briefly while holding an instance lock (derived disarms),
+//! while [`SharedRuntime::advance`] pops the expired batch under the
+//! timer lock **alone** and only then takes instance locks one at a
+//! time — so expiry never holds the wheel against the fleet.
 //! Operations on one instance take its shard lock only to resolve the id
 //! (releasing it before the instance lock); [`SharedRuntime::snapshot`]
 //! takes *every* shard lock in ascending index order and then every
@@ -86,6 +92,8 @@
 //! in `BENCH_exec.json`.
 
 use crate::render_snapshot;
+use crate::wheel::TimerWheel;
+use crate::TimerFired;
 use crate::{Deployment, FireOutcome, Instance, InstanceId, InstanceStatus, Runtime, RuntimeError};
 use ctr::symbol::Symbol;
 use ctr_store::Store;
@@ -105,6 +113,17 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 type InstanceCell = Arc<Mutex<Instance>>;
+
+/// The fleet's timer wheel and logical clock, one mutex at the bottom
+/// of the lock order (see module docs). Entries key back to their
+/// instances; each instance's `timers` list holds the mirror entry and
+/// is the per-instance source of truth — a wheel pop whose instance
+/// entry is already gone is a stale expiry and is skipped.
+#[derive(Default)]
+struct TimerState {
+    wheel: TimerWheel<(InstanceId, Symbol)>,
+    clock_ms: u64,
+}
 
 /// One stripe of the instance table.
 #[derive(Default)]
@@ -127,6 +146,8 @@ struct Inner {
     /// table, so two instances on different shards never contend on a
     /// log stripe either.
     pub(crate) store: Option<Arc<dyn Store>>,
+    /// Timer wheel + logical clock; strictly below every other lock.
+    timers: Mutex<TimerState>,
 }
 
 /// A cloneable, `Send + Sync`, sharded handle to a workflow runtime.
@@ -146,6 +167,7 @@ impl Default for Inner {
             next_id: AtomicU64::new(0),
             replayed: AtomicU64::new(0),
             store: None,
+            timers: Mutex::new(TimerState::default()),
         }
     }
 }
@@ -188,6 +210,12 @@ impl SharedRuntime {
         let shared = SharedRuntime {
             inner: Arc::new(Inner {
                 store: rt.store,
+                // The wheel moves over whole: instance timer tokens
+                // stay valid against its slab.
+                timers: Mutex::new(TimerState {
+                    wheel: rt.wheel,
+                    clock_ms: rt.clock_ms,
+                }),
                 ..Inner::default()
             }),
         };
@@ -305,12 +333,47 @@ impl SharedRuntime {
     /// checkpoint cut yet miss its snapshot. A failed persist burns the
     /// allocated id, which is harmless: ids only ever need to be unique
     /// and monotonic.
+    /// Timers declared by the deployment are armed with arm-before-
+    /// visible discipline: the [`ctr_store::Record::TimerArm`] record
+    /// (absolute dues off one clock read) precedes the start record,
+    /// and the instance cell is **locked before it is published** — no
+    /// client, and no concurrent [`SharedRuntime::advance`], can
+    /// observe the instance until its wheel entries and its own timer
+    /// list agree.
     pub fn start(&self, workflow: &str) -> Result<InstanceId, RuntimeError> {
         let deployment = self.inner.deployment(workflow)?;
         let instance = Instance::new(workflow.to_owned(), Arc::clone(&deployment.program));
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let cell = Arc::new(Mutex::new(instance));
+        let mut inst = lock(&cell);
+        // One clock read fixes the absolute dues: the durable record
+        // and the in-memory arms below must agree byte for byte even if
+        // an advance moves the clock in between.
+        let dues: Vec<u64> = if deployment.timers.is_empty() {
+            Vec::new()
+        } else {
+            let clock = lock(&self.inner.timers).clock_ms;
+            deployment
+                .timers
+                .iter()
+                .map(|t| clock.saturating_add(t.delay_ms))
+                .collect()
+        };
         let mut shard = lock(&self.inner.shard(id).instances);
         if let Some(store) = &self.inner.store {
+            if !deployment.timers.is_empty() {
+                store
+                    .append(&ctr_store::Record::TimerArm {
+                        instance: id,
+                        timers: deployment
+                            .timers
+                            .iter()
+                            .zip(&dues)
+                            .map(|(t, &due)| (t.tick.as_str().to_owned(), due))
+                            .collect(),
+                    })
+                    .map_err(|e| RuntimeError::Store(e.to_string()))?;
+            }
             store
                 .append(&ctr_store::Record::Start {
                     instance: id,
@@ -318,7 +381,15 @@ impl SharedRuntime {
                 })
                 .map_err(|e| RuntimeError::Store(e.to_string()))?;
         }
-        shard.insert(id, Arc::new(Mutex::new(instance)));
+        shard.insert(id, Arc::clone(&cell));
+        drop(shard);
+        if !deployment.timers.is_empty() {
+            let mut ts = lock(&self.inner.timers);
+            for (t, &due) in deployment.timers.iter().zip(&dues) {
+                let token = ts.wheel.arm(due, (id, t.tick));
+                inst.arm_timer(t.tick, due, t.base, token);
+            }
+        }
         Ok(id)
     }
 
@@ -332,11 +403,30 @@ impl SharedRuntime {
         ids
     }
 
+    /// Cancels the wheel entries of timers settled by the journal
+    /// suffix `committed_from..` (or by completion). Called with the
+    /// instance lock held — the timer lock sits below it in the order.
+    fn settle(&self, inst: &mut Instance, committed_from: usize) {
+        let dead = inst.settled_tokens(committed_from);
+        if dead.is_empty() {
+            return;
+        }
+        let mut ts = lock(&self.inner.timers);
+        for token in dead {
+            ts.wheel.cancel(token);
+        }
+    }
+
     /// See [`Runtime::fire`] — atomic with respect to other clients *of
     /// this instance*; clients of other instances proceed concurrently.
     pub fn fire(&self, id: InstanceId, event: &str) -> Result<InstanceStatus, RuntimeError> {
         let cell = self.inner.instance(id)?;
-        let result = lock(&cell).fire(id, event, self.inner.store.as_deref());
+        let mut inst = lock(&cell);
+        let before = inst.journal.len();
+        let result = inst.fire(id, event, self.inner.store.as_deref());
+        if result.is_ok() {
+            self.settle(&mut inst, before);
+        }
         result
     }
 
@@ -353,7 +443,12 @@ impl SharedRuntime {
         events: &[S],
     ) -> Result<Vec<FireOutcome>, RuntimeError> {
         let cell = self.inner.instance(id)?;
-        let outcomes = lock(&cell).fire_batch(id, events, self.inner.store.as_deref());
+        let mut inst = lock(&cell);
+        let before = inst.journal.len();
+        let outcomes = inst.fire_batch(id, events, self.inner.store.as_deref());
+        if outcomes.is_ok() {
+            self.settle(&mut inst, before);
+        }
         outcomes
     }
 
@@ -437,7 +532,14 @@ impl SharedRuntime {
                 Some(cell) => {
                     events.clear();
                     events.extend(positions.iter().map(|&i| batch[i].1.as_ref()));
-                    match lock(cell).fire_batch(id, &events, self.inner.store.as_deref()) {
+                    let mut inst = lock(cell);
+                    let before = inst.journal.len();
+                    let result = inst.fire_batch(id, &events, self.inner.store.as_deref());
+                    if result.is_ok() {
+                        self.settle(&mut inst, before);
+                    }
+                    drop(inst);
+                    match result {
                         Ok(per) => {
                             for (&i, outcome) in positions.iter().zip(per) {
                                 outcomes[i] = Some(outcome);
@@ -493,8 +595,13 @@ impl SharedRuntime {
             .map(|((id, event), cell)| match cell {
                 None => FireOutcome::Rejected(RuntimeError::UnknownInstance(*id)),
                 Some(cell) => {
-                    match lock(cell).fire(*id, event.as_ref(), self.inner.store.as_deref()) {
-                        Ok(status) => FireOutcome::Fired(status),
+                    let mut inst = lock(cell);
+                    let before = inst.journal.len();
+                    match inst.fire(*id, event.as_ref(), self.inner.store.as_deref()) {
+                        Ok(status) => {
+                            self.settle(&mut inst, before);
+                            FireOutcome::Fired(status)
+                        }
                         Err(e) => FireOutcome::Rejected(e),
                     }
                 }
@@ -572,7 +679,14 @@ impl SharedRuntime {
                 }
                 Some(cell) => {
                     let instance_runs: Vec<&[S]> = positions.iter().map(|&i| runs[i].1).collect();
-                    match lock(cell).fire_runs(id, &instance_runs, self.inner.store.as_deref()) {
+                    let mut inst = lock(cell);
+                    let before = inst.journal.len();
+                    let result = inst.fire_runs(id, &instance_runs, self.inner.store.as_deref());
+                    if result.is_ok() {
+                        self.settle(&mut inst, before);
+                    }
+                    drop(inst);
+                    match result {
                         Ok(per_run) => {
                             for (&i, run) in positions.iter().zip(per_run) {
                                 outcomes[i] = Some(run);
@@ -603,6 +717,127 @@ impl SharedRuntime {
             .into_iter()
             .map(|o| o.expect("every run resolved"))
             .collect()
+    }
+
+    // --- Timers -------------------------------------------------------------
+
+    /// See [`Runtime::clock_ms`].
+    pub fn clock_ms(&self) -> u64 {
+        lock(&self.inner.timers).clock_ms
+    }
+
+    /// See [`Runtime::pending_timers`] — reads only the instance's own
+    /// timer list, under its lock.
+    pub fn pending_timers(&self, id: InstanceId) -> Result<Vec<(String, u64)>, RuntimeError> {
+        let cell = self.inner.instance(id)?;
+        let inst = lock(&cell);
+        let mut out: Vec<(String, u64)> = inst
+            .timers
+            .iter()
+            .map(|t| (t.tick.as_str().to_owned(), t.due))
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// See [`Runtime::pending_timer_count`].
+    pub fn pending_timer_count(&self) -> usize {
+        lock(&self.inner.timers).wheel.len()
+    }
+
+    /// See [`Runtime::next_timer_due`].
+    pub fn next_timer_due(&self) -> Option<u64> {
+        lock(&self.inner.timers).wheel.next_due()
+    }
+
+    /// See [`Runtime::advance`] — same deterministic `(due, instance,
+    /// tick)` expiry order and write-ahead discipline. The expired
+    /// batch is popped (and the clock moved) under the timer lock
+    /// alone; each expiry then fires under its own instance lock, so a
+    /// fleet-wide advance never serializes unrelated client fires. A
+    /// timer a client disarmed between pop and fire is skipped — the
+    /// instance's own list is the source of truth, and `take_timer`
+    /// under the instance lock makes each expiry exactly-once.
+    pub fn advance(&self, to_ms: u64) -> Result<Vec<(InstanceId, String)>, RuntimeError> {
+        let mut due_now = {
+            let mut ts = lock(&self.inner.timers);
+            let batch = ts.wheel.advance_to(to_ms);
+            ts.clock_ms = ts.clock_ms.max(to_ms);
+            batch
+        };
+        due_now.sort_by(|a, b| (a.0, a.1 .0, a.1 .1.as_str()).cmp(&(b.0, b.1 .0, b.1 .1.as_str())));
+        let mut out = Vec::new();
+        for i in 0..due_now.len() {
+            let (due, (id, tick)) = due_now[i];
+            let Ok(cell) = self.inner.instance(id) else {
+                continue;
+            };
+            let mut inst = lock(&cell);
+            let Some(armed) = inst.take_timer(tick) else {
+                continue; // disarmed concurrently, or earlier in this batch
+            };
+            let before = inst.journal.len();
+            match inst.fire_timer(id, tick, due, self.inner.store.as_deref()) {
+                Ok(TimerFired::Fired) => {
+                    out.push((id, tick.as_str().to_owned()));
+                    self.settle(&mut inst, before);
+                }
+                Ok(TimerFired::Vacuous) => {}
+                Err(e) => {
+                    // Re-arm the failed expiry and the rest of the
+                    // popped batch (their wheel entries are gone and
+                    // their instance tokens dead); a later advance
+                    // retries exactly the unfired tail.
+                    {
+                        let mut ts = lock(&self.inner.timers);
+                        let token = ts.wheel.arm(armed.due, (id, tick));
+                        inst.arm_timer(tick, armed.due, armed.base, token);
+                    }
+                    drop(inst);
+                    for &(_, (id2, tick2)) in &due_now[i + 1..] {
+                        let Ok(cell2) = self.inner.instance(id2) else {
+                            continue;
+                        };
+                        let mut inst2 = lock(&cell2);
+                        if let Some(armed2) = inst2.take_timer(tick2) {
+                            let mut ts = lock(&self.inner.timers);
+                            let token = ts.wheel.arm(armed2.due, (id2, tick2));
+                            inst2.arm_timer(tick2, armed2.due, armed2.base, token);
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// See [`Runtime::cancel_timer`] — the write-ahead
+    /// [`ctr_store::Record::TimerCancel`] append rides under the
+    /// instance lock, so a checkpoint freeze excludes it like any other
+    /// control record.
+    pub fn cancel_timer(&self, id: InstanceId, event: &str) -> Result<(), RuntimeError> {
+        let cell = self.inner.instance(id)?;
+        let mut inst = lock(&cell);
+        let Some(tick) =
+            Symbol::try_get(event).filter(|s| inst.timers.iter().any(|t| t.tick == *s))
+        else {
+            return Err(RuntimeError::UnknownTimer {
+                instance: id,
+                event: event.to_owned(),
+            });
+        };
+        if let Some(store) = &self.inner.store {
+            store
+                .append(&ctr_store::Record::TimerCancel {
+                    instance: id,
+                    event: event.to_owned(),
+                })
+                .map_err(|e| RuntimeError::Store(e.to_string()))?;
+        }
+        let armed = inst.take_timer(tick).expect("checked pending above");
+        lock(&self.inner.timers).wheel.cancel(armed.token);
+        Ok(())
     }
 
     /// See [`Runtime::eligible`]. The answer is a snapshot: another
@@ -644,7 +879,12 @@ impl SharedRuntime {
     /// See [`Runtime::try_complete`].
     pub fn try_complete(&self, id: InstanceId) -> Result<InstanceStatus, RuntimeError> {
         let cell = self.inner.instance(id)?;
-        let status = lock(&cell).try_complete(id, self.inner.store.as_deref());
+        let mut inst = lock(&cell);
+        let status = inst.try_complete(id, self.inner.store.as_deref());
+        if matches!(status, Ok(InstanceStatus::Completed)) {
+            let len = inst.journal.len();
+            self.settle(&mut inst, len);
+        }
         status
     }
 
@@ -1466,6 +1706,153 @@ mod tests {
         let recovered = SharedRuntime::open(store).unwrap();
         assert_eq!(recovered.snapshot(), rt.snapshot());
         assert_eq!(recovered.instances().len(), 200);
+    }
+
+    const TIMED: &str = "workflow timed { graph invoice * approve * file; after(approve, 30s); }";
+    const GUARDED: &str = "workflow guarded { graph invoice * approve; deadline(approve, 1h); }";
+
+    #[test]
+    fn shared_timers_match_the_single_runtime() {
+        let shared = SharedRuntime::new();
+        let mut plain = Runtime::new();
+        for src in [TIMED, GUARDED] {
+            shared.deploy_source(src).unwrap();
+            plain.deploy_source(src).unwrap();
+        }
+        let t = shared.start("timed").unwrap();
+        assert_eq!(t, plain.start("timed").unwrap());
+        let g = shared.start("guarded").unwrap();
+        assert_eq!(g, plain.start("guarded").unwrap());
+        assert_eq!(shared.pending_timer_count(), plain.pending_timer_count());
+        assert_eq!(shared.next_timer_due(), plain.next_timer_due());
+        shared.fire(t, "invoice").unwrap();
+        plain.fire(t, "invoice").unwrap();
+        assert_eq!(shared.snapshot(), plain.snapshot());
+        assert_eq!(
+            shared.advance(30_000).unwrap(),
+            plain.advance(30_000).unwrap()
+        );
+        assert_eq!(shared.clock_ms(), 30_000);
+        assert_eq!(shared.pending_timers(t).unwrap(), Vec::new());
+        assert_eq!(
+            shared.pending_timers(g).unwrap(),
+            plain.pending_timers(g).unwrap()
+        );
+        // The guarded deadline is satisfied by its base event on both.
+        shared.fire(g, "invoice").unwrap();
+        plain.fire(g, "invoice").unwrap();
+        shared.fire(g, "approve").unwrap();
+        plain.fire(g, "approve").unwrap();
+        assert!(shared.pending_timers(g).unwrap().is_empty());
+        assert_eq!(shared.snapshot(), plain.snapshot());
+    }
+
+    #[test]
+    fn shared_cancel_timer_disarms_and_rejects_unknowns() {
+        let rt = SharedRuntime::new();
+        rt.deploy_source(TIMED).unwrap();
+        let id = rt.start("timed").unwrap();
+        assert_eq!(
+            rt.cancel_timer(id, "nope"),
+            Err(RuntimeError::UnknownTimer {
+                instance: id,
+                event: "nope".to_owned()
+            })
+        );
+        rt.cancel_timer(id, "approve@after30000").unwrap();
+        assert_eq!(rt.pending_timer_count(), 0);
+        assert!(rt.advance(100_000).unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_advances_fire_each_timer_exactly_once() {
+        let rt = SharedRuntime::new();
+        rt.deploy_source(TIMED).unwrap();
+        let n = 64u64;
+        let ids: Vec<_> = (0..n).map(|_| rt.start("timed").unwrap()).collect();
+        for &id in &ids {
+            rt.fire(id, "invoice").unwrap();
+        }
+        assert_eq!(rt.pending_timer_count(), n as usize);
+        let mut total = 0usize;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rt = rt.clone();
+                    scope.spawn(move || rt.advance(30_000).unwrap().len())
+                })
+                .collect();
+            for h in handles {
+                total += h.join().unwrap();
+            }
+        });
+        assert_eq!(total, n as usize, "every tick fired exactly once");
+        assert_eq!(rt.pending_timer_count(), 0);
+        for &id in &ids {
+            assert_eq!(
+                rt.journal(id).unwrap(),
+                vec!["invoice", "approve@after30000"]
+            );
+            rt.fire(id, "approve").unwrap();
+        }
+    }
+
+    #[test]
+    fn shared_timer_recovery_rearms_from_the_wal() {
+        use ctr_store::MemStore;
+        let store = Arc::new(MemStore::new());
+        let snap_before;
+        {
+            let rt = SharedRuntime::with_store(Arc::clone(&store) as Arc<dyn Store>);
+            rt.deploy_source(TIMED).unwrap();
+            let id = rt.start("timed").unwrap();
+            rt.fire(id, "invoice").unwrap();
+            snap_before = rt.snapshot();
+        }
+        // Arm-before-visible: the arm record precedes the start record.
+        let records = store.replay().unwrap().records;
+        let arm = records
+            .iter()
+            .position(|r| matches!(r, ctr_store::Record::TimerArm { .. }))
+            .expect("arm record present");
+        let start = records
+            .iter()
+            .position(|r| matches!(r, ctr_store::Record::Start { .. }))
+            .expect("start record present");
+        assert!(arm < start, "arm-before-visible: {records:?}");
+        let rt = SharedRuntime::open(store).unwrap();
+        assert_eq!(rt.snapshot(), snap_before);
+        assert_eq!(
+            rt.pending_timers(0).unwrap(),
+            vec![("approve@after30000".to_owned(), 30_000)]
+        );
+        let fired = rt.advance(30_000).unwrap();
+        assert_eq!(fired, vec![(0, "approve@after30000".to_owned())]);
+        assert_eq!(rt.clock_ms(), 30_000);
+    }
+
+    #[test]
+    fn shared_timer_fires_are_durable_and_survive_checkpoint() {
+        use ctr_store::MemStore;
+        let store = Arc::new(MemStore::new());
+        let rt = SharedRuntime::with_store(Arc::clone(&store) as Arc<dyn Store>);
+        rt.deploy_source(TIMED).unwrap();
+        rt.deploy_source(GUARDED).unwrap();
+        let t = rt.start("timed").unwrap();
+        let g = rt.start("guarded").unwrap();
+        rt.fire(t, "invoice").unwrap();
+        rt.advance(30_000).unwrap();
+        rt.checkpoint().unwrap();
+        rt.fire(g, "invoice").unwrap();
+        let snap = rt.snapshot();
+        drop(rt);
+        let rt = SharedRuntime::open(store).unwrap();
+        assert_eq!(rt.snapshot(), snap);
+        assert_eq!(rt.clock_ms(), 0, "clock is not part of the snapshot");
+        // The surviving deadline still expires (files past-due on the
+        // recovered wheel) and fires as a compensationable event.
+        let fired = rt.advance(3_600_000).unwrap();
+        assert_eq!(fired, vec![(g, "approve@deadline3600000".to_owned())]);
     }
 
     #[test]

@@ -215,6 +215,37 @@ impl Client {
         }
     }
 
+    /// Pending `(tick, due_ms)` timers of an instance, due order.
+    pub fn timers(&mut self, instance: u64) -> Result<Vec<(String, u64)>, ClientError> {
+        match self.round_trip(&Request::Timers { instance })? {
+            Response::Timers(timers) => Ok(timers),
+            Response::Error(fault) => Err(ClientError::Fault(fault)),
+            _ => Err(ClientError::Unexpected("timers wants Timers")),
+        }
+    }
+
+    /// Advances the fleet clock to `to_ms`, firing every due timer;
+    /// returns the `(instance, tick)` firings in order.
+    pub fn advance(&mut self, to_ms: u64) -> Result<Vec<(u64, String)>, ClientError> {
+        match self.round_trip(&Request::Advance { to_ms })? {
+            Response::Fired(fired) => Ok(fired),
+            Response::Error(fault) => Err(ClientError::Fault(fault)),
+            _ => Err(ClientError::Unexpected("advance wants Fired")),
+        }
+    }
+
+    /// Cancels the pending timer guarding `event` on `instance`.
+    pub fn cancel_timer(&mut self, instance: u64, event: &str) -> Result<(), ClientError> {
+        match self.round_trip(&Request::CancelTimer {
+            instance,
+            event: event.to_owned(),
+        })? {
+            Response::Unit => Ok(()),
+            Response::Error(fault) => Err(ClientError::Fault(fault)),
+            _ => Err(ClientError::Unexpected("cancel_timer wants Unit")),
+        }
+    }
+
     /// Asks the server to stop (acknowledged before it does).
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.round_trip(&Request::Shutdown)? {

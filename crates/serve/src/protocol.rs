@@ -25,7 +25,7 @@
 //! a connection **in request order** (pipelining is FIFO), so the
 //! correlation is positional, like Redis.
 
-use ctr_runtime::{FireOutcome, InstanceStatus, RuntimeError};
+use ctr_runtime::{FireOutcome, InstanceStatus, RuntimeError, Symbol};
 use std::fmt;
 
 /// Hard ceiling on a frame's payload length. Large enough for any
@@ -196,6 +196,9 @@ const VERB_ELIGIBLE: u8 = 0x06;
 const VERB_SNAPSHOT: u8 = 0x07;
 const VERB_STATS: u8 = 0x08;
 const VERB_SHUTDOWN: u8 = 0x09;
+const VERB_TIMERS: u8 = 0x0A;
+const VERB_ADVANCE: u8 = 0x0B;
+const VERB_CANCEL_TIMER: u8 = 0x0C;
 
 /// One client request. The `Fire`/`FireBatch` verbs are the hot path:
 /// the server coalesces adjacent pipelined ones into a single
@@ -223,6 +226,14 @@ pub enum Request {
     Stats,
     /// Stop the server (after answering [`Response::Unit`]).
     Shutdown,
+    /// Pending timers of one instance; answers [`Response::Timers`].
+    Timers { instance: u64 },
+    /// Advance the fleet's logical clock, firing every timer due at or
+    /// before `to_ms`; answers [`Response::Fired`].
+    Advance { to_ms: u64 },
+    /// Cancel a pending timer by its guarded event name; answers
+    /// [`Response::Unit`].
+    CancelTimer { instance: u64, event: String },
 }
 
 /// Encodes a request payload (frame it with [`encode_frame`]).
@@ -264,6 +275,19 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         Request::Snapshot => out.push(VERB_SNAPSHOT),
         Request::Stats => out.push(VERB_STATS),
         Request::Shutdown => out.push(VERB_SHUTDOWN),
+        Request::Timers { instance } => {
+            out.push(VERB_TIMERS);
+            put_u64(out, *instance);
+        }
+        Request::Advance { to_ms } => {
+            out.push(VERB_ADVANCE);
+            put_u64(out, *to_ms);
+        }
+        Request::CancelTimer { instance, event } => {
+            out.push(VERB_CANCEL_TIMER);
+            put_u64(out, *instance);
+            put_str(out, event);
+        }
     }
 }
 
@@ -306,6 +330,16 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         VERB_SNAPSHOT => Request::Snapshot,
         VERB_STATS => Request::Stats,
         VERB_SHUTDOWN => Request::Shutdown,
+        VERB_TIMERS => Request::Timers {
+            instance: r.take_u64()?,
+        },
+        VERB_ADVANCE => Request::Advance {
+            to_ms: r.take_u64()?,
+        },
+        VERB_CANCEL_TIMER => Request::CancelTimer {
+            instance: r.take_u64()?,
+            event: r.take_str()?,
+        },
         verb => return Err(WireError::UnknownVerb(verb)),
     };
     r.finish()?;
@@ -322,6 +356,8 @@ const KIND_NAMES: u8 = 0x85;
 const KIND_TEXT: u8 = 0x86;
 const KIND_UNIT: u8 = 0x87;
 const KIND_STATS: u8 = 0x88;
+const KIND_TIMERS: u8 = 0x89;
+const KIND_FIRED: u8 = 0x8A;
 const KIND_ERROR: u8 = 0xEE;
 
 const STATUS_RUNNING: u8 = 0;
@@ -355,6 +391,8 @@ pub enum FaultCode {
     Busy = 8,
     /// The peer broke the wire protocol (the connection is closing).
     Protocol = 9,
+    /// No pending timer guards this event on this instance.
+    UnknownTimer = 10,
 }
 
 impl FaultCode {
@@ -369,6 +407,7 @@ impl FaultCode {
             7 => FaultCode::Corrupt,
             8 => FaultCode::Busy,
             9 => FaultCode::Protocol,
+            10 => FaultCode::UnknownTimer,
             _ => return None,
         })
     }
@@ -394,6 +433,7 @@ impl Fault {
                 FaultCode::Spec
             }
             RuntimeError::Snapshot(_) | RuntimeError::Journal(_) => FaultCode::Corrupt,
+            RuntimeError::UnknownTimer { .. } => FaultCode::UnknownTimer,
         };
         Fault {
             code,
@@ -456,6 +496,10 @@ pub struct WireStats {
     pub fsyncs: u64,
     /// Instances known to the runtime (running and completed).
     pub instances: u64,
+    /// Timers pending across the fleet.
+    pub timers: u64,
+    /// The fleet's logical clock, in milliseconds.
+    pub clock_ms: u64,
 }
 
 /// One server response; see [`Request`] for the pairing.
@@ -466,9 +510,19 @@ pub enum Response {
     Status(WireStatus),
     Outcomes(Vec<WireOutcome>),
     Names(Vec<String>),
+    /// Server-side twin of [`Response::Names`]: encodes interned
+    /// symbols straight onto the wire (same `KIND_NAMES` bytes, no
+    /// per-name `String` allocation — the `Eligible` hot poll path).
+    /// Decoding always yields `Names`.
+    Symbols(Vec<Symbol>),
     Text(String),
     Unit,
     Stats(WireStats),
+    /// Pending `(tick, due_ms)` timers of one instance, due order.
+    Timers(Vec<(String, u64)>),
+    /// Timers fired by an `Advance`, as `(instance, tick)` in firing
+    /// order.
+    Fired(Vec<(u64, String)>),
     Error(Fault),
 }
 
@@ -518,6 +572,29 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
                 put_str(out, name);
             }
         }
+        Response::Symbols(symbols) => {
+            out.push(KIND_NAMES);
+            out.extend_from_slice(&(symbols.len() as u32).to_le_bytes());
+            for symbol in symbols {
+                put_str(out, symbol.as_str());
+            }
+        }
+        Response::Timers(timers) => {
+            out.push(KIND_TIMERS);
+            out.extend_from_slice(&(timers.len() as u32).to_le_bytes());
+            for (tick, due_ms) in timers {
+                put_str(out, tick);
+                put_u64(out, *due_ms);
+            }
+        }
+        Response::Fired(fired) => {
+            out.push(KIND_FIRED);
+            out.extend_from_slice(&(fired.len() as u32).to_le_bytes());
+            for (instance, tick) in fired {
+                put_u64(out, *instance);
+                put_str(out, tick);
+            }
+        }
         Response::Text(text) => {
             out.push(KIND_TEXT);
             put_str(out, text);
@@ -529,6 +606,8 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             put_u64(out, stats.events);
             put_u64(out, stats.fsyncs);
             put_u64(out, stats.instances);
+            put_u64(out, stats.timers);
+            put_u64(out, stats.clock_ms);
         }
         Response::Error(fault) => {
             out.push(KIND_ERROR);
@@ -590,7 +669,27 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             events: r.take_u64()?,
             fsyncs: r.take_u64()?,
             instances: r.take_u64()?,
+            timers: r.take_u64()?,
+            clock_ms: r.take_u64()?,
         }),
+        KIND_TIMERS => {
+            let n = r.take_count()?;
+            let mut timers = Vec::with_capacity(n);
+            for _ in 0..n {
+                let tick = r.take_str()?;
+                timers.push((tick, r.take_u64()?));
+            }
+            Response::Timers(timers)
+        }
+        KIND_FIRED => {
+            let n = r.take_count()?;
+            let mut fired = Vec::with_capacity(n);
+            for _ in 0..n {
+                let instance = r.take_u64()?;
+                fired.push((instance, r.take_str()?));
+            }
+            Response::Fired(fired)
+        }
         KIND_ERROR => Response::Error(take_fault(&mut r)?),
         kind => return Err(WireError::UnknownKind(kind)),
     };
@@ -634,6 +733,12 @@ mod tests {
             Request::Snapshot,
             Request::Stats,
             Request::Shutdown,
+            Request::Timers { instance: 9 },
+            Request::Advance { to_ms: 86_400_000 },
+            Request::CancelTimer {
+                instance: 9,
+                event: "approve".to_owned(),
+            },
         ];
         for req in &requests {
             let bytes = frame(req);
@@ -665,7 +770,14 @@ mod tests {
                 events: 2,
                 fsyncs: 3,
                 instances: 4,
+                timers: 5,
+                clock_ms: 6,
             }),
+            Response::Timers(vec![
+                ("approve@deadline60000".to_owned(), 60_000),
+                ("poll@after5000".to_owned(), 5_000),
+            ]),
+            Response::Fired(vec![(3, "poll@after5000".to_owned())]),
             Response::Error(Fault {
                 code: FaultCode::Busy,
                 message: "burst budget exceeded".to_owned(),
@@ -679,6 +791,19 @@ mod tests {
             let (_, payload) = split_frame(&bytes).unwrap().expect("complete");
             assert_eq!(&decode_response(payload).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn symbols_encode_as_names_on_the_wire() {
+        // The server's allocation-free Eligible path must be
+        // byte-identical to the `Names` encoding clients decode.
+        let symbols = Response::Symbols(vec![Symbol::intern("a"), Symbol::intern("approve")]);
+        let names = Response::Names(vec!["a".to_owned(), "approve".to_owned()]);
+        let (mut sym_bytes, mut name_bytes) = (Vec::new(), Vec::new());
+        encode_response(&symbols, &mut sym_bytes);
+        encode_response(&names, &mut name_bytes);
+        assert_eq!(sym_bytes, name_bytes);
+        assert_eq!(decode_response(&sym_bytes).unwrap(), names);
     }
 
     #[test]

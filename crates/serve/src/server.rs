@@ -381,8 +381,11 @@ fn execute_one(rt: &SharedRuntime, req: &Request, shutdown: &mut bool) -> Respon
                 .map(WireOutcome::from_runtime)
                 .collect(),
         ),
-        Request::Eligible { instance } => match rt.eligible(*instance) {
-            Ok(names) => Response::Names(names),
+        // The hot poll path: interned symbols go straight onto the wire
+        // (`Response::Symbols` encodes as `Names`), so a poll allocates
+        // no per-name `String`s server-side.
+        Request::Eligible { instance } => match rt.eligible_symbols(*instance) {
+            Ok(events) => Response::Symbols(events),
             Err(e) => Response::Error(Fault::from_runtime(&e)),
         },
         Request::Snapshot => Response::Text(rt.snapshot()),
@@ -393,8 +396,22 @@ fn execute_one(rt: &SharedRuntime, req: &Request, shutdown: &mut bool) -> Respon
                 events: stats.events,
                 fsyncs: stats.fsyncs,
                 instances: rt.instances().len() as u64,
+                timers: rt.pending_timer_count() as u64,
+                clock_ms: rt.clock_ms(),
             })
         }
+        Request::Timers { instance } => match rt.pending_timers(*instance) {
+            Ok(timers) => Response::Timers(timers),
+            Err(e) => Response::Error(Fault::from_runtime(&e)),
+        },
+        Request::Advance { to_ms } => match rt.advance(*to_ms) {
+            Ok(fired) => Response::Fired(fired),
+            Err(e) => Response::Error(Fault::from_runtime(&e)),
+        },
+        Request::CancelTimer { instance, event } => match rt.cancel_timer(*instance, event) {
+            Ok(()) => Response::Unit,
+            Err(e) => Response::Error(Fault::from_runtime(&e)),
+        },
         Request::Shutdown => {
             *shutdown = true;
             Response::Unit
@@ -448,14 +465,60 @@ mod tests {
             other => panic!("expected Outcomes, got {other:?}"),
         }
         match &responses[2] {
-            Response::Names(names) => assert!(names.is_empty(), "completed: {names:?}"),
-            other => panic!("expected Names, got {other:?}"),
+            Response::Symbols(events) => assert!(events.is_empty(), "completed: {events:?}"),
+            other => panic!("expected Symbols, got {other:?}"),
         }
         assert_eq!(
             rt.journal(id).unwrap(),
             vec!["invoice", "approve", "file"],
             "burst coalescing must not reorder a single instance's events"
         );
+    }
+
+    #[test]
+    fn timer_verbs_list_advance_and_cancel() {
+        const TIMED: &str =
+            "workflow timed { graph invoice * approve * file; after(approve, 30s); }";
+        let rt = SharedRuntime::new();
+        rt.deploy_source(TIMED).unwrap();
+        let id = rt.start("timed").unwrap();
+        let requests = vec![
+            Request::Timers { instance: id },
+            Request::Advance { to_ms: 30_000 },
+            Request::Stats,
+            Request::CancelTimer {
+                instance: id,
+                event: "approve@after30000".into(),
+            },
+        ];
+        let responses = collect_burst(&rt, &requests, 256);
+        match &responses[0] {
+            Response::Timers(timers) => {
+                assert_eq!(
+                    timers.as_slice(),
+                    &[("approve@after30000".to_owned(), 30_000)]
+                );
+            }
+            other => panic!("expected Timers, got {other:?}"),
+        }
+        match &responses[1] {
+            Response::Fired(fired) => {
+                assert_eq!(fired.as_slice(), &[(id, "approve@after30000".to_owned())]);
+            }
+            other => panic!("expected Fired, got {other:?}"),
+        }
+        match &responses[2] {
+            Response::Stats(stats) => {
+                assert_eq!(stats.timers, 0, "the fired timer left the wheel");
+                assert_eq!(stats.clock_ms, 30_000);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        // The timer already fired, so cancelling it is a typed fault.
+        match &responses[3] {
+            Response::Error(fault) => assert_eq!(fault.code, FaultCode::UnknownTimer),
+            other => panic!("expected UnknownTimer, got {other:?}"),
+        }
     }
 
     #[test]

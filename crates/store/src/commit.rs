@@ -36,8 +36,11 @@
 //! [`StoreError`] — the durable watermark never advances past a
 //! truncation point, so no waiter can be told "durable" for bytes that
 //! were cut. Under [`Durability::Periodic`] there are no waiters; the
-//! error is held as a sticky per-stripe error surfaced by the next
-//! `append` on that stripe.
+//! error is *latched* as a sticky per-stripe error that fails every
+//! subsequent `append` on that stripe until the store is reopened —
+//! one observer is not enough, because acknowledged-but-unsynced
+//! records were already dropped and later appenders would otherwise
+//! stage into a silently lossy stripe.
 //!
 //! **Lock order.** Within a stripe: staging before I/O, and the I/O
 //! lock is never held while (re)acquiring the staging lock — the leader
@@ -130,7 +133,8 @@ pub(crate) struct CommitQueue {
     /// bounded by the number of concurrently failed appends.
     failures: BTreeMap<u64, StoreError>,
     /// Background-sync failure under [`Durability::Periodic`] (no
-    /// waiter to deliver it to); surfaced by the next append.
+    /// waiter to deliver it to); latched — every subsequent append on
+    /// the stripe fails with a clone until the store is reopened.
     sticky_error: Option<StoreError>,
 }
 
@@ -172,10 +176,15 @@ impl WalInner {
         if !wait {
             // A background sync failed since the last append: the
             // staged window it covered is gone (truncated back to the
-            // acknowledged tail). Surface the typed error now, before
-            // accepting more relaxed-durability traffic.
-            if let Some(err) = q.sticky_error.take() {
-                return Err(err);
+            // acknowledged tail). The error is *latched*, not consumed:
+            // a Periodic appender that saw one `Ok` has no later chance
+            // to learn the stripe is broken, so every subsequent append
+            // on the stripe must keep failing until the store is
+            // reopened (which rescans and repairs the segment). Taking
+            // the error here would acknowledge new records into a
+            // stripe whose acknowledged window was already cut.
+            if let Some(err) = &q.sticky_error {
+                return Err(err.clone());
             }
         }
 
@@ -513,6 +522,54 @@ mod tests {
         drop(store);
         let store = WalStore::open_with(&dir, options).unwrap();
         assert_eq!(store.stats().torn_bytes, 0, "no injected garbage survived");
+        assert_eq!(
+            store.replay().unwrap().records,
+            vec![ev(0, "durable"), ev(0, "after")]
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn periodic_sync_failure_latches_until_reopen() {
+        let dir = scratch("stickylatch");
+        // Huge interval: the background syncer never runs, so the only
+        // sync points are the deterministic quiesces below.
+        let options = one_stripe(Durability::Periodic {
+            interval: Duration::from_secs(3600),
+        });
+        let store = WalStore::open_with(&dir, options).unwrap();
+        store.append(&ev(0, "durable")).unwrap();
+        // The first replay hands back the open-time scan without
+        // touching the pipeline; the second quiesces, committing
+        // "durable" before the fault is armed.
+        let _ = store.replay().unwrap();
+        assert_eq!(store.replay().unwrap().records, vec![ev(0, "durable")]);
+
+        // The next sync fails: "doomed" is acknowledged at staging
+        // time, then the quiesce inside replay hits the injected write
+        // error, truncates the stripe back to the acknowledged tail,
+        // and latches the sticky error.
+        store.inner().fail_writes.store(u32::MAX, Ordering::Relaxed);
+        store.append(&ev(0, "doomed")).unwrap();
+        assert_eq!(store.replay().unwrap().records, vec![ev(0, "durable")]);
+
+        // Even with the fault gone, the stripe must stay failed: the
+        // acknowledged "doomed" record is already lost, and a Periodic
+        // appender that got one `Ok` never looks back. Pre-fix, the
+        // `take()` meant only the first of these three observed the
+        // error and the other two were silently acknowledged.
+        store.inner().fail_writes.store(0, Ordering::Relaxed);
+        for i in 0..3 {
+            let err = store.append(&ev(0, &format!("latched{i}"))).unwrap_err();
+            assert!(matches!(err, StoreError::Io(_)), "append {i}: {err:?}");
+        }
+
+        // Explicit reopen is the repair: it rescans the segments and
+        // starts a fresh pipeline, and appends flow again.
+        drop(store);
+        let store = WalStore::open_with(&dir, options).unwrap();
+        store.append(&ev(0, "after")).unwrap();
+        let _ = store.replay().unwrap();
         assert_eq!(
             store.replay().unwrap().records,
             vec![ev(0, "durable"), ev(0, "after")]

@@ -14,7 +14,12 @@
 //! * [`Record::Events`] — a batch of events fired by one instance
 //!   (one record per `fire_batch` extend: the group-commit unit);
 //! * [`Record::Complete`] — a silent completion (the one status change
-//!   journal replay alone cannot reproduce).
+//!   journal replay alone cannot reproduce);
+//! * [`Record::TimerArm`] / [`Record::TimerFire`] /
+//!   [`Record::TimerCancel`] — the timer wheel's journal: arms are
+//!   written *before* the instance's `Start` (arm-before-visible),
+//!   fires carry the runtime clock so recovery re-arms with the
+//!   remaining delay, cancels record explicit API cancellations.
 //!
 //! A [`Store`] appends records, reads them back for recovery
 //! ([`Store::replay`]), and compacts the log behind a text snapshot
@@ -107,6 +112,40 @@ pub enum Record {
         /// Instance id.
         instance: u64,
     },
+    /// Timers armed for `instance` — one record for the whole set, so
+    /// arming is a single append written *before* the instance's
+    /// [`Record::Start`] ("arm-before-visible": a crash can leave an
+    /// orphan arm, which recovery drops, but never a visible instance
+    /// whose timers were lost).
+    TimerArm {
+        /// Instance id.
+        instance: u64,
+        /// `(tick event name, absolute due on the runtime clock in
+        /// ms)` per armed timer.
+        timers: Vec<(String, u64)>,
+    },
+    /// The timer wheel fired tick `event` on `instance` at clock
+    /// `at_ms`. Replays like a one-event [`Record::Events`], but the
+    /// distinct tag lets recovery (and audits) tell wheel expirations
+    /// from client fires, and restores the runtime clock watermark.
+    TimerFire {
+        /// Instance id.
+        instance: u64,
+        /// The tick event that fired.
+        event: String,
+        /// Runtime clock at expiry, in ms.
+        at_ms: u64,
+    },
+    /// Pending timer `event` on `instance` was explicitly cancelled
+    /// (API cancel — the structural cancel when a deadline's base
+    /// event fires is *derived* from [`Record::Events`] replay and
+    /// never journaled separately).
+    TimerCancel {
+        /// Instance id.
+        instance: u64,
+        /// The tick event whose timer was cancelled.
+        event: String,
+    },
 }
 
 impl Record {
@@ -120,7 +159,10 @@ impl Record {
             Record::Deploy { .. } => 0,
             Record::Start { instance, .. }
             | Record::Events { instance, .. }
-            | Record::Complete { instance } => (*instance % shards as u64) as usize,
+            | Record::Complete { instance }
+            | Record::TimerArm { instance, .. }
+            | Record::TimerFire { instance, .. }
+            | Record::TimerCancel { instance, .. } => (*instance % shards as u64) as usize,
         }
     }
 
@@ -128,6 +170,8 @@ impl Record {
     pub fn event_count(&self) -> u64 {
         match self {
             Record::Events { events, .. } => events.len() as u64,
+            // A wheel expiry appends its tick to the instance journal.
+            Record::TimerFire { .. } => 1,
             _ => 0,
         }
     }
@@ -156,6 +200,12 @@ impl Record {
             Record::Start { workflow, .. } => name_ok("workflow", workflow),
             Record::Events { events, .. } => events.iter().try_for_each(|e| name_ok("event", e)),
             Record::Complete { .. } => Ok(()),
+            Record::TimerArm { timers, .. } => {
+                timers.iter().try_for_each(|(e, _)| name_ok("event", e))
+            }
+            Record::TimerFire { event, .. } | Record::TimerCancel { event, .. } => {
+                name_ok("event", event)
+            }
         }
     }
 }
@@ -459,6 +509,18 @@ pub(crate) fn encode_payload(seq: u64, record: &Record) -> Vec<u8> {
             format!("e\t{seq}\t{instance}\t{}", events.join(" "))
         }
         Record::Complete { instance } => format!("c\t{seq}\t{instance}"),
+        Record::TimerArm { instance, timers } => {
+            // Space-packed `event due` pairs: timer records must fit in
+            // the decoder's four tab-separated fields.
+            let pairs: Vec<String> = timers.iter().map(|(e, due)| format!("{e} {due}")).collect();
+            format!("ta\t{seq}\t{instance}\t{}", pairs.join(" "))
+        }
+        Record::TimerFire {
+            instance,
+            event,
+            at_ms,
+        } => format!("tf\t{seq}\t{instance}\t{event} {at_ms}"),
+        Record::TimerCancel { instance, event } => format!("tc\t{seq}\t{instance}\t{event}"),
     };
     text.into_bytes()
 }
@@ -490,6 +552,38 @@ pub(crate) fn decode_payload(payload: &[u8]) -> Result<(u64, Record), StoreError
         },
         ("c", Some(instance), None) => Record::Complete {
             instance: parse_id(instance, text)?,
+        },
+        ("ta", Some(instance), Some(pairs)) => {
+            let fields: Vec<&str> = pairs.split_whitespace().collect();
+            if !fields.len().is_multiple_of(2) {
+                return Err(StoreError::Corrupt(format!(
+                    "odd timer-arm pair list: {text:?}"
+                )));
+            }
+            let timers = fields
+                .chunks_exact(2)
+                .map(|pair| Ok((pair[0].to_owned(), parse_id(pair[1], text)?)))
+                .collect::<Result<Vec<_>, StoreError>>()?;
+            Record::TimerArm {
+                instance: parse_id(instance, text)?,
+                timers,
+            }
+        }
+        ("tf", Some(instance), Some(rest)) => match rest.split_once(' ') {
+            Some((event, at)) => Record::TimerFire {
+                instance: parse_id(instance, text)?,
+                event: event.to_owned(),
+                at_ms: parse_id(at, text)?,
+            },
+            None => {
+                return Err(StoreError::Corrupt(format!(
+                    "timer-fire record missing clock: {text:?}"
+                )))
+            }
+        },
+        ("tc", Some(instance), Some(event)) => Record::TimerCancel {
+            instance: parse_id(instance, text)?,
+            event: event.to_owned(),
         },
         _ => {
             return Err(StoreError::Corrupt(format!(
@@ -582,6 +676,26 @@ mod tests {
                 events: vec!["invoice".to_owned(), "approve".to_owned()],
             },
             Record::Complete { instance: 17 },
+            Record::TimerArm {
+                instance: 17,
+                timers: vec![
+                    ("approve@deadline3600000".to_owned(), 3_600_000),
+                    ("file@after30000".to_owned(), 30_000),
+                ],
+            },
+            Record::TimerArm {
+                instance: 3,
+                timers: Vec::new(),
+            },
+            Record::TimerFire {
+                instance: 17,
+                event: "approve@deadline3600000".to_owned(),
+                at_ms: 3_600_017,
+            },
+            Record::TimerCancel {
+                instance: 17,
+                event: "file@after30000".to_owned(),
+            },
         ];
         for (seq, record) in records.iter().enumerate() {
             let bytes = encode_payload(seq as u64, record);
@@ -598,6 +712,11 @@ mod tests {
         assert!(decode_payload(b"e\tnotanumber\t0\ta").is_err());
         assert!(decode_payload(b"s\t1\tnotanid\tpay").is_err());
         assert!(decode_payload(&[0xFF, 0xFE, 0x00]).is_err());
+        // Timer records with mangled pair lists or clocks.
+        assert!(decode_payload(b"ta\t1\t0\tev 5 orphan").is_err());
+        assert!(decode_payload(b"ta\t1\t0\tev notadue").is_err());
+        assert!(decode_payload(b"tf\t1\t0\tev").is_err());
+        assert!(decode_payload(b"tf\t1\t0\tev notaclock").is_err());
     }
 
     #[test]
@@ -649,7 +768,53 @@ mod tests {
                 workflow: "w".to_owned(),
             };
             assert_eq!(start.shard(16), (id % 16) as usize);
+            // Timer records ride their instance's stripe, so an arm and
+            // its start share a segment and tear together.
+            let arm = Record::TimerArm {
+                instance: id,
+                timers: vec![("t@after5".to_owned(), 5)],
+            };
+            assert_eq!(arm.shard(16), (id % 16) as usize);
+            let fire = Record::TimerFire {
+                instance: id,
+                event: "t@after5".to_owned(),
+                at_ms: 5,
+            };
+            assert_eq!(fire.shard(16), (id % 16) as usize);
         }
+    }
+
+    #[test]
+    fn timer_records_validate_like_event_records() {
+        assert!(Record::TimerArm {
+            instance: 0,
+            timers: vec![("ok@after5".to_owned(), 5), ("bad name".to_owned(), 9)],
+        }
+        .validate_encodable()
+        .is_err());
+        assert!(Record::TimerFire {
+            instance: 0,
+            event: String::new(),
+            at_ms: 1,
+        }
+        .validate_encodable()
+        .is_err());
+        assert!(Record::TimerCancel {
+            instance: 0,
+            event: "ok@deadline7".to_owned(),
+        }
+        .validate_encodable()
+        .is_ok());
+        assert_eq!(
+            Record::TimerFire {
+                instance: 0,
+                event: "t@after5".to_owned(),
+                at_ms: 5,
+            }
+            .event_count(),
+            1,
+            "a wheel expiry appends one journal event"
+        );
     }
 
     #[test]

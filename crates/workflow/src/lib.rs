@@ -14,15 +14,19 @@
 //!   `◇`-guarded pre-flight sequences;
 //! * [`loops`] — §7 iteration: bounded unrolling with occurrence renaming
 //!   and constraint lifting;
+//! * [`timers`] — `after`/`deadline`/`every` compiled into `send`/
+//!   `receive` channel goals plus synthetic tick events (no new goal
+//!   forms; the runtime's timer wheel interprets the tick names);
 //! * [`spec`] — complete specifications (graph, sub-workflows, triggers,
-//!   global constraints) with the full `Apply`/`Excise` pipeline and the
-//!   §7 modular compilation.
+//!   timers, global constraints) with the full `Apply`/`Excise` pipeline
+//!   and the §7 modular compilation.
 
 pub mod cfg;
 pub mod compensation;
 pub mod dot;
 pub mod loops;
 pub mod spec;
+pub mod timers;
 pub mod triggers;
 
 pub use cfg::{ActivityId, Arc, Cfg, CfgError, SplitKind};
@@ -30,4 +34,5 @@ pub use compensation::{guarded_seq, saga, SagaStep};
 pub use dot::goal_to_dot;
 pub use loops::{unroll, Unrolling};
 pub use spec::{compile_modular, RecursiveDefinition, SubWorkflows, WorkflowSpec};
+pub use timers::{compile_timer, compile_timers, TimerRule, TimerSpec};
 pub use triggers::{compile_trigger, compile_triggers, Trigger, TriggerSemantics};

@@ -15,6 +15,7 @@
 //! the exponent in Theorem 5.11 drops from the total constraint count `N`
 //! to the largest per-sub-workflow count `M`.
 
+use crate::timers::{compile_timers, TimerSpec};
 use crate::triggers::{compile_triggers, Trigger};
 use ctr::analysis::{self, CompileError, Compiled, Verification};
 use ctr::apply::{apply_all, ChannelAlloc};
@@ -198,6 +199,8 @@ pub struct WorkflowSpec {
     pub subworkflows: SubWorkflows,
     /// Triggers, compiled into the graph in order.
     pub triggers: Vec<Trigger>,
+    /// Timers (`after`/`deadline`/`every`), compiled after triggers.
+    pub timers: Vec<TimerSpec>,
     /// Global temporal constraints.
     pub constraints: Vec<Constraint>,
 }
@@ -212,12 +215,15 @@ impl WorkflowSpec {
         }
     }
 
-    /// The flattened goal: sub-workflows expanded and triggers compiled,
-    /// constraints *not* yet applied.
+    /// The flattened goal: sub-workflows expanded, triggers and timers
+    /// compiled, constraints *not* yet applied. Timers compile after
+    /// triggers so a gate or watchdog also covers trigger-duplicated
+    /// occurrences of its event.
     pub fn to_goal(&self) -> Goal {
         let expanded = self.subworkflows.expand(&self.graph);
         let mut channels = ChannelAlloc::fresh_for(&expanded);
-        compile_triggers(&expanded, &self.triggers, &mut channels)
+        let triggered = compile_triggers(&expanded, &self.triggers, &mut channels);
+        compile_timers(&triggered, &self.timers, &mut channels)
     }
 
     /// Full compilation: flatten, `Apply` every constraint, `Excise`
@@ -266,6 +272,7 @@ pub fn compile_modular(
             });
     let mut alloc = ChannelAlloc::fresh_for(&flattened);
     let with_triggers = compile_triggers(&flattened, &spec.triggers, &mut alloc);
+    let with_triggers = compile_timers(&with_triggers, &spec.timers, &mut alloc);
     ctr::unique::check_unique_events(&with_triggers).map_err(CompileError::NotUniqueEvent)?;
     let applied = apply_all(&spec.constraints, &with_triggers, &mut alloc);
     let applied_size = applied.size();

@@ -101,7 +101,9 @@ impl fmt::Display for Trigger {
 }
 
 /// Rewrites every occurrence of event `e` in the goal to `f(e)`.
-fn rewrite_event(goal: &Goal, e: Symbol, replacement: &Goal) -> Goal {
+/// Shared with timer compilation (`crate::timers`), which gates and
+/// watchdogs events with the same structural rewrite.
+pub(crate) fn rewrite_event(goal: &Goal, e: Symbol, replacement: &Goal) -> Goal {
     match goal {
         Goal::Atom(a) if a.as_event() == Some(e) => replacement.clone(),
         Goal::Atom(_) | Goal::Send(_) | Goal::Receive(_) | Goal::Empty | Goal::NoPath => {

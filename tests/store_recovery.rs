@@ -2,13 +2,23 @@
 //! offset inside the last operation's write, recover, and the replayed
 //! runtime must byte-match a never-crashed oracle.
 //!
-//! Every operation below issues at most one store append (the group
-//! commit discipline), so a tear inside the final operation's bytes
-//! invalidates exactly that operation's frame: recovery lands on the
-//! state just before it. A tear that removes the whole frame — or no
-//! tear at all, when the operation wrote nothing — lands on the state
-//! just after it. Both are checked against an oracle [`Runtime`] that
-//! ran the corresponding prefix with no store attached.
+//! Every *tail-eligible* operation below replays all-or-nothing under
+//! a torn tail, so a tear inside the final operation's bytes
+//! invalidates exactly that operation: recovery lands on the state
+//! just before it. A tear that removes the whole frame — or no tear at
+//! all, when the operation wrote nothing — lands on the state just
+//! after it. Both are checked against an oracle [`Runtime`] that ran
+//! the corresponding prefix with no store attached.
+//!
+//! Most operations issue at most one store append (the group commit
+//! discipline). [`Op::Start`] on a timed workflow issues two
+//! (`TimerArm` write-ahead of `Start`), but any tear through the pair
+//! erases the whole start: an arm whose start never landed is an
+//! orphan the recovery scan drops. The one genuine exception is
+//! [`Op::Advance`], which appends one `TimerFire` per expiry — a tear
+//! mid-advance matches neither oracle state, so `Advance` appears only
+//! in prefixes, never as the torn final operation; the partial-advance
+//! crash gets its own dedicated exactly-once property below instead.
 
 use ctr_runtime::{Runtime, WalStore};
 use proptest::prelude::*;
@@ -17,13 +27,21 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-const SPECS: [(&str, &str); 2] = [
+const SPECS: [(&str, &str); 3] = [
     (
         "pay",
         "workflow pay { graph invoice * (approve # audit) * archive; }",
     ),
     ("ship", "workflow ship { graph pick * pack * dispatch; }"),
+    (
+        "timed",
+        "workflow timed { graph invoice * approve * archive; \
+         after(approve, 30s); deadline(archive, 1h); }",
+    ),
 ];
+
+/// Index of the timed spec — the one whose starts arm timers.
+const TIMED: usize = 2;
 
 /// One session operation. Each variant performs at most one store
 /// append when applied, which is what makes the torn-tail oracle exact.
@@ -38,6 +56,12 @@ enum Op {
     FireBatch(usize, usize),
     /// Probe the `slot`-th instance for completion.
     Complete(usize),
+    /// Cancel the first (tick-name-sorted) pending timer of the
+    /// `slot`-th instance (skipped while none is armed).
+    CancelTimer(usize),
+    /// Advance the fleet clock by `delta` ms, expiring every timer due
+    /// on the way. One `TimerFire` append *per expiry* — prefix-only.
+    Advance(u64),
     /// Compact the store (durable side only; a no-op on the oracle).
     Checkpoint,
 }
@@ -80,6 +104,20 @@ fn apply(rt: &mut Runtime, op: &Op, durable: bool) {
                 let _ = rt.try_complete(id);
             }
         }
+        Op::CancelTimer(slot) => {
+            let ids = rt.instances();
+            let Some(&id) = ids.get(slot % ids.len().max(1)) else {
+                return;
+            };
+            let pending = rt.pending_timers(id).expect("pending_timers");
+            if let Some((tick, _)) = pending.first() {
+                rt.cancel_timer(id, tick).expect("cancel_timer");
+            }
+        }
+        Op::Advance(delta) => {
+            let to = rt.clock_ms().saturating_add(delta);
+            rt.advance(to).expect("advance");
+        }
         Op::Checkpoint => {
             if durable {
                 rt.checkpoint().expect("checkpoint");
@@ -118,13 +156,30 @@ fn scratch(tag: &str) -> PathBuf {
     dir
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
+/// Operations whose replayed effect is all-or-nothing under a torn
+/// tail — every variant except the multi-append [`Op::Advance`]. Only
+/// these may sit in the final (torn) position.
+fn tail_op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..SPECS.len()).prop_map(Op::Deploy),
         (0..SPECS.len()).prop_map(Op::Start),
         ((0..8usize), (1..5usize)).prop_map(|(slot, k)| Op::FireBatch(slot, k)),
         (0..8usize).prop_map(Op::Complete),
+        (0..8usize).prop_map(Op::CancelTimer),
         Just(Op::Checkpoint),
+    ]
+}
+
+/// Everything, including [`Op::Advance`] — for prefix positions and
+/// tests that never tear the log mid-operation. Deltas reach past the
+/// 30s after-gate often and the 1h deadline over a long prefix.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        tail_op_strategy(),
+        tail_op_strategy(),
+        tail_op_strategy(),
+        tail_op_strategy(),
+        (1u64..2_000_000).prop_map(Op::Advance),
     ]
 }
 
@@ -137,18 +192,18 @@ proptest! {
     /// that operation.
     #[test]
     fn kill_recover_matches_the_never_crashed_oracle(
-        ops in proptest::collection::vec(op_strategy(), 1..16),
+        prefix in proptest::collection::vec(op_strategy(), 0..15),
+        last in tail_op_strategy(),
         tear in 1..4096usize,
     ) {
         let dir = scratch("kill");
-        let (prefix, last) = ops.split_at(ops.len() - 1);
 
         let mut rt = Runtime::with_store(Arc::new(WalStore::open(&dir).unwrap()));
-        for op in prefix {
+        for op in &prefix {
             apply(&mut rt, op, true);
         }
         let before = seg_sizes(&dir);
-        apply(&mut rt, &last[0], true);
+        apply(&mut rt, &last, true);
         drop(rt); // the crash: no shutdown hook runs, files stay as-is
 
         // Tear `1..=written` bytes off the end of whichever segment the
@@ -169,14 +224,32 @@ proptest! {
         };
 
         let mut oracle = Runtime::new();
-        let survived = if torn { prefix } else { &ops[..] };
-        for op in survived {
+        for op in &prefix {
             apply(&mut oracle, op, false);
+        }
+        if !torn {
+            apply(&mut oracle, &last, false);
         }
 
         let store = Arc::new(WalStore::open(&dir).unwrap());
         let recovered = Runtime::open(store).unwrap();
         prop_assert_eq!(recovered.snapshot(), oracle.snapshot());
+        // The snapshot already carries timer lines; assert the armed
+        // set through the query API too, so a pending_timers /
+        // snapshot divergence cannot hide. The clocks are *not*
+        // compared: the recovered clock is the durable TimerFire
+        // watermark and legitimately lags an oracle whose advances
+        // expired nothing.
+        prop_assert_eq!(
+            recovered.pending_timer_count(),
+            oracle.pending_timer_count()
+        );
+        for id in oracle.instances() {
+            prop_assert_eq!(
+                recovered.pending_timers(id).unwrap(),
+                oracle.pending_timers(id).unwrap()
+            );
+        }
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -285,6 +358,75 @@ proptest! {
 
         let again = Runtime::open(Arc::new(WalStore::open(&dir).unwrap())).unwrap();
         prop_assert_eq!(again.snapshot(), expected);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An expiry racing the crash fires exactly once. `advance` appends
+    /// one `TimerFire` per expired timer; tearing inside that run of
+    /// appends un-fires a suffix of them. Recovery re-arms exactly the
+    /// un-fired timers (their `TimerArm` survived inside `Start`, their
+    /// `TimerFire` did not), so repeating the advance fires each of
+    /// those once — and only those: a tick whose `TimerFire` survived
+    /// replays as already-fired and is never re-armed.
+    #[test]
+    fn expiry_racing_the_crash_fires_exactly_once(
+        fleet in 1..5usize,
+        pick in 0..64usize,
+        tear in 1..4096u64,
+    ) {
+        let dir = scratch("expiry");
+        let (name, source) = SPECS[TIMED];
+        let mut rt = Runtime::with_store(Arc::new(WalStore::open(&dir).unwrap()));
+        rt.deploy_source(source).expect("deploy");
+        let ids: Vec<_> = (0..fleet).map(|_| rt.start(name).expect("start")).collect();
+
+        let before = seg_sizes(&dir);
+        let fired = rt.advance(30_000).expect("advance");
+        prop_assert_eq!(fired.len(), fleet); // one after-gate each
+        drop(rt); // crash mid-durability: files stay as-is
+
+        // Tear inside one of the advance's TimerFire runs. The fleet
+        // shards across segments, so several may have grown; cut one.
+        let after = seg_sizes(&dir);
+        let grown: Vec<_> = after
+            .iter()
+            .filter(|(path, len)| before.get(*path).copied().unwrap_or(0) < **len)
+            .collect();
+        prop_assert!(!grown.is_empty());
+        let (path, &len) = grown[pick % grown.len()];
+        let written = len - before.get(path).copied().unwrap_or(0);
+        let cut = len - 1 - (tear - 1) % written;
+        let file = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+
+        // Recover and repeat the advance: the recovered wheel starts
+        // behind the restored clock, so every still-armed 30s gate
+        // (torn away mid-advance) expires now; every gate whose
+        // TimerFire survived is already in its journal and disarmed.
+        let mut recovered = Runtime::open(Arc::new(WalStore::open(&dir).unwrap())).unwrap();
+        recovered.advance(30_000).expect("advance after recovery");
+        let tick = "approve@after30000";
+        for &id in &ids {
+            let journal = recovered.journal(id).unwrap();
+            prop_assert_eq!(
+                journal.iter().filter(|e| e.as_str() == tick).count(),
+                1,
+                "instance {} journal {:?}",
+                id,
+                journal
+            );
+            prop_assert!(
+                recovered
+                    .pending_timers(id)
+                    .unwrap()
+                    .iter()
+                    .all(|(t, _)| t != tick),
+                "instance {} still holds the fired gate",
+                id
+            );
+        }
 
         std::fs::remove_dir_all(&dir).ok();
     }
